@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks for the algorithmic building blocks:
+//! minimum cycle bases (Algorithm 1), the VPT deletability test, the exact
+//! τ-partitionability test, GF(2) homology ranks, and the end-to-end
+//! schedulers (the per-figure workloads live in `src/bin/fig*`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use confine_bench::paper_scenario;
+use confine_complex::{homology, rips};
+use confine_core::schedule::DccScheduler;
+use confine_core::vpt::is_vertex_deletable;
+use confine_cycles::horton::{max_irreducible_at_most, minimum_cycle_basis};
+use confine_cycles::partition::PartitionTester;
+use confine_cycles::Cycle;
+use confine_graph::{generators, NodeId};
+use confine_hgc::criterion::hgc_criterion_holds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mcb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimum_cycle_basis");
+    for side in [4usize, 6, 8] {
+        let g = generators::king_grid_graph(side, side);
+        group.bench_with_input(BenchmarkId::new("king_grid", side), &g, |b, g| {
+            b.iter(|| black_box(minimum_cycle_basis(g).dimension()))
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = generators::gnp_graph(40, 0.15, &mut rng);
+    group.bench_function("gnp_40", |b| {
+        b.iter(|| black_box(minimum_cycle_basis(&g).dimension()))
+    });
+    group.finish();
+}
+
+fn bench_irreducible_predicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_irreducible_at_most");
+    let scenario = paper_scenario(300, 22.0, 3);
+    let ball = confine_graph::traverse::k_hop_neighbors(&scenario.graph, NodeId(150), 2);
+    let (punctured, _) =
+        confine_core::vpt::induced_from_view(&scenario.graph, &ball);
+    for tau in [3usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("udg_2hop_ball", tau), &tau, |b, &tau| {
+            b.iter(|| black_box(max_irreducible_at_most(&punctured, tau)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vpt_deletability");
+    let scenario = paper_scenario(300, 22.0, 3);
+    let v = NodeId(150);
+    for tau in [3usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("udg_node", tau), &tau, |b, &tau| {
+            b.iter(|| black_box(is_vertex_deletable(&scenario.graph, v, tau)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tau_partitionability");
+    for side in [5usize, 8] {
+        let g = generators::king_grid_graph(side, side);
+        // Outer rim cycle of the grid.
+        let mut seq = Vec::new();
+        for x in 0..side {
+            seq.push(NodeId::from(x));
+        }
+        for y in 1..side {
+            seq.push(NodeId::from(y * side + side - 1));
+        }
+        for x in (0..side - 1).rev() {
+            seq.push(NodeId::from((side - 1) * side + x));
+        }
+        for y in (1..side - 1).rev() {
+            seq.push(NodeId::from(y * side));
+        }
+        let outer = Cycle::from_vertex_cycle(&g, &seq).expect("rim cycle");
+        group.bench_with_input(BenchmarkId::new("build_tester", side), &g, |b, g| {
+            b.iter(|| black_box(PartitionTester::new(g).mcb().dimension()))
+        });
+        let tester = PartitionTester::new(&g);
+        group.bench_with_input(
+            BenchmarkId::new("query", side),
+            &(tester, outer),
+            |b, (tester, outer)| {
+                b.iter(|| black_box(tester.min_partition_tau(outer.edge_vec())))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_homology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homology");
+    let scenario = paper_scenario(300, 22.0, 5);
+    group.bench_function("rips_udg_300", |b| {
+        b.iter(|| black_box(rips::rips_complex(&scenario.graph).triangle_count()))
+    });
+    let k = rips::rips_complex(&scenario.graph);
+    group.bench_function("betti_udg_300", |b| {
+        b.iter(|| black_box(homology::betti_numbers(&k)))
+    });
+    group.bench_function("hgc_criterion_udg_300", |b| {
+        b.iter(|| black_box(hgc_criterion_holds(&scenario.graph)))
+    });
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(10);
+    let scenario = paper_scenario(200, 18.0, 7);
+    for tau in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("dcc", tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                black_box(
+                    DccScheduler::new(tau)
+                        .schedule(&scenario.graph, &scenario.boundary, &mut rng)
+                        .active_count(),
+                )
+            })
+        });
+    }
+    // HGC needs a triangulated input (its criterion must initially hold);
+    // on the king grid the greedy performs one homology evaluation per
+    // interior node per pass.
+    let king = generators::king_grid_graph(8, 8);
+    let fence: Vec<bool> = (0..64)
+        .map(|i| {
+            let (x, y) = (i % 8, i / 8);
+            x == 0 || y == 0 || x == 7 || y == 7
+        })
+        .collect();
+    group.bench_function("hgc_greedy_king8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(
+                confine_hgc::HgcScheduler::new().schedule(&king, &fence, &mut rng).active_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mcb,
+    bench_irreducible_predicate,
+    bench_vpt,
+    bench_partition,
+    bench_homology,
+    bench_schedulers
+);
+criterion_main!(benches);

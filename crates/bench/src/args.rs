@@ -1,0 +1,114 @@
+//! Minimal `--key value` command-line argument parsing for the figure
+//! binaries (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+///
+/// # Example
+///
+/// ```
+/// use confine_bench::args::Args;
+///
+/// let args = Args::parse(["--runs", "10", "--nodes", "800"].map(String::from));
+/// assert_eq!(args.get_usize("runs", 5), 10);
+/// assert_eq!(args.get_usize("nodes", 1600), 800);
+/// assert_eq!(args.get_f64("degree", 25.0), 25.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process's command-line arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// Flags must come as `--key value` pairs; anything else is ignored.
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some(value) = iter.peek() {
+                    if !value.starts_with("--") {
+                        values.insert(key.to_string(), value.clone());
+                        iter.next();
+                        continue;
+                    }
+                }
+                values.insert(key.to_string(), "true".to_string());
+            }
+        }
+        Args { values }
+    }
+
+    /// Returns `key` as usize, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Returns `key` as u64, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Returns `key` as f64, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Returns `true` when the flag is present (with any value but `false`).
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.values.get(key).map(|v| v != "false").unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(
+            ["--runs", "3", "--full", "--gamma", "1.5"].map(String::from),
+        );
+        assert_eq!(a.get_usize("runs", 1), 3);
+        assert!(a.get_flag("full"));
+        assert!(!a.get_flag("absent"));
+        assert_eq!(a.get_f64("gamma", 0.0), 1.5);
+        assert_eq!(a.get_u64("seed", 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = Args::parse(["--runs", "soon"].map(String::from));
+        let _ = a.get_usize("runs", 1);
+    }
+}

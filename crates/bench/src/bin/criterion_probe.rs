@@ -1,0 +1,29 @@
+//! Internal probe: exact criterion verification before/after scheduling.
+use confine_bench::args::Args;
+use confine_bench::paper_scenario;
+use confine_core::schedule::DccScheduler;
+use confine_core::verify::{boundary_partition_tau, verify_criterion};
+use confine_deploy::outer::extract_outer_walk;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let nodes = args.get_usize("nodes", 300);
+    let scenario = paper_scenario(nodes, args.get_f64("degree", 25.0), 1);
+    let walk = extract_outer_walk(&scenario);
+    println!("outer walk: {:?}", walk.as_ref().map(|w| w.walk.len()));
+    let Some(walk) = walk else { return };
+    let all: Vec<_> = scenario.graph.nodes().collect();
+    println!("full graph min partition tau: {:?}", boundary_partition_tau(&scenario, &walk, &all));
+    for tau in [4usize, 6] {
+        let mut rng = StdRng::seed_from_u64(tau as u64);
+        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        println!(
+            "tau {tau}: active {}, min partition tau of fixpoint: {:?}, verify: {:?}",
+            set.active_count(),
+            boundary_partition_tau(&scenario, &walk, &set.active),
+            verify_criterion(&scenario, &set.active, tau),
+        );
+    }
+}

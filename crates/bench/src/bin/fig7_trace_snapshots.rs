@@ -1,0 +1,59 @@
+//! Figure 7 — coverage-set snapshots on the trace topology, τ = 3..7.
+//!
+//! The paper renders the GreenOrbs topology (boundary nodes as squares) and
+//! the DCC coverage sets for each confine size; 17, 8, 6, 5, 4 inner nodes
+//! remain for τ = 3..7 in its snapshots. This binary prints ASCII snapshots
+//! ('#': boundary, 'o': awake inner node, '.': sleeping node) and the same
+//! counts.
+//!
+//! ```text
+//! cargo run --release -p confine-bench --bin fig7_trace_snapshots -- --seed 5
+//! ```
+
+use confine_bench::args::Args;
+use confine_bench::render::render_scenario;
+use confine_bench::rule;
+use confine_deploy::svg::{render_svg, SvgOptions};
+use confine_core::schedule::DccScheduler;
+use confine_deploy::trace::{greenorbs_scenario, TraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.get_u64("seed", 5);
+    let config = TraceConfig {
+        nodes: args.get_usize("nodes", 296),
+        rounds: args.get_usize("rounds", 48),
+        ..TraceConfig::default()
+    };
+    let svg = args.get_flag("svg");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (scenario, _trace, _thr) = greenorbs_scenario(&config, 0.8, &mut rng);
+
+    println!("Figure 7 — DCC snapshots on the trace topology");
+    println!(
+        "(a) original network: {} nodes, {} boundary nodes",
+        scenario.graph.node_count(),
+        scenario.boundary_count()
+    );
+    let all: Vec<_> = scenario.graph.nodes().collect();
+    print!("{}", render_scenario(&scenario, &all, 84, 18));
+    rule(84);
+
+    for (label, tau) in [("(b)", 3usize), ("(c)", 4), ("(d)", 5), ("(e)", 6), ("(f)", 7)] {
+        let mut rng = StdRng::seed_from_u64(seed + tau as u64);
+        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let inner = set.active_internal(&scenario.boundary).len();
+        println!("{label} τ = {tau}: {inner} inner nodes left (paper snapshots: 17/8/6/5/4)");
+        print!("{}", render_scenario(&scenario, &set.active, 84, 18));
+        rule(84);
+        if svg {
+            let path = format!("results/fig7_tau{tau}.svg");
+            let doc = render_svg(&scenario, &set.active, SvgOptions::default());
+            if std::fs::write(&path, doc).is_ok() {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Internal scale probe: per-tau scheduling cost and fixpoint diagnosis.
+use confine_bench::args::Args;
+use confine_bench::paper_scenario;
+use confine_core::schedule::DccScheduler;
+use confine_core::vpt::{induced_from_view, neighborhood_radius};
+use confine_cycles::horton;
+use confine_graph::{traverse, Masked};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let nodes = args.get_usize("nodes", 300);
+    let degree = args.get_f64("degree", 25.0);
+    let scenario = paper_scenario(nodes, degree, 1);
+    println!("boundary nodes: {}", scenario.boundary_count());
+    for tau in [3usize, 4, 6, 9] {
+        let t0 = std::time::Instant::now();
+        let mut rng = StdRng::seed_from_u64(tau as u64);
+        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let masked = Masked::from_active(&scenario.graph, &set.active);
+        let k = neighborhood_radius(tau);
+        let (mut disc, mut irred) = (0, 0);
+        for &v in set.active.iter().filter(|&&v| !scenario.boundary[v.index()]) {
+            let ball = traverse::k_hop_neighbors(&masked, v, k);
+            let (punct, _) = induced_from_view(&masked, &ball);
+            if !traverse::is_connected(&punct) {
+                disc += 1;
+            } else if !horton::max_irreducible_at_most(&punct, tau) {
+                irred += 1;
+            }
+        }
+        println!(
+            "tau {tau}: active {} (internal {}) rounds {} in {:.2?}; blocked: {} disconnected, {} irreducible",
+            set.active_count(),
+            set.active_internal(&scenario.boundary).len(),
+            set.rounds,
+            t0.elapsed(),
+            disc,
+            irred,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared harness code for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Every figure of the paper's evaluation section has a dedicated binary in
+//! `src/bin/` (`fig1_moebius` … `fig7_trace_snapshots`) that prints the same
+//! series the paper plots. This library holds the pieces they share: a tiny
+//! `--key value` argument parser, the paper's standard network
+//! configurations, and an ASCII renderer for network snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod render;
+
+use confine_deploy::scenario::{random_udg_scenario, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's Sec. VI-A configuration: `n` nodes uniform in a square sized
+/// for average degree ≈ `degree` under a UDG with `rc = 1`, periphery band
+/// of width `rc`.
+///
+/// Paper defaults: `n = 1600`, `degree = 25`. The binaries default to a
+/// scaled-down `n` for quick runs and accept `--nodes`/`--degree` to restore
+/// the paper's scale.
+pub fn paper_scenario(n: usize, degree: f64, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_udg_scenario(n, 1.0, degree, &mut rng)
+}
+
+/// Formats a ratio as a fixed-width table cell.
+pub fn cell(v: f64) -> String {
+    format!("{v:>8.3}")
+}
+
+/// Prints a rule line matching a header's width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

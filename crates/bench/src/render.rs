@@ -1,0 +1,80 @@
+//! ASCII rendering of network snapshots (the textual analogue of the
+//! paper's Figure 2 / Figure 7 plots).
+
+use confine_deploy::Scenario;
+use confine_graph::NodeId;
+
+/// Renders the scenario as an ASCII raster of `cols × rows` characters:
+/// `#` active boundary node, `o` active internal node, `.` sleeping node,
+/// space = empty.
+///
+/// Multiple nodes in a cell show the "strongest" glyph (`#` > `o` > `.`).
+pub fn render_scenario(scenario: &Scenario, active: &[NodeId], cols: usize, rows: usize) -> String {
+    let mut grid = vec![b' '; cols * rows];
+    let region = scenario.region;
+    let (w, h) = (region.width().max(1e-9), region.height().max(1e-9));
+    let mut is_active = vec![false; scenario.graph.node_count()];
+    for &v in active {
+        is_active[v.index()] = true;
+    }
+    let strength = |c: u8| match c {
+        b'#' => 3,
+        b'o' => 2,
+        b'.' => 1,
+        _ => 0,
+    };
+    for (i, p) in scenario.positions.iter().enumerate() {
+        let cx = (((p.x - region.min.x) / w) * (cols as f64 - 1.0)).round() as usize;
+        let cy = (((p.y - region.min.y) / h) * (rows as f64 - 1.0)).round() as usize;
+        let idx = cy.min(rows - 1) * cols + cx.min(cols - 1);
+        let glyph = if !is_active[i] {
+            b'.'
+        } else if scenario.boundary[i] {
+            b'#'
+        } else {
+            b'o'
+        };
+        if strength(glyph) > strength(grid[idx]) {
+            grid[idx] = glyph;
+        }
+    }
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            out.push(grid[r * cols + c] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_deploy::{Point, Rect};
+    use confine_graph::Graph;
+
+    #[test]
+    fn renders_glyphs() {
+        let mut graph = Graph::new();
+        graph.add_nodes(3);
+        let scenario = Scenario {
+            graph,
+            positions: vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 10.0),
+                Point::new(5.0, 5.0),
+            ],
+            rc: 1.0,
+            boundary: vec![true, false, false],
+            region: Rect::new(0.0, 0.0, 10.0, 10.0),
+            target: Rect::new(1.0, 1.0, 9.0, 9.0),
+        };
+        let art = render_scenario(&scenario, &[NodeId(0), NodeId(1)], 11, 11);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert_eq!(&lines[10][0..1], "#", "boundary node bottom-left");
+        assert_eq!(&lines[0][10..11], "o", "active internal top-right");
+        assert_eq!(&lines[5][5..6], ".", "sleeping node centre");
+    }
+}

@@ -1,0 +1,281 @@
+//! `confine-cli` — generate, inspect, schedule and verify confine-coverage
+//! scenarios from the command line.
+//!
+//! ```text
+//! confine-cli generate --nodes 400 --degree 22 --seed 7 --out net.cf
+//! confine-cli trace    --nodes 296 --seed 5 --out trace.cf
+//! confine-cli info     --in net.cf
+//! confine-cli schedule --in net.cf --tau 5 --out sched.txt
+//! confine-cli verify   --in net.cf --active sched.txt --tau 5 --gamma 1.0
+//! ```
+//!
+//! Scenarios use the plain-text v1 format of `confine_deploy::format`;
+//! schedules are one node id per line.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use confine_core::config::{blanket_ratio_threshold, MIN_TAU};
+use confine_core::schedule::DccScheduler;
+use confine_core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
+use confine_deploy::outer::extract_outer_walk;
+use confine_deploy::coverage::verify_coverage;
+use confine_deploy::format::{read_scenario, write_scenario};
+use confine_deploy::scenario::random_udg_scenario;
+use confine_deploy::trace::{greenorbs_scenario, TraceConfig};
+use confine_deploy::Scenario;
+use confine_graph::{cut, traverse, GraphView, Masked, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+mod opts;
+
+use opts::Opts;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = Opts::parse(args);
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "trace" => cmd_trace(&opts),
+        "info" => cmd_info(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "prune" => cmd_prune(&opts),
+        "verify" => cmd_verify(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "confine-cli <command> [--key value ...]
+
+commands:
+  generate  --nodes N --degree D --seed S [--rc R] --out FILE
+            random UDG scenario with a certified boundary ring
+  trace     --nodes N --seed S [--rounds K] --out FILE
+            synthetic GreenOrbs-style trace topology
+  info      --in FILE
+            structural summary of a scenario
+  schedule  --in FILE --tau T [--seed S] [--out FILE]
+            run the DCC scheduler; prints/saves the awake node ids
+  prune     --in FILE --tau T [--seed S] [--out FILE]
+            run the edge-deletion pass; prints/saves the thinned scenario
+  verify    --in FILE --tau T [--active FILE] [--gamma G]
+            exact criterion check (+ geometric check when --gamma given)";
+
+fn load(opts: &Opts) -> Result<Scenario, String> {
+    let path = opts.require("in")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    read_scenario(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn save(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let nodes = opts.usize("nodes", 400)?;
+    let degree = opts.f64("degree", 22.0)?;
+    let seed = opts.u64("seed", 1)?;
+    let rc = opts.f64("rc", 1.0)?;
+    let out = opts.require("out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scenario = random_udg_scenario(nodes, rc, degree, &mut rng);
+    save(&out, &write_scenario(&scenario))?;
+    println!(
+        "wrote {out}: {} nodes ({} boundary), {} links",
+        scenario.graph.node_count(),
+        scenario.boundary_count(),
+        scenario.graph.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let seed = opts.u64("seed", 5)?;
+    let config = TraceConfig {
+        nodes: opts.usize("nodes", 296)?,
+        rounds: opts.usize("rounds", 48)?,
+        ..TraceConfig::default()
+    };
+    let out = opts.require("out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (scenario, _trace, threshold) = greenorbs_scenario(&config, 0.8, &mut rng);
+    save(&out, &write_scenario(&scenario))?;
+    println!(
+        "wrote {out}: {} nodes ({} boundary), {} links, RSSI threshold {threshold:.1} dBm",
+        scenario.graph.node_count(),
+        scenario.boundary_count(),
+        scenario.graph.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let s = load(opts)?;
+    println!("nodes            : {}", s.graph.node_count());
+    println!("links            : {}", s.graph.edge_count());
+    println!("average degree   : {:.2}", s.graph.average_degree());
+    println!("boundary nodes   : {}", s.boundary_count());
+    println!("rc               : {}", s.rc);
+    println!("region           : {:?} × {:?}", s.region.width(), s.region.height());
+    println!("target           : {:?} × {:?}", s.target.width(), s.target.height());
+    println!("connected        : {}", traverse::is_connected(&s.graph));
+    let cs = cut::cut_structure(&s.graph);
+    println!("articulation pts : {}", cs.articulation_points.len());
+    println!("bridges          : {}", cs.bridges.len());
+    let bounds = confine_cycles::horton::irreducible_cycle_bounds(&s.graph);
+    match bounds {
+        Some(b) => println!("irreducible cycles: min {} / max {}", b.min, b.max),
+        None => println!("irreducible cycles: none (forest)"),
+    }
+    if let Some(walk) = extract_outer_walk(&s) {
+        let all: Vec<NodeId> = s.graph.nodes().collect();
+        match boundary_partition_tau(&s, &walk, &all) {
+            Some(t) => println!("initial partition τ: {t}"),
+            None => println!("initial partition τ: boundary outside cycle space"),
+        }
+    } else {
+        println!("initial partition τ: no certified boundary walk");
+    }
+    Ok(())
+}
+
+fn cmd_schedule(opts: &Opts) -> Result<(), String> {
+    let s = load(opts)?;
+    let tau = opts.usize("tau", 0)?;
+    if tau < MIN_TAU {
+        return Err(format!("--tau must be ≥ {MIN_TAU}"));
+    }
+    let seed = opts.u64("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+    println!(
+        "τ = {tau}: {} awake / {} asleep in {} rounds",
+        set.active_count(),
+        set.deleted.len(),
+        set.rounds
+    );
+    if let Some(out) = opts.get("out") {
+        let mut text = String::new();
+        for v in &set.active {
+            let _ = writeln!(text, "{}", v.index());
+        }
+        save(&out, &text)?;
+        println!("awake set written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_prune(opts: &Opts) -> Result<(), String> {
+    let s = load(opts)?;
+    let tau = opts.usize("tau", 0)?;
+    if tau < MIN_TAU {
+        return Err(format!("--tau must be ≥ {MIN_TAU}"));
+    }
+    let seed = opts.u64("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pruned = confine_core::edges::prune_edges(&s.graph, &s.boundary, tau, &mut rng)
+        .map_err(|e| format!("pruning: {e}"))?;
+    println!(
+        "τ = {tau}: {} links pruned ({} → {})",
+        pruned.removed.len(),
+        s.graph.edge_count(),
+        pruned.graph.edge_count()
+    );
+    if let Some(out) = opts.get("out") {
+        let thinned = Scenario { graph: pruned.graph, ..s };
+        save(&out, &write_scenario(&thinned))?;
+        println!("thinned scenario written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_verify(opts: &Opts) -> Result<(), String> {
+    let s = load(opts)?;
+    let tau = opts.usize("tau", 0)?;
+    if tau < MIN_TAU {
+        return Err(format!("--tau must be ≥ {MIN_TAU}"));
+    }
+    let active: Vec<NodeId> = match opts.get("active") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let mut ids = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let id: usize = line
+                    .parse()
+                    .map_err(|_| format!("{path} line {}: bad node id {line:?}", i + 1))?;
+                if id >= s.graph.node_count() {
+                    return Err(format!("{path} line {}: node {id} out of range", i + 1));
+                }
+                ids.push(NodeId::from(id));
+            }
+            ids
+        }
+        None => s.graph.nodes().collect(),
+    };
+
+    // Structural sanity first.
+    let masked = Masked::from_active(&s.graph, &active);
+    println!("active nodes     : {}", masked.active_count());
+    println!("active connected : {}", traverse::is_connected(&masked));
+
+    // The exact cycle-partition criterion.
+    let outcome = verify_criterion(&s, &active, tau);
+    println!("criterion (τ={tau}) : {outcome:?}");
+    if let Some(walk) = extract_outer_walk(&s) {
+        if let Some(min_tau) = boundary_partition_tau(&s, &walk, &active) {
+            println!("minimal feasible τ: {min_tau}");
+        }
+    }
+
+    // Optional geometric ground-truth check.
+    if let Some(gamma) = opts.get("gamma") {
+        let gamma: f64 = gamma.parse().map_err(|_| "--gamma expects a number".to_string())?;
+        if gamma <= 0.0 {
+            return Err("--gamma must be positive".into());
+        }
+        let rs = s.rc / gamma;
+        let resolution = (s.target.width().min(s.target.height()) / 120.0).max(1e-6);
+        let report = verify_coverage(&s.positions, &active, rs, s.target, resolution);
+        println!(
+            "geometric        : {:.2}% covered, {} holes, max hole diameter {:.3}",
+            report.covered_fraction * 100.0,
+            report.holes.len(),
+            report.max_hole_diameter()
+        );
+        let blanket_possible = gamma <= blanket_ratio_threshold(tau) + 1e-12;
+        println!(
+            "proposition 1    : γ = {gamma} with τ = {tau} guarantees {}",
+            if blanket_possible {
+                "blanket coverage".to_string()
+            } else {
+                format!("holes ≤ {:.2}", (tau as f64 - 2.0) * s.rc)
+            }
+        );
+    }
+
+    if outcome == CriterionOutcome::Violated {
+        return Err("criterion violated".into());
+    }
+    Ok(())
+}

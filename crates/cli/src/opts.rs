@@ -1,0 +1,97 @@
+//! Tiny `--key value` option parsing for the CLI (no external crates).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Opts {
+    values: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parses `--key value` pairs; bare flags get the value `"true"`.
+    pub fn parse<I: Iterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut pending: Option<String> = None;
+        for arg in args {
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some(prev) = pending.take() {
+                    values.insert(prev, "true".to_string());
+                }
+                pending = Some(key.to_string());
+            } else if let Some(key) = pending.take() {
+                values.insert(key, arg);
+            }
+        }
+        if let Some(prev) = pending {
+            values.insert(prev, "true".to_string());
+        }
+        Opts { values }
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+
+    /// A mandatory string option.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// A usize option with a default.
+    pub fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// A u64 option with a default.
+    pub fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// An f64 option with a default.
+    pub fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = opts(&["--nodes", "40", "--out", "x.cf"]);
+        assert_eq!(o.usize("nodes", 0).unwrap(), 40);
+        assert_eq!(o.require("out").unwrap(), "x.cf");
+        assert_eq!(o.f64("degree", 9.5).unwrap(), 9.5);
+    }
+
+    #[test]
+    fn flags_and_errors() {
+        let o = opts(&["--fast", "--tau", "oops"]);
+        assert_eq!(o.get("fast").as_deref(), Some("true"));
+        assert!(o.usize("tau", 3).is_err());
+        assert!(o.require("in").is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let o = opts(&["--nodes", "7", "--verbose"]);
+        assert_eq!(o.get("verbose").as_deref(), Some("true"));
+        assert_eq!(o.u64("nodes", 0).unwrap(), 7);
+    }
+}

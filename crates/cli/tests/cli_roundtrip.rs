@@ -1,0 +1,125 @@
+//! End-to-end tests of the `confine-cli` binary (spawned as a subprocess).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_confine-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("confine-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_info_schedule_verify_pipeline() {
+    let net = tmp("net.cf");
+    let sched = tmp("sched.txt");
+
+    let out = cli()
+        .args(["generate", "--nodes", "250", "--degree", "20", "--seed", "9"])
+        .args(["--out", net.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("250 nodes"), "unexpected output: {text}");
+
+    let out = cli().args(["info", "--in", net.to_str().unwrap()]).output().expect("spawn info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("connected        : true"), "{text}");
+    assert!(text.contains("initial partition τ:"), "{text}");
+
+    let out = cli()
+        .args(["schedule", "--in", net.to_str().unwrap(), "--tau", "5", "--seed", "4"])
+        .args(["--out", sched.to_str().unwrap()])
+        .output()
+        .expect("spawn schedule");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let ids = std::fs::read_to_string(&sched).expect("schedule written");
+    assert!(ids.lines().count() > 10, "implausibly small coverage set");
+
+    let out = cli()
+        .args(["verify", "--in", net.to_str().unwrap(), "--tau", "5"])
+        .args(["--active", sched.to_str().unwrap(), "--gamma", "1.0"])
+        .output()
+        .expect("spawn verify");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "verify failed:\n{text}");
+    assert!(text.contains("Satisfied"), "{text}");
+
+    let _ = std::fs::remove_file(net);
+    let _ = std::fs::remove_file(sched);
+}
+
+#[test]
+fn verify_rejects_broken_schedule() {
+    let net = tmp("net2.cf");
+    let out = cli()
+        .args(["generate", "--nodes", "200", "--degree", "20", "--seed", "3"])
+        .args(["--out", net.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success());
+
+    // A schedule consisting of one node is clearly invalid.
+    let sched = tmp("sched2.txt");
+    std::fs::write(&sched, "0\n").unwrap();
+    let out = cli()
+        .args(["verify", "--in", net.to_str().unwrap(), "--tau", "4"])
+        .args(["--active", sched.to_str().unwrap()])
+        .output()
+        .expect("spawn verify");
+    assert!(!out.status.success(), "single-node schedule must fail verification");
+
+    let _ = std::fs::remove_file(net);
+    let _ = std::fs::remove_file(sched);
+}
+
+#[test]
+fn prune_roundtrips_through_the_format() {
+    let net = tmp("net3.cf");
+    let thin = tmp("thin.cf");
+    let out = cli()
+        .args(["generate", "--nodes", "200", "--degree", "22", "--seed", "6"])
+        .args(["--out", net.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success());
+
+    let out = cli()
+        .args(["prune", "--in", net.to_str().unwrap(), "--tau", "4", "--seed", "2"])
+        .args(["--out", thin.to_str().unwrap()])
+        .output()
+        .expect("spawn prune");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("links pruned"), "{text}");
+
+    // The thinned scenario parses and has fewer links.
+    let out = cli().args(["info", "--in", thin.to_str().unwrap()]).output().expect("info");
+    assert!(out.status.success());
+    let info = String::from_utf8_lossy(&out.stdout);
+    assert!(info.contains("connected        : true"), "{info}");
+
+    let _ = std::fs::remove_file(net);
+    let _ = std::fs::remove_file(thin);
+}
+
+#[test]
+fn helpful_errors() {
+    let out = cli().args(["schedule", "--tau", "4"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--in"));
+
+    let out = cli().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cli().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+}

@@ -1,0 +1,310 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use confine_graph::NodeId;
+
+/// Errors produced while building a [`Complex2`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ComplexError {
+    /// A simplex listed the same vertex twice.
+    DegenerateSimplex {
+        /// The repeated vertex.
+        node: NodeId,
+    },
+    /// A simplex was added twice.
+    DuplicateSimplex,
+    /// A higher simplex references a face that is not part of the complex
+    /// (closure violation).
+    MissingFace {
+        /// One endpoint of the missing edge face.
+        a: NodeId,
+        /// Other endpoint of the missing edge face.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for ComplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ComplexError::DegenerateSimplex { node } => {
+                write!(f, "simplex repeats vertex {node:?}")
+            }
+            ComplexError::DuplicateSimplex => write!(f, "simplex already present"),
+            ComplexError::MissingFace { a, b } => {
+                write!(f, "edge face ({a:?}, {b:?}) missing from the complex")
+            }
+        }
+    }
+}
+
+impl Error for ComplexError {}
+
+/// A simplicial complex of dimension ≤ 2: vertices, edges and triangles.
+///
+/// Simplices are stored with canonical (sorted) vertex tuples and dense
+/// per-dimension indices, which the homology routines use as matrix
+/// coordinates. The closure property (every face of a simplex is present) is
+/// enforced at insertion time.
+///
+/// # Example
+///
+/// ```
+/// use confine_complex::Complex2;
+/// use confine_graph::NodeId;
+///
+/// let mut k = Complex2::new();
+/// for i in 0..3 {
+///     k.add_vertex(NodeId(i));
+/// }
+/// k.add_edge(NodeId(0), NodeId(1))?;
+/// k.add_edge(NodeId(1), NodeId(2))?;
+/// k.add_edge(NodeId(0), NodeId(2))?;
+/// k.add_triangle(NodeId(0), NodeId(1), NodeId(2))?;
+/// assert_eq!(k.euler_characteristic(), 1); // 3 - 3 + 1
+/// # Ok::<(), confine_complex::ComplexError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Complex2 {
+    vertices: Vec<NodeId>,
+    edges: Vec<[NodeId; 2]>,
+    triangles: Vec<[NodeId; 3]>,
+    vertex_index: HashMap<NodeId, usize>,
+    edge_index: HashMap<[NodeId; 2], usize>,
+    triangle_index: HashMap<[NodeId; 3], usize>,
+}
+
+impl Complex2 {
+    /// Creates an empty complex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex (0-simplex); adding an existing vertex is a no-op.
+    ///
+    /// Returns the dense vertex index.
+    pub fn add_vertex(&mut self, v: NodeId) -> usize {
+        *self.vertex_index.entry(v).or_insert_with(|| {
+            self.vertices.push(v);
+            self.vertices.len() - 1
+        })
+    }
+
+    /// Adds an edge (1-simplex). Both endpoints are added implicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComplexError::DegenerateSimplex`] if `a == b` and
+    /// [`ComplexError::DuplicateSimplex`] if the edge already exists.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<usize, ComplexError> {
+        if a == b {
+            return Err(ComplexError::DegenerateSimplex { node: a });
+        }
+        let key = if a < b { [a, b] } else { [b, a] };
+        if self.edge_index.contains_key(&key) {
+            return Err(ComplexError::DuplicateSimplex);
+        }
+        self.add_vertex(a);
+        self.add_vertex(b);
+        self.edges.push(key);
+        let idx = self.edges.len() - 1;
+        self.edge_index.insert(key, idx);
+        Ok(idx)
+    }
+
+    /// Adds a filled triangle (2-simplex). All three edge faces must already
+    /// be present (closure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComplexError::DegenerateSimplex`] for repeated vertices,
+    /// [`ComplexError::DuplicateSimplex`] for re-insertion, and
+    /// [`ComplexError::MissingFace`] when an edge face is absent.
+    pub fn add_triangle(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        c: NodeId,
+    ) -> Result<usize, ComplexError> {
+        let mut key = [a, b, c];
+        key.sort_unstable();
+        if key[0] == key[1] || key[1] == key[2] {
+            let node = if key[0] == key[1] { key[0] } else { key[1] };
+            return Err(ComplexError::DegenerateSimplex { node });
+        }
+        if self.triangle_index.contains_key(&key) {
+            return Err(ComplexError::DuplicateSimplex);
+        }
+        for (x, y) in [(key[0], key[1]), (key[0], key[2]), (key[1], key[2])] {
+            if !self.edge_index.contains_key(&[x, y]) {
+                return Err(ComplexError::MissingFace { a: x, b: y });
+            }
+        }
+        self.triangles.push(key);
+        let idx = self.triangles.len() - 1;
+        self.triangle_index.insert(key, idx);
+        Ok(idx)
+    }
+
+    /// The vertices in insertion order.
+    pub fn vertices(&self) -> &[NodeId] {
+        &self.vertices
+    }
+
+    /// The edges as canonical `[min, max]` pairs in insertion order.
+    pub fn edges(&self) -> &[[NodeId; 2]] {
+        &self.edges
+    }
+
+    /// The triangles as canonical sorted triples in insertion order.
+    pub fn triangles(&self) -> &[[NodeId; 3]] {
+        &self.triangles
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Dense index of vertex `v`, if present.
+    pub fn vertex_position(&self, v: NodeId) -> Option<usize> {
+        self.vertex_index.get(&v).copied()
+    }
+
+    /// Dense index of the edge `{a, b}`, if present.
+    pub fn edge_position(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let key = if a < b { [a, b] } else { [b, a] };
+        self.edge_index.get(&key).copied()
+    }
+
+    /// Dense index of the triangle `{a, b, c}`, if present.
+    pub fn triangle_position(&self, a: NodeId, b: NodeId, c: NodeId) -> Option<usize> {
+        let mut key = [a, b, c];
+        key.sort_unstable();
+        self.triangle_index.get(&key).copied()
+    }
+
+    /// Euler characteristic `|V| − |E| + |T|`.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.vertices.len() as i64 - self.edges.len() as i64 + self.triangles.len() as i64
+    }
+
+    /// Builds the subcomplex *induced* by a vertex subset: all simplices
+    /// whose vertices lie entirely in `keep`.
+    ///
+    /// Used both for fences (relative homology) and for node deletion in the
+    /// HGC scheduler.
+    pub fn induced_subcomplex<F>(&self, keep: F) -> Complex2
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut sub = Complex2::new();
+        for &v in &self.vertices {
+            if keep(v) {
+                sub.add_vertex(v);
+            }
+        }
+        for &[a, b] in &self.edges {
+            if keep(a) && keep(b) {
+                sub.add_edge(a, b).expect("edges of a valid complex are unique");
+            }
+        }
+        for &[a, b, c] in &self.triangles {
+            if keep(a) && keep(b) && keep(c) {
+                sub.add_triangle(a, b, c).expect("faces were kept with the triangle");
+            }
+        }
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn build_filled_triangle() {
+        let mut k = Complex2::new();
+        k.add_edge(n(0), n(1)).unwrap();
+        k.add_edge(n(1), n(2)).unwrap();
+        k.add_edge(n(2), n(0)).unwrap();
+        k.add_triangle(n(2), n(0), n(1)).unwrap();
+        assert_eq!(k.vertex_count(), 3);
+        assert_eq!(k.edge_count(), 3);
+        assert_eq!(k.triangle_count(), 1);
+        assert_eq!(k.euler_characteristic(), 1);
+        assert!(k.triangle_position(n(1), n(2), n(0)).is_some());
+    }
+
+    #[test]
+    fn vertices_added_implicitly_once() {
+        let mut k = Complex2::new();
+        k.add_edge(n(3), n(5)).unwrap();
+        k.add_edge(n(5), n(7)).unwrap();
+        assert_eq!(k.vertex_count(), 3);
+        assert_eq!(k.add_vertex(n(3)), 0, "re-adding returns the original index");
+    }
+
+    #[test]
+    fn rejects_degenerate_and_duplicate() {
+        let mut k = Complex2::new();
+        assert_eq!(
+            k.add_edge(n(1), n(1)),
+            Err(ComplexError::DegenerateSimplex { node: n(1) })
+        );
+        k.add_edge(n(0), n(1)).unwrap();
+        assert_eq!(k.add_edge(n(1), n(0)), Err(ComplexError::DuplicateSimplex));
+        k.add_edge(n(1), n(2)).unwrap();
+        k.add_edge(n(0), n(2)).unwrap();
+        k.add_triangle(n(0), n(1), n(2)).unwrap();
+        assert_eq!(
+            k.add_triangle(n(2), n(1), n(0)),
+            Err(ComplexError::DuplicateSimplex)
+        );
+        assert_eq!(
+            k.add_triangle(n(0), n(1), n(1)),
+            Err(ComplexError::DegenerateSimplex { node: n(1) })
+        );
+    }
+
+    #[test]
+    fn closure_enforced() {
+        let mut k = Complex2::new();
+        k.add_edge(n(0), n(1)).unwrap();
+        k.add_edge(n(1), n(2)).unwrap();
+        assert_eq!(
+            k.add_triangle(n(0), n(1), n(2)),
+            Err(ComplexError::MissingFace { a: n(0), b: n(2) })
+        );
+    }
+
+    #[test]
+    fn induced_subcomplex_keeps_closed_simplices() {
+        let mut k = Complex2::new();
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            k.add_edge(n(a), n(b)).unwrap();
+        }
+        k.add_triangle(n(0), n(1), n(2)).unwrap();
+        let sub = k.induced_subcomplex(|v| v != n(1));
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2, "edges through node 1 dropped");
+        assert_eq!(sub.triangle_count(), 0, "triangle lost a vertex");
+        let all = k.induced_subcomplex(|_| true);
+        assert_eq!(all.triangle_count(), 1);
+    }
+}

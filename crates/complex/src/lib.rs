@@ -1,0 +1,38 @@
+//! Simplicial 2-complexes and GF(2) homology.
+//!
+//! This crate is the substrate for the **HGC baseline** (Ghrist et al.'s
+//! homology-group coverage): it models a communication graph as a
+//! Vietoris–Rips 2-complex (vertices, edges and connectivity triangles) and
+//! computes absolute and fence-relative homology ranks over GF(2).
+//!
+//! * [`Complex2`] — a 2-dimensional simplicial complex with dense simplex
+//!   indices.
+//! * [`rips::rips_complex`] — the Rips 2-complex of a graph (all 3-cliques
+//!   become filled triangles).
+//! * [`homology`] — Betti numbers `b0, b1, b2` and their relative
+//!   counterparts `b_k(K, A)` for a fence subcomplex `A`.
+//!
+//! # Example
+//!
+//! ```
+//! use confine_complex::{homology, rips};
+//! use confine_graph::generators;
+//!
+//! // A filled triangle is contractible: b0 = 1, b1 = b2 = 0.
+//! let k = rips::rips_complex(&generators::complete_graph(3));
+//! assert_eq!(homology::betti_numbers(&k), [1, 0, 0]);
+//!
+//! // A hollow square has one 1-dimensional hole.
+//! let k = rips::rips_complex(&generators::cycle_graph(4));
+//! assert_eq!(homology::betti_numbers(&k), [1, 1, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+
+pub mod homology;
+pub mod rips;
+
+pub use complex::{Complex2, ComplexError};

@@ -1,0 +1,134 @@
+//! Vietoris–Rips 2-complexes of communication graphs.
+//!
+//! Ghrist et al. model a sensor network as the Rips complex of its
+//! connectivity graph: every communication link is an edge and every
+//! connectivity triangle (3-clique) is a filled 2-simplex. Under the sensing
+//! condition `Rs ≥ Rc/√3` a filled triangle is guaranteed hole-free, which is
+//! what makes the complex a proxy for coverage.
+
+use confine_graph::{Graph, GraphView, NodeId};
+
+use crate::complex::Complex2;
+
+/// Builds the Rips 2-complex of `graph`: all vertices, all edges and one
+/// filled triangle per 3-clique.
+///
+/// # Example
+///
+/// ```
+/// use confine_complex::rips::rips_complex;
+/// use confine_graph::generators;
+///
+/// let k = rips_complex(&generators::complete_graph(4));
+/// assert_eq!(k.triangle_count(), 4);
+/// ```
+pub fn rips_complex(graph: &Graph) -> Complex2 {
+    let mut k = Complex2::new();
+    for v in graph.nodes() {
+        k.add_vertex(v);
+    }
+    for (_, a, b) in graph.edges() {
+        k.add_edge(a, b).expect("graph edges are unique");
+    }
+    for (a, b, c) in triangles(graph) {
+        k.add_triangle(a, b, c).expect("clique faces are present");
+    }
+    k
+}
+
+/// Builds the Rips 2-complex of the *active* part of any [`GraphView`]
+/// (e.g. a [`confine_graph::Masked`] sleep schedule). Node identifiers are
+/// those of the underlying graph.
+pub fn rips_complex_view<V: GraphView>(view: &V) -> Complex2 {
+    let mut k = Complex2::new();
+    for v in view.active_nodes() {
+        k.add_vertex(v);
+    }
+    for a in view.active_nodes() {
+        for b in view.view_neighbors(a) {
+            if a < b {
+                k.add_edge(a, b).expect("each active pair visited once");
+            }
+        }
+    }
+    for (a, b, c) in triangles_view(view) {
+        k.add_triangle(a, b, c).expect("clique faces are present");
+    }
+    k
+}
+
+/// Enumerates the 3-cliques of `graph` as sorted `(a, b, c)` triples with
+/// `a < b < c`, each exactly once.
+pub fn triangles(graph: &Graph) -> Vec<(NodeId, NodeId, NodeId)> {
+    triangles_view(&graph)
+}
+
+/// [`triangles`] generalised to any [`GraphView`] (inactive nodes contribute
+/// no cliques).
+pub fn triangles_view<V: GraphView>(view: &V) -> Vec<(NodeId, NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for a in view.active_nodes() {
+        let na: Vec<NodeId> = view.view_neighbors(a).filter(|&x| x > a).collect();
+        for (i, &b) in na.iter().enumerate() {
+            for &c in &na[i + 1..] {
+                // na is increasing, so b < c; check the closing edge.
+                if view.view_neighbors(b).any(|x| x == c) {
+                    out.push((a, b, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::{generators, Masked};
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangles(&generators::complete_graph(5)).len(), 10);
+        assert_eq!(triangles(&generators::cycle_graph(5)).len(), 0);
+        assert_eq!(triangles(&generators::wheel_graph(5)).len(), 5);
+        // King grid 3×3: 4 squares × 4 triangles.
+        assert_eq!(triangles(&generators::king_grid_graph(3, 3)).len(), 16);
+    }
+
+    #[test]
+    fn triangles_sorted_and_unique() {
+        let g = generators::complete_graph(6);
+        let ts = triangles(&g);
+        assert_eq!(ts.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b, c) in ts {
+            assert!(a < b && b < c);
+            assert!(seen.insert((a, b, c)));
+        }
+    }
+
+    #[test]
+    fn masked_triangles() {
+        let g = generators::complete_graph(4);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(0));
+        assert_eq!(triangles_view(&m).len(), 1, "only the 1-2-3 clique remains");
+    }
+
+    #[test]
+    fn rips_of_cycle_has_no_triangles() {
+        let k = rips_complex(&generators::cycle_graph(6));
+        assert_eq!(k.vertex_count(), 6);
+        assert_eq!(k.edge_count(), 6);
+        assert_eq!(k.triangle_count(), 0);
+    }
+
+    #[test]
+    fn rips_preserves_counts() {
+        let g = generators::king_grid_graph(4, 4);
+        let k = rips_complex(&g);
+        assert_eq!(k.vertex_count(), g.node_count());
+        assert_eq!(k.edge_count(), g.edge_count());
+        assert_eq!(k.triangle_count(), 36);
+    }
+}

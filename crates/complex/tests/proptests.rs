@@ -1,0 +1,105 @@
+//! Property tests for GF(2) homology on random Rips complexes.
+
+use proptest::prelude::*;
+
+use confine_complex::{homology, rips};
+use confine_graph::Graph;
+
+fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bits.get(k).copied().unwrap_or(false) {
+                g.add_edge(i.into(), j.into()).expect("unique pair");
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.4), pairs)
+            .prop_map(move |bits| graph_from_bits(n, &bits))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Euler–Poincaré over GF(2): χ = V − E + T = b0 − b1 + b2, always.
+    #[test]
+    fn euler_poincare_identity(g in arb_graph(12)) {
+        let k = rips::rips_complex(&g);
+        let [b0, b1, b2] = homology::betti_numbers(&k);
+        prop_assert_eq!(
+            k.euler_characteristic(),
+            b0 as i64 - b1 as i64 + b2 as i64
+        );
+    }
+
+    /// b0 equals the number of connected components.
+    #[test]
+    fn b0_counts_components(g in arb_graph(12)) {
+        let k = rips::rips_complex(&g);
+        let comps = confine_graph::traverse::connected_components(&g).len();
+        prop_assert_eq!(homology::betti_numbers(&k)[0], comps);
+    }
+
+    /// b1 of the Rips complex equals the circuit rank minus the rank of the
+    /// triangle boundary map — and never exceeds the circuit rank.
+    #[test]
+    fn b1_vs_circuit_rank(g in arb_graph(11)) {
+        let k = rips::rips_complex(&g);
+        let nu = confine_cycles::space::circuit_rank(&g);
+        let r2 = homology::boundary_2(&k).rank();
+        let b1 = homology::betti_numbers(&k)[1];
+        prop_assert_eq!(b1, nu - r2);
+        prop_assert!(b1 <= nu);
+    }
+
+    /// Relative Betti numbers also satisfy the Euler identity on the
+    /// relative chain complex.
+    #[test]
+    fn relative_euler_identity(g in arb_graph(10), fence_bits in proptest::collection::vec(any::<bool>(), 10)) {
+        let k = rips::rips_complex(&g);
+        let fence = |v: confine_graph::NodeId| fence_bits.get(v.index()).copied().unwrap_or(false);
+        let [b0, b1, b2] = homology::relative_betti_numbers(&k, fence);
+        // Relative chain counts.
+        let nv = k.vertices().iter().filter(|&&v| !fence(v)).count() as i64;
+        let ne = k.edges().iter().filter(|&&[a, b]| !(fence(a) && fence(b))).count() as i64;
+        let nt = k
+            .triangles()
+            .iter()
+            .filter(|&&[a, b, c]| !(fence(a) && fence(b) && fence(c)))
+            .count() as i64;
+        prop_assert_eq!(nv - ne + nt, b0 as i64 - b1 as i64 + b2 as i64);
+    }
+
+    /// Deleting a node never decreases b1 by more than its triangle count
+    /// and the homology stays consistent (sanity: recompute from scratch on
+    /// the induced complex matches the view-based complex).
+    #[test]
+    fn view_complex_matches_induced(g in arb_graph(10), drop in 0usize..10) {
+        use confine_graph::{Masked, NodeId};
+        if g.node_count() == 0 { return Ok(()); }
+        let v = NodeId::from(drop % g.node_count());
+        let mut m = Masked::all_active(&g);
+        m.deactivate(v);
+        let from_view = rips::rips_complex_view(&m);
+        let keep: Vec<NodeId> = g.nodes().filter(|&w| w != v).collect();
+        let induced = g.induced_subgraph(&keep).expect("nodes exist");
+        let from_induced = rips::rips_complex(&induced.graph);
+        prop_assert_eq!(from_view.vertex_count(), from_induced.vertex_count());
+        prop_assert_eq!(from_view.edge_count(), from_induced.edge_count());
+        prop_assert_eq!(from_view.triangle_count(), from_induced.triangle_count());
+        prop_assert_eq!(
+            homology::betti_numbers(&from_view),
+            homology::betti_numbers(&from_induced)
+        );
+    }
+}

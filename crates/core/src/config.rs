@@ -1,0 +1,266 @@
+//! Confine-coverage granularity configuration (Sec. III of the paper).
+//!
+//! Confine coverage has two knobs: the **confine size** `τ` (points must be
+//! surrounded by a cycle of ≤ `τ` hops) and the **sensing ratio**
+//! `γ = Rc / Rs`. Proposition 1 links them to a guarantee:
+//!
+//! * `γ ≤ 2·sin(π/τ)` — a `τ`-confine coverage is a full **blanket**
+//!   coverage (no holes at all);
+//! * `2·sin(π/τ) < γ ≤ 2` — **partial** coverage with every hole's diameter
+//!   bounded by `(τ − 2)·Rc`;
+//! * `γ > 2` — no connectivity-based method can bound hole sizes.
+
+use std::error::Error;
+use std::fmt;
+
+/// The smallest meaningful confine size: cycles in simple graphs have at
+/// least 3 hops.
+pub const MIN_TAU: usize = 3;
+
+/// What a `τ`-confine coverage guarantees for a given sensing ratio
+/// (Proposition 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Guarantee {
+    /// Full blanket coverage: maximum hole diameter 0.
+    Blanket,
+    /// Partial coverage with holes bounded by the given diameter (in the
+    /// same unit as `Rc`).
+    Partial {
+        /// Upper bound on any hole's diameter: `(τ − 2) · Rc`.
+        max_hole_diameter: f64,
+    },
+    /// `γ > 2`: connectivity cannot bound hole sizes.
+    Unbounded,
+}
+
+/// Errors from [`ConfineConfig`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `τ` was below [`MIN_TAU`].
+    TauTooSmall {
+        /// The offending value.
+        tau: usize,
+    },
+    /// The sensing ratio was not a positive finite number.
+    InvalidRatio,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::TauTooSmall { tau } => {
+                write!(f, "confine size {tau} below minimum {MIN_TAU}")
+            }
+            ConfigError::InvalidRatio => write!(f, "sensing ratio must be positive and finite"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A validated confine-coverage configuration.
+///
+/// # Example
+///
+/// ```
+/// use confine_core::config::{ConfineConfig, Guarantee};
+///
+/// // γ = 1: hexagon cycles still blanket-cover (2·sin(π/6) = 1).
+/// let c = ConfineConfig::new(6, 1.0)?;
+/// assert_eq!(c.guarantee(1.0), Guarantee::Blanket);
+///
+/// // γ = √3 is the classic triangle threshold of Ghrist et al.
+/// let c = ConfineConfig::new(3, 3f64.sqrt())?;
+/// assert_eq!(c.guarantee(1.0), Guarantee::Blanket);
+/// # Ok::<(), confine_core::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfineConfig {
+    tau: usize,
+    gamma: f64,
+}
+
+impl ConfineConfig {
+    /// Creates a configuration with confine size `tau` and sensing ratio
+    /// `gamma = Rc / Rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TauTooSmall`] for `tau < 3` and
+    /// [`ConfigError::InvalidRatio`] for non-positive or non-finite ratios.
+    pub fn new(tau: usize, gamma: f64) -> Result<Self, ConfigError> {
+        if tau < MIN_TAU {
+            return Err(ConfigError::TauTooSmall { tau });
+        }
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(ConfigError::InvalidRatio);
+        }
+        Ok(ConfineConfig { tau, gamma })
+    }
+
+    /// The confine size `τ`.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The sensing ratio `γ = Rc / Rs`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The guarantee this configuration provides (Proposition 1), with hole
+    /// bounds scaled by the communication range `rc`.
+    pub fn guarantee(&self, rc: f64) -> Guarantee {
+        if self.gamma <= blanket_ratio_threshold(self.tau) + 1e-12 {
+            Guarantee::Blanket
+        } else if self.gamma <= 2.0 {
+            Guarantee::Partial { max_hole_diameter: (self.tau as f64 - 2.0) * rc }
+        } else {
+            Guarantee::Unbounded
+        }
+    }
+}
+
+/// The blanket threshold `2·sin(π/τ)` of Proposition 1: a `τ`-confine
+/// coverage blankets the area iff `γ` is at most this.
+///
+/// # Panics
+///
+/// Panics if `tau < 3`.
+pub fn blanket_ratio_threshold(tau: usize) -> f64 {
+    assert!(tau >= MIN_TAU, "confine size must be at least {MIN_TAU}");
+    2.0 * (std::f64::consts::PI / tau as f64).sin()
+}
+
+/// The largest confine size `τ` whose cycles still *blanket*-cover at
+/// sensing ratio `gamma`, or `None` when even triangles cannot
+/// (`γ > 2·sin(π/3) = √3`).
+///
+/// Larger `τ` means sparser coverage sets, so schedulers should use the
+/// largest τ that still meets the application's requirement — this is
+/// exactly the flexibility HGC lacks (it is pinned to `τ = 3`).
+pub fn max_blanket_tau(gamma: f64) -> Option<usize> {
+    if gamma <= 0.0 {
+        return Some(usize::MAX);
+    }
+    if gamma > blanket_ratio_threshold(MIN_TAU) + 1e-12 {
+        return None;
+    }
+    // 2 sin(π/τ) ≥ γ  ⇔  τ ≤ π / asin(γ/2)   (γ ≤ 2). Overshoot the float
+    // estimate by two, then walk down to the exact integer threshold.
+    let bound = std::f64::consts::PI / (gamma / 2.0).min(1.0).asin();
+    let mut tau = (bound.floor() as usize).max(MIN_TAU) + 2;
+    while tau > MIN_TAU && blanket_ratio_threshold(tau) + 1e-12 < gamma {
+        tau -= 1;
+    }
+    Some(tau)
+}
+
+/// The largest confine size meeting a coverage *requirement*: blanket
+/// coverage when `max_hole_diameter == 0`, otherwise holes bounded by
+/// `max_hole_diameter` (in units of `rc`).
+///
+/// Combines both branches of Proposition 1: a hole budget `D` admits
+/// `τ ≤ D/rc + 2` via the partial branch, and possibly a larger `τ` via the
+/// blanket branch when `γ` is small. Returns `None` when no `τ ≥ 3`
+/// qualifies.
+pub fn best_tau_for_requirement(gamma: f64, rc: f64, max_hole_diameter: f64) -> Option<usize> {
+    let blanket = max_blanket_tau(gamma);
+    if max_hole_diameter <= 0.0 {
+        return blanket;
+    }
+    if gamma > 2.0 {
+        return None;
+    }
+    let partial = ((max_hole_diameter / rc) + 2.0 + 1e-12).floor() as usize;
+    let partial = (partial >= MIN_TAU).then_some(partial);
+    match (blanket, partial) {
+        (Some(b), Some(p)) => Some(b.max(p)),
+        (b, p) => b.or(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper_examples() {
+        // τ = 3 → √3; τ = 4 → √2; τ = 6 → 1. (Sec. III-C)
+        assert!((blanket_ratio_threshold(3) - 3f64.sqrt()).abs() < 1e-12);
+        assert!((blanket_ratio_threshold(4) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((blanket_ratio_threshold(6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_blanket_tau_examples() {
+        assert_eq!(max_blanket_tau(3f64.sqrt()), Some(3));
+        assert_eq!(max_blanket_tau(2f64.sqrt()), Some(4));
+        assert_eq!(max_blanket_tau(1.0), Some(6));
+        assert_eq!(max_blanket_tau(0.5), Some(12));
+        assert_eq!(max_blanket_tau(1.9), None, "γ > √3: triangles cannot blanket");
+    }
+
+    #[test]
+    fn max_blanket_tau_is_tight() {
+        for tau in 3..40 {
+            let gamma = blanket_ratio_threshold(tau);
+            assert_eq!(max_blanket_tau(gamma), Some(tau), "threshold itself qualifies");
+            assert_eq!(
+                max_blanket_tau(gamma + 1e-9),
+                if tau == 3 { None } else { Some(tau - 1) },
+                "just above the threshold drops one size"
+            );
+        }
+    }
+
+    #[test]
+    fn guarantee_branches() {
+        let rc = 2.0;
+        assert_eq!(ConfineConfig::new(4, 1.0).unwrap().guarantee(rc), Guarantee::Blanket);
+        assert_eq!(
+            ConfineConfig::new(4, 1.8).unwrap().guarantee(rc),
+            Guarantee::Partial { max_hole_diameter: 4.0 }
+        );
+        assert_eq!(ConfineConfig::new(5, 2.5).unwrap().guarantee(rc), Guarantee::Unbounded);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(ConfineConfig::new(2, 1.0), Err(ConfigError::TauTooSmall { tau: 2 }));
+        assert_eq!(ConfineConfig::new(3, 0.0), Err(ConfigError::InvalidRatio));
+        assert_eq!(ConfineConfig::new(3, f64::NAN), Err(ConfigError::InvalidRatio));
+        let ok = ConfineConfig::new(5, 1.5).unwrap();
+        assert_eq!(ok.tau(), 5);
+        assert_eq!(ok.gamma(), 1.5);
+    }
+
+    #[test]
+    fn requirement_combines_both_branches() {
+        // γ = 1, rc = 1: blanket admits τ = 6. A hole budget of 1.2 admits
+        // τ = 3 via the partial branch — blanket wins.
+        assert_eq!(best_tau_for_requirement(1.0, 1.0, 1.2), Some(6));
+        // γ = 2: no blanket τ; budget 1.2 → τ = 3; budget 3.0 → τ = 5.
+        assert_eq!(best_tau_for_requirement(2.0, 1.0, 1.2), Some(3));
+        assert_eq!(best_tau_for_requirement(2.0, 1.0, 3.0), Some(5));
+        // γ = 2, budget 0.5 < 1: partial needs τ ≤ 2.5 → impossible.
+        assert_eq!(best_tau_for_requirement(2.0, 1.0, 0.5), None);
+        // Blanket requirement delegates to max_blanket_tau.
+        assert_eq!(best_tau_for_requirement(1.0, 1.0, 0.0), Some(6));
+        // γ > 2: nothing can be guaranteed.
+        assert_eq!(best_tau_for_requirement(2.3, 1.0, 5.0), None);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(
+            ConfigError::TauTooSmall { tau: 1 }.to_string(),
+            "confine size 1 below minimum 3"
+        );
+        assert_eq!(
+            ConfigError::InvalidRatio.to_string(),
+            "sensing ratio must be positive and finite"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Link pruning by edge-deletion VPT (the second operator of Definition 5).
+//!
+//! The paper's evaluation only exercises *vertex* deletion, but Definition 5
+//! explicitly allows deleting **edges** under the same local condition: the
+//! punctured neighbourhood of the edge stays connected with irreducible
+//! cycles ≤ `τ`. Pruning links does not put nodes to sleep, but it thins the
+//! communication structure a coverage set must maintain (fewer links to
+//! schedule, less idle listening, simpler routing state) while preserving
+//! the criterion exactly like vertex deletion does.
+//!
+//! [`prune_edges`] runs the edge operator to a fixpoint on a given awake
+//! topology; the typical pipeline is vertex scheduling first, then link
+//! pruning on the survivors.
+//!
+//! Soundness note: the edge operator preserves τ-partitionability of every
+//! cycle-space target that avoids the pruned edges (partition cycles
+//! through a pruned edge pair up and re-route through its punctured
+//! region). The boundary cycle must therefore keep its own links:
+//! edges between two protected nodes are never pruned.
+
+use confine_graph::{Graph, GraphError, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::vpt::is_edge_deletable;
+
+/// Result of a link-pruning run.
+#[derive(Debug, Clone)]
+pub struct PrunedLinks {
+    /// The thinned graph (same node ids; edge ids re-assigned).
+    pub graph: Graph,
+    /// The removed links as canonical node pairs, in removal order.
+    pub removed: Vec<(NodeId, NodeId)>,
+}
+
+/// Prunes links of `graph` to an edge-deletion fixpoint at confine size
+/// `tau`.
+///
+/// Edges with a `protected` endpoint are only removed when **both**
+/// endpoints keep at least one other link (boundary nodes must stay wired).
+/// Candidates are visited in random order, one removal at a time (the edge
+/// operator's punctured regions overlap too easily for safe batching).
+///
+/// # Errors
+///
+/// Returns an error if `protected.len() != graph.node_count()`.
+///
+/// # Panics
+///
+/// Panics if `tau < 3`.
+pub fn prune_edges<R: Rng>(
+    graph: &Graph,
+    protected: &[bool],
+    tau: usize,
+    rng: &mut R,
+) -> Result<PrunedLinks, GraphError> {
+    assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
+    if protected.len() != graph.node_count() {
+        // Reuse the graph error vocabulary for the arity mismatch.
+        return Err(GraphError::NodeOutOfBounds {
+            node: NodeId::from(protected.len()),
+            node_count: graph.node_count(),
+        });
+    }
+
+    let mut current = graph.clone();
+    let mut removed = Vec::new();
+    loop {
+        let mut candidates: Vec<(NodeId, NodeId)> =
+            current.edges().map(|(_, a, b)| (a, b)).collect();
+        candidates.shuffle(rng);
+        let mut progressed = false;
+        for (a, b) in candidates {
+            // Boundary links carry the criterion's target cycle: keep them.
+            if protected[a.index()] && protected[b.index()] {
+                continue;
+            }
+            if current.degree(a) <= 1 || current.degree(b) <= 1 {
+                continue; // never strand a node
+            }
+            if is_edge_deletable(&current, a, b, tau) {
+                let e = current.edge_between(a, b).expect("candidate edge exists");
+                current = current.without_edge(e);
+                removed.push((a, b));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Ok(PrunedLinks { graph: current, removed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::{generators, traverse};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rim_flags(side: usize) -> Vec<bool> {
+        (0..side * side)
+            .map(|i| {
+                let (x, y) = (i % side, i / side);
+                x == 0 || y == 0 || x == side - 1 || y == side - 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn king_grid_sheds_redundant_links() {
+        let g = generators::king_grid_graph(5, 5);
+        let protected = rim_flags(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pruned = prune_edges(&g, &protected, 4, &mut rng).unwrap();
+        assert!(
+            !pruned.removed.is_empty(),
+            "doubly-triangulated squares have removable diagonals"
+        );
+        assert!(pruned.graph.edge_count() < g.edge_count());
+        assert!(traverse::is_connected(&pruned.graph));
+        // No rim link was touched.
+        for (a, b) in &pruned.removed {
+            assert!(
+                !(protected[a.index()] && protected[b.index()]),
+                "boundary link {a:?}-{b:?} pruned"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_preserves_partitionability_of_the_rim() {
+        use confine_cycles::partition::is_tau_partitionable;
+        use confine_cycles::Cycle;
+        let side = 5;
+        let g = generators::king_grid_graph(side, side);
+        let protected = rim_flags(side);
+        let mut rng = StdRng::seed_from_u64(9);
+        let tau = 4;
+        let pruned = prune_edges(&g, &protected, tau, &mut rng).unwrap();
+
+        // Rim cycle in the pruned graph (rim links are protected).
+        let mut seq = Vec::new();
+        for x in 0..side {
+            seq.push(NodeId::from(x));
+        }
+        for y in 1..side {
+            seq.push(NodeId::from(y * side + side - 1));
+        }
+        for x in (0..side - 1).rev() {
+            seq.push(NodeId::from((side - 1) * side + x));
+        }
+        for y in (1..side - 1).rev() {
+            seq.push(NodeId::from(y * side));
+        }
+        let rim = Cycle::from_vertex_cycle(&pruned.graph, &seq)
+            .expect("rim links survive pruning");
+        assert!(is_tau_partitionable(&pruned.graph, rim.edge_vec(), tau));
+    }
+
+    #[test]
+    fn bridges_and_stranding_are_refused() {
+        // A triangle with a pendant node: the pendant link is a bridge and
+        // must survive; triangle edges may not strand a degree-1 endpoint.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pruned = prune_edges(&g, &[false; 4], 3, &mut rng).unwrap();
+        assert!(pruned.graph.has_edge(NodeId(2), NodeId(3)), "bridge kept");
+        assert!(traverse::is_connected(&pruned.graph));
+        assert!(pruned.graph.nodes().all(|v| pruned.graph.degree(v) >= 1));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let g = generators::cycle_graph(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(prune_edges(&g, &[false; 2], 3, &mut rng).is_err());
+    }
+
+    use confine_graph::Graph;
+}

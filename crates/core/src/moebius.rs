@@ -1,0 +1,155 @@
+//! The Möbius-band network of Figure 1 — the paper's separating example
+//! between the cycle-partition criterion and the homology criterion.
+//!
+//! The network is a triangulated Möbius band: an outer boundary cycle of 8
+//! nodes `a..h` and an inner circle of 4 nodes `1..4`; every outer node
+//! connects to the two inner nodes "beneath" it, producing 16 triangles.
+//! Placed in the plane with sensing ratio `γ ≤ √3` it is fully covered —
+//! but:
+//!
+//! * its first homology group is **non-trivial** (same type as a circle: the
+//!   central 4-cycle cannot be contracted), so the homology criterion (HGC)
+//!   wrongly reports a coverage hole;
+//! * the outer boundary **is** the GF(2) sum of all 16 triangles, so it is
+//!   3-partitionable and the cycle-partition criterion correctly certifies
+//!   coverage.
+
+use confine_graph::{Graph, NodeId};
+
+/// The Möbius-band network of Figure 1.
+#[derive(Debug, Clone)]
+pub struct MoebiusBand {
+    /// The connectivity graph: nodes `0..8` are the outer boundary
+    /// (`a..h`), nodes `8..12` the inner circle (`1..4`).
+    pub graph: Graph,
+    /// The outer boundary cycle `a, b, …, h` as node ids.
+    pub outer_cycle: Vec<NodeId>,
+    /// The inner circle `1, 2, 3, 4` as node ids.
+    pub inner_cycle: Vec<NodeId>,
+}
+
+/// Number of outer (boundary) nodes.
+pub const OUTER: usize = 8;
+/// Number of inner nodes.
+pub const INNER: usize = 4;
+
+/// Builds the Figure 1 network.
+///
+/// # Example
+///
+/// ```
+/// use confine_core::moebius::moebius_band;
+///
+/// let band = moebius_band();
+/// assert_eq!(band.graph.node_count(), 12);
+/// assert_eq!(band.graph.edge_count(), 28);
+/// ```
+pub fn moebius_band() -> MoebiusBand {
+    let mut graph = Graph::with_node_capacity(OUTER + INNER);
+    graph.add_nodes(OUTER + INNER);
+    let outer = |i: usize| NodeId::from(i % OUTER);
+    let inner = |i: usize| NodeId::from(OUTER + (i % INNER));
+
+    // Outer boundary cycle a..h.
+    for i in 0..OUTER {
+        graph.add_edge(outer(i), outer(i + 1)).expect("outer rim");
+    }
+    // Inner circle 1..4.
+    for i in 0..INNER {
+        graph.add_edge(inner(i), inner(i + 1)).expect("inner circle");
+    }
+    // Spokes: outer node j touches inner j mod 4 and inner (j−1) mod 4, so
+    // consecutive outer nodes share an inner node and every strip square is
+    // triangulated. The outer cycle (8 nodes) winds twice around the inner
+    // circle (4 nodes) — exactly the Möbius twist.
+    for j in 0..OUTER {
+        graph.add_edge(outer(j), inner(j)).expect("first spoke");
+        graph.add_edge(outer(j), inner(j + INNER - 1)).expect("second spoke");
+    }
+
+    MoebiusBand {
+        graph,
+        outer_cycle: (0..OUTER).map(NodeId::from).collect(),
+        inner_cycle: (0..INNER).map(|i| NodeId::from(OUTER + i)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_cycles::partition::PartitionTester;
+    use confine_cycles::Cycle;
+
+    #[test]
+    fn counts_give_euler_characteristic_zero() {
+        let band = moebius_band();
+        let v = band.graph.node_count() as i64;
+        let e = band.graph.edge_count() as i64;
+        // 16 triangles (counted in the integration tests via the Rips
+        // complex); χ = V − E + T = 12 − 28 + 16 = 0, as a Möbius band.
+        assert_eq!(v, 12);
+        assert_eq!(e, 28);
+        assert_eq!(v - e + 16, 0);
+    }
+
+    #[test]
+    fn every_outer_node_has_degree_four() {
+        let band = moebius_band();
+        for &v in &band.outer_cycle {
+            assert_eq!(band.graph.degree(v), 4, "2 rim + 2 spokes at {v:?}");
+        }
+        for &v in &band.inner_cycle {
+            assert_eq!(band.graph.degree(v), 6, "2 circle + 4 spokes at {v:?}");
+        }
+    }
+
+    #[test]
+    fn outer_boundary_is_3_partitionable() {
+        let band = moebius_band();
+        let outer = Cycle::from_vertex_cycle(&band.graph, &band.outer_cycle).unwrap();
+        let tester = PartitionTester::new(&band.graph);
+        assert_eq!(
+            tester.min_partition_tau(outer.edge_vec()),
+            Some(3),
+            "the outer boundary is a sum of triangles"
+        );
+        let parts = tester.partition(outer.edge_vec()).unwrap();
+        assert!(parts.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn inner_circle_is_irreducible() {
+        // The central circle is NOT a sum of triangles (it generates the
+        // band's homology): its minimal partition is itself.
+        let band = moebius_band();
+        let inner = Cycle::from_vertex_cycle(&band.graph, &band.inner_cycle).unwrap();
+        let tester = PartitionTester::new(&band.graph);
+        assert_eq!(tester.min_partition_tau(inner.edge_vec()), Some(4));
+    }
+
+    #[test]
+    fn outer_is_sum_of_all_triangles() {
+        // Explicitly: summing the boundaries of all 16 strip triangles
+        // yields exactly the outer cycle (every interior edge is shared by
+        // two triangles and cancels).
+        let band = moebius_band();
+        let g = &band.graph;
+        let mut sum = Cycle::zero(g);
+        let mut count = 0;
+        // Enumerate 3-cliques directly.
+        for a in g.nodes() {
+            for b in g.neighbors(a).filter(|&b| b > a) {
+                for c in g.neighbors(b).filter(|&c| c > b) {
+                    if g.has_edge(a, c) {
+                        let t = Cycle::from_vertex_cycle(g, &[a, b, c]).unwrap();
+                        sum = sum.sum(&t);
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 16);
+        let outer = Cycle::from_vertex_cycle(g, &band.outer_cycle).unwrap();
+        assert_eq!(sum, outer);
+    }
+}

@@ -1,0 +1,377 @@
+//! The DCC coverage scheduler (Sec. V-B of the paper) — centralized
+//! reference implementation.
+//!
+//! Starting from the full connectivity graph, the scheduler performs a
+//! *maximal vertex deletion* by the void preserving transformation: in each
+//! round, every active internal node tests local deletability
+//! ([`crate::vpt::is_vertex_deletable`]); an `m`-hop maximal independent set
+//! of the candidates (random priorities) is deleted simultaneously; rounds
+//! repeat until no node can be deleted. Boundary nodes never participate.
+//!
+//! Two deletion disciplines are provided:
+//!
+//! * [`DeletionOrder::MisParallel`] — the paper's round structure (safe
+//!   parallel deletions at independence radius `m = ⌈τ/2⌉ + 1`);
+//! * [`DeletionOrder::Sequential`] — one random candidate at a time; slower
+//!   but a useful ablation of the ordering effect on the final set size.
+//!
+//! The result is non-redundant with respect to the transformation: no
+//! remaining internal node passes the deletability test (Theorem 6 gives
+//! conditions under which this implies set-theoretic non-redundancy).
+
+use confine_graph::{mis, Graph, GraphView, Masked, NodeId};
+use rand::Rng;
+
+use crate::vpt::{independence_radius, is_vertex_deletable};
+
+/// How deletions are ordered within the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeletionOrder {
+    /// The paper's discipline: per round, delete an m-hop maximal
+    /// independent set of candidates simultaneously.
+    #[default]
+    MisParallel,
+    /// Delete one uniformly random candidate at a time.
+    Sequential,
+}
+
+/// Outcome of a scheduling run.
+#[derive(Debug, Clone)]
+pub struct CoverageSet {
+    /// Nodes kept awake (boundary nodes plus the surviving internal nodes),
+    /// sorted by id.
+    pub active: Vec<NodeId>,
+    /// Nodes switched off, in deletion order.
+    pub deleted: Vec<NodeId>,
+    /// Number of deletion rounds executed (parallel discipline) or number of
+    /// single deletions (sequential discipline).
+    pub rounds: usize,
+}
+
+impl CoverageSet {
+    /// Number of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Active *internal* nodes given the boundary flags the schedule ran
+    /// with.
+    pub fn active_internal(&self, boundary: &[bool]) -> Vec<NodeId> {
+        self.active.iter().copied().filter(|v| !boundary[v.index()]).collect()
+    }
+}
+
+/// The DCC scheduler.
+///
+/// # Example
+///
+/// ```
+/// use confine_core::schedule::DccScheduler;
+/// use confine_graph::generators;
+/// use rand::SeedableRng;
+///
+/// // Wheel: rim is the boundary, the hub is internal. At τ = 6 the hub is
+/// // redundant (the rim partitions itself); at τ = 5 it must stay.
+/// let g = generators::wheel_graph(6);
+/// let mut boundary = vec![false; 7];
+/// for i in 1..=6 { boundary[i] = true; }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///
+/// let set = DccScheduler::new(6).schedule(&g, &boundary, &mut rng);
+/// assert_eq!(set.active_count(), 6, "hub deleted");
+///
+/// let set = DccScheduler::new(5).schedule(&g, &boundary, &mut rng);
+/// assert_eq!(set.active_count(), 7, "hub kept");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DccScheduler {
+    tau: usize,
+    order: DeletionOrder,
+}
+
+impl DccScheduler {
+    /// Creates a scheduler for confine size `tau` with the paper's parallel
+    /// deletion discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau < 3`.
+    pub fn new(tau: usize) -> Self {
+        assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
+        DccScheduler { tau, order: DeletionOrder::MisParallel }
+    }
+
+    /// Selects the deletion discipline.
+    pub fn with_order(mut self, order: DeletionOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// The confine size `τ`.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Runs the schedule on `graph`. `boundary[i]` marks protected nodes
+    /// (they stay awake and are never tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary.len() != graph.node_count()`.
+    pub fn schedule<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        rng: &mut R,
+    ) -> CoverageSet {
+        self.schedule_biased(graph, boundary, &[], |_| 0.0, rng)
+    }
+
+    /// Runs the schedule with two extensions used by the lifetime-rotation
+    /// machinery:
+    ///
+    /// * `excluded` nodes are treated as already gone (dead batteries);
+    ///   they appear in neither `active` nor `deleted`;
+    /// * `bias(v)` is added to each candidate's random deletion priority —
+    ///   *smaller wins*, so low-bias nodes are sent to sleep preferentially
+    ///   (e.g. pass residual energy to spare depleted nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary.len() != graph.node_count()`.
+    pub fn schedule_biased<R: Rng, F>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        excluded: &[NodeId],
+        bias: F,
+        rng: &mut R,
+    ) -> CoverageSet
+    where
+        F: Fn(NodeId) -> f64,
+    {
+        assert_eq!(boundary.len(), graph.node_count(), "boundary flags must cover all nodes");
+        let mut masked = Masked::all_active(graph);
+        for &v in excluded {
+            masked.deactivate(v);
+        }
+        let mut deleted = Vec::new();
+        let mut rounds = 0;
+        let k = crate::vpt::neighborhood_radius(self.tau);
+        let m = independence_radius(self.tau);
+
+        // Deletability of `v` depends only on its punctured k-hop ball, so a
+        // deletion can only invalidate the cached verdicts of nodes within k
+        // hops of the deleted node (distances never shrink under deletion).
+        let mut cache: Vec<Option<bool>> = vec![None; graph.node_count()];
+        // Deactivates `v` and invalidates the cache of its k-hop ball
+        // (computed *before* the deactivation, a superset of the affected
+        // nodes).
+        let delete = |masked: &mut Masked<'_>,
+                          cache: &mut Vec<Option<bool>>,
+                          deleted: &mut Vec<NodeId>,
+                          v: NodeId| {
+            for w in confine_graph::traverse::k_hop_neighbors(masked, v, k) {
+                cache[w.index()] = None;
+            }
+            masked.deactivate(v);
+            deleted.push(v);
+        };
+
+        loop {
+            let candidates: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .filter(|&v| {
+                    *cache[v.index()]
+                        .get_or_insert_with(|| is_vertex_deletable(&masked, v, self.tau))
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            rounds += 1;
+            match self.order {
+                DeletionOrder::MisParallel => {
+                    let mut priorities = vec![0.0f64; graph.node_count()];
+                    for &v in &candidates {
+                        priorities[v.index()] = bias(v) + rng.gen::<f64>() * 1e-6;
+                    }
+                    let winners = mis::m_hop_mis(&masked, &candidates, &priorities, m);
+                    debug_assert!(!winners.is_empty());
+                    for v in winners {
+                        delete(&mut masked, &mut cache, &mut deleted, v);
+                    }
+                }
+                DeletionOrder::Sequential => {
+                    let v = candidates
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            (bias(a) + rng.gen::<f64>() * 1e-6)
+                                .total_cmp(&(bias(b) + rng.gen::<f64>() * 1e-6))
+                        })
+                        .expect("candidates is non-empty");
+                    delete(&mut masked, &mut cache, &mut deleted, v);
+                }
+            }
+        }
+
+        CoverageSet { active: masked.active_nodes().collect(), deleted, rounds }
+    }
+}
+
+/// Checks the scheduler's fixpoint property: no active internal node passes
+/// the deletability test any more.
+pub fn is_vpt_fixpoint(graph: &Graph, active: &[NodeId], boundary: &[bool], tau: usize) -> bool {
+    let masked = Masked::from_active(graph, active);
+    active
+        .iter()
+        .all(|&v| boundary[v.index()] || !is_vertex_deletable(&masked, v, tau))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::{generators, traverse};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rim_boundary(n: usize, total: usize) -> Vec<bool> {
+        // Nodes 1..=n are boundary (wheel layout).
+        let mut b = vec![false; total];
+        for slot in b.iter_mut().take(n + 1).skip(1) {
+            *slot = true;
+        }
+        b
+    }
+
+    #[test]
+    fn wheel_hub_deleted_only_when_tau_allows() {
+        let g = generators::wheel_graph(8);
+        let boundary = rim_boundary(8, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for tau in 3..8 {
+            let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+            assert_eq!(set.active_count(), 9, "hub needed for tau {tau}");
+            assert!(set.deleted.is_empty());
+        }
+        let set = DccScheduler::new(8).schedule(&g, &boundary, &mut rng);
+        assert_eq!(set.deleted, vec![NodeId(0)]);
+        assert_eq!(set.rounds, 1);
+    }
+
+    #[test]
+    fn boundary_nodes_never_deleted() {
+        let g = generators::king_grid_graph(6, 6);
+        // Outer ring of the grid as boundary.
+        let boundary: Vec<bool> = (0..36)
+            .map(|i| {
+                let (x, y) = (i % 6, i / 6);
+                x == 0 || y == 0 || x == 5 || y == 5
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+        for (i, &is_b) in boundary.iter().enumerate() {
+            if is_b {
+                assert!(set.active.contains(&NodeId::from(i)), "boundary node {i} must stay");
+            }
+        }
+        assert!(!set.deleted.is_empty(), "some interior nodes are redundant at tau 4");
+    }
+
+    #[test]
+    fn result_is_fixpoint_and_connected() {
+        let g = generators::king_grid_graph(7, 7);
+        let boundary: Vec<bool> = (0..49)
+            .map(|i| {
+                let (x, y) = (i % 7, i / 7);
+                x == 0 || y == 0 || x == 6 || y == 6
+            })
+            .collect();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+            assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 4), "seed {seed}");
+            let masked = Masked::from_active(&g, &set.active);
+            assert!(traverse::is_connected(&masked), "coverage set stays connected");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_reach_fixpoints() {
+        let g = generators::king_grid_graph(6, 6);
+        let boundary: Vec<bool> = (0..36)
+            .map(|i| {
+                let (x, y) = (i % 6, i / 6);
+                x == 0 || y == 0 || x == 5 || y == 5
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let par = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+        let seq = DccScheduler::new(4)
+            .with_order(DeletionOrder::Sequential)
+            .schedule(&g, &boundary, &mut rng);
+        for set in [&par, &seq] {
+            assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 4));
+        }
+        // Sequential performs exactly one deletion per round.
+        assert_eq!(seq.rounds, seq.deleted.len());
+        // Both disciplines agree on the node count here (all interior nodes
+        // of a king grid are eventually redundant at τ = 4 except a spanning
+        // pattern; at minimum the counts are close).
+        assert_eq!(par.active_count() + par.deleted.len(), 36);
+        assert_eq!(seq.active_count() + seq.deleted.len(), 36);
+    }
+
+    #[test]
+    fn larger_tau_never_needs_more_nodes() {
+        let g = generators::king_grid_graph(8, 8);
+        let boundary: Vec<bool> = (0..64)
+            .map(|i| {
+                let (x, y) = (i % 8, i / 8);
+                x == 0 || y == 0 || x == 7 || y == 7
+            })
+            .collect();
+        let mut sizes = Vec::new();
+        for tau in [3, 4, 6, 8] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+            sizes.push(set.active_count());
+        }
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "sizes must be non-increasing in tau: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 3")]
+    fn rejects_tiny_tau() {
+        let _ = DccScheduler::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary flags")]
+    fn rejects_mismatched_flags() {
+        let g = generators::path_graph(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = DccScheduler::new(3).schedule(&g, &[true], &mut rng);
+    }
+
+    #[test]
+    fn path_interior_is_protected_by_connectivity() {
+        // Interior path nodes are cut vertices: their punctured balls are
+        // disconnected, so the conservative VPT keeps the whole relay chain
+        // alive — deleting any of them would disconnect the network.
+        let g = generators::path_graph(7);
+        let mut boundary = vec![false; 7];
+        boundary[0] = true;
+        boundary[6] = true;
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = DccScheduler::new(3).schedule(&g, &boundary, &mut rng);
+        assert_eq!(set.active_count(), 7, "no interior relay may sleep");
+        assert!(set.deleted.is_empty());
+        assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 3));
+    }
+}

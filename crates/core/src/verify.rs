@@ -1,0 +1,233 @@
+//! Criterion verification and boundary pre-processing.
+//!
+//! The scheduler never needs a boundary cycle, but the *claims* of
+//! Propositions 2/3 do: this module turns a certified outer boundary walk
+//! into a cycle-space target and checks `τ`-partitionability on the active
+//! subgraph. It also implements the multiply-connected pre-processing of
+//! Sec. V-B: coning inner boundaries with virtual apex nodes.
+
+use confine_cycles::gf2::BitVec;
+use confine_cycles::partition::PartitionTester;
+use confine_deploy::outer::{extract_outer_walk, OuterWalk};
+use confine_deploy::Scenario;
+use confine_graph::{Graph, GraphError, Masked, NodeId};
+
+/// Result of a criterion verification on a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriterionOutcome {
+    /// The boundary is `τ`-partitionable in the active subgraph: coverage
+    /// certified.
+    Satisfied,
+    /// The boundary is not `τ`-partitionable in the active subgraph.
+    Violated,
+    /// No certified outer boundary walk could be extracted (the criterion is
+    /// neither proven nor refuted).
+    NoCertifiedBoundary,
+}
+
+/// Verifies the cycle-partition criterion (Proposition 2) for `active` nodes
+/// of `scenario` at confine size `tau`.
+///
+/// Extracts a certified outer boundary walk (every boundary node must be in
+/// `active` — the scheduler guarantees this), folds it into a cycle-space
+/// target of the active induced subgraph, and tests `τ`-partitionability
+/// exactly via a minimum cycle basis.
+pub fn verify_criterion(scenario: &Scenario, active: &[NodeId], tau: usize) -> CriterionOutcome {
+    let Some(walk) = extract_outer_walk(scenario) else {
+        return CriterionOutcome::NoCertifiedBoundary;
+    };
+    match boundary_partition_tau(scenario, &walk, active) {
+        Some(min_tau) if min_tau <= tau => CriterionOutcome::Satisfied,
+        Some(_) => CriterionOutcome::Violated,
+        None => CriterionOutcome::Violated,
+    }
+}
+
+/// The smallest `τ` for which the extracted boundary is `τ`-partitionable in
+/// the subgraph induced by `active`, or `None` when the boundary is not even
+/// in the active subgraph's cycle space (e.g. an active boundary edge was
+/// lost).
+pub fn boundary_partition_tau(
+    scenario: &Scenario,
+    walk: &OuterWalk,
+    active: &[NodeId],
+) -> Option<usize> {
+    let masked = Masked::from_active(&scenario.graph, active);
+    let induced = masked.to_induced();
+    let mut target = BitVec::zeros(induced.graph.edge_count());
+    for (a, b) in walk.odd_edges() {
+        let ia = induced.from_parent(a)?;
+        let ib = induced.from_parent(b)?;
+        let e = induced.graph.edge_between(ia, ib)?;
+        target.flip(e.index());
+    }
+    let tester = PartitionTester::new(&induced.graph);
+    tester.min_partition_tau(&target)
+}
+
+/// A graph whose inner boundaries have been coned off (Sec. V-B): one
+/// virtual apex node per inner boundary, adjacent to all of its nodes.
+#[derive(Debug, Clone)]
+pub struct ConedGraph {
+    /// The extended graph: original nodes keep their ids; apexes follow.
+    pub graph: Graph,
+    /// The apex node of each coned boundary, in input order.
+    pub apexes: Vec<NodeId>,
+    /// Protection flags for the extended graph: original boundary flags,
+    /// plus `true` for every coned-boundary node and apex (repaired
+    /// boundaries must not be deleted).
+    pub protected: Vec<bool>,
+}
+
+/// Cones each listed inner boundary with a fresh apex node.
+///
+/// For a multiply-connected target area with `n` boundaries, the paper cones
+/// `n − 1` of them (all inner ones) so the network can be treated as having
+/// a single outer boundary; nodes of repaired boundaries and the apexes are
+/// protected from deletion.
+///
+/// # Errors
+///
+/// Returns an error if a boundary lists an unknown node.
+pub fn cone_inner_boundaries(
+    graph: &Graph,
+    base_protected: &[bool],
+    inner_boundaries: &[Vec<NodeId>],
+) -> Result<ConedGraph, GraphError> {
+    let mut extended = graph.clone();
+    let mut protected: Vec<bool> = base_protected.to_vec();
+    protected.resize(graph.node_count(), false);
+    let mut apexes = Vec::with_capacity(inner_boundaries.len());
+    for ring in inner_boundaries {
+        let apex = extended.add_node();
+        protected.push(true);
+        for &v in ring {
+            extended.check_node(v)?;
+            // Ring nodes may repeat across listings; tolerate existing edges.
+            if !extended.has_edge(apex, v) {
+                extended.add_edge(apex, v).expect("apex edges are fresh");
+            }
+            protected[v.index()] = true;
+        }
+        apexes.push(apex);
+    }
+    Ok(ConedGraph { graph: extended, apexes, protected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::DccScheduler;
+    use confine_deploy::{Point, Rect};
+    use confine_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A wheel drawn in the plane: rim = boundary ring, hub internal.
+    fn wheel_scenario(rim: usize) -> Scenario {
+        let graph = generators::wheel_graph(rim);
+        let mut positions = vec![Point::new(0.0, 0.0)];
+        for i in 0..rim {
+            let t = std::f64::consts::TAU * i as f64 / rim as f64;
+            positions.push(Point::new(t.cos(), t.sin()));
+        }
+        let mut boundary = vec![false; rim + 1];
+        for flag in boundary.iter_mut().skip(1) {
+            *flag = true;
+        }
+        Scenario {
+            graph,
+            positions,
+            rc: 1.2,
+            boundary,
+            region: Rect::new(-1.0, -1.0, 1.0, 1.0),
+            target: Rect::new(-0.4, -0.4, 0.4, 0.4),
+        }
+    }
+
+    #[test]
+    fn wheel_criterion_with_and_without_hub() {
+        let s = wheel_scenario(8);
+        let all: Vec<NodeId> = (0..9).map(NodeId::from).collect();
+        // With the hub: rim partitions into triangles.
+        assert_eq!(verify_criterion(&s, &all, 3), CriterionOutcome::Satisfied);
+        // Without the hub: the rim is only partitionable as itself (τ = 8).
+        let rim_only: Vec<NodeId> = (1..9).map(NodeId::from).collect();
+        assert_eq!(verify_criterion(&s, &rim_only, 7), CriterionOutcome::Violated);
+        assert_eq!(verify_criterion(&s, &rim_only, 8), CriterionOutcome::Satisfied);
+    }
+
+    #[test]
+    fn scheduler_output_satisfies_criterion() {
+        // Theorem 5, end to end on the wheel: schedule at τ = 8 deletes the
+        // hub and the criterion still holds at τ = 8.
+        let s = wheel_scenario(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let set = DccScheduler::new(8).schedule(&s.graph, &s.boundary, &mut rng);
+        assert_eq!(set.active_count(), 8);
+        assert_eq!(verify_criterion(&s, &set.active, 8), CriterionOutcome::Satisfied);
+    }
+
+    #[test]
+    fn boundary_partition_tau_matches_wheel_structure() {
+        let s = wheel_scenario(6);
+        let walk = extract_outer_walk(&s).unwrap();
+        let all: Vec<NodeId> = (0..7).map(NodeId::from).collect();
+        assert_eq!(boundary_partition_tau(&s, &walk, &all), Some(3));
+        let rim: Vec<NodeId> = (1..7).map(NodeId::from).collect();
+        assert_eq!(boundary_partition_tau(&s, &walk, &rim), Some(6));
+    }
+
+    #[test]
+    fn missing_boundary_walk_is_reported() {
+        let mut s = wheel_scenario(8);
+        s.boundary = vec![false; 9];
+        assert_eq!(
+            verify_criterion(&s, &[NodeId(0)], 3),
+            CriterionOutcome::NoCertifiedBoundary
+        );
+    }
+
+    #[test]
+    fn coning_adds_protected_apex() {
+        let g = generators::cycle_graph(6);
+        let ring: Vec<NodeId> = (0..6).map(NodeId::from).collect();
+        let coned = cone_inner_boundaries(&g, &[false; 6], std::slice::from_ref(&ring)).unwrap();
+        assert_eq!(coned.graph.node_count(), 7);
+        assert_eq!(coned.apexes, vec![NodeId(6)]);
+        assert_eq!(coned.graph.degree(NodeId(6)), 6);
+        assert!(coned.protected.iter().all(|&p| p), "ring + apex all protected");
+        // The coned ring is now 3-partitionable (fan of apex triangles).
+        let c = confine_cycles::Cycle::from_vertex_cycle(&coned.graph, &ring).unwrap();
+        assert!(confine_cycles::partition::is_tau_partitionable(
+            &coned.graph,
+            c.edge_vec(),
+            3
+        ));
+    }
+
+    #[test]
+    fn coning_rejects_unknown_nodes() {
+        let g = generators::cycle_graph(4);
+        let err = cone_inner_boundaries(&g, &[false; 4], &[vec![NodeId(9)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn coning_multiple_boundaries() {
+        // Two disjoint rings coned separately.
+        let mut g = Graph::new();
+        g.add_nodes(8);
+        for i in 0..4 {
+            g.add_edge(NodeId::from(i), NodeId::from((i + 1) % 4)).unwrap();
+            g.add_edge(NodeId::from(4 + i), NodeId::from(4 + (i + 1) % 4)).unwrap();
+        }
+        let rings =
+            vec![(0..4).map(NodeId::from).collect::<Vec<_>>(), (4..8).map(NodeId::from).collect()];
+        let coned = cone_inner_boundaries(&g, &[false; 8], &rings).unwrap();
+        assert_eq!(coned.graph.node_count(), 10);
+        assert_eq!(coned.apexes.len(), 2);
+        assert_eq!(coned.graph.degree(coned.apexes[0]), 4);
+        assert_eq!(coned.graph.degree(coned.apexes[1]), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based validation of the void preserving transformation and the
+//! scheduler against brute-force cycle-space oracles.
+
+use proptest::prelude::*;
+
+use confine_core::schedule::{is_vpt_fixpoint, DccScheduler, DeletionOrder};
+use confine_core::vpt::{
+    independence_radius, is_vertex_deletable, neighborhood_radius,
+};
+use confine_cycles::brute;
+use confine_cycles::Cycle;
+use confine_graph::{mis, traverse, Graph, Masked, NodeId};
+
+fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bits.get(k).copied().unwrap_or(false) {
+                g.add_edge(i.into(), j.into()).expect("unique pair");
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+fn arb_graph(max_n: usize, p: f64) -> impl Strategy<Value = Graph> {
+    (5..=max_n).prop_flat_map(move |n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(p), pairs)
+            .prop_map(move |bits| graph_from_bits(n, &bits))
+    })
+}
+
+/// Removes one vertex, returning the induced graph and the old→new mapping.
+fn without_vertex(g: &Graph, v: NodeId) -> (Graph, Vec<Option<NodeId>>) {
+    let keep: Vec<NodeId> = g.nodes().filter(|&w| w != v).collect();
+    let sub = g.induced_subgraph(&keep).expect("nodes exist");
+    let mut map = vec![None; g.node_count()];
+    for (i, &parent) in sub.parent_ids().iter().enumerate() {
+        map[parent.index()] = Some(NodeId::from(i));
+    }
+    (sub.graph, map)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine of Theorem 5: if the VPT says `v` is deletable at `τ`,
+    /// then every cycle avoiding `v` that was a sum of ≤τ cycles in `G`
+    /// remains a sum of ≤τ cycles in `G − v`.
+    #[test]
+    fn vpt_deletion_preserves_partitionability(g in arb_graph(8, 0.45), tau in 3usize..7) {
+        for v in g.nodes() {
+            if !is_vertex_deletable(&g, v, tau) {
+                continue;
+            }
+            let (reduced, map) = without_vertex(&g, v);
+            // Test every fundamental cycle of G − v (they span all
+            // v-avoiding cycle classes).
+            for c in confine_cycles::space::fundamental_cycles(&reduced) {
+                // Lift the cycle back into G's edge space.
+                let mut lifted = confine_cycles::gf2::BitVec::zeros(g.edge_count());
+                for e in c.edge_ids() {
+                    let (a, b) = reduced.endpoints(e);
+                    // Translate child ids back to parent ids.
+                    let pa = map.iter().position(|&m| m == Some(a)).expect("mapped");
+                    let pb = map.iter().position(|&m| m == Some(b)).expect("mapped");
+                    let pe = g
+                        .edge_between(NodeId::from(pa), NodeId::from(pb))
+                        .expect("induced edges exist in the parent");
+                    lifted.set(pe.index(), true);
+                }
+                if brute::brute_is_tau_partitionable(&g, &lifted, tau) {
+                    prop_assert!(
+                        brute::brute_is_tau_partitionable(&reduced, c.edge_vec(), tau),
+                        "deleting {v:?} (tau {tau}) broke a partition"
+                    );
+                }
+            }
+        }
+    }
+
+    /// m-hop-independent deletions do not interfere: each winner's punctured
+    /// neighbourhood is identical whether or not the other winners have
+    /// already been deleted.
+    #[test]
+    fn mis_parallel_deletions_are_independent(g in arb_graph(10, 0.35), tau in 3usize..6) {
+        let k = neighborhood_radius(tau);
+        let m = independence_radius(tau);
+        let candidates: Vec<NodeId> =
+            g.nodes().filter(|&v| is_vertex_deletable(&g, v, tau)).collect();
+        let priorities: Vec<f64> = (0..g.node_count()).map(|i| (i * 31 % 17) as f64).collect();
+        let winners = mis::m_hop_mis(&g, &candidates, &priorities, m);
+        prop_assert!(mis::is_m_hop_independent(&g, &winners, m));
+
+        for &w in &winners {
+            let before: Vec<NodeId> = traverse::k_hop_neighbors(&g, w, k);
+            let mut masked = Masked::all_active(&g);
+            for &other in winners.iter().filter(|&&o| o != w) {
+                masked.deactivate(other);
+            }
+            let after: Vec<NodeId> = traverse::k_hop_neighbors(&masked, w, k);
+            prop_assert_eq!(
+                before, after,
+                "deleting other winners changed {:?}'s neighbourhood", w
+            );
+        }
+    }
+
+    /// Both deletion disciplines terminate at VPT fixpoints with consistent
+    /// bookkeeping.
+    #[test]
+    fn scheduler_reaches_fixpoint(g in arb_graph(12, 0.3), tau in 3usize..6, seed in 0u64..50) {
+        use rand::SeedableRng;
+        let boundary = vec![false; g.node_count()];
+        for order in [DeletionOrder::MisParallel, DeletionOrder::Sequential] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let set = DccScheduler::new(tau).with_order(order).schedule(&g, &boundary, &mut rng);
+            prop_assert_eq!(set.active_count() + set.deleted.len(), g.node_count());
+            prop_assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
+            // No node is reported twice.
+            let mut seen = std::collections::HashSet::new();
+            for &v in set.active.iter().chain(&set.deleted) {
+                prop_assert!(seen.insert(v));
+            }
+        }
+    }
+
+    /// Deleting a VPT-deletable vertex never disconnects the component it
+    /// lives in (the connectivity half of Definition 5 at work).
+    #[test]
+    fn vpt_deletion_preserves_component_count(g in arb_graph(9, 0.4), tau in 3usize..6) {
+        let before = traverse::connected_components(&g).len();
+        for v in g.nodes() {
+            if g.degree(v) == 0 {
+                continue; // deleting an isolated node removes its component
+            }
+            if is_vertex_deletable(&g, v, tau) {
+                let (reduced, _) = without_vertex(&g, v);
+                let after = traverse::connected_components(&reduced).len();
+                prop_assert!(
+                    after <= before,
+                    "deleting {v:?} split a component ({before} → {after})"
+                );
+            }
+        }
+    }
+
+    /// The wheel-hub law, randomised: a hub over a rim of length L is
+    /// deletable exactly for τ ≥ L.
+    #[test]
+    fn wheel_hub_threshold_general(rim in 4usize..10, tau in 3usize..12) {
+        let g = confine_graph::generators::wheel_graph(rim);
+        prop_assert_eq!(is_vertex_deletable(&g, NodeId(0), tau), tau >= rim);
+    }
+
+    /// Scheduling respects protected nodes for arbitrary protection masks.
+    #[test]
+    fn protected_nodes_always_survive(
+        g in arb_graph(10, 0.35),
+        mask in proptest::collection::vec(any::<bool>(), 10),
+        seed in 0u64..20,
+    ) {
+        use rand::SeedableRng;
+        let boundary: Vec<bool> =
+            (0..g.node_count()).map(|i| mask.get(i).copied().unwrap_or(false)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+        for (i, &b) in boundary.iter().enumerate() {
+            if b {
+                prop_assert!(set.active.contains(&NodeId::from(i)));
+            }
+        }
+    }
+}
+
+/// Deterministic regression: the Möbius band's hub-free structure keeps all
+/// nodes at τ = 3 but lets the inner circle sleep at τ = 5.
+#[test]
+fn moebius_inner_nodes_sleep_at_tau5() {
+    use rand::SeedableRng;
+    let band = confine_core::moebius::moebius_band();
+    let mut boundary = vec![false; band.graph.node_count()];
+    for &v in &band.outer_cycle {
+        boundary[v.index()] = true;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let at3 = DccScheduler::new(3).schedule(&band.graph, &boundary, &mut rng);
+    assert_eq!(at3.active_count(), 12);
+    let at5 = DccScheduler::new(5).schedule(&band.graph, &boundary, &mut rng);
+    assert!(at5.active_count() < 12, "larger τ lets inner nodes sleep");
+    // Whatever remains, the outer boundary must still partition at τ = 5.
+    let masked = Masked::from_active(&band.graph, &at5.active);
+    let induced = masked.to_induced();
+    let outer_children: Vec<NodeId> = band
+        .outer_cycle
+        .iter()
+        .map(|&v| induced.from_parent(v).expect("boundary survives"))
+        .collect();
+    let outer = Cycle::from_vertex_cycle(&induced.graph, &outer_children).unwrap();
+    assert!(confine_cycles::partition::is_tau_partitionable(
+        &induced.graph,
+        outer.edge_vec(),
+        5
+    ));
+}

@@ -1,0 +1,194 @@
+//! Brute-force reference implementations.
+//!
+//! These are exponential-time oracles used to validate the polynomial-time
+//! algorithms ([`crate::horton`], [`crate::partition`]) on small graphs in
+//! unit and property tests, and to anchor the benchmark baselines. They are
+//! exported (rather than test-only) so integration tests and benches across
+//! the workspace can reuse them.
+
+use confine_graph::{Graph, NodeId};
+
+use crate::cycle::Cycle;
+use crate::gf2::BitVec;
+use crate::linalg::Gf2Basis;
+use crate::space::circuit_rank;
+
+/// Enumerates **all** simple cycles of `graph` with length ≤ `max_len`.
+///
+/// Exponential in general; intended for graphs with at most a few dozen
+/// cycles. Each cycle is reported once.
+pub fn enumerate_simple_cycles(graph: &Graph, max_len: usize) -> Vec<Cycle> {
+    let n = graph.node_count();
+    let mut out = Vec::new();
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut on_path = vec![false; n];
+
+    // Standard rooted enumeration: each cycle is generated exactly once from
+    // its smallest vertex `s`, with the second vertex smaller than the last
+    // to kill the two traversal directions.
+    fn dfs(
+        graph: &Graph,
+        s: NodeId,
+        path: &mut Vec<NodeId>,
+        on_path: &mut [bool],
+        max_len: usize,
+        out: &mut Vec<Cycle>,
+    ) {
+        let v = *path.last().expect("path is never empty during dfs");
+        for w in graph.neighbors(v) {
+            if w == s {
+                if path.len() >= 3
+                    && path.len() <= max_len
+                    && path[1] < *path.last().expect("non-empty")
+                {
+                    out.push(
+                        Cycle::from_vertex_cycle(graph, path)
+                            .expect("walked vertices form a simple cycle"),
+                    );
+                }
+                continue;
+            }
+            if w < s || on_path[w.index()] || path.len() == max_len {
+                continue;
+            }
+            path.push(w);
+            on_path[w.index()] = true;
+            dfs(graph, s, path, on_path, max_len, out);
+            on_path[w.index()] = false;
+            path.pop();
+        }
+    }
+
+    for s in graph.nodes() {
+        path.push(s);
+        on_path[s.index()] = true;
+        dfs(graph, s, &mut path, &mut on_path, max_len, &mut out);
+        on_path[s.index()] = false;
+        path.pop();
+    }
+    out
+}
+
+/// Brute-force minimum cycle basis: enumerate every simple cycle, sort by
+/// length, and keep greedy independent ones.
+///
+/// By the matroid property of GF(2) cycle spaces this greedy is exact, so
+/// the result is a true MCB — the reference for validating Horton's
+/// algorithm. Returns the basis cycles in non-decreasing length order.
+pub fn brute_minimum_cycle_basis(graph: &Graph) -> Vec<Cycle> {
+    let nu = circuit_rank(graph);
+    let mut cycles = enumerate_simple_cycles(graph, graph.node_count());
+    cycles.sort_by_key(Cycle::len);
+    let mut oracle = Gf2Basis::new(graph.edge_count());
+    let mut basis = Vec::with_capacity(nu);
+    for c in cycles {
+        if basis.len() == nu {
+            break;
+        }
+        if oracle.try_insert(c.edge_vec()) {
+            basis.push(c);
+        }
+    }
+    assert_eq!(basis.len(), nu, "simple cycles always span the cycle space");
+    basis
+}
+
+/// Brute-force `τ`-partitionability: is `target` in the span of **all**
+/// simple cycles of length ≤ `tau`?
+///
+/// The reference oracle for [`crate::partition::PartitionTester`].
+pub fn brute_is_tau_partitionable(graph: &Graph, target: &BitVec, tau: usize) -> bool {
+    let mut basis = Gf2Basis::new(graph.edge_count());
+    for c in enumerate_simple_cycles(graph, tau) {
+        basis.try_insert(c.edge_vec());
+    }
+    basis.contains(target)
+}
+
+/// Brute-force irreducibility: a cycle is irreducible (relevant) iff it is
+/// **not** a sum of strictly shorter cycles.
+pub fn brute_is_irreducible(graph: &Graph, cycle: &Cycle) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    !brute_is_tau_partitionable(graph, cycle.edge_vec(), cycle.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::generators;
+
+    #[test]
+    fn cycle_counts_of_known_families() {
+        // K4 has 3 + 4 = 7 simple cycles (4 triangles, 3 squares).
+        let k4 = generators::complete_graph(4);
+        assert_eq!(enumerate_simple_cycles(&k4, 4).len(), 7);
+        assert_eq!(enumerate_simple_cycles(&k4, 3).len(), 4);
+        // C7 has exactly one.
+        assert_eq!(enumerate_simple_cycles(&generators::cycle_graph(7), 7).len(), 1);
+        assert_eq!(enumerate_simple_cycles(&generators::cycle_graph(7), 6).len(), 0);
+        // A 2×2 grid of squares: 4 unit squares + 4 L-hexagons + ... in total
+        // 13 simple cycles for the 3×3 grid.
+        let g = generators::grid_graph(3, 3);
+        assert_eq!(enumerate_simple_cycles(&g, 9).len(), 13);
+        // Petersen famously has 2000 cycles... too slow here; count pentagons.
+        assert_eq!(
+            enumerate_simple_cycles(&generators::petersen_graph(), 5).len(),
+            12
+        );
+    }
+
+    #[test]
+    fn each_cycle_reported_once() {
+        let g = generators::complete_graph(5);
+        let cycles = enumerate_simple_cycles(&g, 5);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cycles {
+            assert!(c.is_simple(&g));
+            assert!(seen.insert(c.edge_vec().clone()), "duplicate cycle {c:?}");
+        }
+        // K5: 10 triangles + 15 squares + 12 pentagons = 37.
+        assert_eq!(cycles.len(), 37);
+    }
+
+    #[test]
+    fn brute_mcb_matches_horton_on_families() {
+        for g in [
+            generators::grid_graph(3, 4),
+            generators::king_grid_graph(3, 3),
+            generators::complete_graph(5),
+            generators::theta_graph(1, 2, 3),
+            generators::wheel_graph(6),
+            generators::petersen_graph(),
+        ] {
+            let brute = brute_minimum_cycle_basis(&g);
+            let horton = crate::horton::minimum_cycle_basis(&g);
+            let brute_lens: Vec<usize> = brute.iter().map(Cycle::len).collect();
+            let horton_lens: Vec<usize> =
+                horton.cycles().iter().map(Cycle::len).collect();
+            assert_eq!(
+                brute_lens, horton_lens,
+                "MCB length multisets must agree for {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn irreducibility_examples() {
+        let g = generators::grid_graph(3, 3);
+        let squares = brute_minimum_cycle_basis(&g);
+        for c in &squares {
+            assert!(brute_is_irreducible(&g, c), "unit squares are irreducible");
+        }
+        // The outer 8-cycle is a sum of four squares: reducible.
+        let mut outer = BitVec::zeros(g.edge_count());
+        for c in &squares {
+            outer.xor_assign(c.edge_vec());
+        }
+        let outer = Cycle::from_edge_vec(&g, outer).unwrap();
+        assert_eq!(outer.len(), 8);
+        assert!(!brute_is_irreducible(&g, &outer));
+        assert!(!brute_is_irreducible(&g, &Cycle::zero(&g)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Incremental GF(2) Gaussian elimination.
+//!
+//! Two closely related tools:
+//!
+//! * [`Gf2Basis`] — an online independence oracle. Algorithm 1 feeds Horton
+//!   candidate cycles in non-decreasing length order and keeps those that are
+//!   linearly independent of the cycles accepted so far; the result is a
+//!   minimum cycle basis.
+//! * [`Decomposer`] — expresses a vector as the (unique) combination of a
+//!   fixed basis, reporting *which* basis elements participate. This is what
+//!   turns the minimum cycle basis into an exact `τ`-partitionability test
+//!   (see `confine-cycles::partition`).
+
+use crate::gf2::BitVec;
+
+/// An online GF(2) independence oracle over vectors of a fixed length.
+///
+/// Internally keeps the accepted vectors in row-echelon form, one pivot per
+/// row.
+///
+/// # Example
+///
+/// ```
+/// use confine_cycles::gf2::BitVec;
+/// use confine_cycles::linalg::Gf2Basis;
+///
+/// let mut basis = Gf2Basis::new(4);
+/// assert!(basis.try_insert(&BitVec::from_indices(4, &[0, 1])));
+/// assert!(basis.try_insert(&BitVec::from_indices(4, &[1, 2])));
+/// // 0+2 is the sum of the two vectors above: dependent.
+/// assert!(!basis.try_insert(&BitVec::from_indices(4, &[0, 2])));
+/// assert_eq!(basis.rank(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf2Basis {
+    len: usize,
+    rows: Vec<BitVec>,
+    /// `pivot_row[p]` = index into `rows` of the row whose lowest set bit is
+    /// `p`. Pivot-indexed reduction touches only rows that can actually
+    /// clear the residual's lowest bit, which is what makes the hot
+    /// cycle-space eliminations fast.
+    pivot_row: Vec<Option<usize>>,
+}
+
+impl Gf2Basis {
+    /// Creates an empty basis for vectors of length `len`.
+    pub fn new(len: usize) -> Self {
+        Gf2Basis { len, rows: Vec::new(), pivot_row: vec![None; len] }
+    }
+
+    /// Current rank (number of accepted vectors).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Vector length this basis operates on.
+    pub fn vector_len(&self) -> usize {
+        self.len
+    }
+
+    /// Reduces `v` against the accepted rows, returning the residual.
+    ///
+    /// A zero residual means `v` lies in the span of the basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the basis length.
+    pub fn reduce(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.len, "vector length mismatch");
+        let mut r = v.clone();
+        while let Some(p) = r.first_one() {
+            match self.pivot_row[p] {
+                Some(i) => r.xor_assign(&self.rows[i]),
+                None => break,
+            }
+        }
+        r
+    }
+
+    /// Returns `true` if `v` lies in the span of the accepted vectors.
+    pub fn contains(&self, v: &BitVec) -> bool {
+        self.reduce(v).is_zero()
+    }
+
+    /// Attempts to add `v`; returns `true` if `v` was independent and is now
+    /// part of the basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the basis length.
+    pub fn try_insert(&mut self, v: &BitVec) -> bool {
+        let r = self.reduce(v);
+        match r.first_one() {
+            None => false,
+            Some(p) => {
+                self.pivot_row[p] = Some(self.rows.len());
+                self.rows.push(r);
+                true
+            }
+        }
+    }
+}
+
+/// Expresses vectors over a *fixed* basis, reporting which basis members the
+/// unique combination uses.
+///
+/// Built once from the basis vectors; each [`Decomposer::decompose`] call is
+/// a single elimination pass.
+#[derive(Debug, Clone)]
+pub struct Decomposer {
+    len: usize,
+    rows: Vec<BitVec>,
+    combos: Vec<BitVec>,
+    pivots: Vec<usize>,
+}
+
+impl Decomposer {
+    /// Builds a decomposer from basis vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have inconsistent lengths or are linearly
+    /// dependent (a basis must be independent).
+    pub fn from_basis(len: usize, basis: &[BitVec]) -> Self {
+        let mut d = Decomposer { len, rows: Vec::new(), combos: Vec::new(), pivots: Vec::new() };
+        for (i, v) in basis.iter().enumerate() {
+            assert_eq!(v.len(), len, "basis vector {i} has wrong length");
+            let mut r = v.clone();
+            let mut combo = BitVec::zeros(basis.len());
+            combo.set(i, true);
+            for ((row, c), &p) in d.rows.iter().zip(&d.combos).zip(&d.pivots) {
+                if r.get(p) {
+                    r.xor_assign(row);
+                    combo.xor_assign(c);
+                }
+            }
+            let p = r.first_one().expect("basis vectors must be linearly independent");
+            d.rows.push(r);
+            d.combos.push(combo);
+            d.pivots.push(p);
+        }
+        d
+    }
+
+    /// Number of basis vectors.
+    pub fn basis_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Expresses `target` over the basis.
+    ///
+    /// Returns the sorted indices of the basis vectors whose GF(2) sum equals
+    /// `target`, or `None` when `target` is outside the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len()` differs from the basis vector length.
+    pub fn decompose(&self, target: &BitVec) -> Option<Vec<usize>> {
+        assert_eq!(target.len(), self.len, "vector length mismatch");
+        let mut r = target.clone();
+        let mut combo = BitVec::zeros(self.rows.len());
+        for ((row, c), &p) in self.rows.iter().zip(&self.combos).zip(&self.pivots) {
+            if r.get(p) {
+                r.xor_assign(row);
+                combo.xor_assign(c);
+            }
+        }
+        if r.is_zero() {
+            Some(combo.ones().collect())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(len: usize, idx: &[usize]) -> BitVec {
+        BitVec::from_indices(len, idx)
+    }
+
+    #[test]
+    fn basis_rank_and_containment() {
+        let mut b = Gf2Basis::new(6);
+        assert!(b.try_insert(&v(6, &[0, 1])));
+        assert!(b.try_insert(&v(6, &[2, 3])));
+        assert!(b.try_insert(&v(6, &[1, 2])));
+        assert_eq!(b.rank(), 3);
+        assert!(b.contains(&v(6, &[0, 3])), "0+3 = sum of all three rows");
+        assert!(!b.contains(&v(6, &[4])));
+        assert!(!b.try_insert(&v(6, &[0, 3])));
+        assert_eq!(b.vector_len(), 6);
+    }
+
+    #[test]
+    fn zero_vector_never_inserts() {
+        let mut b = Gf2Basis::new(4);
+        assert!(!b.try_insert(&BitVec::zeros(4)));
+        assert_eq!(b.rank(), 0);
+        assert!(b.contains(&BitVec::zeros(4)), "zero is in every span");
+    }
+
+    #[test]
+    fn decomposer_exact_combination() {
+        let basis = vec![v(5, &[0, 1]), v(5, &[1, 2]), v(5, &[3, 4])];
+        let d = Decomposer::from_basis(5, &basis);
+        assert_eq!(d.basis_size(), 3);
+        // target = basis[0] + basis[2]
+        let target = v(5, &[0, 1, 3, 4]);
+        assert_eq!(d.decompose(&target), Some(vec![0, 2]));
+        // target = basis[0] + basis[1]
+        assert_eq!(d.decompose(&v(5, &[0, 2])), Some(vec![0, 1]));
+        // zero decomposes as the empty sum.
+        assert_eq!(d.decompose(&BitVec::zeros(5)), Some(vec![]));
+        // outside the span.
+        assert_eq!(d.decompose(&v(5, &[0])), None);
+    }
+
+    #[test]
+    fn decomposition_verifies_by_summation() {
+        let basis = vec![v(8, &[0, 1, 2]), v(8, &[2, 3]), v(8, &[3, 4, 5]), v(8, &[5, 6, 7])];
+        let d = Decomposer::from_basis(8, &basis);
+        let target = v(8, &[0, 1, 4, 5]); // basis[0]+basis[1]+basis[2]
+        let idx = d.decompose(&target).unwrap();
+        let mut sum = BitVec::zeros(8);
+        for i in &idx {
+            sum.xor_assign(&basis[*i]);
+        }
+        assert_eq!(sum, target);
+    }
+
+    #[test]
+    #[should_panic(expected = "linearly independent")]
+    fn decomposer_rejects_dependent_basis() {
+        let basis = vec![v(4, &[0, 1]), v(4, &[1, 2]), v(4, &[0, 2])];
+        let _ = Decomposer::from_basis(4, &basis);
+    }
+}

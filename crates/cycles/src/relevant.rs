@@ -1,0 +1,169 @@
+//! Enumeration of all irreducible (relevant) cycles.
+//!
+//! Definition 4 of the paper calls a cycle **irreducible** when it is not a
+//! sum of strictly shorter cycles, citing Vismara's *relevant cycles* — the
+//! union of all minimum cycle bases. [`crate::horton`] computes only the
+//! min/max irreducible lengths (all Algorithm 1 needs); this module
+//! enumerates the cycles themselves, which the void-analysis tooling uses to
+//! *show* the voids of a coverage skeleton rather than just bound them.
+//!
+//! The enumeration rests on two standard facts used throughout this crate:
+//! every relevant cycle appears among the (simple) Horton candidates, and
+//! the span of all cycles shorter than `L` equals the span of the MCB
+//! cycles shorter than `L`. A candidate `C` is therefore relevant **iff**
+//! `C` is not in the span of the MCB cycles of length `< |C|` — one
+//! Gaussian reduction per candidate.
+
+use confine_graph::Graph;
+
+use crate::cycle::Cycle;
+use crate::horton::{horton_candidates, minimum_cycle_basis};
+use crate::linalg::Gf2Basis;
+
+/// Enumerates every irreducible (relevant) cycle of `graph`, sorted by
+/// non-decreasing length; each cycle is reported once.
+///
+/// Cost: one minimum cycle basis plus one rank test per (deduplicated)
+/// Horton candidate.
+///
+/// # Example
+///
+/// ```
+/// use confine_cycles::relevant::relevant_cycles;
+/// use confine_graph::generators;
+///
+/// // All four unit squares of a 3×3 grid are relevant — and nothing else.
+/// let cycles = relevant_cycles(&generators::grid_graph(3, 3));
+/// assert_eq!(cycles.len(), 4);
+/// assert!(cycles.iter().all(|c| c.len() == 4));
+/// ```
+pub fn relevant_cycles(graph: &Graph) -> Vec<Cycle> {
+    let mcb = minimum_cycle_basis(graph);
+    if mcb.dimension() == 0 {
+        return Vec::new();
+    }
+    let mut candidates = horton_candidates(graph);
+    candidates.sort_unstable_by(|a, b| {
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.edge_vec().ones().cmp(b.edge_vec().ones()))
+    });
+    candidates.dedup();
+
+    // Incremental "span of shorter MCB cycles": walk candidates by length,
+    // inserting MCB cycles into the oracle as soon as they are strictly
+    // shorter than the candidate under test.
+    let mut oracle = Gf2Basis::new(graph.edge_count());
+    let mut next_basis = 0usize;
+    let mut out = Vec::new();
+    for cand in candidates {
+        while next_basis < mcb.dimension() && mcb.cycles()[next_basis].len() < cand.len() {
+            oracle.try_insert(mcb.cycles()[next_basis].edge_vec());
+            next_basis += 1;
+        }
+        if !oracle.contains(cand.edge_vec()) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// The multiset of irreducible cycle lengths, sorted ascending — a compact
+/// "void spectrum" of a topology.
+pub fn relevant_length_spectrum(graph: &Graph) -> Vec<usize> {
+    relevant_cycles(graph).iter().map(Cycle::len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use confine_graph::generators;
+
+    #[test]
+    fn grid_squares_only() {
+        let g = generators::grid_graph(4, 4);
+        let cycles = relevant_cycles(&g);
+        assert_eq!(cycles.len(), 9);
+        assert!(cycles.iter().all(|c| c.len() == 4 && c.is_simple(&g)));
+    }
+
+    #[test]
+    fn complete_graph_triangles_only() {
+        // K5: every triangle is relevant (10), nothing longer.
+        let g = generators::complete_graph(5);
+        let spectrum = relevant_length_spectrum(&g);
+        assert_eq!(spectrum, vec![3; 10]);
+    }
+
+    #[test]
+    fn cycle_graph_single_relevant() {
+        let g = generators::cycle_graph(9);
+        let cycles = relevant_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 9);
+    }
+
+    #[test]
+    fn theta_graph_relevants() {
+        // Theta(1,1,3): cycles of length 4 (a+b), 6 (a+c), 6 (b+c). The two
+        // 6-cycles are sums of ... the 4-cycle ⊕ the other 6-cycle — not of
+        // *shorter* cycles only, so both 6-cycles are relevant iff they are
+        // not in span{4-cycle}: they are not (the 4-cycle misses the long
+        // path's edges). All three are relevant.
+        let g = generators::theta_graph(1, 1, 3);
+        let spectrum = relevant_length_spectrum(&g);
+        assert_eq!(spectrum, vec![4, 6, 6]);
+    }
+
+    #[test]
+    fn petersen_pentagons() {
+        // Petersen: all 12 pentagons are relevant (girth cycles spanning the
+        // 6-dimensional cycle space).
+        let g = generators::petersen_graph();
+        let spectrum = relevant_length_spectrum(&g);
+        assert_eq!(spectrum.len(), 12);
+        assert!(spectrum.iter().all(|&l| l == 5));
+    }
+
+    #[test]
+    fn forest_has_none() {
+        assert!(relevant_cycles(&generators::path_graph(6)).is_empty());
+        assert!(relevant_length_spectrum(&generators::path_graph(2)).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        for g in [
+            generators::king_grid_graph(3, 3),
+            generators::wheel_graph(6),
+            generators::complete_graph(5),
+            generators::theta_graph(1, 2, 3),
+        ] {
+            let fast: Vec<_> = relevant_cycles(&g);
+            let all = brute::enumerate_simple_cycles(&g, g.node_count());
+            let slow: Vec<_> =
+                all.iter().filter(|c| brute::brute_is_irreducible(&g, c)).collect();
+            assert_eq!(fast.len(), slow.len(), "count mismatch on {g:?}");
+            let fast_set: std::collections::HashSet<_> =
+                fast.iter().map(|c| c.edge_vec().clone()).collect();
+            for c in slow {
+                assert!(fast_set.contains(c.edge_vec()), "missing {c:?} in {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_endpoints_match_algorithm1() {
+        for g in [
+            generators::king_grid_graph(3, 4),
+            generators::wheel_graph(7),
+            generators::theta_graph(1, 2, 3),
+        ] {
+            let spectrum = relevant_length_spectrum(&g);
+            let bounds = crate::horton::irreducible_cycle_bounds(&g).unwrap();
+            assert_eq!(*spectrum.first().unwrap(), bounds.min);
+            assert_eq!(*spectrum.last().unwrap(), bounds.max);
+        }
+    }
+}

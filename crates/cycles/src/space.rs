@@ -1,0 +1,165 @@
+//! The cycle space of a graph.
+//!
+//! The cycle space `C_H` of a graph `H` is the GF(2) vector space spanned by
+//! the incidence vectors of its cycles; its dimension is the circuit rank
+//! `ν = |E| − |V| + c` where `c` is the number of connected components.
+//! A fast (non-minimum) basis is given by the *fundamental cycles* of any
+//! spanning forest: one cycle per non-tree edge.
+
+use confine_graph::{EdgeId, Graph, NodeId};
+
+use crate::cycle::Cycle;
+use crate::gf2::BitVec;
+use crate::linalg::Gf2Basis;
+
+/// Circuit rank (cycle-space dimension) `ν = m − n + c`.
+pub fn circuit_rank(graph: &Graph) -> usize {
+    let c = confine_graph::traverse::connected_components(graph).len();
+    graph.edge_count() + c - graph.node_count()
+}
+
+/// Computes the fundamental-cycle basis of `graph` with respect to a BFS
+/// spanning forest.
+///
+/// The result is a (generally non-minimum) basis of the cycle space with
+/// exactly [`circuit_rank`] elements, each a simple cycle consisting of one
+/// non-tree edge plus the tree path between its endpoints.
+///
+/// # Example
+///
+/// ```
+/// use confine_cycles::space;
+/// use confine_graph::generators;
+///
+/// let g = generators::grid_graph(3, 3);
+/// let basis = space::fundamental_cycles(&g);
+/// assert_eq!(basis.len(), space::circuit_rank(&g)); // (3-1)*(3-1) = 4
+/// ```
+pub fn fundamental_cycles(graph: &Graph) -> Vec<Cycle> {
+    let mut parent_edge: Vec<Option<(NodeId, EdgeId)>> = vec![None; graph.node_count()];
+    let mut visited = vec![false; graph.node_count()];
+    let mut tree_edge = vec![false; graph.edge_count()];
+    let mut order = Vec::with_capacity(graph.node_count());
+
+    for root in graph.nodes() {
+        if visited[root.index()] {
+            continue;
+        }
+        visited[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for (w, e) in graph.incident(v) {
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    parent_edge[w.index()] = Some((v, e));
+                    tree_edge[e.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    // Edge vector of the tree path from each node back to its root, built
+    // incrementally in BFS order.
+    let mut path_vec: Vec<BitVec> = vec![BitVec::zeros(graph.edge_count()); graph.node_count()];
+    for &v in &order {
+        if let Some((p, e)) = parent_edge[v.index()] {
+            let mut vec = path_vec[p.index()].clone();
+            vec.set(e.index(), true);
+            path_vec[v.index()] = vec;
+        }
+    }
+
+    let mut basis = Vec::new();
+    for (e, a, b) in graph.edges() {
+        if tree_edge[e.index()] {
+            continue;
+        }
+        let mut vec = path_vec[a.index()].xor(&path_vec[b.index()]);
+        vec.set(e.index(), true);
+        let cycle = Cycle::from_edge_vec(graph, vec)
+            .expect("a non-tree edge plus the tree path between its endpoints is a cycle");
+        basis.push(cycle);
+    }
+    debug_assert_eq!(basis.len(), circuit_rank(graph));
+    basis
+}
+
+/// Returns `true` if `vec` is an element of the cycle space of `graph`
+/// (every vertex has even degree in the edge subset).
+pub fn is_cycle_space_member(graph: &Graph, vec: &BitVec) -> bool {
+    Cycle::from_edge_vec(graph, vec.clone()).is_ok()
+}
+
+/// Returns `true` if `target` lies in the GF(2) span of `cycles`.
+pub fn in_span(cycles: &[Cycle], target: &BitVec) -> bool {
+    let mut basis = Gf2Basis::new(target.len());
+    for c in cycles {
+        basis.try_insert(c.edge_vec());
+    }
+    basis.contains(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::generators;
+
+    #[test]
+    fn circuit_rank_families() {
+        assert_eq!(circuit_rank(&generators::path_graph(5)), 0);
+        assert_eq!(circuit_rank(&generators::cycle_graph(5)), 1);
+        assert_eq!(circuit_rank(&generators::complete_graph(5)), 10 - 5 + 1);
+        assert_eq!(circuit_rank(&generators::grid_graph(4, 5)), 3 * 4);
+        assert_eq!(circuit_rank(&generators::petersen_graph()), 6);
+        // Disconnected: two triangles.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        assert_eq!(circuit_rank(&g), 2);
+    }
+
+    #[test]
+    fn fundamental_cycles_are_simple_and_independent() {
+        let g = generators::grid_graph(4, 4);
+        let basis = fundamental_cycles(&g);
+        assert_eq!(basis.len(), 9);
+        let mut oracle = Gf2Basis::new(g.edge_count());
+        for c in &basis {
+            assert!(c.is_simple(&g), "fundamental cycles are simple");
+            assert!(oracle.try_insert(c.edge_vec()), "fundamental cycles are independent");
+        }
+    }
+
+    #[test]
+    fn fundamental_cycles_on_forest() {
+        let g = generators::path_graph(7);
+        assert!(fundamental_cycles(&g).is_empty());
+    }
+
+    #[test]
+    fn fundamental_cycles_disconnected() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3)])
+            .unwrap();
+        let basis = fundamental_cycles(&g);
+        assert_eq!(basis.len(), 2);
+        let lens: Vec<usize> = {
+            let mut l: Vec<_> = basis.iter().map(Cycle::len).collect();
+            l.sort_unstable();
+            l
+        };
+        assert_eq!(lens, vec![3, 4]);
+    }
+
+    #[test]
+    fn span_membership() {
+        let g = generators::cycle_graph(6);
+        let basis = fundamental_cycles(&g);
+        let all: Vec<NodeId> = (0..6).map(NodeId::from).collect();
+        let c = Cycle::from_vertex_cycle(&g, &all).unwrap();
+        assert!(in_span(&basis, c.edge_vec()));
+        assert!(is_cycle_space_member(&g, c.edge_vec()));
+        let single_edge = BitVec::from_indices(g.edge_count(), &[0]);
+        assert!(!in_span(&basis, &single_edge));
+        assert!(!is_cycle_space_member(&g, &single_edge));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based validation of the cycle-space machinery against
+//! brute-force oracles on random small graphs.
+
+use proptest::prelude::*;
+
+use confine_cycles::brute;
+use confine_cycles::gf2::BitVec;
+use confine_cycles::horton;
+use confine_cycles::linalg::{Decomposer, Gf2Basis};
+use confine_cycles::partition::PartitionTester;
+use confine_cycles::space;
+use confine_cycles::Cycle;
+use confine_graph::Graph;
+
+/// Builds a random simple graph on `n` nodes from a seed of edge booleans.
+fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bits.get(k).copied().unwrap_or(false) {
+                g.add_edge(i.into(), j.into()).expect("unique pair");
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.35), pairs)
+            .prop_map(move |bits| graph_from_bits(n, &bits))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Horton's MCB and the brute-force MCB must report identical sorted
+    /// length multisets (all MCBs of a graph share them).
+    #[test]
+    fn horton_mcb_matches_brute_force(g in arb_graph(8)) {
+        let brute: Vec<usize> =
+            brute::brute_minimum_cycle_basis(&g).iter().map(Cycle::len).collect();
+        let fast: Vec<usize> =
+            horton::minimum_cycle_basis(&g).cycles().iter().map(Cycle::len).collect();
+        prop_assert_eq!(brute, fast);
+    }
+
+    /// The MCB is a basis: independent and of full rank.
+    #[test]
+    fn mcb_is_a_basis(g in arb_graph(9)) {
+        let mcb = horton::minimum_cycle_basis(&g);
+        prop_assert_eq!(mcb.dimension(), space::circuit_rank(&g));
+        let mut oracle = Gf2Basis::new(g.edge_count());
+        for c in mcb.cycles() {
+            prop_assert!(c.is_simple(&g), "MCB cycles are simple");
+            prop_assert!(oracle.try_insert(c.edge_vec()), "MCB cycles are independent");
+        }
+    }
+
+    /// The exact partitionability test agrees with the brute-force span
+    /// oracle for every tau and every fundamental-cycle target.
+    #[test]
+    fn partition_test_matches_brute_force(g in arb_graph(7)) {
+        let tester = PartitionTester::new(&g);
+        let mut targets: Vec<BitVec> =
+            space::fundamental_cycles(&g).iter().map(|c| c.edge_vec().clone()).collect();
+        // Also exercise a couple of sums.
+        if targets.len() >= 2 {
+            let s = targets[0].xor(&targets[1]);
+            targets.push(s);
+        }
+        if targets.len() >= 3 {
+            let mut s = targets[0].clone();
+            for t in &targets[1..] {
+                s.xor_assign(t);
+            }
+            targets.push(s);
+        }
+        for t in &targets {
+            for tau in 0..=g.node_count() {
+                prop_assert_eq!(
+                    tester.is_partitionable(t, tau),
+                    brute::brute_is_tau_partitionable(&g, t, tau),
+                    "target {:?} tau {}", t, tau
+                );
+            }
+        }
+    }
+
+    /// min_partition_tau is exactly the threshold of the brute oracle.
+    #[test]
+    fn min_partition_tau_is_threshold(g in arb_graph(7)) {
+        let tester = PartitionTester::new(&g);
+        for c in space::fundamental_cycles(&g) {
+            let t = tester.min_partition_tau(c.edge_vec()).expect("cycles are in the space");
+            prop_assert!(t <= c.len());
+            prop_assert!(brute::brute_is_tau_partitionable(&g, c.edge_vec(), t));
+            if t > 0 {
+                prop_assert!(!brute::brute_is_tau_partitionable(&g, c.edge_vec(), t - 1));
+            }
+        }
+    }
+
+    /// Theorem 4: Algorithm 1's bounds equal the true min/max irreducible
+    /// cycle lengths obtained by brute-force irreducibility checks.
+    #[test]
+    fn irreducible_bounds_match_brute_force(g in arb_graph(7)) {
+        let bounds = horton::irreducible_cycle_bounds(&g);
+        let all = brute::enumerate_simple_cycles(&g, g.node_count());
+        let irreducible: Vec<usize> = all
+            .iter()
+            .filter(|c| brute::brute_is_irreducible(&g, c))
+            .map(Cycle::len)
+            .collect();
+        match bounds {
+            None => prop_assert!(irreducible.is_empty()),
+            Some(b) => {
+                prop_assert_eq!(b.min, *irreducible.iter().min().expect("cycles exist"));
+                prop_assert_eq!(b.max, *irreducible.iter().max().expect("cycles exist"));
+            }
+        }
+    }
+
+    /// The fast span-rank predicate agrees with the bounds.
+    #[test]
+    fn max_irreducible_predicate(g in arb_graph(8), tau in 2usize..10) {
+        let expected = horton::irreducible_cycle_bounds(&g).is_none_or(|b| b.max <= tau);
+        prop_assert_eq!(horton::max_irreducible_at_most(&g, tau), expected);
+    }
+
+    /// Decomposer round-trip: decomposing any random combination of the MCB
+    /// recovers exactly the combined indices.
+    #[test]
+    fn decomposer_roundtrip(g in arb_graph(8), picks in proptest::collection::vec(any::<bool>(), 64)) {
+        let mcb = horton::minimum_cycle_basis(&g);
+        if mcb.dimension() == 0 {
+            return Ok(());
+        }
+        let vectors: Vec<BitVec> =
+            mcb.cycles().iter().map(|c| c.edge_vec().clone()).collect();
+        let d = Decomposer::from_basis(g.edge_count(), &vectors);
+        let chosen: Vec<usize> = (0..vectors.len())
+            .filter(|&i| picks.get(i).copied().unwrap_or(false))
+            .collect();
+        let mut target = BitVec::zeros(g.edge_count());
+        for &i in &chosen {
+            target.xor_assign(&vectors[i]);
+        }
+        prop_assert_eq!(d.decompose(&target), Some(chosen));
+    }
+
+    /// XOR algebra: associativity/commutativity/self-inverse on random vectors.
+    #[test]
+    fn gf2_algebra(
+        a in proptest::collection::vec(any::<bool>(), 1..200),
+        b in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let len = a.len().max(b.len());
+        let mk = |bits: &[bool]| {
+            let idx: Vec<usize> =
+                bits.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect();
+            BitVec::from_indices(len, &idx)
+        };
+        let va = mk(&a);
+        let vb = mk(&b);
+        prop_assert_eq!(va.xor(&vb), vb.xor(&va));
+        prop_assert!(va.xor(&va).is_zero());
+        prop_assert_eq!(va.xor(&vb).xor(&vb), va.clone());
+        prop_assert_eq!(va.ones().count(), va.count_ones());
+    }
+}

@@ -1,0 +1,248 @@
+//! Plain-text scenario serialization.
+//!
+//! A deliberately simple, diff-friendly line format so scenarios can be
+//! generated once, inspected by hand, and replayed across tools (the
+//! `confine-cli` binary builds on this):
+//!
+//! ```text
+//! # confine scenario v1
+//! rc 1.0
+//! region 0 0 10 10
+//! target 1 1 9 9
+//! node 0 4.25 3.75 0
+//! node 1 0.50 0.25 1
+//! edge 0 1
+//! ```
+//!
+//! `node <id> <x> <y> <boundary 0|1>` lines must list ids densely from 0;
+//! `edge` lines reference those ids. Everything after `#` is a comment.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use confine_graph::{Graph, NodeId};
+
+use crate::geometry::{Point, Rect};
+use crate::scenario::Scenario;
+
+/// Errors produced while parsing the scenario format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line could not be interpreted.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A required header (`rc`, `region`, `target`) is missing.
+    MissingHeader {
+        /// The absent key.
+        key: &'static str,
+    },
+    /// Node ids must be dense and in order.
+    NonDenseNodeIds {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An edge referenced an unknown node or was invalid.
+    BadEdge {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::MissingHeader { key } => write!(f, "missing `{key}` header"),
+            ParseError::NonDenseNodeIds { line } => {
+                write!(f, "line {line}: node ids must be dense, starting at 0")
+            }
+            ParseError::BadEdge { line } => write!(f, "line {line}: invalid edge"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serialises a scenario into the v1 text format.
+pub fn write_scenario(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str("# confine scenario v1\n");
+    let _ = writeln!(out, "rc {}", scenario.rc);
+    let r = scenario.region;
+    let _ = writeln!(out, "region {} {} {} {}", r.min.x, r.min.y, r.max.x, r.max.y);
+    let t = scenario.target;
+    let _ = writeln!(out, "target {} {} {} {}", t.min.x, t.min.y, t.max.x, t.max.y);
+    for v in scenario.graph.nodes() {
+        let p = scenario.positions[v.index()];
+        let b = u8::from(scenario.boundary[v.index()]);
+        let _ = writeln!(out, "node {} {} {} {}", v.index(), p.x, p.y, b);
+    }
+    for (_, a, b) in scenario.graph.edges() {
+        let _ = writeln!(out, "edge {} {}", a.index(), b.index());
+    }
+    out
+}
+
+/// Parses the v1 text format back into a [`Scenario`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the offending line.
+pub fn read_scenario(text: &str) -> Result<Scenario, ParseError> {
+    let mut rc = None;
+    let mut region = None;
+    let mut target = None;
+    let mut positions: Vec<Point> = Vec::new();
+    let mut boundary: Vec<bool> = Vec::new();
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (a, b, line)
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        let f64s = |n: usize| -> Result<Vec<f64>, ParseError> {
+            if rest.len() != n {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    reason: format!("`{key}` expects {n} fields, got {}", rest.len()),
+                });
+            }
+            rest.iter()
+                .map(|s| {
+                    s.parse::<f64>().map_err(|_| ParseError::Malformed {
+                        line: line_no,
+                        reason: format!("bad number {s:?}"),
+                    })
+                })
+                .collect()
+        };
+        match key {
+            "rc" => rc = Some(f64s(1)?[0]),
+            "region" => {
+                let v = f64s(4)?;
+                region = Some(Rect::new(v[0], v[1], v[2], v[3]));
+            }
+            "target" => {
+                let v = f64s(4)?;
+                target = Some(Rect::new(v[0], v[1], v[2], v[3]));
+            }
+            "node" => {
+                let v = f64s(4)?;
+                if v[0] as usize != positions.len() {
+                    return Err(ParseError::NonDenseNodeIds { line: line_no });
+                }
+                positions.push(Point::new(v[1], v[2]));
+                boundary.push(v[3] != 0.0);
+            }
+            "edge" => {
+                let v = f64s(2)?;
+                edges.push((v[0] as usize, v[1] as usize, line_no));
+            }
+            other => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown directive {other:?}"),
+                })
+            }
+        }
+    }
+
+    let rc = rc.ok_or(ParseError::MissingHeader { key: "rc" })?;
+    let region = region.ok_or(ParseError::MissingHeader { key: "region" })?;
+    let target = target.ok_or(ParseError::MissingHeader { key: "target" })?;
+
+    let mut graph = Graph::with_node_capacity(positions.len());
+    graph.add_nodes(positions.len());
+    for (a, b, line) in edges {
+        if a >= positions.len() || b >= positions.len() {
+            return Err(ParseError::BadEdge { line });
+        }
+        graph
+            .add_edge(NodeId::from(a), NodeId::from(b))
+            .map_err(|_| ParseError::BadEdge { line })?;
+    }
+
+    Ok(Scenario { graph, positions, rc, boundary, region, target })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::random_udg_scenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_random_scenario() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = random_udg_scenario(60, 1.0, 10.0, &mut rng);
+        let text = write_scenario(&s);
+        let back = read_scenario(&text).expect("roundtrip parses");
+        assert_eq!(back.graph.node_count(), s.graph.node_count());
+        assert_eq!(back.graph.edge_count(), s.graph.edge_count());
+        assert_eq!(back.boundary, s.boundary);
+        assert_eq!(back.rc, s.rc);
+        assert_eq!(back.region, s.region);
+        assert_eq!(back.target, s.target);
+        for (a, b) in s.positions.iter().zip(&back.positions) {
+            assert!(a.distance(*b) < 1e-12);
+        }
+        for (_, a, b) in s.graph.edges() {
+            assert!(back.graph.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\nrc 2.0   # inline comment\nregion 0 0 4 4\ntarget 1 1 3 3\nnode 0 1 1 1\nnode 1 2 2 0\nedge 0 1\n\n";
+        let s = read_scenario(text).unwrap();
+        assert_eq!(s.rc, 2.0);
+        assert_eq!(s.graph.node_count(), 2);
+        assert_eq!(s.graph.edge_count(), 1);
+        assert_eq!(s.boundary, vec![true, false]);
+    }
+
+    #[test]
+    fn missing_headers_detected() {
+        assert_eq!(
+            read_scenario("region 0 0 1 1\ntarget 0 0 1 1\n").unwrap_err(),
+            ParseError::MissingHeader { key: "rc" }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let err = read_scenario("rc x\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }), "{err}");
+        let err = read_scenario("rc 1\nregion 0 0 1 1\ntarget 0 0 1 1\nnode 5 0 0 0\n")
+            .unwrap_err();
+        assert_eq!(err, ParseError::NonDenseNodeIds { line: 4 });
+        let err = read_scenario("rc 1\nregion 0 0 1 1\ntarget 0 0 1 1\nnode 0 0 0 0\nedge 0 9\n")
+            .unwrap_err();
+        assert_eq!(err, ParseError::BadEdge { line: 5 });
+        let err = read_scenario("wibble 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let err = read_scenario(
+            "rc 1\nregion 0 0 1 1\ntarget 0 0 1 1\nnode 0 0 0 0\nnode 1 1 1 0\nedge 0 1\nedge 1 0\n",
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseError::BadEdge { line: 7 });
+    }
+}

@@ -1,0 +1,356 @@
+//! Planar geometry primitives.
+//!
+//! The simulator knows ground-truth node coordinates (the algorithms under
+//! test never see them); this module supplies the geometric tools used to
+//! generate deployments and to *verify* coverage claims: distances,
+//! rectangles, winding numbers and minimum enclosing circles (the paper
+//! measures a coverage hole by the diameter of its minimum circumscribing
+//! circle).
+
+use std::fmt;
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (no square root).
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle, defined by its min and max corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0 > x1` or `y0 > y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "rectangle corners out of order");
+        Rect { min: Point::new(x0, y0), max: Point::new(x1, y1) }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` if `p` lies inside or on the rectangle.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The rectangle shrunk by `margin` on every side.
+    ///
+    /// Collapses to a degenerate (empty) rectangle at the centre when the
+    /// margin exceeds half the extent.
+    pub fn shrunk(&self, margin: f64) -> Rect {
+        let cx = (self.min.x + self.max.x) / 2.0;
+        let cy = (self.min.y + self.max.y) / 2.0;
+        Rect {
+            min: Point::new((self.min.x + margin).min(cx), (self.min.y + margin).min(cy)),
+            max: Point::new((self.max.x - margin).max(cx), (self.max.y - margin).max(cy)),
+        }
+    }
+
+    /// Distance from `p` to the rectangle's boundary rim (0 on the rim;
+    /// positive inside and outside alike).
+    pub fn rim_distance(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(p.y - self.max.y);
+        if dx <= 0.0 && dy <= 0.0 {
+            // Inside: distance to the nearest side.
+            (-dx).min(-dy)
+        } else {
+            // Outside: distance to the nearest point of the rectangle.
+            let ox = dx.max(0.0);
+            let oy = dy.max(0.0);
+            (ox * ox + oy * oy).sqrt()
+        }
+    }
+}
+
+/// A circle, as produced by [`min_enclosing_circle`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Circle {
+    /// Centre of the circle.
+    pub center: Point,
+    /// Radius of the circle.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Diameter of the circle.
+    pub fn diameter(&self) -> f64 {
+        2.0 * self.radius
+    }
+
+    /// Returns `true` if `p` lies inside or on the circle (with a small
+    /// numeric tolerance).
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance(p) <= self.radius * (1.0 + 1e-9) + 1e-12
+    }
+}
+
+/// Minimum enclosing circle of a point set (Welzl's algorithm, iterative
+/// move-to-front variant).
+///
+/// Runs in expected linear time for shuffled inputs; this deterministic
+/// implementation processes points in the given order, which is quadratic in
+/// adversarial cases but fine for the hole sizes encountered here.
+///
+/// Returns a zero circle for the empty set.
+pub fn min_enclosing_circle(points: &[Point]) -> Circle {
+    fn circle_two(a: Point, b: Point) -> Circle {
+        let center = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+        Circle { center, radius: center.distance(a) }
+    }
+
+    fn circle_three(a: Point, b: Point, c: Point) -> Option<Circle> {
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < 1e-12 {
+            return None; // collinear
+        }
+        let a2 = a.x * a.x + a.y * a.y;
+        let b2 = b.x * b.x + b.y * b.y;
+        let c2 = c.x * c.x + c.y * c.y;
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Point::new(ux, uy);
+        Some(Circle { center, radius: center.distance(a) })
+    }
+
+    fn mec_with(points: &[Point], boundary: &mut Vec<Point>) -> Circle {
+        debug_assert!(boundary.len() <= 3);
+        let mut circle = match boundary.len() {
+            0 => Circle::default(),
+            1 => Circle { center: boundary[0], radius: 0.0 },
+            2 => circle_two(boundary[0], boundary[1]),
+            _ => {
+                return circle_three(boundary[0], boundary[1], boundary[2]).unwrap_or_else(|| {
+                    // Collinear boundary: fall back to the farthest pair.
+                    let mut best = circle_two(boundary[0], boundary[1]);
+                    for &(i, j) in &[(0usize, 2usize), (1, 2)] {
+                        let c = circle_two(boundary[i], boundary[j]);
+                        if c.radius > best.radius {
+                            best = c;
+                        }
+                    }
+                    best
+                });
+            }
+        };
+        for (i, &p) in points.iter().enumerate() {
+            if !circle.contains(p) {
+                boundary.push(p);
+                circle = mec_with(&points[..i], boundary);
+                boundary.pop();
+            }
+        }
+        circle
+    }
+
+    mec_with(points, &mut Vec::new())
+}
+
+/// Winding parity of closed polyline `polygon` around `p`: `true` when `p`
+/// is enclosed an odd number of times (ray-casting / even–odd rule).
+///
+/// Robust for self-intersecting polylines, which is exactly what the
+/// boundary-walk validation needs.
+pub fn encloses(polygon: &[Point], p: Point) -> bool {
+    let mut inside = false;
+    let n = polygon.len();
+    if n < 3 {
+        return false;
+    }
+    let mut j = n - 1;
+    for i in 0..n {
+        let (pi, pj) = (polygon[i], polygon[j]);
+        if (pi.y > p.y) != (pj.y > p.y) {
+            let x_cross = pj.x + (p.y - pj.y) / (pi.y - pj.y) * (pi.x - pj.x);
+            if p.x < x_cross {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(format!("{b}"), "(3.000, 4.000)");
+    }
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert!(r.contains(Point::new(4.0, 2.0)));
+        assert!(!r.contains(Point::new(4.1, 1.0)));
+    }
+
+    #[test]
+    fn rect_shrink() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0).shrunk(2.0);
+        assert_eq!(r, Rect::new(2.0, 2.0, 8.0, 8.0));
+        // Over-shrinking collapses to the centre.
+        let tiny = Rect::new(0.0, 0.0, 2.0, 2.0).shrunk(5.0);
+        assert_eq!(tiny.area(), 0.0);
+        assert_eq!(tiny.min, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn rim_distance() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.rim_distance(Point::new(5.0, 5.0)), 5.0);
+        assert_eq!(r.rim_distance(Point::new(1.0, 5.0)), 1.0);
+        assert_eq!(r.rim_distance(Point::new(5.0, 0.0)), 0.0);
+        assert_eq!(r.rim_distance(Point::new(13.0, 14.0)), 5.0);
+    }
+
+    #[test]
+    fn mec_of_small_sets() {
+        assert_eq!(min_enclosing_circle(&[]).radius, 0.0);
+        let one = min_enclosing_circle(&[Point::new(2.0, 3.0)]);
+        assert_eq!(one.center, Point::new(2.0, 3.0));
+        assert_eq!(one.radius, 0.0);
+        let two = min_enclosing_circle(&[Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
+        assert!((two.radius - 1.0).abs() < 1e-9);
+        assert_eq!(two.center, Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn mec_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let c = min_enclosing_circle(&pts);
+        assert!((c.radius - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((c.diameter() - 2.0_f64.sqrt()).abs() < 1e-9);
+        for p in pts {
+            assert!(c.contains(p));
+        }
+    }
+
+    #[test]
+    fn mec_interior_points_ignored() {
+        let mut pts = vec![
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, -1.0),
+        ];
+        for i in 0..10 {
+            pts.push(Point::new(0.01 * i as f64, 0.005 * i as f64));
+        }
+        let c = min_enclosing_circle(&pts);
+        assert!((c.radius - 1.0).abs() < 1e-9);
+        assert!(c.center.distance(Point::new(0.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn mec_collinear() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(4.0, 0.0)];
+        let c = min_enclosing_circle(&pts);
+        assert!((c.radius - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn winding_parity_simple_polygon() {
+        let square = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        assert!(encloses(&square, Point::new(2.0, 2.0)));
+        assert!(!encloses(&square, Point::new(5.0, 2.0)));
+        assert!(!encloses(&square, Point::new(-1.0, -1.0)));
+    }
+
+    #[test]
+    fn winding_parity_self_intersecting() {
+        // A bow-tie: the two lobes are enclosed, the crossing region twice
+        // (even parity for the central point exactly on the crossing is
+        // degenerate, test off-centre points instead).
+        let bowtie = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ];
+        assert!(encloses(&bowtie, Point::new(1.0, 2.0)));
+        assert!(encloses(&bowtie, Point::new(3.0, 2.0)));
+        assert!(!encloses(&bowtie, Point::new(2.0, 3.5)), "above the crossing: outside");
+    }
+
+    #[test]
+    fn degenerate_polygons_enclose_nothing() {
+        assert!(!encloses(&[], Point::new(0.0, 0.0)));
+        assert!(!encloses(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)], Point::new(0.5, 0.5)));
+    }
+}

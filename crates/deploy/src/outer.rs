@@ -1,0 +1,310 @@
+//! Outer boundary walk extraction.
+//!
+//! The scheduler itself never needs an explicit boundary cycle (boundary
+//! nodes simply never sleep), but the *verification* of the coverage
+//! criterion (Propositions 2/3) does: it needs the outer boundary as a
+//! cycle-space vector. With ground-truth positions this module walks the
+//! outer face of the boundary-band subgraph and validates the result by a
+//! winding-parity test — every internal node must be enclosed.
+//!
+//! The face walk is exact on planar drawings; communication graphs drawn in
+//! the plane may have crossing links, so the walk is always validated and
+//! callers must treat `None` as "no certified boundary walk found".
+
+use confine_graph::{traverse, GraphView, Masked, NodeId};
+
+use crate::geometry::{encloses, Point};
+use crate::scenario::Scenario;
+
+/// A closed walk along the outer boundary of the network.
+///
+/// The walk may revisit vertices (e.g. around cut vertices of the boundary
+/// band); its mod-2 edge multiset is the boundary element of the cycle
+/// space. `walk[0]` is the bottom-most boundary node and consecutive
+/// entries (cyclically) are adjacent in the communication graph.
+#[derive(Debug, Clone)]
+pub struct OuterWalk {
+    /// The vertex sequence of the closed walk (first vertex not repeated at
+    /// the end).
+    pub walk: Vec<NodeId>,
+}
+
+impl OuterWalk {
+    /// The undirected edges of the walk with odd multiplicity — the
+    /// cycle-space element the walk represents, as vertex pairs.
+    pub fn odd_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut count: std::collections::HashMap<(NodeId, NodeId), usize> =
+            std::collections::HashMap::new();
+        let n = self.walk.len();
+        for i in 0..n {
+            let a = self.walk[i];
+            let b = self.walk[(i + 1) % n];
+            let key = if a < b { (a, b) } else { (b, a) };
+            *count.entry(key).or_default() += 1;
+        }
+        let mut edges: Vec<(NodeId, NodeId)> =
+            count.into_iter().filter(|&(_, c)| c % 2 == 1).map(|(e, _)| e).collect();
+        edges.sort_unstable();
+        edges
+    }
+}
+
+/// Extracts and validates the outer boundary walk of `scenario`.
+///
+/// Walks the outer face of the subgraph induced by boundary nodes using the
+/// ground-truth embedding, then validates that the resulting polygon
+/// encloses every internal node (winding parity). Returns `None` when the
+/// boundary band has no certified outer walk (disconnected band, pathological
+/// crossings, degenerate scenarios).
+pub fn extract_outer_walk(scenario: &Scenario) -> Option<OuterWalk> {
+    face_walk(scenario).or_else(|| angular_walk(scenario))
+}
+
+/// Planar outer-face walk; exact on planar drawings, validated by winding.
+fn face_walk(scenario: &Scenario) -> Option<OuterWalk> {
+    let boundary_nodes = scenario.boundary_nodes();
+    if boundary_nodes.len() < 3 {
+        return None;
+    }
+    let view = Masked::from_active(&scenario.graph, &boundary_nodes);
+    let pos = |v: NodeId| scenario.positions[v.index()];
+
+    // Start at the bottom-most boundary node (ties: left-most).
+    let start = *boundary_nodes
+        .iter()
+        .min_by(|&&a, &&b| {
+            let (pa, pb) = (pos(a), pos(b));
+            pa.y.total_cmp(&pb.y).then(pa.x.total_cmp(&pb.x))
+        })
+        .expect("non-empty boundary");
+
+    let first = next_ccw(&view, pos, start, None)?;
+    let mut walk = vec![start];
+    let (mut prev, mut cur) = (start, first);
+    let limit = 4 * scenario.graph.edge_count() + 4;
+    for _ in 0..limit {
+        if cur == start {
+            // Closed when the next hop would repeat the initial edge.
+            let next = next_ccw(&view, pos, cur, Some(prev))?;
+            if next == first {
+                return validate(scenario, walk);
+            }
+        }
+        walk.push(cur);
+        let next = next_ccw(&view, pos, cur, Some(prev))?;
+        prev = cur;
+        cur = next;
+    }
+    None
+}
+
+/// Fallback for non-planar drawings (crossing communication links): sweep
+/// the boundary nodes by angle around the region centre and stitch
+/// consecutive ones with shortest paths inside the boundary subgraph. The
+/// result is a closed walk winding once around the interior whenever the
+/// band is annulus-shaped; the winding validation certifies it.
+fn angular_walk(scenario: &Scenario) -> Option<OuterWalk> {
+    let boundary_nodes = scenario.boundary_nodes();
+    if boundary_nodes.len() < 3 {
+        return None;
+    }
+    let view = Masked::from_active(&scenario.graph, &boundary_nodes);
+    let cx = (scenario.region.min.x + scenario.region.max.x) / 2.0;
+    let cy = (scenario.region.min.y + scenario.region.max.y) / 2.0;
+
+    // One anchor per angular sector: the most outward boundary node (closest
+    // to the region rim). Anchoring at the rim keeps the stitched polygon
+    // outside the target even when the flagged band is thick.
+    const SECTORS: usize = 24;
+    let mut anchors: Vec<Option<(f64, NodeId)>> = vec![None; SECTORS];
+    for &v in &boundary_nodes {
+        let p = scenario.positions[v.index()];
+        let ang = (p.y - cy).atan2(p.x - cx) + std::f64::consts::PI;
+        let sector = (((ang / std::f64::consts::TAU) * SECTORS as f64) as usize).min(SECTORS - 1);
+        let outwardness = -scenario.region.rim_distance(p);
+        if anchors[sector].is_none_or(|(o, _)| outwardness > o) {
+            anchors[sector] = Some((outwardness, v));
+        }
+    }
+    let ordered: Vec<NodeId> = anchors.iter().flatten().map(|&(_, v)| v).collect();
+    if ordered.len() < 3 {
+        return None;
+    }
+
+    let mut walk: Vec<NodeId> = Vec::new();
+    for i in 0..ordered.len() {
+        let a = ordered[i];
+        let b = ordered[(i + 1) % ordered.len()];
+        let path = traverse::shortest_path(&view, a, b)?;
+        // Append the path excluding its final vertex (the next leg adds it).
+        walk.extend_from_slice(&path[..path.len() - 1]);
+    }
+    if walk.len() < 3 {
+        return None;
+    }
+    validate(scenario, walk)
+}
+
+/// Certifies that the walk represents the outer boundary class: every
+/// sampled point of the target area is enclosed (winding parity), so the
+/// walk winds once around everything the criterion must cover.
+fn validate(scenario: &Scenario, walk: Vec<NodeId>) -> Option<OuterWalk> {
+    let polygon: Vec<Point> = walk.iter().map(|&v| scenario.positions[v.index()]).collect();
+    let t = scenario.target;
+    if t.width() <= 0.0 || t.height() <= 0.0 {
+        return None;
+    }
+    const SAMPLES: usize = 7;
+    for i in 0..SAMPLES {
+        for j in 0..SAMPLES {
+            let p = Point::new(
+                t.min.x + t.width() * (i as f64 + 0.5) / SAMPLES as f64,
+                t.min.y + t.height() * (j as f64 + 0.5) / SAMPLES as f64,
+            );
+            if !encloses(&polygon, p) {
+                return None;
+            }
+        }
+    }
+    Some(OuterWalk { walk })
+}
+
+/// Picks the next vertex of the counterclockwise outer-face walk: the first
+/// neighbour counterclockwise from the back direction.
+///
+/// With `from == None` (the walk start at the bottom-most vertex), the back
+/// direction points straight down, so the walk leaves towards the most
+/// clockwise-from-down neighbour and proceeds CCW with the region interior
+/// on its left.
+fn next_ccw<V, P>(view: &V, pos: P, at: NodeId, from: Option<NodeId>) -> Option<NodeId>
+where
+    V: GraphView,
+    P: Fn(NodeId) -> Point,
+{
+    let here = pos(at);
+    let back_angle = match from {
+        Some(u) => {
+            let p = pos(u);
+            (p.y - here.y).atan2(p.x - here.x)
+        }
+        None => -std::f64::consts::FRAC_PI_2,
+    };
+    let mut best: Option<(f64, NodeId)> = None;
+    for w in view.view_neighbors(at) {
+        let p = pos(w);
+        let angle = (p.y - here.y).atan2(p.x - here.x);
+        let mut delta = angle - back_angle;
+        while delta <= 1e-12 {
+            delta += std::f64::consts::TAU;
+        }
+        // Returning along the back edge is the last resort (delta = 2π).
+        if Some(w) == from {
+            delta = std::f64::consts::TAU;
+        }
+        if best.is_none_or(|(bd, bw)| delta < bd || (delta == bd && w < bw)) {
+            best = Some((delta, w));
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect};
+    use confine_graph::Graph;
+
+    /// A ring of boundary nodes around one internal node.
+    fn ring_scenario(ring: usize) -> Scenario {
+        let mut graph = Graph::new();
+        graph.add_nodes(ring + 1);
+        let mut positions = Vec::new();
+        for i in 0..ring {
+            let theta = std::f64::consts::TAU * i as f64 / ring as f64;
+            positions.push(Point::new(theta.cos(), theta.sin()));
+            graph
+                .add_edge(NodeId::from(i), NodeId::from((i + 1) % ring))
+                .expect("ring edges unique");
+        }
+        positions.push(Point::new(0.0, 0.0)); // internal node
+        for i in 0..ring {
+            graph.add_edge(NodeId::from(i), NodeId::from(ring)).expect("spokes");
+        }
+        let mut boundary = vec![true; ring];
+        boundary.push(false);
+        Scenario {
+            graph,
+            positions,
+            rc: 1.5,
+            boundary,
+            region: Rect::new(-1.0, -1.0, 1.0, 1.0),
+            target: Rect::new(-0.5, -0.5, 0.5, 0.5),
+        }
+    }
+
+    #[test]
+    fn ring_walk_is_the_ring() {
+        let s = ring_scenario(8);
+        let w = extract_outer_walk(&s).expect("ring walk exists");
+        assert_eq!(w.walk.len(), 8);
+        let mut sorted: Vec<NodeId> = w.walk.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).map(NodeId::from).collect::<Vec<_>>());
+        assert_eq!(w.odd_edges().len(), 8);
+    }
+
+    #[test]
+    fn walk_encloses_internal_node() {
+        let s = ring_scenario(12);
+        let w = extract_outer_walk(&s).expect("walk exists");
+        let polygon: Vec<Point> = w.walk.iter().map(|&v| s.positions[v.index()]).collect();
+        assert!(encloses(&polygon, Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn chord_does_not_shortcut_the_outer_face() {
+        // Ring of 8 with a chord between nodes 0 and 4: the outer walk must
+        // still follow the rim, not the chord.
+        let mut s = ring_scenario(8);
+        s.graph.add_edge(NodeId(0), NodeId(4)).unwrap();
+        let w = extract_outer_walk(&s).expect("walk exists");
+        assert_eq!(w.walk.len(), 8, "chord must not appear in the outer walk");
+    }
+
+    #[test]
+    fn walk_must_enclose_the_target() {
+        // A target area reaching beyond the ring cannot be certified.
+        let mut s = ring_scenario(8);
+        s.target = Rect::new(-3.0, -3.0, 3.0, 3.0);
+        assert!(extract_outer_walk(&s).is_none(), "target extends past the boundary walk");
+        // Degenerate target: nothing to certify.
+        let mut s = ring_scenario(8);
+        s.target = Rect::new(0.0, 0.0, 0.0, 0.0);
+        assert!(extract_outer_walk(&s).is_none());
+    }
+
+    #[test]
+    fn too_few_boundary_nodes() {
+        let mut s = ring_scenario(8);
+        s.boundary = vec![false; s.boundary.len()];
+        s.boundary[0] = true;
+        s.boundary[1] = true;
+        assert!(extract_outer_walk(&s).is_none());
+    }
+
+    #[test]
+    fn dead_end_spur_cancels_out() {
+        // Ring of 6 plus a boundary spur sticking out: the walk traverses the
+        // spur edge twice, so it disappears from the odd-edge set.
+        let mut s = ring_scenario(6);
+        let spur = s.graph.add_node();
+        s.positions.push(Point::new(1.8, 0.0));
+        s.graph.add_edge(NodeId(0), spur).unwrap();
+        s.boundary.push(true);
+        let w = extract_outer_walk(&s).expect("walk exists");
+        assert_eq!(w.walk.len(), 8, "6 ring nodes + spur visited + re-visit of node 0's spur base");
+        let odd = w.odd_edges();
+        assert_eq!(odd.len(), 6, "spur edge cancels, ring remains");
+        assert!(!odd.contains(&(NodeId(0), spur)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Radio / communication models: positions → connectivity.
+//!
+//! The paper's criterion only assumes that **every link spans at most `Rc`**
+//! — it does not require the unit disk model (Sec. III-A). The models here
+//! cover the spectrum used in the evaluation:
+//!
+//! * [`CommModel::Udg`] — classic unit disk graph (used for Fig. 3/4 to
+//!   match HGC's assumptions);
+//! * [`CommModel::QuasiUdg`] — quasi-UDG: links shorter than `r_in` always
+//!   exist, links between `r_in` and `rc` exist with probability `p_mid`
+//!   (irregular, sub-UDG connectivity);
+//! * the log-normal shadowing RSSI model in [`crate::trace`] for the
+//!   GreenOrbs-style topology.
+
+use confine_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::deployment::Deployment;
+
+/// A connectivity model mapping node positions to a communication graph.
+///
+/// All models guarantee the paper's standing assumption: no link is longer
+/// than the maximum communication range `rc`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommModel {
+    /// Unit disk graph: a link exists iff the distance is ≤ `rc`.
+    Udg {
+        /// Maximum (and only) communication range.
+        rc: f64,
+    },
+    /// Quasi unit disk graph: links ≤ `r_in` always exist; links in
+    /// `(r_in, rc]` exist independently with probability `p_mid`.
+    QuasiUdg {
+        /// Inner radius below which links are certain.
+        r_in: f64,
+        /// Maximum communication range.
+        rc: f64,
+        /// Probability of a link in the uncertain annulus.
+        p_mid: f64,
+    },
+}
+
+impl CommModel {
+    /// The maximum communication range `Rc` of the model.
+    pub fn rc(&self) -> f64 {
+        match *self {
+            CommModel::Udg { rc } => rc,
+            CommModel::QuasiUdg { rc, .. } => rc,
+        }
+    }
+
+    /// Builds the communication graph of `deployment` under this model.
+    ///
+    /// Node `i` of the graph sits at `deployment.positions[i]`. The RNG is
+    /// only consulted by probabilistic models; UDG construction is
+    /// deterministic.
+    pub fn build<R: Rng>(&self, deployment: &Deployment, rng: &mut R) -> Graph {
+        let pts = &deployment.positions;
+        let n = pts.len();
+        let mut g = Graph::with_node_capacity(n);
+        g.add_nodes(n);
+        let rc = self.rc();
+        let rc2 = rc * rc;
+
+        // Uniform grid hashing: only O(n·deg) pair tests instead of O(n²).
+        let cell = rc.max(1e-9);
+        let key = |p: crate::geometry::Point| {
+            ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+        };
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &p) in pts.iter().enumerate() {
+            buckets.entry(key(p)).or_default().push(i);
+        }
+
+        for i in 0..n {
+            let (cx, cy) = key(pts[i]);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(cands) = buckets.get(&(cx + dx, cy + dy)) else { continue };
+                    for &j in cands {
+                        if j <= i {
+                            continue;
+                        }
+                        let d2 = pts[i].distance_sq(pts[j]);
+                        if d2 > rc2 {
+                            continue;
+                        }
+                        let link = match *self {
+                            CommModel::Udg { .. } => true,
+                            CommModel::QuasiUdg { r_in, p_mid, .. } => {
+                                d2 <= r_in * r_in || rng.gen_bool(p_mid.clamp(0.0, 1.0))
+                            }
+                        };
+                        if link {
+                            g.add_edge(NodeId::from(i), NodeId::from(j))
+                                .expect("each pair visited once");
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment;
+    use crate::geometry::{Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_deployment(spacing: f64, n: usize) -> Deployment {
+        Deployment {
+            positions: (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect(),
+            region: Rect::new(0.0, -1.0, spacing * n as f64, 1.0),
+        }
+    }
+
+    #[test]
+    fn udg_links_by_distance() {
+        let d = line_deployment(0.6, 4); // gaps 0.6, neighbours at 1.2 apart are out of range
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = CommModel::Udg { rc: 1.0 }.build(&d, &mut rng);
+        assert_eq!(g.edge_count(), 3, "only consecutive nodes within 1.0");
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn udg_is_deterministic() {
+        let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = deployment::uniform(200, region, &mut rng);
+        let g1 = CommModel::Udg { rc: 1.5 }.build(&d, &mut StdRng::seed_from_u64(2));
+        let g2 = CommModel::Udg { rc: 1.5 }.build(&d, &mut StdRng::seed_from_u64(99));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn udg_degree_matches_sizing() {
+        let rc = 1.0;
+        let side = deployment::square_side_for_degree(900, rc, 20.0);
+        let region = Rect::new(0.0, 0.0, side, side);
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = deployment::uniform(900, region, &mut rng);
+        let g = CommModel::Udg { rc }.build(&d, &mut rng);
+        let deg = g.average_degree();
+        // Border effects push the average a bit below the target.
+        assert!((15.0..22.0).contains(&deg), "average degree {deg} out of band");
+    }
+
+    #[test]
+    fn quasi_udg_between_inner_and_outer() {
+        let region = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = deployment::uniform(400, region, &mut rng);
+        let full = CommModel::Udg { rc: 1.0 }.build(&d, &mut rng);
+        let inner = CommModel::Udg { rc: 0.5 }.build(&d, &mut rng);
+        let quasi = CommModel::QuasiUdg { r_in: 0.5, rc: 1.0, p_mid: 0.5 }
+            .build(&d, &mut StdRng::seed_from_u64(10));
+        assert!(quasi.edge_count() >= inner.edge_count());
+        assert!(quasi.edge_count() <= full.edge_count());
+        // All certain links present.
+        for (_, a, b) in inner.edges() {
+            assert!(quasi.has_edge(a, b), "short link {a:?}-{b:?} must exist");
+        }
+        // No link exceeds rc.
+        for (_, a, b) in quasi.edges() {
+            assert!(d.positions[a.index()].distance(d.positions[b.index()]) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quasi_udg_extreme_probabilities() {
+        let d = line_deployment(0.7, 6);
+        let quasi0 = CommModel::QuasiUdg { r_in: 0.3, rc: 1.0, p_mid: 0.0 }
+            .build(&d, &mut StdRng::seed_from_u64(0));
+        assert_eq!(quasi0.edge_count(), 0, "0.7 gaps all fall in the annulus");
+        let quasi1 = CommModel::QuasiUdg { r_in: 0.3, rc: 1.0, p_mid: 1.0 }
+            .build(&d, &mut StdRng::seed_from_u64(0));
+        assert_eq!(quasi1.edge_count(), 5);
+        assert_eq!(CommModel::QuasiUdg { r_in: 0.3, rc: 1.0, p_mid: 1.0 }.rc(), 1.0);
+    }
+}

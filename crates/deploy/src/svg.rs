@@ -1,0 +1,182 @@
+//! SVG rendering of network snapshots — the graphical analogue of the
+//! paper's Figures 2 and 7.
+//!
+//! Produces a self-contained SVG document: communication links as thin
+//! lines, sleeping nodes as hollow dots, awake internal nodes as filled
+//! circles, boundary nodes as filled squares (the paper's own glyph
+//! convention), plus the target-area rectangle.
+
+use std::fmt::Write as _;
+
+use confine_graph::NodeId;
+
+use crate::scenario::Scenario;
+
+/// Rendering options for [`render_svg`].
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Pixel width of the output; height follows the region's aspect ratio.
+    pub width: f64,
+    /// Whether communication links among awake nodes are drawn.
+    pub draw_edges: bool,
+    /// Node radius in pixels.
+    pub node_radius: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 640.0, draw_edges: true, node_radius: 4.0 }
+    }
+}
+
+/// Renders the scenario (with `active` awake nodes) as an SVG document.
+///
+/// # Example
+///
+/// ```
+/// use confine_deploy::scenario::random_udg_scenario;
+/// use confine_deploy::svg::{render_svg, SvgOptions};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = random_udg_scenario(60, 1.0, 10.0, &mut rng);
+/// let all: Vec<_> = s.graph.nodes().collect();
+/// let svg = render_svg(&s, &all, SvgOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// ```
+pub fn render_svg(scenario: &Scenario, active: &[NodeId], options: SvgOptions) -> String {
+    let region = scenario.region;
+    let scale = options.width / region.width().max(1e-9);
+    let height = region.height() * scale;
+    let margin = 8.0;
+    // SVG y grows downward; flip so the rendering matches the plane.
+    let px = |x: f64| (x - region.min.x) * scale + margin;
+    let py = |y: f64| height - (y - region.min.y) * scale + margin;
+
+    let mut is_active = vec![false; scenario.graph.node_count()];
+    for &v in active {
+        is_active[v.index()] = true;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        options.width + 2.0 * margin,
+        height + 2.0 * margin,
+        options.width + 2.0 * margin,
+        height + 2.0 * margin,
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    // Target area.
+    let t = scenario.target;
+    let _ = writeln!(
+        out,
+        r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#999" stroke-dasharray="6 4"/>"##,
+        px(t.min.x),
+        py(t.max.y),
+        t.width() * scale,
+        t.height() * scale,
+    );
+
+    if options.draw_edges {
+        let _ = writeln!(out, r##"<g stroke="#c8d4e8" stroke-width="0.7">"##);
+        for (_, a, b) in scenario.graph.edges() {
+            if !is_active[a.index()] || !is_active[b.index()] {
+                continue;
+            }
+            let (pa, pb) = (scenario.positions[a.index()], scenario.positions[b.index()]);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+                px(pa.x),
+                py(pa.y),
+                px(pb.x),
+                py(pb.y),
+            );
+        }
+        let _ = writeln!(out, "</g>");
+    }
+
+    let r = options.node_radius;
+    for v in scenario.graph.nodes() {
+        let p = scenario.positions[v.index()];
+        let (x, y) = (px(p.x), py(p.y));
+        if !is_active[v.index()] {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="{:.1}" fill="none" stroke="#bbb" stroke-width="0.8"/>"##,
+                r * 0.6,
+            );
+        } else if scenario.boundary[v.index()] {
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#d62728"/>"##,
+                x - r,
+                y - r,
+                2.0 * r,
+                2.0 * r,
+            );
+        } else {
+            let _ = writeln!(out, r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="#1f77b4"/>"##);
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect};
+    use confine_graph::Graph;
+
+    fn tiny_scenario() -> Scenario {
+        let graph = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        Scenario {
+            graph,
+            positions: vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(10.0, 10.0)],
+            rc: 8.0,
+            boundary: vec![true, false, false],
+            region: Rect::new(0.0, 0.0, 10.0, 10.0),
+            target: Rect::new(2.0, 2.0, 8.0, 8.0),
+        }
+    }
+
+    #[test]
+    fn emits_expected_glyphs() {
+        let s = tiny_scenario();
+        let svg = render_svg(&s, &[NodeId(0), NodeId(1)], SvgOptions::default());
+        // Boundary node 0 → filled square; awake internal 1 → filled circle;
+        // sleeping 2 → hollow circle.
+        assert_eq!(svg.matches(r##"fill="#d62728"##).count(), 1);
+        assert_eq!(svg.matches(r##"fill="#1f77b4"##).count(), 1);
+        assert_eq!(svg.matches(r##"stroke="#bbb"##).count(), 1);
+        // One active-active link (0-1); the 1-2 link has a sleeping endpoint.
+        assert_eq!(svg.matches("<line ").count(), 1);
+        // The dashed target rectangle is present.
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn edges_can_be_disabled() {
+        let s = tiny_scenario();
+        let svg = render_svg(
+            &s,
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            SvgOptions { draw_edges: false, ..SvgOptions::default() },
+        );
+        assert_eq!(svg.matches("<line ").count(), 0);
+    }
+
+    #[test]
+    fn aspect_ratio_follows_region() {
+        let mut s = tiny_scenario();
+        s.region = Rect::new(0.0, 0.0, 20.0, 10.0);
+        let svg = render_svg(&s, &[], SvgOptions { width: 400.0, ..SvgOptions::default() });
+        // Height should be ~200 (+ margins).
+        assert!(svg.contains(r#"height="216""#), "{}", &svg[..svg.find('\n').unwrap()]);
+    }
+}

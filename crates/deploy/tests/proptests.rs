@@ -1,0 +1,112 @@
+//! Property tests for the geometric substrate: minimum enclosing circles,
+//! winding parity, coverage rasterisation and radio models.
+
+use proptest::prelude::*;
+
+use confine_deploy::coverage::verify_coverage;
+use confine_deploy::geometry::{encloses, min_enclosing_circle, Point, Rect};
+use confine_deploy::{deployment, CommModel};
+use confine_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(Point::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The minimum enclosing circle contains every input point.
+    #[test]
+    fn mec_contains_all_points(pts in arb_points(40)) {
+        let c = min_enclosing_circle(&pts);
+        for p in &pts {
+            prop_assert!(c.contains(*p), "{p} outside circle r={} at {}", c.radius, c.center);
+        }
+    }
+
+    /// The MEC radius is at least half the farthest pair distance and at
+    /// most that distance (circumradius bounds).
+    #[test]
+    fn mec_radius_bounds(pts in arb_points(25)) {
+        let c = min_enclosing_circle(&pts);
+        let mut diam: f64 = 0.0;
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                diam = diam.max(a.distance(*b));
+            }
+        }
+        prop_assert!(c.radius + 1e-9 >= diam / 2.0);
+        prop_assert!(c.radius <= diam / 3f64.sqrt() + 1e-9, "beyond the equilateral bound");
+    }
+
+    /// Winding parity: the centroid of a convex polygon is enclosed; a far
+    /// away point never is.
+    #[test]
+    fn winding_parity_convex(n in 3usize..12, radius in 0.5..20.0f64) {
+        let polygon: Vec<Point> = (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(radius * t.cos(), radius * t.sin())
+            })
+            .collect();
+        prop_assert!(encloses(&polygon, Point::new(0.0, 0.0)));
+        prop_assert!(!encloses(&polygon, Point::new(3.0 * radius, 0.0)));
+    }
+
+    /// Covered fraction is monotone in the sensing radius.
+    #[test]
+    fn coverage_monotone_in_rs(seed in 0u64..200) {
+        let region = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dep = deployment::uniform(20, region, &mut rng);
+        let active: Vec<NodeId> = (0..20).map(NodeId::from).collect();
+        let target = region.shrunk(1.0);
+        let mut prev = -1.0;
+        for rs in [0.4, 0.8, 1.2, 1.6] {
+            let report = verify_coverage(&dep.positions, &active, rs, target, 0.25);
+            prop_assert!(report.covered_fraction + 1e-12 >= prev);
+            prev = report.covered_fraction;
+            // Hole diameters are bounded by the target diagonal plus a cell.
+            let diag = (target.width().powi(2) + target.height().powi(2)).sqrt();
+            prop_assert!(report.max_hole_diameter() <= diag + 0.5);
+        }
+    }
+
+    /// Quasi-UDG is sandwiched between its inner UDG and the full UDG, for
+    /// any parameters.
+    #[test]
+    fn quasi_udg_sandwich(seed in 0u64..100, r_in in 0.2..0.9f64, p in 0.0..1.0f64) {
+        let region = Rect::new(0.0, 0.0, 6.0, 6.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dep = deployment::uniform(60, region, &mut rng);
+        let inner = CommModel::Udg { rc: r_in }.build(&dep, &mut rng);
+        let outer = CommModel::Udg { rc: 1.0 }.build(&dep, &mut rng);
+        let quasi = CommModel::QuasiUdg { r_in, rc: 1.0, p_mid: p }
+            .build(&dep, &mut StdRng::seed_from_u64(seed + 1));
+        for (_, a, b) in inner.edges() {
+            prop_assert!(quasi.has_edge(a, b));
+        }
+        for (_, a, b) in quasi.edges() {
+            prop_assert!(outer.has_edge(a, b));
+        }
+    }
+
+    /// The degree-sizing helper yields deployments whose measured average
+    /// degree lands in a sane band around the target.
+    #[test]
+    fn degree_sizing_is_calibrated(seed in 0u64..30) {
+        let n = 500;
+        let target = 20.0;
+        let side = deployment::square_side_for_degree(n, 1.0, target);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dep = deployment::uniform(n, Rect::new(0.0, 0.0, side, side), &mut rng);
+        let g = CommModel::Udg { rc: 1.0 }.build(&dep, &mut rng);
+        let measured = g.average_degree();
+        // Border effects bias the measured degree below the target.
+        prop_assert!((target * 0.65..=target * 1.1).contains(&measured),
+            "measured degree {measured}");
+    }
+}

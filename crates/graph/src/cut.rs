@@ -1,0 +1,184 @@
+//! Articulation points and bridges (Tarjan/Hopcroft low-link).
+//!
+//! The coverage scheduler's connectivity side-conditions make cut structure
+//! a useful diagnostic: a node whose removal disconnects its component can
+//! never pass the void preserving transformation, and bridges mark the
+//! links a topology cannot afford to lose. The lifetime-rotation extension
+//! uses these to explain why certain nodes are pinned awake.
+
+use crate::graph::NodeId;
+use crate::view::GraphView;
+
+/// Cut structure of a graph view: articulation vertices and bridge edges.
+#[derive(Debug, Clone, Default)]
+pub struct CutStructure {
+    /// Vertices whose removal increases the number of connected components.
+    pub articulation_points: Vec<NodeId>,
+    /// Edges whose removal increases the number of connected components,
+    /// as canonical `(min, max)` pairs.
+    pub bridges: Vec<(NodeId, NodeId)>,
+}
+
+/// Computes articulation points and bridges of the active part of `view`
+/// with an iterative low-link DFS.
+pub fn cut_structure<V: GraphView>(view: &V) -> CutStructure {
+    let bound = view.node_bound();
+    let mut disc: Vec<Option<u32>> = vec![None; bound];
+    let mut low = vec![0u32; bound];
+    let mut parent: Vec<Option<NodeId>> = vec![None; bound];
+    let mut is_cut = vec![false; bound];
+    let mut bridges = Vec::new();
+    let mut timer = 0u32;
+
+    for root in view.active_nodes() {
+        if disc[root.index()].is_some() {
+            continue;
+        }
+        // Iterative DFS frame: (vertex, neighbor list, next index).
+        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        disc[root.index()] = Some(timer);
+        low[root.index()] = timer;
+        timer += 1;
+        stack.push((root, view.view_neighbors(root).collect(), 0));
+        let mut root_children = 0usize;
+
+        loop {
+            let (v, next) = {
+                let Some(frame) = stack.last_mut() else { break };
+                let v = frame.0;
+                if frame.2 < frame.1.len() {
+                    let w = frame.1[frame.2];
+                    frame.2 += 1;
+                    (v, Some(w))
+                } else {
+                    (v, None)
+                }
+            };
+            match next {
+                Some(w) => {
+                    if disc[w.index()].is_none() {
+                        parent[w.index()] = Some(v);
+                        if v == root {
+                            root_children += 1;
+                        }
+                        disc[w.index()] = Some(timer);
+                        low[w.index()] = timer;
+                        timer += 1;
+                        stack.push((w, view.view_neighbors(w).collect(), 0));
+                    } else if parent[v.index()] != Some(w) {
+                        low[v.index()] =
+                            low[v.index()].min(disc[w.index()].expect("discovered"));
+                    }
+                }
+                None => {
+                    stack.pop();
+                    if let Some(frame) = stack.last() {
+                        let p = frame.0;
+                        low[p.index()] = low[p.index()].min(low[v.index()]);
+                        if low[v.index()] > disc[p.index()].expect("discovered") {
+                            let (a, b) = if p < v { (p, v) } else { (v, p) };
+                            bridges.push((a, b));
+                        }
+                        if p != root && low[v.index()] >= disc[p.index()].expect("discovered") {
+                            is_cut[p.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root.index()] = true;
+        }
+    }
+
+    let articulation_points = (0..bound)
+        .map(NodeId::from)
+        .filter(|v| is_cut[v.index()])
+        .collect();
+    bridges.sort_unstable();
+    CutStructure { articulation_points, bridges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+    use crate::view::Masked;
+
+    #[test]
+    fn path_interior_is_all_cut() {
+        let g = generators::path_graph(5);
+        let cs = cut_structure(&g);
+        assert_eq!(
+            cs.articulation_points,
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(cs.bridges.len(), 4, "every path edge is a bridge");
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let cs = cut_structure(&generators::cycle_graph(6));
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]).unwrap();
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![NodeId(0)]);
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn dumbbell_bridge() {
+        // Two triangles joined by a single edge.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges, vec![(NodeId(2), NodeId(3))]);
+        assert_eq!(cs.articulation_points, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn star_center() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![NodeId(0)]);
+        assert_eq!(cs.bridges.len(), 4);
+    }
+
+    #[test]
+    fn respects_masks() {
+        let g = generators::cycle_graph(6);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(0));
+        // The cycle becomes a path 1-2-3-4-5.
+        let cs = cut_structure(&m);
+        assert_eq!(
+            cs.articulation_points,
+            vec![NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(cs.bridges.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![NodeId(1)]);
+        assert_eq!(cs.bridges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn grid_is_2_connected() {
+        let cs = cut_structure(&generators::grid_graph(4, 4));
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+}

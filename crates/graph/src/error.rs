@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while mutating or querying a [`crate::Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node identifier referenced a node that does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node identifier.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// An edge with identical endpoints was requested; the graphs in this
+    /// workspace are simple and never carry self-loops.
+    SelfLoop {
+        /// The node at both endpoints.
+        node: NodeId,
+    },
+    /// The edge already exists; simple graphs carry at most one edge per
+    /// unordered node pair.
+    DuplicateEdge {
+        /// First endpoint.
+        a: NodeId,
+        /// Second endpoint.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node:?} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop requested at node {node:?}"),
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "edge between {a:?} and {b:?} already exists")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}

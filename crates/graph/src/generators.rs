@@ -1,0 +1,243 @@
+//! Deterministic graph families used by tests, examples and benchmarks.
+//!
+//! Every generator returns a [`Graph`] whose node ids follow the documented
+//! layout, so tests can reason about exact structure (e.g. the cycle space of
+//! a `w × h` grid is spanned by its `(w−1)(h−1)` unit squares).
+
+use crate::graph::{Graph, NodeId};
+
+/// Path on `n` nodes: `0 — 1 — … — n−1`.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::with_node_capacity(n);
+    g.add_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::from(i - 1), NodeId::from(i)).expect("path edges are unique");
+    }
+    g
+}
+
+/// Cycle on `n ≥ 3` nodes: `0 — 1 — … — n−1 — 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (simple graphs cannot carry shorter cycles).
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "a simple cycle needs at least 3 nodes");
+    let mut g = path_graph(n);
+    g.add_edge(NodeId::from(n - 1), NodeId(0)).expect("closing edge is unique");
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::with_node_capacity(n);
+    g.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pairs are unique");
+        }
+    }
+    g
+}
+
+/// `w × h` grid, row-major ids: node `(x, y)` is `y * w + x`.
+pub fn grid_graph(w: usize, h: usize) -> Graph {
+    let mut g = Graph::with_node_capacity(w * h);
+    g.add_nodes(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = NodeId::from(y * w + x);
+            if x + 1 < w {
+                g.add_edge(v, NodeId::from(y * w + x + 1)).expect("grid edges unique");
+            }
+            if y + 1 < h {
+                g.add_edge(v, NodeId::from((y + 1) * w + x)).expect("grid edges unique");
+            }
+        }
+    }
+    g
+}
+
+/// `w × h` king-grid: the grid plus both diagonals of every unit square.
+///
+/// Every unit square is triangulated, which makes the maximum irreducible
+/// cycle length 3 — the regime where Ghrist's homology criterion applies.
+pub fn king_grid_graph(w: usize, h: usize) -> Graph {
+    let mut g = grid_graph(w, h);
+    for y in 0..h.saturating_sub(1) {
+        for x in 0..w.saturating_sub(1) {
+            let nw = NodeId::from(y * w + x);
+            let ne = NodeId::from(y * w + x + 1);
+            let sw = NodeId::from((y + 1) * w + x);
+            let se = NodeId::from((y + 1) * w + x + 1);
+            g.add_edge(nw, se).expect("diagonals unique");
+            g.add_edge(ne, sw).expect("diagonals unique");
+        }
+    }
+    g
+}
+
+/// Wheel: a hub (node `0`) joined to every node of an outer cycle `1..=n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn wheel_graph(n: usize) -> Graph {
+    assert!(n >= 3, "a wheel needs an outer cycle of at least 3 nodes");
+    let mut g = Graph::with_node_capacity(n + 1);
+    g.add_nodes(n + 1);
+    for i in 1..=n {
+        g.add_edge(NodeId(0), NodeId::from(i)).expect("spokes unique");
+        let next = if i == n { 1 } else { i + 1 };
+        g.add_edge(NodeId::from(i), NodeId::from(next)).expect("rim edges unique");
+    }
+    g
+}
+
+/// Theta graph: two hub nodes joined by three internally disjoint paths with
+/// `a`, `b` and `c` internal nodes respectively.
+///
+/// Its cycle space has dimension 2 and its three simple cycles have lengths
+/// `a+b+2`, `b+c+2` and `a+c+2` — a compact fixture for minimum-cycle-basis
+/// tests.
+///
+/// # Panics
+///
+/// Panics if two of the paths are direct edges (`a`, `b`, `c` may be zero at
+/// most once, otherwise the graph would carry a duplicate edge).
+pub fn theta_graph(a: usize, b: usize, c: usize) -> Graph {
+    assert!(
+        [a, b, c].iter().filter(|&&x| x == 0).count() <= 1,
+        "at most one path may be a direct edge in a simple theta graph"
+    );
+    let mut g = Graph::new();
+    let u = g.add_node();
+    let v = g.add_node();
+    for &len in &[a, b, c] {
+        let mut prev = u;
+        for _ in 0..len {
+            let w = g.add_node();
+            g.add_edge(prev, w).expect("fresh path node");
+            prev = w;
+        }
+        g.add_edge(prev, v).expect("closing path edge is unique");
+    }
+    g
+}
+
+/// The Petersen graph (10 nodes, 15 edges, girth 5).
+///
+/// Outer cycle `0..5`, inner pentagram `5..10`, spokes `i — i+5`.
+pub fn petersen_graph() -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(10);
+    for i in 0..5 {
+        g.add_edge(NodeId::from(i), NodeId::from((i + 1) % 5)).expect("outer cycle");
+        g.add_edge(NodeId::from(5 + i), NodeId::from(5 + (i + 2) % 5)).expect("pentagram");
+        g.add_edge(NodeId::from(i), NodeId::from(i + 5)).expect("spoke");
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` graph with deterministic edge sampling driven by the
+/// caller-supplied random source.
+pub fn gnp_graph<R: rand::Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::with_node_capacity(n);
+    g.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pairs unique");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse;
+    use crate::view::GraphView;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(traverse::is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle_graph(5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small() {
+        let _ = cycle_graph(2);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete_graph(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(traverse::diameter(&g), 1);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid_graph(4, 3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 4 * 2); // horizontal + vertical
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(4)));
+        assert!(!g.has_edge(NodeId(3), NodeId(4)), "no wrap-around");
+    }
+
+    #[test]
+    fn king_grid_triangulated() {
+        let g = king_grid_graph(3, 3);
+        assert_eq!(g.edge_count(), 12 + 8, "grid edges plus two diagonals per square");
+        assert_eq!(traverse::girth(&g), Some(3));
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel_graph(6);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(NodeId(0)), 6);
+    }
+
+    #[test]
+    fn theta_structure() {
+        let g = theta_graph(1, 2, 3);
+        assert_eq!(g.node_count(), 2 + 6);
+        assert_eq!(g.edge_count(), 3 + 6);
+        // Cycle space dimension m - n + 1 = 9 - 8 + 1 = 2.
+        assert!(traverse::is_connected(&g));
+        assert_eq!(traverse::girth(&g), Some(5), "shortest cycle uses the 1- and 2-paths");
+    }
+
+    #[test]
+    fn petersen_is_3_regular_girth_5() {
+        let g = petersen_graph();
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert_eq!(traverse::girth(&g), Some(5));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        let empty = gnp_graph(8, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp_graph(8, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 28);
+        assert_eq!(full.active_count(), 8);
+    }
+}

@@ -1,0 +1,494 @@
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// Dense identifier of a node inside a [`Graph`].
+///
+/// Node identifiers are assigned sequentially by [`Graph::add_node`] and are
+/// only meaningful relative to the graph that issued them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Dense identifier of an undirected edge inside a [`Graph`].
+///
+/// Edge identifiers are assigned sequentially by [`Graph::add_edge`]; they
+/// index GF(2) incidence vectors in the cycle-space machinery.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a plain `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the identifier as a plain `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(u32::try_from(value).expect("node index exceeds u32 range"))
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(u32::try_from(value).expect("edge index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A simple undirected graph with stable, dense edge identifiers.
+///
+/// The representation is an adjacency list kept sorted by neighbour id plus an
+/// edge table storing canonical `(min, max)` endpoint pairs. Neither nodes nor
+/// edges can be removed — the coverage algorithms express deletion through
+/// [`crate::Masked`] views or by rebuilding induced subgraphs, which keeps all
+/// identifiers stable and the incidence vectors of the cycle space valid.
+///
+/// # Example
+///
+/// ```
+/// use confine_graph::Graph;
+///
+/// let mut g = Graph::with_node_capacity(3);
+/// let nodes: Vec<_> = (0..3).map(|_| g.add_node()).collect();
+/// g.add_edge(nodes[0], nodes[1])?;
+/// let e = g.add_edge(nodes[1], nodes[2])?;
+/// assert_eq!(g.endpoints(e), (nodes[1], nodes[2]));
+/// assert_eq!(g.degree(nodes[1]), 2);
+/// # Ok::<(), confine_graph::GraphError>(())
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { adj: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes.
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        Graph { adj: Vec::with_capacity(nodes), edges: Vec::new() }
+    }
+
+    /// Creates a graph with `nodes` fresh nodes and the given edges.
+    ///
+    /// Nodes are identified by `0..nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of bounds, an edge is a
+    /// self-loop, or an edge appears twice.
+    pub fn from_edges<I>(nodes: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut g = Graph::with_node_capacity(nodes);
+        for _ in 0..nodes {
+            g.add_node();
+        }
+        for (a, b) in edges {
+            g.add_edge(NodeId::from(a), NodeId::from(b))?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a new isolated node and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from(self.adj.len());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `count` new isolated nodes, returning their identifiers.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an undirected edge between `a` and `b`, returning its identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint does not
+    /// exist, [`GraphError::SelfLoop`] if `a == b`, and
+    /// [`GraphError::DuplicateEdge`] if the edge is already present.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, GraphError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if self.edge_between(a, b).is_some() {
+            return Err(GraphError::DuplicateEdge { a, b });
+        }
+        let id = EdgeId::from(self.edges.len());
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.edges.push((lo, hi));
+        let insert_sorted = |list: &mut Vec<(NodeId, EdgeId)>, n: NodeId| {
+            let pos = list.partition_point(|&(w, _)| w < n);
+            list.insert(pos, (n, id));
+        };
+        insert_sorted(&mut self.adj[a.index()], b);
+        insert_sorted(&mut self.adj[b.index()], a);
+        Ok(id)
+    }
+
+    /// Number of nodes in the graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges in the graph.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterates over all node identifiers, in increasing order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from)
+    }
+
+    /// Iterates over all edges as `(EdgeId, NodeId, NodeId)` with canonical
+    /// (smaller, larger) endpoint order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges.iter().enumerate().map(|(i, &(a, b))| (EdgeId::from(i), a, b))
+    }
+
+    /// Iterates over the neighbours of `v` in increasing id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().map(|&(w, _)| w)
+    }
+
+    /// Iterates over `(neighbor, edge)` pairs incident to `v` in increasing
+    /// neighbour order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn incident(&self, v: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Returns the edge id joining `a` and `b`, if present.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        if a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+            return None;
+        }
+        let list = &self.adj[a.index()];
+        let pos = list.partition_point(|&(w, _)| w < b);
+        match list.get(pos) {
+            Some(&(w, e)) if w == b => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if nodes `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_between(a, b).is_some()
+    }
+
+    /// Returns the canonical `(smaller, larger)` endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Checks that node `v` exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] otherwise.
+    pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() < self.adj.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds { node: v, node_count: self.adj.len() })
+        }
+    }
+
+    /// Average node degree (`2m / n`), or `0.0` for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Builds the subgraph induced by `nodes`, together with the mapping
+    /// between parent and child identifiers.
+    ///
+    /// Duplicate entries in `nodes` are ignored; child identifiers are
+    /// assigned in the order nodes first appear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if any listed node does not
+    /// exist.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use confine_graph::{generators, NodeId};
+    ///
+    /// let g = generators::cycle_graph(5);
+    /// let sub = g.induced_subgraph(&[NodeId(0), NodeId(1), NodeId(2)])?;
+    /// assert_eq!(sub.graph.node_count(), 3);
+    /// assert_eq!(sub.graph.edge_count(), 2); // the path 0-1-2
+    /// assert_eq!(sub.to_parent(NodeId(2)), NodeId(2));
+    /// # Ok::<(), confine_graph::GraphError>(())
+    /// ```
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Result<InducedSubgraph, GraphError> {
+        let mut from_parent = vec![None; self.adj.len()];
+        let mut to_parent = Vec::with_capacity(nodes.len());
+        let mut sub = Graph::with_node_capacity(nodes.len());
+        for &v in nodes {
+            self.check_node(v)?;
+            if from_parent[v.index()].is_none() {
+                let child = sub.add_node();
+                from_parent[v.index()] = Some(child);
+                to_parent.push(v);
+            }
+        }
+        for (child_idx, &parent) in to_parent.iter().enumerate() {
+            let child = NodeId::from(child_idx);
+            for &(w, _) in &self.adj[parent.index()] {
+                if let Some(child_w) = from_parent[w.index()] {
+                    // Add each edge once, from the lower child id.
+                    if child < child_w {
+                        sub.add_edge(child, child_w).expect("induced edge is unique");
+                    }
+                }
+            }
+        }
+        Ok(InducedSubgraph { graph: sub, to_parent, from_parent })
+    }
+
+    /// Builds a copy of this graph with one edge removed.
+    ///
+    /// Edge identifiers of the copy are re-assigned densely; use the returned
+    /// graph only where identifiers do not need to match the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn without_edge(&self, e: EdgeId) -> Graph {
+        let mut g = Graph::with_node_capacity(self.node_count());
+        g.add_nodes(self.node_count());
+        for (id, a, b) in self.edges() {
+            if id != e {
+                g.add_edge(a, b).expect("copied edge is unique");
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+}
+
+/// Result of [`Graph::induced_subgraph`]: the child graph plus identifier
+/// mappings in both directions.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The induced subgraph, with densely re-numbered nodes and edges.
+    pub graph: Graph,
+    to_parent: Vec<NodeId>,
+    from_parent: Vec<Option<NodeId>>,
+}
+
+impl InducedSubgraph {
+    /// Maps a child node id back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is out of bounds for the subgraph.
+    pub fn to_parent(&self, child: NodeId) -> NodeId {
+        self.to_parent[child.index()]
+    }
+
+    /// Maps a parent node id into the subgraph, if the node was included.
+    pub fn from_parent(&self, parent: NodeId) -> Option<NodeId> {
+        self.from_parent.get(parent.index()).copied().flatten()
+    }
+
+    /// The child-to-parent mapping as a slice indexed by child node id.
+    pub fn parent_ids(&self) -> &[NodeId] {
+        &self.to_parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let e0 = g.add_edge(a, b).unwrap();
+        let e1 = g.add_edge(c, b).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.endpoints(e0), (a, b));
+        assert_eq!(g.endpoints(e1), (b, c), "endpoints are canonicalised");
+        assert_eq!(g.degree(b), 2);
+        assert!(g.has_edge(b, a));
+        assert!(!g.has_edge(a, c));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop { node: a }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.add_edge(b, a), Err(GraphError::DuplicateEdge { a: b, b: a }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let ghost = NodeId(7);
+        assert_eq!(
+            g.add_edge(a, ghost),
+            Err(GraphError::NodeOutOfBounds { node: ghost, node_count: 1 })
+        );
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = Graph::new();
+        let n: Vec<_> = g.add_nodes(5);
+        g.add_edge(n[0], n[4]).unwrap();
+        g.add_edge(n[0], n[2]).unwrap();
+        g.add_edge(n[0], n[1]).unwrap();
+        let order: Vec<_> = g.neighbors(n[0]).collect();
+        assert_eq!(order, vec![n[1], n[2], n[4]]);
+    }
+
+    #[test]
+    fn from_edges_roundtrip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn induced_subgraph_maps_ids() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+        let sub = g.induced_subgraph(&[NodeId(1), NodeId(3), NodeId(4)]).unwrap();
+        assert_eq!(sub.graph.node_count(), 3);
+        // Edges among {1,3,4}: (1,3) and (3,4).
+        assert_eq!(sub.graph.edge_count(), 2);
+        assert_eq!(sub.from_parent(NodeId(4)), Some(NodeId(2)));
+        assert_eq!(sub.to_parent(NodeId(2)), NodeId(4));
+        assert_eq!(sub.from_parent(NodeId(0)), None);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let sub = g.induced_subgraph(&[NodeId(0), NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(sub.graph.node_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn without_edge_drops_exactly_one() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let e = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        let h = g.without_edge(e);
+        assert_eq!(h.edge_count(), 2);
+        assert!(!h.has_edge(NodeId(1), NodeId(2)));
+        assert!(h.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        assert_eq!(Graph::new().average_degree(), 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Graph::new()), "Graph(n=0, m=0)");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+    }
+}

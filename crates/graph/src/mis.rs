@@ -1,0 +1,171 @@
+//! m-hop maximal independent sets.
+//!
+//! The distributed coverage scheduler (Sec. V-B of the paper) parallelises
+//! node deletions by electing, in each round, a **maximal independent set at
+//! hop distance `m = ⌈τ/2⌉ + 1`** among the deletion candidates: any two
+//! elected nodes are more than `m − 1` hops apart, so their punctured
+//! `⌈τ/2⌉`-hop neighbourhoods are disjoint and deletion decisions cannot
+//! invalidate each other.
+//!
+//! The election mirrors the classic random-priority rule used by localized
+//! MIS protocols: every candidate draws a priority, and a candidate joins the
+//! set iff it holds the strictest priority among all candidates within `m`
+//! hops. Ties are broken by node id, so the outcome is a deterministic
+//! function of the priorities.
+
+use crate::graph::NodeId;
+use crate::traverse::bfs_distances;
+use crate::view::GraphView;
+
+/// Computes a maximal independent set at hop distance `m` among `candidates`.
+///
+/// A set `S` is *m-hop independent* if every pair of distinct nodes in `S`
+/// lies at hop distance ≥ `m` in `view`; it is maximal if no candidate can be
+/// added. Candidates are processed in order of `(priority, node id)` — lower
+/// priority values win, matching "smallest random draw wins" elections.
+///
+/// `priorities` is indexed by node id (`view.node_bound()` entries); entries
+/// for non-candidates are ignored. Inactive candidates are skipped.
+///
+/// # Panics
+///
+/// Panics if `priorities` is shorter than `view.node_bound()` while a
+/// candidate id exceeds its length, or if `m == 0`.
+///
+/// # Example
+///
+/// ```
+/// use confine_graph::{generators, mis, NodeId};
+///
+/// let g = generators::path_graph(5);
+/// let priorities = vec![0.0, 0.1, 0.2, 0.3, 0.4];
+/// let all: Vec<_> = (0..5).map(NodeId::from).collect();
+/// let set = mis::m_hop_mis(&g, &all, &priorities, 2);
+/// assert_eq!(set, vec![NodeId(0), NodeId(2), NodeId(4)]);
+/// ```
+pub fn m_hop_mis<V: GraphView>(
+    view: &V,
+    candidates: &[NodeId],
+    priorities: &[f64],
+    m: u32,
+) -> Vec<NodeId> {
+    assert!(m > 0, "hop distance m must be positive");
+    let mut order: Vec<NodeId> =
+        candidates.iter().copied().filter(|&v| view.contains(v)).collect();
+    order.sort_unstable_by(|&a, &b| {
+        priorities[a.index()]
+            .total_cmp(&priorities[b.index()])
+            .then_with(|| a.cmp(&b))
+    });
+    order.dedup();
+
+    let mut selected = Vec::new();
+    let mut blocked = vec![false; view.node_bound()];
+    for v in order {
+        if blocked[v.index()] {
+            continue;
+        }
+        selected.push(v);
+        // Block every node within m - 1 hops: any such node is at distance
+        // < m from v and may not join the set.
+        let dist = bfs_distances(view, v, Some(m - 1));
+        for (i, d) in dist.iter().enumerate() {
+            if d.is_some() {
+                blocked[i] = true;
+            }
+        }
+    }
+    selected.sort_unstable();
+    selected
+}
+
+/// Verifies that `set` is m-hop independent within `view`.
+///
+/// Intended for tests and debug assertions; runs one bounded BFS per member.
+pub fn is_m_hop_independent<V: GraphView>(view: &V, set: &[NodeId], m: u32) -> bool {
+    for (i, &v) in set.iter().enumerate() {
+        let dist = bfs_distances(view, v, Some(m.saturating_sub(1)));
+        for &w in &set[i + 1..] {
+            if dist[w.index()].is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<NodeId> {
+        range.map(NodeId::from).collect()
+    }
+
+    #[test]
+    fn one_hop_mis_on_cycle() {
+        let g = generators::cycle_graph(6);
+        let pr: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let set = m_hop_mis(&g, &ids(0..6), &pr, 2);
+        assert_eq!(set, vec![NodeId(0), NodeId(2), NodeId(4)]);
+        assert!(is_m_hop_independent(&g, &set, 2));
+    }
+
+    #[test]
+    fn larger_m_spaces_nodes_out() {
+        let g = generators::path_graph(10);
+        let pr: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let set = m_hop_mis(&g, &ids(0..10), &pr, 4);
+        assert_eq!(set, vec![NodeId(0), NodeId(4), NodeId(8)]);
+        assert!(is_m_hop_independent(&g, &set, 4));
+        assert!(!is_m_hop_independent(&g, &[NodeId(0), NodeId(3)], 4));
+    }
+
+    #[test]
+    fn priorities_decide_winners() {
+        let g = generators::path_graph(3);
+        let pr = vec![0.9, 0.1, 0.9];
+        let set = m_hop_mis(&g, &ids(0..3), &pr, 2);
+        assert_eq!(set, vec![NodeId(1)], "the middle node outranks both ends");
+    }
+
+    #[test]
+    fn maximality() {
+        let g = generators::grid_graph(4, 4);
+        let pr: Vec<f64> = (0..16).map(|i| (i * 7 % 16) as f64).collect();
+        let all = ids(0..16);
+        let set = m_hop_mis(&g, &all, &pr, 3);
+        assert!(is_m_hop_independent(&g, &set, 3));
+        // No candidate outside the set can be added.
+        for v in all {
+            if set.contains(&v) {
+                continue;
+            }
+            let mut extended = set.clone();
+            extended.push(v);
+            assert!(
+                !is_m_hop_independent(&g, &extended, 3),
+                "{v:?} could have been added — set not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_missing_candidates() {
+        let g = generators::path_graph(4);
+        let pr = vec![0.0; 4];
+        let set = m_hop_mis(&g, &[NodeId(1), NodeId(1)], &pr, 2);
+        assert_eq!(set, vec![NodeId(1)]);
+        let set = m_hop_mis(&g, &[], &pr, 2);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn disconnected_candidates_all_selected() {
+        let g = crate::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let pr = vec![0.0, 1.0, 0.0, 1.0];
+        let set = m_hop_mis(&g, &ids(0..4), &pr, 5);
+        assert_eq!(set, vec![NodeId(0), NodeId(2)], "far-apart components are independent");
+    }
+}

@@ -1,0 +1,192 @@
+//! Shortest-path trees with lowest-common-ancestor queries.
+//!
+//! Horton's minimum-cycle-basis algorithm (Algorithm 1 of the paper) builds
+//! one BFS shortest-path tree per node and keeps only the candidate cycles
+//! whose two tree paths meet exactly at the root — i.e. the lowest common
+//! ancestor of the non-tree edge's endpoints is the root. [`SptTree`] packages
+//! the parent/depth arrays and the queries this requires.
+//!
+//! Tie-breaking is deterministic: BFS visits neighbours in increasing node-id
+//! order, so every node's parent is the smallest-id node among its
+//! minimum-distance predecessors. Consistent tie-breaking is what makes the
+//! filtered Horton candidate set still contain a minimum cycle basis.
+
+use std::collections::VecDeque;
+
+use crate::graph::NodeId;
+use crate::view::GraphView;
+
+/// A BFS shortest-path tree rooted at a node of a [`GraphView`].
+///
+/// # Example
+///
+/// ```
+/// use confine_graph::{generators, spt::SptTree, NodeId};
+///
+/// let g = generators::cycle_graph(6);
+/// let t = SptTree::build(&g, NodeId(0));
+/// assert_eq!(t.depth(NodeId(3)), Some(3));
+/// assert_eq!(t.lca(NodeId(1), NodeId(5)), Some(NodeId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SptTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    depth: Vec<Option<u32>>,
+}
+
+impl SptTree {
+    /// Builds the BFS shortest-path tree of `view` rooted at `root`.
+    ///
+    /// Nodes unreachable from `root` (or inactive) have no depth and no
+    /// parent. If `root` itself is inactive the tree is empty.
+    pub fn build<V: GraphView>(view: &V, root: NodeId) -> Self {
+        let mut parent: Vec<Option<NodeId>> = vec![None; view.node_bound()];
+        let mut depth: Vec<Option<u32>> = vec![None; view.node_bound()];
+        if view.contains(root) {
+            depth[root.index()] = Some(0);
+            let mut queue = VecDeque::from([root]);
+            while let Some(v) = queue.pop_front() {
+                let dv = depth[v.index()].expect("queued nodes have depth");
+                for w in view.view_neighbors(v) {
+                    if depth[w.index()].is_none() {
+                        depth[w.index()] = Some(dv + 1);
+                        parent[w.index()] = Some(v);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        SptTree { root, parent, depth }
+    }
+
+    /// The root this tree was built from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Depth (hop distance from the root) of `v`, or `None` if unreachable.
+    pub fn depth(&self, v: NodeId) -> Option<u32> {
+        self.depth.get(v.index()).copied().flatten()
+    }
+
+    /// BFS parent of `v`, or `None` for the root and unreachable nodes.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent.get(v.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `v` is reachable from the root.
+    pub fn reaches(&self, v: NodeId) -> bool {
+        self.depth(v).is_some()
+    }
+
+    /// The tree path from the root to `v` (inclusive), or `None` if
+    /// unreachable.
+    pub fn path_from_root(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.depth(v)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&self.root));
+        Some(path)
+    }
+
+    /// Lowest common ancestor of `a` and `b` in the tree, or `None` if either
+    /// is unreachable.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let mut da = self.depth(a)?;
+        let mut db = self.depth(b)?;
+        let (mut a, mut b) = (a, b);
+        while da > db {
+            a = self.parent(a).expect("non-root nodes have parents");
+            da -= 1;
+        }
+        while db > da {
+            b = self.parent(b).expect("non-root nodes have parents");
+            db -= 1;
+        }
+        while a != b {
+            a = self.parent(a).expect("nodes above depth 0 have parents");
+            b = self.parent(b).expect("nodes above depth 0 have parents");
+        }
+        Some(a)
+    }
+
+    /// Returns `true` if the tree paths from the root to `a` and to `b` meet
+    /// only at the root — the Horton candidate filter of Algorithm 1.
+    pub fn paths_meet_only_at_root(&self, a: NodeId, b: NodeId) -> bool {
+        self.lca(a, b) == Some(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::view::Masked;
+
+    #[test]
+    fn tree_on_path_graph() {
+        let g = generators::path_graph(4);
+        let t = SptTree::build(&g, NodeId(1));
+        assert_eq!(t.depth(NodeId(1)), Some(0));
+        assert_eq!(t.depth(NodeId(3)), Some(2));
+        assert_eq!(t.parent(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(t.parent(NodeId(1)), None);
+        assert_eq!(t.path_from_root(NodeId(3)), Some(vec![NodeId(1), NodeId(2), NodeId(3)]));
+    }
+
+    #[test]
+    fn lca_in_grid() {
+        let g = generators::grid_graph(3, 3);
+        // Grid ids: row-major. Root at the corner 0.
+        let t = SptTree::build(&g, NodeId(0));
+        // Nodes 2 (top-right) and 6 (bottom-left) route through 0's two arms.
+        assert_eq!(t.lca(NodeId(2), NodeId(6)), Some(NodeId(0)));
+        assert!(t.paths_meet_only_at_root(NodeId(2), NodeId(6)));
+        // Sibling-ish nodes share a deeper ancestor.
+        assert_eq!(t.lca(NodeId(2), NodeId(2)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn deterministic_parents_prefer_small_ids() {
+        let g = generators::cycle_graph(4);
+        let t = SptTree::build(&g, NodeId(0));
+        // Node 2 is at distance 2 via 1 or via 3; the id-ordered BFS reaches
+        // it from 1 first.
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = crate::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let t = SptTree::build(&g, NodeId(0));
+        assert!(!t.reaches(NodeId(2)));
+        assert_eq!(t.lca(NodeId(0), NodeId(2)), None);
+        assert_eq!(t.path_from_root(NodeId(3)), None);
+    }
+
+    #[test]
+    fn masked_tree_ignores_inactive() {
+        let g = generators::cycle_graph(6);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(1));
+        let t = SptTree::build(&m, NodeId(0));
+        assert_eq!(t.depth(NodeId(2)), Some(4), "must route the long way around");
+        assert!(!t.reaches(NodeId(1)));
+    }
+
+    #[test]
+    fn inactive_root_yields_empty_tree() {
+        let g = generators::path_graph(3);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(0));
+        let t = SptTree::build(&m, NodeId(0));
+        assert!(!t.reaches(NodeId(0)));
+        assert!(!t.reaches(NodeId(1)));
+    }
+}

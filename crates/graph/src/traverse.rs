@@ -1,0 +1,291 @@
+//! Breadth-first traversal utilities over [`GraphView`]s.
+//!
+//! All functions operate on any [`GraphView`], so they work both on owned
+//! [`crate::Graph`]s and on [`crate::Masked`] activity views. Distances are
+//! hop counts (all edges have unit weight, matching the paper's hop-based
+//! cycle lengths).
+
+use std::collections::VecDeque;
+
+use crate::graph::NodeId;
+use crate::view::GraphView;
+
+/// Per-node BFS result: hop distance from the source, or `None` when
+/// unreachable (or inactive).
+pub type Distances = Vec<Option<u32>>;
+
+/// Computes hop distances from `src` to every node, exploring at most
+/// `max_depth` hops when `Some` (unbounded when `None`).
+///
+/// Inactive and unreachable nodes map to `None`. The source itself maps to
+/// `Some(0)` if it is active, `None` otherwise.
+pub fn bfs_distances<V: GraphView>(view: &V, src: NodeId, max_depth: Option<u32>) -> Distances {
+    let mut dist: Distances = vec![None; view.node_bound()];
+    if !view.contains(src) {
+        return dist;
+    }
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued nodes have distances");
+        if let Some(limit) = max_depth {
+            if d >= limit {
+                continue;
+            }
+        }
+        for w in view.view_neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between `a` and `b`, or `None` if disconnected or inactive.
+pub fn distance<V: GraphView>(view: &V, a: NodeId, b: NodeId) -> Option<u32> {
+    if !view.contains(b) {
+        return None;
+    }
+    bfs_distances(view, a, None)[b.index()]
+}
+
+/// Returns the active nodes within `k` hops of `v`, **excluding** `v` itself.
+///
+/// This is the neighbourhood `N^k_H(v)` of the paper (Sec. V-A); the induced
+/// subgraph on it is the punctured neighbourhood graph `Γ^k_H(v)`.
+pub fn k_hop_neighbors<V: GraphView>(view: &V, v: NodeId, k: u32) -> Vec<NodeId> {
+    let dist = bfs_distances(view, v, Some(k));
+    dist.iter()
+        .enumerate()
+        .filter_map(|(i, d)| match d {
+            Some(d) if *d > 0 && *d <= k => Some(NodeId::from(i)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Returns a shortest path from `src` to `dst` as a node sequence (inclusive
+/// of both endpoints), or `None` if disconnected.
+///
+/// Ties are broken deterministically towards smaller node ids.
+pub fn shortest_path<V: GraphView>(view: &V, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if !view.contains(src) || !view.contains(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; view.node_bound()];
+    let mut seen = vec![false; view.node_bound()];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        for w in view.view_neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                parent[w.index()] = Some(v);
+                if w == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = parent[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` if the active part of the view is connected.
+///
+/// The empty view and single-node views are considered connected.
+pub fn is_connected<V: GraphView>(view: &V) -> bool {
+    let mut nodes = view.active_nodes();
+    let Some(first) = nodes.next() else { return true };
+    drop(nodes);
+    let dist = bfs_distances(view, first, None);
+    view.active_nodes().all(|v| dist[v.index()].is_some())
+}
+
+/// Splits the active nodes into connected components.
+///
+/// Components are reported in order of their smallest node id; nodes within a
+/// component are sorted.
+pub fn connected_components<V: GraphView>(view: &V) -> Vec<Vec<NodeId>> {
+    let mut comp: Vec<Option<usize>> = vec![None; view.node_bound()];
+    let mut components = Vec::new();
+    for start in view.active_nodes() {
+        if comp[start.index()].is_some() {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![start];
+        comp[start.index()] = Some(id);
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for w in view.view_neighbors(v) {
+                if comp[w.index()].is_none() {
+                    comp[w.index()] = Some(id);
+                    members.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// Eccentricity of `v` in its component: the maximum hop distance to any
+/// reachable node.
+pub fn eccentricity<V: GraphView>(view: &V, v: NodeId) -> u32 {
+    bfs_distances(view, v, None).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Exact diameter of the view (max hop distance over all reachable pairs).
+///
+/// Runs one BFS per active node; intended for tests and small graphs.
+pub fn diameter<V: GraphView>(view: &V) -> u32 {
+    view.active_nodes().map(|v| eccentricity(view, v)).max().unwrap_or(0)
+}
+
+/// Girth of the view: length of its shortest cycle, or `None` if acyclic.
+///
+/// Runs a BFS per node; O(n·m).
+pub fn girth<V: GraphView>(view: &V) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for root in view.active_nodes() {
+        // BFS from root; a non-tree edge (v, w) with dist known for both
+        // closes a cycle of length dist(v) + dist(w) + 1 through root-ish
+        // paths. This classic bound yields the exact girth when minimised
+        // over all roots.
+        let mut dist: Vec<Option<u32>> = vec![None; view.node_bound()];
+        let mut parent: Vec<Option<NodeId>> = vec![None; view.node_bound()];
+        dist[root.index()] = Some(0);
+        let mut queue = VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v.index()].expect("queued");
+            for w in view.view_neighbors(v) {
+                if dist[w.index()].is_none() {
+                    dist[w.index()] = Some(dv + 1);
+                    parent[w.index()] = Some(v);
+                    queue.push_back(w);
+                } else if parent[v.index()] != Some(w) && parent[w.index()] != Some(v) {
+                    let len = dv + dist[w.index()].expect("seen") + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::view::Masked;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path_graph(5);
+        let d = bfs_distances(&g, NodeId(0), None);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn distances_bounded_depth() {
+        let g = generators::path_graph(5);
+        let d = bfs_distances(&g, NodeId(0), Some(2));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn distance_in_cycle() {
+        let g = generators::cycle_graph(8);
+        assert_eq!(distance(&g, NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(distance(&g, NodeId(0), NodeId(6)), Some(2));
+    }
+
+    #[test]
+    fn k_hop_excludes_center() {
+        let g = generators::cycle_graph(8);
+        let ball = k_hop_neighbors(&g, NodeId(0), 2);
+        assert_eq!(ball, vec![NodeId(1), NodeId(2), NodeId(6), NodeId(7)]);
+        assert!(!ball.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = generators::grid_graph(3, 3);
+        let p = shortest_path(&g, NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(8)));
+        assert_eq!(p.len(), 5, "manhattan distance 4 in a 3x3 grid");
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_self() {
+        let g = generators::path_graph(3);
+        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = crate::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(comps[1], vec![NodeId(3), NodeId(4)]);
+        assert_eq!(comps[2], vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn empty_view_is_connected() {
+        let g = crate::Graph::new();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn masked_disconnection() {
+        let g = generators::path_graph(5);
+        let mut m = Masked::all_active(&g);
+        assert!(is_connected(&m));
+        m.deactivate(NodeId(2));
+        assert!(!is_connected(&m));
+        assert_eq!(connected_components(&m).len(), 2);
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let g = generators::path_graph(6);
+        assert_eq!(diameter(&g), 5);
+        assert_eq!(eccentricity(&g, NodeId(0)), 5);
+        assert_eq!(eccentricity(&g, NodeId(3)), 3);
+        let c = generators::cycle_graph(9);
+        assert_eq!(diameter(&c), 4);
+    }
+
+    #[test]
+    fn girth_of_families() {
+        assert_eq!(girth(&generators::cycle_graph(7)), Some(7));
+        assert_eq!(girth(&generators::path_graph(7)), None);
+        assert_eq!(girth(&generators::complete_graph(5)), Some(3));
+        assert_eq!(girth(&generators::grid_graph(4, 4)), Some(4));
+        assert_eq!(girth(&generators::petersen_graph()), Some(5));
+    }
+}

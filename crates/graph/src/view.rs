@@ -1,0 +1,223 @@
+use crate::graph::{Graph, NodeId};
+
+/// Read-only view of an undirected graph.
+///
+/// The coverage scheduler switches nodes off without rebuilding graphs, so all
+/// traversal utilities in this crate are generic over `GraphView`. The trait
+/// is implemented by [`Graph`] itself (everything active) and by [`Masked`]
+/// (a graph plus an activity mask).
+///
+/// Node identifiers of a view are those of the *underlying* graph; inactive
+/// nodes keep their ids but report no neighbours and `contains == false`.
+pub trait GraphView {
+    /// Total number of node slots (active or not) in the underlying graph.
+    fn node_bound(&self) -> usize;
+
+    /// Returns `true` if `v` is an active node of this view.
+    fn contains(&self, v: NodeId) -> bool;
+
+    /// Iterates over the *active* neighbours of `v`.
+    ///
+    /// Iterating from an inactive or out-of-bounds node yields nothing.
+    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_;
+
+    /// Number of active nodes.
+    fn active_count(&self) -> usize {
+        (0..self.node_bound()).filter(|&i| self.contains(NodeId::from(i))).count()
+    }
+
+    /// Iterates over the active node identifiers in increasing order.
+    fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_bound()).map(NodeId::from).filter(move |&v| self.contains(v))
+    }
+}
+
+impl GraphView for Graph {
+    fn node_bound(&self) -> usize {
+        self.node_count()
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v)
+    }
+
+    fn active_count(&self) -> usize {
+        self.node_count()
+    }
+}
+
+/// A [`Graph`] with an activity mask: nodes can be switched off without
+/// mutating the graph.
+///
+/// This is the workhorse of the sleep-scheduling algorithms — deleting a node
+/// is O(1) and all identifiers remain stable.
+///
+/// # Example
+///
+/// ```
+/// use confine_graph::{generators, GraphView, Masked, NodeId, traverse};
+///
+/// let g = generators::cycle_graph(6);
+/// let mut m = Masked::all_active(&g);
+/// m.deactivate(NodeId(0));
+/// assert_eq!(m.active_count(), 5);
+/// assert!(traverse::is_connected(&m)); // a cycle minus a node is a path
+/// ```
+#[derive(Debug, Clone)]
+pub struct Masked<'a> {
+    graph: &'a Graph,
+    active: Vec<bool>,
+    active_count: usize,
+}
+
+impl<'a> Masked<'a> {
+    /// Creates a view of `graph` with every node active.
+    pub fn all_active(graph: &'a Graph) -> Self {
+        Masked { graph, active: vec![true; graph.node_count()], active_count: graph.node_count() }
+    }
+
+    /// Creates a view of `graph` with exactly the listed nodes active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed node is out of bounds.
+    pub fn from_active(graph: &'a Graph, nodes: &[NodeId]) -> Self {
+        let mut active = vec![false; graph.node_count()];
+        let mut count = 0;
+        for &v in nodes {
+            if !active[v.index()] {
+                active[v.index()] = true;
+                count += 1;
+            }
+        }
+        Masked { graph, active, active_count: count }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Switches `v` off. Returns `true` if the node was active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn deactivate(&mut self, v: NodeId) -> bool {
+        let was = std::mem::replace(&mut self.active[v.index()], false);
+        if was {
+            self.active_count -= 1;
+        }
+        was
+    }
+
+    /// Switches `v` back on. Returns `true` if the node was inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn activate(&mut self, v: NodeId) -> bool {
+        let was = std::mem::replace(&mut self.active[v.index()], true);
+        if !was {
+            self.active_count += 1;
+        }
+        !was
+    }
+
+    /// Materialises the active part of the view as an owned graph together
+    /// with the node mapping.
+    pub fn to_induced(&self) -> crate::graph::InducedSubgraph {
+        let nodes: Vec<NodeId> = self.active_nodes().collect();
+        self.graph.induced_subgraph(&nodes).expect("active nodes exist in the parent graph")
+    }
+}
+
+impl GraphView for Masked<'_> {
+    fn node_bound(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.active.len() && self.active[v.index()]
+    }
+
+    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let live = self.contains(v);
+        self.graph
+            .neighbors(v)
+            .filter(move |&w| live && self.active[w.index()])
+    }
+
+    fn active_count(&self) -> usize {
+        self.active_count
+    }
+}
+
+impl GraphView for &'_ Graph {
+    fn node_bound(&self) -> usize {
+        (**self).node_bound()
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        (**self).contains(v)
+    }
+
+    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (**self).view_neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn graph_view_basics() {
+        let g = generators::path_graph(4);
+        assert_eq!(g.active_count(), 4);
+        assert!(g.contains(NodeId(3)));
+        assert!(!g.contains(NodeId(4)));
+        let ns: Vec<_> = g.view_neighbors(NodeId(1)).collect();
+        assert_eq!(ns, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn masked_deactivation() {
+        let g = generators::cycle_graph(5);
+        let mut m = Masked::all_active(&g);
+        assert!(m.deactivate(NodeId(2)));
+        assert!(!m.deactivate(NodeId(2)), "double deactivate reports false");
+        assert_eq!(m.active_count(), 4);
+        assert!(!m.contains(NodeId(2)));
+        let ns: Vec<_> = m.view_neighbors(NodeId(1)).collect();
+        assert_eq!(ns, vec![NodeId(0)], "masked neighbour is hidden");
+        let ns: Vec<_> = m.view_neighbors(NodeId(2)).collect();
+        assert!(ns.is_empty(), "inactive node has no view neighbours");
+        assert!(m.activate(NodeId(2)));
+        assert_eq!(m.active_count(), 5);
+    }
+
+    #[test]
+    fn masked_from_active() {
+        let g = generators::cycle_graph(6);
+        let m = Masked::from_active(&g, &[NodeId(0), NodeId(1), NodeId(1)]);
+        assert_eq!(m.active_count(), 2);
+        let nodes: Vec<_> = m.active_nodes().collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn masked_to_induced() {
+        let g = generators::cycle_graph(6);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(3));
+        let sub = m.to_induced();
+        assert_eq!(sub.graph.node_count(), 5);
+        assert_eq!(sub.graph.edge_count(), 4, "cycle minus one node is a path");
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests for the graph substrate against brute-force oracles.
+
+use proptest::prelude::*;
+
+use confine_graph::{cut, generators, mis, spt::SptTree, traverse, Graph, GraphView, Masked, NodeId};
+
+fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bits.get(k).copied().unwrap_or(false) {
+                g.add_edge(i.into(), j.into()).expect("unique pair");
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+fn arb_graph(max_n: usize, p: f64) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(p), pairs)
+            .prop_map(move |bits| graph_from_bits(n, &bits))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BFS distances satisfy the triangle inequality over edges and agree
+    /// with the shortest-path reconstruction.
+    #[test]
+    fn bfs_distance_consistency(g in arb_graph(14, 0.25)) {
+        for src in g.nodes() {
+            let dist = traverse::bfs_distances(&g, src, None);
+            for (_, a, b) in g.edges() {
+                if let (Some(da), Some(db)) = (dist[a.index()], dist[b.index()]) {
+                    prop_assert!(da.abs_diff(db) <= 1, "edge endpoints differ by ≤ 1");
+                }
+            }
+            for dst in g.nodes() {
+                match (dist[dst.index()], traverse::shortest_path(&g, src, dst)) {
+                    (Some(d), Some(path)) => {
+                        prop_assert_eq!(path.len() as u32, d + 1);
+                        for w in path.windows(2) {
+                            prop_assert!(g.has_edge(w[0], w[1]));
+                        }
+                    }
+                    (None, None) => {}
+                    (d, p) => prop_assert!(false, "mismatch: dist {d:?}, path {p:?}"),
+                }
+            }
+        }
+    }
+
+    /// SPT depths equal BFS distances and LCA lies on both root paths.
+    #[test]
+    fn spt_agrees_with_bfs(g in arb_graph(12, 0.3)) {
+        let Some(root) = g.nodes().next() else { return Ok(()); };
+        let tree = SptTree::build(&g, root);
+        let dist = traverse::bfs_distances(&g, root, None);
+        for v in g.nodes() {
+            prop_assert_eq!(tree.depth(v), dist[v.index()]);
+        }
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if let Some(l) = tree.lca(a, b) {
+                    let pa = tree.path_from_root(a).expect("reachable");
+                    let pb = tree.path_from_root(b).expect("reachable");
+                    prop_assert!(pa.contains(&l) && pb.contains(&l));
+                }
+            }
+        }
+    }
+
+    /// Articulation points match brute force: removing the vertex increases
+    /// the component count among the remaining vertices.
+    #[test]
+    fn articulation_points_match_brute_force(g in arb_graph(12, 0.3)) {
+        let cs = cut::cut_structure(&g);
+        let base = traverse::connected_components(&g).len();
+        for v in g.nodes() {
+            let mut m = Masked::all_active(&g);
+            m.deactivate(v);
+            let after = traverse::connected_components(&m).len();
+            // An isolated v merely vanishes (after = base − 1, not a cut);
+            // otherwise v is an articulation point iff the remaining nodes
+            // split into strictly more components.
+            let brute_cut = g.degree(v) > 0 && after > base;
+            prop_assert_eq!(
+                cs.articulation_points.contains(&v),
+                brute_cut,
+                "vertex {:?}: base {} after {}", v, base, after
+            );
+        }
+    }
+
+    /// Bridges match brute force: removing the edge disconnects its
+    /// endpoints.
+    #[test]
+    fn bridges_match_brute_force(g in arb_graph(12, 0.3)) {
+        let cs = cut::cut_structure(&g);
+        for (e, a, b) in g.edges() {
+            let without = g.without_edge(e);
+            let disconnected = traverse::distance(&without, a, b).is_none();
+            prop_assert_eq!(
+                cs.bridges.contains(&(a, b)),
+                disconnected,
+                "edge {:?}-{:?}", a, b
+            );
+        }
+    }
+
+    /// m-hop MIS output is independent, maximal, and a subset of the
+    /// candidates.
+    #[test]
+    fn mis_contract(g in arb_graph(12, 0.3), m in 1u32..4, cand_bits in proptest::collection::vec(any::<bool>(), 12)) {
+        let candidates: Vec<NodeId> = g
+            .nodes()
+            .filter(|v| cand_bits.get(v.index()).copied().unwrap_or(false))
+            .collect();
+        let priorities: Vec<f64> =
+            (0..g.node_count()).map(|i| ((i * 37) % 23) as f64).collect();
+        let set = mis::m_hop_mis(&g, &candidates, &priorities, m);
+        prop_assert!(set.iter().all(|v| candidates.contains(v)));
+        prop_assert!(mis::is_m_hop_independent(&g, &set, m));
+        for &c in &candidates {
+            if set.contains(&c) {
+                continue;
+            }
+            let mut extended = set.clone();
+            extended.push(c);
+            prop_assert!(
+                !mis::is_m_hop_independent(&g, &extended, m),
+                "candidate {:?} could extend the set", c
+            );
+        }
+    }
+
+    /// Induced subgraphs preserve exactly the internal edges.
+    #[test]
+    fn induced_subgraph_contract(g in arb_graph(12, 0.35), keep_bits in proptest::collection::vec(any::<bool>(), 12)) {
+        let keep: Vec<NodeId> = g
+            .nodes()
+            .filter(|v| keep_bits.get(v.index()).copied().unwrap_or(false))
+            .collect();
+        let sub = g.induced_subgraph(&keep).expect("nodes exist");
+        let mut expected = 0;
+        for (_, a, b) in g.edges() {
+            if keep.contains(&a) && keep.contains(&b) {
+                expected += 1;
+                let ca = sub.from_parent(a).expect("kept");
+                let cb = sub.from_parent(b).expect("kept");
+                prop_assert!(sub.graph.has_edge(ca, cb));
+            }
+        }
+        prop_assert_eq!(sub.graph.edge_count(), expected);
+        prop_assert_eq!(sub.graph.node_count(), keep.len());
+        for (i, &parent) in sub.parent_ids().iter().enumerate() {
+            prop_assert_eq!(sub.to_parent(NodeId::from(i)), parent);
+        }
+    }
+
+    /// The masked view's induced materialisation agrees with the mask.
+    #[test]
+    fn masked_view_contract(g in arb_graph(12, 0.3), off_bits in proptest::collection::vec(any::<bool>(), 12)) {
+        let mut m = Masked::all_active(&g);
+        for v in g.nodes() {
+            if off_bits.get(v.index()).copied().unwrap_or(false) {
+                m.deactivate(v);
+            }
+        }
+        let induced = m.to_induced();
+        prop_assert_eq!(induced.graph.node_count(), m.active_count());
+        let view_edges: usize = m
+            .active_nodes()
+            .map(|v| m.view_neighbors(v).filter(|&w| w > v).count())
+            .sum();
+        prop_assert_eq!(induced.graph.edge_count(), view_edges);
+    }
+
+    /// Girth via the BFS method matches a brute-force shortest-cycle search.
+    #[test]
+    fn girth_matches_brute_force(g in arb_graph(9, 0.35)) {
+        let brute = confine_cycles_brute_girth(&g);
+        prop_assert_eq!(traverse::girth(&g), brute);
+    }
+}
+
+/// Brute-force girth: shortest simple cycle length by exhaustive DFS.
+fn confine_cycles_brute_girth(g: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    // For every edge (a, b): shortest a-b path avoiding the edge + 1.
+    for (e, a, b) in g.edges() {
+        let without = g.without_edge(e);
+        if let Some(d) = traverse::distance(&without, a, b) {
+            let cycle = d + 1;
+            if best.is_none_or(|x| cycle < x) {
+                best = Some(cycle);
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn deterministic_families_sanity() {
+    // Cross-checks between generators and the traversal layer.
+    assert_eq!(traverse::girth(&generators::petersen_graph()), Some(5));
+    assert_eq!(traverse::diameter(&generators::petersen_graph()), 2);
+    let w = generators::wheel_graph(10);
+    assert_eq!(traverse::diameter(&w), 2);
+    assert!(cut::cut_structure(&w).articulation_points.is_empty());
+}

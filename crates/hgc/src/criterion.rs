@@ -1,0 +1,109 @@
+//! The homology coverage criterion.
+//!
+//! Ghrist et al. certify coverage by the **triviality of the first homology
+//! group** of the Rips 2-complex: every connectivity cycle must be
+//! contractible through filled triangles. (For multiply-connected areas the
+//! inner boundaries are coned off first — the same pre-processing DCC uses —
+//! after which the absolute group is the right object; an interior hole
+//! cannot hide by being homologous to a boundary.)
+//!
+//! The criterion additionally demands a connected complex, matching the
+//! standing assumption of both HGC and DCC that the remaining network stays
+//! connected.
+//!
+//! This is exactly the condition the ICDCS paper proves too strong: on the
+//! Möbius-band network of its Fig. 1, `H₁` is non-trivial (the central
+//! circle never contracts) although the region is fully covered — see
+//! [`absolute_b1`] and the workspace integration tests.
+
+use confine_complex::{homology, rips};
+use confine_graph::{traverse, Graph, GraphView, Masked, NodeId};
+
+/// Evaluates the HGC criterion on the whole graph: the Rips 2-complex is
+/// connected and its first GF(2) homology group is trivial.
+pub fn hgc_criterion_holds(graph: &Graph) -> bool {
+    hgc_criterion_holds_view(&graph)
+}
+
+/// [`hgc_criterion_holds`] over any graph view (e.g. a sleep schedule).
+pub fn hgc_criterion_holds_view<V: GraphView>(view: &V) -> bool {
+    if !traverse::is_connected(view) {
+        return false;
+    }
+    let complex = rips::rips_complex_view(view);
+    homology::betti_numbers(&complex)[1] == 0
+}
+
+/// Evaluates the criterion on the subgraph induced by `active`.
+pub fn hgc_holds_on_active(graph: &Graph, active: &[NodeId]) -> bool {
+    let masked = Masked::from_active(graph, active);
+    hgc_criterion_holds_view(&masked)
+}
+
+/// Absolute first Betti number of the Rips complex over GF(2).
+///
+/// A non-zero value is what HGC interprets as "coverage holes exist" — the
+/// Möbius band of the paper's Fig. 1 has `b₁ = 1` despite full coverage.
+pub fn absolute_b1(graph: &Graph) -> usize {
+    let complex = rips::rips_complex(graph);
+    homology::betti_numbers(&complex)[1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::generators;
+
+    #[test]
+    fn triangulated_grid_passes() {
+        assert!(hgc_criterion_holds(&generators::king_grid_graph(5, 5)));
+    }
+
+    #[test]
+    fn plain_grid_fails() {
+        // Unit squares are not triangles: every square is a homology hole.
+        assert!(!hgc_criterion_holds(&generators::grid_graph(5, 5)));
+    }
+
+    #[test]
+    fn removing_an_interior_node_opens_a_hole() {
+        let g = generators::king_grid_graph(5, 5);
+        let active: Vec<NodeId> = g.nodes().filter(|&v| v != NodeId(12)).collect();
+        assert!(
+            !hgc_holds_on_active(&g, &active),
+            "the 4-hole left at the centre is a non-trivial 1-cycle"
+        );
+    }
+
+    #[test]
+    fn removing_a_corner_node_is_fine() {
+        // A corner of the king grid is covered by its square's other
+        // triangle; removing it leaves the complex contractible.
+        let g = generators::king_grid_graph(5, 5);
+        let active: Vec<NodeId> = g.nodes().filter(|&v| v != NodeId(0)).collect();
+        assert!(hgc_holds_on_active(&g, &active));
+    }
+
+    #[test]
+    fn wheel_needs_its_hub() {
+        let g = generators::wheel_graph(6);
+        assert!(hgc_criterion_holds(&g));
+        let rim: Vec<NodeId> = (1..7).map(NodeId::from).collect();
+        assert!(!hgc_holds_on_active(&g, &rim), "rim alone is a hollow circle");
+    }
+
+    #[test]
+    fn disconnection_fails_the_criterion() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        assert!(!hgc_criterion_holds(&g), "two components");
+    }
+
+    #[test]
+    fn absolute_b1_examples() {
+        assert_eq!(absolute_b1(&generators::cycle_graph(5)), 1);
+        assert_eq!(absolute_b1(&generators::wheel_graph(5)), 0);
+        assert_eq!(absolute_b1(&generators::theta_graph(1, 2, 3)), 2);
+    }
+
+    use confine_graph::Graph;
+}

@@ -1,0 +1,43 @@
+//! HGC — homology-group coverage, the state-of-the-art baseline the paper
+//! compares against (Ghrist et al., "Coordinate-free coverage in sensor
+//! networks with controlled boundaries via homology").
+//!
+//! HGC models the network as the Vietoris–Rips 2-complex of the
+//! connectivity graph and certifies coverage by the **triviality of the
+//! first homology group** `H₁(R)` (after coning inner boundaries in
+//! multiply-connected areas). Under the sensing condition `Rs ≥ Rc/√3` this is
+//! a sufficient criterion for blanket coverage — but, as the paper's
+//! Möbius-band example shows, it is strictly stronger than necessary and
+//! can report false holes.
+//!
+//! This crate provides:
+//!
+//! * [`criterion`] — the homology coverage test (relative and absolute);
+//! * [`schedule`] — a centralized greedy scheduler that deletes nodes while
+//!   the criterion keeps holding (the "coverage set found by HGC" of the
+//!   paper's Fig. 4 comparison). The paper itself observes that HGC is "a
+//!   specific pattern to achieve 3-confine coverage": its granularity is
+//!   pinned to triangles, which is exactly what DCC's adjustable `τ`
+//!   relaxes.
+//!
+//! # Example
+//!
+//! ```
+//! use confine_graph::generators;
+//! use confine_hgc::criterion::hgc_criterion_holds;
+//!
+//! // A triangulated grid: contractible, no holes.
+//! assert!(hgc_criterion_holds(&generators::king_grid_graph(4, 4)));
+//!
+//! // A hollow ring of 8 nodes (no triangles): one uncovered hole.
+//! assert!(!hgc_criterion_holds(&generators::cycle_graph(8)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criterion;
+pub mod schedule;
+
+pub use criterion::hgc_criterion_holds;
+pub use schedule::{HgcScheduler, HgcSet};

@@ -1,0 +1,197 @@
+//! The HGC scheduler: centralized greedy deletion under the homology
+//! criterion.
+//!
+//! Ghrist et al. published HGC as a *verification* method; the ICDCS paper
+//! compares against "the coverage set found by HGC" without pinning down a
+//! scheduler, so we reconstruct the natural one: visit internal nodes in a
+//! random order and switch a node off whenever the criterion `H₁(R, F) = 0`
+//! still holds afterwards; sweep until a full pass deletes nothing. The
+//! result is non-redundant with respect to the criterion. Because the
+//! criterion is global, every test recomputes relative homology on the
+//! remaining complex — this centralized, whole-network computation is
+//! precisely the scalability drawback the paper attributes to HGC.
+
+use confine_graph::{Graph, GraphView, Masked, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::criterion::hgc_criterion_holds_view;
+
+/// Outcome of an HGC scheduling run.
+#[derive(Debug, Clone)]
+pub struct HgcSet {
+    /// Nodes kept awake, sorted by id.
+    pub active: Vec<NodeId>,
+    /// Nodes switched off, in deletion order.
+    pub deleted: Vec<NodeId>,
+    /// Whether the criterion held on the *initial* network. When `false`,
+    /// HGC cannot certify the input and nothing is deleted.
+    pub initial_ok: bool,
+    /// Number of homology evaluations performed (the dominating cost).
+    pub homology_evaluations: usize,
+}
+
+impl HgcSet {
+    /// Number of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+/// The greedy HGC scheduler.
+///
+/// # Example
+///
+/// ```
+/// use confine_graph::{generators, NodeId};
+/// use confine_hgc::HgcScheduler;
+/// use rand::SeedableRng;
+///
+/// // A 5-ring fence with TWO internal hubs, each triangulating the whole
+/// // ring: one hub is redundant and greedy deletion finds that.
+/// let mut g = generators::cycle_graph(5);
+/// let hubs = [g.add_node(), g.add_node()];
+/// for hub in hubs {
+///     for i in 0..5 {
+///         g.add_edge(hub, NodeId(i))?;
+///     }
+/// }
+/// let mut fence = vec![true; 7];
+/// fence[5] = false;
+/// fence[6] = false;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+/// assert!(set.initial_ok);
+/// assert_eq!(set.deleted.len(), 1, "exactly one hub is redundant");
+/// # Ok::<(), confine_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HgcScheduler {
+    _private: (),
+}
+
+impl HgcScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        HgcScheduler { _private: () }
+    }
+
+    /// Runs greedy deletion on `graph` with `fence` as the protected
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fence.len() != graph.node_count()`.
+    pub fn schedule<R: Rng>(&self, graph: &Graph, fence: &[bool], rng: &mut R) -> HgcSet {
+        assert_eq!(fence.len(), graph.node_count(), "fence flags must cover all nodes");
+        let mut masked = Masked::all_active(graph);
+        let mut evaluations = 1;
+        let initial_ok = hgc_criterion_holds_view(&masked);
+        let mut deleted = Vec::new();
+
+        if initial_ok {
+            loop {
+                let mut internals: Vec<NodeId> =
+                    masked.active_nodes().filter(|&v| !fence[v.index()]).collect();
+                internals.shuffle(rng);
+                let mut progressed = false;
+                for v in internals {
+                    masked.deactivate(v);
+                    evaluations += 1;
+                    if hgc_criterion_holds_view(&masked) {
+                        deleted.push(v);
+                        progressed = true;
+                    } else {
+                        masked.activate(v);
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        HgcSet {
+            active: masked.active_nodes().collect(),
+            deleted,
+            initial_ok,
+            homology_evaluations: evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::hgc_holds_on_active;
+    use confine_graph::{generators, traverse};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_fence(w: usize, h: usize) -> Vec<bool> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                x == 0 || y == 0 || x == w - 1 || y == h - 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_preserves_criterion() {
+        let g = generators::king_grid_graph(6, 6);
+        let fence = ring_fence(6, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+        assert!(set.initial_ok);
+        assert!(hgc_holds_on_active(&g, &set.active));
+        assert!(set.homology_evaluations > set.deleted.len());
+        // Fence nodes all kept.
+        for (i, &f) in fence.iter().enumerate() {
+            if f {
+                assert!(set.active.contains(&NodeId::from(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_non_redundant() {
+        let g = generators::king_grid_graph(5, 5);
+        let fence = ring_fence(5, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+        // No remaining internal node can be deleted.
+        for &v in set.active.iter().filter(|&&v| !fence[v.index()]) {
+            let without: Vec<NodeId> =
+                set.active.iter().copied().filter(|&w| w != v).collect();
+            assert!(
+                !hgc_holds_on_active(&g, &without),
+                "node {v:?} was still redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn failing_initial_criterion_freezes_network() {
+        let g = generators::grid_graph(4, 4); // hollow squares everywhere
+        let fence = ring_fence(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+        assert!(!set.initial_ok);
+        assert!(set.deleted.is_empty());
+        assert_eq!(set.active_count(), 16);
+    }
+
+    #[test]
+    fn remaining_network_stays_connected() {
+        let g = generators::king_grid_graph(6, 6);
+        let fence = ring_fence(6, 6);
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+            let masked = Masked::from_active(&g, &set.active);
+            assert!(traverse::is_connected(&masked), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Event-driven asynchronous execution.
+//!
+//! The round engine ([`crate::Engine`]) models the paper's synchronous
+//! setting. Real deployments are asynchronous: per-message latencies vary
+//! and messages overtake each other. This module provides an event-queue
+//! simulator for that regime, used to check that the localized primitives
+//! (TTL floods with duplicate suppression) do not secretly depend on round
+//! synchrony.
+//!
+//! Nodes implement [`AsyncProtocol`]: a start activation plus one activation
+//! per delivered message. Message latencies come from a deterministic
+//! [`LatencyModel`], so asynchronous runs are reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use confine_graph::{GraphView, NodeId};
+
+/// Per-message latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long (asynchronous but FIFO per
+    /// link).
+    Fixed(f64),
+    /// Latency drawn uniformly from `[lo, hi]` per message (messages can
+    /// overtake each other), driven by a deterministic engine-local RNG.
+    Uniform {
+        /// Minimum latency.
+        lo: f64,
+        /// Maximum latency.
+        hi: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// The API an asynchronous node sees during an activation.
+#[derive(Debug)]
+pub struct AsyncContext<'a, M> {
+    node: NodeId,
+    now: f64,
+    neighbors: &'a [NodeId],
+    outbox: Vec<(NodeId, M)>,
+}
+
+impl<M: Clone> AsyncContext<'_, M> {
+    /// The node being activated.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The node's direct neighbours.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Sends `payload` to a direct neighbour (delivered after the link
+    /// latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour.
+    pub fn send(&mut self, to: NodeId, payload: M) {
+        assert!(
+            self.neighbors.contains(&to),
+            "node {:?} tried to message non-neighbour {:?}",
+            self.node,
+            to
+        );
+        self.outbox.push((to, payload));
+    }
+
+    /// Sends `payload` to every neighbour.
+    pub fn broadcast(&mut self, payload: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.outbox.push((to, payload.clone()));
+        }
+    }
+}
+
+/// Per-node logic of an asynchronous protocol.
+pub trait AsyncProtocol {
+    /// The message type.
+    type Message: Clone;
+
+    /// Invoked once at virtual time 0.
+    fn on_start(&mut self, ctx: &mut AsyncContext<'_, Self::Message>);
+
+    /// Invoked per delivered message.
+    fn on_message(
+        &mut self,
+        ctx: &mut AsyncContext<'_, Self::Message>,
+        from: NodeId,
+        message: Self::Message,
+    );
+}
+
+/// Statistics of an asynchronous run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AsyncStats {
+    /// Messages delivered.
+    pub messages: usize,
+    /// Virtual time of the last delivery.
+    pub end_time: f64,
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    time: f64,
+    seq: u64, // tie-breaker for deterministic ordering
+    to: NodeId,
+    from: NodeId,
+    payload: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event-driven engine.
+///
+/// # Example
+///
+/// An asynchronous TTL flood:
+///
+/// ```
+/// use confine_graph::{generators, NodeId};
+/// use confine_netsim::r#async::{AsyncContext, AsyncEngine, AsyncProtocol, LatencyModel};
+///
+/// struct Flood { seen: bool, source: bool }
+/// impl AsyncProtocol for Flood {
+///     type Message = ();
+///     fn on_start(&mut self, ctx: &mut AsyncContext<'_, ()>) {
+///         if self.source { self.seen = true; ctx.broadcast(()); }
+///     }
+///     fn on_message(&mut self, ctx: &mut AsyncContext<'_, ()>, _from: NodeId, _m: ()) {
+///         if !self.seen { self.seen = true; ctx.broadcast(()); }
+///     }
+/// }
+///
+/// let g = generators::cycle_graph(8);
+/// let mut engine = AsyncEngine::new(
+///     &g,
+///     |v| Flood { seen: false, source: v == NodeId(0) },
+///     LatencyModel::Uniform { lo: 0.5, hi: 1.5, seed: 7 },
+/// );
+/// let stats = engine.run(100_000).unwrap();
+/// assert!(engine.states().iter().all(|s| s.seen));
+/// assert!(stats.end_time > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct AsyncEngine<'g, V: GraphView, P: AsyncProtocol> {
+    view: &'g V,
+    states: Vec<Option<P>>,
+    node_ids: Vec<NodeId>,
+    neighbor_cache: Vec<Vec<NodeId>>,
+    latency: LatencyModel,
+    rng: Option<rand::rngs::StdRng>,
+    queue: BinaryHeap<Event<P::Message>>,
+    seq: u64,
+    stats: AsyncStats,
+}
+
+impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
+    /// Creates an engine over the active nodes of `view`.
+    pub fn new<F>(view: &'g V, mut init: F, latency: LatencyModel) -> Self
+    where
+        F: FnMut(NodeId) -> P,
+    {
+        let bound = view.node_bound();
+        let mut states: Vec<Option<P>> = (0..bound).map(|_| None).collect();
+        let mut node_ids = Vec::new();
+        let mut neighbor_cache = vec![Vec::new(); bound];
+        for v in view.active_nodes() {
+            states[v.index()] = Some(init(v));
+            neighbor_cache[v.index()] = view.view_neighbors(v).collect();
+            node_ids.push(v);
+        }
+        let rng = match latency {
+            LatencyModel::Fixed(_) => None,
+            LatencyModel::Uniform { seed, .. } => {
+                Some(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
+            }
+        };
+        AsyncEngine {
+            view,
+            states,
+            node_ids,
+            neighbor_cache,
+            latency,
+            rng,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            stats: AsyncStats::default(),
+        }
+    }
+
+    fn sample_latency(&mut self) -> f64 {
+        match self.latency {
+            LatencyModel::Fixed(d) => d.max(0.0),
+            LatencyModel::Uniform { lo, hi, .. } => {
+                use rand::Rng as _;
+                let rng = self.rng.as_mut().expect("uniform model carries an RNG");
+                rng.gen_range(lo.min(hi)..=hi.max(lo)).max(0.0)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, from: NodeId, now: f64, outbox: Vec<(NodeId, P::Message)>) {
+        for (to, payload) in outbox {
+            let latency = self.sample_latency();
+            self.seq += 1;
+            self.queue.push(Event { time: now + latency, seq: self.seq, to, from, payload });
+        }
+    }
+
+    /// Runs until the event queue drains, or `max_events` deliveries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the number of undelivered events if the budget is exhausted
+    /// (a protocol that chatters forever).
+    pub fn run(&mut self, max_events: usize) -> Result<AsyncStats, usize> {
+        // Start activations at t = 0.
+        for i in 0..self.node_ids.len() {
+            let v = self.node_ids[i];
+            let mut ctx = AsyncContext {
+                node: v,
+                now: 0.0,
+                neighbors: &self.neighbor_cache[v.index()],
+                outbox: Vec::new(),
+            };
+            let state = self.states[v.index()].as_mut().expect("active node has state");
+            state.on_start(&mut ctx);
+            let outbox = ctx.outbox;
+            self.dispatch(v, 0.0, outbox);
+        }
+
+        let mut delivered = 0usize;
+        while let Some(event) = self.queue.pop() {
+            if delivered >= max_events {
+                return Err(self.queue.len() + 1);
+            }
+            delivered += 1;
+            self.stats.messages = delivered;
+            self.stats.end_time = event.time;
+            let v = event.to;
+            let mut ctx = AsyncContext {
+                node: v,
+                now: event.time,
+                neighbors: &self.neighbor_cache[v.index()],
+                outbox: Vec::new(),
+            };
+            let state = self.states[v.index()].as_mut().expect("active node has state");
+            state.on_message(&mut ctx, event.from, event.payload);
+            let outbox = ctx.outbox;
+            self.dispatch(v, event.time, outbox);
+        }
+        Ok(self.stats)
+    }
+
+    /// The protocol states of the active nodes, in node-id order.
+    pub fn states(&self) -> Vec<&P> {
+        self.node_ids
+            .iter()
+            .map(|v| self.states[v.index()].as_ref().expect("state"))
+            .collect()
+    }
+
+    /// The protocol state of node `v`, if active.
+    pub fn state(&self, v: NodeId) -> Option<&P> {
+        self.states.get(v.index()).and_then(Option::as_ref)
+    }
+
+    /// The view this engine runs over.
+    pub fn view(&self) -> &'g V {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::generators;
+
+    /// Asynchronous TTL-flood discovery with duplicate suppression —
+    /// the async analogue of `protocols::KHopDiscovery`.
+    struct AsyncDiscovery {
+        k: u32,
+        known: std::collections::HashMap<NodeId, u32>, // origin → remaining ttl seen
+    }
+
+    #[derive(Clone)]
+    struct Record {
+        origin: NodeId,
+        ttl: u32,
+    }
+
+    impl AsyncProtocol for AsyncDiscovery {
+        type Message = Record;
+
+        fn on_start(&mut self, ctx: &mut AsyncContext<'_, Record>) {
+            ctx.broadcast(Record { origin: ctx.node(), ttl: self.k - 1 });
+        }
+
+        fn on_message(&mut self, ctx: &mut AsyncContext<'_, Record>, _from: NodeId, m: Record) {
+            if m.origin == ctx.node() {
+                return;
+            }
+            // Under asynchrony a record can first arrive along a slow
+            // short path *after* a fast long path; accept upgrades so the
+            // TTL frontier is not truncated.
+            let best = self.known.get(&m.origin).copied();
+            if best.is_none_or(|t| m.ttl > t) {
+                self.known.insert(m.origin, m.ttl);
+                if m.ttl > 0 {
+                    ctx.broadcast(Record { origin: m.origin, ttl: m.ttl - 1 });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_discovery_learns_the_k_ball() {
+        let g = generators::grid_graph(5, 5);
+        let k = 2;
+        for latency in [
+            LatencyModel::Fixed(1.0),
+            LatencyModel::Uniform { lo: 0.2, hi: 2.0, seed: 3 },
+        ] {
+            let mut engine = AsyncEngine::new(&g, |_| AsyncDiscovery { k, known: Default::default() }, latency);
+            engine.run(1_000_000).expect("drains");
+            for v in g.nodes() {
+                let state = engine.state(v).unwrap();
+                let mut learned: Vec<NodeId> = state.known.keys().copied().collect();
+                learned.sort_unstable();
+                let expected = confine_graph::traverse::k_hop_neighbors(&g, v, k);
+                assert_eq!(learned, expected, "node {v:?} under {latency:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_latency_reduces_to_rounds() {
+        // With unit latency the event schedule is exactly the synchronous
+        // round schedule: end time equals the flood depth.
+        let g = generators::path_graph(6);
+        struct Hop {
+            heard_at: Option<f64>,
+            source: bool,
+        }
+        impl AsyncProtocol for Hop {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut AsyncContext<'_, ()>) {
+                if self.source {
+                    self.heard_at = Some(0.0);
+                    ctx.broadcast(());
+                }
+            }
+            fn on_message(&mut self, ctx: &mut AsyncContext<'_, ()>, _f: NodeId, _m: ()) {
+                if self.heard_at.is_none() {
+                    self.heard_at = Some(ctx.now());
+                    ctx.broadcast(());
+                }
+            }
+        }
+        let mut engine = AsyncEngine::new(
+            &g,
+            |v| Hop { heard_at: None, source: v == NodeId(0) },
+            LatencyModel::Fixed(1.0),
+        );
+        let stats = engine.run(10_000).unwrap();
+        for (i, s) in engine.states().iter().enumerate() {
+            assert_eq!(s.heard_at, Some(i as f64), "node {i} hears at its hop distance");
+        }
+        // The last event is node 4 receiving node 5's (redundant) echo at
+        // t = 6; every node heard the token at its hop distance.
+        assert_eq!(stats.end_time, 6.0);
+    }
+
+    #[test]
+    fn messages_can_overtake() {
+        // Star: the hub sends two messages to the same leaf; under high
+        // jitter the second can arrive first. Track arrival order.
+        struct Recorder {
+            got: Vec<u32>,
+            hub: bool,
+        }
+        impl AsyncProtocol for Recorder {
+            type Message = u32;
+            fn on_start(&mut self, ctx: &mut AsyncContext<'_, u32>) {
+                if self.hub {
+                    for tag in 0..8 {
+                        ctx.send(NodeId(1), tag);
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut AsyncContext<'_, u32>, _f: NodeId, m: u32) {
+                self.got.push(m);
+            }
+        }
+        let g = generators::path_graph(2);
+        let mut engine = AsyncEngine::new(
+            &g,
+            |v| Recorder { got: Vec::new(), hub: v == NodeId(0) },
+            LatencyModel::Uniform { lo: 0.1, hi: 5.0, seed: 11 },
+        );
+        engine.run(1000).unwrap();
+        let got = &engine.state(NodeId(1)).unwrap().got;
+        assert_eq!(got.len(), 8);
+        assert_ne!(got, &vec![0, 1, 2, 3, 4, 5, 6, 7], "jitter must reorder (seeded)");
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        struct Chatter;
+        impl AsyncProtocol for Chatter {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut AsyncContext<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn on_message(&mut self, ctx: &mut AsyncContext<'_, ()>, _f: NodeId, _m: ()) {
+                ctx.broadcast(());
+            }
+        }
+        let g = generators::cycle_graph(4);
+        let mut engine = AsyncEngine::new(&g, |_| Chatter, LatencyModel::Fixed(1.0));
+        assert!(engine.run(100).is_err(), "infinite chatter must hit the budget");
+    }
+}

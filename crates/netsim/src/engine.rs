@@ -1,0 +1,488 @@
+//! The synchronous round engine.
+//!
+//! Nodes are state machines implementing [`Protocol`]; in every round each
+//! node consumes the messages sent to it in the previous round and may send
+//! new messages **to direct neighbours only** (the engine enforces the
+//! communication graph). The engine runs until every node is quiescent and
+//! no messages are in flight, or a round limit is hit.
+
+use std::error::Error;
+use std::fmt;
+
+use confine_graph::{GraphView, NodeId};
+
+/// A message with its sender, as delivered to a node's inbox.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Per-node protocol logic.
+///
+/// Implementations hold the node's local state. All interaction with the
+/// network goes through the [`Context`]: reading the local neighbourhood and
+/// sending messages.
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Message: Clone;
+
+    /// Invoked once before the first round.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked every round with the messages delivered this round.
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>, inbox: &[Envelope<Self::Message>]);
+
+    /// A node is quiescent when it has nothing more to do; the run
+    /// terminates when all nodes are quiescent and no message is in flight.
+    fn is_quiescent(&self) -> bool;
+
+    /// Approximate wire size of a message in bytes, for the cost accounting.
+    /// The default charges a flat 16 bytes.
+    fn payload_size(_msg: &Self::Message) -> usize {
+        16
+    }
+}
+
+/// The API a node sees during one of its activations.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    round: usize,
+    neighbors: &'a [NodeId],
+    outbox: Vec<(NodeId, M)>,
+}
+
+impl<M: Clone> Context<'_, M> {
+    /// The node this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round number (0 during [`Protocol::on_start`]).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The node's active direct neighbours.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Sends `payload` to a direct neighbour next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not an active neighbour — protocols must respect
+    /// the communication graph.
+    pub fn send(&mut self, to: NodeId, payload: M) {
+        assert!(
+            self.neighbors.contains(&to),
+            "node {:?} tried to message non-neighbour {:?}",
+            self.node,
+            to
+        );
+        self.outbox.push((to, payload));
+    }
+
+    /// Sends `payload` to every active neighbour.
+    pub fn broadcast(&mut self, payload: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.outbox.push((to, payload.clone()));
+        }
+    }
+}
+
+/// Aggregate cost statistics of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of executed rounds (excluding the start activation).
+    pub rounds: usize,
+    /// Total messages sent (sent = charged, whether or not delivered).
+    pub messages: usize,
+    /// Total payload bytes sent (per [`Protocol::payload_size`]).
+    pub bytes: usize,
+    /// Messages lost in transit (only non-zero under a lossy link model).
+    pub dropped: usize,
+}
+
+/// Errors from [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The protocol did not converge within the round limit.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not converge within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Link reliability model of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkModel {
+    /// Every sent message is delivered next round.
+    Reliable,
+    /// Each message is independently lost with probability `p`; the drop
+    /// sequence is driven by a deterministic engine-local RNG seeded with
+    /// `seed`, so lossy runs are reproducible.
+    Lossy {
+        /// Per-message loss probability in `[0, 1]`.
+        p: f64,
+        /// Seed of the engine-local drop RNG.
+        seed: u64,
+    },
+}
+
+/// A synchronous message-passing execution over a graph view.
+///
+/// # Example
+///
+/// A one-shot flood that counts how many nodes hear a token:
+///
+/// ```
+/// use confine_graph::{generators, NodeId};
+/// use confine_netsim::{Context, Engine, Envelope, Protocol};
+///
+/// struct Flood { seen: bool, is_source: bool }
+/// impl Protocol for Flood {
+///     type Message = ();
+///     fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+///         if self.is_source {
+///             self.seen = true;
+///             ctx.broadcast(());
+///         }
+///     }
+///     fn on_round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Envelope<()>]) {
+///         if !inbox.is_empty() && !self.seen {
+///             self.seen = true;
+///             ctx.broadcast(());
+///         }
+///     }
+///     fn is_quiescent(&self) -> bool { true }
+/// }
+///
+/// let g = generators::path_graph(5);
+/// let mut engine = Engine::new(&g, |v| Flood { seen: false, is_source: v == NodeId(0) });
+/// let stats = engine.run(16)?;
+/// assert!(engine.states().iter().all(|s| s.seen));
+/// assert_eq!(stats.rounds, 5);
+/// # Ok::<(), confine_netsim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine<'g, V: GraphView, P: Protocol> {
+    view: &'g V,
+    states: Vec<Option<P>>,
+    node_ids: Vec<NodeId>,
+    neighbor_cache: Vec<Vec<NodeId>>,
+    stats: RunStats,
+    link: LinkModel,
+    drop_rng: Option<rand::rngs::StdRng>,
+}
+
+impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
+    /// Creates an engine over the active nodes of `view`, instantiating one
+    /// protocol state per node via `init`.
+    pub fn new<F>(view: &'g V, mut init: F) -> Self
+    where
+        F: FnMut(NodeId) -> P,
+    {
+        let bound = view.node_bound();
+        let mut states: Vec<Option<P>> = (0..bound).map(|_| None).collect();
+        let mut node_ids = Vec::new();
+        let mut neighbor_cache = vec![Vec::new(); bound];
+        for v in view.active_nodes() {
+            states[v.index()] = Some(init(v));
+            neighbor_cache[v.index()] = view.view_neighbors(v).collect();
+            node_ids.push(v);
+        }
+        Engine {
+            view,
+            states,
+            node_ids,
+            neighbor_cache,
+            stats: RunStats::default(),
+            link: LinkModel::Reliable,
+            drop_rng: None,
+        }
+    }
+
+    /// Selects the link reliability model (default: [`LinkModel::Reliable`]).
+    pub fn with_link_model(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self.drop_rng = match link {
+            LinkModel::Reliable => None,
+            LinkModel::Lossy { seed, .. } => {
+                Some(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
+            }
+        };
+        self
+    }
+
+    /// Returns `true` when the current link model drops this message.
+    fn drops(&mut self) -> bool {
+        match self.link {
+            LinkModel::Reliable => false,
+            LinkModel::Lossy { p, .. } => {
+                use rand::Rng as _;
+                self.drop_rng
+                    .as_mut()
+                    .expect("lossy model carries an RNG")
+                    .gen_bool(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+
+    /// Runs the protocol to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol has not
+    /// converged after `max_rounds` rounds.
+    pub fn run(&mut self, max_rounds: usize) -> Result<RunStats, SimError> {
+        let bound = self.view.node_bound();
+        let mut inboxes: Vec<Vec<Envelope<P::Message>>> = (0..bound).map(|_| Vec::new()).collect();
+        let mut in_flight = 0usize;
+
+        // Start activations.
+        for i in 0..self.node_ids.len() {
+            let v = self.node_ids[i];
+            let mut ctx = Context {
+                node: v,
+                round: 0,
+                neighbors: &self.neighbor_cache[v.index()],
+                outbox: Vec::new(),
+            };
+            let state = self.states[v.index()].as_mut().expect("active node has state");
+            state.on_start(&mut ctx);
+            for (to, payload) in ctx.outbox {
+                self.stats.messages += 1;
+                self.stats.bytes += P::payload_size(&payload);
+                if self.drops() {
+                    self.stats.dropped += 1;
+                } else {
+                    inboxes[to.index()].push(Envelope { from: v, payload });
+                    in_flight += 1;
+                }
+            }
+        }
+
+        for round in 1..=max_rounds {
+            let all_quiet = self
+                .node_ids
+                .iter()
+                .all(|v| self.states[v.index()].as_ref().expect("state").is_quiescent());
+            if in_flight == 0 && all_quiet {
+                return Ok(self.stats);
+            }
+            self.stats.rounds = round;
+            let mut next: Vec<Vec<Envelope<P::Message>>> =
+                (0..bound).map(|_| Vec::new()).collect();
+            in_flight = 0;
+            for i in 0..self.node_ids.len() {
+                let v = self.node_ids[i];
+                let inbox = std::mem::take(&mut inboxes[v.index()]);
+                let mut ctx = Context {
+                    node: v,
+                    round,
+                    neighbors: &self.neighbor_cache[v.index()],
+                    outbox: Vec::new(),
+                };
+                let state = self.states[v.index()].as_mut().expect("state");
+                state.on_round(&mut ctx, &inbox);
+                for (to, payload) in ctx.outbox {
+                    self.stats.messages += 1;
+                    self.stats.bytes += P::payload_size(&payload);
+                    if self.drops() {
+                        self.stats.dropped += 1;
+                    } else {
+                        next[to.index()].push(Envelope { from: v, payload });
+                        in_flight += 1;
+                    }
+                }
+            }
+            inboxes = next;
+        }
+
+        // One final check: the limit round may have reached quiescence.
+        let all_quiet = self
+            .node_ids
+            .iter()
+            .all(|v| self.states[v.index()].as_ref().expect("state").is_quiescent());
+        if in_flight == 0 && all_quiet {
+            Ok(self.stats)
+        } else {
+            Err(SimError::RoundLimitExceeded { limit: max_rounds })
+        }
+    }
+
+    /// The protocol states of the active nodes, in node-id order.
+    pub fn states(&self) -> Vec<&P> {
+        self.node_ids
+            .iter()
+            .map(|v| self.states[v.index()].as_ref().expect("state"))
+            .collect()
+    }
+
+    /// The protocol state of node `v`, if it is active.
+    pub fn state(&self, v: NodeId) -> Option<&P> {
+        self.states.get(v.index()).and_then(Option::as_ref)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The active node ids, in increasing order.
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::{generators, Masked};
+
+    /// Every node floods its id; all nodes eventually know all ids in their
+    /// component.
+    struct Gossip {
+        known: std::collections::BTreeSet<u32>,
+    }
+
+    impl Protocol for Gossip {
+        type Message = Vec<u32>;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Vec<u32>>) {
+            self.known.insert(ctx.node().0);
+            ctx.broadcast(self.known.iter().copied().collect());
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, Vec<u32>>, inbox: &[Envelope<Vec<u32>>]) {
+            let before = self.known.len();
+            for env in inbox {
+                self.known.extend(env.payload.iter().copied());
+            }
+            if self.known.len() > before {
+                ctx.broadcast(self.known.iter().copied().collect());
+            }
+        }
+
+        fn is_quiescent(&self) -> bool {
+            true
+        }
+
+        fn payload_size(msg: &Vec<u32>) -> usize {
+            4 * msg.len()
+        }
+    }
+
+    #[test]
+    fn gossip_converges_on_cycle() {
+        let g = generators::cycle_graph(8);
+        let mut engine =
+            Engine::new(&g, |_| Gossip { known: std::collections::BTreeSet::new() });
+        let stats = engine.run(32).unwrap();
+        for s in engine.states() {
+            assert_eq!(s.known.len(), 8);
+        }
+        // Information travels at one hop per round: diameter 4 ⇒ ≥ 4 rounds.
+        assert!(stats.rounds >= 4);
+        assert!(stats.messages > 0);
+        assert!(stats.bytes >= stats.messages * 4);
+    }
+
+    #[test]
+    fn gossip_respects_mask() {
+        let g = generators::cycle_graph(8);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(0));
+        m.deactivate(NodeId(4));
+        let mut engine =
+            Engine::new(&m, |_| Gossip { known: std::collections::BTreeSet::new() });
+        engine.run(32).unwrap();
+        // Two arcs of 3 nodes each.
+        for v in [1u32, 2, 3] {
+            let s = engine.state(NodeId(v)).unwrap();
+            assert_eq!(
+                s.known.iter().copied().collect::<Vec<_>>(),
+                vec![1, 2, 3],
+                "node {v} sees only its arc"
+            );
+        }
+        assert!(engine.state(NodeId(0)).is_none(), "inactive nodes have no state");
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        // A protocol that never stops chattering.
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
+                ctx.broadcast(());
+            }
+            fn is_quiescent(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::path_graph(3);
+        let mut engine = Engine::new(&g, |_| Chatter);
+        assert_eq!(engine.run(5), Err(SimError::RoundLimitExceeded { limit: 5 }));
+        assert_eq!(engine.stats().rounds, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn sending_to_non_neighbor_panics() {
+        struct Rogue;
+        impl Protocol for Rogue {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.send(NodeId(2), ());
+            }
+            fn on_round(&mut self, _: &mut Context<'_, ()>, _: &[Envelope<()>]) {}
+            fn is_quiescent(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path_graph(3); // 0-1-2: node 0 may not reach 2
+        let mut engine = Engine::new(&g, |_| Rogue);
+        let _ = engine.run(2);
+    }
+
+    #[test]
+    fn silent_protocol_terminates_immediately() {
+        struct Silent;
+        impl Protocol for Silent {
+            type Message = ();
+            fn on_start(&mut self, _: &mut Context<'_, ()>) {}
+            fn on_round(&mut self, _: &mut Context<'_, ()>, _: &[Envelope<()>]) {}
+            fn is_quiescent(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path_graph(4);
+        let mut engine = Engine::new(&g, |_| Silent);
+        let stats = engine.run(10).unwrap();
+        assert_eq!(stats, RunStats::default());
+    }
+}

@@ -1,0 +1,37 @@
+//! Synchronous round-based network simulator.
+//!
+//! The paper's scheduler is a *distributed* algorithm: nodes gather k-hop
+//! connectivity, elect m-hop independent sets and delete themselves in
+//! rounds, all by exchanging messages with direct neighbours. This crate
+//! provides the execution substrate:
+//!
+//! * [`Engine`] — a synchronous message-passing round engine over any
+//!   [`confine_graph::GraphView`], with message/byte/round accounting and a
+//!   hard rule that nodes may only message their direct neighbours.
+//! * [`Protocol`] — the per-node state-machine trait.
+//! * [`protocols`] — reusable building blocks: [`protocols::KHopDiscovery`]
+//!   (learn the punctured k-hop neighbourhood graph),
+//!   [`protocols::LocalMinElection`] (m-hop independent-set election by
+//!   random priorities) and [`protocols::RepeatedDiscovery`] (loss-tolerant
+//!   flooding).
+//! * [`async`] — an event-driven engine with per-message latencies, for
+//!   checking that the localized primitives survive asynchrony.
+//!
+//! See the [`Engine`] docs for a complete runnable example.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_engine;
+mod engine;
+
+pub mod protocols;
+
+/// Event-driven asynchronous execution (per-message latencies, message
+/// reordering) — see [`AsyncEngine`](crate::async::AsyncEngine).
+pub mod r#async {
+    pub use crate::async_engine::{
+        AsyncContext, AsyncEngine, AsyncProtocol, AsyncStats, LatencyModel,
+    };
+}
+
+pub use engine::{Context, Engine, Envelope, LinkModel, Protocol, RunStats, SimError};

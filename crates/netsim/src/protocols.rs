@@ -1,0 +1,656 @@
+//! Reusable distributed building blocks.
+//!
+//! The DCC scheduler (Sec. V-B of the paper) is assembled from two localized
+//! primitives, both implemented here as standalone [`Protocol`]s:
+//!
+//! * [`KHopDiscovery`] — every node learns the adjacency lists of all nodes
+//!   within `k` hops, i.e. enough to reconstruct its punctured neighbourhood
+//!   graph `Γ^k(v)` locally. Cost: each adjacency list travels `k` hops.
+//! * [`LocalMinElection`] — candidates flood a random priority `m` hops; a
+//!   candidate elects itself iff it holds the strictest priority among all
+//!   candidates within `m` hops. The winners form an independent set at hop
+//!   distance `m` (not necessarily maximal in one shot — the scheduler
+//!   iterates, exactly as the paper's round structure does).
+
+use std::collections::HashMap;
+
+use confine_graph::NodeId;
+
+use crate::engine::{Context, Envelope, Protocol};
+
+/// Flood message carrying one node's adjacency list.
+#[derive(Debug, Clone)]
+pub struct TopologyRecord {
+    /// The node this record describes.
+    pub origin: NodeId,
+    /// Its direct active neighbours.
+    pub neighbors: Vec<NodeId>,
+    /// Remaining hops this record may still travel.
+    pub ttl: u32,
+}
+
+/// Collects the `k`-hop neighbourhood topology around every node.
+#[derive(Debug)]
+pub struct KHopDiscovery {
+    k: u32,
+    /// origin → (hop distance, adjacency list).
+    known: HashMap<NodeId, (u32, Vec<NodeId>)>,
+}
+
+impl KHopDiscovery {
+    /// Creates the per-node state for a `k`-hop discovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "discovery radius must be positive");
+        KHopDiscovery { k, known: HashMap::new() }
+    }
+
+    /// The hop distance to `origin`, if learned (`0` for the node itself —
+    /// but the node itself is not stored; see [`Self::neighborhood`]).
+    pub fn distance_to(&self, origin: NodeId) -> Option<u32> {
+        self.known.get(&origin).map(|&(d, _)| d)
+    }
+
+    /// The learned records: node → (distance, adjacency list). Contains
+    /// exactly the nodes within `k` hops, excluding the node itself.
+    pub fn neighborhood(&self) -> &HashMap<NodeId, (u32, Vec<NodeId>)> {
+        &self.known
+    }
+
+    /// Reconstructs the punctured neighbourhood graph `Γ^k(v)`: the induced
+    /// subgraph on the discovered nodes (the centre `v` excluded), returned
+    /// as a fresh graph plus the child→parent node mapping.
+    pub fn punctured_graph(&self, center: NodeId) -> (confine_graph::Graph, Vec<NodeId>) {
+        let mut members: Vec<NodeId> =
+            self.known.keys().copied().filter(|&v| v != center).collect();
+        members.sort_unstable();
+        let index: HashMap<NodeId, usize> =
+            members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut g = confine_graph::Graph::with_node_capacity(members.len());
+        g.add_nodes(members.len());
+        for (i, &v) in members.iter().enumerate() {
+            let (_, adj) = &self.known[&v];
+            for w in adj {
+                if let Some(&j) = index.get(w) {
+                    if i < j {
+                        g.add_edge(NodeId::from(i), NodeId::from(j))
+                            .expect("each member pair added once");
+                    }
+                }
+            }
+        }
+        (g, members)
+    }
+}
+
+impl Protocol for KHopDiscovery {
+    type Message = TopologyRecord;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, TopologyRecord>) {
+        ctx.broadcast(TopologyRecord {
+            origin: ctx.node(),
+            neighbors: ctx.neighbors().to_vec(),
+            ttl: self.k - 1,
+        });
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut Context<'_, TopologyRecord>,
+        inbox: &[Envelope<TopologyRecord>],
+    ) {
+        for env in inbox {
+            let rec = &env.payload;
+            if rec.origin == ctx.node() || self.known.contains_key(&rec.origin) {
+                continue;
+            }
+            let distance = self.k - rec.ttl;
+            self.known.insert(rec.origin, (distance, rec.neighbors.clone()));
+            if rec.ttl > 0 {
+                ctx.broadcast(TopologyRecord {
+                    origin: rec.origin,
+                    neighbors: rec.neighbors.clone(),
+                    ttl: rec.ttl - 1,
+                });
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    fn payload_size(msg: &TopologyRecord) -> usize {
+        8 + 4 * msg.neighbors.len()
+    }
+}
+
+/// Loss-tolerant variant of [`KHopDiscovery`]: every learned record is
+/// re-broadcast `repeats` times on consecutive rounds, so a record crosses
+/// each hop with probability `1 − p^repeats` under per-message loss `p`.
+///
+/// With reliable links and `repeats = 1` this behaves exactly like
+/// [`KHopDiscovery`] (at the same cost); with `repeats = r` the cost is at
+/// most `r×` while the end-to-end delivery probability over `k` hops rises
+/// from `(1−p)^k` to `(1−p^r)^k` — the classic redundancy/latency trade of
+/// flooding under loss.
+#[derive(Debug)]
+pub struct RepeatedDiscovery {
+    k: u32,
+    repeats: u32,
+    /// origin → (hop distance estimate, adjacency list).
+    known: HashMap<NodeId, (u32, Vec<NodeId>)>,
+    /// origin → (ttl to forward with, remaining rebroadcasts). Ordered so
+    /// the rebroadcast sequence — and with it any lossy-link RNG stream —
+    /// is deterministic.
+    pending: std::collections::BTreeMap<NodeId, (u32, u32)>,
+}
+
+impl RepeatedDiscovery {
+    /// Creates the per-node state for a `k`-hop discovery with `repeats`
+    /// rebroadcasts per record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `repeats == 0`.
+    pub fn new(k: u32, repeats: u32) -> Self {
+        assert!(k > 0, "discovery radius must be positive");
+        assert!(repeats > 0, "need at least one transmission per record");
+        RepeatedDiscovery { k, repeats, known: HashMap::new(), pending: std::collections::BTreeMap::new() }
+    }
+
+    /// The learned records: node → (distance estimate, adjacency list).
+    ///
+    /// Under loss the distance is an upper bound (a record may first arrive
+    /// along a non-shortest surviving path).
+    pub fn neighborhood(&self) -> &HashMap<NodeId, (u32, Vec<NodeId>)> {
+        &self.known
+    }
+}
+
+impl Protocol for RepeatedDiscovery {
+    type Message = TopologyRecord;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, TopologyRecord>) {
+        let record = TopologyRecord {
+            origin: ctx.node(),
+            neighbors: ctx.neighbors().to_vec(),
+            ttl: self.k - 1,
+        };
+        ctx.broadcast(record);
+        if self.repeats > 1 {
+            self.pending.insert(ctx.node(), (self.k - 1, self.repeats - 1));
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut Context<'_, TopologyRecord>,
+        inbox: &[Envelope<TopologyRecord>],
+    ) {
+        for env in inbox {
+            let rec = &env.payload;
+            if rec.origin == ctx.node() || self.known.contains_key(&rec.origin) {
+                continue;
+            }
+            let distance = self.k - rec.ttl;
+            self.known.insert(rec.origin, (distance, rec.neighbors.clone()));
+            if rec.ttl > 0 {
+                self.pending.insert(rec.origin, (rec.ttl - 1, self.repeats));
+            }
+        }
+        // Rebroadcast every pending record once, decrementing its budget.
+        let mut done = Vec::new();
+        for (&origin, &mut (ttl, ref mut left)) in self.pending.iter_mut() {
+            let neighbors = if origin == ctx.node() {
+                ctx.neighbors().to_vec()
+            } else {
+                self.known[&origin].1.clone()
+            };
+            ctx.broadcast(TopologyRecord { origin, neighbors, ttl });
+            *left -= 1;
+            if *left == 0 {
+                done.push(origin);
+            }
+        }
+        for origin in done {
+            self.pending.remove(&origin);
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn payload_size(msg: &TopologyRecord) -> usize {
+        8 + 4 * msg.neighbors.len()
+    }
+}
+
+/// Message of the [`Convergecast`] protocol.
+#[derive(Debug, Clone)]
+pub enum CastMessage {
+    /// Sink-rooted BFS tree construction: "join my tree at this depth".
+    Build {
+        /// Depth of the sender in the tree.
+        depth: u32,
+    },
+    /// "You are my parent" — sent once, right after adoption.
+    Adopt,
+    /// Upward aggregation: partial sum and count of contributing nodes.
+    Report {
+        /// Sum of the values aggregated so far.
+        sum: f64,
+        /// Number of nodes aggregated.
+        count: u32,
+    },
+}
+
+/// Convergecast: builds a BFS tree rooted at a sink and aggregates a value
+/// from every node up the tree — the communication pattern a *centralized*
+/// scheme (like HGC) needs before it can compute anything.
+///
+/// Three message kinds: a downward `Build` flood establishes parents, an
+/// `Adopt` notification tells each parent who its children are, and
+/// `Report`s carry partial aggregates upward once all of a node's children
+/// have reported.
+#[derive(Debug)]
+pub struct Convergecast {
+    is_sink: bool,
+    value: f64,
+    depth: Option<u32>,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    reports: Vec<(f64, u32)>,
+    /// on_round activations since this node joined the tree; adoptions from
+    /// all children have arrived by the third one.
+    rounds_since_join: u32,
+    reported: bool,
+    /// Filled at the sink when its whole component has been aggregated.
+    pub result: Option<(f64, u32)>,
+}
+
+impl Convergecast {
+    /// Creates the state for one node carrying `value`; exactly one node
+    /// must be the sink.
+    pub fn new(is_sink: bool, value: f64) -> Self {
+        Convergecast {
+            is_sink,
+            value,
+            depth: None,
+            parent: None,
+            children: Vec::new(),
+            reports: Vec::new(),
+            rounds_since_join: 0,
+            reported: false,
+            result: None,
+        }
+    }
+
+    fn try_report(&mut self, ctx: &mut Context<'_, CastMessage>) {
+        // Children adopt one round after our Build broadcast and their
+        // Adopt arrives one round later, so the child list is complete by
+        // the third activation after joining.
+        if self.reported
+            || self.depth.is_none()
+            || self.rounds_since_join < 3
+            || self.reports.len() < self.children.len()
+        {
+            return;
+        }
+        let sum: f64 = self.value + self.reports.iter().map(|(s, _)| s).sum::<f64>();
+        let count: u32 = 1 + self.reports.iter().map(|(_, c)| c).sum::<u32>();
+        self.reported = true;
+        if self.is_sink {
+            self.result = Some((sum, count));
+        } else {
+            let parent = self.parent.expect("non-sink nodes have parents");
+            ctx.send(parent, CastMessage::Report { sum, count });
+        }
+    }
+}
+
+impl Protocol for Convergecast {
+    type Message = CastMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CastMessage>) {
+        if self.is_sink {
+            self.depth = Some(0);
+            ctx.broadcast(CastMessage::Build { depth: 0 });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, CastMessage>, inbox: &[Envelope<CastMessage>]) {
+        for env in inbox {
+            match env.payload {
+                CastMessage::Build { depth } => {
+                    if self.depth.is_none() {
+                        self.depth = Some(depth + 1);
+                        self.parent = Some(env.from);
+                        ctx.send(env.from, CastMessage::Adopt);
+                        ctx.broadcast(CastMessage::Build { depth: depth + 1 });
+                    }
+                }
+                CastMessage::Adopt => self.children.push(env.from),
+                CastMessage::Report { sum, count } => self.reports.push((sum, count)),
+            }
+        }
+        if self.depth.is_some() {
+            self.rounds_since_join += 1;
+        }
+        self.try_report(ctx);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.reported || self.depth.is_none()
+    }
+
+    fn payload_size(_msg: &CastMessage) -> usize {
+        12
+    }
+}
+
+/// Priority announcement for [`LocalMinElection`].
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityClaim {
+    /// The competing candidate.
+    pub origin: NodeId,
+    /// Its priority draw (smaller wins).
+    pub priority: f64,
+    /// Remaining hops.
+    pub ttl: u32,
+}
+
+/// Elects candidates whose priority is minimal among candidates within `m`
+/// hops. Non-candidates participate as relays.
+#[derive(Debug)]
+pub struct LocalMinElection {
+    m: u32,
+    candidate: bool,
+    priority: f64,
+    best_heard: Option<(f64, NodeId)>,
+    seen: HashMap<NodeId, ()>,
+}
+
+impl LocalMinElection {
+    /// Creates the state for one node. `candidate` marks competing nodes;
+    /// `priority` is this node's draw (ignored for relays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: u32, candidate: bool, priority: f64) -> Self {
+        assert!(m > 0, "election radius must be positive");
+        LocalMinElection { m, candidate, priority, best_heard: None, seen: HashMap::new() }
+    }
+
+    /// After the run: did this node win the election?
+    ///
+    /// Ties are broken towards the smaller node id, so two adjacent
+    /// candidates can never both win.
+    pub fn is_winner(&self, node: NodeId) -> bool {
+        if !self.candidate {
+            return false;
+        }
+        match self.best_heard {
+            None => true,
+            Some((p, id)) => {
+                (self.priority, node) <= (p, id)
+            }
+        }
+    }
+}
+
+impl Protocol for LocalMinElection {
+    type Message = PriorityClaim;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, PriorityClaim>) {
+        if self.candidate {
+            ctx.broadcast(PriorityClaim {
+                origin: ctx.node(),
+                priority: self.priority,
+                ttl: self.m - 1,
+            });
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut Context<'_, PriorityClaim>,
+        inbox: &[Envelope<PriorityClaim>],
+    ) {
+        for env in inbox {
+            let claim = env.payload;
+            if claim.origin == ctx.node() || self.seen.contains_key(&claim.origin) {
+                continue;
+            }
+            self.seen.insert(claim.origin, ());
+            let key = (claim.priority, claim.origin);
+            if self.best_heard.is_none_or(|(p, id)| key < (p, id)) {
+                self.best_heard = Some(key);
+            }
+            if claim.ttl > 0 {
+                ctx.broadcast(PriorityClaim { ttl: claim.ttl - 1, ..claim });
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    fn payload_size(_msg: &PriorityClaim) -> usize {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use confine_graph::{generators, traverse, Masked};
+
+    #[test]
+    fn discovery_learns_exact_k_ball() {
+        let g = generators::grid_graph(5, 5);
+        let k = 2;
+        let mut engine = Engine::new(&g, |_| KHopDiscovery::new(k));
+        engine.run(16).unwrap();
+        for v in g.nodes() {
+            let state = engine.state(v).unwrap();
+            let mut learned: Vec<NodeId> = state.neighborhood().keys().copied().collect();
+            learned.sort_unstable();
+            let expected = traverse::k_hop_neighbors(&g, v, k);
+            assert_eq!(learned, expected, "node {v:?} ball mismatch");
+            // Distances agree with BFS.
+            for (&u, &(d, _)) in state.neighborhood() {
+                assert_eq!(traverse::distance(&g, v, u), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn punctured_graph_matches_centralized_construction() {
+        let g = generators::king_grid_graph(4, 4);
+        let k = 2;
+        let mut engine = Engine::new(&g, |_| KHopDiscovery::new(k));
+        engine.run(16).unwrap();
+        for v in g.nodes() {
+            let (local, members) = engine.state(v).unwrap().punctured_graph(v);
+            let ball = traverse::k_hop_neighbors(&g, v, k);
+            let reference = g.induced_subgraph(&ball).unwrap();
+            assert_eq!(members, ball);
+            assert_eq!(local.node_count(), reference.graph.node_count());
+            assert_eq!(local.edge_count(), reference.graph.edge_count());
+        }
+    }
+
+    #[test]
+    fn discovery_sees_only_active_nodes() {
+        let g = generators::cycle_graph(6);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(3));
+        let mut engine = Engine::new(&m, |_| KHopDiscovery::new(2));
+        engine.run(16).unwrap();
+        let state = engine.state(NodeId(2)).unwrap();
+        assert!(state.distance_to(NodeId(3)).is_none());
+        assert_eq!(state.distance_to(NodeId(1)), Some(1));
+        assert_eq!(state.distance_to(NodeId(0)), Some(2));
+        // Node 4 is 2 hops away through 3 — which is asleep.
+        assert!(state.distance_to(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn repeated_discovery_equals_plain_on_reliable_links() {
+        let g = generators::grid_graph(5, 4);
+        let k = 2;
+        let mut plain = Engine::new(&g, |_| KHopDiscovery::new(k));
+        plain.run(16).unwrap();
+        let mut repeated = Engine::new(&g, |_| RepeatedDiscovery::new(k, 1));
+        repeated.run(16).unwrap();
+        for v in g.nodes() {
+            let a: std::collections::BTreeSet<_> =
+                plain.state(v).unwrap().neighborhood().keys().copied().collect();
+            let b: std::collections::BTreeSet<_> =
+                repeated.state(v).unwrap().neighborhood().keys().copied().collect();
+            assert_eq!(a, b, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn plain_discovery_misses_under_loss_but_repeats_recover() {
+        use crate::engine::LinkModel;
+        let g = generators::grid_graph(6, 6);
+        let k = 2;
+        let lossy = LinkModel::Lossy { p: 0.3, seed: 42 };
+
+        let complete = |known: &std::collections::HashMap<NodeId, (u32, Vec<NodeId>)>,
+                        v: NodeId| {
+            let expected = traverse::k_hop_neighbors(&g, v, k);
+            expected.iter().all(|u| known.contains_key(u))
+        };
+
+        let mut plain =
+            Engine::new(&g, |_| KHopDiscovery::new(k)).with_link_model(lossy);
+        plain.run(32).unwrap();
+        let plain_ok = g.nodes().filter(|&v| complete(plain.state(v).unwrap().neighborhood(), v)).count();
+        assert!(plain.stats().dropped > 0, "loss model must actually drop");
+        assert!(plain_ok < g.node_count(), "30% loss must break some plain floods");
+
+        let mut robust =
+            Engine::new(&g, |_| RepeatedDiscovery::new(k, 5)).with_link_model(lossy);
+        robust.run(64).unwrap();
+        let robust_ok = g
+            .nodes()
+            .filter(|&v| complete(robust.state(v).unwrap().neighborhood(), v))
+            .count();
+        assert!(
+            robust_ok > plain_ok,
+            "5 repeats ({robust_ok} complete) must beat single-shot ({plain_ok})"
+        );
+        assert_eq!(robust_ok, g.node_count(), "5 repeats at p=0.3 recovers everyone (seeded)");
+    }
+
+    #[test]
+    fn election_winners_are_m_hop_independent() {
+        let g = generators::grid_graph(6, 6);
+        let m = 3;
+        let priorities: Vec<f64> = (0..36).map(|i| ((i * 17) % 36) as f64).collect();
+        let mut engine = Engine::new(&g, |v| {
+            LocalMinElection::new(m, v.0 % 2 == 0, priorities[v.index()])
+        });
+        engine.run(16).unwrap();
+        let winners: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| engine.state(v).unwrap().is_winner(v))
+            .collect();
+        assert!(!winners.is_empty());
+        assert!(confine_graph::mis::is_m_hop_independent(&g, &winners, m));
+        // Every winner is a candidate (even id).
+        assert!(winners.iter().all(|v| v.0 % 2 == 0));
+    }
+
+    #[test]
+    fn convergecast_sums_every_node() {
+        for g in [
+            generators::path_graph(7),
+            generators::cycle_graph(9),
+            generators::grid_graph(5, 4),
+            generators::king_grid_graph(4, 4),
+        ] {
+            let sink = NodeId(0);
+            let mut engine = Engine::new(&g, |v| {
+                Convergecast::new(v == sink, v.index() as f64)
+            });
+            engine.run(128).expect("convergecast terminates");
+            let (sum, count) = engine
+                .state(sink)
+                .unwrap()
+                .result
+                .expect("sink aggregated its component");
+            let n = g.node_count();
+            assert_eq!(count as usize, n, "every node contributes once in {g:?}");
+            let expected: f64 = (0..n).map(|i| i as f64).sum();
+            assert!((sum - expected).abs() < 1e-9, "{g:?}: {sum} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn convergecast_aggregates_only_the_sink_component() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let mut engine = Engine::new(&g, |v| Convergecast::new(v == NodeId(0), 1.0));
+        engine.run(64).expect("terminates");
+        let (sum, count) = engine.state(NodeId(0)).unwrap().result.unwrap();
+        assert_eq!(count, 3, "only the sink's component reports");
+        assert_eq!(sum, 3.0);
+    }
+
+    #[test]
+    fn convergecast_cost_scales_with_depth() {
+        let shallow = generators::grid_graph(4, 4);
+        let deep = generators::path_graph(16);
+        let run = |g: &Graph| {
+            let mut engine = Engine::new(g, |v| Convergecast::new(v == NodeId(0), 0.0));
+            engine.run(256).expect("terminates")
+        };
+        let s = run(&shallow);
+        let d = run(&deep);
+        assert!(d.rounds > s.rounds, "deep trees take more rounds: {} vs {}", d.rounds, s.rounds);
+    }
+
+    use confine_graph::Graph;
+
+    #[test]
+    fn lone_candidate_always_wins() {
+        let g = generators::path_graph(4);
+        let mut engine =
+            Engine::new(&g, |v| LocalMinElection::new(2, v == NodeId(2), 0.5));
+        engine.run(8).unwrap();
+        assert!(engine.state(NodeId(2)).unwrap().is_winner(NodeId(2)));
+        assert!(!engine.state(NodeId(1)).unwrap().is_winner(NodeId(1)));
+    }
+
+    #[test]
+    fn tie_breaks_towards_smaller_id() {
+        let g = generators::path_graph(2);
+        let mut engine = Engine::new(&g, |_| LocalMinElection::new(2, true, 1.0));
+        engine.run(8).unwrap();
+        assert!(engine.state(NodeId(0)).unwrap().is_winner(NodeId(0)));
+        assert!(!engine.state(NodeId(1)).unwrap().is_winner(NodeId(1)));
+    }
+
+    #[test]
+    fn far_candidates_do_not_interfere() {
+        let g = generators::path_graph(10);
+        // Candidates at the two ends, m = 3: they never hear each other.
+        let mut engine = Engine::new(&g, |v| {
+            LocalMinElection::new(3, v == NodeId(0) || v == NodeId(9), v.index() as f64)
+        });
+        engine.run(16).unwrap();
+        assert!(engine.state(NodeId(0)).unwrap().is_winner(NodeId(0)));
+        assert!(engine.state(NodeId(9)).unwrap().is_winner(NodeId(9)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: the distributed building blocks agree with their
+//! centralized counterparts on random graphs.
+
+use proptest::prelude::*;
+
+use confine_graph::{mis, traverse, Graph, NodeId};
+use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
+use confine_netsim::Engine;
+
+fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bits.get(k).copied().unwrap_or(false) {
+                g.add_edge(i.into(), j.into()).expect("unique pair");
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.3), pairs)
+            .prop_map(move |bits| graph_from_bits(n, &bits))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Distributed k-hop discovery learns exactly the centralized BFS balls,
+    /// with exact distances and adjacency lists.
+    #[test]
+    fn discovery_equals_bfs(g in arb_graph(12), k in 1u32..4) {
+        let mut engine = Engine::new(&g, |_| KHopDiscovery::new(k));
+        engine.run(64).expect("bounded flood converges");
+        for v in g.nodes() {
+            let state = engine.state(v).expect("active");
+            let mut learned: Vec<NodeId> = state.neighborhood().keys().copied().collect();
+            learned.sort_unstable();
+            prop_assert_eq!(&learned, &traverse::k_hop_neighbors(&g, v, k));
+            for (&u, &(d, ref adj)) in state.neighborhood() {
+                prop_assert_eq!(Some(d), traverse::distance(&g, v, u));
+                let expected: Vec<NodeId> = g.neighbors(u).collect();
+                prop_assert_eq!(adj.clone(), expected);
+            }
+            // The reconstructed punctured graph matches the centralized one.
+            let (local, members) = state.punctured_graph(v);
+            let reference = g.induced_subgraph(&members).expect("members exist");
+            prop_assert_eq!(local.edge_count(), reference.graph.edge_count());
+        }
+    }
+
+    /// Election winners are always an m-hop independent set, and at least
+    /// one candidate wins in every component that has candidates.
+    #[test]
+    fn election_is_independent_and_live(
+        g in arb_graph(12),
+        m in 1u32..4,
+        cand_bits in proptest::collection::vec(any::<bool>(), 12),
+        prio_seed in 0u64..1000,
+    ) {
+        let priorities: Vec<f64> = (0..g.node_count())
+            .map(|i| (((i as u64 + prio_seed) * 2654435761) % 1000) as f64)
+            .collect();
+        let candidate = |v: NodeId| cand_bits.get(v.index()).copied().unwrap_or(false);
+        let mut engine = Engine::new(&g, |v| {
+            LocalMinElection::new(m, candidate(v), priorities[v.index()])
+        });
+        engine.run(64).expect("bounded flood converges");
+        let winners: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| engine.state(v).expect("active").is_winner(v))
+            .collect();
+        prop_assert!(mis::is_m_hop_independent(&g, &winners, m));
+        for comp in traverse::connected_components(&g) {
+            let has_candidate = comp.iter().any(|&v| candidate(v));
+            let has_winner = comp.iter().any(|&v| winners.contains(&v));
+            prop_assert_eq!(has_candidate, has_winner, "liveness per component");
+        }
+    }
+
+    /// Message accounting is sane: a k-hop flood delivers at least one
+    /// message per edge direction and terminates within diameter+2 rounds.
+    #[test]
+    fn discovery_cost_bounds(g in arb_graph(10)) {
+        let k = 2u32;
+        let mut engine = Engine::new(&g, |_| KHopDiscovery::new(k));
+        let stats = engine.run(64).expect("converges");
+        if g.edge_count() > 0 {
+            prop_assert!(stats.messages >= 2 * g.edge_count(), "initial broadcast floor");
+        }
+        prop_assert!(stats.rounds <= k as usize + 2, "flood depth bound");
+        prop_assert!(stats.bytes >= stats.messages * 8, "records carry at least the origin");
+    }
+}

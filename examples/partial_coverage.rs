@@ -1,0 +1,66 @@
+//! Partial coverage with a quality-of-coverage budget (target-surveillance
+//! scenario).
+//!
+//! A surveillance application tolerates detection gaps as long as no
+//! escape corridor wider than `D` exists — the paper's worst-case QoC metric
+//! (maximum hole diameter). This example sweeps hole budgets, lets
+//! Proposition 1 pick the confine size, schedules with DCC, and compares
+//! the *measured* worst hole with both the budget and the theoretical
+//! bound `(τ − 2)·Rc`.
+//!
+//! ```text
+//! cargo run --release --example partial_coverage
+//! ```
+
+use confine::core::config::{best_tau_for_requirement, ConfineConfig, Guarantee};
+use confine::core::schedule::DccScheduler;
+use confine::deploy::coverage::verify_coverage;
+use confine::deploy::scenario::random_udg_scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let scenario = random_udg_scenario(500, 1.0, 22.0, &mut rng);
+    // Short-sighted sensors: γ = 1.8 — triangles cannot even blanket-cover.
+    let gamma = 1.8;
+    let rs = scenario.rc / gamma;
+    println!(
+        "network: {} nodes, γ = {gamma} (Rs = {rs:.2}); blanket coverage needs γ ≤ √3 ≈ 1.73",
+        scenario.graph.node_count()
+    );
+    println!(
+        "{:>10} {:>6} {:>14} {:>16} {:>14}",
+        "budget D", "tau", "active nodes", "bound (τ−2)Rc", "measured hole"
+    );
+
+    for budget in [1.0, 2.0, 3.0, 4.0] {
+        let Some(tau) = best_tau_for_requirement(gamma, scenario.rc, budget) else {
+            println!("{budget:>10.1}   —  no τ can guarantee this budget at γ = {gamma}");
+            continue;
+        };
+        let config = ConfineConfig::new(tau, gamma).expect("validated");
+        let bound = match config.guarantee(scenario.rc) {
+            Guarantee::Blanket => 0.0,
+            Guarantee::Partial { max_hole_diameter } => max_hole_diameter,
+            Guarantee::Unbounded => f64::INFINITY,
+        };
+        let mut rng = StdRng::seed_from_u64(7 + tau as u64);
+        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let report =
+            verify_coverage(&scenario.positions, &set.active, rs, scenario.target, 0.05);
+        let measured = report.max_hole_diameter();
+        println!(
+            "{budget:>10.1} {tau:>6} {:>14} {bound:>16.2} {measured:>14.3}",
+            set.active_count()
+        );
+        assert!(
+            measured <= bound + 0.2,
+            "measured hole {measured} exceeds the worst-case bound {bound}"
+        );
+    }
+    println!(
+        "\nlarger budgets admit larger confine sizes and sparser coverage sets; \
+         measured holes stay far below the worst-case guarantee"
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: schedule a sparse coverage set with DCC and verify it.
+//!
+//! Builds a random sensor network (the simulator knows coordinates; the
+//! algorithm never sees them), picks the sparsest confine size `τ` whose
+//! cycles still blanket-cover at the application's sensing ratio, runs the
+//! DCC scheduler, and double-checks the result against the ground-truth
+//! embedding.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use confine::core::config::{best_tau_for_requirement, ConfineConfig, Guarantee};
+use confine::core::schedule::DccScheduler;
+use confine::deploy::coverage::verify_coverage;
+use confine::deploy::scenario::random_udg_scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // 500 nodes, communication range 1, average degree ≈ 22.
+    let scenario = random_udg_scenario(500, 1.0, 22.0, &mut rng);
+    println!(
+        "network: {} nodes ({} boundary), {} links, avg degree {:.1}",
+        scenario.graph.node_count(),
+        scenario.boundary_count(),
+        scenario.graph.edge_count(),
+        scenario.graph.average_degree()
+    );
+
+    // The application's sensing ratio: sensors see as far as they talk.
+    let gamma = 1.0;
+    let rs = scenario.rc / gamma;
+
+    // Proposition 1: the largest τ that still guarantees blanket coverage.
+    let tau = best_tau_for_requirement(gamma, scenario.rc, 0.0)
+        .expect("γ = 1 ≤ √3, blanket coverage is achievable");
+    let config = ConfineConfig::new(tau, gamma).expect("valid configuration");
+    println!(
+        "sensing ratio γ = {gamma}: τ = {tau} guarantees {:?}",
+        config.guarantee(scenario.rc)
+    );
+    assert_eq!(config.guarantee(scenario.rc), Guarantee::Blanket);
+
+    // Schedule: connectivity-only, boundary nodes stay awake.
+    let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+    println!(
+        "DCC kept {} / {} nodes awake ({} deletion rounds, {} nodes sleeping)",
+        set.active_count(),
+        scenario.graph.node_count(),
+        set.rounds,
+        set.deleted.len()
+    );
+
+    // Verify against the hidden ground truth.
+    let report = verify_coverage(&scenario.positions, &set.active, rs, scenario.target, 0.05);
+    println!(
+        "geometric check: {:.2}% of the target covered, {} holes, max hole diameter {:.3}",
+        report.covered_fraction * 100.0,
+        report.holes.len(),
+        report.max_hole_diameter()
+    );
+    if report.is_blanket() {
+        println!("blanket coverage confirmed — every sampled point is sensed");
+    }
+}

@@ -1,0 +1,60 @@
+//! `confine` — distributed, connectivity-only coverage for wireless ad hoc
+//! and sensor networks, by topological graph approaches.
+//!
+//! This is the facade crate of the workspace reproducing *"Distributed
+//! Coverage in Wireless Ad Hoc and Sensor Networks by Topological Graph
+//! Approaches"* (Dong, Liu, Liu, Liao — ICDCS 2010). It re-exports every
+//! subsystem under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `confine-graph` | graph substrate: storage, traversal, SPT/LCA, m-hop MIS |
+//! | [`cycles`] | `confine-cycles` | GF(2) cycle spaces, Horton MCB (Algorithm 1), τ-partitionability |
+//! | [`complex`] | `confine-complex` | simplicial 2-complexes and GF(2) homology |
+//! | [`deploy`] | `confine-deploy` | deployments, radio models, GreenOrbs-style traces, geometric verification |
+//! | [`netsim`] | `confine-netsim` | synchronous message-passing simulator |
+//! | [`core`] | `confine-core` | **the paper's contribution**: confine coverage, VPT, DCC schedulers |
+//! | [`hgc`] | `confine-hgc` | the homology-group coverage baseline (Ghrist et al.) |
+//!
+//! # Quick start
+//!
+//! Build a random sensor network, pick the sparsest confine size that still
+//! guarantees blanket coverage for the application's sensing ratio, schedule
+//! with DCC, and verify the result geometrically:
+//!
+//! ```
+//! use confine::core::config::best_tau_for_requirement;
+//! use confine::core::schedule::DccScheduler;
+//! use confine::deploy::coverage::verify_coverage;
+//! use confine::deploy::scenario::random_udg_scenario;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let scenario = random_udg_scenario(400, 1.0, 20.0, &mut rng);
+//!
+//! // Application: sensing range Rs = Rc (γ = 1), blanket coverage needed.
+//! let tau = best_tau_for_requirement(1.0, scenario.rc, 0.0).expect("γ ≤ √3");
+//! let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+//! assert!(set.active_count() < 400);
+//!
+//! // Ground truth check with the simulator's hidden coordinates.
+//! let report = verify_coverage(
+//!     &scenario.positions,
+//!     &set.active,
+//!     scenario.rc / 1.0, // Rs = Rc / γ
+//!     scenario.target,
+//!     0.2,
+//! );
+//! assert!(report.covered_fraction > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use confine_complex as complex;
+pub use confine_core as core;
+pub use confine_cycles as cycles;
+pub use confine_deploy as deploy;
+pub use confine_graph as graph;
+pub use confine_hgc as hgc;
+pub use confine_netsim as netsim;

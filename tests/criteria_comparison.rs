@@ -1,0 +1,115 @@
+//! DCC vs HGC on structured topologies: agreement where both are right,
+//! and DCC's strictly better granularity where HGC wastes nodes.
+
+use confine::core::schedule::DccScheduler;
+use confine::cycles::partition::is_tau_partitionable;
+use confine::cycles::Cycle;
+use confine::graph::{generators, NodeId};
+use confine::hgc::criterion::{hgc_criterion_holds, hgc_holds_on_active};
+use confine::hgc::HgcScheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_fence(w: usize, h: usize) -> Vec<bool> {
+    (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            x == 0 || y == 0 || x == w - 1 || y == h - 1
+        })
+        .collect()
+}
+
+fn grid_outer_cycle(g: &confine::graph::Graph, w: usize, h: usize) -> Cycle {
+    let mut seq = Vec::new();
+    for x in 0..w {
+        seq.push(NodeId::from(x));
+    }
+    for y in 1..h {
+        seq.push(NodeId::from(y * w + (w - 1)));
+    }
+    for x in (0..w - 1).rev() {
+        seq.push(NodeId::from((h - 1) * w + x));
+    }
+    for y in (1..h - 1).rev() {
+        seq.push(NodeId::from(y * w));
+    }
+    Cycle::from_vertex_cycle(g, &seq).expect("grid rim is a cycle")
+}
+
+#[test]
+fn both_criteria_accept_a_triangulated_disk() {
+    let g = generators::king_grid_graph(6, 6);
+    assert!(hgc_criterion_holds(&g));
+    let outer = grid_outer_cycle(&g, 6, 6);
+    assert!(is_tau_partitionable(&g, outer.edge_vec(), 3));
+}
+
+#[test]
+fn both_criteria_reject_a_genuine_hole() {
+    // Plain grid: the unit squares are hollow.
+    let g = generators::grid_graph(6, 6);
+    assert!(!hgc_criterion_holds(&g));
+    let outer = grid_outer_cycle(&g, 6, 6);
+    assert!(!is_tau_partitionable(&g, outer.edge_vec(), 3));
+    // But DCC accepts at τ = 4 — the squares are fine cells; HGC cannot say
+    // this at all.
+    assert!(is_tau_partitionable(&g, outer.edge_vec(), 4));
+}
+
+#[test]
+fn dcc_at_tau3_and_hgc_keep_comparable_sets() {
+    // On a doubly-hubbed ring both schedulers must drop exactly one hub.
+    let mut g = generators::cycle_graph(8);
+    let hubs = [g.add_node(), g.add_node()];
+    for hub in hubs {
+        for i in 0..8 {
+            g.add_edge(hub, NodeId::from(i)).unwrap();
+        }
+    }
+    let mut fence = vec![true; 10];
+    fence[8] = false;
+    fence[9] = false;
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let hgc = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+    assert!(hgc.initial_ok);
+    assert_eq!(hgc.deleted.len(), 1);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let dcc = DccScheduler::new(3).schedule(&g, &fence, &mut rng);
+    assert_eq!(dcc.deleted.len(), 1);
+    assert_eq!(dcc.active_count(), hgc.active_count());
+}
+
+#[test]
+fn dcc_with_larger_tau_beats_hgc_on_the_wheel() {
+    // Wheel with an 8-ring: HGC must keep the hub (removing it opens the
+    // ring); DCC at τ = 8 sleeps it.
+    let g = generators::wheel_graph(8);
+    let mut fence = vec![false; 9];
+    for f in fence.iter_mut().skip(1) {
+        *f = true;
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let hgc = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+    assert!(hgc.initial_ok);
+    assert_eq!(hgc.active_count(), 9, "HGC cannot give up the hub");
+
+    let dcc = DccScheduler::new(8).schedule(&g, &fence, &mut StdRng::seed_from_u64(5));
+    assert_eq!(dcc.active_count(), 8, "8-confine coverage drops the hub");
+}
+
+#[test]
+fn hgc_scheduler_result_still_passes_its_criterion() {
+    let g = generators::king_grid_graph(5, 5);
+    // Add a few redundant chords to give the scheduler something to delete.
+    let mut g = g;
+    for (a, b) in [(0usize, 12usize), (4, 12), (20, 12), (24, 12)] {
+        let _ = g.add_edge(NodeId::from(a), NodeId::from(b));
+    }
+    let fence = ring_fence(5, 5);
+    let mut rng = StdRng::seed_from_u64(11);
+    let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
+    assert!(set.initial_ok);
+    assert!(hgc_holds_on_active(&g, &set.active));
+}

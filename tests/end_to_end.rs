@@ -1,0 +1,152 @@
+//! End-to-end integration: random deployments → DCC scheduling → exact
+//! criterion verification (Theorem 5) → geometric verification
+//! (Proposition 1), plus distributed/centralized agreement.
+
+use confine::core::config::{best_tau_for_requirement, blanket_ratio_threshold};
+use confine::core::distributed::DistributedDcc;
+use confine::core::schedule::{is_vpt_fixpoint, DccScheduler, DeletionOrder};
+use confine::core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
+use confine::deploy::coverage::verify_coverage;
+use confine::deploy::outer::extract_outer_walk;
+use confine::deploy::scenario::random_udg_scenario;
+use confine::graph::{traverse, Masked};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario(seed: u64) -> confine::deploy::Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_udg_scenario(300, 1.0, 22.0, &mut rng)
+}
+
+#[test]
+fn theorem5_partitionability_is_preserved_by_scheduling() {
+    let s = scenario(31);
+    let walk = extract_outer_walk(&s).expect("certified boundary walk");
+    let all: Vec<_> = s.graph.nodes().collect();
+    let initial_tau =
+        boundary_partition_tau(&s, &walk, &all).expect("boundary is in the cycle space");
+    for tau in [initial_tau, initial_tau + 2] {
+        let mut rng = StdRng::seed_from_u64(7 + tau as u64);
+        let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+        assert_eq!(
+            verify_criterion(&s, &set.active, tau),
+            CriterionOutcome::Satisfied,
+            "tau {tau}: the schedule must keep the boundary τ-partitionable"
+        );
+    }
+}
+
+#[test]
+fn schedules_reach_fixpoints_and_stay_connected() {
+    let s = scenario(32);
+    for tau in [3usize, 5] {
+        let mut rng = StdRng::seed_from_u64(tau as u64);
+        let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+        assert!(is_vpt_fixpoint(&s.graph, &set.active, &s.boundary, tau));
+        let masked = Masked::from_active(&s.graph, &set.active);
+        assert!(traverse::is_connected(&masked), "tau {tau}: coverage set disconnected");
+        assert_eq!(set.active_count() + set.deleted.len(), s.graph.node_count());
+    }
+}
+
+#[test]
+fn proposition1_blanket_coverage_holds_geometrically() {
+    let s = scenario(33);
+    // γ = 1 ⇒ blanket guaranteed up to τ = 6.
+    let gamma = 1.0;
+    let tau = best_tau_for_requirement(gamma, s.rc, 0.0).unwrap();
+    assert_eq!(tau, 6);
+    let mut rng = StdRng::seed_from_u64(9);
+    let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+    let report = verify_coverage(&s.positions, &set.active, s.rc / gamma, s.target, 0.08);
+    assert!(
+        report.is_blanket(),
+        "γ ≤ 2 sin(π/τ) must blanket-cover; found hole of diameter {}",
+        report.max_hole_diameter()
+    );
+}
+
+#[test]
+fn proposition1_partial_coverage_hole_bound_holds() {
+    let s = scenario(34);
+    // γ = 1.9: triangles cannot blanket; τ = 5 bounds holes by 3·Rc.
+    let gamma = 1.9;
+    let tau = 5usize;
+    assert!(gamma > blanket_ratio_threshold(tau));
+    let mut rng = StdRng::seed_from_u64(11);
+    let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+    let report = verify_coverage(&s.positions, &set.active, s.rc / gamma, s.target, 0.08);
+    let bound = (tau as f64 - 2.0) * s.rc;
+    assert!(
+        report.max_hole_diameter() <= bound + 0.15,
+        "hole {} exceeds the Proposition 1 bound {}",
+        report.max_hole_diameter(),
+        bound
+    );
+}
+
+#[test]
+fn larger_tau_gives_sparser_sets() {
+    let s = scenario(35);
+    let mut sizes = Vec::new();
+    for tau in [3usize, 4, 6] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+        sizes.push(set.active_count());
+    }
+    assert!(sizes[1] <= sizes[0] && sizes[2] <= sizes[1], "sizes {sizes:?} not monotone");
+    assert!(sizes[2] < sizes[0], "τ = 6 must actually save nodes over τ = 3");
+}
+
+#[test]
+fn distributed_run_matches_centralized_fixpoint() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let s = random_udg_scenario(150, 1.0, 16.0, &mut rng);
+    let tau = 4;
+    let (dist, stats) = DistributedDcc::new(tau)
+        .run(&s.graph, &s.boundary, &mut rng)
+        .expect("protocol converges");
+    assert!(is_vpt_fixpoint(&s.graph, &dist.active, &s.boundary, tau));
+    assert!(stats.discovery_messages > 0 && stats.comm_rounds > 0);
+    let central =
+        DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut StdRng::seed_from_u64(77));
+    // Both are fixpoints of the same transformation; sizes agree closely.
+    let diff = dist.active_count().abs_diff(central.active_count());
+    assert!(
+        diff * 20 <= s.graph.node_count(),
+        "distributed {} vs centralized {} too far apart",
+        dist.active_count(),
+        central.active_count()
+    );
+}
+
+#[test]
+fn sequential_order_is_a_valid_ablation() {
+    let s = scenario(36);
+    // Theorem 5 preserves whatever τ-partitionability the *initial* network
+    // has, so anchor on the initial value (random deployments occasionally
+    // carry a quad/penta hole that makes it larger than 3).
+    let walk = extract_outer_walk(&s).expect("certified boundary walk");
+    let all: Vec<_> = s.graph.nodes().collect();
+    let tau = boundary_partition_tau(&s, &walk, &all).expect("boundary in cycle space");
+    let mut rng = StdRng::seed_from_u64(5);
+    let seq = DccScheduler::new(tau)
+        .with_order(DeletionOrder::Sequential)
+        .schedule(&s.graph, &s.boundary, &mut rng);
+    assert!(is_vpt_fixpoint(&s.graph, &seq.active, &s.boundary, tau));
+    assert_eq!(
+        verify_criterion(&s, &seq.active, tau),
+        CriterionOutcome::Satisfied,
+        "sequential deletions preserve the criterion too (tau = {tau})"
+    );
+}
+
+#[test]
+fn boundary_nodes_always_survive() {
+    let s = scenario(37);
+    let mut rng = StdRng::seed_from_u64(13);
+    let set = DccScheduler::new(5).schedule(&s.graph, &s.boundary, &mut rng);
+    for v in s.boundary_nodes() {
+        assert!(set.active.contains(&v), "boundary node {v:?} was deleted");
+    }
+}

@@ -1,0 +1,97 @@
+//! Cross-crate reproduction of the paper's Fig. 1 discussion: the
+//! Möbius-band network separates the homology criterion (HGC) from the
+//! cycle-partition criterion (DCC).
+
+use confine::complex::{homology, rips};
+use confine::core::moebius::{moebius_band, INNER, OUTER};
+use confine::cycles::partition::PartitionTester;
+use confine::cycles::{space, Cycle};
+use confine::hgc::criterion::{absolute_b1, hgc_criterion_holds};
+
+#[test]
+fn moebius_band_is_a_surface_with_chi_zero() {
+    let band = moebius_band();
+    let k = rips::rips_complex(&band.graph);
+    assert_eq!(k.vertex_count(), OUTER + INNER);
+    assert_eq!(k.edge_count(), 28);
+    assert_eq!(k.triangle_count(), 16);
+    assert_eq!(k.euler_characteristic(), 0, "Möbius band has χ = 0");
+    // Every spoke and inner edge is interior (shared by 2 triangles);
+    // exactly the 8 outer edges lie on one triangle each.
+    let mut edge_use = std::collections::HashMap::new();
+    for &[a, b, c] in k.triangles() {
+        for (x, y) in [(a, b), (a, c), (b, c)] {
+            *edge_use.entry((x, y)).or_insert(0usize) += 1;
+        }
+    }
+    let boundary_edges = edge_use.values().filter(|&&c| c == 1).count();
+    assert_eq!(boundary_edges, 8, "one boundary circle of length 8");
+    assert!(edge_use.values().all(|&c| c <= 2), "a surface: at most 2 triangles per edge");
+}
+
+#[test]
+fn hgc_reports_a_false_hole() {
+    let band = moebius_band();
+    let k = rips::rips_complex(&band.graph);
+    assert_eq!(
+        homology::betti_numbers(&k),
+        [1, 1, 0],
+        "connected, one 1-dimensional hole class, no 2-cycles"
+    );
+    assert_eq!(absolute_b1(&band.graph), 1);
+    assert!(
+        !hgc_criterion_holds(&band.graph),
+        "HGC wrongly reports a coverage hole on a fully covered network"
+    );
+}
+
+#[test]
+fn cycle_partition_certifies_coverage() {
+    let band = moebius_band();
+    let outer = Cycle::from_vertex_cycle(&band.graph, &band.outer_cycle).unwrap();
+    let tester = PartitionTester::new(&band.graph);
+    assert_eq!(tester.min_partition_tau(outer.edge_vec()), Some(3));
+
+    // The explicit partition is exactly a triangle set summing to the
+    // boundary.
+    let parts = tester.partition(outer.edge_vec()).unwrap();
+    let mut sum = Cycle::zero(&band.graph);
+    for p in &parts {
+        assert_eq!(p.len(), 3);
+        sum = sum.sum(p);
+    }
+    assert_eq!(sum, outer);
+}
+
+#[test]
+fn the_central_circle_is_the_obstruction() {
+    let band = moebius_band();
+    let inner = Cycle::from_vertex_cycle(&band.graph, &band.inner_cycle).unwrap();
+    let tester = PartitionTester::new(&band.graph);
+    // The inner circle is irreducible (not a sum of triangles): HGC's
+    // homology sees it; DCC's boundary-only criterion does not care.
+    assert_eq!(tester.min_partition_tau(inner.edge_vec()), Some(4));
+    // Dimension check: cycle space has rank m − n + 1 = 17; triangles span
+    // a rank-16 subspace (rank ∂2 of the Rips complex = 16).
+    assert_eq!(space::circuit_rank(&band.graph), 17);
+    let k = rips::rips_complex(&band.graph);
+    let r2 = homology::boundary_2(&k).rank();
+    assert_eq!(r2, 16, "all 16 triangle boundaries are independent (their sum is the outer cycle, not zero)");
+}
+
+#[test]
+fn moebius_has_no_redundant_node_for_dcc() {
+    // Every node of the band sits on the boundary or is needed for the
+    // triangles: DCC with the outer ring as the protected boundary keeps the
+    // inner circle too (deleting any inner node would leave cycles longer
+    // than 3 around its hole).
+    let band = moebius_band();
+    let mut boundary = vec![false; band.graph.node_count()];
+    for &v in &band.outer_cycle {
+        boundary[v.index()] = true;
+    }
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let set = confine::core::schedule::DccScheduler::new(3)
+        .schedule(&band.graph, &boundary, &mut rng);
+    assert_eq!(set.active_count(), 12, "nothing can sleep at τ = 3");
+}

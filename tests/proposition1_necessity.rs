@@ -1,0 +1,73 @@
+//! Proposition 1, necessity side: the paper notes that `γ ≤ 2·sin(π/τ)` is
+//! "also a necessary condition for worst-case instances". We build the
+//! worst-case embedding — a regular τ-gon with every link stretched to the
+//! full `Rc` — and check with the geometric verifier that the centre is
+//! uncovered exactly when γ exceeds the threshold.
+
+use confine::core::config::blanket_ratio_threshold;
+use confine::deploy::coverage::verify_coverage;
+use confine::deploy::{Point, Rect};
+use confine::graph::NodeId;
+
+/// Positions of a regular τ-gon whose side length is exactly `rc`.
+fn tau_gon(tau: usize, rc: f64) -> Vec<Point> {
+    // Side s = 2 R sin(π/τ) ⇒ R = rc / (2 sin(π/τ)).
+    let r = rc / (2.0 * (std::f64::consts::PI / tau as f64).sin());
+    (0..tau)
+        .map(|i| {
+            let t = std::f64::consts::TAU * i as f64 / tau as f64;
+            Point::new(r * t.cos(), r * t.sin())
+        })
+        .collect()
+}
+
+#[test]
+fn threshold_is_tight_on_regular_tau_gons() {
+    let rc = 1.0;
+    for tau in 3..=9usize {
+        let positions = tau_gon(tau, rc);
+        let active: Vec<NodeId> = (0..tau).map(NodeId::from).collect();
+        let threshold = blanket_ratio_threshold(tau);
+        // Sample a small target around the polygon centre.
+        let target = Rect::new(-0.05, -0.05, 0.05, 0.05);
+
+        // γ just below the threshold ⇒ Rs just above the circumradius:
+        // the centre is covered.
+        let gamma_ok = threshold * 0.98;
+        let report = verify_coverage(&positions, &active, rc / gamma_ok, target, 0.01);
+        assert!(
+            report.is_blanket(),
+            "τ = {tau}: γ = {gamma_ok:.3} below the threshold must cover the centre"
+        );
+
+        // γ just above the threshold ⇒ the centre escapes every sensing
+        // disk: the worst-case τ-cycle leaks.
+        let gamma_bad = threshold * 1.02;
+        let report = verify_coverage(&positions, &active, rc / gamma_bad, target, 0.01);
+        assert!(
+            !report.is_blanket(),
+            "τ = {tau}: γ = {gamma_bad:.3} above the threshold must leak at the centre"
+        );
+    }
+}
+
+#[test]
+fn partial_bound_is_respected_on_stretched_cycles() {
+    // A stretched τ-gon's uncovered pocket always stays within the
+    // Proposition 1 bound (τ−2)·Rc — by a wide margin for regular polygons.
+    let rc = 1.0;
+    for tau in 4..=10usize {
+        let positions = tau_gon(tau, rc);
+        let active: Vec<NodeId> = (0..tau).map(NodeId::from).collect();
+        let gamma = 2.0; // the largest ratio the paper admits
+        let r = rc / (2.0 * (std::f64::consts::PI / tau as f64).sin());
+        let target = Rect::new(-r, -r, r, r);
+        let report = verify_coverage(&positions, &active, rc / gamma, target, 0.02);
+        let bound = (tau as f64 - 2.0) * rc;
+        assert!(
+            report.max_hole_diameter() <= bound + 0.1,
+            "τ = {tau}: hole {} exceeds the bound {bound}",
+            report.max_hole_diameter()
+        );
+    }
+}

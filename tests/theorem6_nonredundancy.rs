@@ -1,0 +1,54 @@
+//! Theorem 6: when the maximum irreducible cycle of the input graph is
+//! bounded by τ, the coverage set found by DCC is **non-redundant** — no
+//! single further node can be removed without losing τ-partitionability of
+//! the boundary.
+
+use confine::core::schedule::DccScheduler;
+use confine::core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
+use confine::cycles::horton::irreducible_cycle_bounds;
+use confine::deploy::outer::extract_outer_walk;
+use confine::deploy::scenario::random_udg_scenario;
+use confine::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn theorem6_no_single_node_is_redundant() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let scenario = random_udg_scenario(180, 1.0, 20.0, &mut rng);
+    let walk = extract_outer_walk(&scenario).expect("certified boundary walk");
+    let all: Vec<NodeId> = scenario.graph.nodes().collect();
+    let initial_tau =
+        boundary_partition_tau(&scenario, &walk, &all).expect("boundary in cycle space");
+    // Theorem 6's hypothesis: the maximum irreducible cycle of G is ≤ τ.
+    let max_irr = irreducible_cycle_bounds(&scenario.graph).expect("graph has cycles").max;
+    let tau = initial_tau.max(max_irr);
+
+    let set = DccScheduler::new(tau).schedule(
+        &scenario.graph,
+        &scenario.boundary,
+        &mut StdRng::seed_from_u64(5),
+    );
+    assert_eq!(
+        verify_criterion(&scenario, &set.active, tau),
+        CriterionOutcome::Satisfied,
+        "Theorem 5 precondition"
+    );
+
+    // Removing ANY single remaining internal node must break the criterion.
+    let internals: Vec<NodeId> = set
+        .active
+        .iter()
+        .copied()
+        .filter(|v| !scenario.boundary[v.index()])
+        .collect();
+    assert!(!internals.is_empty(), "degenerate instance: nothing internal survived");
+    for &v in &internals {
+        let without: Vec<NodeId> = set.active.iter().copied().filter(|&w| w != v).collect();
+        let min_tau = boundary_partition_tau(&scenario, &walk, &without);
+        assert!(
+            min_tau.is_none_or(|t| t > tau),
+            "removing {v:?} left the boundary {min_tau:?}-partitionable — the set was redundant"
+        );
+    }
+}
