@@ -38,8 +38,7 @@ fn bench_irreducible_predicate(c: &mut Criterion) {
     let mut group = c.benchmark_group("max_irreducible_at_most");
     let scenario = paper_scenario(300, 22.0, 3);
     let ball = confine_graph::traverse::k_hop_neighbors(&scenario.graph, NodeId(150), 2);
-    let (punctured, _) =
-        confine_core::vpt::induced_from_view(&scenario.graph, &ball);
+    let (punctured, _) = confine_core::vpt::induced_from_view(&scenario.graph, &ball);
     for tau in [3usize, 4, 6] {
         group.bench_with_input(BenchmarkId::new("udg_2hop_ball", tau), &tau, |b, &tau| {
             b.iter(|| black_box(max_irreducible_at_most(&punctured, tau)))
@@ -86,9 +85,7 @@ fn bench_partition(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("query", side),
             &(tester, outer),
-            |b, (tester, outer)| {
-                b.iter(|| black_box(tester.min_partition_tau(outer.edge_vec())))
-            },
+            |b, (tester, outer)| b.iter(|| black_box(tester.min_partition_tau(outer.edge_vec()))),
         );
     }
     group.finish();
@@ -140,7 +137,9 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(9);
             black_box(
-                confine_hgc::HgcScheduler::new().schedule(&king, &fence, &mut rng).active_count(),
+                confine_hgc::HgcScheduler::new()
+                    .schedule(&king, &fence, &mut rng)
+                    .active_count(),
             )
         })
     });

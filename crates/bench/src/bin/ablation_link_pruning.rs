@@ -49,8 +49,7 @@ fn main() {
             .iter()
             .map(|&p| scenario.boundary[p.index()])
             .collect();
-        let pruned = prune_edges(&induced.graph, &protected, tau, &mut rng)
-            .expect("arity matches");
+        let pruned = prune_edges(&induced.graph, &protected, tau, &mut rng).expect("arity matches");
 
         // Verify: the boundary walk's class stays τ-partitionable in the
         // pruned topology.

@@ -41,7 +41,11 @@ fn main() {
             .schedule(&scenario.graph, &scenario.boundary, &mut rng);
         println!(
             "{:>6} {:>14} {:>14} {:>14} {:>14}",
-            run, par.active_count(), par.rounds, seq.active_count(), seq.rounds
+            run,
+            par.active_count(),
+            par.rounds,
+            seq.active_count(),
+            seq.rounds
         );
         pa += par.active_count() as f64;
         pr += par.rounds as f64;
@@ -52,7 +56,11 @@ fn main() {
     let n = runs as f64;
     println!(
         "{:>6} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
-        "avg", pa / n, pr / n, sa / n, sr / n
+        "avg",
+        pa / n,
+        pr / n,
+        sa / n,
+        sr / n
     );
     println!(
         "\nround ratio sequential/parallel: {:.1}× (one deletion per round vs an \

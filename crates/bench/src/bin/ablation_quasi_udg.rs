@@ -17,8 +17,8 @@ use confine_bench::args::Args;
 use confine_bench::rule;
 use confine_core::schedule::DccScheduler;
 use confine_core::verify::{boundary_partition_tau, verify_criterion};
-use confine_deploy::outer::extract_outer_walk;
 use confine_deploy::deployment::{self, square_side_for_degree};
+use confine_deploy::outer::extract_outer_walk;
 use confine_deploy::scenario::scenario_from_deployment;
 use confine_deploy::{CommModel, Rect};
 use rand::rngs::StdRng;
@@ -48,9 +48,30 @@ fn main() {
 
     let models = [
         ("UDG", CommModel::Udg { rc: 1.0 }),
-        ("quasi r_in=0.8 p=0.7", CommModel::QuasiUdg { r_in: 0.8, rc: 1.0, p_mid: 0.7 }),
-        ("quasi r_in=0.6 p=0.6", CommModel::QuasiUdg { r_in: 0.6, rc: 1.0, p_mid: 0.6 }),
-        ("quasi r_in=0.5 p=0.5", CommModel::QuasiUdg { r_in: 0.5, rc: 1.0, p_mid: 0.5 }),
+        (
+            "quasi r_in=0.8 p=0.7",
+            CommModel::QuasiUdg {
+                r_in: 0.8,
+                rc: 1.0,
+                p_mid: 0.7,
+            },
+        ),
+        (
+            "quasi r_in=0.6 p=0.6",
+            CommModel::QuasiUdg {
+                r_in: 0.6,
+                rc: 1.0,
+                p_mid: 0.6,
+            },
+        ),
+        (
+            "quasi r_in=0.5 p=0.5",
+            CommModel::QuasiUdg {
+                r_in: 0.5,
+                rc: 1.0,
+                p_mid: 0.5,
+            },
+        ),
     ];
     for (name, model) in models {
         let mut rng = StdRng::seed_from_u64(seed);

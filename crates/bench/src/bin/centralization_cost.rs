@@ -56,7 +56,13 @@ fn main() {
     rule(108);
     println!(
         "{:>7} {:>11} {:>13} {:>13} {:>14} {:>13} {:>14}",
-        "nodes", "tree msgs", "collect msgs", "collect bytes", "reflood msgs", "incr. msgs", "incr. bytes"
+        "nodes",
+        "tree msgs",
+        "collect msgs",
+        "collect bytes",
+        "reflood msgs",
+        "incr. msgs",
+        "incr. bytes"
     );
     for &nodes in &[100usize, 200, 300] {
         let scenario = paper_scenario(nodes, degree, seed);

@@ -31,7 +31,15 @@ fn main() {
     rule(108);
     println!(
         "{:>7} {:>5} {:>8} {:>9} {:>13} {:>13} {:>13} {:>13} {:>8}",
-        "nodes", "tau", "active", "del.rnds", "reflood msgs", "reflood bytes", "incr. msgs", "incr. bytes", "saving"
+        "nodes",
+        "tau",
+        "active",
+        "del.rnds",
+        "reflood msgs",
+        "reflood bytes",
+        "incr. msgs",
+        "incr. bytes",
+        "saving"
     );
     for &nodes in &[100usize, 200, 300] {
         let scenario = paper_scenario(nodes, degree, seed);
@@ -44,7 +52,10 @@ fn main() {
             let (iset, inc) = IncrementalDcc::new(tau)
                 .run(&scenario.graph, &scenario.boundary, &mut rng)
                 .expect("protocol converges");
-            assert_eq!(set.active, iset.active, "variants must agree on the schedule");
+            assert_eq!(
+                set.active, iset.active,
+                "variants must agree on the schedule"
+            );
             let saving = full.bytes as f64 / inc.bytes.max(1) as f64;
             println!(
                 "{:>7} {:>5} {:>8} {:>9} {:>13} {:>13} {:>13} {:>13} {:>7.1}×",

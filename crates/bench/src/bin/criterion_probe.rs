@@ -15,7 +15,10 @@ fn main() {
     println!("outer walk: {:?}", walk.as_ref().map(|w| w.walk.len()));
     let Some(walk) = walk else { return };
     let all: Vec<_> = scenario.graph.nodes().collect();
-    println!("full graph min partition tau: {:?}", boundary_partition_tau(&scenario, &walk, &all));
+    println!(
+        "full graph min partition tau: {:?}",
+        boundary_partition_tau(&scenario, &walk, &all)
+    );
     for tau in [4usize, 6] {
         let mut rng = StdRng::seed_from_u64(tau as u64);
         let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);

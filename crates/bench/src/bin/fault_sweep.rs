@@ -1,0 +1,168 @@
+//! Robustness sweep — message loss × mid-run crashes for DCC-D, plus the
+//! failure-adaptive repair layer.
+//!
+//! For every `(loss, crashes)` cell the harness runs the distributed
+//! scheduler with a seeded [`FaultPlan`], then crashes one interior active
+//! node *after* the schedule has converged and runs [`CoverageRepair`]. It
+//! reports:
+//!
+//! * scheduling cost (messages, drops) relative to the fault-free baseline,
+//! * QoC violations: runs whose final set fails the τ-partition criterion
+//!   (Proposition 2) — before and after the post-schedule repair,
+//! * repair latency (deletion rounds of the local re-VPT) and repair
+//!   traffic (messages attributed to the repair layer).
+//!
+//! ```text
+//! cargo run --release -p confine-bench --bin fault_sweep -- \
+//!     --nodes 150 --degree 18 --runs 5 --crashes 3 [--tau T]
+//! ```
+//!
+//! With `--tau 0` (the default) the harness picks the scenario's minimal
+//! feasible τ, so the fault-free baseline is always certified.
+
+use confine_bench::args::Args;
+use confine_bench::{paper_scenario, rule};
+use confine_core::distributed::DistributedDcc;
+use confine_core::repair::CoverageRepair;
+use confine_core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
+use confine_deploy::outer::extract_outer_walk;
+use confine_graph::NodeId;
+use confine_netsim::faults::FaultPlan;
+use confine_netsim::{LinkModel, SimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LOSSES: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+fn main() {
+    let args = Args::from_env();
+    let nodes = args.get_usize("nodes", 150);
+    let degree = args.get_f64("degree", 18.0);
+    let seed = args.get_u64("seed", 4);
+    let runs = args.get_usize("runs", 5);
+    let max_crashes = args.get_usize("crashes", 3);
+    let mut tau = args.get_usize("tau", 0);
+
+    let scenario = paper_scenario(nodes, degree, seed);
+    if tau == 0 {
+        let all: Vec<NodeId> = scenario.graph.nodes().collect();
+        tau = extract_outer_walk(&scenario)
+            .and_then(|walk| boundary_partition_tau(&scenario, &walk, &all))
+            .unwrap_or(4)
+            .max(3);
+    }
+    let ids: Vec<NodeId> = scenario.graph.nodes().collect();
+
+    println!(
+        "Fault sweep — DCC-D under loss × crashes, {} nodes, τ = {tau}, {} runs/cell",
+        scenario.graph.node_count(),
+        runs
+    );
+    rule(100);
+    println!(
+        "{:>5} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9} {:>11} {:>12} {:>10}",
+        "loss",
+        "crashes",
+        "stall",
+        "msgs",
+        "dropped",
+        "QoC-viol",
+        "rep-viol",
+        "rep rounds",
+        "rep msgs",
+        "detect rnd"
+    );
+
+    for &p in &LOSSES {
+        for c in 0..=max_crashes {
+            let mut stalls = 0usize;
+            let mut completions = 0usize;
+            let mut msgs = 0usize;
+            let mut dropped = 0usize;
+            let mut qoc_violations = 0usize;
+            let mut post_repair_violations = 0usize;
+            let mut repair_rounds = 0usize;
+            let mut repair_msgs = 0usize;
+            let mut detect = 0usize;
+            let mut repairs = 0usize;
+
+            for r in 0..runs {
+                let cell_seed = seed
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add((p * 1000.0) as u64)
+                    .wrapping_add((c as u64) << 24)
+                    .wrapping_add(r as u64);
+                let plan =
+                    FaultPlan::random_crashes(&ids, c, 40, cell_seed).with_seed(cell_seed ^ 0xfa17);
+                let link = if p > 0.0 {
+                    LinkModel::Lossy {
+                        p,
+                        seed: cell_seed ^ 0x10_55,
+                    }
+                } else {
+                    LinkModel::Reliable
+                };
+                let mut rng = StdRng::seed_from_u64(cell_seed);
+                match DistributedDcc::new(tau).with_faults(link, plan).run(
+                    &scenario.graph,
+                    &scenario.boundary,
+                    &mut rng,
+                ) {
+                    Ok((set, stats)) => {
+                        completions += 1;
+                        msgs += stats.total_messages();
+                        dropped += stats.dropped;
+                        if verify_criterion(&scenario, &set.active, tau)
+                            == CriterionOutcome::Violated
+                        {
+                            qoc_violations += 1;
+                        }
+                        let victim = set
+                            .active
+                            .iter()
+                            .copied()
+                            .find(|v| !scenario.boundary[v.index()]);
+                        if let Some(v) = victim {
+                            let outcome = CoverageRepair::new(tau)
+                                .with_comm_range(scenario.rc)
+                                .repair(
+                                    &scenario.graph,
+                                    &scenario.boundary,
+                                    &set.active,
+                                    v,
+                                    &mut rng,
+                                )
+                                .expect("repair converges");
+                            repairs += 1;
+                            repair_rounds += outcome.degradation.repair_rounds;
+                            repair_msgs += outcome.stats.repair_messages;
+                            detect += outcome.degradation.detection_rounds;
+                            if verify_criterion(&scenario, &outcome.set.active, tau)
+                                == CriterionOutcome::Violated
+                            {
+                                post_repair_violations += 1;
+                            }
+                        }
+                    }
+                    Err(SimError::ElectionStalled { .. }) => stalls += 1,
+                    Err(e) => panic!("loss {p} crashes {c} run {r}: {e}"),
+                }
+            }
+
+            let mean = |sum: usize, n: usize| sum.checked_div(n).unwrap_or(0);
+            println!(
+                "{:>5.2} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9} {:>11} {:>12} {:>10}",
+                p,
+                c,
+                stalls,
+                mean(msgs, completions),
+                mean(dropped, completions),
+                qoc_violations,
+                post_repair_violations,
+                mean(repair_rounds, repairs),
+                mean(repair_msgs, repairs),
+                mean(detect, repairs),
+            );
+        }
+    }
+}

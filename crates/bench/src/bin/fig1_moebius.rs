@@ -49,15 +49,15 @@ fn main() {
         .min_partition_tau(outer.edge_vec())
         .expect("the boundary lies in the cycle space");
     println!("DCC  | outer boundary is τ-partitionable for τ ≥ {min_tau}");
-    let partition = tester.partition(outer.edge_vec()).expect("partition exists");
+    let partition = tester
+        .partition(outer.edge_vec())
+        .expect("partition exists");
     println!(
         "DCC  | explicit partition: {} cycles of lengths {:?}",
         partition.len(),
         partition.iter().map(Cycle::len).collect::<Vec<_>>()
     );
-    println!(
-        "DCC  | verdict: 3-confine coverage certified (full blanket coverage for γ ≤ √3)"
-    );
+    println!("DCC  | verdict: 3-confine coverage certified (full blanket coverage for γ ≤ √3)");
     rule(72);
 
     // The inner circle is what breaks HGC: it can never contract.
@@ -67,7 +67,9 @@ fn main() {
         "why HGC fails: the central circle {:?} has minimal partition τ = {} — \
          it is not a sum of triangles, so H1 ≠ 0",
         band.inner_cycle.iter().map(|v| v.0).collect::<Vec<_>>(),
-        tester.min_partition_tau(inner.edge_vec()).expect("in cycle space"),
+        tester
+            .min_partition_tau(inner.edge_vec())
+            .expect("in cycle space"),
     );
     println!(
         "why DCC succeeds: the criterion only requires the *boundary* to assemble \

@@ -10,9 +10,9 @@
 
 use confine_bench::args::Args;
 use confine_bench::render::render_scenario;
-use confine_deploy::svg::{render_svg, SvgOptions};
 use confine_bench::{paper_scenario, rule};
 use confine_core::schedule::{is_vpt_fixpoint, DccScheduler};
+use confine_deploy::svg::{render_svg, SvgOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,7 +43,10 @@ fn main() {
         rule(72);
     }
 
-    println!("{:>6} {:>10} {:>12} {:>10} {:>10}", "tau", "active", "internal", "deleted", "rounds");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>10}",
+        "tau", "active", "internal", "deleted", "rounds"
+    );
     for (label, tau) in [("(b)", 3usize), ("(c)", 4), ("(d)", 5), ("(e)", 6)] {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
         let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);

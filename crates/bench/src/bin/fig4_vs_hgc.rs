@@ -56,7 +56,11 @@ fn main() {
     println!("Figure 4 — saved-node fraction λ = (n1 − n2)/n1, DCC vs HGC");
     println!(
         "nodes = {nodes}, degree = {degree}, runs = {runs}, seed = {seed}, HGC = {}",
-        if use_homology { "homology greedy" } else { "triangle (τ=3) schedule" }
+        if use_homology {
+            "homology greedy"
+        } else {
+            "triangle (τ=3) schedule"
+        }
     );
     println!("(paper: 1600 nodes, degree ≈ 25, 100 runs)");
 
@@ -78,7 +82,9 @@ fn main() {
 
         let n1 = if use_homology {
             let mut hg = StdRng::seed_from_u64(seed + run as u64);
-            HgcScheduler::new().schedule(&scenario.graph, &scenario.boundary, &mut hg).active_count()
+            HgcScheduler::new()
+                .schedule(&scenario.graph, &scenario.boundary, &mut hg)
+                .active_count()
         } else {
             sets[0].len()
         };
@@ -94,10 +100,9 @@ fn main() {
                 })
                 .collect();
             for (bi, &budget) in budgets.iter().enumerate() {
-                let floor_tau =
-                    best_tau_for_requirement(gamma, scenario.rc, budget * scenario.rc)
-                        .unwrap_or(3)
-                        .min(*TAUS.end());
+                let floor_tau = best_tau_for_requirement(gamma, scenario.rc, budget * scenario.rc)
+                    .unwrap_or(3)
+                    .min(*TAUS.end());
                 let mut n2 = None;
                 for (ti, tau) in TAUS.enumerate() {
                     let guaranteed = tau <= floor_tau;

@@ -46,9 +46,7 @@ fn main() {
     }
     rule(60);
     let thr = trace.threshold_for_fraction(0.8);
-    println!(
-        "threshold keeping 80% of edges: {thr:.1} dBm  (paper: ≈ −85 dBm)"
-    );
+    println!("threshold keeping 80% of edges: {thr:.1} dBm  (paper: ≈ −85 dBm)");
     println!(
         "graph at that threshold: {} edges, longest kept link {:.2} units",
         trace.graph_with_threshold(thr).edge_count(),

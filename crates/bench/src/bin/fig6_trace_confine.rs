@@ -39,7 +39,10 @@ fn main() {
     );
     println!("(paper: 296 nodes, 26 boundary nodes)");
     rule(60);
-    println!("{:>6} {:>14} {:>10} {:>10}", "tau", "inner left", "active", "rounds");
+    println!(
+        "{:>6} {:>14} {:>10} {:>10}",
+        "tau", "inner left", "active", "rounds"
+    );
     for tau in 3..=8usize {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
         let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);

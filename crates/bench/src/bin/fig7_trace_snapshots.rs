@@ -13,8 +13,8 @@
 use confine_bench::args::Args;
 use confine_bench::render::render_scenario;
 use confine_bench::rule;
-use confine_deploy::svg::{render_svg, SvgOptions};
 use confine_core::schedule::DccScheduler;
+use confine_deploy::svg::{render_svg, SvgOptions};
 use confine_deploy::trace::{greenorbs_scenario, TraceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,7 +41,13 @@ fn main() {
     print!("{}", render_scenario(&scenario, &all, 84, 18));
     rule(84);
 
-    for (label, tau) in [("(b)", 3usize), ("(c)", 4), ("(d)", 5), ("(e)", 6), ("(f)", 7)] {
+    for (label, tau) in [
+        ("(b)", 3usize),
+        ("(c)", 4),
+        ("(d)", 5),
+        ("(e)", 6),
+        ("(f)", 7),
+    ] {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
         let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
         let inner = set.active_internal(&scenario.boundary).len();

@@ -21,7 +21,11 @@ fn main() {
         let masked = Masked::from_active(&scenario.graph, &set.active);
         let k = neighborhood_radius(tau);
         let (mut disc, mut irred) = (0, 0);
-        for &v in set.active.iter().filter(|&&v| !scenario.boundary[v.index()]) {
+        for &v in set
+            .active
+            .iter()
+            .filter(|&&v| !scenario.boundary[v.index()])
+        {
             let ball = traverse::k_hop_neighbors(&masked, v, k);
             let (punct, _) = induced_from_view(&masked, &ball);
             if !traverse::is_connected(&punct) {

@@ -18,9 +18,9 @@ use std::process::ExitCode;
 use confine_core::config::{blanket_ratio_threshold, MIN_TAU};
 use confine_core::schedule::DccScheduler;
 use confine_core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
-use confine_deploy::outer::extract_outer_walk;
 use confine_deploy::coverage::verify_coverage;
 use confine_deploy::format::{read_scenario, write_scenario};
+use confine_deploy::outer::extract_outer_walk;
 use confine_deploy::scenario::random_udg_scenario;
 use confine_deploy::trace::{greenorbs_scenario, TraceConfig};
 use confine_deploy::Scenario;
@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "schedule" => cmd_schedule(&opts),
         "prune" => cmd_prune(&opts),
         "verify" => cmd_verify(&opts),
+        "fault-sweep" => cmd_fault_sweep(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -75,7 +76,11 @@ commands:
   prune     --in FILE --tau T [--seed S] [--out FILE]
             run the edge-deletion pass; prints/saves the thinned scenario
   verify    --in FILE --tau T [--active FILE] [--gamma G]
-            exact criterion check (+ geometric check when --gamma given)";
+            exact criterion check (+ geometric check when --gamma given)
+  fault-sweep --in FILE --tau T [--seed S] [--loss \"0,0.1,0.2,0.3\"]
+              [--crashes C]
+            distributed runs under loss × mid-run crashes, then a
+            post-schedule crash + repair; prints cost and QoC per cell";
 
 fn load(opts: &Opts) -> Result<Scenario, String> {
     let path = opts.require("in")?;
@@ -132,8 +137,16 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     println!("average degree   : {:.2}", s.graph.average_degree());
     println!("boundary nodes   : {}", s.boundary_count());
     println!("rc               : {}", s.rc);
-    println!("region           : {:?} × {:?}", s.region.width(), s.region.height());
-    println!("target           : {:?} × {:?}", s.target.width(), s.target.height());
+    println!(
+        "region           : {:?} × {:?}",
+        s.region.width(),
+        s.region.height()
+    );
+    println!(
+        "target           : {:?} × {:?}",
+        s.target.width(),
+        s.target.height()
+    );
     println!("connected        : {}", traverse::is_connected(&s.graph));
     let cs = cut::cut_structure(&s.graph);
     println!("articulation pts : {}", cs.articulation_points.len());
@@ -198,9 +211,124 @@ fn cmd_prune(opts: &Opts) -> Result<(), String> {
         pruned.graph.edge_count()
     );
     if let Some(out) = opts.get("out") {
-        let thinned = Scenario { graph: pruned.graph, ..s };
+        let thinned = Scenario {
+            graph: pruned.graph,
+            ..s
+        };
         save(&out, &write_scenario(&thinned))?;
         println!("thinned scenario written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
+    use confine_core::distributed::DistributedDcc;
+    use confine_core::repair::CoverageRepair;
+    use confine_netsim::faults::FaultPlan;
+    use confine_netsim::{LinkModel, SimError};
+
+    let s = load(opts)?;
+    let tau = opts.usize("tau", 0)?;
+    if tau < MIN_TAU {
+        return Err(format!("--tau must be ≥ {MIN_TAU}"));
+    }
+    let seed = opts.u64("seed", 1)?;
+    let max_crashes = opts.usize("crashes", 3)?;
+    let losses: Vec<f64> = match opts.get("loss") {
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| format!("--loss: bad probability {t:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![0.0, 0.1, 0.2, 0.3],
+    };
+    let nodes: Vec<NodeId> = s.graph.nodes().collect();
+
+    println!(
+        "{:>5} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11}",
+        "loss",
+        "crashes",
+        "result",
+        "msgs",
+        "dropped",
+        "crashed",
+        "QoC",
+        "repair_rnds",
+        "repair_msgs"
+    );
+    for &p in &losses {
+        for c in 0..=max_crashes {
+            let cell_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((p * 1000.0) as u64 * 31 + c as u64);
+            let mut rng = StdRng::seed_from_u64(cell_seed);
+            let plan = FaultPlan::random_crashes(&nodes, c, 40, cell_seed ^ 0x5eed);
+            let dcc = if p > 0.0 {
+                DistributedDcc::new(tau).with_faults(
+                    LinkModel::Lossy {
+                        p,
+                        seed: cell_seed ^ 0x10_55,
+                    },
+                    plan,
+                )
+            } else {
+                DistributedDcc::new(tau).with_faults(LinkModel::Reliable, plan)
+            };
+            match dcc.run(&s.graph, &s.boundary, &mut rng) {
+                Ok((set, stats)) => {
+                    let qoc = match verify_criterion(&s, &set.active, tau) {
+                        CriterionOutcome::Satisfied => "ok",
+                        CriterionOutcome::Violated => "VIOLATED",
+                        CriterionOutcome::NoCertifiedBoundary => "n/a",
+                    };
+                    // Post-schedule crash of one interior active node + repair.
+                    let victim = set.active.iter().copied().find(|v| !s.boundary[v.index()]);
+                    let (rr, rm) = match victim {
+                        Some(v) => {
+                            let outcome = CoverageRepair::new(tau)
+                                .with_comm_range(s.rc)
+                                .repair(&s.graph, &s.boundary, &set.active, v, &mut rng)
+                                .map_err(|e| format!("repair: {e}"))?;
+                            (
+                                outcome.degradation.repair_rounds,
+                                outcome.stats.repair_messages,
+                            )
+                        }
+                        None => (0, 0),
+                    };
+                    println!(
+                        "{:>5.2} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11}",
+                        p,
+                        c,
+                        "ok",
+                        stats.total_messages(),
+                        stats.dropped,
+                        stats.crashed,
+                        qoc,
+                        rr,
+                        rm
+                    );
+                }
+                Err(SimError::ElectionStalled { retries }) => {
+                    println!(
+                        "{:>5.2} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11}",
+                        p,
+                        c,
+                        format!("stall({retries})"),
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-"
+                    );
+                }
+                Err(e) => return Err(format!("loss {p} crashes {c}: {e}")),
+            }
+        }
     }
     Ok(())
 }
@@ -250,7 +378,9 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
 
     // Optional geometric ground-truth check.
     if let Some(gamma) = opts.get("gamma") {
-        let gamma: f64 = gamma.parse().map_err(|_| "--gamma expects a number".to_string())?;
+        let gamma: f64 = gamma
+            .parse()
+            .map_err(|_| "--gamma expects a number".to_string())?;
         if gamma <= 0.0 {
             return Err("--gamma must be positive".into());
         }

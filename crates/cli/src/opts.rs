@@ -36,14 +36,17 @@ impl Opts {
 
     /// A mandatory string option.
     pub fn require(&self, key: &str) -> Result<String, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A usize option with a default.
     pub fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
         }
     }
 
@@ -51,7 +54,9 @@ impl Opts {
     pub fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
         }
     }
 
@@ -59,7 +64,9 @@ impl Opts {
     pub fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
         }
     }
 }

@@ -19,26 +19,47 @@ fn generate_info_schedule_verify_pipeline() {
     let sched = tmp("sched.txt");
 
     let out = cli()
-        .args(["generate", "--nodes", "250", "--degree", "20", "--seed", "9"])
+        .args([
+            "generate", "--nodes", "250", "--degree", "20", "--seed", "9",
+        ])
         .args(["--out", net.to_str().unwrap()])
         .output()
         .expect("spawn generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("250 nodes"), "unexpected output: {text}");
 
-    let out = cli().args(["info", "--in", net.to_str().unwrap()]).output().expect("spawn info");
+    let out = cli()
+        .args(["info", "--in", net.to_str().unwrap()])
+        .output()
+        .expect("spawn info");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("connected        : true"), "{text}");
     assert!(text.contains("initial partition τ:"), "{text}");
 
     let out = cli()
-        .args(["schedule", "--in", net.to_str().unwrap(), "--tau", "5", "--seed", "4"])
+        .args([
+            "schedule",
+            "--in",
+            net.to_str().unwrap(),
+            "--tau",
+            "5",
+            "--seed",
+            "4",
+        ])
         .args(["--out", sched.to_str().unwrap()])
         .output()
         .expect("spawn schedule");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let ids = std::fs::read_to_string(&sched).expect("schedule written");
     assert!(ids.lines().count() > 10, "implausibly small coverage set");
 
@@ -59,7 +80,9 @@ fn generate_info_schedule_verify_pipeline() {
 fn verify_rejects_broken_schedule() {
     let net = tmp("net2.cf");
     let out = cli()
-        .args(["generate", "--nodes", "200", "--degree", "20", "--seed", "3"])
+        .args([
+            "generate", "--nodes", "200", "--degree", "20", "--seed", "3",
+        ])
         .args(["--out", net.to_str().unwrap()])
         .output()
         .expect("spawn generate");
@@ -73,7 +96,10 @@ fn verify_rejects_broken_schedule() {
         .args(["--active", sched.to_str().unwrap()])
         .output()
         .expect("spawn verify");
-    assert!(!out.status.success(), "single-node schedule must fail verification");
+    assert!(
+        !out.status.success(),
+        "single-node schedule must fail verification"
+    );
 
     let _ = std::fs::remove_file(net);
     let _ = std::fs::remove_file(sched);
@@ -84,23 +110,40 @@ fn prune_roundtrips_through_the_format() {
     let net = tmp("net3.cf");
     let thin = tmp("thin.cf");
     let out = cli()
-        .args(["generate", "--nodes", "200", "--degree", "22", "--seed", "6"])
+        .args([
+            "generate", "--nodes", "200", "--degree", "22", "--seed", "6",
+        ])
         .args(["--out", net.to_str().unwrap()])
         .output()
         .expect("spawn generate");
     assert!(out.status.success());
 
     let out = cli()
-        .args(["prune", "--in", net.to_str().unwrap(), "--tau", "4", "--seed", "2"])
+        .args([
+            "prune",
+            "--in",
+            net.to_str().unwrap(),
+            "--tau",
+            "4",
+            "--seed",
+            "2",
+        ])
         .args(["--out", thin.to_str().unwrap()])
         .output()
         .expect("spawn prune");
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(text.contains("links pruned"), "{text}");
 
     // The thinned scenario parses and has fewer links.
-    let out = cli().args(["info", "--in", thin.to_str().unwrap()]).output().expect("info");
+    let out = cli()
+        .args(["info", "--in", thin.to_str().unwrap()])
+        .output()
+        .expect("info");
     assert!(out.status.success());
     let info = String::from_utf8_lossy(&out.stdout);
     assert!(info.contains("connected        : true"), "{info}");
@@ -111,7 +154,10 @@ fn prune_roundtrips_through_the_format() {
 
 #[test]
 fn helpful_errors() {
-    let out = cli().args(["schedule", "--tau", "4"]).output().expect("spawn");
+    let out = cli()
+        .args(["schedule", "--tau", "4"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--in"));
 

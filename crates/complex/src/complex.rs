@@ -121,12 +121,7 @@ impl Complex2 {
     /// Returns [`ComplexError::DegenerateSimplex`] for repeated vertices,
     /// [`ComplexError::DuplicateSimplex`] for re-insertion, and
     /// [`ComplexError::MissingFace`] when an edge face is absent.
-    pub fn add_triangle(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        c: NodeId,
-    ) -> Result<usize, ComplexError> {
+    pub fn add_triangle(&mut self, a: NodeId, b: NodeId, c: NodeId) -> Result<usize, ComplexError> {
         let mut key = [a, b, c];
         key.sort_unstable();
         if key[0] == key[1] || key[1] == key[2] {
@@ -217,12 +212,14 @@ impl Complex2 {
         }
         for &[a, b] in &self.edges {
             if keep(a) && keep(b) {
-                sub.add_edge(a, b).expect("edges of a valid complex are unique");
+                sub.add_edge(a, b)
+                    .expect("edges of a valid complex are unique");
             }
         }
         for &[a, b, c] in &self.triangles {
             if keep(a) && keep(b) && keep(c) {
-                sub.add_triangle(a, b, c).expect("faces were kept with the triangle");
+                sub.add_triangle(a, b, c)
+                    .expect("faces were kept with the triangle");
             }
         }
         sub
@@ -257,7 +254,11 @@ mod tests {
         k.add_edge(n(3), n(5)).unwrap();
         k.add_edge(n(5), n(7)).unwrap();
         assert_eq!(k.vertex_count(), 3);
-        assert_eq!(k.add_vertex(n(3)), 0, "re-adding returns the original index");
+        assert_eq!(
+            k.add_vertex(n(3)),
+            0,
+            "re-adding returns the original index"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub struct Gf2Matrix {
 impl Gf2Matrix {
     /// Creates a matrix with `rows` rows and no columns.
     pub fn new(rows: usize) -> Self {
-        Gf2Matrix { rows, columns: Vec::new() }
+        Gf2Matrix {
+            rows,
+            columns: Vec::new(),
+        }
     }
 
     /// Appends a column given the indices of its set rows.
@@ -45,7 +48,11 @@ impl Gf2Matrix {
     pub fn push_column(&mut self, set_rows: &[usize]) {
         let mut col = vec![0u64; self.rows.div_ceil(64)];
         for &r in set_rows {
-            assert!(r < self.rows, "row index {r} out of range ({} rows)", self.rows);
+            assert!(
+                r < self.rows,
+                "row index {r} out of range ({} rows)",
+                self.rows
+            );
             col[r / 64] |= 1 << (r % 64);
         }
         self.columns.push(col);
@@ -106,8 +113,12 @@ fn xor_in(dst: &mut [u64], src: &[u64]) {
 pub fn boundary_1(k: &Complex2) -> Gf2Matrix {
     let mut m = Gf2Matrix::new(k.vertex_count());
     for &[a, b] in k.edges() {
-        let ra = k.vertex_position(a).expect("closure: endpoints are vertices");
-        let rb = k.vertex_position(b).expect("closure: endpoints are vertices");
+        let ra = k
+            .vertex_position(a)
+            .expect("closure: endpoints are vertices");
+        let rb = k
+            .vertex_position(b)
+            .expect("closure: endpoints are vertices");
         m.push_column(&[ra, rb]);
     }
     m
@@ -235,15 +246,27 @@ mod tests {
 
     #[test]
     fn betti_of_contractible_spaces() {
-        assert_eq!(betti_numbers(&rips_complex(&generators::path_graph(5))), [1, 0, 0]);
-        assert_eq!(betti_numbers(&rips_complex(&generators::complete_graph(3))), [1, 0, 0]);
+        assert_eq!(
+            betti_numbers(&rips_complex(&generators::path_graph(5))),
+            [1, 0, 0]
+        );
+        assert_eq!(
+            betti_numbers(&rips_complex(&generators::complete_graph(3))),
+            [1, 0, 0]
+        );
         // A cone (wheel) is contractible.
-        assert_eq!(betti_numbers(&rips_complex(&generators::wheel_graph(6))), [1, 0, 0]);
+        assert_eq!(
+            betti_numbers(&rips_complex(&generators::wheel_graph(6))),
+            [1, 0, 0]
+        );
     }
 
     #[test]
     fn betti_of_circles() {
-        assert_eq!(betti_numbers(&rips_complex(&generators::cycle_graph(7))), [1, 1, 0]);
+        assert_eq!(
+            betti_numbers(&rips_complex(&generators::cycle_graph(7))),
+            [1, 1, 0]
+        );
         // Theta graph: figure-eight-ish, two independent loops.
         assert_eq!(
             betti_numbers(&rips_complex(&generators::theta_graph(1, 2, 3))),

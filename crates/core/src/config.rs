@@ -17,6 +17,26 @@ use std::fmt;
 /// least 3 hops.
 pub const MIN_TAU: usize = 3;
 
+/// Default heartbeat silence timeout, in communication rounds: a neighbour
+/// silent for more than this many consecutive rounds is suspected crashed
+/// (see [`confine_netsim::faults::Heartbeat`]). Raising it slows crash
+/// detection by the same number of rounds but drives the false-suspicion
+/// probability under per-message loss `p` down to `p^(timeout+1)` —
+/// at the default and `p = 0.3` that is below 1%.
+pub const DEFAULT_HEARTBEAT_TIMEOUT: usize = 3;
+
+/// Default number of times a lossy-link discovery rebroadcasts each record
+/// (see [`confine_netsim::protocols::RepeatedDiscovery`]). With loss `p`
+/// a record crosses each hop with probability `1 − p^r`; 3 repeats keep the
+/// per-hop failure under 3% at `p = 0.3` at roughly 3× the message cost.
+pub const DEFAULT_DISCOVERY_REPEATS: u32 = 3;
+
+/// Default number of extra election attempts the distributed scheduler makes
+/// when a round produces no winner (possible only when candidates crash
+/// mid-election). Each retry redraws priorities; once the budget is spent
+/// the run aborts with `SimError::ElectionStalled` rather than spinning.
+pub const DEFAULT_RETRY_BUDGET: usize = 4;
+
 /// What a `τ`-confine coverage guarantees for a given sensing ratio
 /// (Proposition 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,7 +135,9 @@ impl ConfineConfig {
         if self.gamma <= blanket_ratio_threshold(self.tau) + 1e-12 {
             Guarantee::Blanket
         } else if self.gamma <= 2.0 {
-            Guarantee::Partial { max_hole_diameter: (self.tau as f64 - 2.0) * rc }
+            Guarantee::Partial {
+                max_hole_diameter: (self.tau as f64 - 2.0) * rc,
+            }
         } else {
             Guarantee::Unbounded
         }
@@ -199,14 +221,22 @@ mod tests {
         assert_eq!(max_blanket_tau(2f64.sqrt()), Some(4));
         assert_eq!(max_blanket_tau(1.0), Some(6));
         assert_eq!(max_blanket_tau(0.5), Some(12));
-        assert_eq!(max_blanket_tau(1.9), None, "γ > √3: triangles cannot blanket");
+        assert_eq!(
+            max_blanket_tau(1.9),
+            None,
+            "γ > √3: triangles cannot blanket"
+        );
     }
 
     #[test]
     fn max_blanket_tau_is_tight() {
         for tau in 3..40 {
             let gamma = blanket_ratio_threshold(tau);
-            assert_eq!(max_blanket_tau(gamma), Some(tau), "threshold itself qualifies");
+            assert_eq!(
+                max_blanket_tau(gamma),
+                Some(tau),
+                "threshold itself qualifies"
+            );
             assert_eq!(
                 max_blanket_tau(gamma + 1e-9),
                 if tau == 3 { None } else { Some(tau - 1) },
@@ -218,19 +248,33 @@ mod tests {
     #[test]
     fn guarantee_branches() {
         let rc = 2.0;
-        assert_eq!(ConfineConfig::new(4, 1.0).unwrap().guarantee(rc), Guarantee::Blanket);
+        assert_eq!(
+            ConfineConfig::new(4, 1.0).unwrap().guarantee(rc),
+            Guarantee::Blanket
+        );
         assert_eq!(
             ConfineConfig::new(4, 1.8).unwrap().guarantee(rc),
-            Guarantee::Partial { max_hole_diameter: 4.0 }
+            Guarantee::Partial {
+                max_hole_diameter: 4.0
+            }
         );
-        assert_eq!(ConfineConfig::new(5, 2.5).unwrap().guarantee(rc), Guarantee::Unbounded);
+        assert_eq!(
+            ConfineConfig::new(5, 2.5).unwrap().guarantee(rc),
+            Guarantee::Unbounded
+        );
     }
 
     #[test]
     fn config_validation() {
-        assert_eq!(ConfineConfig::new(2, 1.0), Err(ConfigError::TauTooSmall { tau: 2 }));
+        assert_eq!(
+            ConfineConfig::new(2, 1.0),
+            Err(ConfigError::TauTooSmall { tau: 2 })
+        );
         assert_eq!(ConfineConfig::new(3, 0.0), Err(ConfigError::InvalidRatio));
-        assert_eq!(ConfineConfig::new(3, f64::NAN), Err(ConfigError::InvalidRatio));
+        assert_eq!(
+            ConfineConfig::new(3, f64::NAN),
+            Err(ConfigError::InvalidRatio)
+        );
         let ok = ConfineConfig::new(5, 1.5).unwrap();
         assert_eq!(ok.tau(), 5);
         assert_eq!(ok.gamma(), 1.5);

@@ -20,10 +20,23 @@
 //! progress and terminates. The result coincides with a run of the
 //! centralized scheduler with a particular deletion order, and retains every
 //! guarantee of Theorems 5/6.
+//!
+//! # Faults
+//!
+//! [`DistributedDcc::with_faults`] runs the same protocol under a lossy
+//! [`LinkModel`] and a [`FaultPlan`] of crash-stop failures. Discovery
+//! switches to the loss-tolerant
+//! [`confine_netsim::protocols::RepeatedDiscovery`], crashed nodes are
+//! harvested from every phase and removed from the active topology, and an
+//! election round whose winner crashed mid-flood is retried with fresh
+//! priorities up to a bounded budget before the run aborts with
+//! [`SimError::ElectionStalled`]. Post-schedule crashes are the domain of
+//! [`crate::repair`].
 
 use confine_graph::{Graph, GraphView, Masked, NodeId};
-use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
-use confine_netsim::{Engine, RunStats, SimError};
+use confine_netsim::faults::FaultPlan;
+use confine_netsim::protocols::{KHopDiscovery, LocalMinElection, RepeatedDiscovery};
+use confine_netsim::{Engine, LinkModel, RunStats, SimError};
 use rand::Rng;
 
 use crate::schedule::CoverageSet;
@@ -40,26 +53,45 @@ pub struct DistributedStats {
     pub discovery_messages: usize,
     /// Messages spent in election phases.
     pub election_messages: usize,
+    /// Messages spent by the repair layer (heartbeats, wake floods and the
+    /// local re-scheduling traffic of [`crate::repair`]).
+    pub repair_messages: usize,
     /// Total payload bytes across all phases.
     pub bytes: usize,
+    /// Messages lost in transit across all phases (loss, flaps, crashes).
+    pub dropped: usize,
+    /// Nodes that crash-stopped during the run.
+    pub crashed: usize,
 }
 
 impl DistributedStats {
-    /// Total messages across both phases.
+    /// Total messages across all phases.
     pub fn total_messages(&self) -> usize {
-        self.discovery_messages + self.election_messages
+        self.discovery_messages + self.election_messages + self.repair_messages
     }
 
-    fn absorb_discovery(&mut self, stats: RunStats) {
+    pub(crate) fn absorb_discovery(&mut self, stats: RunStats) {
         self.comm_rounds += stats.rounds;
         self.discovery_messages += stats.messages;
         self.bytes += stats.bytes;
+        self.dropped += stats.dropped;
+        self.crashed += stats.crashed;
     }
 
-    fn absorb_election(&mut self, stats: RunStats) {
+    pub(crate) fn absorb_election(&mut self, stats: RunStats) {
         self.comm_rounds += stats.rounds;
         self.election_messages += stats.messages;
         self.bytes += stats.bytes;
+        self.dropped += stats.dropped;
+        self.crashed += stats.crashed;
+    }
+
+    pub(crate) fn absorb_repair(&mut self, stats: RunStats) {
+        self.comm_rounds += stats.rounds;
+        self.repair_messages += stats.messages;
+        self.bytes += stats.bytes;
+        self.dropped += stats.dropped;
+        self.crashed += stats.crashed;
     }
 }
 
@@ -81,10 +113,14 @@ impl DistributedStats {
 /// assert!(stats.total_messages() > 0);
 /// # Ok::<(), confine_netsim::SimError>(())
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DistributedDcc {
     tau: usize,
     max_comm_rounds: usize,
+    link: LinkModel,
+    faults: Option<FaultPlan>,
+    discovery_repeats: u32,
+    retry_budget: usize,
 }
 
 impl DistributedDcc {
@@ -95,7 +131,14 @@ impl DistributedDcc {
     /// Panics if `tau < 3`.
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        DistributedDcc { tau, max_comm_rounds: 10_000 }
+        DistributedDcc {
+            tau,
+            max_comm_rounds: 10_000,
+            link: LinkModel::Reliable,
+            faults: None,
+            discovery_repeats: crate::config::DEFAULT_DISCOVERY_REPEATS,
+            retry_budget: crate::config::DEFAULT_RETRY_BUDGET,
+        }
     }
 
     /// Overrides the per-phase communication round limit.
@@ -104,14 +147,55 @@ impl DistributedDcc {
         self
     }
 
+    /// Selects the link reliability model. With anything other than
+    /// [`LinkModel::Reliable`] the discovery phase switches to
+    /// [`RepeatedDiscovery`] (see [`Self::with_discovery_repeats`]).
+    pub fn with_link_model(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Runs the protocol under faults: lossy links per `link` plus the
+    /// crash/flap/loss script of `plan`. Plan rounds count *global*
+    /// communication rounds across all phases of the run.
+    pub fn with_faults(self, link: LinkModel, plan: FaultPlan) -> Self {
+        let mut this = self.with_link_model(link);
+        this.faults = Some(plan);
+        this
+    }
+
+    /// Overrides the rebroadcast count of the loss-tolerant discovery
+    /// (default [`crate::config::DEFAULT_DISCOVERY_REPEATS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats == 0`.
+    pub fn with_discovery_repeats(mut self, repeats: u32) -> Self {
+        assert!(repeats > 0, "need at least one transmission per record");
+        self.discovery_repeats = repeats;
+        self
+    }
+
+    /// Overrides the election retry budget (default
+    /// [`crate::config::DEFAULT_RETRY_BUDGET`]).
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
     /// Executes the protocol on `graph` with the given boundary flags.
+    ///
+    /// Nodes crashed by the fault plan are removed from the topology as the
+    /// run progresses; they end up in neither `active` nor `deleted` of the
+    /// returned set, and are counted in [`DistributedStats::crashed`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimitExceeded`] if any phase fails to
     /// converge within the configured limit (bounded-diameter phases always
     /// converge in `k` resp. `m` rounds, so this indicates a configuration
-    /// error).
+    /// error), or [`SimError::ElectionStalled`] when crashes keep emptying
+    /// the winner set past the retry budget.
     ///
     /// # Panics
     ///
@@ -122,51 +206,116 @@ impl DistributedDcc {
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
-        assert_eq!(boundary.len(), graph.node_count(), "boundary flags must cover all nodes");
+        assert_eq!(
+            boundary.len(),
+            graph.node_count(),
+            "boundary flags must cover all nodes"
+        );
         let k = neighborhood_radius(self.tau);
         let m = independence_radius(self.tau);
+        let lossy = !matches!(self.link, LinkModel::Reliable);
         let mut masked = Masked::all_active(graph);
+        let mut plan = self.faults.clone();
+        let mut elapsed = 0usize;
         let mut stats = DistributedStats::default();
         let mut deleted = Vec::new();
 
-        loop {
-            // Phase 1: k-hop discovery + local VPT evaluation.
-            let mut discovery = Engine::new(&masked, |_| KHopDiscovery::new(k));
-            stats.absorb_discovery(discovery.run(self.max_comm_rounds)?);
-            let mut deletable = vec![false; graph.node_count()];
-            let mut any = false;
-            for v in masked.active_nodes() {
-                if boundary[v.index()] {
-                    continue;
+        'rounds: loop {
+            // Phase 1: k-hop discovery + local VPT evaluation. Under loss,
+            // the repeated variant keeps the punctured graphs near-complete;
+            // verdicts of nodes that crashed mid-flood are discarded.
+            let (run, crashed_now, mut deletable, any) = if lossy {
+                let mut engine = Engine::new(&masked, |_| {
+                    RepeatedDiscovery::new(k, self.discovery_repeats)
+                })
+                .with_link_model(self.link);
+                if let Some(p) = plan.as_ref() {
+                    engine = engine.with_faults(p.advanced(elapsed));
                 }
-                let state = discovery.state(v).expect("active nodes ran discovery");
-                let (punctured, _) = state.punctured_graph(v);
-                if vpt_graph_ok(&punctured, self.tau) {
-                    deletable[v.index()] = true;
-                    any = true;
+                let run = engine.run(self.max_comm_rounds)?;
+                let crashed_now = engine.crashed_nodes().to_vec();
+                let (deletable, any) =
+                    local_verdicts(&masked, boundary, &crashed_now, self.tau, |v| {
+                        engine.state(v).map(|s| s.punctured_graph(v))
+                    });
+                (run, crashed_now, deletable, any)
+            } else {
+                let mut engine = Engine::new(&masked, |_| KHopDiscovery::new(k));
+                if let Some(p) = plan.as_ref() {
+                    engine = engine.with_faults(p.advanced(elapsed));
+                }
+                let run = engine.run(self.max_comm_rounds)?;
+                let crashed_now = engine.crashed_nodes().to_vec();
+                let (deletable, any) =
+                    local_verdicts(&masked, boundary, &crashed_now, self.tau, |v| {
+                        engine.state(v).map(|s| s.punctured_graph(v))
+                    });
+                (run, crashed_now, deletable, any)
+            };
+            stats.absorb_discovery(run);
+            elapsed += run.rounds;
+            for v in crashed_now {
+                masked.deactivate(v);
+                if let Some(p) = plan.as_mut() {
+                    p.remove_crash(v);
                 }
             }
             if !any {
                 break;
             }
 
-            // Phase 2: m-hop local-minimum election among candidates.
-            let mut priorities = vec![0.0f64; graph.node_count()];
-            for v in masked.active_nodes() {
-                if deletable[v.index()] {
-                    priorities[v.index()] = rng.gen();
+            // Phase 2: m-hop local-minimum election among candidates. The
+            // globally minimal candidate always wins, so an empty winner set
+            // means it crashed mid-election — retry with fresh priorities,
+            // up to the budget.
+            let mut retries = 0usize;
+            let winners: Vec<NodeId> = loop {
+                let mut priorities = vec![0.0f64; graph.node_count()];
+                for v in masked.active_nodes() {
+                    if deletable[v.index()] {
+                        priorities[v.index()] = rng.gen();
+                    }
                 }
+                let mut election = Engine::new(&masked, |v| {
+                    LocalMinElection::new(m, deletable[v.index()], priorities[v.index()])
+                })
+                .with_link_model(self.link);
+                if let Some(p) = plan.as_ref() {
+                    election = election.with_faults(p.advanced(elapsed));
+                }
+                let run = election.run(self.max_comm_rounds)?;
+                elapsed += run.rounds;
+                stats.absorb_election(run);
+                let crashed_now = election.crashed_nodes().to_vec();
+                let winners: Vec<NodeId> = masked
+                    .active_nodes()
+                    .filter(|&v| deletable[v.index()] && !crashed_now.contains(&v))
+                    .filter(|&v| election.state(v).expect("candidates ran").is_winner(v))
+                    .collect();
+                for v in crashed_now {
+                    masked.deactivate(v);
+                    if let Some(p) = plan.as_mut() {
+                        p.remove_crash(v);
+                    }
+                    deletable[v.index()] = false;
+                }
+                if !winners.is_empty() {
+                    break winners;
+                }
+                if !masked.active_nodes().any(|v| deletable[v.index()]) {
+                    // Every candidate crashed: verdicts are stale, rediscover.
+                    break Vec::new();
+                }
+                retries += 1;
+                if retries > self.retry_budget {
+                    return Err(SimError::ElectionStalled {
+                        retries: self.retry_budget,
+                    });
+                }
+            };
+            if winners.is_empty() {
+                continue 'rounds;
             }
-            let mut election = Engine::new(&masked, |v| {
-                LocalMinElection::new(m, deletable[v.index()], priorities[v.index()])
-            });
-            stats.absorb_election(election.run(self.max_comm_rounds)?);
-            let winners: Vec<NodeId> = masked
-                .active_nodes()
-                .filter(|&v| deletable[v.index()])
-                .filter(|&v| election.state(v).expect("ran").is_winner(v))
-                .collect();
-            debug_assert!(!winners.is_empty(), "the global minimum always wins");
             for v in winners {
                 masked.deactivate(v);
                 deleted.push(v);
@@ -181,6 +330,33 @@ impl DistributedDcc {
         };
         Ok((set, stats))
     }
+}
+
+/// Evaluates the VPT verdict of every active non-boundary node from its
+/// discovered punctured graph, skipping nodes in `skip` (crashed mid-phase).
+fn local_verdicts<F>(
+    masked: &Masked<'_>,
+    boundary: &[bool],
+    skip: &[NodeId],
+    tau: usize,
+    mut punctured: F,
+) -> (Vec<bool>, bool)
+where
+    F: FnMut(NodeId) -> Option<(Graph, Vec<NodeId>)>,
+{
+    let mut deletable = vec![false; boundary.len()];
+    let mut any = false;
+    for v in masked.active_nodes() {
+        if boundary[v.index()] || skip.contains(&v) {
+            continue;
+        }
+        let (graph, _) = punctured(v).expect("active nodes ran discovery");
+        if vpt_graph_ok(&graph, tau) {
+            deletable[v.index()] = true;
+            any = true;
+        }
+    }
+    (deletable, any)
 }
 
 #[cfg(test)]
@@ -211,7 +387,10 @@ mod tests {
         assert!(stats.deletion_rounds >= 1);
         assert!(stats.discovery_messages > 0);
         assert!(stats.election_messages > 0);
-        assert!(stats.bytes > stats.total_messages(), "payloads cost more than a byte");
+        assert!(
+            stats.bytes > stats.total_messages(),
+            "payloads cost more than a byte"
+        );
     }
 
     #[test]
@@ -229,8 +408,12 @@ mod tests {
             &mut StdRng::seed_from_u64(1),
         );
         let diff = dist_set.active_count().abs_diff(central.active_count());
-        assert!(diff <= 3, "distributed {} vs centralized {}", dist_set.active_count(),
-            central.active_count());
+        assert!(
+            diff <= 3,
+            "distributed {} vs centralized {}",
+            dist_set.active_count(),
+            central.active_count()
+        );
     }
 
     #[test]
@@ -264,7 +447,12 @@ mod tests {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
         let mut rng = StdRng::seed_from_u64(3);
-        let result = DistributedDcc::new(3).with_round_limit(1).run(&g, &boundary, &mut rng);
-        assert!(matches!(result, Err(SimError::RoundLimitExceeded { limit: 1 })));
+        let result = DistributedDcc::new(3)
+            .with_round_limit(1)
+            .run(&g, &boundary, &mut rng);
+        assert!(matches!(
+            result,
+            Err(SimError::RoundLimitExceeded { limit: 1 })
+        ));
     }
 }

@@ -89,7 +89,10 @@ pub fn prune_edges<R: Rng>(
             break;
         }
     }
-    Ok(PrunedLinks { graph: current, removed })
+    Ok(PrunedLinks {
+        graph: current,
+        removed,
+    })
 }
 
 #[cfg(test)]
@@ -154,8 +157,7 @@ mod tests {
         for y in (1..side - 1).rev() {
             seq.push(NodeId::from(y * side));
         }
-        let rim = Cycle::from_vertex_cycle(&pruned.graph, &seq)
-            .expect("rim links survive pruning");
+        let rim = Cycle::from_vertex_cycle(&pruned.graph, &seq).expect("rim links survive pruning");
         assert!(is_tau_partitionable(&pruned.graph, rim.edge_vec(), tau));
     }
 

@@ -44,7 +44,13 @@ impl LocalView {
     ///
     /// `own_neighbors` is the center's current direct neighbour list (the
     /// radio knows it without messages).
-    fn apply_deletion(&mut self, center: NodeId, own_neighbors: &[NodeId], deleted: NodeId, k: u32) {
+    fn apply_deletion(
+        &mut self,
+        center: NodeId,
+        own_neighbors: &[NodeId],
+        deleted: NodeId,
+        k: u32,
+    ) {
         self.adj.remove(&deleted);
         for list in self.adj.values_mut() {
             list.retain(|&w| w != deleted);
@@ -63,7 +69,9 @@ impl LocalView {
             if d >= k {
                 continue;
             }
-            let Some(nbrs) = self.adj.get(&u) else { continue };
+            let Some(nbrs) = self.adj.get(&u) else {
+                continue;
+            };
             for &w in nbrs.clone().iter() {
                 if w != center && self.adj.contains_key(&w) && !dist.contains_key(&w) {
                     dist.insert(w, d + 1);
@@ -87,7 +95,8 @@ impl LocalView {
             for w in &self.adj[&v] {
                 if let Some(&j) = index.get(w) {
                     if i < j {
-                        g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pair once");
+                        g.add_edge(NodeId::from(i), NodeId::from(j))
+                            .expect("pair once");
                     }
                 }
             }
@@ -115,7 +124,10 @@ impl Protocol for NoticeFlood {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Notice>) {
         if self.is_deleted {
-            ctx.broadcast(Notice { origin: ctx.node(), ttl: self.k - 1 });
+            ctx.broadcast(Notice {
+                origin: ctx.node(),
+                ttl: self.k - 1,
+            });
         }
     }
 
@@ -127,7 +139,10 @@ impl Protocol for NoticeFlood {
             }
             self.seen.insert(n.origin, ());
             if n.ttl > 0 {
-                ctx.broadcast(Notice { origin: n.origin, ttl: n.ttl - 1 });
+                ctx.broadcast(Notice {
+                    origin: n.origin,
+                    ttl: n.ttl - 1,
+                });
             }
         }
     }
@@ -174,7 +189,10 @@ impl IncrementalDcc {
     /// Panics if `tau < 3`.
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        IncrementalDcc { tau, max_comm_rounds: 10_000 }
+        IncrementalDcc {
+            tau,
+            max_comm_rounds: 10_000,
+        }
     }
 
     /// Executes the protocol. Statistics count the one-off discovery under
@@ -197,7 +215,11 @@ impl IncrementalDcc {
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
-        assert_eq!(boundary.len(), graph.node_count(), "boundary flags must cover all nodes");
+        assert_eq!(
+            boundary.len(),
+            graph.node_count(),
+            "boundary flags must cover all nodes"
+        );
         let k = neighborhood_radius(self.tau);
         let m = independence_radius(self.tau);
         let mut masked = Masked::all_active(graph);
@@ -207,9 +229,7 @@ impl IncrementalDcc {
         // One-off full discovery.
         let mut discovery = Engine::new(&masked, |_| KHopDiscovery::new(k));
         let s = discovery.run(self.max_comm_rounds)?;
-        stats.comm_rounds += s.rounds;
-        stats.discovery_messages += s.messages;
-        stats.bytes += s.bytes;
+        stats.absorb_discovery(s);
         let mut views: Vec<LocalView> = vec![LocalView::default(); graph.node_count()];
         for v in masked.active_nodes() {
             let state = discovery.state(v).expect("ran");
@@ -250,9 +270,7 @@ impl IncrementalDcc {
                 LocalMinElection::new(m, deletable[v.index()], priorities[v.index()])
             });
             let s = election.run(self.max_comm_rounds)?;
-            stats.comm_rounds += s.rounds;
-            stats.election_messages += s.messages;
-            stats.bytes += s.bytes;
+            stats.absorb_election(s);
             let winners: Vec<NodeId> = masked
                 .active_nodes()
                 .filter(|&v| deletable[v.index()])
@@ -270,16 +288,13 @@ impl IncrementalDcc {
                 }
                 f
             };
-            let mut notices =
-                Engine::new(&masked, |v| NoticeFlood {
-                    is_deleted: winner_flags[v.index()],
-                    k,
-                    seen: HashMap::new(),
-                });
+            let mut notices = Engine::new(&masked, |v| NoticeFlood {
+                is_deleted: winner_flags[v.index()],
+                k,
+                seen: HashMap::new(),
+            });
             let s = notices.run(self.max_comm_rounds)?;
-            stats.comm_rounds += s.rounds;
-            stats.discovery_messages += s.messages; // replaces re-discovery
-            stats.bytes += s.bytes;
+            stats.absorb_discovery(s); // notices replace re-discovery
 
             // Local view maintenance (pure computation at each node).
             for v in masked.active_nodes() {
@@ -299,9 +314,7 @@ impl IncrementalDcc {
                 for x in heard {
                     let own: Vec<NodeId> = graph
                         .neighbors(v)
-                        .filter(|w| {
-                            masked.contains(*w) && !winner_flags[w.index()] && *w != x
-                        })
+                        .filter(|w| masked.contains(*w) && !winner_flags[w.index()] && *w != x)
                         .collect();
                     views[v.index()].apply_deletion(v, &own, x, k);
                 }
@@ -364,7 +377,10 @@ mod tests {
         let (full, _) = crate::distributed::DistributedDcc::new(4)
             .run(&g, &boundary, &mut StdRng::seed_from_u64(11))
             .unwrap();
-        assert_eq!(inc.active, full.active, "same schedule from the same randomness");
+        assert_eq!(
+            inc.active, full.active,
+            "same schedule from the same randomness"
+        );
         assert_eq!(inc.deleted, full.deleted);
     }
 
@@ -372,8 +388,9 @@ mod tests {
     fn incremental_is_cheaper_in_discovery_traffic() {
         let g = generators::king_grid_graph(8, 8);
         let boundary = king_boundary(8, 8);
-        let (_, inc) =
-            IncrementalDcc::new(4).run(&g, &boundary, &mut StdRng::seed_from_u64(2)).unwrap();
+        let (_, inc) = IncrementalDcc::new(4)
+            .run(&g, &boundary, &mut StdRng::seed_from_u64(2))
+            .unwrap();
         let (_, full) = crate::distributed::DistributedDcc::new(4)
             .run(&g, &boundary, &mut StdRng::seed_from_u64(2))
             .unwrap();

@@ -19,6 +19,10 @@
 //!   message-passing protocol with cost accounting.
 //! * [`incremental`] — an optimized DCC-D that replaces per-round
 //!   re-discovery with k-hop deletion notices and local view maintenance.
+//! * [`repair`] — failure-adaptive coverage repair: heartbeat detection of
+//!   crashed active nodes, k-hop wake-up of sleeping neighbours and local
+//!   re-scheduling back to a VPT fixpoint, with Proposition-1 degradation
+//!   bounds.
 //! * [`verify`] — exact criterion verification (Propositions 2/3) and the
 //!   boundary-coning pre-processing for multiply-connected areas.
 //! * [`moebius`] — the Figure 1 Möbius-band network separating the
@@ -57,6 +61,7 @@ pub mod edges;
 pub mod incremental;
 pub mod lifetime;
 pub mod moebius;
+pub mod repair;
 pub mod schedule;
 pub mod verify;
 pub mod vpt;

@@ -42,7 +42,10 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        EnergyModel { capacity: 4, boundary_draws_power: false }
+        EnergyModel {
+            capacity: 4,
+            boundary_draws_power: false,
+        }
     }
 }
 
@@ -131,7 +134,11 @@ impl RotationScheduler {
         max_epochs: usize,
         rng: &mut R,
     ) -> LifetimeReport {
-        assert_eq!(boundary.len(), graph.node_count(), "boundary flags must cover all nodes");
+        assert_eq!(
+            boundary.len(),
+            graph.node_count(),
+            "boundary flags must cover all nodes"
+        );
         let mut residual = vec![self.model.capacity; graph.node_count()];
         let mut epochs = Vec::new();
         let scheduler = DccScheduler::new(self.tau);
@@ -145,10 +152,12 @@ impl RotationScheduler {
                         && (self.model.boundary_draws_power || !boundary[v.index()])
                 })
                 .collect();
-            if self.model.boundary_draws_power
-                && dead.iter().any(|&v| boundary[v.index()])
-            {
-                return LifetimeReport { epochs, residual, end_cause: EndCause::BoundaryDied };
+            if self.model.boundary_draws_power && dead.iter().any(|&v| boundary[v.index()]) {
+                return LifetimeReport {
+                    epochs,
+                    residual,
+                    end_cause: EndCause::BoundaryDied,
+                };
             }
             // The alive graph must still connect the boundary to everything
             // it needs; a disconnected alive graph cannot carry the
@@ -181,22 +190,23 @@ impl RotationScheduler {
                     residual[v.index()] = residual[v.index()].saturating_sub(1);
                 }
             }
-            epochs.push(Epoch { awake: set.active, dead });
+            epochs.push(Epoch {
+                awake: set.active,
+                dead,
+            });
         }
-        LifetimeReport { epochs, residual, end_cause: EndCause::EpochLimit }
+        LifetimeReport {
+            epochs,
+            residual,
+            end_cause: EndCause::EpochLimit,
+        }
     }
 
     /// Baseline: the same (unbiased) coverage set reused every epoch.
     /// Returns the achieved lifetime in epochs.
-    pub fn static_baseline<R: Rng>(
-        &self,
-        graph: &Graph,
-        boundary: &[bool],
-        rng: &mut R,
-    ) -> usize {
+    pub fn static_baseline<R: Rng>(&self, graph: &Graph, boundary: &[bool], rng: &mut R) -> usize {
         let set = DccScheduler::new(self.tau).schedule(graph, boundary, rng);
-        if self.model.boundary_draws_power || set.active.iter().any(|&v| !boundary[v.index()])
-        {
+        if self.model.boundary_draws_power || set.active.iter().any(|&v| !boundary[v.index()]) {
             self.model.capacity as usize
         } else {
             // Degenerate: nothing internal is ever awake; the set never
@@ -232,7 +242,10 @@ mod tests {
         // Dense king grid with plenty of internal redundancy.
         let g = generators::king_grid_graph(7, 7);
         let boundary = king_boundary(7, 7);
-        let model = EnergyModel { capacity: 3, boundary_draws_power: false };
+        let model = EnergyModel {
+            capacity: 3,
+            boundary_draws_power: false,
+        };
         let rot = RotationScheduler::new(4, model);
         let mut rng = StdRng::seed_from_u64(5);
         let report = rot.run(&g, &boundary, 40, &mut rng);
@@ -250,7 +263,13 @@ mod tests {
     fn rotation_spreads_load() {
         let g = generators::king_grid_graph(6, 6);
         let boundary = king_boundary(6, 6);
-        let rot = RotationScheduler::new(4, EnergyModel { capacity: 2, boundary_draws_power: false });
+        let rot = RotationScheduler::new(
+            4,
+            EnergyModel {
+                capacity: 2,
+                boundary_draws_power: false,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(9);
         let report = rot.run(&g, &boundary, 6, &mut rng);
         // Across epochs, more distinct internal nodes serve than in any
@@ -271,8 +290,13 @@ mod tests {
     fn boundary_battery_caps_the_lifetime() {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
-        let rot =
-            RotationScheduler::new(4, EnergyModel { capacity: 2, boundary_draws_power: true });
+        let rot = RotationScheduler::new(
+            4,
+            EnergyModel {
+                capacity: 2,
+                boundary_draws_power: true,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let report = rot.run(&g, &boundary, 40, &mut rng);
         assert_eq!(report.lifetime(), 2, "boundary dies after its capacity");
@@ -283,8 +307,13 @@ mod tests {
     fn epoch_limit_is_reported() {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
-        let rot =
-            RotationScheduler::new(4, EnergyModel { capacity: 50, boundary_draws_power: false });
+        let rot = RotationScheduler::new(
+            4,
+            EnergyModel {
+                capacity: 50,
+                boundary_draws_power: false,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let report = rot.run(&g, &boundary, 3, &mut rng);
         assert_eq!(report.lifetime(), 3);
@@ -295,8 +324,13 @@ mod tests {
     fn dead_nodes_never_serve() {
         let g = generators::king_grid_graph(6, 6);
         let boundary = king_boundary(6, 6);
-        let rot =
-            RotationScheduler::new(4, EnergyModel { capacity: 1, boundary_draws_power: false });
+        let rot = RotationScheduler::new(
+            4,
+            EnergyModel {
+                capacity: 1,
+                boundary_draws_power: false,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(3);
         let report = rot.run(&g, &boundary, 10, &mut rng);
         // With capacity 1, an internal node that served once must never

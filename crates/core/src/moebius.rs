@@ -56,7 +56,9 @@ pub fn moebius_band() -> MoebiusBand {
     }
     // Inner circle 1..4.
     for i in 0..INNER {
-        graph.add_edge(inner(i), inner(i + 1)).expect("inner circle");
+        graph
+            .add_edge(inner(i), inner(i + 1))
+            .expect("inner circle");
     }
     // Spokes: outer node j touches inner j mod 4 and inner (j−1) mod 4, so
     // consecutive outer nodes share an inner node and every strip square is
@@ -64,7 +66,9 @@ pub fn moebius_band() -> MoebiusBand {
     // circle (4 nodes) — exactly the Möbius twist.
     for j in 0..OUTER {
         graph.add_edge(outer(j), inner(j)).expect("first spoke");
-        graph.add_edge(outer(j), inner(j + INNER - 1)).expect("second spoke");
+        graph
+            .add_edge(outer(j), inner(j + INNER - 1))
+            .expect("second spoke");
     }
 
     MoebiusBand {

@@ -1,0 +1,500 @@
+//! Failure-adaptive coverage repair (robustness extension beyond the paper).
+//!
+//! The DCC scheduler produces a *static* active set; a crash-stop failure of
+//! an active node afterwards can open a coverage hole the paper's guarantees
+//! no longer cover. This module closes the loop distributedly:
+//!
+//! 1. **Detection** — the active nodes run
+//!    [`Heartbeat`](confine_netsim::faults::Heartbeat); direct neighbours of
+//!    the crashed node suspect it after `timeout + 1` silent rounds.
+//! 2. **Wake-up** — the detectors flood a wake token `k + 1 = ⌈τ/2⌉ + 1`
+//!    hops over the physical topology; every *sleeping* node inside the
+//!    crashed node's `k`-hop neighbourhood rejoins the active set. Only
+//!    nodes whose own punctured neighbourhood contained the crash site can
+//!    have lost redundancy, so waking that ball restores all locally
+//!    available coverage.
+//! 3. **Local re-scheduling** — the enlarged active set is pruned back to a
+//!    VPT fixpoint by the usual discovery/election rounds, with candidates
+//!    restricted to the *changed region*: nodes within `k` hops of any
+//!    membership change so far (the crash, each woken node, each new
+//!    deletion). Nodes outside the region kept their punctured `k`-ball
+//!    verbatim, so their pre-crash "not deletable" verdicts still hold and
+//!    the restricted loop reaches a **global** VPT fixpoint. Priorities are
+//!    biased so freshly woken nodes go back to sleep first, keeping the
+//!    repaired set close to the original schedule.
+//!
+//! The returned [`Degradation`] bounds the transient via Proposition 1:
+//! once repair completes the active set is again a `τ`-confine coverage, so
+//! any hole has diameter at most `(τ − 2)·Rc`; *during* the transient the
+//! crash can at worst merge the two confines sharing the dead node into one
+//! cycle of `≤ 2τ − 2` hops, for a hole diameter of at most `(2τ − 4)·Rc`.
+
+use std::collections::HashSet;
+
+use confine_graph::{traverse, Graph, GraphView, Masked, NodeId};
+use confine_netsim::faults::{FaultPlan, Heartbeat};
+use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
+use confine_netsim::{Context, Engine, Envelope, Protocol, SimError};
+use rand::Rng;
+
+use crate::distributed::DistributedStats;
+use crate::schedule::CoverageSet;
+use crate::vpt::{independence_radius, neighborhood_radius, vpt_graph_ok};
+
+/// How far the repaired network strayed from the paper's guarantees, and for
+/// how long (all bounds per Proposition 1; distances in units of `Rc`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Rounds from the crash until its neighbours suspected it
+    /// (`timeout + 1` in the synchronous model).
+    pub detection_rounds: usize,
+    /// Communication rounds spent waking and re-scheduling after detection.
+    pub repair_rounds: usize,
+    /// Hole-diameter bound while the repair was in flight: the crash merges
+    /// at most two `τ`-hop confines into a `≤ 2τ − 2` cycle, so
+    /// `D ≤ (2τ − 4)·Rc`.
+    pub transient_hole_bound: f64,
+    /// Hole-diameter bound after repair: the active set is again a VPT
+    /// fixpoint, hence a `τ`-confine coverage with `D ≤ (τ − 2)·Rc`.
+    pub post_repair_hole_bound: f64,
+}
+
+/// The result of one [`CoverageRepair::repair`] call.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired schedule: `active` is the new active set, `deleted` the
+    /// nodes this repair put (back) to sleep, `rounds` its deletion rounds.
+    pub set: CoverageSet,
+    /// Sleeping nodes woken by the repair (some may have been re-deleted;
+    /// those appear in `set.deleted` too).
+    pub woken: Vec<NodeId>,
+    /// Detectors: active neighbours of the crash that raised the alarm.
+    pub detectors: Vec<NodeId>,
+    /// Traffic of all three repair phases (in `repair_messages`).
+    pub stats: DistributedStats,
+    /// Transient/steady-state coverage bounds.
+    pub degradation: Degradation,
+}
+
+/// Wake token: "rejoin the active set", flooded with a hop budget.
+#[derive(Debug, Clone, Copy)]
+struct WakeToken {
+    ttl: u32,
+}
+
+/// One-shot TTL flood from the detector set over the physical topology.
+#[derive(Debug)]
+struct WakeFlood {
+    source: bool,
+    ttl: u32,
+    heard: bool,
+}
+
+impl Protocol for WakeFlood {
+    type Message = WakeToken;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WakeToken>) {
+        if self.source {
+            self.heard = true;
+            if self.ttl > 0 {
+                ctx.broadcast(WakeToken { ttl: self.ttl - 1 });
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, WakeToken>, inbox: &[Envelope<WakeToken>]) {
+        // In the synchronous flood the first arrival carries the largest
+        // remaining ttl, so re-forwarding only on first receipt is lossless.
+        let best = inbox.iter().map(|env| env.payload.ttl).max();
+        if let Some(ttl) = best {
+            if !self.heard {
+                self.heard = true;
+                if ttl > 0 {
+                    ctx.broadcast(WakeToken { ttl: ttl - 1 });
+                }
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    fn payload_size(_msg: &WakeToken) -> usize {
+        4
+    }
+}
+
+/// Distributed coverage repair around one crashed active node.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageRepair {
+    tau: usize,
+    heartbeat_timeout: usize,
+    max_comm_rounds: usize,
+    comm_range: f64,
+}
+
+impl CoverageRepair {
+    /// Creates the repair driver for confine size `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau < 3`.
+    pub fn new(tau: usize) -> Self {
+        assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
+        CoverageRepair {
+            tau,
+            heartbeat_timeout: crate::config::DEFAULT_HEARTBEAT_TIMEOUT,
+            max_comm_rounds: 10_000,
+            comm_range: 1.0,
+        }
+    }
+
+    /// Overrides the heartbeat silence timeout (default
+    /// [`crate::config::DEFAULT_HEARTBEAT_TIMEOUT`]).
+    pub fn with_heartbeat_timeout(mut self, timeout: usize) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-phase communication round limit.
+    pub fn with_round_limit(mut self, limit: usize) -> Self {
+        self.max_comm_rounds = limit;
+        self
+    }
+
+    /// Sets the communication range `Rc` used to scale the hole bounds in
+    /// the [`Degradation`] report (default 1.0).
+    pub fn with_comm_range(mut self, rc: f64) -> Self {
+        self.comm_range = rc;
+        self
+    }
+
+    /// Detects the crash of `crashed` by heartbeat, wakes the sleeping
+    /// nodes in its `k`-hop neighbourhood and re-runs local VPT rounds
+    /// until the active set is again a global VPT fixpoint (given the
+    /// pre-crash `active` set was one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if a repair phase fails to
+    /// converge within the configured limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crashed` is not in `active` or the flag slice is the
+    /// wrong length.
+    pub fn repair<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        crashed: NodeId,
+        rng: &mut R,
+    ) -> Result<RepairOutcome, SimError> {
+        assert_eq!(
+            boundary.len(),
+            graph.node_count(),
+            "boundary flags must cover all nodes"
+        );
+        assert!(
+            active.contains(&crashed),
+            "only active nodes can crash out of the schedule"
+        );
+        let k = neighborhood_radius(self.tau);
+        let m = independence_radius(self.tau);
+        let mut stats = DistributedStats::default();
+
+        // Phase 1: heartbeat detection on the pre-crash active overlay.
+        let horizon = self.heartbeat_timeout + 3;
+        let detectors: Vec<NodeId> = {
+            let overlay = Masked::from_active(graph, active);
+            let mut hb = Engine::new(&overlay, |_| {
+                Heartbeat::new(self.heartbeat_timeout, horizon)
+            })
+            .with_faults(FaultPlan::new().crash(crashed, 1));
+            stats.absorb_repair(hb.run(horizon + 4)?);
+            overlay
+                .view_neighbors(crashed)
+                .filter(|&w| {
+                    hb.state(w)
+                        .is_some_and(|state| state.suspected().contains(&crashed))
+                })
+                .collect()
+        };
+
+        // Phase 2: detectors wake the sleeping nodes in the crash's k-ball.
+        // Sleeping nodes keep their radio in a low-duty wake channel, so the
+        // flood runs over the full physical topology (minus the dead node);
+        // the extra hop of budget covers detours around the crash site.
+        let mut wake_view = Masked::all_active(graph);
+        wake_view.deactivate(crashed);
+        let survivors: HashSet<NodeId> = active.iter().copied().filter(|&v| v != crashed).collect();
+        let ball: HashSet<NodeId> = traverse::k_hop_neighbors(graph, crashed, k)
+            .into_iter()
+            .collect();
+        let woken: Vec<NodeId> = {
+            let sources: HashSet<NodeId> = detectors.iter().copied().collect();
+            let mut flood = Engine::new(&wake_view, |v| WakeFlood {
+                source: sources.contains(&v),
+                ttl: k + 1,
+                heard: false,
+            });
+            stats.absorb_repair(flood.run(self.max_comm_rounds)?);
+            wake_view
+                .active_nodes()
+                .filter(|v| !survivors.contains(v) && ball.contains(v))
+                .filter(|&v| flood.state(v).is_some_and(|state| state.heard))
+                .collect()
+        };
+
+        // Phase 3: prune the enlarged set back to a fixpoint, electing only
+        // inside the changed region. `region` is monotone: every membership
+        // change marks its k-ball (on the physical graph — a superset of
+        // any overlay ball, so no affected verdict escapes the region).
+        let comm_rounds_before = stats.comm_rounds;
+        let mut region = vec![false; graph.node_count()];
+        let mark = |center: NodeId, region: &mut Vec<bool>| {
+            region[center.index()] = true;
+            for w in traverse::k_hop_neighbors(graph, center, k) {
+                region[w.index()] = true;
+            }
+        };
+        mark(crashed, &mut region);
+        for &w in &woken {
+            mark(w, &mut region);
+        }
+        let woken_set: HashSet<NodeId> = woken.iter().copied().collect();
+        let mut members: Vec<NodeId> = survivors
+            .iter()
+            .copied()
+            .chain(woken.iter().copied())
+            .collect();
+        members.sort_unstable();
+        let mut masked = Masked::from_active(graph, &members);
+        let mut resleep = Vec::new();
+        let mut rounds = 0usize;
+        loop {
+            let mut discovery = Engine::new(&masked, |_| KHopDiscovery::new(k));
+            stats.absorb_repair(discovery.run(self.max_comm_rounds)?);
+            let mut deletable = vec![false; graph.node_count()];
+            let mut any = false;
+            for v in masked.active_nodes() {
+                if boundary[v.index()] || !region[v.index()] {
+                    continue;
+                }
+                let state = discovery.state(v).expect("active nodes ran discovery");
+                let (punctured, _) = state.punctured_graph(v);
+                if vpt_graph_ok(&punctured, self.tau) {
+                    deletable[v.index()] = true;
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+
+            let mut priorities = vec![0.0f64; graph.node_count()];
+            for v in masked.active_nodes() {
+                if deletable[v.index()] {
+                    // Woken nodes draw from [0, 1), originals from [1, 2):
+                    // repair prefers restoring the pre-crash schedule.
+                    let bias = if woken_set.contains(&v) { 0.0 } else { 1.0 };
+                    priorities[v.index()] = bias + rng.gen::<f64>();
+                }
+            }
+            let mut election = Engine::new(&masked, |v| {
+                LocalMinElection::new(m, deletable[v.index()], priorities[v.index()])
+            });
+            stats.absorb_repair(election.run(self.max_comm_rounds)?);
+            let winners: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| deletable[v.index()])
+                .filter(|&v| election.state(v).expect("candidates ran").is_winner(v))
+                .collect();
+            debug_assert!(
+                !winners.is_empty(),
+                "reliable repair elections always elect"
+            );
+            if winners.is_empty() {
+                break;
+            }
+            for v in winners {
+                masked.deactivate(v);
+                resleep.push(v);
+                mark(v, &mut region);
+            }
+            rounds += 1;
+        }
+
+        let set = CoverageSet {
+            active: masked.active_nodes().collect(),
+            deleted: resleep,
+            rounds,
+        };
+        let tau = self.tau as f64;
+        let degradation = Degradation {
+            detection_rounds: self.heartbeat_timeout + 1,
+            repair_rounds: stats.comm_rounds - comm_rounds_before,
+            transient_hole_bound: (2.0 * tau - 4.0) * self.comm_range,
+            post_repair_hole_bound: (tau - 2.0) * self.comm_range,
+        };
+        Ok(RepairOutcome {
+            set,
+            woken,
+            detectors,
+            stats,
+            degradation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::DistributedDcc;
+    use crate::schedule::is_vpt_fixpoint;
+    use confine_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn king_boundary(w: usize, h: usize) -> Vec<bool> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                x == 0 || y == 0 || x == w - 1 || y == h - 1
+            })
+            .collect()
+    }
+
+    fn internal_actives(active: &[NodeId], boundary: &[bool]) -> Vec<NodeId> {
+        active
+            .iter()
+            .copied()
+            .filter(|v| !boundary[v.index()])
+            .collect()
+    }
+
+    #[test]
+    fn repair_restores_fixpoint_after_internal_crash() {
+        let g = generators::king_grid_graph(7, 7);
+        let boundary = king_boundary(7, 7);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(5);
+        let (set, _) = DistributedDcc::new(tau)
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
+        let victims = internal_actives(&set.active, &boundary);
+        assert!(!victims.is_empty(), "7×7 fixpoints keep internal nodes");
+
+        for &victim in &victims {
+            let outcome = CoverageRepair::new(tau)
+                .repair(&g, &boundary, &set.active, victim, &mut rng)
+                .unwrap();
+            assert!(
+                is_vpt_fixpoint(&g, &outcome.set.active, &boundary, tau),
+                "repair after crashing {victim:?} must restore the fixpoint"
+            );
+            assert!(!outcome.set.active.contains(&victim), "the dead stay dead");
+            for (i, &b) in boundary.iter().enumerate() {
+                if b {
+                    assert!(outcome.set.active.contains(&NodeId::from(i)));
+                }
+            }
+            assert!(outcome.stats.repair_messages > 0);
+            assert_eq!(
+                outcome.stats.crashed, 1,
+                "the heartbeat run observed the crash"
+            );
+            assert!(!outcome.detectors.is_empty(), "neighbours must detect");
+        }
+    }
+
+    #[test]
+    fn woken_nodes_stay_inside_the_k_ball() {
+        let g = generators::king_grid_graph(7, 7);
+        let boundary = king_boundary(7, 7);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(8);
+        let (set, _) = DistributedDcc::new(tau)
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        let victim = internal_actives(&set.active, &boundary)[0];
+        let outcome = CoverageRepair::new(tau)
+            .repair(&g, &boundary, &set.active, victim, &mut rng)
+            .unwrap();
+        let k = neighborhood_radius(tau);
+        let ball = traverse::k_hop_neighbors(&g, victim, k);
+        for w in &outcome.woken {
+            assert!(
+                ball.contains(w),
+                "{w:?} woke outside the {k}-ball of {victim:?}"
+            );
+            assert!(!set.active.contains(w), "woken nodes were asleep");
+        }
+    }
+
+    #[test]
+    fn degradation_report_follows_proposition_1() {
+        let g = generators::king_grid_graph(6, 6);
+        let boundary = king_boundary(6, 6);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(2);
+        let (set, _) = DistributedDcc::new(tau)
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        let victim = internal_actives(&set.active, &boundary)[0];
+        let rc = 30.0;
+        let outcome = CoverageRepair::new(tau)
+            .with_heartbeat_timeout(2)
+            .with_comm_range(rc)
+            .repair(&g, &boundary, &set.active, victim, &mut rng)
+            .unwrap();
+        let d = outcome.degradation;
+        assert_eq!(d.detection_rounds, 3, "timeout + 1");
+        assert!(d.repair_rounds > 0);
+        assert_eq!(d.post_repair_hole_bound, (tau as f64 - 2.0) * rc);
+        assert_eq!(d.transient_hole_bound, 2.0 * (tau as f64 - 2.0) * rc);
+        assert!(d.transient_hole_bound >= d.post_repair_hole_bound);
+    }
+
+    #[test]
+    fn repair_prefers_putting_woken_nodes_back_to_sleep() {
+        // Every node the repair re-deletes should be one it woke itself or
+        // a node inside the changed region — never a far-away original.
+        let g = generators::king_grid_graph(7, 7);
+        let boundary = king_boundary(7, 7);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(13);
+        let (set, _) = DistributedDcc::new(tau)
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        let victim = internal_actives(&set.active, &boundary)[0];
+        let outcome = CoverageRepair::new(tau)
+            .repair(&g, &boundary, &set.active, victim, &mut rng)
+            .unwrap();
+        let k = neighborhood_radius(tau);
+        // Region bound: everything resleep'd is within 2k of the crash, by
+        // the locality argument (changes propagate one k-ball at a time but
+        // start from the crash's ball).
+        for v in &outcome.set.deleted {
+            let d = traverse::distance(&g, victim, *v).expect("connected grid");
+            assert!(
+                d <= 3 * k,
+                "resleep {v:?} at distance {d} strays far from the crash (k = {k})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only active nodes can crash")]
+    fn repairing_a_sleeping_node_panics() {
+        let g = generators::king_grid_graph(5, 5);
+        let boundary = king_boundary(5, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (set, _) = DistributedDcc::new(4).run(&g, &boundary, &mut rng).unwrap();
+        let sleeper = set.deleted[0];
+        let _ = CoverageRepair::new(4).repair(&g, &boundary, &set.active, sleeper, &mut rng);
+    }
+}

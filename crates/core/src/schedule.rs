@@ -57,7 +57,11 @@ impl CoverageSet {
     /// Active *internal* nodes given the boundary flags the schedule ran
     /// with.
     pub fn active_internal(&self, boundary: &[bool]) -> Vec<NodeId> {
-        self.active.iter().copied().filter(|v| !boundary[v.index()]).collect()
+        self.active
+            .iter()
+            .copied()
+            .filter(|v| !boundary[v.index()])
+            .collect()
     }
 }
 
@@ -98,7 +102,10 @@ impl DccScheduler {
     /// Panics if `tau < 3`.
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        DccScheduler { tau, order: DeletionOrder::MisParallel }
+        DccScheduler {
+            tau,
+            order: DeletionOrder::MisParallel,
+        }
     }
 
     /// Selects the deletion discipline.
@@ -118,12 +125,7 @@ impl DccScheduler {
     /// # Panics
     ///
     /// Panics if `boundary.len() != graph.node_count()`.
-    pub fn schedule<R: Rng>(
-        &self,
-        graph: &Graph,
-        boundary: &[bool],
-        rng: &mut R,
-    ) -> CoverageSet {
+    pub fn schedule<R: Rng>(&self, graph: &Graph, boundary: &[bool], rng: &mut R) -> CoverageSet {
         self.schedule_biased(graph, boundary, &[], |_| 0.0, rng)
     }
 
@@ -150,7 +152,11 @@ impl DccScheduler {
     where
         F: Fn(NodeId) -> f64,
     {
-        assert_eq!(boundary.len(), graph.node_count(), "boundary flags must cover all nodes");
+        assert_eq!(
+            boundary.len(),
+            graph.node_count(),
+            "boundary flags must cover all nodes"
+        );
         let mut masked = Masked::all_active(graph);
         for &v in excluded {
             masked.deactivate(v);
@@ -168,9 +174,9 @@ impl DccScheduler {
         // (computed *before* the deactivation, a superset of the affected
         // nodes).
         let delete = |masked: &mut Masked<'_>,
-                          cache: &mut Vec<Option<bool>>,
-                          deleted: &mut Vec<NodeId>,
-                          v: NodeId| {
+                      cache: &mut Vec<Option<bool>>,
+                      deleted: &mut Vec<NodeId>,
+                      v: NodeId| {
             for w in confine_graph::traverse::k_hop_neighbors(masked, v, k) {
                 cache[w.index()] = None;
             }
@@ -217,7 +223,11 @@ impl DccScheduler {
             }
         }
 
-        CoverageSet { active: masked.active_nodes().collect(), deleted, rounds }
+        CoverageSet {
+            active: masked.active_nodes().collect(),
+            deleted,
+            rounds,
+        }
     }
 }
 
@@ -275,10 +285,16 @@ mod tests {
         let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
         for (i, &is_b) in boundary.iter().enumerate() {
             if is_b {
-                assert!(set.active.contains(&NodeId::from(i)), "boundary node {i} must stay");
+                assert!(
+                    set.active.contains(&NodeId::from(i)),
+                    "boundary node {i} must stay"
+                );
             }
         }
-        assert!(!set.deleted.is_empty(), "some interior nodes are redundant at tau 4");
+        assert!(
+            !set.deleted.is_empty(),
+            "some interior nodes are redundant at tau 4"
+        );
     }
 
     #[test]
@@ -293,9 +309,15 @@ mod tests {
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
             let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
-            assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 4), "seed {seed}");
+            assert!(
+                is_vpt_fixpoint(&g, &set.active, &boundary, 4),
+                "seed {seed}"
+            );
             let masked = Masked::from_active(&g, &set.active);
-            assert!(traverse::is_connected(&masked), "coverage set stays connected");
+            assert!(
+                traverse::is_connected(&masked),
+                "coverage set stays connected"
+            );
         }
     }
 
@@ -341,7 +363,10 @@ mod tests {
             sizes.push(set.active_count());
         }
         for w in sizes.windows(2) {
-            assert!(w[1] <= w[0], "sizes must be non-increasing in tau: {sizes:?}");
+            assert!(
+                w[1] <= w[0],
+                "sizes must be non-increasing in tau: {sizes:?}"
+            );
         }
     }
 

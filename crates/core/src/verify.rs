@@ -111,7 +111,11 @@ pub fn cone_inner_boundaries(
         }
         apexes.push(apex);
     }
-    Ok(ConedGraph { graph: extended, apexes, protected })
+    Ok(ConedGraph {
+        graph: extended,
+        apexes,
+        protected,
+    })
 }
 
 #[cfg(test)]
@@ -153,8 +157,14 @@ mod tests {
         assert_eq!(verify_criterion(&s, &all, 3), CriterionOutcome::Satisfied);
         // Without the hub: the rim is only partitionable as itself (τ = 8).
         let rim_only: Vec<NodeId> = (1..9).map(NodeId::from).collect();
-        assert_eq!(verify_criterion(&s, &rim_only, 7), CriterionOutcome::Violated);
-        assert_eq!(verify_criterion(&s, &rim_only, 8), CriterionOutcome::Satisfied);
+        assert_eq!(
+            verify_criterion(&s, &rim_only, 7),
+            CriterionOutcome::Violated
+        );
+        assert_eq!(
+            verify_criterion(&s, &rim_only, 8),
+            CriterionOutcome::Satisfied
+        );
     }
 
     #[test]
@@ -165,7 +175,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let set = DccScheduler::new(8).schedule(&s.graph, &s.boundary, &mut rng);
         assert_eq!(set.active_count(), 8);
-        assert_eq!(verify_criterion(&s, &set.active, 8), CriterionOutcome::Satisfied);
+        assert_eq!(
+            verify_criterion(&s, &set.active, 8),
+            CriterionOutcome::Satisfied
+        );
     }
 
     #[test]
@@ -196,7 +209,10 @@ mod tests {
         assert_eq!(coned.graph.node_count(), 7);
         assert_eq!(coned.apexes, vec![NodeId(6)]);
         assert_eq!(coned.graph.degree(NodeId(6)), 6);
-        assert!(coned.protected.iter().all(|&p| p), "ring + apex all protected");
+        assert!(
+            coned.protected.iter().all(|&p| p),
+            "ring + apex all protected"
+        );
         // The coned ring is now 3-partitionable (fan of apex triangles).
         let c = confine_cycles::Cycle::from_vertex_cycle(&coned.graph, &ring).unwrap();
         assert!(confine_cycles::partition::is_tau_partitionable(
@@ -219,11 +235,15 @@ mod tests {
         let mut g = Graph::new();
         g.add_nodes(8);
         for i in 0..4 {
-            g.add_edge(NodeId::from(i), NodeId::from((i + 1) % 4)).unwrap();
-            g.add_edge(NodeId::from(4 + i), NodeId::from(4 + (i + 1) % 4)).unwrap();
+            g.add_edge(NodeId::from(i), NodeId::from((i + 1) % 4))
+                .unwrap();
+            g.add_edge(NodeId::from(4 + i), NodeId::from(4 + (i + 1) % 4))
+                .unwrap();
         }
-        let rings =
-            vec![(0..4).map(NodeId::from).collect::<Vec<_>>(), (4..8).map(NodeId::from).collect()];
+        let rings = vec![
+            (0..4).map(NodeId::from).collect::<Vec<_>>(),
+            (4..8).map(NodeId::from).collect(),
+        ];
         let coned = cone_inner_boundaries(&g, &[false; 8], &rings).unwrap();
         assert_eq!(coned.graph.node_count(), 10);
         assert_eq!(coned.apexes.len(), 2);

@@ -33,7 +33,11 @@ pub fn independence_radius(tau: usize) -> u32 {
 /// Returns the graph and the child→parent node mapping (sorted by parent
 /// id). Inactive nodes are skipped.
 pub fn induced_from_view<V: GraphView>(view: &V, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
-    let mut members: Vec<NodeId> = nodes.iter().copied().filter(|&v| view.contains(v)).collect();
+    let mut members: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&v| view.contains(v))
+        .collect();
     members.sort_unstable();
     members.dedup();
     let mut index = vec![usize::MAX; view.node_bound()];
@@ -46,7 +50,8 @@ pub fn induced_from_view<V: GraphView>(view: &V, nodes: &[NodeId]) -> (Graph, Ve
         for w in view.view_neighbors(v) {
             let j = index[w.index()];
             if j != usize::MAX && i < j {
-                g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pair visited once");
+                g.add_edge(NodeId::from(i), NodeId::from(j))
+                    .expect("pair visited once");
             }
         }
     }
@@ -150,7 +155,10 @@ mod tests {
         assert!(!is_vertex_deletable(&g, NodeId(2), 3));
         let mut lone = confine_graph::Graph::new();
         let v = lone.add_node();
-        assert!(is_vertex_deletable(&lone, v, 3), "empty neighbourhood is fine");
+        assert!(
+            is_vertex_deletable(&lone, v, 3),
+            "empty neighbourhood is fine"
+        );
     }
 
     #[test]
@@ -202,12 +210,13 @@ mod tests {
     fn disconnected_punctured_graph_blocks_deletion() {
         // Two triangles sharing only the node v: removing v disconnects its
         // neighbourhood.
-        let g = confine_graph::Graph::from_edges(
-            5,
-            [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
-        )
-        .unwrap();
-        assert!(!is_vertex_deletable(&g, NodeId(0), 3), "cut vertex must stay");
+        let g =
+            confine_graph::Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)])
+                .unwrap();
+        assert!(
+            !is_vertex_deletable(&g, NodeId(0), 3),
+            "cut vertex must stay"
+        );
         assert!(is_vertex_deletable(&g, NodeId(1), 3));
     }
 
@@ -216,11 +225,9 @@ mod tests {
         // In a king-grid square, a diagonal is deletable at τ = 4 (the
         // square and other diagonal remain) but the test at τ = 3 must
         // also pass thanks to the second diagonal. Use a single square:
-        let g = confine_graph::Graph::from_edges(
-            4,
-            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)],
-        )
-        .unwrap();
+        let g =
+            confine_graph::Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)])
+                .unwrap();
         assert!(is_edge_deletable(&g, NodeId(0), NodeId(2), 3));
         // After conceptually removing one diagonal, the other is NOT
         // deletable at τ = 3: the square would become a hollow 4-cycle.
@@ -233,7 +240,10 @@ mod tests {
     #[test]
     fn edge_deletable_rejects_non_edges() {
         let g = generators::path_graph(4);
-        assert!(!is_edge_deletable(&g, NodeId(0), NodeId(2), 3), "non-edges never delete");
+        assert!(
+            !is_edge_deletable(&g, NodeId(0), NodeId(2), 3),
+            "non-edges never delete"
+        );
         assert!(
             !is_edge_deletable(&g, NodeId(0), NodeId(1), 3),
             "a bridge would disconnect its punctured region"

@@ -1,0 +1,175 @@
+//! End-to-end fault-tolerance tests: the distributed scheduler under heavy
+//! loss and mid-run crashes, and the repair layer's recovery guarantees
+//! (VPT fixpoint + the τ-partition coverage criterion of Proposition 2).
+
+use rand::SeedableRng;
+
+use confine_core::distributed::DistributedDcc;
+use confine_core::repair::CoverageRepair;
+use confine_core::schedule::is_vpt_fixpoint;
+use confine_core::verify::{verify_criterion, CriterionOutcome};
+use confine_deploy::deployment::Deployment;
+use confine_deploy::scenario::scenario_from_deployment;
+use confine_deploy::{CommModel, Point, Rect};
+use confine_graph::{generators, NodeId};
+use confine_netsim::faults::FaultPlan;
+use confine_netsim::{LinkModel, SimError};
+
+fn king_grid_boundary(w: usize, h: usize) -> Vec<bool> {
+    (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            x == 0 || y == 0 || x == w - 1 || y == h - 1
+        })
+        .collect()
+}
+
+/// A deterministic dense scenario: a `w × h` unit lattice with `rc = 1.5`,
+/// so the connectivity graph is exactly the king grid.
+fn grid_scenario(w: usize, h: usize) -> confine_deploy::Scenario {
+    let positions: Vec<Point> = (0..w * h)
+        .map(|i| Point::new((i % w) as f64, (i / w) as f64))
+        .collect();
+    let region = Rect::new(0.0, 0.0, (w - 1) as f64, (h - 1) as f64);
+    let dep = Deployment { positions, region };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    scenario_from_deployment(dep, CommModel::Udg { rc: 1.5 }, &mut rng)
+}
+
+/// Regression (issue satellite): a 50 % lossy link model must never hang the
+/// distributed scheduler — every run ends in `Ok` or a typed stall error.
+#[test]
+fn half_lossy_runs_terminate_cleanly() {
+    let g = generators::king_grid_graph(6, 6);
+    let boundary = king_grid_boundary(6, 6);
+    for seed in 0..6u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let result = DistributedDcc::new(4)
+            .with_link_model(LinkModel::Lossy {
+                p: 0.5,
+                seed: seed.wrapping_mul(97),
+            })
+            .with_round_limit(20_000)
+            .run(&g, &boundary, &mut rng);
+        match result {
+            Ok((set, stats)) => {
+                assert!(stats.dropped > 0, "p = 0.5 must actually drop messages");
+                assert!(set.active_count() > 0, "boundary nodes always stay active");
+            }
+            Err(SimError::ElectionStalled { .. }) => {}
+            Err(e) => panic!("seed {seed}: unexpected failure mode: {e}"),
+        }
+    }
+}
+
+/// Acceptance: 7×7 king grid under `Lossy { p: 0.3 }` plus up to three
+/// random mid-run crashes terminates without panicking, for several plans.
+#[test]
+fn lossy_run_with_random_crashes_terminates() {
+    let g = generators::king_grid_graph(7, 7);
+    let boundary = king_grid_boundary(7, 7);
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    for seed in 0..5u64 {
+        let plan = FaultPlan::random_crashes(&nodes, 3, 40, 1000 + seed).with_seed(7 * seed + 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let result = DistributedDcc::new(4)
+            .with_faults(
+                LinkModel::Lossy {
+                    p: 0.3,
+                    seed: 13 * seed + 5,
+                },
+                plan,
+            )
+            .with_round_limit(20_000)
+            .run(&g, &boundary, &mut rng);
+        match result {
+            Ok((set, stats)) => {
+                assert!(stats.crashed <= 3, "plan only schedules three crashes");
+                assert!(stats.dropped > 0);
+                // Crashed nodes leave the topology: never in the final set.
+                assert!(set.active.len() + set.deleted.len() + stats.crashed <= 49);
+            }
+            Err(SimError::ElectionStalled { .. }) => {}
+            Err(e) => panic!("seed {seed}: unexpected failure mode: {e}"),
+        }
+    }
+}
+
+/// Acceptance: crashing an internal active node *after* the schedule is
+/// computed, then running the repair layer, restores a global VPT fixpoint
+/// and reports the repair traffic in the stats.
+#[test]
+fn post_schedule_crash_is_repaired_with_accounted_traffic() {
+    let g = generators::king_grid_graph(7, 7);
+    let boundary = king_grid_boundary(7, 7);
+    let tau = 4;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let (set, _) = DistributedDcc::new(tau)
+        .run(&g, &boundary, &mut rng)
+        .expect("reliable run succeeds");
+    assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
+
+    let victim = *set
+        .active
+        .iter()
+        .find(|v| !boundary[v.index()])
+        .expect("7×7 at τ=4 keeps interior nodes active");
+    let outcome = CoverageRepair::new(tau)
+        .repair(&g, &boundary, &set.active, victim, &mut rng)
+        .expect("repair converges");
+
+    assert!(is_vpt_fixpoint(&g, &outcome.set.active, &boundary, tau));
+    assert!(!outcome.set.active.contains(&victim));
+    assert!(
+        outcome.stats.repair_messages > 0,
+        "repair traffic must be visible in DistributedStats"
+    );
+    assert_eq!(outcome.stats.crashed, 1);
+    assert!(outcome.degradation.detection_rounds > 0);
+}
+
+/// Acceptance: the repaired active set still satisfies the τ-partition
+/// coverage criterion (Proposition 2) on a dense geometric scenario.
+#[test]
+fn repaired_set_keeps_tau_partition_criterion() {
+    let scenario = grid_scenario(8, 8);
+    let tau = 4;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let (set, _) = DistributedDcc::new(tau)
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("reliable run succeeds");
+    let before = verify_criterion(&scenario, &set.active, tau);
+    assert_eq!(
+        before,
+        CriterionOutcome::Satisfied,
+        "pre-crash schedule certifies"
+    );
+
+    let victim = *set
+        .active
+        .iter()
+        .find(|v| !scenario.boundary[v.index()])
+        .expect("dense grid keeps interior nodes active");
+    let outcome = CoverageRepair::new(tau)
+        .repair(
+            &scenario.graph,
+            &scenario.boundary,
+            &set.active,
+            victim,
+            &mut rng,
+        )
+        .expect("repair converges");
+
+    assert!(is_vpt_fixpoint(
+        &scenario.graph,
+        &outcome.set.active,
+        &scenario.boundary,
+        tau
+    ));
+    let after = verify_criterion(&scenario, &outcome.set.active, tau);
+    assert_eq!(
+        after,
+        CriterionOutcome::Satisfied,
+        "repair restores certified coverage"
+    );
+}

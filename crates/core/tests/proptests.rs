@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use confine_core::schedule::{is_vpt_fixpoint, DccScheduler, DeletionOrder};
-use confine_core::vpt::{
-    independence_radius, is_vertex_deletable, neighborhood_radius,
-};
+use confine_core::vpt::{independence_radius, is_vertex_deletable, neighborhood_radius};
 use confine_cycles::brute;
 use confine_cycles::Cycle;
 use confine_graph::{mis, traverse, Graph, Masked, NodeId};
@@ -172,6 +170,91 @@ proptest! {
         for (i, &b) in boundary.iter().enumerate() {
             if b {
                 prop_assert!(set.active.contains(&NodeId::from(i)));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Robustness invariant (repair layer): crash any single internal active
+    /// node of a scheduled king grid — heartbeat detection, k-hop wake-up
+    /// and local re-VPT restore a *global* VPT fixpoint, and every boundary
+    /// node stays active throughout.
+    #[test]
+    fn repair_restores_fixpoint_on_random_king_grids(
+        w in 4usize..8,
+        h in 4usize..8,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+        pick in 0usize..64,
+    ) {
+        use rand::SeedableRng;
+        let g = confine_graph::generators::king_grid_graph(w, h);
+        let boundary: Vec<bool> = (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                x == 0 || y == 0 || x == w - 1 || y == h - 1
+            })
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+        prop_assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
+        let victims: Vec<NodeId> =
+            set.active.iter().copied().filter(|v| !boundary[v.index()]).collect();
+        if !victims.is_empty() {
+            let victim = victims[pick % victims.len()];
+            let outcome = confine_core::repair::CoverageRepair::new(tau)
+                .repair(&g, &boundary, &set.active, victim, &mut rng)
+                .expect("repair phases converge");
+            prop_assert!(
+                is_vpt_fixpoint(&g, &outcome.set.active, &boundary, tau),
+                "crashing {:?} (tau {}) left a non-fixpoint", victim, tau
+            );
+            prop_assert!(!outcome.set.active.contains(&victim));
+            for (i, &b) in boundary.iter().enumerate() {
+                if b {
+                    prop_assert!(outcome.set.active.contains(&NodeId::from(i)));
+                }
+            }
+        }
+    }
+
+    /// Same invariant on random unit-disk ("Poisson") topologies with a
+    /// geometric periphery band as the boundary.
+    #[test]
+    fn repair_restores_fixpoint_on_random_udg(
+        n in 30usize..60,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+        pick in 0usize..64,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scenario =
+            confine_deploy::scenario::random_udg_scenario(n, 1.0, 12.0, &mut rng);
+        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        prop_assert!(is_vpt_fixpoint(&scenario.graph, &set.active, &scenario.boundary, tau));
+        let victims: Vec<NodeId> = set
+            .active
+            .iter()
+            .copied()
+            .filter(|v| !scenario.boundary[v.index()])
+            .collect();
+        if !victims.is_empty() {
+            let victim = victims[pick % victims.len()];
+            let outcome = confine_core::repair::CoverageRepair::new(tau)
+                .repair(&scenario.graph, &scenario.boundary, &set.active, victim, &mut rng)
+                .expect("repair phases converge");
+            prop_assert!(
+                is_vpt_fixpoint(&scenario.graph, &outcome.set.active, &scenario.boundary, tau),
+                "crashing {:?} (tau {}, n {}) left a non-fixpoint", victim, tau, n
+            );
+            for (i, &b) in scenario.boundary.iter().enumerate() {
+                if b {
+                    prop_assert!(outcome.set.active.contains(&NodeId::from(i)));
+                }
             }
         }
     }

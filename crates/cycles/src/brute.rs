@@ -126,8 +126,14 @@ mod tests {
         assert_eq!(enumerate_simple_cycles(&k4, 4).len(), 7);
         assert_eq!(enumerate_simple_cycles(&k4, 3).len(), 4);
         // C7 has exactly one.
-        assert_eq!(enumerate_simple_cycles(&generators::cycle_graph(7), 7).len(), 1);
-        assert_eq!(enumerate_simple_cycles(&generators::cycle_graph(7), 6).len(), 0);
+        assert_eq!(
+            enumerate_simple_cycles(&generators::cycle_graph(7), 7).len(),
+            1
+        );
+        assert_eq!(
+            enumerate_simple_cycles(&generators::cycle_graph(7), 6).len(),
+            0
+        );
         // A 2×2 grid of squares: 4 unit squares + 4 L-hexagons + ... in total
         // 13 simple cycles for the 3×3 grid.
         let g = generators::grid_graph(3, 3);
@@ -165,8 +171,7 @@ mod tests {
             let brute = brute_minimum_cycle_basis(&g);
             let horton = crate::horton::minimum_cycle_basis(&g);
             let brute_lens: Vec<usize> = brute.iter().map(Cycle::len).collect();
-            let horton_lens: Vec<usize> =
-                horton.cycles().iter().map(Cycle::len).collect();
+            let horton_lens: Vec<usize> = horton.cycles().iter().map(Cycle::len).collect();
             assert_eq!(
                 brute_lens, horton_lens,
                 "MCB length multisets must agree for {g:?}"

@@ -117,7 +117,11 @@ impl Cycle {
     ///
     /// Panics if the vector length differs from `graph.edge_count()`.
     pub fn from_edge_vec(graph: &Graph, vec: BitVec) -> Result<Self, CycleError> {
-        assert_eq!(vec.len(), graph.edge_count(), "incidence vector length mismatch");
+        assert_eq!(
+            vec.len(),
+            graph.edge_count(),
+            "incidence vector length mismatch"
+        );
         let mut parity = vec![false; graph.node_count()];
         for e in vec.ones() {
             let (a, b) = graph.endpoints(EdgeId::from(e));
@@ -125,7 +129,9 @@ impl Cycle {
             parity[b.index()] = !parity[b.index()];
         }
         if let Some(i) = parity.iter().position(|&p| p) {
-            return Err(CycleError::OddVertex { node: NodeId::from(i) });
+            return Err(CycleError::OddVertex {
+                node: NodeId::from(i),
+            });
         }
         Ok(Cycle { edges: vec })
     }
@@ -140,7 +146,9 @@ impl Cycle {
     /// [`CycleError::MissingEdge`] if consecutive vertices are not adjacent.
     pub fn from_vertex_cycle(graph: &Graph, vertices: &[NodeId]) -> Result<Self, CycleError> {
         if vertices.len() < 3 {
-            return Err(CycleError::TooShort { len: vertices.len() });
+            return Err(CycleError::TooShort {
+                len: vertices.len(),
+            });
         }
         let mut seen = vec![false; graph.node_count()];
         for &v in vertices {
@@ -152,7 +160,9 @@ impl Cycle {
         for i in 0..vertices.len() {
             let a = vertices[i];
             let b = vertices[(i + 1) % vertices.len()];
-            let e = graph.edge_between(a, b).ok_or(CycleError::MissingEdge { a, b })?;
+            let e = graph
+                .edge_between(a, b)
+                .ok_or(CycleError::MissingEdge { a, b })?;
             vec.set(e.index(), true);
         }
         Ok(Cycle { edges: vec })
@@ -160,7 +170,9 @@ impl Cycle {
 
     /// The zero element of the cycle space (no edges).
     pub fn zero(graph: &Graph) -> Self {
-        Cycle { edges: BitVec::zeros(graph.edge_count()) }
+        Cycle {
+            edges: BitVec::zeros(graph.edge_count()),
+        }
     }
 
     /// Number of edges in the element (the cycle length for simple cycles).
@@ -195,7 +207,9 @@ impl Cycle {
     /// Panics if the two elements come from graphs with different edge
     /// counts.
     pub fn sum(&self, other: &Cycle) -> Cycle {
-        Cycle { edges: self.edges.xor(&other.edges) }
+        Cycle {
+            edges: self.edges.xor(&other.edges),
+        }
     }
 
     /// Returns `true` if the element is a single simple cycle of `graph`:
@@ -306,7 +320,13 @@ mod tests {
     fn rejects_non_adjacent() {
         let g = generators::path_graph(4);
         let err = Cycle::from_vertex_cycle(&g, &[NodeId(0), NodeId(1), NodeId(3)]).unwrap_err();
-        assert_eq!(err, CycleError::MissingEdge { a: NodeId(1), b: NodeId(3) });
+        assert_eq!(
+            err,
+            CycleError::MissingEdge {
+                a: NodeId(1),
+                b: NodeId(3)
+            }
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates the zero vector of the given length.
     pub fn zeros(len: usize) -> Self {
-        BitVec { blocks: vec![0; len.div_ceil(BLOCK_BITS)], len }
+        BitVec {
+            blocks: vec![0; len.div_ceil(BLOCK_BITS)],
+            len,
+        }
     }
 
     /// Creates a vector with exactly the listed positions set.
@@ -64,7 +67,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.blocks[i / BLOCK_BITS] >> (i % BLOCK_BITS)) & 1 == 1
     }
 
@@ -75,7 +82,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         let mask = 1u64 << (i % BLOCK_BITS);
         if value {
             self.blocks[i / BLOCK_BITS] |= mask;
@@ -141,7 +152,11 @@ impl BitVec {
 
     /// Iterates over the indices of set bits in increasing order.
     pub fn ones(&self) -> Ones<'_> {
-        Ones { vec: self, block_index: 0, current: self.blocks.first().copied().unwrap_or(0) }
+        Ones {
+            vec: self,
+            block_index: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -233,7 +248,10 @@ mod tests {
     #[test]
     fn first_one_across_blocks() {
         assert_eq!(BitVec::zeros(200).first_one(), None);
-        assert_eq!(BitVec::from_indices(200, &[130, 190]).first_one(), Some(130));
+        assert_eq!(
+            BitVec::from_indices(200, &[130, 190]).first_one(),
+            Some(130)
+        );
         assert_eq!(BitVec::from_indices(200, &[0]).first_one(), Some(0));
     }
 

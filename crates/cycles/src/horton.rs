@@ -100,7 +100,10 @@ pub struct IrreducibleBounds {
 pub fn minimum_cycle_basis(graph: &Graph) -> Mcb {
     let nu = crate::space::circuit_rank(graph);
     if nu == 0 {
-        return Mcb { cycles: Vec::new(), edge_count: graph.edge_count() };
+        return Mcb {
+            cycles: Vec::new(),
+            edge_count: graph.edge_count(),
+        };
     }
 
     let mut candidates = horton_candidates(graph);
@@ -144,7 +147,10 @@ pub fn minimum_cycle_basis(graph: &Graph) -> Mcb {
     }
     debug_assert_eq!(selected.len(), nu, "cycle space must be fully spanned");
 
-    Mcb { cycles: selected, edge_count: graph.edge_count() }
+    Mcb {
+        cycles: selected,
+        edge_count: graph.edge_count(),
+    }
 }
 
 /// Enumerates the Horton candidate cycles of `graph` with the LCA-at-root
@@ -208,7 +214,10 @@ pub fn horton_candidates(graph: &Graph) -> Vec<Cycle> {
 /// ```
 pub fn irreducible_cycle_bounds(graph: &Graph) -> Option<IrreducibleBounds> {
     let mcb = minimum_cycle_basis(graph);
-    Some(IrreducibleBounds { min: mcb.min_cycle_len()?, max: mcb.max_cycle_len()? })
+    Some(IrreducibleBounds {
+        min: mcb.min_cycle_len()?,
+        max: mcb.max_cycle_len()?,
+    })
 }
 
 /// Fast predicate: is the *maximum* irreducible cycle of `graph` at most
@@ -242,7 +251,9 @@ pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
             graph.incident(a).filter(|&(b, _)| b > a).collect();
         for (i, &(b, eab)) in nbrs.iter().enumerate() {
             for &(c, eac) in &nbrs[i + 1..] {
-                let Some(ebc) = graph.edge_between(b, c) else { continue };
+                let Some(ebc) = graph.edge_between(b, c) else {
+                    continue;
+                };
                 let vec = BitVec::from_indices(
                     graph.edge_count(),
                     &[eab.index(), eac.index(), ebc.index()],
@@ -269,7 +280,9 @@ pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
             if tree.parent(x) == Some(y) || tree.parent(y) == Some(x) {
                 continue;
             }
-            let (Some(dx), Some(dy)) = (tree.depth(x), tree.depth(y)) else { continue };
+            let (Some(dx), Some(dy)) = (tree.depth(x), tree.depth(y)) else {
+                continue;
+            };
             let len = (dx + dy + 1) as usize;
             if len > tau || len < 4 {
                 continue;
@@ -282,8 +295,9 @@ pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
             for endpoint in [x, y] {
                 let mut cur = endpoint;
                 while let Some(p) = tree.parent(cur) {
-                    let pe =
-                        graph.edge_between(cur, p).expect("tree edges exist in the graph");
+                    let pe = graph
+                        .edge_between(cur, p)
+                        .expect("tree edges exist in the graph");
                     vec.set(pe.index(), true);
                     cur = p;
                 }
@@ -372,11 +386,19 @@ mod tests {
 
     #[test]
     fn disconnected_components_both_counted() {
-        let g = Graph::from_edges(8, [
-            (0, 1), (1, 2), (2, 0),          // triangle
-            (3, 4), (4, 5), (5, 6), (6, 3),  // square
-            // node 7 isolated
-        ])
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0), // triangle
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3), // square
+                        // node 7 isolated
+            ],
+        )
         .unwrap();
         let mcb = minimum_cycle_basis(&g);
         assert_eq!(mcb.dimension(), 2);

@@ -45,7 +45,11 @@ pub struct Gf2Basis {
 impl Gf2Basis {
     /// Creates an empty basis for vectors of length `len`.
     pub fn new(len: usize) -> Self {
-        Gf2Basis { len, rows: Vec::new(), pivot_row: vec![None; len] }
+        Gf2Basis {
+            len,
+            rows: Vec::new(),
+            pivot_row: vec![None; len],
+        }
     }
 
     /// Current rank (number of accepted vectors).
@@ -122,7 +126,12 @@ impl Decomposer {
     /// Panics if the vectors have inconsistent lengths or are linearly
     /// dependent (a basis must be independent).
     pub fn from_basis(len: usize, basis: &[BitVec]) -> Self {
-        let mut d = Decomposer { len, rows: Vec::new(), combos: Vec::new(), pivots: Vec::new() };
+        let mut d = Decomposer {
+            len,
+            rows: Vec::new(),
+            combos: Vec::new(),
+            pivots: Vec::new(),
+        };
         for (i, v) in basis.iter().enumerate() {
             assert_eq!(v.len(), len, "basis vector {i} has wrong length");
             let mut r = v.clone();
@@ -134,7 +143,9 @@ impl Decomposer {
                     combo.xor_assign(c);
                 }
             }
-            let p = r.first_one().expect("basis vectors must be linearly independent");
+            let p = r
+                .first_one()
+                .expect("basis vectors must be linearly independent");
             d.rows.push(r);
             d.combos.push(combo);
             d.pivots.push(p);
@@ -220,7 +231,12 @@ mod tests {
 
     #[test]
     fn decomposition_verifies_by_summation() {
-        let basis = vec![v(8, &[0, 1, 2]), v(8, &[2, 3]), v(8, &[3, 4, 5]), v(8, &[5, 6, 7])];
+        let basis = vec![
+            v(8, &[0, 1, 2]),
+            v(8, &[2, 3]),
+            v(8, &[3, 4, 5]),
+            v(8, &[5, 6, 7]),
+        ];
         let d = Decomposer::from_basis(8, &basis);
         let target = v(8, &[0, 1, 4, 5]); // basis[0]+basis[1]+basis[2]
         let idx = d.decompose(&target).unwrap();

@@ -64,8 +64,7 @@ impl PartitionTester {
 
     /// Builds the tester from a pre-computed minimum cycle basis.
     pub fn from_mcb(mcb: Mcb) -> Self {
-        let vectors: Vec<BitVec> =
-            mcb.cycles().iter().map(|c| c.edge_vec().clone()).collect();
+        let vectors: Vec<BitVec> = mcb.cycles().iter().map(|c| c.edge_vec().clone()).collect();
         let decomposer = Decomposer::from_basis(mcb.edge_count(), &vectors);
         PartitionTester { mcb, decomposer }
     }
@@ -107,7 +106,11 @@ impl PartitionTester {
     /// Returns `None` when `target` is outside the cycle space.
     pub fn partition(&self, target: &BitVec) -> Option<Vec<Cycle>> {
         let used = self.decomposer.decompose(target)?;
-        Some(used.into_iter().map(|i| self.mcb.cycles()[i].clone()).collect())
+        Some(
+            used.into_iter()
+                .map(|i| self.mcb.cycles()[i].clone())
+                .collect(),
+        )
     }
 }
 
@@ -154,7 +157,11 @@ mod tests {
 
         // The explicit partition must actually sum to the target.
         let parts = tester.partition(outer.edge_vec()).unwrap();
-        assert_eq!(parts.len(), (w - 1) * (h - 1), "all unit squares participate");
+        assert_eq!(
+            parts.len(),
+            (w - 1) * (h - 1),
+            "all unit squares participate"
+        );
         let mut sum = BitVec::zeros(g.edge_count());
         for p in &parts {
             assert!(p.len() <= 4);
@@ -211,7 +218,10 @@ mod tests {
         let min_tau = tester.min_partition_tau(outer.edge_vec()).unwrap();
         assert_eq!(min_tau, 3, "king grids triangulate the boundary");
         for tau in 0..10 {
-            assert_eq!(tester.is_partitionable(outer.edge_vec(), tau), tau >= min_tau);
+            assert_eq!(
+                tester.is_partitionable(outer.edge_vec(), tau),
+                tau >= min_tau
+            );
         }
     }
 

@@ -142,8 +142,10 @@ mod tests {
         ] {
             let fast: Vec<_> = relevant_cycles(&g);
             let all = brute::enumerate_simple_cycles(&g, g.node_count());
-            let slow: Vec<_> =
-                all.iter().filter(|c| brute::brute_is_irreducible(&g, c)).collect();
+            let slow: Vec<_> = all
+                .iter()
+                .filter(|c| brute::brute_is_irreducible(&g, c))
+                .collect();
             assert_eq!(fast.len(), slow.len(), "count mismatch on {g:?}");
             let fast_set: std::collections::HashSet<_> =
                 fast.iter().map(|c| c.edge_vec().clone()).collect();

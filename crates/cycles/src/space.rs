@@ -126,7 +126,10 @@ mod tests {
         let mut oracle = Gf2Basis::new(g.edge_count());
         for c in &basis {
             assert!(c.is_simple(&g), "fundamental cycles are simple");
-            assert!(oracle.try_insert(c.edge_vec()), "fundamental cycles are independent");
+            assert!(
+                oracle.try_insert(c.edge_vec()),
+                "fundamental cycles are independent"
+            );
         }
     }
 
@@ -138,8 +141,8 @@ mod tests {
 
     #[test]
     fn fundamental_cycles_disconnected() {
-        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3)]).unwrap();
         let basis = fundamental_cycles(&g);
         assert_eq!(basis.len(), 2);
         let lens: Vec<usize> = {

@@ -69,7 +69,11 @@ pub fn verify_coverage(
     let cols = (target.width() / resolution).ceil().max(0.0) as usize;
     let rows = (target.height() / resolution).ceil().max(0.0) as usize;
     if cols == 0 || rows == 0 {
-        return CoverageReport { covered_fraction: 1.0, holes: Vec::new(), resolution };
+        return CoverageReport {
+            covered_fraction: 1.0,
+            holes: Vec::new(),
+            resolution,
+        };
     }
 
     let cell_center = |c: usize, r: usize| {
@@ -149,8 +153,10 @@ pub fn verify_coverage(
                 push(r + 1, c);
             }
         }
-        let centers: Vec<Point> =
-            members.iter().map(|&i| cell_center(i % cols, i / cols)).collect();
+        let centers: Vec<Point> = members
+            .iter()
+            .map(|&i| cell_center(i % cols, i / cols))
+            .collect();
         let circle = min_enclosing_circle(&centers);
         holes.push(Hole {
             cells: members.len(),
@@ -205,7 +211,11 @@ pub fn verify_k_coverage(
     let cols = (target.width() / resolution).ceil().max(0.0) as usize;
     let rows = (target.height() / resolution).ceil().max(0.0) as usize;
     if cols == 0 || rows == 0 {
-        return KCoverageReport { min_degree: usize::MAX, fraction_k_covered: 1.0, k };
+        return KCoverageReport {
+            min_degree: usize::MAX,
+            fraction_k_covered: 1.0,
+            k,
+        };
     }
     let rs2 = rs * rs;
     let mut min_degree = usize::MAX;
@@ -261,7 +271,10 @@ mod tests {
         // Hole spans the whole square: diameter ≈ diagonal ≈ 5.66 minus the
         // half-cell trim on each side, plus the cell-diagonal inflation.
         let d = report.max_hole_diameter();
-        assert!((5.0..6.2).contains(&d), "diameter {d} not near the diagonal");
+        assert!(
+            (5.0..6.2).contains(&d),
+            "diameter {d} not near the diagonal"
+        );
     }
 
     #[test]
@@ -310,8 +323,7 @@ mod tests {
 
     #[test]
     fn degenerate_target() {
-        let report =
-            verify_coverage(&[], &[], 1.0, Rect::new(3.0, 3.0, 3.0, 3.0), 0.5);
+        let report = verify_coverage(&[], &[], 1.0, Rect::new(3.0, 3.0, 3.0, 3.0), 0.5);
         assert!(report.is_blanket());
         assert_eq!(report.covered_fraction, 1.0);
     }

@@ -66,8 +66,16 @@ pub fn perturbed_grid<R: Rng>(
     rng: &mut R,
 ) -> Deployment {
     let mut positions = Vec::with_capacity(cols * rows);
-    let dx = if cols > 1 { region.width() / (cols - 1) as f64 } else { 0.0 };
-    let dy = if rows > 1 { region.height() / (rows - 1) as f64 } else { 0.0 };
+    let dx = if cols > 1 {
+        region.width() / (cols - 1) as f64
+    } else {
+        0.0
+    };
+    let dy = if rows > 1 {
+        region.height() / (rows - 1) as f64
+    } else {
+        0.0
+    };
     for r in 0..rows {
         for c in 0..cols {
             let mut x = region.min.x + c as f64 * dx;
@@ -176,8 +184,15 @@ mod tests {
         let region = Rect::new(0.0, 0.0, 1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(11);
         let d = uniform(2000, region, &mut rng);
-        let q1 = d.positions.iter().filter(|p| p.x < 0.5 && p.y < 0.5).count();
-        assert!((400..600).contains(&q1), "quadrant count {q1} too far from 500");
+        let q1 = d
+            .positions
+            .iter()
+            .filter(|p| p.x < 0.5 && p.y < 0.5)
+            .count();
+        assert!(
+            (400..600).contains(&q1),
+            "quadrant count {q1} too far from 500"
+        );
     }
 
     #[test]

@@ -77,9 +77,17 @@ pub fn write_scenario(scenario: &Scenario) -> String {
     out.push_str("# confine scenario v1\n");
     let _ = writeln!(out, "rc {}", scenario.rc);
     let r = scenario.region;
-    let _ = writeln!(out, "region {} {} {} {}", r.min.x, r.min.y, r.max.x, r.max.y);
+    let _ = writeln!(
+        out,
+        "region {} {} {} {}",
+        r.min.x, r.min.y, r.max.x, r.max.y
+    );
     let t = scenario.target;
-    let _ = writeln!(out, "target {} {} {} {}", t.min.x, t.min.y, t.max.x, t.max.y);
+    let _ = writeln!(
+        out,
+        "target {} {} {} {}",
+        t.min.x, t.min.y, t.max.x, t.max.y
+    );
     for v in scenario.graph.nodes() {
         let p = scenario.positions[v.index()];
         let b = u8::from(scenario.boundary[v.index()]);
@@ -175,7 +183,14 @@ pub fn read_scenario(text: &str) -> Result<Scenario, ParseError> {
             .map_err(|_| ParseError::BadEdge { line })?;
     }
 
-    Ok(Scenario { graph, positions, rc, boundary, region, target })
+    Ok(Scenario {
+        graph,
+        positions,
+        rc,
+        boundary,
+        region,
+        target,
+    })
 }
 
 #[cfg(test)]
@@ -226,9 +241,12 @@ mod tests {
     #[test]
     fn malformed_lines_reported_with_position() {
         let err = read_scenario("rc x\n").unwrap_err();
-        assert!(matches!(err, ParseError::Malformed { line: 1, .. }), "{err}");
-        let err = read_scenario("rc 1\nregion 0 0 1 1\ntarget 0 0 1 1\nnode 5 0 0 0\n")
-            .unwrap_err();
+        assert!(
+            matches!(err, ParseError::Malformed { line: 1, .. }),
+            "{err}"
+        );
+        let err =
+            read_scenario("rc 1\nregion 0 0 1 1\ntarget 0 0 1 1\nnode 5 0 0 0\n").unwrap_err();
         assert_eq!(err, ParseError::NonDenseNodeIds { line: 4 });
         let err = read_scenario("rc 1\nregion 0 0 1 1\ntarget 0 0 1 1\nnode 0 0 0 0\nedge 0 9\n")
             .unwrap_err();

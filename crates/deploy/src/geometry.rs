@@ -66,7 +66,10 @@ impl Rect {
     /// Panics if `x0 > x1` or `y0 > y1`.
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
         assert!(x0 <= x1 && y0 <= y1, "rectangle corners out of order");
-        Rect { min: Point::new(x0, y0), max: Point::new(x1, y1) }
+        Rect {
+            min: Point::new(x0, y0),
+            max: Point::new(x1, y1),
+        }
     }
 
     /// Width of the rectangle.
@@ -152,7 +155,10 @@ impl Circle {
 pub fn min_enclosing_circle(points: &[Point]) -> Circle {
     fn circle_two(a: Point, b: Point) -> Circle {
         let center = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
-        Circle { center, radius: center.distance(a) }
+        Circle {
+            center,
+            radius: center.distance(a),
+        }
     }
 
     fn circle_three(a: Point, b: Point, c: Point) -> Option<Circle> {
@@ -166,14 +172,20 @@ pub fn min_enclosing_circle(points: &[Point]) -> Circle {
         let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
         let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
         let center = Point::new(ux, uy);
-        Some(Circle { center, radius: center.distance(a) })
+        Some(Circle {
+            center,
+            radius: center.distance(a),
+        })
     }
 
     fn mec_with(points: &[Point], boundary: &mut Vec<Point>) -> Circle {
         debug_assert!(boundary.len() <= 3);
         let mut circle = match boundary.len() {
             0 => Circle::default(),
-            1 => Circle { center: boundary[0], radius: 0.0 },
+            1 => Circle {
+                center: boundary[0],
+                radius: 0.0,
+            },
             2 => circle_two(boundary[0], boundary[1]),
             _ => {
                 return circle_three(boundary[0], boundary[1], boundary[2]).unwrap_or_else(|| {
@@ -314,7 +326,11 @@ mod tests {
 
     #[test]
     fn mec_collinear() {
-        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(4.0, 0.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(4.0, 0.0),
+        ];
         let c = min_enclosing_circle(&pts);
         assert!((c.radius - 2.0).abs() < 1e-9);
     }
@@ -345,12 +361,18 @@ mod tests {
         ];
         assert!(encloses(&bowtie, Point::new(1.0, 2.0)));
         assert!(encloses(&bowtie, Point::new(3.0, 2.0)));
-        assert!(!encloses(&bowtie, Point::new(2.0, 3.5)), "above the crossing: outside");
+        assert!(
+            !encloses(&bowtie, Point::new(2.0, 3.5)),
+            "above the crossing: outside"
+        );
     }
 
     #[test]
     fn degenerate_polygons_enclose_nothing() {
         assert!(!encloses(&[], Point::new(0.0, 0.0)));
-        assert!(!encloses(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)], Point::new(0.5, 0.5)));
+        assert!(!encloses(
+            &[Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            Point::new(0.5, 0.5)
+        ));
     }
 }

@@ -42,8 +42,11 @@ impl OuterWalk {
             let key = if a < b { (a, b) } else { (b, a) };
             *count.entry(key).or_default() += 1;
         }
-        let mut edges: Vec<(NodeId, NodeId)> =
-            count.into_iter().filter(|&(_, c)| c % 2 == 1).map(|(e, _)| e).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = count
+            .into_iter()
+            .filter(|&(_, c)| c % 2 == 1)
+            .map(|(e, _)| e)
+            .collect();
         edges.sort_unstable();
         edges
     }
@@ -149,7 +152,10 @@ fn angular_walk(scenario: &Scenario) -> Option<OuterWalk> {
 /// sampled point of the target area is enclosed (winding parity), so the
 /// walk winds once around everything the criterion must cover.
 fn validate(scenario: &Scenario, walk: Vec<NodeId>) -> Option<OuterWalk> {
-    let polygon: Vec<Point> = walk.iter().map(|&v| scenario.positions[v.index()]).collect();
+    let polygon: Vec<Point> = walk
+        .iter()
+        .map(|&v| scenario.positions[v.index()])
+        .collect();
     let t = scenario.target;
     if t.width() <= 0.0 || t.height() <= 0.0 {
         return None;
@@ -228,7 +234,9 @@ mod tests {
         }
         positions.push(Point::new(0.0, 0.0)); // internal node
         for i in 0..ring {
-            graph.add_edge(NodeId::from(i), NodeId::from(ring)).expect("spokes");
+            graph
+                .add_edge(NodeId::from(i), NodeId::from(ring))
+                .expect("spokes");
         }
         let mut boundary = vec![true; ring];
         boundary.push(false);
@@ -276,7 +284,10 @@ mod tests {
         // A target area reaching beyond the ring cannot be certified.
         let mut s = ring_scenario(8);
         s.target = Rect::new(-3.0, -3.0, 3.0, 3.0);
-        assert!(extract_outer_walk(&s).is_none(), "target extends past the boundary walk");
+        assert!(
+            extract_outer_walk(&s).is_none(),
+            "target extends past the boundary walk"
+        );
         // Degenerate target: nothing to certify.
         let mut s = ring_scenario(8);
         s.target = Rect::new(0.0, 0.0, 0.0, 0.0);
@@ -302,7 +313,11 @@ mod tests {
         s.graph.add_edge(NodeId(0), spur).unwrap();
         s.boundary.push(true);
         let w = extract_outer_walk(&s).expect("walk exists");
-        assert_eq!(w.walk.len(), 8, "6 ring nodes + spur visited + re-visit of node 0's spur base");
+        assert_eq!(
+            w.walk.len(),
+            8,
+            "6 ring nodes + spur visited + re-visit of node 0's spur base"
+        );
         let odd = w.odd_edges();
         assert_eq!(odd.len(), 6, "spur edge cancels, ring remains");
         assert!(!odd.contains(&(NodeId(0), spur)));

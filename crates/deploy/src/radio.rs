@@ -64,9 +64,8 @@ impl CommModel {
 
         // Uniform grid hashing: only O(n·deg) pair tests instead of O(n²).
         let cell = rc.max(1e-9);
-        let key = |p: crate::geometry::Point| {
-            ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
-        };
+        let key =
+            |p: crate::geometry::Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
         let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
             std::collections::HashMap::new();
         for (i, &p) in pts.iter().enumerate() {
@@ -77,7 +76,9 @@ impl CommModel {
             let (cx, cy) = key(pts[i]);
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    let Some(cands) = buckets.get(&(cx + dx, cy + dy)) else { continue };
+                    let Some(cands) = buckets.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
                     for &j in cands {
                         if j <= i {
                             continue;
@@ -114,7 +115,9 @@ mod tests {
 
     fn line_deployment(spacing: f64, n: usize) -> Deployment {
         Deployment {
-            positions: (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect(),
+            positions: (0..n)
+                .map(|i| Point::new(i as f64 * spacing, 0.0))
+                .collect(),
             region: Rect::new(0.0, -1.0, spacing * n as f64, 1.0),
         }
     }
@@ -149,7 +152,10 @@ mod tests {
         let g = CommModel::Udg { rc }.build(&d, &mut rng);
         let deg = g.average_degree();
         // Border effects push the average a bit below the target.
-        assert!((15.0..22.0).contains(&deg), "average degree {deg} out of band");
+        assert!(
+            (15.0..22.0).contains(&deg),
+            "average degree {deg} out of band"
+        );
     }
 
     #[test]
@@ -159,8 +165,12 @@ mod tests {
         let d = deployment::uniform(400, region, &mut rng);
         let full = CommModel::Udg { rc: 1.0 }.build(&d, &mut rng);
         let inner = CommModel::Udg { rc: 0.5 }.build(&d, &mut rng);
-        let quasi = CommModel::QuasiUdg { r_in: 0.5, rc: 1.0, p_mid: 0.5 }
-            .build(&d, &mut StdRng::seed_from_u64(10));
+        let quasi = CommModel::QuasiUdg {
+            r_in: 0.5,
+            rc: 1.0,
+            p_mid: 0.5,
+        }
+        .build(&d, &mut StdRng::seed_from_u64(10));
         assert!(quasi.edge_count() >= inner.edge_count());
         assert!(quasi.edge_count() <= full.edge_count());
         // All certain links present.
@@ -176,12 +186,28 @@ mod tests {
     #[test]
     fn quasi_udg_extreme_probabilities() {
         let d = line_deployment(0.7, 6);
-        let quasi0 = CommModel::QuasiUdg { r_in: 0.3, rc: 1.0, p_mid: 0.0 }
-            .build(&d, &mut StdRng::seed_from_u64(0));
+        let quasi0 = CommModel::QuasiUdg {
+            r_in: 0.3,
+            rc: 1.0,
+            p_mid: 0.0,
+        }
+        .build(&d, &mut StdRng::seed_from_u64(0));
         assert_eq!(quasi0.edge_count(), 0, "0.7 gaps all fall in the annulus");
-        let quasi1 = CommModel::QuasiUdg { r_in: 0.3, rc: 1.0, p_mid: 1.0 }
-            .build(&d, &mut StdRng::seed_from_u64(0));
+        let quasi1 = CommModel::QuasiUdg {
+            r_in: 0.3,
+            rc: 1.0,
+            p_mid: 1.0,
+        }
+        .build(&d, &mut StdRng::seed_from_u64(0));
         assert_eq!(quasi1.edge_count(), 5);
-        assert_eq!(CommModel::QuasiUdg { r_in: 0.3, rc: 1.0, p_mid: 1.0 }.rc(), 1.0);
+        assert_eq!(
+            CommModel::QuasiUdg {
+                r_in: 0.3,
+                rc: 1.0,
+                p_mid: 1.0
+            }
+            .rc(),
+            1.0
+        );
     }
 }

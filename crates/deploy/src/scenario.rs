@@ -49,7 +49,8 @@ impl Scenario {
         self.boundary
             .iter()
             .enumerate()
-            .filter(|&(_i, &b)| b).map(|(i, &_b)| NodeId::from(i))
+            .filter(|&(_i, &b)| b)
+            .map(|(i, &_b)| NodeId::from(i))
             .collect()
     }
 
@@ -58,7 +59,8 @@ impl Scenario {
         self.boundary
             .iter()
             .enumerate()
-            .filter(|&(_i, &b)| !b).map(|(i, &_b)| NodeId::from(i))
+            .filter(|&(_i, &b)| !b)
+            .map(|(i, &_b)| NodeId::from(i))
             .collect()
     }
 
@@ -86,11 +88,7 @@ pub fn boundary_band(deployment: &Deployment, band: f64) -> Vec<bool> {
 ///
 /// Falls back to the full node set if no width below the region's half
 /// extent connects the band.
-pub fn connected_boundary_ring(
-    graph: &Graph,
-    deployment: &Deployment,
-    initial: f64,
-) -> Vec<bool> {
+pub fn connected_boundary_ring(graph: &Graph, deployment: &Deployment, initial: f64) -> Vec<bool> {
     let max_band = (deployment.region.width() + deployment.region.height()) / 2.0;
     let cx = (deployment.region.min.x + deployment.region.max.x) / 2.0;
     let cy = (deployment.region.min.y + deployment.region.max.y) / 2.0;
@@ -101,7 +99,8 @@ pub fn connected_boundary_ring(
         let nodes: Vec<NodeId> = flags
             .iter()
             .enumerate()
-            .filter(|&(_i, &b)| b).map(|(i, &_b)| NodeId::from(i))
+            .filter(|&(_i, &b)| b)
+            .map(|(i, &_b)| NodeId::from(i))
             .collect();
         if nodes.len() >= 3 {
             // The ring must encircle the interior: every angular sector
@@ -201,9 +200,9 @@ mod tests {
     fn band_flags_rim_nodes() {
         let dep = Deployment {
             positions: vec![
-                Point::new(0.5, 5.0),  // near left rim
-                Point::new(5.0, 5.0),  // centre
-                Point::new(9.8, 9.9),  // near corner
+                Point::new(0.5, 5.0), // near left rim
+                Point::new(5.0, 5.0), // centre
+                Point::new(9.8, 9.9), // near corner
             ],
             region: Rect::new(0.0, 0.0, 10.0, 10.0),
         };
@@ -223,7 +222,10 @@ mod tests {
             400,
             "every node is boundary or internal"
         );
-        assert!(s.boundary_count() > 0, "a band of width rc catches rim nodes");
+        assert!(
+            s.boundary_count() > 0,
+            "a band of width rc catches rim nodes"
+        );
         assert!(s.boundary_count() < 400, "the centre is internal");
         // Target area = region shrunk by rc on each side.
         assert!((s.target.width() - (s.region.width() - 2.0)).abs() < 1e-9);

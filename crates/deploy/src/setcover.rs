@@ -104,7 +104,10 @@ pub fn greedy_disk_cover(
     }
 
     let uncovered_cells = covered.iter().filter(|&&c| !c).count();
-    DiskCover { active, uncovered_cells }
+    DiskCover {
+        active,
+        uncovered_cells,
+    }
 }
 
 #[cfg(test)]

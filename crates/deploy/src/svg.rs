@@ -25,7 +25,11 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 640.0, draw_edges: true, node_radius: 4.0 }
+        SvgOptions {
+            width: 640.0,
+            draw_edges: true,
+            node_radius: 4.0,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ pub fn render_svg(scenario: &Scenario, active: &[NodeId], options: SvgOptions) -
                 2.0 * r,
             );
         } else {
-            let _ = writeln!(out, r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="#1f77b4"/>"##);
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="#1f77b4"/>"##
+            );
         }
     }
     out.push_str("</svg>\n");
@@ -137,7 +144,11 @@ mod tests {
         let graph = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         Scenario {
             graph,
-            positions: vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(10.0, 10.0)],
+            positions: vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 5.0),
+                Point::new(10.0, 10.0),
+            ],
             rc: 8.0,
             boundary: vec![true, false, false],
             region: Rect::new(0.0, 0.0, 10.0, 10.0),
@@ -166,7 +177,10 @@ mod tests {
         let svg = render_svg(
             &s,
             &[NodeId(0), NodeId(1), NodeId(2)],
-            SvgOptions { draw_edges: false, ..SvgOptions::default() },
+            SvgOptions {
+                draw_edges: false,
+                ..SvgOptions::default()
+            },
         );
         assert_eq!(svg.matches("<line ").count(), 0);
     }
@@ -175,8 +189,19 @@ mod tests {
     fn aspect_ratio_follows_region() {
         let mut s = tiny_scenario();
         s.region = Rect::new(0.0, 0.0, 20.0, 10.0);
-        let svg = render_svg(&s, &[], SvgOptions { width: 400.0, ..SvgOptions::default() });
+        let svg = render_svg(
+            &s,
+            &[],
+            SvgOptions {
+                width: 400.0,
+                ..SvgOptions::default()
+            },
+        );
         // Height should be ~200 (+ margins).
-        assert!(svg.contains(r#"height="216""#), "{}", &svg[..svg.find('\n').unwrap()]);
+        assert!(
+            svg.contains(r#"height="216""#),
+            "{}",
+            &svg[..svg.find('\n').unwrap()]
+        );
     }
 }

@@ -116,7 +116,8 @@ impl Trace {
             .collect();
         edges.sort_unstable();
         for (i, j) in edges {
-            g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pairs unique");
+            g.add_edge(NodeId::from(i), NodeId::from(j))
+                .expect("pairs unique");
         }
         g
     }
@@ -127,9 +128,7 @@ impl Trace {
         self.edge_rssi
             .iter()
             .filter(|&(_, &r)| r >= threshold)
-            .map(|(&(i, j), _)| {
-                self.deployment.positions[i].distance(self.deployment.positions[j])
-            })
+            .map(|(&(i, j), _)| self.deployment.positions[i].distance(self.deployment.positions[j]))
             .fold(0.0, f64::max)
     }
 }
@@ -141,11 +140,7 @@ pub fn synthesize<R: Rng>(config: &TraceConfig, rng: &mut R) -> Trace {
 }
 
 /// Like [`synthesize`] but over a caller-supplied deployment.
-pub fn synthesize_from<R: Rng>(
-    deployment: Deployment,
-    config: &TraceConfig,
-    rng: &mut R,
-) -> Trace {
+pub fn synthesize_from<R: Rng>(deployment: Deployment, config: &TraceConfig, rng: &mut R) -> Trace {
     let n = deployment.len();
     // sum / count per *directed* pair (sender, receiver).
     let mut acc: HashMap<(usize, usize), (f64, usize)> = HashMap::new();
@@ -186,7 +181,10 @@ pub fn synthesize_from<R: Rng>(
             }
         }
     }
-    Trace { deployment, edge_rssi }
+    Trace {
+        deployment,
+        edge_rssi,
+    }
 }
 
 /// Log-distance path loss with log-normal shadowing.
@@ -222,7 +220,11 @@ pub fn greenorbs_scenario<R: Rng>(
 
     // Keep the largest connected component.
     let comps = confine_graph::traverse::connected_components(&full);
-    let giant = comps.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+    let giant = comps
+        .iter()
+        .max_by_key(|c| c.len())
+        .cloned()
+        .unwrap_or_default();
     let mut keep = vec![false; full.node_count()];
     for &v in &giant {
         keep[v.index()] = true;
@@ -237,14 +239,16 @@ pub fn greenorbs_scenario<R: Rng>(
     // resulting set is connected and contains the boundary cycle
     // implicitly — exactly the paper's assumption.
     let region = trace.deployment.region;
-    let (cx, cy) = ((region.min.x + region.max.x) / 2.0, (region.min.y + region.max.y) / 2.0);
+    let (cx, cy) = (
+        (region.min.x + region.max.x) / 2.0,
+        (region.min.y + region.max.y) / 2.0,
+    );
     const SECTORS: usize = 24;
     let mut anchors: Vec<Option<(f64, NodeId)>> = vec![None; SECTORS];
     for &v in &giant {
         let p = trace.deployment.positions[v.index()];
         let ang = (p.y - cy).atan2(p.x - cx) + std::f64::consts::PI;
-        let sector =
-            (((ang / std::f64::consts::TAU) * SECTORS as f64) as usize).min(SECTORS - 1);
+        let sector = (((ang / std::f64::consts::TAU) * SECTORS as f64) as usize).min(SECTORS - 1);
         // "Most outward" = closest to the region rim.
         let outwardness = -region.rim_distance(p);
         if anchors[sector].is_none_or(|(o, _)| outwardness > o) {
@@ -271,9 +275,7 @@ pub fn greenorbs_scenario<R: Rng>(
         .edge_rssi
         .iter()
         .filter(|&(_, &r)| r >= threshold)
-        .map(|(&(i, j), _)| {
-            trace.deployment.positions[i].distance(trace.deployment.positions[j])
-        })
+        .map(|(&(i, j), _)| trace.deployment.positions[i].distance(trace.deployment.positions[j]))
         .collect();
     lens.sort_by(f64::total_cmp);
     let margin = lens
@@ -291,8 +293,11 @@ pub fn greenorbs_scenario<R: Rng>(
         .iter()
         .map(|&v| trace.deployment.positions[v.index()])
         .collect();
-    let boundary_flags: Vec<bool> =
-        induced.parent_ids().iter().map(|&v| boundary[v.index()]).collect();
+    let boundary_flags: Vec<bool> = induced
+        .parent_ids()
+        .iter()
+        .map(|&v| boundary[v.index()])
+        .collect();
 
     let scenario = Scenario {
         graph: induced.graph.clone(),
@@ -359,7 +364,10 @@ mod tests {
         let t = synthesize(&small_config(), &mut rng);
         let thr = t.threshold_for_fraction(0.8);
         let frac = t.fraction_at_least(thr);
-        assert!((0.75..=0.85).contains(&frac), "kept fraction {frac} not ≈ 0.8");
+        assert!(
+            (0.75..=0.85).contains(&frac),
+            "kept fraction {frac} not ≈ 0.8"
+        );
         // CCDF is monotone decreasing in the threshold.
         assert!(t.fraction_at_least(-95.0) >= t.fraction_at_least(-75.0));
         assert!(t.fraction_at_least(f64::NEG_INFINITY) == 1.0);
@@ -381,11 +389,17 @@ mod tests {
     fn greenorbs_scenario_is_usable() {
         let mut rng = StdRng::seed_from_u64(5);
         let (s, t, thr) = greenorbs_scenario(&small_config(), 0.8, &mut rng);
-        assert!(s.graph.node_count() > 30, "giant component retains most nodes");
+        assert!(
+            s.graph.node_count() > 30,
+            "giant component retains most nodes"
+        );
         assert!(confine_graph::traverse::is_connected(&s.graph));
         assert!(s.boundary_count() >= 3);
         assert!(s.rc > 0.0);
-        assert!(thr > -100.0 && thr < -20.0, "threshold {thr} out of plausible range");
+        assert!(
+            thr > -100.0 && thr < -20.0,
+            "threshold {thr} out of plausible range"
+        );
         assert!(t.fraction_at_least(thr) >= 0.75);
         // Boundary flags are index-aligned with the scenario graph.
         assert_eq!(s.boundary.len(), s.graph.node_count());

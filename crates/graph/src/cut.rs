@@ -66,8 +66,7 @@ pub fn cut_structure<V: GraphView>(view: &V) -> CutStructure {
                         timer += 1;
                         stack.push((w, view.view_neighbors(w).collect(), 0));
                     } else if parent[v.index()] != Some(w) {
-                        low[v.index()] =
-                            low[v.index()].min(disc[w.index()].expect("discovered"));
+                        low[v.index()] = low[v.index()].min(disc[w.index()].expect("discovered"));
                     }
                 }
                 None => {
@@ -96,7 +95,10 @@ pub fn cut_structure<V: GraphView>(view: &V) -> CutStructure {
         .filter(|v| is_cut[v.index()])
         .collect();
     bridges.sort_unstable();
-    CutStructure { articulation_points, bridges }
+    CutStructure {
+        articulation_points,
+        bridges,
+    }
 }
 
 #[cfg(test)]
@@ -135,11 +137,8 @@ mod tests {
     #[test]
     fn dumbbell_bridge() {
         // Two triangles joined by a single edge.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
         let cs = cut_structure(&g);
         assert_eq!(cs.bridges, vec![(NodeId(2), NodeId(3))]);
         assert_eq!(cs.articulation_points, vec![NodeId(2), NodeId(3)]);
@@ -172,7 +171,10 @@ mod tests {
         let g = Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]).unwrap();
         let cs = cut_structure(&g);
         assert_eq!(cs.articulation_points, vec![NodeId(1)]);
-        assert_eq!(cs.bridges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        assert_eq!(
+            cs.bridges,
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node:?} out of bounds for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node:?} out of bounds for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop requested at node {node:?}"),
             GraphError::DuplicateEdge { a, b } => {

@@ -11,7 +11,8 @@ pub fn path_graph(n: usize) -> Graph {
     let mut g = Graph::with_node_capacity(n);
     g.add_nodes(n);
     for i in 1..n {
-        g.add_edge(NodeId::from(i - 1), NodeId::from(i)).expect("path edges are unique");
+        g.add_edge(NodeId::from(i - 1), NodeId::from(i))
+            .expect("path edges are unique");
     }
     g
 }
@@ -24,7 +25,8 @@ pub fn path_graph(n: usize) -> Graph {
 pub fn cycle_graph(n: usize) -> Graph {
     assert!(n >= 3, "a simple cycle needs at least 3 nodes");
     let mut g = path_graph(n);
-    g.add_edge(NodeId::from(n - 1), NodeId(0)).expect("closing edge is unique");
+    g.add_edge(NodeId::from(n - 1), NodeId(0))
+        .expect("closing edge is unique");
     g
 }
 
@@ -34,7 +36,8 @@ pub fn complete_graph(n: usize) -> Graph {
     g.add_nodes(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pairs are unique");
+            g.add_edge(NodeId::from(i), NodeId::from(j))
+                .expect("pairs are unique");
         }
     }
     g
@@ -48,10 +51,12 @@ pub fn grid_graph(w: usize, h: usize) -> Graph {
         for x in 0..w {
             let v = NodeId::from(y * w + x);
             if x + 1 < w {
-                g.add_edge(v, NodeId::from(y * w + x + 1)).expect("grid edges unique");
+                g.add_edge(v, NodeId::from(y * w + x + 1))
+                    .expect("grid edges unique");
             }
             if y + 1 < h {
-                g.add_edge(v, NodeId::from((y + 1) * w + x)).expect("grid edges unique");
+                g.add_edge(v, NodeId::from((y + 1) * w + x))
+                    .expect("grid edges unique");
             }
         }
     }
@@ -87,9 +92,11 @@ pub fn wheel_graph(n: usize) -> Graph {
     let mut g = Graph::with_node_capacity(n + 1);
     g.add_nodes(n + 1);
     for i in 1..=n {
-        g.add_edge(NodeId(0), NodeId::from(i)).expect("spokes unique");
+        g.add_edge(NodeId(0), NodeId::from(i))
+            .expect("spokes unique");
         let next = if i == n { 1 } else { i + 1 };
-        g.add_edge(NodeId::from(i), NodeId::from(next)).expect("rim edges unique");
+        g.add_edge(NodeId::from(i), NodeId::from(next))
+            .expect("rim edges unique");
     }
     g
 }
@@ -132,9 +139,12 @@ pub fn petersen_graph() -> Graph {
     let mut g = Graph::new();
     g.add_nodes(10);
     for i in 0..5 {
-        g.add_edge(NodeId::from(i), NodeId::from((i + 1) % 5)).expect("outer cycle");
-        g.add_edge(NodeId::from(5 + i), NodeId::from(5 + (i + 2) % 5)).expect("pentagram");
-        g.add_edge(NodeId::from(i), NodeId::from(i + 5)).expect("spoke");
+        g.add_edge(NodeId::from(i), NodeId::from((i + 1) % 5))
+            .expect("outer cycle");
+        g.add_edge(NodeId::from(5 + i), NodeId::from(5 + (i + 2) % 5))
+            .expect("pentagram");
+        g.add_edge(NodeId::from(i), NodeId::from(i + 5))
+            .expect("spoke");
     }
     g
 }
@@ -147,7 +157,8 @@ pub fn gnp_graph<R: rand::Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     for i in 0..n {
         for j in (i + 1)..n {
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(NodeId::from(i), NodeId::from(j)).expect("pairs unique");
+                g.add_edge(NodeId::from(i), NodeId::from(j))
+                    .expect("pairs unique");
             }
         }
     }
@@ -201,7 +212,11 @@ mod tests {
     #[test]
     fn king_grid_triangulated() {
         let g = king_grid_graph(3, 3);
-        assert_eq!(g.edge_count(), 12 + 8, "grid edges plus two diagonals per square");
+        assert_eq!(
+            g.edge_count(),
+            12 + 8,
+            "grid edges plus two diagonals per square"
+        );
         assert_eq!(traverse::girth(&g), Some(3));
     }
 
@@ -220,7 +235,11 @@ mod tests {
         assert_eq!(g.edge_count(), 3 + 6);
         // Cycle space dimension m - n + 1 = 9 - 8 + 1 = 2.
         assert!(traverse::is_connected(&g));
-        assert_eq!(traverse::girth(&g), Some(5), "shortest cycle uses the 1- and 2-paths");
+        assert_eq!(
+            traverse::girth(&g),
+            Some(5),
+            "shortest cycle uses the 1- and 2-paths"
+        );
     }
 
     #[test]

@@ -98,12 +98,18 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Graph { adj: Vec::new(), edges: Vec::new() }
+        Graph {
+            adj: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with room for `nodes` nodes.
     pub fn with_node_capacity(nodes: usize) -> Self {
-        Graph { adj: Vec::with_capacity(nodes), edges: Vec::new() }
+        Graph {
+            adj: Vec::with_capacity(nodes),
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a graph with `nodes` fresh nodes and the given edges.
@@ -193,7 +199,10 @@ impl Graph {
     /// Iterates over all edges as `(EdgeId, NodeId, NodeId)` with canonical
     /// (smaller, larger) endpoint order.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
-        self.edges.iter().enumerate().map(|(i, &(a, b))| (EdgeId::from(i), a, b))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (EdgeId::from(i), a, b))
     }
 
     /// Iterates over the neighbours of `v` in increasing id order.
@@ -262,7 +271,10 @@ impl Graph {
         if v.index() < self.adj.len() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node: v, node_count: self.adj.len() })
+            Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.adj.len(),
+            })
         }
     }
 
@@ -316,12 +328,17 @@ impl Graph {
                 if let Some(child_w) = from_parent[w.index()] {
                     // Add each edge once, from the lower child id.
                     if child < child_w {
-                        sub.add_edge(child, child_w).expect("induced edge is unique");
+                        sub.add_edge(child, child_w)
+                            .expect("induced edge is unique");
                     }
                 }
             }
         }
-        Ok(InducedSubgraph { graph: sub, to_parent, from_parent })
+        Ok(InducedSubgraph {
+            graph: sub,
+            to_parent,
+            from_parent,
+        })
     }
 
     /// Builds a copy of this graph with one edge removed.
@@ -415,7 +432,10 @@ mod tests {
         let a = g.add_node();
         let b = g.add_node();
         g.add_edge(a, b).unwrap();
-        assert_eq!(g.add_edge(b, a), Err(GraphError::DuplicateEdge { a: b, b: a }));
+        assert_eq!(
+            g.add_edge(b, a),
+            Err(GraphError::DuplicateEdge { a: b, b: a })
+        );
     }
 
     #[test]
@@ -425,7 +445,10 @@ mod tests {
         let ghost = NodeId(7);
         assert_eq!(
             g.add_edge(a, ghost),
-            Err(GraphError::NodeOutOfBounds { node: ghost, node_count: 1 })
+            Err(GraphError::NodeOutOfBounds {
+                node: ghost,
+                node_count: 1
+            })
         );
     }
 
@@ -451,7 +474,9 @@ mod tests {
     #[test]
     fn induced_subgraph_maps_ids() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
-        let sub = g.induced_subgraph(&[NodeId(1), NodeId(3), NodeId(4)]).unwrap();
+        let sub = g
+            .induced_subgraph(&[NodeId(1), NodeId(3), NodeId(4)])
+            .unwrap();
         assert_eq!(sub.graph.node_count(), 3);
         // Edges among {1,3,4}: (1,3) and (3,4).
         assert_eq!(sub.graph.edge_count(), 2);
@@ -463,7 +488,9 @@ mod tests {
     #[test]
     fn induced_subgraph_ignores_duplicates() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let sub = g.induced_subgraph(&[NodeId(0), NodeId(0), NodeId(1)]).unwrap();
+        let sub = g
+            .induced_subgraph(&[NodeId(0), NodeId(0), NodeId(1)])
+            .unwrap();
         assert_eq!(sub.graph.node_count(), 2);
         assert_eq!(sub.graph.edge_count(), 1);
     }

@@ -50,8 +50,11 @@ pub fn m_hop_mis<V: GraphView>(
     m: u32,
 ) -> Vec<NodeId> {
     assert!(m > 0, "hop distance m must be positive");
-    let mut order: Vec<NodeId> =
-        candidates.iter().copied().filter(|&v| view.contains(v)).collect();
+    let mut order: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|&v| view.contains(v))
+        .collect();
     order.sort_unstable_by(|&a, &b| {
         priorities[a.index()]
             .total_cmp(&priorities[b.index()])
@@ -166,6 +169,10 @@ mod tests {
         let g = crate::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let pr = vec![0.0, 1.0, 0.0, 1.0];
         let set = m_hop_mis(&g, &ids(0..4), &pr, 5);
-        assert_eq!(set, vec![NodeId(0), NodeId(2)], "far-apart components are independent");
+        assert_eq!(
+            set,
+            vec![NodeId(0), NodeId(2)],
+            "far-apart components are independent"
+        );
     }
 }

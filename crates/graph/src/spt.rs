@@ -57,7 +57,11 @@ impl SptTree {
                 }
             }
         }
-        SptTree { root, parent, depth }
+        SptTree {
+            root,
+            parent,
+            depth,
+        }
     }
 
     /// The root this tree was built from.
@@ -137,7 +141,10 @@ mod tests {
         assert_eq!(t.depth(NodeId(3)), Some(2));
         assert_eq!(t.parent(NodeId(0)), Some(NodeId(1)));
         assert_eq!(t.parent(NodeId(1)), None);
-        assert_eq!(t.path_from_root(NodeId(3)), Some(vec![NodeId(1), NodeId(2), NodeId(3)]));
+        assert_eq!(
+            t.path_from_root(NodeId(3)),
+            Some(vec![NodeId(1), NodeId(2), NodeId(3)])
+        );
     }
 
     #[test]
@@ -176,7 +183,11 @@ mod tests {
         let mut m = Masked::all_active(&g);
         m.deactivate(NodeId(1));
         let t = SptTree::build(&m, NodeId(0));
-        assert_eq!(t.depth(NodeId(2)), Some(4), "must route the long way around");
+        assert_eq!(
+            t.depth(NodeId(2)),
+            Some(4),
+            "must route the long way around"
+        );
         assert!(!t.reaches(NodeId(1)));
     }
 

@@ -108,7 +108,9 @@ pub fn shortest_path<V: GraphView>(view: &V, src: NodeId, dst: NodeId) -> Option
 /// The empty view and single-node views are considered connected.
 pub fn is_connected<V: GraphView>(view: &V) -> bool {
     let mut nodes = view.active_nodes();
-    let Some(first) = nodes.next() else { return true };
+    let Some(first) = nodes.next() else {
+        return true;
+    };
     drop(nodes);
     let dist = bfs_distances(view, first, None);
     view.active_nodes().all(|v| dist[v.index()].is_some())
@@ -147,14 +149,21 @@ pub fn connected_components<V: GraphView>(view: &V) -> Vec<Vec<NodeId>> {
 /// Eccentricity of `v` in its component: the maximum hop distance to any
 /// reachable node.
 pub fn eccentricity<V: GraphView>(view: &V, v: NodeId) -> u32 {
-    bfs_distances(view, v, None).into_iter().flatten().max().unwrap_or(0)
+    bfs_distances(view, v, None)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Exact diameter of the view (max hop distance over all reachable pairs).
 ///
 /// Runs one BFS per active node; intended for tests and small graphs.
 pub fn diameter<V: GraphView>(view: &V) -> u32 {
-    view.active_nodes().map(|v| eccentricity(view, v)).max().unwrap_or(0)
+    view.active_nodes()
+        .map(|v| eccentricity(view, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Girth of the view: length of its shortest cycle, or `None` if acyclic.
@@ -240,7 +249,10 @@ mod tests {
     #[test]
     fn shortest_path_self() {
         let g = generators::path_graph(3);
-        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(1)),
+            Some(vec![NodeId(1)])
+        );
     }
 
     #[test]

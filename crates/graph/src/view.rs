@@ -23,12 +23,16 @@ pub trait GraphView {
 
     /// Number of active nodes.
     fn active_count(&self) -> usize {
-        (0..self.node_bound()).filter(|&i| self.contains(NodeId::from(i))).count()
+        (0..self.node_bound())
+            .filter(|&i| self.contains(NodeId::from(i)))
+            .count()
     }
 
     /// Iterates over the active node identifiers in increasing order.
     fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_bound()).map(NodeId::from).filter(move |&v| self.contains(v))
+        (0..self.node_bound())
+            .map(NodeId::from)
+            .filter(move |&v| self.contains(v))
     }
 }
 
@@ -77,7 +81,11 @@ pub struct Masked<'a> {
 impl<'a> Masked<'a> {
     /// Creates a view of `graph` with every node active.
     pub fn all_active(graph: &'a Graph) -> Self {
-        Masked { graph, active: vec![true; graph.node_count()], active_count: graph.node_count() }
+        Masked {
+            graph,
+            active: vec![true; graph.node_count()],
+            active_count: graph.node_count(),
+        }
     }
 
     /// Creates a view of `graph` with exactly the listed nodes active.
@@ -94,7 +102,11 @@ impl<'a> Masked<'a> {
                 count += 1;
             }
         }
-        Masked { graph, active, active_count: count }
+        Masked {
+            graph,
+            active,
+            active_count: count,
+        }
     }
 
     /// The underlying graph.
@@ -132,7 +144,9 @@ impl<'a> Masked<'a> {
     /// with the node mapping.
     pub fn to_induced(&self) -> crate::graph::InducedSubgraph {
         let nodes: Vec<NodeId> = self.active_nodes().collect();
-        self.graph.induced_subgraph(&nodes).expect("active nodes exist in the parent graph")
+        self.graph
+            .induced_subgraph(&nodes)
+            .expect("active nodes exist in the parent graph")
     }
 }
 

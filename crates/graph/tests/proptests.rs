@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use confine_graph::{cut, generators, mis, spt::SptTree, traverse, Graph, GraphView, Masked, NodeId};
+use confine_graph::{
+    cut, generators, mis, spt::SptTree, traverse, Graph, GraphView, Masked, NodeId,
+};
 
 fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
     let mut g = Graph::new();

@@ -89,7 +89,10 @@ mod tests {
         let g = generators::wheel_graph(6);
         assert!(hgc_criterion_holds(&g));
         let rim: Vec<NodeId> = (1..7).map(NodeId::from).collect();
-        assert!(!hgc_holds_on_active(&g, &rim), "rim alone is a hollow circle");
+        assert!(
+            !hgc_holds_on_active(&g, &rim),
+            "rim alone is a hollow circle"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl HgcScheduler {
     ///
     /// Panics if `fence.len() != graph.node_count()`.
     pub fn schedule<R: Rng>(&self, graph: &Graph, fence: &[bool], rng: &mut R) -> HgcSet {
-        assert_eq!(fence.len(), graph.node_count(), "fence flags must cover all nodes");
+        assert_eq!(
+            fence.len(),
+            graph.node_count(),
+            "fence flags must cover all nodes"
+        );
         let mut masked = Masked::all_active(graph);
         let mut evaluations = 1;
         let initial_ok = hgc_criterion_holds_view(&masked);
@@ -92,8 +96,10 @@ impl HgcScheduler {
 
         if initial_ok {
             loop {
-                let mut internals: Vec<NodeId> =
-                    masked.active_nodes().filter(|&v| !fence[v.index()]).collect();
+                let mut internals: Vec<NodeId> = masked
+                    .active_nodes()
+                    .filter(|&v| !fence[v.index()])
+                    .collect();
                 internals.shuffle(rng);
                 let mut progressed = false;
                 for v in internals {
@@ -163,8 +169,7 @@ mod tests {
         let set = HgcScheduler::new().schedule(&g, &fence, &mut rng);
         // No remaining internal node can be deleted.
         for &v in set.active.iter().filter(|&&v| !fence[v.index()]) {
-            let without: Vec<NodeId> =
-                set.active.iter().copied().filter(|&w| w != v).collect();
+            let without: Vec<NodeId> = set.active.iter().copied().filter(|&w| w != v).collect();
             assert!(
                 !hgc_holds_on_active(&g, &without),
                 "node {v:?} was still redundant"

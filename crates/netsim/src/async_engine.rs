@@ -201,9 +201,9 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
         }
         let rng = match latency {
             LatencyModel::Fixed(_) => None,
-            LatencyModel::Uniform { seed, .. } => {
-                Some(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
-            }
+            LatencyModel::Uniform { seed, .. } => Some(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            ),
         };
         AsyncEngine {
             view,
@@ -233,7 +233,13 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
         for (to, payload) in outbox {
             let latency = self.sample_latency();
             self.seq += 1;
-            self.queue.push(Event { time: now + latency, seq: self.seq, to, from, payload });
+            self.queue.push(Event {
+                time: now + latency,
+                seq: self.seq,
+                to,
+                from,
+                payload,
+            });
         }
     }
 
@@ -253,7 +259,9 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
                 neighbors: &self.neighbor_cache[v.index()],
                 outbox: Vec::new(),
             };
-            let state = self.states[v.index()].as_mut().expect("active node has state");
+            let state = self.states[v.index()]
+                .as_mut()
+                .expect("active node has state");
             state.on_start(&mut ctx);
             let outbox = ctx.outbox;
             self.dispatch(v, 0.0, outbox);
@@ -274,7 +282,9 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
                 neighbors: &self.neighbor_cache[v.index()],
                 outbox: Vec::new(),
             };
-            let state = self.states[v.index()].as_mut().expect("active node has state");
+            let state = self.states[v.index()]
+                .as_mut()
+                .expect("active node has state");
             state.on_message(&mut ctx, event.from, event.payload);
             let outbox = ctx.outbox;
             self.dispatch(v, event.time, outbox);
@@ -323,7 +333,10 @@ mod tests {
         type Message = Record;
 
         fn on_start(&mut self, ctx: &mut AsyncContext<'_, Record>) {
-            ctx.broadcast(Record { origin: ctx.node(), ttl: self.k - 1 });
+            ctx.broadcast(Record {
+                origin: ctx.node(),
+                ttl: self.k - 1,
+            });
         }
 
         fn on_message(&mut self, ctx: &mut AsyncContext<'_, Record>, _from: NodeId, m: Record) {
@@ -337,7 +350,10 @@ mod tests {
             if best.is_none_or(|t| m.ttl > t) {
                 self.known.insert(m.origin, m.ttl);
                 if m.ttl > 0 {
-                    ctx.broadcast(Record { origin: m.origin, ttl: m.ttl - 1 });
+                    ctx.broadcast(Record {
+                        origin: m.origin,
+                        ttl: m.ttl - 1,
+                    });
                 }
             }
         }
@@ -349,9 +365,20 @@ mod tests {
         let k = 2;
         for latency in [
             LatencyModel::Fixed(1.0),
-            LatencyModel::Uniform { lo: 0.2, hi: 2.0, seed: 3 },
+            LatencyModel::Uniform {
+                lo: 0.2,
+                hi: 2.0,
+                seed: 3,
+            },
         ] {
-            let mut engine = AsyncEngine::new(&g, |_| AsyncDiscovery { k, known: Default::default() }, latency);
+            let mut engine = AsyncEngine::new(
+                &g,
+                |_| AsyncDiscovery {
+                    k,
+                    known: Default::default(),
+                },
+                latency,
+            );
             engine.run(1_000_000).expect("drains");
             for v in g.nodes() {
                 let state = engine.state(v).unwrap();
@@ -389,12 +416,19 @@ mod tests {
         }
         let mut engine = AsyncEngine::new(
             &g,
-            |v| Hop { heard_at: None, source: v == NodeId(0) },
+            |v| Hop {
+                heard_at: None,
+                source: v == NodeId(0),
+            },
             LatencyModel::Fixed(1.0),
         );
         let stats = engine.run(10_000).unwrap();
         for (i, s) in engine.states().iter().enumerate() {
-            assert_eq!(s.heard_at, Some(i as f64), "node {i} hears at its hop distance");
+            assert_eq!(
+                s.heard_at,
+                Some(i as f64),
+                "node {i} hears at its hop distance"
+            );
         }
         // The last event is node 4 receiving node 5's (redundant) echo at
         // t = 6; every node heard the token at its hop distance.
@@ -425,13 +459,24 @@ mod tests {
         let g = generators::path_graph(2);
         let mut engine = AsyncEngine::new(
             &g,
-            |v| Recorder { got: Vec::new(), hub: v == NodeId(0) },
-            LatencyModel::Uniform { lo: 0.1, hi: 5.0, seed: 11 },
+            |v| Recorder {
+                got: Vec::new(),
+                hub: v == NodeId(0),
+            },
+            LatencyModel::Uniform {
+                lo: 0.1,
+                hi: 5.0,
+                seed: 11,
+            },
         );
         engine.run(1000).unwrap();
         let got = &engine.state(NodeId(1)).unwrap().got;
         assert_eq!(got.len(), 8);
-        assert_ne!(got, &vec![0, 1, 2, 3, 4, 5, 6, 7], "jitter must reorder (seeded)");
+        assert_ne!(
+            got,
+            &vec![0, 1, 2, 3, 4, 5, 6, 7],
+            "jitter must reorder (seeded)"
+        );
     }
 
     #[test]
@@ -448,6 +493,9 @@ mod tests {
         }
         let g = generators::cycle_graph(4);
         let mut engine = AsyncEngine::new(&g, |_| Chatter, LatencyModel::Fixed(1.0));
-        assert!(engine.run(100).is_err(), "infinite chatter must hit the budget");
+        assert!(
+            engine.run(100).is_err(),
+            "infinite chatter must hit the budget"
+        );
     }
 }

@@ -105,8 +105,13 @@ pub struct RunStats {
     pub messages: usize,
     /// Total payload bytes sent (per [`Protocol::payload_size`]).
     pub bytes: usize,
-    /// Messages lost in transit (only non-zero under a lossy link model).
+    /// Messages lost in transit: random loss, flapped-down links and sends
+    /// to crashed receivers all count here.
     pub dropped: usize,
+    /// Nodes that crash-stopped during the run (per the fault plan).
+    pub crashed: usize,
+    /// Messages lost specifically to flapped-down links (also in `dropped`).
+    pub flapped: usize,
 }
 
 /// Errors from [`Engine::run`].
@@ -118,6 +123,14 @@ pub enum SimError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// An election phase produced no winner even after exhausting its retry
+    /// budget — under crash faults the locally minimal candidate can die
+    /// mid-election, and the driver re-runs the phase with fresh priorities
+    /// only so many times.
+    ElectionStalled {
+        /// Retries that were attempted before giving up.
+        retries: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -125,6 +138,9 @@ impl fmt::Display for SimError {
         match *self {
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "protocol did not converge within {limit} rounds")
+            }
+            SimError::ElectionStalled { retries } => {
+                write!(f, "election produced no winner after {retries} retries")
             }
         }
     }
@@ -192,6 +208,10 @@ pub struct Engine<'g, V: GraphView, P: Protocol> {
     stats: RunStats,
     link: LinkModel,
     drop_rng: Option<rand::rngs::StdRng>,
+    faults: Option<crate::faults::FaultPlan>,
+    fault_rng: Option<rand::rngs::StdRng>,
+    crashed: Vec<bool>,
+    crashed_ids: Vec<NodeId>,
 }
 
 impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
@@ -218,6 +238,10 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
             stats: RunStats::default(),
             link: LinkModel::Reliable,
             drop_rng: None,
+            faults: None,
+            fault_rng: None,
+            crashed: vec![false; bound],
+            crashed_ids: Vec::new(),
         }
     }
 
@@ -226,24 +250,100 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
         self.link = link;
         self.drop_rng = match link {
             LinkModel::Reliable => None,
-            LinkModel::Lossy { seed, .. } => {
-                Some(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
-            }
+            LinkModel::Lossy { seed, .. } => Some(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            ),
         };
         self
+    }
+
+    /// Installs a fault plan (default: none). Plan rounds are engine rounds
+    /// of this run; drivers chaining several engine phases should re-base
+    /// the plan with [`crate::faults::FaultPlan::advanced`] between phases.
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.fault_rng = plan
+            .has_loss_overrides()
+            .then(|| <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(plan.seed()));
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Nodes that crash-stopped so far, in crash order.
+    pub fn crashed_nodes(&self) -> &[NodeId] {
+        &self.crashed_ids
     }
 
     /// Returns `true` when the current link model drops this message.
     fn drops(&mut self) -> bool {
         match self.link {
+            LinkModel::Lossy { p, .. } => self.draw_loss(p, false),
             LinkModel::Reliable => false,
-            LinkModel::Lossy { p, .. } => {
-                use rand::Rng as _;
-                self.drop_rng
-                    .as_mut()
-                    .expect("lossy model carries an RNG")
-                    .gen_bool(p.clamp(0.0, 1.0))
+        }
+    }
+
+    fn draw_loss(&mut self, p: f64, from_override: bool) -> bool {
+        use rand::Rng as _;
+        let rng = if from_override {
+            &mut self.fault_rng
+        } else {
+            &mut self.drop_rng
+        };
+        rng.as_mut()
+            .expect("loss model carries an RNG")
+            .gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Decides the fate of one `from → to` send at `round`, updating the
+    /// loss counters; returns `true` when the message is delivered.
+    fn delivered(&mut self, from: NodeId, to: NodeId, round: usize) -> bool {
+        if self.crashed[to.index()] {
+            self.stats.dropped += 1;
+            return false;
+        }
+        let mut override_p = None;
+        if let Some(plan) = &self.faults {
+            if plan.link_down(from, to, round) {
+                self.stats.dropped += 1;
+                self.stats.flapped += 1;
+                return false;
             }
+            override_p = plan.loss_override(from, to);
+        }
+        let dropped = match override_p {
+            // A per-link override replaces the global model for this link.
+            Some(p) => self.draw_loss(p, true),
+            None => self.drops(),
+        };
+        if dropped {
+            self.stats.dropped += 1;
+        }
+        !dropped
+    }
+
+    /// Applies every crash scheduled at or before `round`: the node stops
+    /// acting and its undelivered inbox is discarded.
+    fn apply_crashes<M>(
+        &mut self,
+        round: usize,
+        inboxes: &mut [Vec<Envelope<M>>],
+        in_flight: &mut usize,
+    ) {
+        let Some(plan) = &self.faults else { return };
+        let due: Vec<NodeId> = self
+            .node_ids
+            .iter()
+            .copied()
+            .filter(|&v| !self.crashed[v.index()])
+            .filter(|&v| plan.crash_round(v).is_some_and(|r| r <= round))
+            .collect();
+        for v in due {
+            self.crashed[v.index()] = true;
+            self.crashed_ids.push(v);
+            self.stats.crashed += 1;
+            let lost = inboxes[v.index()].len();
+            inboxes[v.index()].clear();
+            *in_flight -= lost;
+            self.stats.dropped += lost;
         }
     }
 
@@ -258,23 +358,29 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
         let mut inboxes: Vec<Vec<Envelope<P::Message>>> = (0..bound).map(|_| Vec::new()).collect();
         let mut in_flight = 0usize;
 
+        // Round-0 crashes take effect before anyone acts.
+        self.apply_crashes(0, &mut inboxes, &mut in_flight);
+
         // Start activations.
         for i in 0..self.node_ids.len() {
             let v = self.node_ids[i];
+            if self.crashed[v.index()] {
+                continue;
+            }
             let mut ctx = Context {
                 node: v,
                 round: 0,
                 neighbors: &self.neighbor_cache[v.index()],
                 outbox: Vec::new(),
             };
-            let state = self.states[v.index()].as_mut().expect("active node has state");
+            let state = self.states[v.index()]
+                .as_mut()
+                .expect("active node has state");
             state.on_start(&mut ctx);
             for (to, payload) in ctx.outbox {
                 self.stats.messages += 1;
                 self.stats.bytes += P::payload_size(&payload);
-                if self.drops() {
-                    self.stats.dropped += 1;
-                } else {
+                if self.delivered(v, to, 0) {
                     inboxes[to.index()].push(Envelope { from: v, payload });
                     in_flight += 1;
                 }
@@ -282,19 +388,28 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
         }
 
         for round in 1..=max_rounds {
+            self.apply_crashes(round, &mut inboxes, &mut in_flight);
             let all_quiet = self
                 .node_ids
                 .iter()
-                .all(|v| self.states[v.index()].as_ref().expect("state").is_quiescent());
+                .filter(|v| !self.crashed[v.index()])
+                .all(|v| {
+                    self.states[v.index()]
+                        .as_ref()
+                        .expect("state")
+                        .is_quiescent()
+                });
             if in_flight == 0 && all_quiet {
                 return Ok(self.stats);
             }
             self.stats.rounds = round;
-            let mut next: Vec<Vec<Envelope<P::Message>>> =
-                (0..bound).map(|_| Vec::new()).collect();
+            let mut next: Vec<Vec<Envelope<P::Message>>> = (0..bound).map(|_| Vec::new()).collect();
             in_flight = 0;
             for i in 0..self.node_ids.len() {
                 let v = self.node_ids[i];
+                if self.crashed[v.index()] {
+                    continue;
+                }
                 let inbox = std::mem::take(&mut inboxes[v.index()]);
                 let mut ctx = Context {
                     node: v,
@@ -307,9 +422,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
                 for (to, payload) in ctx.outbox {
                     self.stats.messages += 1;
                     self.stats.bytes += P::payload_size(&payload);
-                    if self.drops() {
-                        self.stats.dropped += 1;
-                    } else {
+                    if self.delivered(v, to, round) {
                         next[to.index()].push(Envelope { from: v, payload });
                         in_flight += 1;
                     }
@@ -322,7 +435,13 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
         let all_quiet = self
             .node_ids
             .iter()
-            .all(|v| self.states[v.index()].as_ref().expect("state").is_quiescent());
+            .filter(|v| !self.crashed[v.index()])
+            .all(|v| {
+                self.states[v.index()]
+                    .as_ref()
+                    .expect("state")
+                    .is_quiescent()
+            });
         if in_flight == 0 && all_quiet {
             Ok(self.stats)
         } else {
@@ -395,8 +514,9 @@ mod tests {
     #[test]
     fn gossip_converges_on_cycle() {
         let g = generators::cycle_graph(8);
-        let mut engine =
-            Engine::new(&g, |_| Gossip { known: std::collections::BTreeSet::new() });
+        let mut engine = Engine::new(&g, |_| Gossip {
+            known: std::collections::BTreeSet::new(),
+        });
         let stats = engine.run(32).unwrap();
         for s in engine.states() {
             assert_eq!(s.known.len(), 8);
@@ -413,8 +533,9 @@ mod tests {
         let mut m = Masked::all_active(&g);
         m.deactivate(NodeId(0));
         m.deactivate(NodeId(4));
-        let mut engine =
-            Engine::new(&m, |_| Gossip { known: std::collections::BTreeSet::new() });
+        let mut engine = Engine::new(&m, |_| Gossip {
+            known: std::collections::BTreeSet::new(),
+        });
         engine.run(32).unwrap();
         // Two arcs of 3 nodes each.
         for v in [1u32, 2, 3] {
@@ -425,7 +546,10 @@ mod tests {
                 "node {v} sees only its arc"
             );
         }
-        assert!(engine.state(NodeId(0)).is_none(), "inactive nodes have no state");
+        assert!(
+            engine.state(NodeId(0)).is_none(),
+            "inactive nodes have no state"
+        );
     }
 
     #[test]
@@ -446,7 +570,10 @@ mod tests {
         }
         let g = generators::path_graph(3);
         let mut engine = Engine::new(&g, |_| Chatter);
-        assert_eq!(engine.run(5), Err(SimError::RoundLimitExceeded { limit: 5 }));
+        assert_eq!(
+            engine.run(5),
+            Err(SimError::RoundLimitExceeded { limit: 5 })
+        );
         assert_eq!(engine.stats().rounds, 5);
     }
 

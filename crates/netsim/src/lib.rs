@@ -14,6 +14,10 @@
 //!   [`protocols::LocalMinElection`] (m-hop independent-set election by
 //!   random priorities) and [`protocols::RepeatedDiscovery`] (loss-tolerant
 //!   flooding).
+//! * [`faults`] — deterministic fault injection: [`faults::FaultPlan`]
+//!   scripts crash-stop failures, link flapping and per-link loss, and
+//!   [`faults::Heartbeat`] detects crashed neighbours within a configurable
+//!   timeout.
 //! * [`async`] — an event-driven engine with per-message latencies, for
 //!   checking that the localized primitives survive asynchrony.
 //!
@@ -24,6 +28,7 @@
 mod async_engine;
 mod engine;
 
+pub mod faults;
 pub mod protocols;
 
 /// Event-driven asynchronous execution (per-message latencies, message

@@ -45,7 +45,10 @@ impl KHopDiscovery {
     /// Panics if `k == 0`.
     pub fn new(k: u32) -> Self {
         assert!(k > 0, "discovery radius must be positive");
-        KHopDiscovery { k, known: HashMap::new() }
+        KHopDiscovery {
+            k,
+            known: HashMap::new(),
+        }
     }
 
     /// The hop distance to `origin`, if learned (`0` for the node itself —
@@ -64,26 +67,33 @@ impl KHopDiscovery {
     /// subgraph on the discovered nodes (the centre `v` excluded), returned
     /// as a fresh graph plus the child→parent node mapping.
     pub fn punctured_graph(&self, center: NodeId) -> (confine_graph::Graph, Vec<NodeId>) {
-        let mut members: Vec<NodeId> =
-            self.known.keys().copied().filter(|&v| v != center).collect();
-        members.sort_unstable();
-        let index: HashMap<NodeId, usize> =
-            members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        let mut g = confine_graph::Graph::with_node_capacity(members.len());
-        g.add_nodes(members.len());
-        for (i, &v) in members.iter().enumerate() {
-            let (_, adj) = &self.known[&v];
-            for w in adj {
-                if let Some(&j) = index.get(w) {
-                    if i < j {
-                        g.add_edge(NodeId::from(i), NodeId::from(j))
-                            .expect("each member pair added once");
-                    }
+        punctured_from_records(&self.known, center)
+    }
+}
+
+/// Builds the punctured graph from discovery records (shared by the plain
+/// and the loss-tolerant discovery).
+fn punctured_from_records(
+    known: &HashMap<NodeId, (u32, Vec<NodeId>)>,
+    center: NodeId,
+) -> (confine_graph::Graph, Vec<NodeId>) {
+    let mut members: Vec<NodeId> = known.keys().copied().filter(|&v| v != center).collect();
+    members.sort_unstable();
+    let index: HashMap<NodeId, usize> = members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut g = confine_graph::Graph::with_node_capacity(members.len());
+    g.add_nodes(members.len());
+    for (i, &v) in members.iter().enumerate() {
+        let (_, adj) = &known[&v];
+        for w in adj {
+            if let Some(&j) = index.get(w) {
+                if i < j {
+                    g.add_edge(NodeId::from(i), NodeId::from(j))
+                        .expect("each member pair added once");
                 }
             }
         }
-        (g, members)
     }
+    (g, members)
 }
 
 impl Protocol for KHopDiscovery {
@@ -108,7 +118,8 @@ impl Protocol for KHopDiscovery {
                 continue;
             }
             let distance = self.k - rec.ttl;
-            self.known.insert(rec.origin, (distance, rec.neighbors.clone()));
+            self.known
+                .insert(rec.origin, (distance, rec.neighbors.clone()));
             if rec.ttl > 0 {
                 ctx.broadcast(TopologyRecord {
                     origin: rec.origin,
@@ -159,7 +170,12 @@ impl RepeatedDiscovery {
     pub fn new(k: u32, repeats: u32) -> Self {
         assert!(k > 0, "discovery radius must be positive");
         assert!(repeats > 0, "need at least one transmission per record");
-        RepeatedDiscovery { k, repeats, known: HashMap::new(), pending: std::collections::BTreeMap::new() }
+        RepeatedDiscovery {
+            k,
+            repeats,
+            known: HashMap::new(),
+            pending: std::collections::BTreeMap::new(),
+        }
     }
 
     /// The learned records: node → (distance estimate, adjacency list).
@@ -168,6 +184,13 @@ impl RepeatedDiscovery {
     /// along a non-shortest surviving path).
     pub fn neighborhood(&self) -> &HashMap<NodeId, (u32, Vec<NodeId>)> {
         &self.known
+    }
+
+    /// Reconstructs the punctured neighbourhood graph `Γ^k(v)` from the
+    /// records received so far — under loss this is the node's (possibly
+    /// incomplete) *belief* about `Γ^k(v)`; see [`KHopDiscovery::punctured_graph`].
+    pub fn punctured_graph(&self, center: NodeId) -> (confine_graph::Graph, Vec<NodeId>) {
+        punctured_from_records(&self.known, center)
     }
 }
 
@@ -182,7 +205,8 @@ impl Protocol for RepeatedDiscovery {
         };
         ctx.broadcast(record);
         if self.repeats > 1 {
-            self.pending.insert(ctx.node(), (self.k - 1, self.repeats - 1));
+            self.pending
+                .insert(ctx.node(), (self.k - 1, self.repeats - 1));
         }
     }
 
@@ -197,7 +221,8 @@ impl Protocol for RepeatedDiscovery {
                 continue;
             }
             let distance = self.k - rec.ttl;
-            self.known.insert(rec.origin, (distance, rec.neighbors.clone()));
+            self.known
+                .insert(rec.origin, (distance, rec.neighbors.clone()));
             if rec.ttl > 0 {
                 self.pending.insert(rec.origin, (rec.ttl - 1, self.repeats));
             }
@@ -210,7 +235,11 @@ impl Protocol for RepeatedDiscovery {
             } else {
                 self.known[&origin].1.clone()
             };
-            ctx.broadcast(TopologyRecord { origin, neighbors, ttl });
+            ctx.broadcast(TopologyRecord {
+                origin,
+                neighbors,
+                ttl,
+            });
             *left -= 1;
             if *left == 0 {
                 done.push(origin);
@@ -384,7 +413,13 @@ impl LocalMinElection {
     /// Panics if `m == 0`.
     pub fn new(m: u32, candidate: bool, priority: f64) -> Self {
         assert!(m > 0, "election radius must be positive");
-        LocalMinElection { m, candidate, priority, best_heard: None, seen: HashMap::new() }
+        LocalMinElection {
+            m,
+            candidate,
+            priority,
+            best_heard: None,
+            seen: HashMap::new(),
+        }
     }
 
     /// After the run: did this node win the election?
@@ -397,9 +432,7 @@ impl LocalMinElection {
         }
         match self.best_heard {
             None => true,
-            Some((p, id)) => {
-                (self.priority, node) <= (p, id)
-            }
+            Some((p, id)) => (self.priority, node) <= (p, id),
         }
     }
 }
@@ -433,7 +466,10 @@ impl Protocol for LocalMinElection {
                 self.best_heard = Some(key);
             }
             if claim.ttl > 0 {
-                ctx.broadcast(PriorityClaim { ttl: claim.ttl - 1, ..claim });
+                ctx.broadcast(PriorityClaim {
+                    ttl: claim.ttl - 1,
+                    ..claim
+                });
             }
         }
     }
@@ -512,10 +548,20 @@ mod tests {
         let mut repeated = Engine::new(&g, |_| RepeatedDiscovery::new(k, 1));
         repeated.run(16).unwrap();
         for v in g.nodes() {
-            let a: std::collections::BTreeSet<_> =
-                plain.state(v).unwrap().neighborhood().keys().copied().collect();
-            let b: std::collections::BTreeSet<_> =
-                repeated.state(v).unwrap().neighborhood().keys().copied().collect();
+            let a: std::collections::BTreeSet<_> = plain
+                .state(v)
+                .unwrap()
+                .neighborhood()
+                .keys()
+                .copied()
+                .collect();
+            let b: std::collections::BTreeSet<_> = repeated
+                .state(v)
+                .unwrap()
+                .neighborhood()
+                .keys()
+                .copied()
+                .collect();
             assert_eq!(a, b, "node {v:?}");
         }
     }
@@ -533,15 +579,19 @@ mod tests {
             expected.iter().all(|u| known.contains_key(u))
         };
 
-        let mut plain =
-            Engine::new(&g, |_| KHopDiscovery::new(k)).with_link_model(lossy);
+        let mut plain = Engine::new(&g, |_| KHopDiscovery::new(k)).with_link_model(lossy);
         plain.run(32).unwrap();
-        let plain_ok = g.nodes().filter(|&v| complete(plain.state(v).unwrap().neighborhood(), v)).count();
+        let plain_ok = g
+            .nodes()
+            .filter(|&v| complete(plain.state(v).unwrap().neighborhood(), v))
+            .count();
         assert!(plain.stats().dropped > 0, "loss model must actually drop");
-        assert!(plain_ok < g.node_count(), "30% loss must break some plain floods");
+        assert!(
+            plain_ok < g.node_count(),
+            "30% loss must break some plain floods"
+        );
 
-        let mut robust =
-            Engine::new(&g, |_| RepeatedDiscovery::new(k, 5)).with_link_model(lossy);
+        let mut robust = Engine::new(&g, |_| RepeatedDiscovery::new(k, 5)).with_link_model(lossy);
         robust.run(64).unwrap();
         let robust_ok = g
             .nodes()
@@ -551,7 +601,11 @@ mod tests {
             robust_ok > plain_ok,
             "5 repeats ({robust_ok} complete) must beat single-shot ({plain_ok})"
         );
-        assert_eq!(robust_ok, g.node_count(), "5 repeats at p=0.3 recovers everyone (seeded)");
+        assert_eq!(
+            robust_ok,
+            g.node_count(),
+            "5 repeats at p=0.3 recovers everyone (seeded)"
+        );
     }
 
     #[test]
@@ -582,9 +636,7 @@ mod tests {
             generators::king_grid_graph(4, 4),
         ] {
             let sink = NodeId(0);
-            let mut engine = Engine::new(&g, |v| {
-                Convergecast::new(v == sink, v.index() as f64)
-            });
+            let mut engine = Engine::new(&g, |v| Convergecast::new(v == sink, v.index() as f64));
             engine.run(128).expect("convergecast terminates");
             let (sum, count) = engine
                 .state(sink)
@@ -618,7 +670,12 @@ mod tests {
         };
         let s = run(&shallow);
         let d = run(&deep);
-        assert!(d.rounds > s.rounds, "deep trees take more rounds: {} vs {}", d.rounds, s.rounds);
+        assert!(
+            d.rounds > s.rounds,
+            "deep trees take more rounds: {} vs {}",
+            d.rounds,
+            s.rounds
+        );
     }
 
     use confine_graph::Graph;
@@ -626,8 +683,7 @@ mod tests {
     #[test]
     fn lone_candidate_always_wins() {
         let g = generators::path_graph(4);
-        let mut engine =
-            Engine::new(&g, |v| LocalMinElection::new(2, v == NodeId(2), 0.5));
+        let mut engine = Engine::new(&g, |v| LocalMinElection::new(2, v == NodeId(2), 0.5));
         engine.run(8).unwrap();
         assert!(engine.state(NodeId(2)).unwrap().is_winner(NodeId(2)));
         assert!(!engine.state(NodeId(1)).unwrap().is_winner(NodeId(1)));

@@ -41,11 +41,12 @@ fn main() {
         let mut blocked = 0usize;
         let samples = 200;
         for i in 0..samples {
-            let x = scenario.target.min.x
-                + scenario.target.width() * (i as f64 + 0.5) / samples as f64;
-            let hit = set.active.iter().any(|&v| {
-                (scenario.positions[v.index()].x - x).abs() <= rs
-            });
+            let x =
+                scenario.target.min.x + scenario.target.width() * (i as f64 + 0.5) / samples as f64;
+            let hit = set
+                .active
+                .iter()
+                .any(|&v| (scenario.positions[v.index()].x - x).abs() <= rs);
             if hit {
                 blocked += 1;
             }

@@ -26,7 +26,10 @@ fn main() {
             x == 0 || y == 0 || x == side - 1 || y == side - 1
         })
         .collect();
-    let model = EnergyModel { capacity: 4, boundary_draws_power: false };
+    let model = EnergyModel {
+        capacity: 4,
+        boundary_draws_power: false,
+    };
     let tau = 4;
     let rot = RotationScheduler::new(tau, model);
 
@@ -47,7 +50,11 @@ fn main() {
         }
     }
 
-    println!("\nrotation lifetime : {} epochs ({:?})", report.lifetime(), report.end_cause);
+    println!(
+        "\nrotation lifetime : {} epochs ({:?})",
+        report.lifetime(),
+        report.end_cause
+    );
     println!("always-on baseline: {} epochs", rot.always_on_baseline());
     println!(
         "static-set baseline: {} epochs",

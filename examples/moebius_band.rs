@@ -38,9 +38,13 @@ fn main() {
     let outer =
         Cycle::from_vertex_cycle(&band.graph, &band.outer_cycle).expect("outer ring is a cycle");
     let tester = PartitionTester::new(&band.graph);
-    let min_tau = tester.min_partition_tau(outer.edge_vec()).expect("boundary is in the space");
+    let min_tau = tester
+        .min_partition_tau(outer.edge_vec())
+        .expect("boundary is in the space");
     println!("cycle-partition: the outer boundary is τ-partitionable for τ ≥ {min_tau}");
-    let parts = tester.partition(outer.edge_vec()).expect("partition exists");
+    let parts = tester
+        .partition(outer.edge_vec())
+        .expect("partition exists");
     println!(
         "explicit partition: {} basis cycles, all of length ≤ {}",
         parts.len(),
@@ -56,6 +60,8 @@ fn main() {
         "the inner circle's minimal partition is τ = {} (it can never contract), \
          which is exactly what breaks the homology test while leaving the \
          boundary-only test unharmed",
-        tester.min_partition_tau(inner.edge_vec()).expect("in space")
+        tester
+            .min_partition_tau(inner.edge_vec())
+            .expect("in space")
     );
 }

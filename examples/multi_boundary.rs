@@ -20,7 +20,8 @@ use rand::SeedableRng;
 /// Builds an annulus of king-grid cells: `outer × outer` grid with a
 /// `hole × hole` block removed from the middle.
 fn annulus(outer: usize, hole_from: usize, hole_to: usize) -> (Graph, Vec<NodeId>, Vec<bool>) {
-    let keep = |x: usize, y: usize| !(x >= hole_from && x < hole_to && y >= hole_from && y < hole_to);
+    let keep =
+        |x: usize, y: usize| !(x >= hole_from && x < hole_to && y >= hole_from && y < hole_to);
     let mut ids = vec![None; outer * outer];
     let mut g = Graph::new();
     for y in 0..outer {
@@ -62,8 +63,7 @@ fn annulus(outer: usize, hole_from: usize, hole_to: usize) -> (Graph, Vec<NodeId
             if x == 0 || y == 0 || x == outer - 1 || y == outer - 1 {
                 outer_flags[v.index()] = true;
             }
-            let near_hole = (hole_from.saturating_sub(1)..=hole_to)
-                .contains(&x)
+            let near_hole = (hole_from.saturating_sub(1)..=hole_to).contains(&x)
                 && (hole_from.saturating_sub(1)..=hole_to).contains(&y)
                 && !(x >= hole_from && x < hole_to && y >= hole_from && y < hole_to);
             if near_hole {
@@ -102,7 +102,12 @@ fn main() {
         set.deleted.len(),
         set.rounds
     );
-    assert!(is_vpt_fixpoint(&coned.graph, &set.active, &coned.protected, tau));
+    assert!(is_vpt_fixpoint(
+        &coned.graph,
+        &set.active,
+        &coned.protected,
+        tau
+    ));
 
     // The virtual apex and the repaired ring never sleep.
     for apex in &coned.apexes {

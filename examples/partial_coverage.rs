@@ -47,8 +47,7 @@ fn main() {
         };
         let mut rng = StdRng::seed_from_u64(7 + tau as u64);
         let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
-        let report =
-            verify_coverage(&scenario.positions, &set.active, rs, scenario.target, 0.05);
+        let report = verify_coverage(&scenario.positions, &set.active, rs, scenario.target, 0.05);
         let measured = report.max_hole_diameter();
         println!(
             "{budget:>10.1} {tau:>6} {:>14} {bound:>16.2} {measured:>14.3}",

@@ -48,7 +48,10 @@ fn main() {
             println!("  {len:>3}-cycles: {count:>5} {bar}");
         }
         let median = spectrum.get(spectrum.len() / 2).copied().unwrap_or(0);
-        println!("  median void {median}, max void {}", spectrum.last().copied().unwrap_or(0));
+        println!(
+            "  median void {median}, max void {}",
+            spectrum.last().copied().unwrap_or(0)
+        );
     }
     println!(
         "\nlarger confine sizes coarsen the mesh: the void spectrum shifts right \

@@ -44,7 +44,10 @@ fn schedules_reach_fixpoints_and_stay_connected() {
         let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
         assert!(is_vpt_fixpoint(&s.graph, &set.active, &s.boundary, tau));
         let masked = Masked::from_active(&s.graph, &set.active);
-        assert!(traverse::is_connected(&masked), "tau {tau}: coverage set disconnected");
+        assert!(
+            traverse::is_connected(&masked),
+            "tau {tau}: coverage set disconnected"
+        );
         assert_eq!(set.active_count() + set.deleted.len(), s.graph.node_count());
     }
 }
@@ -94,8 +97,14 @@ fn larger_tau_gives_sparser_sets() {
         let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
         sizes.push(set.active_count());
     }
-    assert!(sizes[1] <= sizes[0] && sizes[2] <= sizes[1], "sizes {sizes:?} not monotone");
-    assert!(sizes[2] < sizes[0], "τ = 6 must actually save nodes over τ = 3");
+    assert!(
+        sizes[1] <= sizes[0] && sizes[2] <= sizes[1],
+        "sizes {sizes:?} not monotone"
+    );
+    assert!(
+        sizes[2] < sizes[0],
+        "τ = 6 must actually save nodes over τ = 3"
+    );
 }
 
 #[test]

@@ -26,7 +26,10 @@ fn moebius_band_is_a_surface_with_chi_zero() {
     }
     let boundary_edges = edge_use.values().filter(|&&c| c == 1).count();
     assert_eq!(boundary_edges, 8, "one boundary circle of length 8");
-    assert!(edge_use.values().all(|&c| c <= 2), "a surface: at most 2 triangles per edge");
+    assert!(
+        edge_use.values().all(|&c| c <= 2),
+        "a surface: at most 2 triangles per edge"
+    );
 }
 
 #[test]
@@ -76,7 +79,10 @@ fn the_central_circle_is_the_obstruction() {
     assert_eq!(space::circuit_rank(&band.graph), 17);
     let k = rips::rips_complex(&band.graph);
     let r2 = homology::boundary_2(&k).rank();
-    assert_eq!(r2, 16, "all 16 triangle boundaries are independent (their sum is the outer cycle, not zero)");
+    assert_eq!(
+        r2, 16,
+        "all 16 triangle boundaries are independent (their sum is the outer cycle, not zero)"
+    );
 }
 
 #[test]
@@ -91,7 +97,7 @@ fn moebius_has_no_redundant_node_for_dcc() {
         boundary[v.index()] = true;
     }
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
-    let set = confine::core::schedule::DccScheduler::new(3)
-        .schedule(&band.graph, &boundary, &mut rng);
+    let set =
+        confine::core::schedule::DccScheduler::new(3).schedule(&band.graph, &boundary, &mut rng);
     assert_eq!(set.active_count(), 12, "nothing can sleep at τ = 3");
 }

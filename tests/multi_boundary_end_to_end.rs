@@ -41,16 +41,22 @@ fn donut(seed: u64) -> Donut {
     // diagonals, so the network is richly triangulated and its initial
     // partition τ stays small — the regime where the theorems bite hard.
     let lattice = perturbed_grid(24, 24, region, 0.08, &mut rng);
-    let positions: Vec<Point> =
-        lattice.positions.into_iter().filter(|p| !hole.contains(*p)).collect();
+    let positions: Vec<Point> = lattice
+        .positions
+        .into_iter()
+        .filter(|p| !hole.contains(*p))
+        .collect();
     let dep = Deployment { positions, region };
     let graph = CommModel::Udg { rc: 1.0 }.build(&dep, &mut rng);
 
     // Grow the outer band until a certified boundary walk exists (the same
     // approach as the scenario builder; sparse bands can carry cracks).
     let mut outer_band = 0.7;
-    let mut outer_flags: Vec<bool> =
-        dep.positions.iter().map(|&p| region.rim_distance(p) <= outer_band).collect();
+    let mut outer_flags: Vec<bool> = dep
+        .positions
+        .iter()
+        .map(|&p| region.rim_distance(p) <= outer_band)
+        .collect();
     loop {
         let probe = Scenario {
             graph: graph.clone(),
@@ -64,8 +70,11 @@ fn donut(seed: u64) -> Donut {
             break;
         }
         outer_band *= 1.25;
-        outer_flags =
-            dep.positions.iter().map(|&p| region.rim_distance(p) <= outer_band).collect();
+        outer_flags = dep
+            .positions
+            .iter()
+            .map(|&p| region.rim_distance(p) <= outer_band)
+            .collect();
     }
     let inner_ring: Vec<NodeId> = graph
         .nodes()
@@ -77,8 +86,8 @@ fn donut(seed: u64) -> Donut {
         })
         .collect();
 
-    let coned =
-        cone_inner_boundaries(&graph, &outer_flags, std::slice::from_ref(&inner_ring)).expect("ring exists");
+    let coned = cone_inner_boundaries(&graph, &outer_flags, std::slice::from_ref(&inner_ring))
+        .expect("ring exists");
     let apex = coned.apexes[0];
 
     let mut positions = dep.positions.clone();
@@ -95,17 +104,30 @@ fn donut(seed: u64) -> Donut {
         // Target used only for boundary-walk certification.
         target: region.shrunk(2.5),
     };
-    Donut { scenario, apex, protected: coned.protected, inner_ring, hole }
+    Donut {
+        scenario,
+        apex,
+        protected: coned.protected,
+        inner_ring,
+        hole,
+    }
 }
 
 #[test]
 fn coned_donut_schedules_and_covers() {
     let d = donut(77);
-    assert!(d.inner_ring.len() >= 8, "courtyard ring found ({})", d.inner_ring.len());
+    assert!(
+        d.inner_ring.len() >= 8,
+        "courtyard ring found ({})",
+        d.inner_ring.len()
+    );
 
     // The paper's assumption: each boundary's induced graph is connected.
     let ring_view = Masked::from_active(&d.scenario.graph, &d.inner_ring);
-    assert!(traverse::is_connected(&ring_view), "inner boundary must be connected");
+    assert!(
+        traverse::is_connected(&ring_view),
+        "inner boundary must be connected"
+    );
 
     // Theorem 5 premise: measure what the coned network initially satisfies.
     let walk = extract_outer_walk(&d.scenario).expect("certified outer walk");
@@ -120,12 +142,20 @@ fn coned_donut_schedules_and_covers() {
 
     let mut rng = StdRng::seed_from_u64(9);
     let set = DccScheduler::new(tau).schedule(&d.scenario.graph, &d.protected, &mut rng);
-    assert!(is_vpt_fixpoint(&d.scenario.graph, &set.active, &d.protected, tau));
+    assert!(is_vpt_fixpoint(
+        &d.scenario.graph,
+        &set.active,
+        &d.protected,
+        tau
+    ));
     assert!(set.active.contains(&d.apex));
     for v in &d.inner_ring {
         assert!(set.active.contains(v), "repaired boundary node {v:?} slept");
     }
-    assert!(!set.deleted.is_empty(), "the annulus interior has redundancy to exploit");
+    assert!(
+        !set.deleted.is_empty(),
+        "the annulus interior has redundancy to exploit"
+    );
 
     // The criterion still holds after scheduling (Theorem 5 on the coned
     // graph).
@@ -142,14 +172,19 @@ fn coned_donut_schedules_and_covers() {
     let collar = k * d.scenario.rc + rs + 0.6;
     let lo = d.hole.min.y - collar; // bands must end below/left of this
     assert!(lo > 1.5, "region too small for the collar {collar}");
-    let real_nodes: Vec<NodeId> = set.active.iter().copied().filter(|&v| v != d.apex).collect();
+    let real_nodes: Vec<NodeId> = set
+        .active
+        .iter()
+        .copied()
+        .filter(|&v| v != d.apex)
+        .collect();
     let side = d.scenario.region.width();
     let hi = d.hole.max.y + collar; // bands must start above/right of this
     let bands = [
-        Rect::new(1.0, 1.0, side - 1.0, lo),           // south
-        Rect::new(1.0, hi, side - 1.0, side - 1.0),    // north
-        Rect::new(1.0, 1.0, lo, side - 1.0),           // west
-        Rect::new(hi, 1.0, side - 1.0, side - 1.0),    // east
+        Rect::new(1.0, 1.0, side - 1.0, lo),        // south
+        Rect::new(1.0, hi, side - 1.0, side - 1.0), // north
+        Rect::new(1.0, 1.0, lo, side - 1.0),        // west
+        Rect::new(hi, 1.0, side - 1.0, side - 1.0), // east
     ];
     for target in bands {
         if target.width() <= 0.2 || target.height() <= 0.2 {
@@ -175,19 +210,28 @@ fn scheduling_without_coning_lets_ring_nodes_sleep() {
     // Plain graph = coned graph without the apex: rebuild from the scenario
     // by masking the apex out and re-running on the original outer flags.
     let plain_boundary: Vec<bool> = d.scenario.boundary[..d.scenario.boundary.len() - 1].to_vec();
-    let plain_nodes: Vec<NodeId> =
-        d.scenario.graph.nodes().filter(|&v| v != d.apex).collect();
+    let plain_nodes: Vec<NodeId> = d.scenario.graph.nodes().filter(|&v| v != d.apex).collect();
     let masked = Masked::from_active(&d.scenario.graph, &plain_nodes);
     let induced = masked.to_induced();
     let plain = DccScheduler::new(4).schedule(&induced.graph, &plain_boundary, &mut rng);
 
-    let ring_awake_coned =
-        d.inner_ring.iter().filter(|v| with_cone.active.contains(v)).count();
+    let ring_awake_coned = d
+        .inner_ring
+        .iter()
+        .filter(|v| with_cone.active.contains(v))
+        .count();
     let plain_active_parents: Vec<NodeId> =
         plain.active.iter().map(|&c| induced.to_parent(c)).collect();
-    let ring_awake_plain =
-        d.inner_ring.iter().filter(|v| plain_active_parents.contains(v)).count();
-    assert_eq!(ring_awake_coned, d.inner_ring.len(), "coning pins the whole ring awake");
+    let ring_awake_plain = d
+        .inner_ring
+        .iter()
+        .filter(|v| plain_active_parents.contains(v))
+        .count();
+    assert_eq!(
+        ring_awake_coned,
+        d.inner_ring.len(),
+        "coning pins the whole ring awake"
+    );
     assert!(
         ring_awake_plain < d.inner_ring.len(),
         "without coning some ring nodes sleep ({ring_awake_plain}/{})",

@@ -21,7 +21,9 @@ fn theorem6_no_single_node_is_redundant() {
     let initial_tau =
         boundary_partition_tau(&scenario, &walk, &all).expect("boundary in cycle space");
     // Theorem 6's hypothesis: the maximum irreducible cycle of G is ≤ τ.
-    let max_irr = irreducible_cycle_bounds(&scenario.graph).expect("graph has cycles").max;
+    let max_irr = irreducible_cycle_bounds(&scenario.graph)
+        .expect("graph has cycles")
+        .max;
     let tau = initial_tau.max(max_irr);
 
     let set = DccScheduler::new(tau).schedule(
@@ -42,7 +44,10 @@ fn theorem6_no_single_node_is_redundant() {
         .copied()
         .filter(|v| !scenario.boundary[v.index()])
         .collect();
-    assert!(!internals.is_empty(), "degenerate instance: nothing internal survived");
+    assert!(
+        !internals.is_empty(),
+        "degenerate instance: nothing internal survived"
+    );
     for &v in &internals {
         let without: Vec<NodeId> = set.active.iter().copied().filter(|&w| w != v).collect();
         let min_tau = boundary_partition_tau(&scenario, &walk, &without);
