@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use confine_bench::paper_scenario;
 use confine_complex::{homology, rips};
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_core::vpt::is_vertex_deletable;
 use confine_cycles::horton::{max_irreducible_at_most, minimum_cycle_basis};
 use confine_cycles::partition::PartitionTester;
@@ -116,8 +116,11 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(9);
                 black_box(
-                    DccScheduler::new(tau)
-                        .schedule(&scenario.graph, &scenario.boundary, &mut rng)
+                    Dcc::builder(tau)
+                        .centralized()
+                        .expect("valid tau")
+                        .run(&scenario.graph, &scenario.boundary, &mut rng)
+                        .expect("valid inputs")
                         .active_count(),
                 )
             })

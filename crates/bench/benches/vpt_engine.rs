@@ -1,0 +1,97 @@
+//! Criterion bench for the [`VptEngine`]: sequential-uncached reference
+//! scheduling vs the parallel, memoizing engine behind `Dcc::builder`.
+//!
+//! Every measured pair is also an equivalence check — the engine path must
+//! produce a bitwise-identical coverage set to [`reference_schedule`] under
+//! the same seed, or the bench aborts. The headline numbers (800/1600/3200
+//! node quasi-UDGs) live in `bench_vpt`, which emits `results/BENCH_vpt.json`;
+//! this harness keeps a small, CI-sized slice of the same comparison under
+//! `cargo bench -p confine-bench --bench vpt_engine -- --test`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use confine_bench::paper_scenario;
+use confine_core::prelude::{Dcc, DeletionOrder};
+use confine_core::schedule::reference_schedule;
+use confine_deploy::Scenario;
+
+const TAU: usize = 4;
+const SEED: u64 = 9;
+
+fn scenarios() -> Vec<(usize, Scenario)> {
+    [100usize, 200]
+        .into_iter()
+        .map(|n| (n, paper_scenario(n, 14.0, 7 + n as u64)))
+        .collect()
+}
+
+fn assert_sets_match(scenario: &Scenario) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let seq = reference_schedule(
+        &scenario.graph,
+        &scenario.boundary,
+        TAU,
+        DeletionOrder::MisParallel,
+        &mut rng,
+    )
+    .expect("valid inputs");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let eng = Dcc::builder(TAU)
+        .centralized()
+        .expect("valid tau")
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("valid inputs");
+    assert_eq!(
+        seq.active, eng.active,
+        "engine must reproduce the reference coverage set bitwise"
+    );
+}
+
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vpt_engine");
+    group.sample_size(10);
+    for (n, scenario) in scenarios() {
+        assert_sets_match(&scenario);
+        group.bench_with_input(
+            BenchmarkId::new("sequential_uncached", n),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(SEED);
+                    black_box(
+                        reference_schedule(
+                            &s.graph,
+                            &s.boundary,
+                            TAU,
+                            DeletionOrder::MisParallel,
+                            &mut rng,
+                        )
+                        .expect("valid inputs")
+                        .active_count(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("parallel_cached", n), &scenario, |b, s| {
+            // One runner for the whole sample loop: the fingerprint memo
+            // stays warm across iterations, exactly how the builder API
+            // is meant to be used.
+            let mut runner = Dcc::builder(TAU).centralized().expect("valid tau");
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(SEED);
+                black_box(
+                    runner
+                        .run(&s.graph, &s.boundary, &mut rng)
+                        .expect("valid inputs")
+                        .active_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_reference);
+criterion_main!(benches);

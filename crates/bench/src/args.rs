@@ -96,6 +96,14 @@ impl Args {
     pub fn get_flag(&self, key: &str) -> bool {
         self.values.get(key).map(|v| v != "false").unwrap_or(false)
     }
+
+    /// Returns `key` as an owned string, or `default`.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +118,8 @@ mod tests {
         assert!(!a.get_flag("absent"));
         assert_eq!(a.get_f64("gamma", 0.0), 1.5);
         assert_eq!(a.get_u64("seed", 7), 7);
+        assert_eq!(a.get_str("runs", "1"), "3");
+        assert_eq!(a.get_str("out", "a.json"), "a.json");
     }
 
     #[test]

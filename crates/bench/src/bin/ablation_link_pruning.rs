@@ -13,7 +13,7 @@
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
 use confine_core::edges::prune_edges;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_cycles::gf2::BitVec;
 use confine_cycles::partition::PartitionTester;
 use confine_deploy::outer::extract_outer_walk;
@@ -39,7 +39,11 @@ fn main() {
     );
     for tau in [4usize, 5, 6] {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let masked = Masked::from_active(&scenario.graph, &set.active);
         let induced = masked.to_induced();
 

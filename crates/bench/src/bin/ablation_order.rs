@@ -13,7 +13,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
-use confine_core::schedule::{DccScheduler, DeletionOrder};
+use confine_core::prelude::{Dcc, DeletionOrder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,10 +35,17 @@ fn main() {
     for run in 0..runs {
         let scenario = paper_scenario(nodes, degree, seed + run as u64);
         let mut rng = StdRng::seed_from_u64(seed + 10 + run as u64);
-        let par = DccScheduler::new(4).schedule(&scenario.graph, &scenario.boundary, &mut rng);
-        let seq = DccScheduler::new(4)
-            .with_order(DeletionOrder::Sequential)
-            .schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let par = Dcc::builder(4)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
+        let seq = Dcc::builder(4)
+            .order(DeletionOrder::Sequential)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         println!(
             "{:>6} {:>14} {:>14} {:>14} {:>14}",
             run,

@@ -15,7 +15,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::rule;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_core::verify::{boundary_partition_tau, verify_criterion};
 use confine_deploy::deployment::{self, square_side_for_degree};
 use confine_deploy::outer::extract_outer_walk;
@@ -86,8 +86,11 @@ fn main() {
             .unwrap_or(tau);
         let used_tau = tau.max(initial_tau);
         let mut rng = StdRng::seed_from_u64(seed + 7);
-        let set =
-            DccScheduler::new(used_tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(used_tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let verdict = verify_criterion(&scenario, &set.active, used_tau);
         println!(
             "{:>22} {:>8} {:>9} {:>10} {:>10} {:>14}",

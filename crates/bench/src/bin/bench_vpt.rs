@@ -1,0 +1,254 @@
+//! `BENCH_vpt.json` emitter — the VPT-engine acceptance benchmark.
+//!
+//! Schedules 800/1600/3200-node quasi-UDG scenarios three times per scale:
+//! with the sequential-uncached discipline (`DeletionOrder::Sequential`, one
+//! deletion per round, full candidate re-evaluation, no engine), with the
+//! seed MIS-parallel scheduler (`reference_schedule`, uncached), and through
+//! the parallel, memoizing [`VptEngine`] behind `Dcc::builder`. The engine's
+//! coverage set is asserted bitwise identical to the seed scheduler's, and
+//! all three timings plus engine statistics land in the JSON.
+//!
+//! ```text
+//! cargo run --release -p confine-bench --bin bench_vpt -- --out results/BENCH_vpt.json
+//! ```
+//!
+//! The acceptance bar is a ≥ 3× speedup of the engine path over the
+//! reference on the 1600-node scenario at τ = 6. Scales are overridable as
+//! `--scales 800:6,1600:6,3200:4` (`nodes:tau` pairs); the 3200-node run
+//! uses τ = 4 by default to keep the uncached baseline's runtime sane.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use confine_bench::args::Args;
+use confine_bench::rule;
+use confine_core::prelude::{Dcc, DeletionOrder, EngineStats};
+use confine_core::schedule::reference_schedule;
+use confine_deploy::deployment::{self, square_side_for_degree};
+use confine_deploy::scenario::scenario_from_deployment;
+use confine_deploy::{CommModel, Rect, Scenario};
+
+/// One benchmarked scale.
+struct Row {
+    nodes: usize,
+    tau: usize,
+    edges: usize,
+    active: usize,
+    /// `DeletionOrder::Sequential`, no engine: one deletion per round with a
+    /// full candidate re-evaluation — the uncached sequential discipline.
+    seq_ms: f64,
+    /// `DeletionOrder::MisParallel` through `reference_schedule` (uncached):
+    /// the seed scheduler this engine must reproduce bitwise.
+    mis_ms: f64,
+    /// `DeletionOrder::MisParallel` through the parallel, memoizing engine.
+    engine_ms: f64,
+    stats: EngineStats,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.seq_ms / self.engine_ms.max(1e-9)
+    }
+
+    fn same_order_ratio(&self) -> f64 {
+        self.mis_ms / self.engine_ms.max(1e-9)
+    }
+}
+
+fn quasi_udg(nodes: usize, degree: f64, seed: u64) -> Scenario {
+    let side = square_side_for_degree(nodes, 1.0, degree);
+    let region = Rect::new(0.0, 0.0, side, side);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dep = deployment::uniform(nodes, region, &mut rng);
+    scenario_from_deployment(
+        dep,
+        CommModel::QuasiUdg {
+            r_in: 0.6,
+            rc: 1.0,
+            p_mid: 0.6,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_scale(nodes: usize, tau: usize, degree: f64, seed: u64) -> Row {
+    let scenario = quasi_udg(nodes, degree, seed);
+
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let sequential = reference_schedule(
+        &scenario.graph,
+        &scenario.boundary,
+        tau,
+        DeletionOrder::Sequential,
+        &mut rng,
+    )
+    .expect("valid inputs");
+    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let reference = reference_schedule(
+        &scenario.graph,
+        &scenario.boundary,
+        tau,
+        DeletionOrder::MisParallel,
+        &mut rng,
+    )
+    .expect("valid inputs");
+    let mis_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut runner = Dcc::builder(tau).centralized().expect("valid tau");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let engine_set = runner
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("valid inputs");
+    let engine_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        reference.active, engine_set.active,
+        "n = {nodes}, τ = {tau}: engine coverage set diverged from the seed scheduler"
+    );
+    // The sequential discipline reaches a (different but equally valid) VPT
+    // fixpoint — sanity-check it kept at least the boundary alive.
+    assert!(sequential.active_count() > 0);
+
+    Row {
+        nodes,
+        tau,
+        edges: scenario.graph.edge_count(),
+        active: engine_set.active_count(),
+        seq_ms,
+        mis_ms,
+        engine_ms,
+        stats: runner.engine_stats(),
+    }
+}
+
+fn parse_scales(spec: &str) -> Vec<(usize, usize)> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (n, tau) = pair
+                .split_once(':')
+                .unwrap_or_else(|| panic!("--scales expects nodes:tau pairs, got {pair:?}"));
+            (
+                n.trim().parse().expect("nodes must be an integer"),
+                tau.trim().parse().expect("tau must be an integer"),
+            )
+        })
+        .collect()
+}
+
+fn to_json(rows: &[Row], degree: f64, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"vpt_engine\",\n");
+    out.push_str(
+        "  \"comparison\": \"sequential-uncached DCC scheduling (DeletionOrder::Sequential, no engine) vs parallel-cached VptEngine (DeletionOrder::MisParallel, Dcc::builder)\",\n",
+    );
+    out.push_str(
+        "  \"identity_check\": \"parallel-cached coverage set asserted bitwise-equal to the seed MIS-parallel scheduler (reference_schedule) per scale\",\n",
+    );
+    out.push_str("  \"topology\": \"quasi-UDG r_in=0.6 rc=1.0 p_mid=0.6, uniform deployment\",\n");
+    out.push_str(&format!("  \"degree_target\": {degree},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"coverage_sets_identical\": true,\n");
+    out.push_str("  \"scales\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"nodes\": {},\n", r.nodes));
+        out.push_str(&format!("      \"tau\": {},\n", r.tau));
+        out.push_str(&format!("      \"edges\": {},\n", r.edges));
+        out.push_str(&format!("      \"active\": {},\n", r.active));
+        out.push_str(&format!(
+            "      \"sequential_uncached_ms\": {:.1},\n",
+            r.seq_ms
+        ));
+        out.push_str(&format!(
+            "      \"mis_parallel_uncached_ms\": {:.1},\n",
+            r.mis_ms
+        ));
+        out.push_str(&format!(
+            "      \"parallel_cached_ms\": {:.1},\n",
+            r.engine_ms
+        ));
+        out.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup()));
+        out.push_str(&format!(
+            "      \"same_order_ratio\": {:.2},\n",
+            r.same_order_ratio()
+        ));
+        out.push_str("      \"engine_stats\": {\n");
+        out.push_str(&format!(
+            "        \"evaluations\": {},\n",
+            r.stats.evaluations
+        ));
+        out.push_str(&format!(
+            "        \"round_hits\": {},\n",
+            r.stats.round_hits
+        ));
+        out.push_str(&format!("        \"memo_hits\": {},\n", r.stats.memo_hits));
+        out.push_str(&format!(
+            "        \"invalidations\": {}\n",
+            r.stats.invalidations
+        ));
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let degree = args.get_f64("degree", 14.0);
+    let seed = args.get_u64("seed", 42);
+    let out_path = args.get_str("out", "results/BENCH_vpt.json");
+    let scales = parse_scales(&args.get_str("scales", "800:6,1600:6,3200:4"));
+
+    println!("VPT engine benchmark — sequential-uncached vs parallel-cached");
+    rule(78);
+    println!(
+        "{:>7} {:>4} {:>8} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "nodes", "τ", "edges", "active", "seq (ms)", "mis (ms)", "engine (ms)", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for (nodes, tau) in scales {
+        let row = bench_scale(nodes, tau, degree, seed);
+        println!(
+            "{:>7} {:>4} {:>8} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>8.2}×",
+            row.nodes,
+            row.tau,
+            row.edges,
+            row.active,
+            row.seq_ms,
+            row.mis_ms,
+            row.engine_ms,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    rule(78);
+
+    if let Some(r) = rows.iter().find(|r| r.nodes == 1600 && r.tau == 6) {
+        let ok = r.speedup() >= 3.0;
+        println!(
+            "acceptance (1600 nodes, τ = 6): {:.2}× {} 3.00× — {}",
+            r.speedup(),
+            if ok { "≥" } else { "<" },
+            if ok { "PASS" } else { "FAIL" }
+        );
+    }
+
+    let json = to_json(&rows, degree, seed);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -16,8 +16,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
-use confine_core::distributed::DistributedDcc;
-use confine_core::incremental::IncrementalDcc;
+use confine_core::prelude::Dcc;
 use confine_graph::{traverse, NodeId};
 use confine_netsim::protocols::Convergecast;
 use confine_netsim::Engine;
@@ -75,11 +74,15 @@ fn main() {
         let (h_msgs, h_bytes) = convergecast_cost(&scenario.graph, sink);
 
         let mut rng = StdRng::seed_from_u64(seed);
-        let (_, full) = DistributedDcc::new(tau)
+        let (_, full) = Dcc::builder(tau)
+            .distributed()
+            .expect("valid tau")
             .run(&scenario.graph, &scenario.boundary, &mut rng)
             .expect("protocol converges");
         let mut rng = StdRng::seed_from_u64(seed);
-        let (_, inc) = IncrementalDcc::new(tau)
+        let (_, inc) = Dcc::builder(tau)
+            .incremental()
+            .expect("valid tau")
             .run(&scenario.graph, &scenario.boundary, &mut rng)
             .expect("protocol converges");
         println!(

@@ -17,8 +17,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
-use confine_core::distributed::DistributedDcc;
-use confine_core::incremental::IncrementalDcc;
+use confine_core::prelude::Dcc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,11 +44,15 @@ fn main() {
         let scenario = paper_scenario(nodes, degree, seed);
         for &tau in &[3usize, 4, 5] {
             let mut rng = StdRng::seed_from_u64(seed + tau as u64);
-            let (set, full) = DistributedDcc::new(tau)
+            let (set, full) = Dcc::builder(tau)
+                .distributed()
+                .expect("valid tau")
                 .run(&scenario.graph, &scenario.boundary, &mut rng)
                 .expect("protocol converges");
             let mut rng = StdRng::seed_from_u64(seed + tau as u64);
-            let (iset, inc) = IncrementalDcc::new(tau)
+            let (iset, inc) = Dcc::builder(tau)
+                .incremental()
+                .expect("valid tau")
                 .run(&scenario.graph, &scenario.boundary, &mut rng)
                 .expect("protocol converges");
             assert_eq!(

@@ -1,7 +1,7 @@
 //! Internal probe: exact criterion verification before/after scheduling.
 use confine_bench::args::Args;
 use confine_bench::paper_scenario;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_core::verify::{boundary_partition_tau, verify_criterion};
 use confine_deploy::outer::extract_outer_walk;
 use rand::rngs::StdRng;
@@ -21,7 +21,11 @@ fn main() {
     );
     for tau in [4usize, 6] {
         let mut rng = StdRng::seed_from_u64(tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         println!(
             "tau {tau}: active {}, min partition tau of fixpoint: {:?}, verify: {:?}",
             set.active_count(),

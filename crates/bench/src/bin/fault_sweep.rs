@@ -3,7 +3,7 @@
 //!
 //! For every `(loss, crashes)` cell the harness runs the distributed
 //! scheduler with a seeded [`FaultPlan`], then crashes one interior active
-//! node *after* the schedule has converged and runs [`CoverageRepair`]. It
+//! node *after* the schedule has converged and runs the repair layer. It
 //! reports:
 //!
 //! * scheduling cost (messages, drops) relative to the fault-free baseline,
@@ -22,8 +22,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
-use confine_core::distributed::DistributedDcc;
-use confine_core::repair::CoverageRepair;
+use confine_core::prelude::Dcc;
 use confine_core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
 use confine_deploy::outer::extract_outer_walk;
 use confine_graph::NodeId;
@@ -103,11 +102,13 @@ fn main() {
                     LinkModel::Reliable
                 };
                 let mut rng = StdRng::seed_from_u64(cell_seed);
-                match DistributedDcc::new(tau).with_faults(link, plan).run(
-                    &scenario.graph,
-                    &scenario.boundary,
-                    &mut rng,
-                ) {
+                let run = Dcc::builder(tau)
+                    .link_model(link)
+                    .fault_plan(plan)
+                    .distributed()
+                    .expect("valid tau")
+                    .run(&scenario.graph, &scenario.boundary, &mut rng);
+                match run {
                     Ok((set, stats)) => {
                         completions += 1;
                         msgs += stats.total_messages();
@@ -123,8 +124,10 @@ fn main() {
                             .copied()
                             .find(|v| !scenario.boundary[v.index()]);
                         if let Some(v) = victim {
-                            let outcome = CoverageRepair::new(tau)
-                                .with_comm_range(scenario.rc)
+                            let outcome = Dcc::builder(tau)
+                                .comm_range(scenario.rc)
+                                .repair()
+                                .expect("valid tau")
                                 .repair(
                                     &scenario.graph,
                                     &scenario.boundary,

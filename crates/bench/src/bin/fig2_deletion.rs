@@ -11,7 +11,8 @@
 use confine_bench::args::Args;
 use confine_bench::render::render_scenario;
 use confine_bench::{paper_scenario, rule};
-use confine_core::schedule::{is_vpt_fixpoint, DccScheduler};
+use confine_core::prelude::Dcc;
+use confine_core::schedule::is_vpt_fixpoint;
 use confine_deploy::svg::{render_svg, SvgOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +50,11 @@ fn main() {
     );
     for (label, tau) in [("(b)", 3usize), ("(c)", 4), ("(d)", 5), ("(e)", 6)] {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         assert!(
             is_vpt_fixpoint(&scenario.graph, &set.active, &scenario.boundary, tau),
             "scheduler must reach a VPT fixpoint"

@@ -26,7 +26,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::{cell, paper_scenario, rule};
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,8 +54,11 @@ fn main() {
         let mut base_internal = None;
         for (i, &tau) in taus.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(seed * 1000 + run as u64 * 10 + tau as u64);
-            let set =
-                DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+            let set = Dcc::builder(tau)
+                .centralized()
+                .expect("valid tau")
+                .run(&scenario.graph, &scenario.boundary, &mut rng)
+                .expect("valid inputs");
             let total = set.active_count() as f64;
             let internal = set.active_internal(&scenario.boundary).len() as f64;
             let bt = *base_total.get_or_insert(total);

@@ -32,7 +32,7 @@
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
 use confine_core::config::best_tau_for_requirement;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_deploy::coverage::verify_coverage;
 use confine_graph::NodeId;
 use confine_hgc::HgcScheduler;
@@ -74,8 +74,11 @@ fn main() {
         let sets: Vec<Vec<NodeId>> = TAUS
             .map(|tau| {
                 let mut rng = StdRng::seed_from_u64(seed + run as u64);
-                DccScheduler::new(tau)
-                    .schedule(&scenario.graph, &scenario.boundary, &mut rng)
+                Dcc::builder(tau)
+                    .centralized()
+                    .expect("valid tau")
+                    .run(&scenario.graph, &scenario.boundary, &mut rng)
+                    .expect("valid inputs")
                     .active
             })
             .collect();

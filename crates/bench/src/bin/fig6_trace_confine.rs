@@ -12,7 +12,7 @@
 
 use confine_bench::args::Args;
 use confine_bench::rule;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_deploy::trace::{greenorbs_scenario, TraceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,7 +45,11 @@ fn main() {
     );
     for tau in 3..=8usize {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let inner = set.active_internal(&scenario.boundary).len();
         println!(
             "{:>6} {:>14} {:>10} {:>10}",

@@ -13,7 +13,7 @@
 use confine_bench::args::Args;
 use confine_bench::render::render_scenario;
 use confine_bench::rule;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_deploy::svg::{render_svg, SvgOptions};
 use confine_deploy::trace::{greenorbs_scenario, TraceConfig};
 use rand::rngs::StdRng;
@@ -49,7 +49,11 @@ fn main() {
         ("(f)", 7),
     ] {
         let mut rng = StdRng::seed_from_u64(seed + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let inner = set.active_internal(&scenario.boundary).len();
         println!("{label} τ = {tau}: {inner} inner nodes left (paper snapshots: 17/8/6/5/4)");
         print!("{}", render_scenario(&scenario, &set.active, 84, 18));

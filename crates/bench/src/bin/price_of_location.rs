@@ -13,7 +13,7 @@
 use confine_bench::args::Args;
 use confine_bench::{paper_scenario, rule};
 use confine_core::config::max_blanket_tau;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_deploy::coverage::verify_coverage;
 use confine_deploy::setcover::greedy_disk_cover;
 use rand::rngs::StdRng;
@@ -49,8 +49,11 @@ fn main() {
                 0.1,
             );
             let mut rng = StdRng::seed_from_u64(seed + run as u64);
-            let dcc =
-                DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+            let dcc = Dcc::builder(tau)
+                .centralized()
+                .expect("valid tau")
+                .run(&scenario.graph, &scenario.boundary, &mut rng)
+                .expect("valid inputs");
             let report =
                 verify_coverage(&scenario.positions, &dcc.active, rs, scenario.target, 0.1);
             blanket_all &= report.is_blanket();

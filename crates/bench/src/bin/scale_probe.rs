@@ -1,7 +1,7 @@
 //! Internal scale probe: per-tau scheduling cost and fixpoint diagnosis.
 use confine_bench::args::Args;
 use confine_bench::paper_scenario;
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::Dcc;
 use confine_core::vpt::{induced_from_view, neighborhood_radius};
 use confine_cycles::horton;
 use confine_graph::{traverse, Masked};
@@ -17,7 +17,11 @@ fn main() {
     for tau in [3usize, 4, 6, 9] {
         let t0 = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let masked = Masked::from_active(&scenario.graph, &set.active);
         let k = neighborhood_radius(tau);
         let (mut disc, mut irred) = (0, 0);

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use confine_core::config::{blanket_ratio_threshold, MIN_TAU};
-use confine_core::schedule::DccScheduler;
+use confine_core::prelude::{Dcc, DccBuilder, EngineConfig};
 use confine_core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
 use confine_deploy::coverage::verify_coverage;
 use confine_deploy::format::{read_scenario, write_scenario};
@@ -80,7 +80,21 @@ commands:
   fault-sweep --in FILE --tau T [--seed S] [--loss \"0,0.1,0.2,0.3\"]
               [--crashes C]
             distributed runs under loss × mid-run crashes, then a
-            post-schedule crash + repair; prints cost and QoC per cell";
+            post-schedule crash + repair; prints cost and QoC per cell
+
+engine options (schedule, fault-sweep):
+  --threads N   VPT evaluation threads (0 = all cores, the default)
+  --no-cache    disable the neighbourhood-fingerprint verdict memo";
+
+/// Seeds a [`Dcc`] builder from the CLI's uniform engine options:
+/// `--threads N` (0 = auto) and `--no-cache`.
+fn dcc_builder(tau: usize, opts: &Opts) -> Result<DccBuilder, String> {
+    let threads = opts.usize("threads", 0)?;
+    Ok(Dcc::builder(tau).engine_config(EngineConfig {
+        threads,
+        cache: !opts.flag("no-cache"),
+    }))
+}
 
 fn load(opts: &Opts) -> Result<Scenario, String> {
     let path = opts.require("in")?;
@@ -176,12 +190,22 @@ fn cmd_schedule(opts: &Opts) -> Result<(), String> {
     }
     let seed = opts.u64("seed", 1)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+    let mut runner = dcc_builder(tau, opts)?
+        .centralized()
+        .map_err(|e| format!("scheduler: {e}"))?;
+    let set = runner
+        .run(&s.graph, &s.boundary, &mut rng)
+        .map_err(|e| format!("scheduling: {e}"))?;
+    let stats = runner.engine_stats();
     println!(
         "τ = {tau}: {} awake / {} asleep in {} rounds",
         set.active_count(),
         set.deleted.len(),
         set.rounds
+    );
+    println!(
+        "engine: {} VPT evaluations, {} round hits, {} memo hits",
+        stats.evaluations, stats.round_hits, stats.memo_hits
     );
     if let Some(out) = opts.get("out") {
         let mut text = String::new();
@@ -222,8 +246,6 @@ fn cmd_prune(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
-    use confine_core::distributed::DistributedDcc;
-    use confine_core::repair::CoverageRepair;
     use confine_netsim::faults::FaultPlan;
     use confine_netsim::{LinkModel, SimError};
 
@@ -266,17 +288,19 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
                 .wrapping_add((p * 1000.0) as u64 * 31 + c as u64);
             let mut rng = StdRng::seed_from_u64(cell_seed);
             let plan = FaultPlan::random_crashes(&nodes, c, 40, cell_seed ^ 0x5eed);
-            let dcc = if p > 0.0 {
-                DistributedDcc::new(tau).with_faults(
-                    LinkModel::Lossy {
-                        p,
-                        seed: cell_seed ^ 0x10_55,
-                    },
-                    plan,
-                )
+            let link = if p > 0.0 {
+                LinkModel::Lossy {
+                    p,
+                    seed: cell_seed ^ 0x10_55,
+                }
             } else {
-                DistributedDcc::new(tau).with_faults(LinkModel::Reliable, plan)
+                LinkModel::Reliable
             };
+            let mut dcc = dcc_builder(tau, opts)?
+                .link_model(link)
+                .fault_plan(plan)
+                .distributed()
+                .map_err(|e| format!("scheduler: {e}"))?;
             match dcc.run(&s.graph, &s.boundary, &mut rng) {
                 Ok((set, stats)) => {
                     let qoc = match verify_criterion(&s, &set.active, tau) {
@@ -288,8 +312,10 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
                     let victim = set.active.iter().copied().find(|v| !s.boundary[v.index()]);
                     let (rr, rm) = match victim {
                         Some(v) => {
-                            let outcome = CoverageRepair::new(tau)
-                                .with_comm_range(s.rc)
+                            let outcome = dcc_builder(tau, opts)?
+                                .comm_range(s.rc)
+                                .repair()
+                                .map_err(|e| format!("repair: {e}"))?
                                 .repair(&s.graph, &s.boundary, &set.active, v, &mut rng)
                                 .map_err(|e| format!("repair: {e}"))?;
                             (

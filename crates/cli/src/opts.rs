@@ -60,6 +60,11 @@ impl Opts {
         }
     }
 
+    /// A bare boolean flag (`--no-cache` style): present ⇒ true.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
     /// An f64 option with a default.
     pub fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.values.get(key) {
@@ -100,5 +105,13 @@ mod tests {
         let o = opts(&["--nodes", "7", "--verbose"]);
         assert_eq!(o.get("verbose").as_deref(), Some("true"));
         assert_eq!(o.u64("nodes", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn engine_flags() {
+        let o = opts(&["--no-cache", "--threads", "4"]);
+        assert!(o.flag("no-cache"));
+        assert!(!o.flag("cache"));
+        assert_eq!(o.usize("threads", 0).unwrap(), 4);
     }
 }

@@ -169,3 +169,47 @@ fn helpful_errors() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
 }
+
+#[test]
+fn engine_flags_change_execution_but_not_the_schedule() {
+    let net = tmp("net4.cf");
+    let fast = tmp("sched-fast.txt");
+    let slow = tmp("sched-slow.txt");
+    let out = cli()
+        .args([
+            "generate", "--nodes", "150", "--degree", "18", "--seed", "12",
+        ])
+        .args(["--out", net.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success());
+
+    // Default: parallel + cached.
+    let out = cli()
+        .args(["schedule", "--in", net.to_str().unwrap()])
+        .args(["--tau", "4", "--seed", "2", "--out", fast.to_str().unwrap()])
+        .output()
+        .expect("spawn schedule");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("engine:"), "engine stats missing: {text}");
+
+    // Sequential, uncached: identical coverage set, zero cache traffic.
+    let out = cli()
+        .args(["schedule", "--in", net.to_str().unwrap()])
+        .args(["--tau", "4", "--seed", "2", "--threads", "1", "--no-cache"])
+        .args(["--out", slow.to_str().unwrap()])
+        .output()
+        .expect("spawn schedule");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 round hits, 0 memo hits"), "{text}");
+
+    let a = std::fs::read_to_string(&fast).unwrap();
+    let b = std::fs::read_to_string(&slow).unwrap();
+    assert_eq!(a, b, "engine options must not change the coverage set");
+
+    let _ = std::fs::remove_file(net);
+    let _ = std::fs::remove_file(fast);
+    let _ = std::fs::remove_file(slow);
+}

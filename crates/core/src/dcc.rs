@@ -1,0 +1,520 @@
+//! Unified entry point for every DCC scheduling flavour.
+//!
+//! Historically each flavour grew its own constructor idiom —
+//! `DccScheduler::new(tau).with_order(..)`, `DistributedDcc::new(tau)
+//! .with_faults(..)`, `IncrementalDcc::new(tau)`, `CoverageRepair::new(tau)
+//! .with_heartbeat_timeout(..)` — with no shared validation and no shared
+//! evaluation state. [`Dcc::builder`] replaces the trio: one builder carries
+//! τ, the deletion order, the [`EngineConfig`] of the shared
+//! [`VptEngine`], the fault plan and the energy bias, and yields
+//! [`DccBuilder::centralized`], [`DccBuilder::distributed`],
+//! [`DccBuilder::incremental`] and [`DccBuilder::repair`] runners. Every
+//! runner owns its engine, so repeated runs on the same topology reuse the
+//! fingerprint memo, and invalid configurations surface as typed
+//! [`SimError`]s instead of panics.
+//!
+//! ```
+//! use confine_core::prelude::*;
+//! use confine_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let g = generators::king_grid_graph(6, 6);
+//! let boundary: Vec<bool> = (0..36)
+//!     .map(|i| { let (x, y) = (i % 6, i / 6); x == 0 || y == 0 || x == 5 || y == 5 })
+//!     .collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//!
+//! let mut runner = Dcc::builder(4).threads(2).centralized()?;
+//! let set = runner.run(&g, &boundary, &mut rng)?;
+//! assert!(set.active_count() < 36, "some interior nodes sleep");
+//!
+//! // τ below the supported minimum is a typed error, not a panic.
+//! assert!(matches!(
+//!     Dcc::builder(2).centralized(),
+//!     Err(SimError::InvalidTau { tau: 2, min: 3 })
+//! ));
+//! # Ok::<(), confine_netsim::SimError>(())
+//! ```
+
+use std::fmt;
+
+use confine_graph::{Graph, NodeId};
+use confine_netsim::faults::FaultPlan;
+use confine_netsim::{LinkModel, SimError};
+use rand::Rng;
+
+use crate::distributed::{DistributedDcc, DistributedStats};
+use crate::incremental::IncrementalDcc;
+use crate::repair::{CoverageRepair, RepairOutcome};
+use crate::schedule::{run_schedule, CoverageSet, DeletionOrder};
+use crate::vpt_engine::{EngineConfig, EngineStats, VptEngine};
+
+type BiasFn = Box<dyn Fn(NodeId) -> f64 + Send + Sync>;
+
+/// Namespace for the unified DCC builder; see the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct Dcc;
+
+impl Dcc {
+    /// Starts a builder for confine size `tau`.
+    ///
+    /// Validation happens in the finishers ([`DccBuilder::centralized`]
+    /// etc.), which return [`SimError::InvalidTau`] for `tau < 3`.
+    pub fn builder(tau: usize) -> DccBuilder {
+        DccBuilder {
+            tau,
+            order: DeletionOrder::MisParallel,
+            engine: EngineConfig::default(),
+            link: LinkModel::Reliable,
+            faults: None,
+            round_limit: 10_000,
+            discovery_repeats: crate::config::DEFAULT_DISCOVERY_REPEATS,
+            retry_budget: crate::config::DEFAULT_RETRY_BUDGET,
+            heartbeat_timeout: crate::config::DEFAULT_HEARTBEAT_TIMEOUT,
+            comm_range: 1.0,
+            bias: None,
+        }
+    }
+}
+
+/// Accumulates the configuration shared by all DCC flavours; finish with
+/// [`DccBuilder::centralized`], [`DccBuilder::distributed`],
+/// [`DccBuilder::incremental`] or [`DccBuilder::repair`].
+pub struct DccBuilder {
+    tau: usize,
+    order: DeletionOrder,
+    engine: EngineConfig,
+    link: LinkModel,
+    faults: Option<FaultPlan>,
+    round_limit: usize,
+    discovery_repeats: u32,
+    retry_budget: usize,
+    heartbeat_timeout: usize,
+    comm_range: f64,
+    bias: Option<BiasFn>,
+}
+
+impl fmt::Debug for DccBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DccBuilder")
+            .field("tau", &self.tau)
+            .field("order", &self.order)
+            .field("engine", &self.engine)
+            .field("link", &self.link)
+            .field("faults", &self.faults.is_some())
+            .field("round_limit", &self.round_limit)
+            .field("discovery_repeats", &self.discovery_repeats)
+            .field("retry_budget", &self.retry_budget)
+            .field("heartbeat_timeout", &self.heartbeat_timeout)
+            .field("comm_range", &self.comm_range)
+            .field("bias", &self.bias.is_some())
+            .finish()
+    }
+}
+
+impl DccBuilder {
+    /// Selects the deletion discipline (default
+    /// [`DeletionOrder::MisParallel`]).
+    pub fn order(mut self, order: DeletionOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Worker threads for the VPT fan-out; `0` (the default) resolves to the
+    /// machine's available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.engine.threads = threads;
+        self
+    }
+
+    /// Disables the engine's verdict cache and fingerprint memo (every
+    /// candidate re-evaluated from scratch; the benchmarking baseline).
+    pub fn no_cache(mut self) -> Self {
+        self.engine.cache = false;
+        self
+    }
+
+    /// Replaces the whole engine configuration.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine = config;
+        self
+    }
+
+    /// Selects the link reliability model for the protocol-driven flavours
+    /// (default [`LinkModel::Reliable`]).
+    pub fn link_model(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Runs the protocol-driven flavours under this crash/flap/loss script.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the per-phase communication round limit (default 10 000).
+    pub fn round_limit(mut self, limit: usize) -> Self {
+        self.round_limit = limit;
+        self
+    }
+
+    /// Overrides the rebroadcast count of the loss-tolerant discovery
+    /// (default [`crate::config::DEFAULT_DISCOVERY_REPEATS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats == 0`.
+    pub fn discovery_repeats(mut self, repeats: u32) -> Self {
+        assert!(repeats > 0, "need at least one transmission per record");
+        self.discovery_repeats = repeats;
+        self
+    }
+
+    /// Overrides the election retry budget (default
+    /// [`crate::config::DEFAULT_RETRY_BUDGET`]).
+    pub fn retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Overrides the heartbeat silence timeout of the repair flavour
+    /// (default [`crate::config::DEFAULT_HEARTBEAT_TIMEOUT`]).
+    pub fn heartbeat_timeout(mut self, timeout: usize) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Sets the communication range `Rc` used to scale the repair
+    /// degradation bounds (default 1.0).
+    pub fn comm_range(mut self, rc: f64) -> Self {
+        self.comm_range = rc;
+        self
+    }
+
+    /// Adds an additive deletion-priority bias to the centralized flavour —
+    /// *smaller wins*, so low-bias nodes sleep preferentially (e.g. pass
+    /// residual energy to spare depleted nodes).
+    pub fn energy_bias<F>(mut self, bias: F) -> Self
+    where
+        F: Fn(NodeId) -> f64 + Send + Sync + 'static,
+    {
+        self.bias = Some(Box::new(bias));
+        self
+    }
+
+    fn check_tau(&self) -> Result<(), SimError> {
+        if self.tau < crate::config::MIN_TAU {
+            return Err(SimError::InvalidTau {
+                tau: self.tau,
+                min: crate::config::MIN_TAU,
+            });
+        }
+        Ok(())
+    }
+
+    /// Finishes into the centralized scheduler (the paper's reference
+    /// algorithm, engine-accelerated).
+    pub fn centralized(self) -> Result<CentralizedRunner, SimError> {
+        self.check_tau()?;
+        Ok(CentralizedRunner {
+            order: self.order,
+            engine: VptEngine::with_config(self.tau, self.engine),
+            bias: self.bias,
+        })
+    }
+
+    /// Finishes into the message-passing DCC-D protocol driver.
+    pub fn distributed(self) -> Result<DistributedRunner, SimError> {
+        self.check_tau()?;
+        Ok(DistributedRunner {
+            inner: DistributedDcc::from_builder(
+                self.tau,
+                self.round_limit,
+                self.link,
+                self.faults,
+                self.discovery_repeats,
+                self.retry_budget,
+            ),
+            engine: VptEngine::with_config(self.tau, self.engine),
+        })
+    }
+
+    /// Finishes into the incremental (deletion-notice) protocol driver.
+    pub fn incremental(self) -> Result<IncrementalRunner, SimError> {
+        self.check_tau()?;
+        Ok(IncrementalRunner {
+            inner: IncrementalDcc::from_builder(self.tau, self.round_limit),
+            engine: VptEngine::with_config(self.tau, self.engine),
+        })
+    }
+
+    /// Finishes into the failure-adaptive coverage repair driver.
+    pub fn repair(self) -> Result<RepairRunner, SimError> {
+        self.check_tau()?;
+        Ok(RepairRunner {
+            inner: CoverageRepair::from_builder(
+                self.tau,
+                self.heartbeat_timeout,
+                self.round_limit,
+                self.comm_range,
+            ),
+            engine: VptEngine::with_config(self.tau, self.engine),
+        })
+    }
+}
+
+/// Engine-backed centralized DCC scheduler produced by
+/// [`DccBuilder::centralized`].
+///
+/// Keep the runner alive across runs on the same topology: the engine's
+/// fingerprint memo then answers recurring neighbourhood states without
+/// re-running the Horton elimination.
+pub struct CentralizedRunner {
+    order: DeletionOrder,
+    engine: VptEngine,
+    bias: Option<BiasFn>,
+}
+
+impl fmt::Debug for CentralizedRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralizedRunner")
+            .field("order", &self.order)
+            .field("engine", &self.engine)
+            .field("bias", &self.bias.is_some())
+            .finish()
+    }
+}
+
+impl CentralizedRunner {
+    /// Runs the schedule on `graph`; `boundary[i]` marks protected nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BoundaryMismatch`] if the flag slice does not cover the
+    /// graph.
+    pub fn run<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        rng: &mut R,
+    ) -> Result<CoverageSet, SimError> {
+        self.run_excluding(graph, boundary, &[], rng)
+    }
+
+    /// Runs the schedule treating `excluded` nodes as already gone (dead
+    /// batteries); they appear in neither `active` nor `deleted`.
+    pub fn run_excluding<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        excluded: &[NodeId],
+        rng: &mut R,
+    ) -> Result<CoverageSet, SimError> {
+        let bias = &self.bias;
+        run_schedule(
+            graph,
+            boundary,
+            excluded,
+            |v| bias.as_ref().map_or(0.0, |f| f(v)),
+            self.order,
+            &mut self.engine,
+            rng,
+        )
+    }
+
+    /// Counters of the underlying [`VptEngine`].
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+/// Distributed DCC-D runner produced by [`DccBuilder::distributed`].
+#[derive(Debug)]
+pub struct DistributedRunner {
+    inner: DistributedDcc,
+    engine: VptEngine,
+}
+
+impl DistributedRunner {
+    /// Executes the protocol on `graph` with the given boundary flags; see
+    /// [`DistributedDcc`] for the phase structure and error conditions.
+    pub fn run<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        rng: &mut R,
+    ) -> Result<(CoverageSet, DistributedStats), SimError> {
+        self.inner
+            .run_with_engine(graph, boundary, &mut self.engine, rng)
+    }
+
+    /// Counters of the underlying [`VptEngine`].
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+/// Incremental DCC-D runner produced by [`DccBuilder::incremental`].
+#[derive(Debug)]
+pub struct IncrementalRunner {
+    inner: IncrementalDcc,
+    engine: VptEngine,
+}
+
+impl IncrementalRunner {
+    /// Executes the protocol on `graph` with the given boundary flags; see
+    /// [`IncrementalDcc`] for the phase structure and error conditions.
+    pub fn run<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        rng: &mut R,
+    ) -> Result<(CoverageSet, DistributedStats), SimError> {
+        self.inner
+            .run_with_engine(graph, boundary, &mut self.engine, rng)
+    }
+
+    /// Counters of the underlying [`VptEngine`].
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+/// Coverage-repair runner produced by [`DccBuilder::repair`].
+#[derive(Debug)]
+pub struct RepairRunner {
+    inner: CoverageRepair,
+    engine: VptEngine,
+}
+
+impl RepairRunner {
+    /// Detects the crash of `crashed`, wakes its `k`-ball and prunes back to
+    /// a global VPT fixpoint; see [`CoverageRepair`] for phases, errors and
+    /// panics.
+    pub fn repair<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        crashed: NodeId,
+        rng: &mut R,
+    ) -> Result<RepairOutcome, SimError> {
+        self.inner
+            .repair_with_engine(graph, boundary, active, crashed, &mut self.engine, rng)
+    }
+
+    /// Counters of the underlying [`VptEngine`].
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confine_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn king_boundary(w: usize, h: usize) -> Vec<bool> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                x == 0 || y == 0 || x == w - 1 || y == h - 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs_with_typed_errors() {
+        assert!(matches!(
+            Dcc::builder(2).centralized(),
+            Err(SimError::InvalidTau { tau: 2, min: 3 })
+        ));
+        assert!(matches!(
+            Dcc::builder(0).distributed(),
+            Err(SimError::InvalidTau { tau: 0, min: 3 })
+        ));
+        assert!(matches!(
+            Dcc::builder(1).incremental(),
+            Err(SimError::InvalidTau { .. })
+        ));
+        assert!(matches!(
+            Dcc::builder(2).repair(),
+            Err(SimError::InvalidTau { .. })
+        ));
+        let g = generators::path_graph(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = Dcc::builder(3)
+            .centralized()
+            .unwrap()
+            .run(&g, &[true], &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SimError::BoundaryMismatch { flags: 1, nodes: 3 });
+    }
+
+    #[test]
+    fn centralized_runner_matches_deprecated_scheduler() {
+        let g = generators::king_grid_graph(6, 6);
+        let boundary = king_boundary(6, 6);
+        let mut new_rng = StdRng::seed_from_u64(21);
+        let set = Dcc::builder(4)
+            .centralized()
+            .unwrap()
+            .run(&g, &boundary, &mut new_rng)
+            .unwrap();
+        #[allow(deprecated)]
+        let old = crate::schedule::DccScheduler::new(4).schedule(
+            &g,
+            &boundary,
+            &mut StdRng::seed_from_u64(21),
+        );
+        assert_eq!(set.active, old.active, "same RNG ⇒ same coverage set");
+        assert_eq!(set.deleted, old.deleted);
+        assert_eq!(set.rounds, old.rounds);
+    }
+
+    #[test]
+    fn energy_bias_spares_high_energy_nodes_last() {
+        // Bias two interior nodes very low: they must be deleted before any
+        // unbiased interior node can win a sequential election.
+        let g = generators::king_grid_graph(5, 5);
+        let boundary = king_boundary(5, 5);
+        let favoured = NodeId(12);
+        let mut runner = Dcc::builder(4)
+            .order(DeletionOrder::Sequential)
+            .energy_bias(move |v| if v == favoured { 10.0 } else { 0.0 })
+            .centralized()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let set = runner.run(&g, &boundary, &mut rng).unwrap();
+        if let Some(pos) = set.deleted.iter().position(|&v| v == favoured) {
+            assert_eq!(
+                pos,
+                set.deleted.len() - 1,
+                "the favoured node must sleep last if at all"
+            );
+        }
+    }
+
+    #[test]
+    fn runner_reuse_keeps_results_stable() {
+        let g = generators::king_grid_graph(6, 6);
+        let boundary = king_boundary(6, 6);
+        let mut runner = Dcc::builder(4).centralized().unwrap();
+        let a = runner
+            .run(&g, &boundary, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let evals_first = runner.engine_stats().evaluations;
+        let b = runner
+            .run(&g, &boundary, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a.active, b.active);
+        assert_eq!(a.deleted, b.deleted);
+        assert!(
+            runner.engine_stats().evaluations < 2 * evals_first,
+            "second run must lean on the fingerprint memo"
+        );
+    }
+}

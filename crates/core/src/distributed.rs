@@ -40,7 +40,8 @@ use confine_netsim::{Engine, LinkModel, RunStats, SimError};
 use rand::Rng;
 
 use crate::schedule::CoverageSet;
-use crate::vpt::{independence_radius, neighborhood_radius, vpt_graph_ok};
+use crate::vpt::{independence_radius, neighborhood_radius};
+use crate::vpt_engine::{EvalJob, VptEngine};
 
 /// Aggregate cost of a distributed run, per phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,7 +101,7 @@ impl DistributedStats {
 /// # Example
 ///
 /// ```
-/// use confine_core::distributed::DistributedDcc;
+/// use confine_core::prelude::*;
 /// use confine_graph::generators;
 /// use rand::SeedableRng;
 ///
@@ -108,7 +109,7 @@ impl DistributedStats {
 /// let mut boundary = vec![false; 9];
 /// for i in 1..=8 { boundary[i] = true; }
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-/// let (set, stats) = DistributedDcc::new(8).run(&g, &boundary, &mut rng)?;
+/// let (set, stats) = Dcc::builder(8).distributed()?.run(&g, &boundary, &mut rng)?;
 /// assert_eq!(set.deleted, vec![confine_graph::NodeId(0)]);
 /// assert!(stats.total_messages() > 0);
 /// # Ok::<(), confine_netsim::SimError>(())
@@ -129,19 +130,39 @@ impl DistributedDcc {
     /// # Panics
     ///
     /// Panics if `tau < 3`.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).distributed()`")]
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
+        DistributedDcc::from_builder(
+            tau,
+            10_000,
+            LinkModel::Reliable,
+            None,
+            crate::config::DEFAULT_DISCOVERY_REPEATS,
+            crate::config::DEFAULT_RETRY_BUDGET,
+        )
+    }
+
+    pub(crate) fn from_builder(
+        tau: usize,
+        max_comm_rounds: usize,
+        link: LinkModel,
+        faults: Option<FaultPlan>,
+        discovery_repeats: u32,
+        retry_budget: usize,
+    ) -> Self {
         DistributedDcc {
             tau,
-            max_comm_rounds: 10_000,
-            link: LinkModel::Reliable,
-            faults: None,
-            discovery_repeats: crate::config::DEFAULT_DISCOVERY_REPEATS,
-            retry_budget: crate::config::DEFAULT_RETRY_BUDGET,
+            max_comm_rounds,
+            link,
+            faults,
+            discovery_repeats,
+            retry_budget,
         }
     }
 
     /// Overrides the per-phase communication round limit.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).round_limit(..)`")]
     pub fn with_round_limit(mut self, limit: usize) -> Self {
         self.max_comm_rounds = limit;
         self
@@ -149,7 +170,8 @@ impl DistributedDcc {
 
     /// Selects the link reliability model. With anything other than
     /// [`LinkModel::Reliable`] the discovery phase switches to
-    /// [`RepeatedDiscovery`] (see [`Self::with_discovery_repeats`]).
+    /// [`RepeatedDiscovery`].
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).link_model(..)`")]
     pub fn with_link_model(mut self, link: LinkModel) -> Self {
         self.link = link;
         self
@@ -158,10 +180,14 @@ impl DistributedDcc {
     /// Runs the protocol under faults: lossy links per `link` plus the
     /// crash/flap/loss script of `plan`. Plan rounds count *global*
     /// communication rounds across all phases of the run.
-    pub fn with_faults(self, link: LinkModel, plan: FaultPlan) -> Self {
-        let mut this = self.with_link_model(link);
-        this.faults = Some(plan);
-        this
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dcc::builder(tau).link_model(..).fault_plan(..)`"
+    )]
+    pub fn with_faults(mut self, link: LinkModel, plan: FaultPlan) -> Self {
+        self.link = link;
+        self.faults = Some(plan);
+        self
     }
 
     /// Overrides the rebroadcast count of the loss-tolerant discovery
@@ -170,6 +196,10 @@ impl DistributedDcc {
     /// # Panics
     ///
     /// Panics if `repeats == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dcc::builder(tau).discovery_repeats(..)`"
+    )]
     pub fn with_discovery_repeats(mut self, repeats: u32) -> Self {
         assert!(repeats > 0, "need at least one transmission per record");
         self.discovery_repeats = repeats;
@@ -178,6 +208,7 @@ impl DistributedDcc {
 
     /// Overrides the election retry budget (default
     /// [`crate::config::DEFAULT_RETRY_BUDGET`]).
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).retry_budget(..)`")]
     pub fn with_retry_budget(mut self, budget: usize) -> Self {
         self.retry_budget = budget;
         self
@@ -191,26 +222,38 @@ impl DistributedDcc {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::RoundLimitExceeded`] if any phase fails to
-    /// converge within the configured limit (bounded-diameter phases always
-    /// converge in `k` resp. `m` rounds, so this indicates a configuration
-    /// error), or [`SimError::ElectionStalled`] when crashes keep emptying
-    /// the winner set past the retry budget.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `boundary.len() != graph.node_count()`.
+    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
+    /// cover the graph, [`SimError::RoundLimitExceeded`] if any phase fails
+    /// to converge within the configured limit (bounded-diameter phases
+    /// always converge in `k` resp. `m` rounds, so this indicates a
+    /// configuration error), or [`SimError::ElectionStalled`] when crashes
+    /// keep emptying the winner set past the retry budget.
     pub fn run<R: Rng>(
         &self,
         graph: &Graph,
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
-        assert_eq!(
-            boundary.len(),
-            graph.node_count(),
-            "boundary flags must cover all nodes"
-        );
+        let mut engine = VptEngine::new(self.tau);
+        self.run_with_engine(graph, boundary, &mut engine, rng)
+    }
+
+    /// [`DistributedDcc::run`] with a caller-owned [`VptEngine`] whose
+    /// fingerprint memo persists across runs (the [`crate::dcc`] runner
+    /// path).
+    pub(crate) fn run_with_engine<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        vpt: &mut VptEngine,
+        rng: &mut R,
+    ) -> Result<(CoverageSet, DistributedStats), SimError> {
+        if boundary.len() != graph.node_count() {
+            return Err(SimError::BoundaryMismatch {
+                flags: boundary.len(),
+                nodes: graph.node_count(),
+            });
+        }
         let k = neighborhood_radius(self.tau);
         let m = independence_radius(self.tau);
         let lossy = !matches!(self.link, LinkModel::Reliable);
@@ -234,10 +277,9 @@ impl DistributedDcc {
                 }
                 let run = engine.run(self.max_comm_rounds)?;
                 let crashed_now = engine.crashed_nodes().to_vec();
-                let (deletable, any) =
-                    local_verdicts(&masked, boundary, &crashed_now, self.tau, |v| {
-                        engine.state(v).map(|s| s.punctured_graph(v))
-                    });
+                let (deletable, any) = local_verdicts(&masked, boundary, &crashed_now, vpt, |v| {
+                    engine.state(v).map(|s| s.punctured_graph(v))
+                });
                 (run, crashed_now, deletable, any)
             } else {
                 let mut engine = Engine::new(&masked, |_| KHopDiscovery::new(k));
@@ -246,10 +288,9 @@ impl DistributedDcc {
                 }
                 let run = engine.run(self.max_comm_rounds)?;
                 let crashed_now = engine.crashed_nodes().to_vec();
-                let (deletable, any) =
-                    local_verdicts(&masked, boundary, &crashed_now, self.tau, |v| {
-                        engine.state(v).map(|s| s.punctured_graph(v))
-                    });
+                let (deletable, any) = local_verdicts(&masked, boundary, &crashed_now, vpt, |v| {
+                    engine.state(v).map(|s| s.punctured_graph(v))
+                });
                 (run, crashed_now, deletable, any)
             };
             stats.absorb_discovery(run);
@@ -334,25 +375,35 @@ impl DistributedDcc {
 
 /// Evaluates the VPT verdict of every active non-boundary node from its
 /// discovered punctured graph, skipping nodes in `skip` (crashed mid-phase).
-fn local_verdicts<F>(
+/// Evaluation goes through the engine's memoizing, fanning-out job path.
+pub(crate) fn local_verdicts<F>(
     masked: &Masked<'_>,
     boundary: &[bool],
     skip: &[NodeId],
-    tau: usize,
+    engine: &mut VptEngine,
     mut punctured: F,
 ) -> (Vec<bool>, bool)
 where
     F: FnMut(NodeId) -> Option<(Graph, Vec<NodeId>)>,
 {
-    let mut deletable = vec![false; boundary.len()];
-    let mut any = false;
+    let mut jobs = Vec::new();
     for v in masked.active_nodes() {
         if boundary[v.index()] || skip.contains(&v) {
             continue;
         }
-        let (graph, _) = punctured(v).expect("active nodes ran discovery");
-        if vpt_graph_ok(&graph, tau) {
-            deletable[v.index()] = true;
+        let (graph, members) = punctured(v).expect("active nodes ran discovery");
+        jobs.push(EvalJob {
+            node: v,
+            members,
+            graph,
+        });
+    }
+    let verdicts = engine.evaluate_jobs(&jobs);
+    let mut deletable = vec![false; boundary.len()];
+    let mut any = false;
+    for (job, ok) in jobs.iter().zip(verdicts) {
+        if ok {
+            deletable[job.node.index()] = true;
             any = true;
         }
     }
@@ -362,10 +413,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dcc::Dcc;
     use crate::schedule::is_vpt_fixpoint;
     use confine_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn driver(tau: usize) -> crate::dcc::DistributedRunner {
+        Dcc::builder(tau).distributed().unwrap()
+    }
 
     fn king_boundary(w: usize, h: usize) -> Vec<bool> {
         (0..w * h)
@@ -381,7 +437,7 @@ mod tests {
         let g = generators::king_grid_graph(6, 6);
         let boundary = king_boundary(6, 6);
         let mut rng = StdRng::seed_from_u64(9);
-        let (set, stats) = DistributedDcc::new(4).run(&g, &boundary, &mut rng).unwrap();
+        let (set, stats) = driver(4).run(&g, &boundary, &mut rng).unwrap();
         assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 4));
         assert!(!set.deleted.is_empty());
         assert!(stats.deletion_rounds >= 1);
@@ -401,12 +457,12 @@ mod tests {
         let g = generators::king_grid_graph(7, 7);
         let boundary = king_boundary(7, 7);
         let mut rng = StdRng::seed_from_u64(1);
-        let (dist_set, _) = DistributedDcc::new(4).run(&g, &boundary, &mut rng).unwrap();
-        let central = crate::schedule::DccScheduler::new(4).schedule(
-            &g,
-            &boundary,
-            &mut StdRng::seed_from_u64(1),
-        );
+        let (dist_set, _) = driver(4).run(&g, &boundary, &mut rng).unwrap();
+        let central = Dcc::builder(4)
+            .centralized()
+            .unwrap()
+            .run(&g, &boundary, &mut StdRng::seed_from_u64(1))
+            .unwrap();
         let diff = dist_set.active_count().abs_diff(central.active_count());
         assert!(
             diff <= 3,
@@ -421,7 +477,7 @@ mod tests {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
         let mut rng = StdRng::seed_from_u64(3);
-        let (set, _) = DistributedDcc::new(3).run(&g, &boundary, &mut rng).unwrap();
+        let (set, _) = driver(3).run(&g, &boundary, &mut rng).unwrap();
         for (i, &b) in boundary.iter().enumerate() {
             if b {
                 assert!(set.active.contains(&NodeId::from(i)));
@@ -435,7 +491,7 @@ mod tests {
         let g = generators::cycle_graph(6);
         let boundary = vec![true; 6];
         let mut rng = StdRng::seed_from_u64(0);
-        let (set, stats) = DistributedDcc::new(3).run(&g, &boundary, &mut rng).unwrap();
+        let (set, stats) = driver(3).run(&g, &boundary, &mut rng).unwrap();
         assert_eq!(set.active_count(), 6);
         assert_eq!(stats.deletion_rounds, 0);
         assert_eq!(stats.election_messages, 0);
@@ -447,8 +503,10 @@ mod tests {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
         let mut rng = StdRng::seed_from_u64(3);
-        let result = DistributedDcc::new(3)
-            .with_round_limit(1)
+        let result = Dcc::builder(3)
+            .round_limit(1)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut rng);
         assert!(matches!(
             result,

@@ -29,7 +29,8 @@ use rand::Rng;
 
 use crate::distributed::DistributedStats;
 use crate::schedule::CoverageSet;
-use crate::vpt::{independence_radius, neighborhood_radius, vpt_graph_ok};
+use crate::vpt::{independence_radius, neighborhood_radius};
+use crate::vpt_engine::{EvalJob, VptEngine};
 
 /// A node's cached k-hop neighbourhood: member → adjacency list (as learned
 /// at start-up, minus deletions).
@@ -83,8 +84,9 @@ impl LocalView {
     }
 
     /// Materialises the punctured neighbourhood graph (members only, the
-    /// center excluded).
-    fn punctured_graph(&self) -> Graph {
+    /// center excluded) along with the sorted member ids — the shape the
+    /// engine fingerprints.
+    fn punctured_graph(&self) -> (Graph, Vec<NodeId>) {
         let mut members: Vec<NodeId> = self.adj.keys().copied().collect();
         members.sort_unstable();
         let index: HashMap<NodeId, usize> =
@@ -101,7 +103,7 @@ impl LocalView {
                 }
             }
         }
-        g
+        (g, members)
     }
 }
 
@@ -161,7 +163,7 @@ impl Protocol for NoticeFlood {
 /// # Example
 ///
 /// ```
-/// use confine_core::incremental::IncrementalDcc;
+/// use confine_core::prelude::*;
 /// use confine_graph::generators;
 /// use rand::SeedableRng;
 ///
@@ -170,7 +172,7 @@ impl Protocol for NoticeFlood {
 ///     .map(|i| { let (x, y) = (i % 5, i / 5); x == 0 || y == 0 || x == 4 || y == 4 })
 ///     .collect();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-/// let (set, stats) = IncrementalDcc::new(4).run(&g, &boundary, &mut rng)?;
+/// let (set, stats) = Dcc::builder(4).incremental()?.run(&g, &boundary, &mut rng)?;
 /// assert!(!set.deleted.is_empty());
 /// assert!(stats.discovery_messages > 0);
 /// # Ok::<(), confine_netsim::SimError>(())
@@ -187,11 +189,16 @@ impl IncrementalDcc {
     /// # Panics
     ///
     /// Panics if `tau < 3`.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).incremental()`")]
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
+        IncrementalDcc::from_builder(tau, 10_000)
+    }
+
+    pub(crate) fn from_builder(tau: usize, max_comm_rounds: usize) -> Self {
         IncrementalDcc {
             tau,
-            max_comm_rounds: 10_000,
+            max_comm_rounds,
         }
     }
 
@@ -203,23 +210,35 @@ impl IncrementalDcc {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::RoundLimitExceeded`] if a phase exceeds the
-    /// configured limit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `boundary.len() != graph.node_count()`.
+    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
+    /// cover the graph, or [`SimError::RoundLimitExceeded`] if a phase
+    /// exceeds the configured limit.
     pub fn run<R: Rng>(
         &self,
         graph: &Graph,
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
-        assert_eq!(
-            boundary.len(),
-            graph.node_count(),
-            "boundary flags must cover all nodes"
-        );
+        let mut engine = VptEngine::new(self.tau);
+        self.run_with_engine(graph, boundary, &mut engine, rng)
+    }
+
+    /// [`IncrementalDcc::run`] with a caller-owned [`VptEngine`] whose
+    /// fingerprint memo persists across runs (the [`crate::dcc`] runner
+    /// path).
+    pub(crate) fn run_with_engine<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        vpt: &mut VptEngine,
+        rng: &mut R,
+    ) -> Result<(CoverageSet, DistributedStats), SimError> {
+        if boundary.len() != graph.node_count() {
+            return Err(SimError::BoundaryMismatch {
+                flags: boundary.len(),
+                nodes: graph.node_count(),
+            });
+        }
         let k = neighborhood_radius(self.tau);
         let m = independence_radius(self.tau);
         let mut masked = Masked::all_active(graph);
@@ -242,16 +261,27 @@ impl IncrementalDcc {
         drop(discovery);
 
         loop {
-            // Local deletability from cached views (no messages).
+            // Local deletability from cached views (no messages): each node
+            // ships its cached punctured graph to the engine, which memoizes
+            // verdicts by neighbourhood fingerprint across rounds.
+            let jobs: Vec<EvalJob> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .map(|v| {
+                    let (graph, members) = views[v.index()].punctured_graph();
+                    EvalJob {
+                        node: v,
+                        members,
+                        graph,
+                    }
+                })
+                .collect();
+            let verdicts = vpt.evaluate_jobs(&jobs);
             let mut deletable = vec![false; graph.node_count()];
             let mut any = false;
-            for v in masked.active_nodes() {
-                if boundary[v.index()] {
-                    continue;
-                }
-                let punctured = views[v.index()].punctured_graph();
-                if vpt_graph_ok(&punctured, self.tau) {
-                    deletable[v.index()] = true;
+            for (job, ok) in jobs.iter().zip(verdicts) {
+                if ok {
+                    deletable[job.node.index()] = true;
                     any = true;
                 }
             }
@@ -277,7 +307,11 @@ impl IncrementalDcc {
                 .filter(|&v| election.state(v).expect("ran").is_winner(v))
                 .collect();
             drop(election);
-            debug_assert!(!winners.is_empty());
+            if winners.is_empty() {
+                // With reliable links the globally minimal candidate always
+                // wins, so this indicates corrupted election state.
+                return Err(SimError::ElectionStalled { retries: 0 });
+            }
 
             // Deletion notices flood k hops over the *pre-deletion* topology
             // (the deleted nodes' last transmissions).
@@ -340,6 +374,7 @@ impl IncrementalDcc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dcc::Dcc;
     use crate::schedule::is_vpt_fixpoint;
     use confine_graph::{generators, traverse};
     use rand::rngs::StdRng;
@@ -359,7 +394,11 @@ mod tests {
         let g = generators::king_grid_graph(6, 6);
         let boundary = king_boundary(6, 6);
         let mut rng = StdRng::seed_from_u64(5);
-        let (set, stats) = IncrementalDcc::new(4).run(&g, &boundary, &mut rng).unwrap();
+        let (set, stats) = Dcc::builder(4)
+            .incremental()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
         assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 4));
         assert!(!set.deleted.is_empty());
         assert!(stats.deletion_rounds >= 1);
@@ -371,10 +410,14 @@ mod tests {
         // because the local views must agree with ground truth each round.
         let g = generators::king_grid_graph(7, 7);
         let boundary = king_boundary(7, 7);
-        let (inc, _) = IncrementalDcc::new(4)
+        let (inc, _) = Dcc::builder(4)
+            .incremental()
+            .unwrap()
             .run(&g, &boundary, &mut StdRng::seed_from_u64(11))
             .unwrap();
-        let (full, _) = crate::distributed::DistributedDcc::new(4)
+        let (full, _) = Dcc::builder(4)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut StdRng::seed_from_u64(11))
             .unwrap();
         assert_eq!(
@@ -388,10 +431,14 @@ mod tests {
     fn incremental_is_cheaper_in_discovery_traffic() {
         let g = generators::king_grid_graph(8, 8);
         let boundary = king_boundary(8, 8);
-        let (_, inc) = IncrementalDcc::new(4)
+        let (_, inc) = Dcc::builder(4)
+            .incremental()
+            .unwrap()
             .run(&g, &boundary, &mut StdRng::seed_from_u64(2))
             .unwrap();
-        let (_, full) = crate::distributed::DistributedDcc::new(4)
+        let (_, full) = Dcc::builder(4)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut StdRng::seed_from_u64(2))
             .unwrap();
         assert!(
@@ -408,7 +455,11 @@ mod tests {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
         let mut rng = StdRng::seed_from_u64(9);
-        let (set, _) = IncrementalDcc::new(3).run(&g, &boundary, &mut rng).unwrap();
+        let (set, _) = Dcc::builder(3)
+            .incremental()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
         for (i, &b) in boundary.iter().enumerate() {
             if b {
                 assert!(set.active.contains(&NodeId::from(i)));

@@ -34,7 +34,7 @@
 //!
 //! ```
 //! use confine_core::config::best_tau_for_requirement;
-//! use confine_core::schedule::DccScheduler;
+//! use confine_core::prelude::*;
 //! use confine_graph::generators;
 //! use rand::SeedableRng;
 //!
@@ -48,23 +48,34 @@
 //! let tau = best_tau_for_requirement(1.0, 1.0, 0.0).expect("γ ≤ √3");
 //! assert_eq!(tau, 6);
 //!
+//! // One runner holds the parallel, memoizing VPT engine; reuse it across
+//! // runs to keep the fingerprint memo warm.
+//! let mut runner = Dcc::builder(tau).centralized()?;
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+//! let set = runner.run(&g, &boundary, &mut rng)?;
 //! assert!(set.active_count() < 36, "some interior nodes sleep");
+//! # Ok::<(), SimError>(())
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dcc;
 pub mod distributed;
 pub mod edges;
 pub mod incremental;
 pub mod lifetime;
 pub mod moebius;
+pub mod prelude;
 pub mod repair;
 pub mod schedule;
 pub mod verify;
 pub mod vpt;
+pub mod vpt_engine;
 
 pub use config::{ConfineConfig, Guarantee};
-pub use schedule::{CoverageSet, DccScheduler, DeletionOrder};
+pub use dcc::{Dcc, DccBuilder};
+#[allow(deprecated)]
+pub use schedule::DccScheduler;
+pub use schedule::{CoverageSet, DeletionOrder};
+pub use vpt_engine::{EngineConfig, EngineStats, VptEngine};

@@ -26,7 +26,8 @@
 use confine_graph::{traverse, Graph, Masked, NodeId};
 use rand::Rng;
 
-use crate::schedule::{CoverageSet, DccScheduler};
+use crate::schedule::{run_schedule, CoverageSet, DeletionOrder};
+use crate::vpt_engine::VptEngine;
 
 /// Battery and duty-cycle parameters for the rotation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,7 +142,9 @@ impl RotationScheduler {
         );
         let mut residual = vec![self.model.capacity; graph.node_count()];
         let mut epochs = Vec::new();
-        let scheduler = DccScheduler::new(self.tau);
+        // One engine across all epochs: later epochs re-visit neighbourhood
+        // shapes from earlier ones, so the fingerprint memo keeps paying.
+        let mut engine = VptEngine::new(self.tau);
 
         for _ in 0..max_epochs {
             // Battery-dead nodes leave the topology.
@@ -176,13 +179,16 @@ impl RotationScheduler {
 
             // Energy-biased schedule: depleted nodes win the deletion
             // elections and sleep.
-            let set: CoverageSet = scheduler.schedule_biased(
+            let set: CoverageSet = run_schedule(
                 graph,
                 boundary,
                 &dead,
                 |v| residual[v.index()] as f64,
+                DeletionOrder::MisParallel,
+                &mut engine,
                 rng,
-            );
+            )
+            .expect("validated inputs cannot fail");
 
             // Awake nodes pay for the epoch.
             for &v in &set.active {
@@ -205,7 +211,17 @@ impl RotationScheduler {
     /// Baseline: the same (unbiased) coverage set reused every epoch.
     /// Returns the achieved lifetime in epochs.
     pub fn static_baseline<R: Rng>(&self, graph: &Graph, boundary: &[bool], rng: &mut R) -> usize {
-        let set = DccScheduler::new(self.tau).schedule(graph, boundary, rng);
+        let mut engine = VptEngine::new(self.tau);
+        let set = run_schedule(
+            graph,
+            boundary,
+            &[],
+            |_| 0.0,
+            DeletionOrder::MisParallel,
+            &mut engine,
+            rng,
+        )
+        .expect("validated inputs cannot fail");
         if self.model.boundary_draws_power || set.active.iter().any(|&v| !boundary[v.index()]) {
             self.model.capacity as usize
         } else {

@@ -39,7 +39,8 @@ use rand::Rng;
 
 use crate::distributed::DistributedStats;
 use crate::schedule::CoverageSet;
-use crate::vpt::{independence_radius, neighborhood_radius, vpt_graph_ok};
+use crate::vpt::{independence_radius, neighborhood_radius};
+use crate::vpt_engine::{EvalJob, VptEngine};
 
 /// How far the repaired network strayed from the paper's guarantees, and for
 /// how long (all bounds per Proposition 1; distances in units of `Rc`).
@@ -140,24 +141,39 @@ impl CoverageRepair {
     /// # Panics
     ///
     /// Panics if `tau < 3`.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).repair()`")]
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
+        CoverageRepair::from_builder(tau, crate::config::DEFAULT_HEARTBEAT_TIMEOUT, 10_000, 1.0)
+    }
+
+    pub(crate) fn from_builder(
+        tau: usize,
+        heartbeat_timeout: usize,
+        max_comm_rounds: usize,
+        comm_range: f64,
+    ) -> Self {
         CoverageRepair {
             tau,
-            heartbeat_timeout: crate::config::DEFAULT_HEARTBEAT_TIMEOUT,
-            max_comm_rounds: 10_000,
-            comm_range: 1.0,
+            heartbeat_timeout,
+            max_comm_rounds,
+            comm_range,
         }
     }
 
     /// Overrides the heartbeat silence timeout (default
     /// [`crate::config::DEFAULT_HEARTBEAT_TIMEOUT`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dcc::builder(tau).heartbeat_timeout(..)`"
+    )]
     pub fn with_heartbeat_timeout(mut self, timeout: usize) -> Self {
         self.heartbeat_timeout = timeout;
         self
     }
 
     /// Overrides the per-phase communication round limit.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).round_limit(..)`")]
     pub fn with_round_limit(mut self, limit: usize) -> Self {
         self.max_comm_rounds = limit;
         self
@@ -165,6 +181,7 @@ impl CoverageRepair {
 
     /// Sets the communication range `Rc` used to scale the hole bounds in
     /// the [`Degradation`] report (default 1.0).
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).comm_range(..)`")]
     pub fn with_comm_range(mut self, rc: f64) -> Self {
         self.comm_range = rc;
         self
@@ -177,13 +194,13 @@ impl CoverageRepair {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::RoundLimitExceeded`] if a repair phase fails to
-    /// converge within the configured limit.
+    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
+    /// cover the graph, or [`SimError::RoundLimitExceeded`] if a repair
+    /// phase fails to converge within the configured limit.
     ///
     /// # Panics
     ///
-    /// Panics if `crashed` is not in `active` or the flag slice is the
-    /// wrong length.
+    /// Panics if `crashed` is not in `active`.
     pub fn repair<R: Rng>(
         &self,
         graph: &Graph,
@@ -192,11 +209,28 @@ impl CoverageRepair {
         crashed: NodeId,
         rng: &mut R,
     ) -> Result<RepairOutcome, SimError> {
-        assert_eq!(
-            boundary.len(),
-            graph.node_count(),
-            "boundary flags must cover all nodes"
-        );
+        let mut engine = VptEngine::new(self.tau);
+        self.repair_with_engine(graph, boundary, active, crashed, &mut engine, rng)
+    }
+
+    /// [`CoverageRepair::repair`] with a caller-owned [`VptEngine`] whose
+    /// fingerprint memo persists across repairs (the [`crate::dcc`] runner
+    /// path).
+    pub(crate) fn repair_with_engine<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        crashed: NodeId,
+        vpt: &mut VptEngine,
+        rng: &mut R,
+    ) -> Result<RepairOutcome, SimError> {
+        if boundary.len() != graph.node_count() {
+            return Err(SimError::BoundaryMismatch {
+                flags: boundary.len(),
+                nodes: graph.node_count(),
+            });
+        }
         assert!(
             active.contains(&crashed),
             "only active nodes can crash out of the schedule"
@@ -277,16 +311,25 @@ impl CoverageRepair {
         loop {
             let mut discovery = Engine::new(&masked, |_| KHopDiscovery::new(k));
             stats.absorb_repair(discovery.run(self.max_comm_rounds)?);
+            let jobs: Vec<EvalJob> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()] && region[v.index()])
+                .map(|v| {
+                    let state = discovery.state(v).expect("active nodes ran discovery");
+                    let (graph, members) = state.punctured_graph(v);
+                    EvalJob {
+                        node: v,
+                        members,
+                        graph,
+                    }
+                })
+                .collect();
+            let verdicts = vpt.evaluate_jobs(&jobs);
             let mut deletable = vec![false; graph.node_count()];
             let mut any = false;
-            for v in masked.active_nodes() {
-                if boundary[v.index()] || !region[v.index()] {
-                    continue;
-                }
-                let state = discovery.state(v).expect("active nodes ran discovery");
-                let (punctured, _) = state.punctured_graph(v);
-                if vpt_graph_ok(&punctured, self.tau) {
-                    deletable[v.index()] = true;
+            for (job, ok) in jobs.iter().zip(verdicts) {
+                if ok {
+                    deletable[job.node.index()] = true;
                     any = true;
                 }
             }
@@ -312,12 +355,10 @@ impl CoverageRepair {
                 .filter(|&v| deletable[v.index()])
                 .filter(|&v| election.state(v).expect("candidates ran").is_winner(v))
                 .collect();
-            debug_assert!(
-                !winners.is_empty(),
-                "reliable repair elections always elect"
-            );
             if winners.is_empty() {
-                break;
+                // With reliable links the globally minimal candidate always
+                // wins, so this indicates corrupted election state.
+                return Err(SimError::ElectionStalled { retries: 0 });
             }
             for v in winners {
                 masked.deactivate(v);
@@ -352,7 +393,7 @@ impl CoverageRepair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distributed::DistributedDcc;
+    use crate::dcc::Dcc;
     use crate::schedule::is_vpt_fixpoint;
     use confine_graph::generators;
     use rand::rngs::StdRng;
@@ -381,7 +422,9 @@ mod tests {
         let boundary = king_boundary(7, 7);
         let tau = 4;
         let mut rng = StdRng::seed_from_u64(5);
-        let (set, _) = DistributedDcc::new(tau)
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut rng)
             .unwrap();
         assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
@@ -389,7 +432,9 @@ mod tests {
         assert!(!victims.is_empty(), "7×7 fixpoints keep internal nodes");
 
         for &victim in &victims {
-            let outcome = CoverageRepair::new(tau)
+            let outcome = Dcc::builder(tau)
+                .repair()
+                .unwrap()
                 .repair(&g, &boundary, &set.active, victim, &mut rng)
                 .unwrap();
             assert!(
@@ -417,11 +462,15 @@ mod tests {
         let boundary = king_boundary(7, 7);
         let tau = 4;
         let mut rng = StdRng::seed_from_u64(8);
-        let (set, _) = DistributedDcc::new(tau)
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut rng)
             .unwrap();
         let victim = internal_actives(&set.active, &boundary)[0];
-        let outcome = CoverageRepair::new(tau)
+        let outcome = Dcc::builder(tau)
+            .repair()
+            .unwrap()
             .repair(&g, &boundary, &set.active, victim, &mut rng)
             .unwrap();
         let k = neighborhood_radius(tau);
@@ -441,14 +490,18 @@ mod tests {
         let boundary = king_boundary(6, 6);
         let tau = 4;
         let mut rng = StdRng::seed_from_u64(2);
-        let (set, _) = DistributedDcc::new(tau)
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut rng)
             .unwrap();
         let victim = internal_actives(&set.active, &boundary)[0];
         let rc = 30.0;
-        let outcome = CoverageRepair::new(tau)
-            .with_heartbeat_timeout(2)
-            .with_comm_range(rc)
+        let outcome = Dcc::builder(tau)
+            .heartbeat_timeout(2)
+            .comm_range(rc)
+            .repair()
+            .unwrap()
             .repair(&g, &boundary, &set.active, victim, &mut rng)
             .unwrap();
         let d = outcome.degradation;
@@ -467,11 +520,15 @@ mod tests {
         let boundary = king_boundary(7, 7);
         let tau = 4;
         let mut rng = StdRng::seed_from_u64(13);
-        let (set, _) = DistributedDcc::new(tau)
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
             .run(&g, &boundary, &mut rng)
             .unwrap();
         let victim = internal_actives(&set.active, &boundary)[0];
-        let outcome = CoverageRepair::new(tau)
+        let outcome = Dcc::builder(tau)
+            .repair()
+            .unwrap()
             .repair(&g, &boundary, &set.active, victim, &mut rng)
             .unwrap();
         let k = neighborhood_radius(tau);
@@ -493,8 +550,16 @@ mod tests {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
         let mut rng = StdRng::seed_from_u64(1);
-        let (set, _) = DistributedDcc::new(4).run(&g, &boundary, &mut rng).unwrap();
+        let (set, _) = Dcc::builder(4)
+            .distributed()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
         let sleeper = set.deleted[0];
-        let _ = CoverageRepair::new(4).repair(&g, &boundary, &set.active, sleeper, &mut rng);
+        let _ =
+            Dcc::builder(4)
+                .repair()
+                .unwrap()
+                .repair(&g, &boundary, &set.active, sleeper, &mut rng);
     }
 }

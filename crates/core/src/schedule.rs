@@ -20,9 +20,11 @@
 //! conditions under which this implies set-theoretic non-redundancy).
 
 use confine_graph::{mis, Graph, GraphView, Masked, NodeId};
+use confine_netsim::SimError;
 use rand::Rng;
 
 use crate::vpt::{independence_radius, is_vertex_deletable};
+use crate::vpt_engine::VptEngine;
 
 /// How deletions are ordered within the schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +56,16 @@ impl CoverageSet {
         self.active.len()
     }
 
+    /// Whether `v` stayed awake (binary search over the sorted active list).
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active.binary_search(&v).is_ok()
+    }
+
+    /// Iterates over the active nodes in increasing id order.
+    pub fn iter_active(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active.iter().copied()
+    }
+
     /// Active *internal* nodes given the boundary flags the schedule ran
     /// with.
     pub fn active_internal(&self, boundary: &[bool]) -> Vec<NodeId> {
@@ -65,12 +77,180 @@ impl CoverageSet {
     }
 }
 
+/// Engine-backed schedule driver shared by the [`crate::dcc`] runners, the
+/// lifetime-rotation machinery and the deprecated [`DccScheduler`] shims.
+///
+/// Candidate verdicts come from `engine` (round cache + fingerprint memo +
+/// thread fan-out); candidate *sets* — and therefore the RNG consumption and
+/// the resulting coverage set — are bit-identical to fresh per-candidate
+/// evaluation, because verdicts are pure functions of the view.
+pub(crate) fn run_schedule<R: Rng, F>(
+    graph: &Graph,
+    boundary: &[bool],
+    excluded: &[NodeId],
+    bias: F,
+    order: DeletionOrder,
+    engine: &mut VptEngine,
+    rng: &mut R,
+) -> Result<CoverageSet, SimError>
+where
+    F: Fn(NodeId) -> f64,
+{
+    if engine.tau() < crate::config::MIN_TAU {
+        return Err(SimError::InvalidTau {
+            tau: engine.tau(),
+            min: crate::config::MIN_TAU,
+        });
+    }
+    if boundary.len() != graph.node_count() {
+        return Err(SimError::BoundaryMismatch {
+            flags: boundary.len(),
+            nodes: graph.node_count(),
+        });
+    }
+    let m = independence_radius(engine.tau());
+    engine.begin_run(graph.node_count());
+    let mut masked = Masked::all_active(graph);
+    for &v in excluded {
+        masked.deactivate(v);
+    }
+    let mut deleted = Vec::new();
+    let mut rounds = 0;
+    loop {
+        let eligible: Vec<NodeId> = masked
+            .active_nodes()
+            .filter(|&v| !boundary[v.index()])
+            .collect();
+        let candidates = engine.deletable_candidates(&masked, &eligible);
+        if candidates.is_empty() {
+            break;
+        }
+        rounds += 1;
+        match order {
+            DeletionOrder::MisParallel => {
+                let mut priorities = vec![0.0f64; graph.node_count()];
+                for &v in &candidates {
+                    priorities[v.index()] = bias(v) + rng.gen::<f64>() * 1e-6;
+                }
+                let winners = mis::m_hop_mis(&masked, &candidates, &priorities, m);
+                if winners.is_empty() {
+                    return Err(SimError::ElectionStalled { retries: 0 });
+                }
+                for v in winners {
+                    engine.note_deletion(&masked, v);
+                    masked.deactivate(v);
+                    deleted.push(v);
+                }
+            }
+            DeletionOrder::Sequential => {
+                let v = candidates
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        (bias(a) + rng.gen::<f64>() * 1e-6)
+                            .total_cmp(&(bias(b) + rng.gen::<f64>() * 1e-6))
+                    })
+                    .expect("candidates is non-empty");
+                engine.note_deletion(&masked, v);
+                masked.deactivate(v);
+                deleted.push(v);
+            }
+        }
+    }
+    Ok(CoverageSet {
+        active: masked.active_nodes().collect(),
+        deleted,
+        rounds,
+    })
+}
+
+/// The seed scheduler's semantics with **no** caching and **no**
+/// parallelism: every eligible node is re-evaluated by a fresh
+/// [`is_vertex_deletable`] call in every round.
+///
+/// This is the sequential-uncached baseline the `vpt_engine` benches compare
+/// the engine against; because verdicts are pure, it returns exactly the
+/// coverage set the engine-backed path produces for the same RNG.
+pub fn reference_schedule<R: Rng>(
+    graph: &Graph,
+    boundary: &[bool],
+    tau: usize,
+    order: DeletionOrder,
+    rng: &mut R,
+) -> Result<CoverageSet, SimError> {
+    if tau < crate::config::MIN_TAU {
+        return Err(SimError::InvalidTau {
+            tau,
+            min: crate::config::MIN_TAU,
+        });
+    }
+    if boundary.len() != graph.node_count() {
+        return Err(SimError::BoundaryMismatch {
+            flags: boundary.len(),
+            nodes: graph.node_count(),
+        });
+    }
+    let m = independence_radius(tau);
+    let mut masked = Masked::all_active(graph);
+    let mut deleted = Vec::new();
+    let mut rounds = 0;
+    loop {
+        let candidates: Vec<NodeId> = masked
+            .active_nodes()
+            .filter(|&v| !boundary[v.index()])
+            .filter(|&v| is_vertex_deletable(&masked, v, tau))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        rounds += 1;
+        match order {
+            DeletionOrder::MisParallel => {
+                let mut priorities = vec![0.0f64; graph.node_count()];
+                for &v in &candidates {
+                    priorities[v.index()] = rng.gen::<f64>() * 1e-6;
+                }
+                let winners = mis::m_hop_mis(&masked, &candidates, &priorities, m);
+                if winners.is_empty() {
+                    return Err(SimError::ElectionStalled { retries: 0 });
+                }
+                for v in winners {
+                    masked.deactivate(v);
+                    deleted.push(v);
+                }
+            }
+            DeletionOrder::Sequential => {
+                // Same RNG draws per comparison as the engine path with a
+                // zero bias — the streams must stay aligned.
+                let v = candidates
+                    .iter()
+                    .copied()
+                    .min_by(|&_a, &_b| {
+                        (rng.gen::<f64>() * 1e-6).total_cmp(&(rng.gen::<f64>() * 1e-6))
+                    })
+                    .expect("candidates is non-empty");
+                masked.deactivate(v);
+                deleted.push(v);
+            }
+        }
+    }
+    Ok(CoverageSet {
+        active: masked.active_nodes().collect(),
+        deleted,
+        rounds,
+    })
+}
+
 /// The DCC scheduler.
+///
+/// Deprecated: construct runs through [`crate::dcc::Dcc::builder`] instead,
+/// which validates inputs with typed [`SimError`]s and shares one
+/// [`VptEngine`] across runs.
 ///
 /// # Example
 ///
 /// ```
-/// use confine_core::schedule::DccScheduler;
+/// use confine_core::prelude::*;
 /// use confine_graph::generators;
 /// use rand::SeedableRng;
 ///
@@ -81,11 +261,12 @@ impl CoverageSet {
 /// for i in 1..=6 { boundary[i] = true; }
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 ///
-/// let set = DccScheduler::new(6).schedule(&g, &boundary, &mut rng);
+/// let set = Dcc::builder(6).centralized()?.run(&g, &boundary, &mut rng)?;
 /// assert_eq!(set.active_count(), 6, "hub deleted");
 ///
-/// let set = DccScheduler::new(5).schedule(&g, &boundary, &mut rng);
+/// let set = Dcc::builder(5).centralized()?.run(&g, &boundary, &mut rng)?;
 /// assert_eq!(set.active_count(), 7, "hub kept");
+/// # Ok::<(), confine_netsim::SimError>(())
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct DccScheduler {
@@ -100,6 +281,7 @@ impl DccScheduler {
     /// # Panics
     ///
     /// Panics if `tau < 3`.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).centralized()`")]
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
         DccScheduler {
@@ -109,6 +291,7 @@ impl DccScheduler {
     }
 
     /// Selects the deletion discipline.
+    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).order(..)`")]
     pub fn with_order(mut self, order: DeletionOrder) -> Self {
         self.order = order;
         self
@@ -125,7 +308,12 @@ impl DccScheduler {
     /// # Panics
     ///
     /// Panics if `boundary.len() != graph.node_count()`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dcc::builder(tau).centralized()?.run(..)`"
+    )]
     pub fn schedule<R: Rng>(&self, graph: &Graph, boundary: &[bool], rng: &mut R) -> CoverageSet {
+        #[allow(deprecated)]
         self.schedule_biased(graph, boundary, &[], |_| 0.0, rng)
     }
 
@@ -141,6 +329,10 @@ impl DccScheduler {
     /// # Panics
     ///
     /// Panics if `boundary.len() != graph.node_count()`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dcc::builder(tau).energy_bias(..).centralized()?.run_biased(..)`"
+    )]
     pub fn schedule_biased<R: Rng, F>(
         &self,
         graph: &Graph,
@@ -157,77 +349,17 @@ impl DccScheduler {
             graph.node_count(),
             "boundary flags must cover all nodes"
         );
-        let mut masked = Masked::all_active(graph);
-        for &v in excluded {
-            masked.deactivate(v);
-        }
-        let mut deleted = Vec::new();
-        let mut rounds = 0;
-        let k = crate::vpt::neighborhood_radius(self.tau);
-        let m = independence_radius(self.tau);
-
-        // Deletability of `v` depends only on its punctured k-hop ball, so a
-        // deletion can only invalidate the cached verdicts of nodes within k
-        // hops of the deleted node (distances never shrink under deletion).
-        let mut cache: Vec<Option<bool>> = vec![None; graph.node_count()];
-        // Deactivates `v` and invalidates the cache of its k-hop ball
-        // (computed *before* the deactivation, a superset of the affected
-        // nodes).
-        let delete = |masked: &mut Masked<'_>,
-                      cache: &mut Vec<Option<bool>>,
-                      deleted: &mut Vec<NodeId>,
-                      v: NodeId| {
-            for w in confine_graph::traverse::k_hop_neighbors(masked, v, k) {
-                cache[w.index()] = None;
-            }
-            masked.deactivate(v);
-            deleted.push(v);
-        };
-
-        loop {
-            let candidates: Vec<NodeId> = masked
-                .active_nodes()
-                .filter(|&v| !boundary[v.index()])
-                .filter(|&v| {
-                    *cache[v.index()]
-                        .get_or_insert_with(|| is_vertex_deletable(&masked, v, self.tau))
-                })
-                .collect();
-            if candidates.is_empty() {
-                break;
-            }
-            rounds += 1;
-            match self.order {
-                DeletionOrder::MisParallel => {
-                    let mut priorities = vec![0.0f64; graph.node_count()];
-                    for &v in &candidates {
-                        priorities[v.index()] = bias(v) + rng.gen::<f64>() * 1e-6;
-                    }
-                    let winners = mis::m_hop_mis(&masked, &candidates, &priorities, m);
-                    debug_assert!(!winners.is_empty());
-                    for v in winners {
-                        delete(&mut masked, &mut cache, &mut deleted, v);
-                    }
-                }
-                DeletionOrder::Sequential => {
-                    let v = candidates
-                        .iter()
-                        .copied()
-                        .min_by(|&a, &b| {
-                            (bias(a) + rng.gen::<f64>() * 1e-6)
-                                .total_cmp(&(bias(b) + rng.gen::<f64>() * 1e-6))
-                        })
-                        .expect("candidates is non-empty");
-                    delete(&mut masked, &mut cache, &mut deleted, v);
-                }
-            }
-        }
-
-        CoverageSet {
-            active: masked.active_nodes().collect(),
-            deleted,
-            rounds,
-        }
+        let mut engine = VptEngine::new(self.tau);
+        run_schedule(
+            graph,
+            boundary,
+            excluded,
+            bias,
+            self.order,
+            &mut engine,
+            rng,
+        )
+        .expect("validated inputs cannot fail")
     }
 }
 
@@ -242,6 +374,8 @@ pub fn is_vpt_fixpoint(graph: &Graph, active: &[NodeId], boundary: &[bool], tau:
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims must keep their seed behaviour; these tests pin it.
+    #![allow(deprecated)]
     use super::*;
     use confine_graph::{generators, traverse};
     use rand::rngs::StdRng;

@@ -121,7 +121,7 @@ pub fn cone_inner_boundaries(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::DccScheduler;
+    use crate::dcc::Dcc;
     use confine_deploy::{Point, Rect};
     use confine_graph::generators;
     use rand::rngs::StdRng;
@@ -173,7 +173,11 @@ mod tests {
         // hub and the criterion still holds at τ = 8.
         let s = wheel_scenario(8);
         let mut rng = StdRng::seed_from_u64(2);
-        let set = DccScheduler::new(8).schedule(&s.graph, &s.boundary, &mut rng);
+        let set = Dcc::builder(8)
+            .centralized()
+            .unwrap()
+            .run(&s.graph, &s.boundary, &mut rng)
+            .unwrap();
         assert_eq!(set.active_count(), 8);
         assert_eq!(
             verify_criterion(&s, &set.active, 8),

@@ -13,8 +13,18 @@
 //! partition. Both tests are local — a node can evaluate them from `k`-hop
 //! connectivity alone, which is what makes the scheduler distributed.
 
-use confine_cycles::horton::max_irreducible_at_most;
+use confine_cycles::horton::{max_irreducible_at_most_with, CycleScratch};
 use confine_graph::{traverse, Graph, GraphView, NodeId};
+
+/// Reusable scratch state for repeated VPT evaluations.
+///
+/// Holds the GF(2) elimination buffers of the irreducible-cycle test; one
+/// scratch per evaluating thread removes all per-candidate heap churn from
+/// the scheduler's hot loop. A fresh (`Default`) scratch is always valid.
+#[derive(Debug, Clone, Default)]
+pub struct VptScratch {
+    cycles: CycleScratch,
+}
 
 /// The discovery radius `k = ⌈τ/2⌉` used by the transformation.
 pub fn neighborhood_radius(tau: usize) -> u32 {
@@ -78,10 +88,26 @@ pub fn induced_from_view<V: GraphView>(view: &V, nodes: &[NodeId]) -> (Graph, Ve
 /// assert!(!is_vertex_deletable(&g, NodeId(0), 5));
 /// ```
 pub fn is_vertex_deletable<V: GraphView>(view: &V, v: NodeId, tau: usize) -> bool {
+    is_vertex_deletable_with(view, v, tau, &mut VptScratch::default())
+}
+
+/// Scratch-reusing form of [`is_vertex_deletable`].
+///
+/// Identical result; the caller owns the [`VptScratch`] and amortises the
+/// GF(2) elimination buffers across many candidates (the [`VptEngine`] keeps
+/// one scratch per worker thread).
+///
+/// [`VptEngine`]: crate::vpt_engine::VptEngine
+pub fn is_vertex_deletable_with<V: GraphView>(
+    view: &V,
+    v: NodeId,
+    tau: usize,
+    scratch: &mut VptScratch,
+) -> bool {
     let k = neighborhood_radius(tau);
     let ball = traverse::k_hop_neighbors(view, v, k);
     let (punctured, _) = induced_from_view(view, &ball);
-    vpt_graph_ok(&punctured, tau)
+    vpt_graph_ok_with(&punctured, tau, scratch)
 }
 
 /// Evaluates the edge-deletion condition of the transformation for the edge
@@ -114,7 +140,13 @@ pub fn is_edge_deletable<V: GraphView>(view: &V, a: NodeId, b: NodeId, tau: usiz
 /// The two-part test of Definition 5 on an already-materialised punctured
 /// neighbourhood graph.
 pub fn vpt_graph_ok(punctured: &Graph, tau: usize) -> bool {
-    traverse::is_connected(punctured) && max_irreducible_at_most(punctured, tau)
+    vpt_graph_ok_with(punctured, tau, &mut VptScratch::default())
+}
+
+/// Scratch-reusing form of [`vpt_graph_ok`].
+pub fn vpt_graph_ok_with(punctured: &Graph, tau: usize, scratch: &mut VptScratch) -> bool {
+    traverse::is_connected(punctured)
+        && max_irreducible_at_most_with(punctured, tau, &mut scratch.cycles)
 }
 
 #[cfg(test)]

@@ -4,8 +4,7 @@
 
 use rand::SeedableRng;
 
-use confine_core::distributed::DistributedDcc;
-use confine_core::repair::CoverageRepair;
+use confine_core::prelude::*;
 use confine_core::schedule::is_vpt_fixpoint;
 use confine_core::verify::{verify_criterion, CriterionOutcome};
 use confine_deploy::deployment::Deployment;
@@ -13,7 +12,7 @@ use confine_deploy::scenario::scenario_from_deployment;
 use confine_deploy::{CommModel, Point, Rect};
 use confine_graph::{generators, NodeId};
 use confine_netsim::faults::FaultPlan;
-use confine_netsim::{LinkModel, SimError};
+use confine_netsim::LinkModel;
 
 fn king_grid_boundary(w: usize, h: usize) -> Vec<bool> {
     (0..w * h)
@@ -44,12 +43,14 @@ fn half_lossy_runs_terminate_cleanly() {
     let boundary = king_grid_boundary(6, 6);
     for seed in 0..6u64 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let result = DistributedDcc::new(4)
-            .with_link_model(LinkModel::Lossy {
+        let result = Dcc::builder(4)
+            .link_model(LinkModel::Lossy {
                 p: 0.5,
                 seed: seed.wrapping_mul(97),
             })
-            .with_round_limit(20_000)
+            .round_limit(20_000)
+            .distributed()
+            .expect("valid tau")
             .run(&g, &boundary, &mut rng);
         match result {
             Ok((set, stats)) => {
@@ -72,15 +73,15 @@ fn lossy_run_with_random_crashes_terminates() {
     for seed in 0..5u64 {
         let plan = FaultPlan::random_crashes(&nodes, 3, 40, 1000 + seed).with_seed(7 * seed + 1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let result = DistributedDcc::new(4)
-            .with_faults(
-                LinkModel::Lossy {
-                    p: 0.3,
-                    seed: 13 * seed + 5,
-                },
-                plan,
-            )
-            .with_round_limit(20_000)
+        let result = Dcc::builder(4)
+            .link_model(LinkModel::Lossy {
+                p: 0.3,
+                seed: 13 * seed + 5,
+            })
+            .fault_plan(plan)
+            .round_limit(20_000)
+            .distributed()
+            .expect("valid tau")
             .run(&g, &boundary, &mut rng);
         match result {
             Ok((set, stats)) => {
@@ -104,7 +105,9 @@ fn post_schedule_crash_is_repaired_with_accounted_traffic() {
     let boundary = king_grid_boundary(7, 7);
     let tau = 4;
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let (set, _) = DistributedDcc::new(tau)
+    let (set, _) = Dcc::builder(tau)
+        .distributed()
+        .expect("valid tau")
         .run(&g, &boundary, &mut rng)
         .expect("reliable run succeeds");
     assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
@@ -114,7 +117,9 @@ fn post_schedule_crash_is_repaired_with_accounted_traffic() {
         .iter()
         .find(|v| !boundary[v.index()])
         .expect("7×7 at τ=4 keeps interior nodes active");
-    let outcome = CoverageRepair::new(tau)
+    let outcome = Dcc::builder(tau)
+        .repair()
+        .expect("valid tau")
         .repair(&g, &boundary, &set.active, victim, &mut rng)
         .expect("repair converges");
 
@@ -135,7 +140,9 @@ fn repaired_set_keeps_tau_partition_criterion() {
     let scenario = grid_scenario(8, 8);
     let tau = 4;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let (set, _) = DistributedDcc::new(tau)
+    let (set, _) = Dcc::builder(tau)
+        .distributed()
+        .expect("valid tau")
         .run(&scenario.graph, &scenario.boundary, &mut rng)
         .expect("reliable run succeeds");
     let before = verify_criterion(&scenario, &set.active, tau);
@@ -150,7 +157,9 @@ fn repaired_set_keeps_tau_partition_criterion() {
         .iter()
         .find(|v| !scenario.boundary[v.index()])
         .expect("dense grid keeps interior nodes active");
-    let outcome = CoverageRepair::new(tau)
+    let outcome = Dcc::builder(tau)
+        .repair()
+        .expect("valid tau")
         .repair(
             &scenario.graph,
             &scenario.boundary,

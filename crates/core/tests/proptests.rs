@@ -3,11 +3,12 @@
 
 use proptest::prelude::*;
 
-use confine_core::schedule::{is_vpt_fixpoint, DccScheduler, DeletionOrder};
+use confine_core::prelude::*;
+use confine_core::schedule::is_vpt_fixpoint;
 use confine_core::vpt::{independence_radius, is_vertex_deletable, neighborhood_radius};
 use confine_cycles::brute;
 use confine_cycles::Cycle;
-use confine_graph::{mis, traverse, Graph, Masked, NodeId};
+use confine_graph::{mis, traverse, Graph, GraphView, Masked, NodeId};
 
 fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
     let mut g = Graph::new();
@@ -116,7 +117,12 @@ proptest! {
         let boundary = vec![false; g.node_count()];
         for order in [DeletionOrder::MisParallel, DeletionOrder::Sequential] {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let set = DccScheduler::new(tau).with_order(order).schedule(&g, &boundary, &mut rng);
+            let set = Dcc::builder(tau)
+                .order(order)
+                .centralized()
+                .expect("valid tau")
+                .run(&g, &boundary, &mut rng)
+                .expect("valid inputs");
             prop_assert_eq!(set.active_count() + set.deleted.len(), g.node_count());
             prop_assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
             // No node is reported twice.
@@ -166,7 +172,11 @@ proptest! {
         let boundary: Vec<bool> =
             (0..g.node_count()).map(|i| mask.get(i).copied().unwrap_or(false)).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+        let set = Dcc::builder(4)
+            .centralized()
+            .expect("valid tau")
+            .run(&g, &boundary, &mut rng)
+            .expect("valid inputs");
         for (i, &b) in boundary.iter().enumerate() {
             if b {
                 prop_assert!(set.active.contains(&NodeId::from(i)));
@@ -199,13 +209,19 @@ proptest! {
             })
             .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&g, &boundary, &mut rng)
+            .expect("valid inputs");
         prop_assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
         let victims: Vec<NodeId> =
             set.active.iter().copied().filter(|v| !boundary[v.index()]).collect();
         if !victims.is_empty() {
             let victim = victims[pick % victims.len()];
-            let outcome = confine_core::repair::CoverageRepair::new(tau)
+            let outcome = Dcc::builder(tau)
+                .repair()
+                .expect("valid tau")
                 .repair(&g, &boundary, &set.active, victim, &mut rng)
                 .expect("repair phases converge");
             prop_assert!(
@@ -234,7 +250,11 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let scenario =
             confine_deploy::scenario::random_udg_scenario(n, 1.0, 12.0, &mut rng);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         prop_assert!(is_vpt_fixpoint(&scenario.graph, &set.active, &scenario.boundary, tau));
         let victims: Vec<NodeId> = set
             .active
@@ -244,7 +264,9 @@ proptest! {
             .collect();
         if !victims.is_empty() {
             let victim = victims[pick % victims.len()];
-            let outcome = confine_core::repair::CoverageRepair::new(tau)
+            let outcome = Dcc::builder(tau)
+                .repair()
+                .expect("valid tau")
                 .repair(&scenario.graph, &scenario.boundary, &set.active, victim, &mut rng)
                 .expect("repair phases converge");
             prop_assert!(
@@ -271,9 +293,17 @@ fn moebius_inner_nodes_sleep_at_tau5() {
         boundary[v.index()] = true;
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let at3 = DccScheduler::new(3).schedule(&band.graph, &boundary, &mut rng);
+    let at3 = Dcc::builder(3)
+        .centralized()
+        .expect("valid tau")
+        .run(&band.graph, &boundary, &mut rng)
+        .expect("valid inputs");
     assert_eq!(at3.active_count(), 12);
-    let at5 = DccScheduler::new(5).schedule(&band.graph, &boundary, &mut rng);
+    let at5 = Dcc::builder(5)
+        .centralized()
+        .expect("valid tau")
+        .run(&band.graph, &boundary, &mut rng)
+        .expect("valid inputs");
     assert!(at5.active_count() < 12, "larger τ lets inner nodes sleep");
     // Whatever remains, the outer boundary must still partition at τ = 5.
     let masked = Masked::from_active(&band.graph, &at5.active);
@@ -289,4 +319,171 @@ fn moebius_inner_nodes_sleep_at_tau5() {
         outer.edge_vec(),
         5
     ));
+}
+
+/// The engine's candidate list for the current view, against a fresh
+/// sequential sweep of [`is_vertex_deletable`] — the seed semantics.
+fn fresh_candidates(masked: &Masked<'_>, eligible: &[NodeId], tau: usize) -> Vec<NodeId> {
+    eligible
+        .iter()
+        .copied()
+        .filter(|&v| is_vertex_deletable(masked, v, tau))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Tentpole invariant: the cached, fanned-out [`VptEngine`] reports
+    /// exactly the verdicts a fresh sequential sweep computes, at every step
+    /// of a random deletion sequence on king grids.
+    #[test]
+    fn engine_matches_fresh_sweep_on_king_grids(
+        w in 4usize..8,
+        h in 4usize..8,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+        threads in 1usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let g = confine_graph::generators::king_grid_graph(w, h);
+        let boundary: Vec<bool> = (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                x == 0 || y == 0 || x == w - 1 || y == h - 1
+            })
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut engine = VptEngine::with_config(tau, EngineConfig { threads, cache: true });
+        engine.begin_run(g.node_count());
+        let mut masked = Masked::all_active(&g);
+        loop {
+            let eligible: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .collect();
+            let got = engine.deletable_candidates(&masked, &eligible);
+            prop_assert_eq!(&got, &fresh_candidates(&masked, &eligible, tau));
+            if got.is_empty() {
+                break;
+            }
+            // Delete one random candidate — deliberately *not* m-hop
+            // independent rounds, so invalidation is stressed harder than the
+            // scheduler ever stresses it.
+            let v = got[rng.gen_range(0..got.len())];
+            engine.note_deletion(&masked, v);
+            masked.deactivate(v);
+        }
+    }
+
+    /// The same invariant on random quasi-UDG deployments (missing mid-range
+    /// links — the paper's non-UDG communication model).
+    #[test]
+    fn engine_matches_fresh_sweep_on_quasi_udg(
+        n in 25usize..50,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let side = confine_deploy::deployment::square_side_for_degree(n, 1.0, 10.0);
+        let region = confine_deploy::Rect::new(0.0, 0.0, side, side);
+        let dep = confine_deploy::deployment::uniform(n, region, &mut rng);
+        let scenario = confine_deploy::scenario::scenario_from_deployment(
+            dep,
+            confine_deploy::CommModel::QuasiUdg { r_in: 0.6, rc: 1.0, p_mid: 0.6 },
+            &mut rng,
+        );
+        let g = &scenario.graph;
+        let boundary = &scenario.boundary;
+        let mut engine = VptEngine::new(tau);
+        engine.begin_run(g.node_count());
+        let mut masked = Masked::all_active(g);
+        loop {
+            let eligible: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .collect();
+            let got = engine.deletable_candidates(&masked, &eligible);
+            prop_assert_eq!(&got, &fresh_candidates(&masked, &eligible, tau));
+            if got.is_empty() {
+                break;
+            }
+            let v = got[rng.gen_range(0..got.len())];
+            engine.note_deletion(&masked, v);
+            masked.deactivate(v);
+        }
+    }
+
+    /// Regression for the repair path: after waking sleeping nodes back up
+    /// (a crashed node's k-ball, exactly what [`Dcc::builder`]'s repair
+    /// runner does), the engine's ⌈τ/2⌉+1-hop invalidation radius leaves no
+    /// stale verdict anywhere — the next sweep matches fresh evaluation.
+    #[test]
+    fn wake_invalidation_radius_suffices_after_repair_wakeups(
+        w in 5usize..8,
+        h in 5usize..8,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+        pick in 0usize..64,
+    ) {
+        let g = confine_graph::generators::king_grid_graph(w, h);
+        let boundary: Vec<bool> = (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                x == 0 || y == 0 || x == w - 1 || y == h - 1
+            })
+            .collect();
+        // Seeds only diversify the grid/pick dimensions here; deletions are
+        // deterministic (first candidate) so failures minimise cleanly.
+        let _ = seed;
+        let mut engine = VptEngine::new(tau);
+        engine.begin_run(g.node_count());
+        let mut masked = Masked::all_active(&g);
+        // Schedule to a fixpoint through the engine.
+        let mut deleted = Vec::new();
+        loop {
+            let eligible: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .collect();
+            let candidates = engine.deletable_candidates(&masked, &eligible);
+            let Some(&v) = candidates.first() else { break };
+            engine.note_deletion(&masked, v);
+            masked.deactivate(v);
+            deleted.push(v);
+        }
+        // Crash an active internal node, then wake the sleepers in its
+        // k-ball — the repair layer's wake-up step. Degenerate draws with
+        // nothing deleted or no internal actives are vacuously fine.
+        let victims: Vec<NodeId> = masked
+            .active_nodes()
+            .filter(|&v| !boundary[v.index()])
+            .collect();
+        if deleted.is_empty() || victims.is_empty() {
+            return Ok(());
+        }
+        let crashed = victims[pick % victims.len()];
+        engine.note_deletion(&masked, crashed);
+        masked.deactivate(crashed);
+        let k = neighborhood_radius(tau);
+        let ball = traverse::k_hop_neighbors(&g, crashed, k);
+        for &s in deleted.iter().filter(|s| ball.contains(s)) {
+            masked.activate(s);
+            engine.note_wake(&masked, s);
+        }
+        // Every subsequent verdict must match fresh evaluation; run the
+        // re-scheduling loop to its fixpoint to cover many queries.
+        loop {
+            let eligible: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .collect();
+            let got = engine.deletable_candidates(&masked, &eligible);
+            prop_assert_eq!(&got, &fresh_candidates(&masked, &eligible, tau));
+            let Some(&v) = got.first() else { break };
+            engine.note_deletion(&masked, v);
+            masked.deactivate(v);
+        }
+    }
 }

@@ -21,7 +21,7 @@ const BLOCK_BITS: usize = 64;
 /// a.xor_assign(&b);
 /// assert_eq!(a.ones().collect::<Vec<_>>(), vec![0, 7]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitVec {
     blocks: Vec<u64>,
     len: usize,
@@ -104,6 +104,26 @@ impl BitVec {
         let v = !self.get(i);
         self.set(i, v);
         v
+    }
+
+    /// Resets the vector to all zeros at a (possibly different) length,
+    /// reusing the existing block allocation when it suffices.
+    ///
+    /// This is the allocation-free path the scheduler's hot GF(2)
+    /// eliminations use to recycle candidate vectors between graphs of
+    /// different edge counts.
+    pub fn reset(&mut self, len: usize) {
+        self.blocks.clear();
+        self.blocks.resize(len.div_ceil(BLOCK_BITS), 0);
+        self.len = len;
+    }
+
+    /// Makes `self` a copy of `other`, adopting its length and reusing the
+    /// existing block allocation when it suffices.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&other.blocks);
+        self.len = other.len;
     }
 
     /// In-place XOR (GF(2) addition) with `other`.

@@ -220,6 +220,18 @@ pub fn irreducible_cycle_bounds(graph: &Graph) -> Option<IrreducibleBounds> {
     })
 }
 
+/// Reusable scratch state for [`max_irreducible_at_most_with`].
+///
+/// The VPT inner test eliminates one small cycle space per candidate node per
+/// scheduling round; keeping the GF(2) basis rows and the candidate working
+/// vector alive between calls removes all per-call heap traffic from that hot
+/// loop. A fresh (`Default`) scratch is always valid.
+#[derive(Debug, Clone, Default)]
+pub struct CycleScratch {
+    oracle: Gf2Basis,
+    work: BitVec,
+}
+
 /// Fast predicate: is the *maximum* irreducible cycle of `graph` at most
 /// `tau`?
 ///
@@ -233,6 +245,15 @@ pub fn irreducible_cycle_bounds(graph: &Graph) -> Option<IrreducibleBounds> {
 /// the void preserving transformation (Definition 5), executed once per node
 /// per scheduling round, so its speed dominates the scheduler.
 pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
+    max_irreducible_at_most_with(graph, tau, &mut CycleScratch::default())
+}
+
+/// Scratch-reusing form of [`max_irreducible_at_most`].
+///
+/// Identical result; the caller owns the [`CycleScratch`] and amortises its
+/// allocations across many graphs (one punctured neighbourhood per candidate
+/// node per round in the DCC schedulers).
+pub fn max_irreducible_at_most_with(graph: &Graph, tau: usize, scratch: &mut CycleScratch) -> bool {
     let nu = crate::space::circuit_rank(graph);
     if nu == 0 {
         return true;
@@ -240,7 +261,8 @@ pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
     if tau < 3 {
         return false;
     }
-    let mut oracle = Gf2Basis::new(graph.edge_count());
+    scratch.oracle.reset(graph.edge_count());
+    let CycleScratch { oracle, work } = scratch;
     let mut rank = 0usize;
 
     // Tier 1: triangles, enumerated directly from cliques — in the dense
@@ -254,11 +276,11 @@ pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
                 let Some(ebc) = graph.edge_between(b, c) else {
                     continue;
                 };
-                let vec = BitVec::from_indices(
-                    graph.edge_count(),
-                    &[eab.index(), eac.index(), ebc.index()],
-                );
-                if oracle.try_insert(&vec) {
+                work.reset(graph.edge_count());
+                work.set(eab.index(), true);
+                work.set(eac.index(), true);
+                work.set(ebc.index(), true);
+                if oracle.try_insert(work) {
                     rank += 1;
                     if rank == nu {
                         return true;
@@ -290,19 +312,19 @@ pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
             if tree.lca(x, y) != Some(v) {
                 continue;
             }
-            let mut vec = BitVec::zeros(graph.edge_count());
-            vec.set(e.index(), true);
+            work.reset(graph.edge_count());
+            work.set(e.index(), true);
             for endpoint in [x, y] {
                 let mut cur = endpoint;
                 while let Some(p) = tree.parent(cur) {
                     let pe = graph
                         .edge_between(cur, p)
                         .expect("tree edges exist in the graph");
-                    vec.set(pe.index(), true);
+                    work.set(pe.index(), true);
                     cur = p;
                 }
             }
-            if oracle.try_insert(&vec) {
+            if oracle.try_insert(work) {
                 rank += 1;
                 if rank == nu {
                     return true;
@@ -441,6 +463,30 @@ mod tests {
                 assert_eq!(
                     max_irreducible_at_most(g, tau),
                     expected,
+                    "graph {g:?} tau={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_evaluation() {
+        // One scratch across many graphs of different edge counts must give
+        // exactly the answers of per-call fresh state.
+        let cases: Vec<Graph> = vec![
+            generators::king_grid_graph(3, 4),
+            generators::path_graph(4),
+            generators::petersen_graph(),
+            generators::grid_graph(4, 4),
+            generators::complete_graph(5),
+            generators::theta_graph(1, 2, 3),
+        ];
+        let mut scratch = CycleScratch::default();
+        for tau in 2..=9 {
+            for g in &cases {
+                assert_eq!(
+                    max_irreducible_at_most_with(g, tau, &mut scratch),
+                    max_irreducible_at_most(g, tau),
                     "graph {g:?} tau={tau}"
                 );
             }

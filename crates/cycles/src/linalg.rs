@@ -31,7 +31,7 @@ use crate::gf2::BitVec;
 /// assert!(!basis.try_insert(&BitVec::from_indices(4, &[0, 2])));
 /// assert_eq!(basis.rank(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Gf2Basis {
     len: usize,
     rows: Vec<BitVec>,
@@ -40,6 +40,10 @@ pub struct Gf2Basis {
     /// clear the residual's lowest bit, which is what makes the hot
     /// cycle-space eliminations fast.
     pivot_row: Vec<Option<usize>>,
+    /// Retired row vectors recycled by [`Gf2Basis::reset`]; `try_insert`
+    /// draws its working copy from here so that re-used bases perform no
+    /// per-candidate allocation in steady state.
+    spare: Vec<BitVec>,
 }
 
 impl Gf2Basis {
@@ -49,7 +53,22 @@ impl Gf2Basis {
             len,
             rows: Vec::new(),
             pivot_row: vec![None; len],
+            spare: Vec::new(),
         }
+    }
+
+    /// Empties the basis and re-targets it at vectors of length `len`,
+    /// recycling the row allocations of the previous use.
+    ///
+    /// Together with [`BitVec::reset`] this lets a caller that eliminates
+    /// many small cycle spaces in sequence (the scheduler tests one punctured
+    /// neighbourhood graph per node per round) keep one scratch basis alive
+    /// instead of reallocating rows for every graph.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.spare.append(&mut self.rows);
+        self.pivot_row.clear();
+        self.pivot_row.resize(len, None);
     }
 
     /// Current rank (number of accepted vectors).
@@ -72,13 +91,18 @@ impl Gf2Basis {
     pub fn reduce(&self, v: &BitVec) -> BitVec {
         assert_eq!(v.len(), self.len, "vector length mismatch");
         let mut r = v.clone();
+        self.reduce_in_place(&mut r);
+        r
+    }
+
+    /// Reduces `r` against the accepted rows in place (no allocation).
+    fn reduce_in_place(&self, r: &mut BitVec) {
         while let Some(p) = r.first_one() {
             match self.pivot_row[p] {
                 Some(i) => r.xor_assign(&self.rows[i]),
                 None => break,
             }
         }
-        r
     }
 
     /// Returns `true` if `v` lies in the span of the accepted vectors.
@@ -93,9 +117,15 @@ impl Gf2Basis {
     ///
     /// Panics if `v.len()` differs from the basis length.
     pub fn try_insert(&mut self, v: &BitVec) -> bool {
-        let r = self.reduce(v);
+        assert_eq!(v.len(), self.len, "vector length mismatch");
+        let mut r = self.spare.pop().unwrap_or_default();
+        r.copy_from(v);
+        self.reduce_in_place(&mut r);
         match r.first_one() {
-            None => false,
+            None => {
+                self.spare.push(r);
+                false
+            }
             Some(p) => {
                 self.pivot_row[p] = Some(self.rows.len());
                 self.rows.push(r);

@@ -131,6 +131,22 @@ pub enum SimError {
         /// Retries that were attempted before giving up.
         retries: usize,
     },
+    /// A scheduler was configured with a `τ` below the smallest value the
+    /// coverage criterion is defined for (irreducible cycles have length
+    /// ≥ 3).
+    InvalidTau {
+        /// The rejected value.
+        tau: usize,
+        /// The smallest accepted value.
+        min: usize,
+    },
+    /// A boundary-flag slice did not line up with the node set it describes.
+    BoundaryMismatch {
+        /// Number of boundary flags supplied.
+        flags: usize,
+        /// Number of nodes the flags must cover.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -141,6 +157,15 @@ impl fmt::Display for SimError {
             }
             SimError::ElectionStalled { retries } => {
                 write!(f, "election produced no winner after {retries} retries")
+            }
+            SimError::InvalidTau { tau, min } => {
+                write!(f, "tau = {tau} is below the minimum supported value {min}")
+            }
+            SimError::BoundaryMismatch { flags, nodes } => {
+                write!(
+                    f,
+                    "boundary flags cover {flags} nodes but the graph has {nodes}"
+                )
             }
         }
     }
