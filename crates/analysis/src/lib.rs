@@ -1,0 +1,161 @@
+//! Workspace lint engine guarding the invariants the paper's correctness
+//! story rests on (DESIGN.md §10).
+//!
+//! Three source-level lints run over the algorithm crates:
+//!
+//! * **determinism** — no iteration over `HashMap`/`HashSet` in `core`,
+//!   `cycles`, `netsim` or `graph`. Hash iteration order varies per process
+//!   (SipHash keys) and per std release; any schedule decision routed
+//!   through it would break the `VptEngine`'s bitwise-identity guarantee
+//!   and turn the distributed round protocols into lottery machines.
+//! * **no-panic** — no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
+//!   in library code of `core`, `cycles`, `netsim`: error paths must
+//!   propagate `SimError`. `assert!`-family invariant checks are allowed —
+//!   the rule targets error handling, not invariant enforcement.
+//! * **purity** — no `Instant::now`/`SystemTime::now`/`thread_rng`/
+//!   `from_entropy` in the deterministic sim crates: all randomness flows
+//!   through caller-seeded RNGs, all time through round counters.
+//!
+//! Violations are suppressed by `// lint: <kind>(<reason>)` markers (kinds
+//! `unordered-ok`, `panic-ok`, `impure-ok`) on the same line or the line
+//! above; markers that suppress nothing are themselves violations. Tests,
+//! benches, binaries and `#[cfg(test)]` modules are exempt.
+//!
+//! The engine is deliberately lexical (a masking lexer, no `syn`, zero
+//! dependencies): it cannot see through type aliases or functions returning
+//! hash maps, so public APIs of the linted crates expose `BTreeMap` for
+//! anything callers iterate. `cargo xtask lint` is the CLI entry point and
+//! CI gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lints;
+pub mod source;
+
+pub use lints::{lint_file, Finding, Lint};
+pub use source::{Marker, SourceFile};
+
+use std::path::{Path, PathBuf};
+
+/// Which lints apply to one crate's `src/` tree.
+#[derive(Debug, Clone, Copy)]
+pub struct CrateRules {
+    /// Crate directory under `crates/`.
+    pub name: &'static str,
+    /// Flag hash-collection iteration.
+    pub determinism: bool,
+    /// Forbid panic paths in library code.
+    pub no_panic: bool,
+    /// Forbid ambient time/entropy.
+    pub purity: bool,
+}
+
+/// The workspace lint policy: which crates are held to which invariants.
+///
+/// `deploy`, `complex`, `hgc`, `cli`, `bench` are front-ends and harnesses
+/// — they may panic on bad CLI input and are not part of the deterministic
+/// round protocols, so they are not linted (yet; see ROADMAP).
+pub const POLICY: &[CrateRules] = &[
+    CrateRules {
+        name: "core",
+        determinism: true,
+        no_panic: true,
+        purity: true,
+    },
+    CrateRules {
+        name: "cycles",
+        determinism: true,
+        no_panic: true,
+        purity: true,
+    },
+    CrateRules {
+        name: "netsim",
+        determinism: true,
+        no_panic: true,
+        purity: true,
+    },
+    CrateRules {
+        name: "graph",
+        determinism: true,
+        no_panic: false,
+        purity: true,
+    },
+];
+
+/// Runs the full policy over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rules in POLICY {
+        let src = Path::new("crates").join(rules.name).join("src");
+        for rel in rust_sources(root, &src)? {
+            let file = SourceFile::load(root, &rel)?;
+            findings.extend(lint_file(
+                &file,
+                rules.determinism,
+                rules.no_panic,
+                rules.purity,
+            ));
+        }
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Library `.rs` files under `root/rel`, recursively, workspace-relative,
+/// in sorted order. Skips `bin/` directories and `main.rs` (binaries are
+/// exempt from the policy).
+fn rust_sources(root: &Path, rel: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let dir = root.join(rel);
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let child = rel.join(&name);
+        if path.is_dir() {
+            if name != "bin" {
+                out.extend(rust_sources(root, &child)?);
+            }
+        } else if name.ends_with(".rs") && name != "main.rs" {
+            out.push(child);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_covers_the_algorithm_crates() {
+        let names: Vec<&str> = POLICY.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["core", "cycles", "netsim", "graph"]);
+        assert!(POLICY.iter().all(|r| r.determinism && r.purity));
+    }
+
+    #[test]
+    fn workspace_walk_is_sorted_and_skips_binaries() {
+        // Walk this crate's own sources as a smoke test of the walker.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_sources(root, Path::new("src")).unwrap();
+        let names: Vec<String> = files.iter().map(|p| p.display().to_string()).collect();
+        assert_eq!(names, ["src/lib.rs", "src/lints.rs", "src/source.rs"]);
+    }
+}

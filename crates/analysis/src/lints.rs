@@ -1,0 +1,544 @@
+//! The three project lints: determinism, no-panic and purity.
+//!
+//! All three work on the [`SourceFile`](crate::source::SourceFile) code view
+//! — comments and string literals never produce findings — and honour the
+//! suppression markers described in `DESIGN.md` §10:
+//!
+//! * `// lint: unordered-ok(<reason>)` — this hash-collection iteration is
+//!   order-insensitive (e.g. the result is sorted before use).
+//! * `// lint: panic-ok(<reason>)` — this panic path is statically
+//!   unreachable and documented as such.
+//! * `// lint: impure-ok(<reason>)` — this wall-clock/entropy access does
+//!   not feed simulation state.
+//!
+//! A marker suppresses findings on its own line, or on the next line when
+//! the marker line carries no code. Markers that suppress nothing are
+//! themselves reported, so stale exemptions cannot linger.
+
+use crate::source::SourceFile;
+use std::fmt;
+
+/// The lint that produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Iteration over `HashMap`/`HashSet` in an algorithm crate.
+    Determinism,
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code.
+    NoPanic,
+    /// Wall-clock or ambient-entropy access in a deterministic sim crate.
+    Purity,
+    /// A suppression marker that matched no finding.
+    UnusedMarker,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Lint::Determinism => "determinism",
+            Lint::NoPanic => "no-panic",
+            Lint::Purity => "purity",
+            Lint::UnusedMarker => "unused-marker",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.lint, self.message, self.snippet
+        )
+    }
+}
+
+/// Methods whose call on a hash collection iterates it in hash order.
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Panic-path tokens forbidden in library code. `assert!`-family macros are
+/// deliberately absent: invariant checks stay, error handling must not
+/// panic. `debug_assert!` is likewise always allowed.
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+/// Ambient-state accessors forbidden in deterministic simulation crates.
+const IMPURE_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// Runs every lint that applies to `file` and returns the surviving
+/// findings (marker-suppressed ones removed, unused markers appended).
+pub fn lint_file(
+    file: &SourceFile,
+    determinism: bool,
+    no_panic: bool,
+    purity: bool,
+) -> Vec<Finding> {
+    let mut raw: Vec<Finding> = Vec::new();
+    if determinism {
+        raw.extend(determinism_findings(file));
+    }
+    if no_panic {
+        raw.extend(no_panic_findings(file));
+    }
+    if purity {
+        raw.extend(purity_findings(file));
+    }
+
+    let markers = file.markers();
+    let mut used = vec![false; markers.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for finding in raw {
+        let kind = match finding.lint {
+            Lint::Determinism => "unordered-ok",
+            Lint::NoPanic => "panic-ok",
+            Lint::Purity => "impure-ok",
+            Lint::UnusedMarker => unreachable!("raw findings never carry this lint"),
+        };
+        let suppressed = markers.iter().enumerate().any(|(i, m)| {
+            let hit = m.kind == kind && file.marker_covers(m.line, finding.line);
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    for (marker, used) in markers.iter().zip(&used) {
+        if !used {
+            out.push(Finding {
+                file: file.path.display().to_string(),
+                line: marker.line,
+                lint: Lint::UnusedMarker,
+                message: format!("marker `{marker}` suppresses nothing; remove it"),
+                snippet: trimmed(file, marker.line),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+fn trimmed(file: &SourceFile, line: usize) -> String {
+    file.lines
+        .get(line - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+fn finding(file: &SourceFile, line: usize, lint: Lint, message: String) -> Finding {
+    Finding {
+        file: file.path.display().to_string(),
+        line,
+        lint,
+        message,
+        snippet: trimmed(file, line),
+    }
+}
+
+/// True when `hay` contains `ident` as a whole word (not a sub-identifier).
+fn has_token(hay: &str, ident: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let pre = hay[..start].chars().next_back();
+        let post = hay[end..].chars().next();
+        let pre_ok = pre.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let post_ok = post.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Identifiers declared with a `HashMap`/`HashSet` type in this file.
+///
+/// Catches `let` bindings (`let mut d: HashMap<..> = ..`, `let d =
+/// HashMap::new()`), struct fields and fn params (`name: &HashMap<..>`),
+/// which covers every declaration form the workspace uses. Declarations in
+/// exempt (test) lines are ignored.
+fn hash_idents(file: &SourceFile) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.exempt[idx] || !mentions_hash_type(line) {
+            continue;
+        }
+        // `let [mut] name` with a hash type anywhere to the right.
+        if let Some(pos) = find_token(line, "let") {
+            let rest = line[pos + 3..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                let after = &line[pos..];
+                if mentions_hash_type(after) {
+                    out.push(name);
+                }
+            }
+        }
+        // `name: [&][mut ][path::]Hash{Map,Set}<` — fields and params.
+        let mut from = 0;
+        while let Some(colon) = line[from..].find(':') {
+            let at = from + colon;
+            from = at + 1;
+            if line[at..].starts_with("::") {
+                from = at + 2;
+                continue;
+            }
+            let rhs = line[at + 1..].trim_start();
+            let rhs = rhs.trim_start_matches(['&', ' ']);
+            let rhs = rhs.strip_prefix("mut ").unwrap_or(rhs);
+            let rhs = rhs.strip_prefix("std::collections::").unwrap_or(rhs);
+            if rhs.starts_with("HashMap") || rhs.starts_with("HashSet") {
+                let name: String = line[..at]
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_numeric()) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn mentions_hash_type(s: &str) -> bool {
+    has_token(s, "HashMap") || has_token(s, "HashSet")
+}
+
+/// Joins rustfmt-wrapped method chains into logical lines so
+/// `map\n.keys()` is seen as `map.keys()`. A line whose code starts with
+/// `.` (or `?.`) continues the previous logical line; exempt lines are
+/// dropped. Returns `(0-based first line, joined code)` pairs.
+fn logical_lines(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.exempt[idx] {
+            continue;
+        }
+        let t = line.trim();
+        let continues = t.starts_with('.') || t.starts_with("?.");
+        match out.last_mut() {
+            Some((last, joined)) if continues && idx == *last + count_lines(joined) => {
+                joined.push('\n');
+                joined.push_str(t);
+            }
+            _ => out.push((idx, line.clone())),
+        }
+    }
+    out.into_iter()
+        .map(|(idx, joined)| (idx, joined.replace('\n', "")))
+        .collect()
+}
+
+fn count_lines(s: &str) -> usize {
+    s.chars().filter(|&c| c == '\n').count() + 1
+}
+
+/// True when `hay` contains `<id><suffix>` with a token boundary before
+/// `id` (so `index.iter()` does not match inside `reindex.iter()`).
+fn has_suffixed_token(hay: &str, id: &str, suffix: &str) -> bool {
+    let needle = format!("{id}{suffix}");
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(&needle) {
+        let start = from + pos;
+        let pre = hay[..start].chars().next_back();
+        if pre.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+            return true;
+        }
+        from = start + needle.len();
+    }
+    false
+}
+
+/// True when the iterated expression is exactly the hash collection:
+/// the trimmed expression ends with `id` as a whole token (allowing `&`,
+/// `&mut`, `self.` prefixes — but not indexing or method chains).
+fn expr_ends_with_ident(expr: &str, id: &str) -> bool {
+    if !expr.ends_with(id) {
+        return false;
+    }
+    let before = &expr[..expr.len() - id.len()];
+    before
+        .chars()
+        .next_back()
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+}
+
+fn find_token(hay: &str, ident: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let pre = hay[..start].chars().next_back();
+        let post = hay[end..].chars().next();
+        let pre_ok = pre.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let post_ok = post.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if pre_ok && post_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+/// Determinism lint: any iteration over a `HashMap`/`HashSet` in an
+/// algorithm crate is order-nondeterministic (hash order varies per process
+/// and per std release) and must be rewritten over a `BTreeMap`/sorted
+/// vector, or carry an `unordered-ok` marker with a reason.
+fn determinism_findings(file: &SourceFile) -> Vec<Finding> {
+    let idents = hash_idents(file);
+    let mut out = Vec::new();
+    for (idx, line) in logical_lines(file) {
+        let line = line.as_str();
+        // Iteration method on an identifier declared with a hash type.
+        let via_ident = idents.iter().any(|id| {
+            HASH_ITER_METHODS
+                .iter()
+                .any(|m| has_suffixed_token(line, id, m))
+        });
+        // `for .. in <expr>` where the iterated expression *is* a hash
+        // collection (`for v in &seen`, `for (k, v) in map {`). Indexing a
+        // map's value (`for w in &adj[&v]`) is not iteration of the map.
+        let via_for = find_token(line, "for").is_some_and(|pos| {
+            line[pos..]
+                .find(" in ")
+                .map(|at| pos + at + 4)
+                .is_some_and(|start| {
+                    // The iterated expression: up to the loop-body brace.
+                    let expr = line[start..].split('{').next().unwrap_or("").trim();
+                    idents.iter().any(|id| expr_ends_with_ident(expr, id))
+                })
+        });
+        if via_ident || via_for {
+            out.push(finding(
+                file,
+                idx + 1,
+                Lint::Determinism,
+                "iteration over a hash-ordered collection; use BTreeMap/BTreeSet \
+                 or sort first (or mark `lint: unordered-ok(reason)`)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// No-panic lint: library code must propagate `SimError` instead of
+/// panicking. Tests, benches and binaries are exempt by construction (the
+/// walker only feeds `src/` library files; `#[cfg(test)]` spans are masked).
+fn no_panic_findings(file: &SourceFile) -> Vec<Finding> {
+    token_findings(
+        file,
+        PANIC_TOKENS,
+        Lint::NoPanic,
+        "panic path in library code; return a `SimError` (or mark \
+         `lint: panic-ok(reason)` for statically impossible cases)",
+    )
+}
+
+/// Purity lint: deterministic simulation crates must not read wall clocks
+/// or ambient entropy — all randomness flows through caller-seeded RNGs.
+fn purity_findings(file: &SourceFile) -> Vec<Finding> {
+    token_findings(
+        file,
+        IMPURE_TOKENS,
+        Lint::Purity,
+        "ambient time/entropy access in a deterministic sim crate; take a \
+         seeded RNG or a clock parameter instead",
+    )
+}
+
+fn token_findings(file: &SourceFile, tokens: &[&str], lint: Lint, message: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.exempt[idx] {
+            continue;
+        }
+        for token in tokens {
+            if line.contains(token) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    lint,
+                    format!("`{}`: {message}", token.trim_matches(['.', '('])),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint(text: &str) -> Vec<Finding> {
+        let f = SourceFile::scan(Path::new("x.rs"), text);
+        lint_file(&f, true, true, true)
+    }
+
+    #[test]
+    fn flags_unwrap_but_not_unwrap_or() {
+        let hits = lint("fn f() { a.unwrap(); b.unwrap_or(0); c.unwrap_or_default(); }\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, Lint::NoPanic);
+    }
+
+    #[test]
+    fn panic_in_test_module_is_exempt() {
+        let hits = lint("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(); }\n}\n");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn panic_in_doc_comment_is_exempt() {
+        let hits = lint("/// Panics: calls `v.unwrap()`.\nfn f() {}\n");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn marker_suppresses_and_unused_marker_reported() {
+        let hits = lint("fn f() { x.unwrap(); } // lint: panic-ok(infallible by construction)\n");
+        assert!(hits.is_empty(), "{hits:?}");
+        let hits = lint("fn f() { } // lint: panic-ok(nothing here)\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, Lint::UnusedMarker);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged() {
+        let text = "use std::collections::HashMap;\n\
+                    fn f(m: &HashMap<u32, u32>) {\n\
+                        for (k, v) in m.iter() { let _ = (k, v); }\n\
+                    }\n";
+        let hits = lint(text);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, Lint::Determinism);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn for_over_hash_binding_is_flagged() {
+        let text = "fn f() {\n\
+                        let seen: HashSet<u32> = HashSet::new();\n\
+                        for v in &seen { let _ = v; }\n\
+                    }\n";
+        let hits = lint(text);
+        assert!(
+            hits.iter()
+                .any(|h| h.lint == Lint::Determinism && h.line == 3),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_is_clean() {
+        let text = "fn f() {\n\
+                        let mut seen: HashSet<u32> = HashSet::new();\n\
+                        seen.insert(3);\n\
+                        assert!(seen.contains(&3));\n\
+                    }\n";
+        let hits = lint(text);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let text = "fn f(m: &std::collections::BTreeMap<u32, u32>) {\n\
+                        for (k, v) in m.iter() { let _ = (k, v); }\n\
+                    }\n";
+        let hits = lint(text);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn wrapped_method_chain_is_flagged_at_chain_start() {
+        let text = "struct S { seen: HashMap<u32, ()> }\n\
+                    fn f(s: &S) {\n\
+                        let v: Vec<u32> = s\n\
+                            .seen\n\
+                            .keys()\n\
+                            .copied()\n\
+                            .collect();\n\
+                    }\n";
+        let hits = lint(text);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, Lint::Determinism);
+        assert_eq!(hits[0].line, 3, "reported at the chain start");
+    }
+
+    #[test]
+    fn purity_tokens_are_flagged() {
+        let hits = lint("fn f() { let t = std::time::Instant::now(); }\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, Lint::Purity);
+        let hits = lint("fn f() { let mut r = rand::thread_rng(); }\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn unordered_marker_covers_next_line() {
+        let text = "fn f(m: &HashMap<u32, u32>) {\n\
+                        // lint: unordered-ok(values are summed, order-free)\n\
+                        let s: u32 = m.values().sum();\n\
+                    }\n";
+        let hits = lint(text);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unknown_marker_kind_is_ignored_and_unrelated_marker_unused() {
+        let text = "fn f() { x.unwrap(); } // lint: unordered-ok(wrong kind)\n";
+        let hits = lint(text);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|h| h.lint == Lint::NoPanic));
+        assert!(hits.iter().any(|h| h.lint == Lint::UnusedMarker));
+    }
+}

@@ -1,0 +1,440 @@
+//! Lexical source model for the lint passes.
+//!
+//! The lints are *source-level*: they do not need name resolution or type
+//! inference, only a faithful separation of code from comments and string
+//! literals, plus the spans of test-only items. This module provides that
+//! separation with a small character-level state machine — no `syn`, no
+//! nightly compiler plumbing, no build-script cost.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One scanned source file, split into parallel per-line views.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (for reporting).
+    pub path: PathBuf,
+    /// Raw source lines.
+    pub lines: Vec<String>,
+    /// Code view: comments, string/char literals and doc text blanked out
+    /// with spaces (positions preserved).
+    pub code: Vec<String>,
+    /// Comment view: only comment text survives (incl. doc comments).
+    pub comments: Vec<String>,
+    /// Per line: `true` when the line sits inside a `#[cfg(test)]` item or
+    /// a `#[test]` function — exempt from all lints.
+    pub exempt: Vec<bool>,
+}
+
+/// A lint-suppression marker parsed from a comment, e.g.
+/// `// lint: unordered-ok(result is sorted before use)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// The marker kind: `unordered-ok`, `panic-ok` or `impure-ok`.
+    pub kind: String,
+    /// The mandatory justification inside the parentheses.
+    pub reason: String,
+    /// 1-based line the marker was written on.
+    pub line: usize,
+}
+
+impl fmt::Display for Marker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint: {}({})", self.kind, self.reason)
+    }
+}
+
+/// Lexer states for the code/comment separation.
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    Char,
+}
+
+impl SourceFile {
+    /// Scans `text` into the parallel views.
+    pub fn scan(path: &Path, text: &str) -> SourceFile {
+        let chars: Vec<char> = text.chars().collect();
+        let mut code = String::with_capacity(text.len());
+        let mut comments = String::with_capacity(text.len());
+        let mut state = State::Normal;
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Normal => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                    }
+                    '"' => {
+                        state = State::Str;
+                        push_both(&mut code, &mut comments, '"', ' ');
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let hashes = count_hashes(&chars, i);
+                        // Emit the prefix up to and including the opening
+                        // quote, then switch to raw-string state.
+                        while i < chars.len() && chars[i] != '"' {
+                            push_both(&mut code, &mut comments, chars[i], ' ');
+                            i += 1;
+                        }
+                        push_both(&mut code, &mut comments, '"', ' ');
+                        state = State::RawStr(hashes);
+                    }
+                    '\'' if is_char_literal(&chars, i) => {
+                        state = State::Char;
+                        push_both(&mut code, &mut comments, '\'', ' ');
+                    }
+                    '\n' => push_both(&mut code, &mut comments, '\n', '\n'),
+                    _ => push_both(&mut code, &mut comments, c, ' '),
+                },
+                State::LineComment => {
+                    if c == '\n' {
+                        state = State::Normal;
+                        push_both(&mut code, &mut comments, '\n', '\n');
+                    } else {
+                        push_both(&mut code, &mut comments, ' ', c);
+                    }
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                        i += 2;
+                        continue;
+                    }
+                    let (cc, mc) = if c == '\n' { ('\n', '\n') } else { (' ', c) };
+                    push_both(&mut code, &mut comments, cc, mc);
+                }
+                State::Str => match c {
+                    '\\' => {
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                        if next.is_some() {
+                            let fill = if next == Some('\n') { '\n' } else { ' ' };
+                            push_both(&mut code, &mut comments, fill, fill);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    '"' => {
+                        state = State::Normal;
+                        push_both(&mut code, &mut comments, '"', ' ');
+                    }
+                    '\n' => push_both(&mut code, &mut comments, '\n', '\n'),
+                    _ => push_both(&mut code, &mut comments, ' ', ' '),
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        for k in 0..=hashes {
+                            let ch = if k == 0 { '"' } else { '#' };
+                            push_both(&mut code, &mut comments, ch, ' ');
+                        }
+                        i += 1 + hashes;
+                        state = State::Normal;
+                        continue;
+                    }
+                    let fill = if c == '\n' { '\n' } else { ' ' };
+                    push_both(&mut code, &mut comments, fill, ' ');
+                    if c == '\n' {
+                        comments.pop();
+                        comments.push('\n');
+                    }
+                }
+                State::Char => match c {
+                    '\\' => {
+                        push_both(&mut code, &mut comments, ' ', ' ');
+                        if next.is_some() {
+                            push_both(&mut code, &mut comments, ' ', ' ');
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    '\'' => {
+                        state = State::Normal;
+                        push_both(&mut code, &mut comments, '\'', ' ');
+                    }
+                    _ => push_both(&mut code, &mut comments, ' ', ' '),
+                },
+            }
+            i += 1;
+        }
+
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let code_lines: Vec<String> = code.lines().map(str::to_owned).collect();
+        let comment_lines: Vec<String> = comments.lines().map(str::to_owned).collect();
+        let n = lines.len();
+        let mut file = SourceFile {
+            path: path.to_path_buf(),
+            exempt: vec![false; n],
+            lines,
+            code: pad_to(code_lines, n),
+            comments: pad_to(comment_lines, n),
+        };
+        file.mark_test_spans();
+        file
+    }
+
+    /// Reads and scans a file from disk.
+    pub fn load(root: &Path, rel: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::scan(rel, &text))
+    }
+
+    /// All well-formed markers in the file, in line order.
+    pub fn markers(&self) -> Vec<Marker> {
+        let mut out = Vec::new();
+        for (idx, comment) in self.comments.iter().enumerate() {
+            let mut rest = comment.as_str();
+            while let Some(pos) = rest.find("lint:") {
+                let tail = rest[pos + 5..].trim_start();
+                if let Some((kind, reason)) = parse_marker(tail) {
+                    out.push(Marker {
+                        kind,
+                        reason,
+                        line: idx + 1,
+                    });
+                }
+                rest = &rest[pos + 5..];
+            }
+        }
+        out
+    }
+
+    /// Lines (1-based) a marker on `marker_line` covers: its own line and,
+    /// when the marker line carries no code, the next line.
+    pub fn marker_covers(&self, marker_line: usize, finding_line: usize) -> bool {
+        if marker_line == finding_line {
+            return true;
+        }
+        let own_code_blank = self
+            .code
+            .get(marker_line - 1)
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(true);
+        own_code_blank && finding_line == marker_line + 1
+    }
+
+    /// Marks every line belonging to a `#[cfg(test)]` item or a `#[test]`
+    /// function as exempt, by brace matching from the item that follows the
+    /// attribute.
+    fn mark_test_spans(&mut self) {
+        let flat: Vec<(usize, char)> = self
+            .code
+            .iter()
+            .enumerate()
+            .flat_map(|(ln, l)| l.chars().map(move |c| (ln, c)).chain([(ln, '\n')]))
+            .collect();
+        let text: String = flat.iter().map(|&(_, c)| c).collect();
+        for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+            let mut from = 0;
+            while let Some(pos) = text[from..].find(pat) {
+                let start = from + pos;
+                from = start + pat.len();
+                // Find the opening brace of the annotated item and match it.
+                let Some(open_rel) = text[start..].find('{') else {
+                    continue;
+                };
+                let open = start + open_rel;
+                let mut depth = 0usize;
+                let mut end = None;
+                for (off, c) in text[open..].char_indices() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = Some(open + off);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let Some(end) = end else { continue };
+                let first = flat[start].0;
+                let last = flat[end].0;
+                for line in first..=last {
+                    self.exempt[line] = true;
+                }
+            }
+        }
+    }
+}
+
+fn push_both(code: &mut String, comments: &mut String, c: char, m: char) {
+    code.push(c);
+    comments.push(m);
+}
+
+fn pad_to(mut v: Vec<String>, n: usize) -> Vec<String> {
+    while v.len() < n {
+        v.push(String::new());
+    }
+    v
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` — and not part of a longer identifier.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    while j < chars.len() && chars[j] != '"' && chars[j] != '#' {
+        j += 1;
+    }
+    let mut n = 0;
+    while chars.get(j) == Some(&'#') {
+        n += 1;
+        j += 1;
+    }
+    n
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literals) from `'a` (lifetimes).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Parses `<kind>(<reason>)` with a non-empty reason.
+fn parse_marker(tail: &str) -> Option<(String, String)> {
+    let open = tail.find('(')?;
+    let kind = tail[..open].trim();
+    if !matches!(kind, "unordered-ok" | "panic-ok" | "impure-ok") {
+        return None;
+    }
+    let close = tail[open..].find(')')? + open;
+    let reason = tail[open + 1..close].trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((kind.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan(Path::new("test.rs"), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan("let x = \"panic!\"; // panic! here\nlet y = 1;\n");
+        assert!(!f.code[0].contains("panic!"), "code view: {}", f.code[0]);
+        assert!(f.comments[0].contains("panic! here"));
+        assert!(f.code[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("/* b /* q */ b */ let z = HashMap::new();\n");
+        assert!(!f.code[0].contains('b'), "nested comment text blanked");
+        assert!(f.code[0].contains("HashMap::new"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("let s = r#\"unwrap() \"quoted\" panic!\"#; s.len();\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[0].contains("s.len()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(f.code[0].contains("fn f<'a>"));
+        assert!(!f.code[1].contains('x'), "char literal blanked");
+    }
+
+    #[test]
+    fn char_escape_with_quote() {
+        let f = scan("let q = '\\''; let z = 1;\n");
+        assert!(f.code[0].contains("let z = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_spans_are_exempt() {
+        let f = scan(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n",
+        );
+        assert!(!f.exempt[0]);
+        assert!(f.exempt[1] && f.exempt[2] && f.exempt[3] && f.exempt[4]);
+        assert!(!f.exempt[5]);
+    }
+
+    #[test]
+    fn markers_parse_with_reason() {
+        let f = scan("let x = 1; // lint: unordered-ok(sorted below)\n// lint: panic-ok()\n");
+        let m = f.markers();
+        assert_eq!(m.len(), 1, "empty reason is rejected");
+        assert_eq!(m[0].kind, "unordered-ok");
+        assert_eq!(m[0].reason, "sorted below");
+        assert_eq!(m[0].line, 1);
+    }
+
+    #[test]
+    fn marker_on_comment_line_covers_next_line() {
+        let f = scan("// lint: panic-ok(statically impossible)\nx.unwrap();\n");
+        assert!(f.marker_covers(1, 2));
+        assert!(f.marker_covers(1, 1));
+        assert!(!f.marker_covers(1, 3));
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak_code() {
+        let f = scan("/// calls `x.unwrap()` internally\nfn documented() {}\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.comments[0].contains("unwrap"));
+    }
+}

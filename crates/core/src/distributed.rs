@@ -331,7 +331,7 @@ impl DistributedDcc {
                 let winners: Vec<NodeId> = masked
                     .active_nodes()
                     .filter(|&v| deletable[v.index()] && !crashed_now.contains(&v))
-                    .filter(|&v| election.state(v).expect("candidates ran").is_winner(v))
+                    .filter(|&v| election.state(v).is_some_and(|s| s.is_winner(v)))
                     .collect();
                 for v in crashed_now {
                     masked.deactivate(v);
@@ -391,7 +391,11 @@ where
         if boundary[v.index()] || skip.contains(&v) {
             continue;
         }
-        let (graph, members) = punctured(v).expect("active nodes ran discovery");
+        // A node whose discovery state is missing simply isn't a deletion
+        // candidate this round (conservative: it stays awake).
+        let Some((graph, members)) = punctured(v) else {
+            continue;
+        };
         jobs.push(EvalJob {
             node: v,
             members,

@@ -79,7 +79,11 @@ pub fn prune_edges<R: Rng>(
                 continue; // never strand a node
             }
             if is_edge_deletable(&current, a, b, tau) {
-                let e = current.edge_between(a, b).expect("candidate edge exists");
+                // is_edge_deletable just verified adjacency on `current`,
+                // and removing other candidate pairs cannot delete {a, b}.
+                let Some(e) = current.edge_between(a, b) else {
+                    continue;
+                };
                 current = current.without_edge(e);
                 removed.push((a, b));
                 progressed = true;

@@ -20,7 +20,7 @@
 //! message cost; the equivalence of the *local views* against ground truth
 //! is asserted in the tests.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use confine_graph::{Graph, GraphView, Masked, NodeId};
 use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
@@ -33,10 +33,12 @@ use crate::vpt::{independence_radius, neighborhood_radius};
 use crate::vpt_engine::{EvalJob, VptEngine};
 
 /// A node's cached k-hop neighbourhood: member → adjacency list (as learned
-/// at start-up, minus deletions).
+/// at start-up, minus deletions). Ordered so every iteration over the view
+/// is in node-id order — the punctured graphs it materialises must be
+/// bitwise identical across processes for the engine's fingerprint memo.
 #[derive(Debug, Clone, Default)]
 struct LocalView {
-    adj: HashMap<NodeId, Vec<NodeId>>,
+    adj: BTreeMap<NodeId, Vec<NodeId>>,
 }
 
 impl LocalView {
@@ -87,9 +89,9 @@ impl LocalView {
     /// center excluded) along with the sorted member ids — the shape the
     /// engine fingerprints.
     fn punctured_graph(&self) -> (Graph, Vec<NodeId>) {
-        let mut members: Vec<NodeId> = self.adj.keys().copied().collect();
-        members.sort_unstable();
-        let index: HashMap<NodeId, usize> =
+        // BTreeMap keys iterate in ascending order: members come out sorted.
+        let members: Vec<NodeId> = self.adj.keys().copied().collect();
+        let index: BTreeMap<NodeId, usize> =
             members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut g = Graph::with_node_capacity(members.len());
         g.add_nodes(members.len());
@@ -98,6 +100,7 @@ impl LocalView {
                 if let Some(&j) = index.get(w) {
                     if i < j {
                         g.add_edge(NodeId::from(i), NodeId::from(j))
+                            // lint: panic-ok(members are distinct and i < j visits each pair once, so the insert cannot collide)
                             .expect("pair once");
                     }
                 }
@@ -118,7 +121,8 @@ struct Notice {
 struct NoticeFlood {
     is_deleted: bool,
     k: u32,
-    seen: HashMap<NodeId, ()>,
+    /// Ordered: the view-maintenance loop applies deletions in `seen` order.
+    seen: BTreeSet<NodeId>,
 }
 
 impl Protocol for NoticeFlood {
@@ -136,10 +140,10 @@ impl Protocol for NoticeFlood {
     fn on_round(&mut self, ctx: &mut Context<'_, Notice>, inbox: &[Envelope<Notice>]) {
         for env in inbox {
             let n = env.payload;
-            if n.origin == ctx.node() || self.seen.contains_key(&n.origin) {
+            if n.origin == ctx.node() || self.seen.contains(&n.origin) {
                 continue;
             }
-            self.seen.insert(n.origin, ());
+            self.seen.insert(n.origin);
             if n.ttl > 0 {
                 ctx.broadcast(Notice {
                     origin: n.origin,
@@ -251,7 +255,9 @@ impl IncrementalDcc {
         stats.absorb_discovery(s);
         let mut views: Vec<LocalView> = vec![LocalView::default(); graph.node_count()];
         for v in masked.active_nodes() {
-            let state = discovery.state(v).expect("ran");
+            let Some(state) = discovery.state(v) else {
+                continue;
+            };
             views[v.index()].adj = state
                 .neighborhood()
                 .iter()
@@ -304,7 +310,7 @@ impl IncrementalDcc {
             let winners: Vec<NodeId> = masked
                 .active_nodes()
                 .filter(|&v| deletable[v.index()])
-                .filter(|&v| election.state(v).expect("ran").is_winner(v))
+                .filter(|&v| election.state(v).is_some_and(|s| s.is_winner(v)))
                 .collect();
             drop(election);
             if winners.is_empty() {
@@ -325,7 +331,7 @@ impl IncrementalDcc {
             let mut notices = Engine::new(&masked, |v| NoticeFlood {
                 is_deleted: winner_flags[v.index()],
                 k,
-                seen: HashMap::new(),
+                seen: BTreeSet::new(),
             });
             let s = notices.run(self.max_comm_rounds)?;
             stats.absorb_discovery(s); // notices replace re-discovery
@@ -335,13 +341,10 @@ impl IncrementalDcc {
                 if winner_flags[v.index()] {
                     continue;
                 }
-                let heard: Vec<NodeId> = notices
-                    .state(v)
-                    .expect("ran")
-                    .seen
-                    .keys()
-                    .copied()
-                    .collect();
+                let Some(flood) = notices.state(v) else {
+                    continue;
+                };
+                let heard: Vec<NodeId> = flood.seen.iter().copied().collect();
                 if heard.is_empty() {
                     continue;
                 }

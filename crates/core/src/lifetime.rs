@@ -24,6 +24,7 @@
 //! that different epochs can lean on different nodes.
 
 use confine_graph::{traverse, Graph, Masked, NodeId};
+use confine_netsim::SimError;
 use rand::Rng;
 
 use crate::schedule::{run_schedule, CoverageSet, DeletionOrder};
@@ -125,21 +126,23 @@ impl RotationScheduler {
 
     /// Runs up to `max_epochs` epochs of energy-biased DCC scheduling.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `boundary.len() != graph.node_count()`.
+    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
+    /// cover the graph, or any error of the underlying per-epoch schedule.
     pub fn run<R: Rng>(
         &self,
         graph: &Graph,
         boundary: &[bool],
         max_epochs: usize,
         rng: &mut R,
-    ) -> LifetimeReport {
-        assert_eq!(
-            boundary.len(),
-            graph.node_count(),
-            "boundary flags must cover all nodes"
-        );
+    ) -> Result<LifetimeReport, SimError> {
+        if boundary.len() != graph.node_count() {
+            return Err(SimError::BoundaryMismatch {
+                flags: boundary.len(),
+                nodes: graph.node_count(),
+            });
+        }
         let mut residual = vec![self.model.capacity; graph.node_count()];
         let mut epochs = Vec::new();
         // One engine across all epochs: later epochs re-visit neighbourhood
@@ -156,11 +159,11 @@ impl RotationScheduler {
                 })
                 .collect();
             if self.model.boundary_draws_power && dead.iter().any(|&v| boundary[v.index()]) {
-                return LifetimeReport {
+                return Ok(LifetimeReport {
                     epochs,
                     residual,
                     end_cause: EndCause::BoundaryDied,
-                };
+                });
             }
             // The alive graph must still connect the boundary to everything
             // it needs; a disconnected alive graph cannot carry the
@@ -170,11 +173,11 @@ impl RotationScheduler {
                 alive.deactivate(v);
             }
             if !traverse::is_connected(&alive) {
-                return LifetimeReport {
+                return Ok(LifetimeReport {
                     epochs,
                     residual,
                     end_cause: EndCause::AliveGraphDisconnected,
-                };
+                });
             }
 
             // Energy-biased schedule: depleted nodes win the deletion
@@ -187,8 +190,7 @@ impl RotationScheduler {
                 DeletionOrder::MisParallel,
                 &mut engine,
                 rng,
-            )
-            .expect("validated inputs cannot fail");
+            )?;
 
             // Awake nodes pay for the epoch.
             for &v in &set.active {
@@ -201,16 +203,25 @@ impl RotationScheduler {
                 dead,
             });
         }
-        LifetimeReport {
+        Ok(LifetimeReport {
             epochs,
             residual,
             end_cause: EndCause::EpochLimit,
-        }
+        })
     }
 
     /// Baseline: the same (unbiased) coverage set reused every epoch.
     /// Returns the achieved lifetime in epochs.
-    pub fn static_baseline<R: Rng>(&self, graph: &Graph, boundary: &[bool], rng: &mut R) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error of the underlying schedule.
+    pub fn static_baseline<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        rng: &mut R,
+    ) -> Result<usize, SimError> {
         let mut engine = VptEngine::new(self.tau);
         let set = run_schedule(
             graph,
@@ -220,14 +231,13 @@ impl RotationScheduler {
             DeletionOrder::MisParallel,
             &mut engine,
             rng,
-        )
-        .expect("validated inputs cannot fail");
+        )?;
         if self.model.boundary_draws_power || set.active.iter().any(|&v| !boundary[v.index()]) {
-            self.model.capacity as usize
+            Ok(self.model.capacity as usize)
         } else {
             // Degenerate: nothing internal is ever awake; the set never
             // drains (cap at capacity for comparability).
-            self.model.capacity as usize
+            Ok(self.model.capacity as usize)
         }
     }
 
@@ -264,8 +274,8 @@ mod tests {
         };
         let rot = RotationScheduler::new(4, model);
         let mut rng = StdRng::seed_from_u64(5);
-        let report = rot.run(&g, &boundary, 40, &mut rng);
-        let static_life = rot.static_baseline(&g, &boundary, &mut rng);
+        let report = rot.run(&g, &boundary, 40, &mut rng).unwrap();
+        let static_life = rot.static_baseline(&g, &boundary, &mut rng).unwrap();
         assert!(
             report.lifetime() > static_life,
             "rotation {} must beat static {}",
@@ -287,7 +297,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(9);
-        let report = rot.run(&g, &boundary, 6, &mut rng);
+        let report = rot.run(&g, &boundary, 6, &mut rng).unwrap();
         // Across epochs, more distinct internal nodes serve than in any
         // single epoch.
         let single_epoch_max = report
@@ -314,7 +324,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(1);
-        let report = rot.run(&g, &boundary, 40, &mut rng);
+        let report = rot.run(&g, &boundary, 40, &mut rng).unwrap();
         assert_eq!(report.lifetime(), 2, "boundary dies after its capacity");
         assert_eq!(report.end_cause, EndCause::BoundaryDied);
     }
@@ -331,7 +341,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(2);
-        let report = rot.run(&g, &boundary, 3, &mut rng);
+        let report = rot.run(&g, &boundary, 3, &mut rng).unwrap();
         assert_eq!(report.lifetime(), 3);
         assert_eq!(report.end_cause, EndCause::EpochLimit);
     }
@@ -348,7 +358,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(3);
-        let report = rot.run(&g, &boundary, 10, &mut rng);
+        let report = rot.run(&g, &boundary, 10, &mut rng).unwrap();
         // With capacity 1, an internal node that served once must never
         // appear again.
         let mut served = std::collections::HashSet::new();

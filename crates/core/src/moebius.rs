@@ -52,12 +52,14 @@ pub fn moebius_band() -> MoebiusBand {
 
     // Outer boundary cycle a..h.
     for i in 0..OUTER {
+        // lint: panic-ok(fixed 12-node construction; the doctest pins the node and edge counts)
         graph.add_edge(outer(i), outer(i + 1)).expect("outer rim");
     }
     // Inner circle 1..4.
     for i in 0..INNER {
         graph
             .add_edge(inner(i), inner(i + 1))
+            // lint: panic-ok(fixed 12-node construction; the doctest pins the node and edge counts)
             .expect("inner circle");
     }
     // Spokes: outer node j touches inner j mod 4 and inner (j−1) mod 4, so
@@ -65,9 +67,11 @@ pub fn moebius_band() -> MoebiusBand {
     // triangulated. The outer cycle (8 nodes) winds twice around the inner
     // circle (4 nodes) — exactly the Möbius twist.
     for j in 0..OUTER {
+        // lint: panic-ok(fixed 12-node construction; the doctest pins the node and edge counts)
         graph.add_edge(outer(j), inner(j)).expect("first spoke");
         graph
             .add_edge(outer(j), inner(j + INNER - 1))
+            // lint: panic-ok(fixed 12-node construction; the doctest pins the node and edge counts)
             .expect("second spoke");
     }
 

@@ -29,7 +29,7 @@
 //! crash can at worst merge the two confines sharing the dead node into one
 //! cycle of `≤ 2τ − 2` hops, for a hole diameter of at most `(2τ − 4)·Rc`.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use confine_graph::{traverse, Graph, GraphView, Masked, NodeId};
 use confine_netsim::faults::{FaultPlan, Heartbeat};
@@ -194,13 +194,10 @@ impl CoverageRepair {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
-    /// cover the graph, or [`SimError::RoundLimitExceeded`] if a repair
-    /// phase fails to converge within the configured limit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `crashed` is not in `active`.
+    /// Returns [`SimError::NotActive`] if `crashed` is not in `active`,
+    /// [`SimError::BoundaryMismatch`] if the flag slice does not cover the
+    /// graph, or [`SimError::RoundLimitExceeded`] if a repair phase fails
+    /// to converge within the configured limit.
     pub fn repair<R: Rng>(
         &self,
         graph: &Graph,
@@ -231,10 +228,10 @@ impl CoverageRepair {
                 nodes: graph.node_count(),
             });
         }
-        assert!(
-            active.contains(&crashed),
-            "only active nodes can crash out of the schedule"
-        );
+        if !active.contains(&crashed) {
+            // Only active nodes can crash out of the schedule.
+            return Err(SimError::NotActive { node: crashed });
+        }
         let k = neighborhood_radius(self.tau);
         let m = independence_radius(self.tau);
         let mut stats = DistributedStats::default();
@@ -263,12 +260,13 @@ impl CoverageRepair {
         // the extra hop of budget covers detours around the crash site.
         let mut wake_view = Masked::all_active(graph);
         wake_view.deactivate(crashed);
-        let survivors: HashSet<NodeId> = active.iter().copied().filter(|&v| v != crashed).collect();
-        let ball: HashSet<NodeId> = traverse::k_hop_neighbors(graph, crashed, k)
+        let survivors: BTreeSet<NodeId> =
+            active.iter().copied().filter(|&v| v != crashed).collect();
+        let ball: BTreeSet<NodeId> = traverse::k_hop_neighbors(graph, crashed, k)
             .into_iter()
             .collect();
         let woken: Vec<NodeId> = {
-            let sources: HashSet<NodeId> = detectors.iter().copied().collect();
+            let sources: BTreeSet<NodeId> = detectors.iter().copied().collect();
             let mut flood = Engine::new(&wake_view, |v| WakeFlood {
                 source: sources.contains(&v),
                 ttl: k + 1,
@@ -298,7 +296,7 @@ impl CoverageRepair {
         for &w in &woken {
             mark(w, &mut region);
         }
-        let woken_set: HashSet<NodeId> = woken.iter().copied().collect();
+        let woken_set: BTreeSet<NodeId> = woken.iter().copied().collect();
         let mut members: Vec<NodeId> = survivors
             .iter()
             .copied()
@@ -314,14 +312,16 @@ impl CoverageRepair {
             let jobs: Vec<EvalJob> = masked
                 .active_nodes()
                 .filter(|&v| !boundary[v.index()] && region[v.index()])
-                .map(|v| {
-                    let state = discovery.state(v).expect("active nodes ran discovery");
+                .filter_map(|v| {
+                    // A node without discovery state simply isn't a deletion
+                    // candidate this round (conservative: it stays awake).
+                    let state = discovery.state(v)?;
                     let (graph, members) = state.punctured_graph(v);
-                    EvalJob {
+                    Some(EvalJob {
                         node: v,
                         members,
                         graph,
-                    }
+                    })
                 })
                 .collect();
             let verdicts = vpt.evaluate_jobs(&jobs);
@@ -353,7 +353,7 @@ impl CoverageRepair {
             let winners: Vec<NodeId> = masked
                 .active_nodes()
                 .filter(|&v| deletable[v.index()])
-                .filter(|&v| election.state(v).expect("candidates ran").is_winner(v))
+                .filter(|&v| election.state(v).is_some_and(|s| s.is_winner(v)))
                 .collect();
             if winners.is_empty() {
                 // With reliable links the globally minimal candidate always
@@ -545,8 +545,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "only active nodes can crash")]
-    fn repairing_a_sleeping_node_panics() {
+    fn repairing_a_sleeping_node_errors() {
         let g = generators::king_grid_graph(5, 5);
         let boundary = king_boundary(5, 5);
         let mut rng = StdRng::seed_from_u64(1);
@@ -556,10 +555,11 @@ mod tests {
             .run(&g, &boundary, &mut rng)
             .unwrap();
         let sleeper = set.deleted[0];
-        let _ =
-            Dcc::builder(4)
-                .repair()
-                .unwrap()
-                .repair(&g, &boundary, &set.active, sleeper, &mut rng);
+        let err = Dcc::builder(4)
+            .repair()
+            .unwrap()
+            .repair(&g, &boundary, &set.active, sleeper, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SimError::NotActive { node: sleeper });
     }
 }

@@ -143,14 +143,14 @@ where
                 }
             }
             DeletionOrder::Sequential => {
-                let v = candidates
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        (bias(a) + rng.gen::<f64>() * 1e-6)
-                            .total_cmp(&(bias(b) + rng.gen::<f64>() * 1e-6))
-                    })
-                    .expect("candidates is non-empty");
+                // min_by is None only on an empty set, and empty candidate
+                // sets already broke out of the loop above.
+                let Some(v) = candidates.iter().copied().min_by(|&a, &b| {
+                    (bias(a) + rng.gen::<f64>() * 1e-6)
+                        .total_cmp(&(bias(b) + rng.gen::<f64>() * 1e-6))
+                }) else {
+                    break;
+                };
                 engine.note_deletion(&masked, v);
                 masked.deactivate(v);
                 deleted.push(v);
@@ -221,14 +221,13 @@ pub fn reference_schedule<R: Rng>(
             }
             DeletionOrder::Sequential => {
                 // Same RNG draws per comparison as the engine path with a
-                // zero bias — the streams must stay aligned.
-                let v = candidates
-                    .iter()
-                    .copied()
-                    .min_by(|&_a, &_b| {
-                        (rng.gen::<f64>() * 1e-6).total_cmp(&(rng.gen::<f64>() * 1e-6))
-                    })
-                    .expect("candidates is non-empty");
+                // zero bias — the streams must stay aligned. min_by is None
+                // only on an empty set, which already broke out above.
+                let Some(v) = candidates.iter().copied().min_by(|&_a, &_b| {
+                    (rng.gen::<f64>() * 1e-6).total_cmp(&(rng.gen::<f64>() * 1e-6))
+                }) else {
+                    break;
+                };
                 masked.deactivate(v);
                 deleted.push(v);
             }
@@ -359,6 +358,7 @@ impl DccScheduler {
             &mut engine,
             rng,
         )
+        // lint: panic-ok(deprecated shim keeps its documented panicking contract; tau and boundary were validated above)
         .expect("validated inputs cannot fail")
     }
 }

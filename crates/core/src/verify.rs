@@ -105,7 +105,7 @@ pub fn cone_inner_boundaries(
             extended.check_node(v)?;
             // Ring nodes may repeat across listings; tolerate existing edges.
             if !extended.has_edge(apex, v) {
-                extended.add_edge(apex, v).expect("apex edges are fresh");
+                extended.add_edge(apex, v)?;
             }
             protected[v.index()] = true;
         }

@@ -236,9 +236,26 @@ impl VptEngine {
             verdict_of[i] = Some(verdict);
         }
 
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Cache-coherence audit: every eighth eligible node is
+            // re-evaluated from scratch on the live view; a divergence means
+            // a stale round verdict or a fingerprint collision leaked a
+            // wrong answer through the cache.
+            for (i, &v) in eligible.iter().enumerate().step_by(8) {
+                let fresh = crate::vpt::is_vertex_deletable(view, v, self.tau);
+                assert_eq!(
+                    verdict_of[i],
+                    Some(fresh),
+                    "strict-invariants: cached verdict for node {v:?} diverges from fresh evaluation"
+                );
+            }
+        }
+
         eligible
             .iter()
             .zip(&verdict_of)
+            // lint: panic-ok(the hit/miss split above fills a verdict for every eligible index)
             .filter(|&(_, r)| r.expect("every eligible node was resolved"))
             .map(|(&v, _)| v)
             .collect()
@@ -276,6 +293,21 @@ impl VptEngine {
                 self.memo[job.node.index()].insert(fp, verdict);
             }
             verdicts.push(verdict);
+        }
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Memo audit: every eighth job's verdict must equal an uncached
+            // evaluation of its materialised punctured graph, catching
+            // fingerprint collisions and stale memo entries.
+            let mut scratch = VptScratch::default();
+            for (job, &verdict) in jobs.iter().zip(&verdicts).step_by(8) {
+                assert_eq!(
+                    verdict,
+                    vpt_graph_ok_with(&job.graph, self.tau, &mut scratch),
+                    "strict-invariants: memoized verdict for node {:?} diverges from fresh evaluation",
+                    job.node
+                );
+            }
         }
         verdicts
     }
@@ -360,6 +392,7 @@ where
         }
     });
     out.into_iter()
+        // lint: panic-ok(the scoped threads wrote every chunk slot before the scope joined)
         .map(|o| o.expect("every chunk was processed"))
         .collect()
 }

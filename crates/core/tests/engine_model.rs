@@ -1,0 +1,221 @@
+//! Exhaustive interleaving model of the `VptEngine` round-valid cache
+//! protocol (loom-style, but dependency-free: the state space is small
+//! enough to enumerate completely).
+//!
+//! The engine's documented contract has two load-bearing parts:
+//!
+//! 1. **Ordering** — `note_deletion(view, v)` must run *before*
+//!    `view.deactivate(v)`, because the invalidation ball is computed by
+//!    traversal on the view: on the post-deletion view the traversal starts
+//!    from an inactive node and finds (almost) nothing, leaving stale
+//!    verdicts in exactly the neighbourhood whose answers just changed.
+//! 2. **Exclusivity** — the invalidate+deactivate pair is atomic with
+//!    respect to queries (`note_deletion` takes `&mut self`). A reader
+//!    sneaking in between the two steps would recompute a verdict on the
+//!    *old* view and re-cache it, resurrecting the staleness the
+//!    invalidation just removed.
+//!
+//! The model below replays every interleaving of a writer (performing one
+//! deletion) and concurrent readers (querying through the cache) against a
+//! miniature cache with the same semantics, and checks the cache-coherence
+//! invariant at every read: *a served verdict equals fresh evaluation on the
+//! current view*. The positive test shows the engine's protocol admits no
+//! violating schedule; the two negative tests show that dropping either
+//! contract part admits one — i.e. both parts are necessary, not stylistic.
+
+use std::collections::VecDeque;
+
+/// Path topology 0 – 1 – 2 – 3 – 4; the writer deletes node 2.
+const N: usize = 5;
+const VICTIM: usize = 2;
+
+fn neighbors(w: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if w > 0 {
+        out.push(w - 1);
+    }
+    if w + 1 < N {
+        out.push(w + 1);
+    }
+    out
+}
+
+/// The model's stand-in for the VPT verdict: a pure function of the node and
+/// the *current* active view (here: "has at least two active neighbours").
+/// Deleting node 2 flips the verdicts of nodes 1 and 3 — the nodes the
+/// invalidation ball must cover.
+fn fresh(w: usize, active: &[bool; N]) -> bool {
+    neighbors(w).iter().filter(|&&u| active[u]).count() >= 2
+}
+
+/// The engine's invalidation ball: traversal from `v` on the current view
+/// (active nodes only), matching `traverse::k_hop_neighbors` semantics — an
+/// inactive start node reaches nothing.
+fn ball(v: usize, active: &[bool; N]) -> Vec<usize> {
+    if !active[v] {
+        return vec![v];
+    }
+    let mut out: Vec<usize> = neighbors(v).into_iter().filter(|&u| active[u]).collect();
+    out.push(v);
+    out
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Step {
+    /// Clear cached verdicts for the ball of the victim, computed by
+    /// traversal on the view *at execution time* (this is the crux: the same
+    /// step behaves differently before and after the deactivation).
+    Invalidate,
+    /// Flip the victim inactive.
+    Deactivate,
+    /// Invalidate + Deactivate as one indivisible step (what `&mut self`
+    /// grants the real engine).
+    AtomicDelete,
+    /// Deactivate + Invalidate as one indivisible step — the wrong ordering,
+    /// still atomic.
+    AtomicDeleteWrongOrder,
+    /// Reader: serve the cached verdict for the node if present, else
+    /// compute fresh on the current view and cache it.
+    Query(usize),
+}
+
+#[derive(Clone)]
+struct Model {
+    active: [bool; N],
+    cache: [Option<bool>; N],
+}
+
+impl Model {
+    /// Cache pre-warmed by a full sweep, all nodes active — the state after
+    /// a round of `deletable_candidates`.
+    fn warmed() -> Self {
+        let active = [true; N];
+        let mut cache = [None; N];
+        for (w, slot) in cache.iter_mut().enumerate() {
+            *slot = Some(fresh(w, &active));
+        }
+        Model { active, cache }
+    }
+
+    fn invalidate(&mut self) {
+        for w in ball(VICTIM, &self.active) {
+            self.cache[w] = None;
+        }
+    }
+
+    /// Applies one step; returns a violation description if a reader was
+    /// served a verdict that disagrees with fresh evaluation on the current
+    /// view.
+    fn apply(&mut self, step: Step) -> Option<String> {
+        match step {
+            Step::Invalidate => self.invalidate(),
+            Step::Deactivate => self.active[VICTIM] = false,
+            Step::AtomicDelete => {
+                self.invalidate();
+                self.active[VICTIM] = false;
+            }
+            Step::AtomicDeleteWrongOrder => {
+                self.active[VICTIM] = false;
+                self.invalidate();
+            }
+            Step::Query(w) => {
+                if !self.active[w] {
+                    return None;
+                }
+                let want = fresh(w, &self.active);
+                match self.cache[w] {
+                    Some(got) if got != want => {
+                        return Some(format!(
+                            "node {w}: cache served {got}, fresh view says {want}"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => self.cache[w] = Some(want),
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Depth-first enumeration of every interleaving of the given threads'
+/// step sequences, collecting all invariant violations (deduplicated by
+/// message, which is enough for the assertions below).
+fn explore(state: &Model, threads: &[VecDeque<Step>], violations: &mut Vec<String>) {
+    let mut advanced = false;
+    for t in 0..threads.len() {
+        if threads[t].is_empty() {
+            continue;
+        }
+        advanced = true;
+        let mut next_threads = threads.to_vec();
+        let step = next_threads[t].pop_front().expect("checked non-empty");
+        let mut next_state = state.clone();
+        if let Some(v) = next_state.apply(step) {
+            if !violations.contains(&v) {
+                violations.push(v);
+            }
+            // A violated schedule is already a counterexample; no need to
+            // extend it further.
+            continue;
+        }
+        explore(&next_state, &next_threads, violations);
+    }
+    let _ = advanced; // all-empty: one complete schedule finished cleanly
+}
+
+/// Two reader threads sweeping the victim's neighbourhood — the nodes whose
+/// verdicts the deletion changes — plus a far node as a control.
+fn reader_threads() -> Vec<VecDeque<Step>> {
+    vec![
+        VecDeque::from([Step::Query(1), Step::Query(3), Step::Query(0)]),
+        VecDeque::from([Step::Query(3), Step::Query(1), Step::Query(4)]),
+    ]
+}
+
+fn run(writer: &[Step]) -> Vec<String> {
+    let mut threads = reader_threads();
+    threads.push(VecDeque::from(writer.to_vec()));
+    let mut violations = Vec::new();
+    explore(&Model::warmed(), &threads, &mut violations);
+    violations
+}
+
+/// The engine's actual protocol: invalidate-then-deactivate, atomic under
+/// `&mut self`. No interleaving of concurrent readers can observe a stale
+/// verdict.
+#[test]
+fn engine_protocol_is_coherent_under_all_interleavings() {
+    let violations = run(&[Step::AtomicDelete]);
+    assert!(
+        violations.is_empty(),
+        "note_deletion-before-deactivate admitted stale reads: {violations:?}"
+    );
+}
+
+/// Negative model 1: the same atomic pair with the order flipped. The
+/// invalidation ball is computed on the post-deletion view, where traversal
+/// from the now-inactive victim reaches nothing — nodes 1 and 3 keep their
+/// pre-deletion verdicts and some schedule serves them stale.
+#[test]
+fn deactivate_before_invalidate_admits_stale_reads() {
+    let violations = run(&[Step::AtomicDeleteWrongOrder]);
+    assert!(
+        !violations.is_empty(),
+        "flipped ordering should leave the victim's neighbourhood stale"
+    );
+}
+
+/// Negative model 2: correct ordering but non-atomic — a reader scheduled
+/// between Invalidate and Deactivate recomputes on the old view and
+/// re-caches the stale verdict. This is why `note_deletion` takes
+/// `&mut self`: a hypothetical shared-cache engine would need a lock
+/// spanning both steps, not per-step atomicity.
+#[test]
+fn non_atomic_writer_races_readers() {
+    let violations = run(&[Step::Invalidate, Step::Deactivate]);
+    assert!(
+        !violations.is_empty(),
+        "a reader between invalidate and deactivate should re-cache a stale verdict"
+    );
+}

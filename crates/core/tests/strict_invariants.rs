@@ -1,0 +1,103 @@
+//! Property tests that only run with `--features strict-invariants`.
+//!
+//! The feature arms runtime audits inside the hot paths — GF(2) rank
+//! preservation in `Decomposer::from_basis`, partition soundness in
+//! `PartitionTester`, and sampled cache-coherence re-checks in `VptEngine` —
+//! so these tests simply drive the schedulers and testers across random
+//! quasi-UDG deployments and let every audit fire on every query. A cache
+//! bug, fingerprint collision or elimination rank loss panics here even if
+//! the externally visible result happens to look plausible.
+#![cfg(feature = "strict-invariants")]
+
+use proptest::prelude::*;
+
+use confine_core::prelude::*;
+use confine_core::schedule::is_vpt_fixpoint;
+use confine_graph::{GraphView, Masked, NodeId};
+
+fn quasi_udg(n: usize, rng: &mut impl rand::Rng) -> confine_deploy::scenario::Scenario {
+    let side = confine_deploy::deployment::square_side_for_degree(n, 1.0, 10.0);
+    let region = confine_deploy::Rect::new(0.0, 0.0, side, side);
+    let dep = confine_deploy::deployment::uniform(n, region, rng);
+    confine_deploy::scenario::scenario_from_deployment(
+        dep,
+        confine_deploy::CommModel::QuasiUdg {
+            r_in: 0.6,
+            rc: 1.0,
+            p_mid: 0.6,
+        },
+        rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full engine-driven schedule on random quasi-UDGs, then partition
+    /// certification of the survivors: every `deletable_candidates` sweep
+    /// runs the sampled fresh-evaluation audit, and every decomposition runs
+    /// the rank and partition-sum audits.
+    #[test]
+    fn audits_hold_across_quasi_udg_schedules(
+        n in 25usize..45,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scenario = quasi_udg(n, &mut rng);
+        let g = &scenario.graph;
+        let boundary = &scenario.boundary;
+
+        let mut engine = VptEngine::new(tau);
+        engine.begin_run(g.node_count());
+        let mut masked = Masked::all_active(g);
+        loop {
+            let eligible: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .collect();
+            let candidates = engine.deletable_candidates(&masked, &eligible);
+            let Some(&v) = candidates.first() else { break };
+            engine.note_deletion(&masked, v);
+            masked.deactivate(v);
+        }
+
+        let induced = masked.to_induced();
+        if induced.graph.edge_count() == 0 {
+            return Ok(());
+        }
+        let tester = confine_cycles::partition::PartitionTester::new(&induced.graph);
+        for c in confine_cycles::space::fundamental_cycles(&induced.graph) {
+            prop_assert!(
+                tester.min_partition_tau(c.edge_vec()).is_some(),
+                "cycle-space member must decompose over the MCB"
+            );
+            prop_assert!(tester.partition(c.edge_vec()).is_some());
+        }
+    }
+
+    /// The audits are observers, not participants: with them armed, the
+    /// builder pipeline still terminates at a VPT fixpoint on quasi-UDGs.
+    #[test]
+    fn audits_do_not_change_scheduler_outcomes(
+        n in 25usize..45,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scenario = quasi_udg(n, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
+        prop_assert!(is_vpt_fixpoint(
+            &scenario.graph,
+            &set.active,
+            &scenario.boundary,
+            tau
+        ));
+    }
+}

@@ -34,15 +34,14 @@ pub fn enumerate_simple_cycles(graph: &Graph, max_len: usize) -> Vec<Cycle> {
         max_len: usize,
         out: &mut Vec<Cycle>,
     ) {
-        let v = *path.last().expect("path is never empty during dfs");
+        // The walk always starts from `s`, so the path is never empty.
+        let Some(&v) = path.last() else { return };
         for w in graph.neighbors(v) {
             if w == s {
-                if path.len() >= 3
-                    && path.len() <= max_len
-                    && path[1] < *path.last().expect("non-empty")
-                {
+                if path.len() >= 3 && path.len() <= max_len && path[1] < v {
                     out.push(
                         Cycle::from_vertex_cycle(graph, path)
+                            // lint: panic-ok(the rooted walk visits distinct on-path vertices and closes at s, a simple cycle by construction)
                             .expect("walked vertices form a simple cycle"),
                     );
                 }

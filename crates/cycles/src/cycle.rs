@@ -276,12 +276,12 @@ impl Cycle {
         let mut prev = start;
         let mut cur = start;
         loop {
+            // is_simple guaranteed degree 2 above; `?` keeps the walk total.
             let next = graph
                 .incident(cur)
                 .filter(|&(w, e)| self.edges.get(e.index()) && w != prev)
                 .map(|(w, _)| w)
-                .min()
-                .expect("simple cycle vertices have degree 2");
+                .min()?;
             if next == start {
                 break;
             }

@@ -182,12 +182,14 @@ pub fn horton_candidates(graph: &Graph) -> Vec<Cycle> {
                 while let Some(p) = tree.parent(cur) {
                     let pe = graph
                         .edge_between(cur, p)
+                        // lint: panic-ok(every BFS-tree parent edge was taken from this graph)
                         .expect("tree edges exist in the graph");
                     vec.set(pe.index(), true);
                     cur = p;
                 }
             }
             let cycle = Cycle::from_edge_vec(graph, vec)
+                // lint: panic-ok(two root-disjoint tree paths plus their closing edge give every vertex even degree)
                 .expect("root-disjoint tree paths plus the closing edge form a cycle");
             debug_assert!(cycle.is_simple(graph));
             out.push(cycle);
@@ -319,6 +321,7 @@ pub fn max_irreducible_at_most_with(graph: &Graph, tau: usize, scratch: &mut Cyc
                 while let Some(p) = tree.parent(cur) {
                     let pe = graph
                         .edge_between(cur, p)
+                        // lint: panic-ok(every BFS-tree parent edge was taken from this graph)
                         .expect("tree edges exist in the graph");
                     work.set(pe.index(), true);
                     cur = p;

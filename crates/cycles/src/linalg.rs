@@ -175,10 +175,32 @@ impl Decomposer {
             }
             let p = r
                 .first_one()
+                // lint: panic-ok(documented precondition: from_basis panics on linearly dependent input)
                 .expect("basis vectors must be linearly independent");
             d.rows.push(r);
             d.combos.push(combo);
             d.pivots.push(p);
+        }
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Rank preservation: the forward elimination must assign one
+            // distinct pivot column per input vector. A repeated pivot would
+            // mean two reduced rows share a lowest bit — i.e. the
+            // elimination silently dropped rank and later decompositions
+            // would be wrong rather than failing loudly.
+            let mut seen = vec![false; len];
+            for &p in &d.pivots {
+                assert!(
+                    !seen[p],
+                    "strict-invariants: GF(2) elimination produced duplicate pivot column {p}"
+                );
+                seen[p] = true;
+            }
+            assert_eq!(
+                d.rows.len(),
+                basis.len(),
+                "strict-invariants: elimination must keep one row per basis vector"
+            );
         }
         d
     }

@@ -84,6 +84,8 @@ impl PartitionTester {
     /// Panics if `target` has a different length than the graph's edge count.
     pub fn min_partition_tau(&self, target: &BitVec) -> Option<usize> {
         let used = self.decomposer.decompose(target)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_partition_sums(&used, target);
         Some(
             used.iter()
                 .map(|&i| self.mcb.cycles()[i].len())
@@ -106,11 +108,28 @@ impl PartitionTester {
     /// Returns `None` when `target` is outside the cycle space.
     pub fn partition(&self, target: &BitVec) -> Option<Vec<Cycle>> {
         let used = self.decomposer.decompose(target)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_partition_sums(&used, target);
         Some(
             used.into_iter()
                 .map(|i| self.mcb.cycles()[i].clone())
                 .collect(),
         )
+    }
+
+    /// Partition soundness: the basis cycles the decomposer reports must
+    /// actually sum (GF(2)) to the target — otherwise the reported `τ` bound
+    /// certifies a partition that does not exist.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_partition_sums(&self, used: &[usize], target: &BitVec) {
+        let mut sum = BitVec::zeros(target.len());
+        for &i in used {
+            sum.xor_assign(self.mcb.cycles()[i].edge_vec());
+        }
+        assert_eq!(
+            &sum, target,
+            "strict-invariants: decomposed cycle partition does not sum to the target"
+        );
     }
 }
 

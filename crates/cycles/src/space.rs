@@ -79,6 +79,7 @@ pub fn fundamental_cycles(graph: &Graph) -> Vec<Cycle> {
         let mut vec = path_vec[a.index()].xor(&path_vec[b.index()]);
         vec.set(e.index(), true);
         let cycle = Cycle::from_edge_vec(graph, vec)
+            // lint: panic-ok(a fundamental cycle gives every vertex even degree by construction)
             .expect("a non-tree edge plus the tree path between its endpoints is a cycle");
         basis.push(cycle);
     }

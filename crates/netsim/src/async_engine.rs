@@ -223,8 +223,12 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
             LatencyModel::Fixed(d) => d.max(0.0),
             LatencyModel::Uniform { lo, hi, .. } => {
                 use rand::Rng as _;
-                let rng = self.rng.as_mut().expect("uniform model carries an RNG");
-                rng.gen_range(lo.min(hi)..=hi.max(lo)).max(0.0)
+                // The constructor always pairs a uniform model with its RNG;
+                // degrade to the minimum latency if that ever breaks.
+                match self.rng.as_mut() {
+                    Some(rng) => rng.gen_range(lo.min(hi)..=hi.max(lo)).max(0.0),
+                    None => lo.min(hi).max(0.0),
+                }
             }
         }
     }
@@ -259,9 +263,9 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
                 neighbors: &self.neighbor_cache[v.index()],
                 outbox: Vec::new(),
             };
-            let state = self.states[v.index()]
-                .as_mut()
-                .expect("active node has state");
+            let Some(state) = self.states[v.index()].as_mut() else {
+                continue;
+            };
             state.on_start(&mut ctx);
             let outbox = ctx.outbox;
             self.dispatch(v, 0.0, outbox);
@@ -282,9 +286,9 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
                 neighbors: &self.neighbor_cache[v.index()],
                 outbox: Vec::new(),
             };
-            let state = self.states[v.index()]
-                .as_mut()
-                .expect("active node has state");
+            let Some(state) = self.states[v.index()].as_mut() else {
+                continue;
+            };
             state.on_message(&mut ctx, event.from, event.payload);
             let outbox = ctx.outbox;
             self.dispatch(v, event.time, outbox);
@@ -296,7 +300,7 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
     pub fn states(&self) -> Vec<&P> {
         self.node_ids
             .iter()
-            .map(|v| self.states[v.index()].as_ref().expect("state"))
+            .filter_map(|v| self.states[v.index()].as_ref())
             .collect()
     }
 

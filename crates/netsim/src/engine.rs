@@ -147,6 +147,19 @@ pub enum SimError {
         /// Number of nodes the flags must cover.
         nodes: usize,
     },
+    /// A driver was asked to operate on a node outside the set it schedules
+    /// (e.g. repairing the crash of a node that was never active).
+    NotActive {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An internal invariant of a driver or engine was violated — the
+    /// simulation state is inconsistent and the run cannot continue. This
+    /// replaces panics on "impossible" states in library code.
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -166,6 +179,12 @@ impl fmt::Display for SimError {
                     f,
                     "boundary flags cover {flags} nodes but the graph has {nodes}"
                 )
+            }
+            SimError::NotActive { node } => {
+                write!(f, "node {} is not in the scheduled active set", node.0)
+            }
+            SimError::Internal { what } => {
+                write!(f, "internal simulation invariant violated: {what}")
             }
         }
     }
@@ -309,13 +328,16 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
     fn draw_loss(&mut self, p: f64, from_override: bool) -> bool {
         use rand::Rng as _;
         let rng = if from_override {
-            &mut self.fault_rng
+            self.fault_rng.as_mut()
         } else {
-            &mut self.drop_rng
+            self.drop_rng.as_mut()
         };
-        rng.as_mut()
-            .expect("loss model carries an RNG")
-            .gen_bool(p.clamp(0.0, 1.0))
+        // The constructors always pair a lossy model with its RNG; a model
+        // that somehow lost it cannot drop anything (deliver everything).
+        match rng {
+            Some(rng) => rng.gen_bool(p.clamp(0.0, 1.0)),
+            None => false,
+        }
     }
 
     /// Decides the fate of one `from → to` send at `round`, updating the
@@ -398,9 +420,9 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
                 neighbors: &self.neighbor_cache[v.index()],
                 outbox: Vec::new(),
             };
-            let state = self.states[v.index()]
-                .as_mut()
-                .expect("active node has state");
+            let Some(state) = self.states[v.index()].as_mut() else {
+                continue;
+            };
             state.on_start(&mut ctx);
             for (to, payload) in ctx.outbox {
                 self.stats.messages += 1;
@@ -421,8 +443,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
                 .all(|v| {
                     self.states[v.index()]
                         .as_ref()
-                        .expect("state")
-                        .is_quiescent()
+                        .is_none_or(Protocol::is_quiescent)
                 });
             if in_flight == 0 && all_quiet {
                 return Ok(self.stats);
@@ -442,7 +463,9 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
                     neighbors: &self.neighbor_cache[v.index()],
                     outbox: Vec::new(),
                 };
-                let state = self.states[v.index()].as_mut().expect("state");
+                let Some(state) = self.states[v.index()].as_mut() else {
+                    continue;
+                };
                 state.on_round(&mut ctx, &inbox);
                 for (to, payload) in ctx.outbox {
                     self.stats.messages += 1;
@@ -464,8 +487,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
             .all(|v| {
                 self.states[v.index()]
                     .as_ref()
-                    .expect("state")
-                    .is_quiescent()
+                    .is_none_or(Protocol::is_quiescent)
             });
         if in_flight == 0 && all_quiet {
             Ok(self.stats)
@@ -478,7 +500,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
     pub fn states(&self) -> Vec<&P> {
         self.node_ids
             .iter()
-            .map(|v| self.states[v.index()].as_ref().expect("state"))
+            .filter_map(|v| self.states[v.index()].as_ref())
             .collect()
     }
 

@@ -12,7 +12,7 @@
 //!   distance `m` (not necessarily maximal in one shot — the scheduler
 //!   iterates, exactly as the paper's round structure does).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use confine_graph::NodeId;
 
@@ -33,8 +33,10 @@ pub struct TopologyRecord {
 #[derive(Debug)]
 pub struct KHopDiscovery {
     k: u32,
-    /// origin → (hop distance, adjacency list).
-    known: HashMap<NodeId, (u32, Vec<NodeId>)>,
+    /// origin → (hop distance, adjacency list). Ordered so every consumer
+    /// that iterates the records sees them in node-id order — required for
+    /// the bitwise-identical replays the deterministic drivers guarantee.
+    known: BTreeMap<NodeId, (u32, Vec<NodeId>)>,
 }
 
 impl KHopDiscovery {
@@ -47,7 +49,7 @@ impl KHopDiscovery {
         assert!(k > 0, "discovery radius must be positive");
         KHopDiscovery {
             k,
-            known: HashMap::new(),
+            known: BTreeMap::new(),
         }
     }
 
@@ -57,9 +59,10 @@ impl KHopDiscovery {
         self.known.get(&origin).map(|&(d, _)| d)
     }
 
-    /// The learned records: node → (distance, adjacency list). Contains
-    /// exactly the nodes within `k` hops, excluding the node itself.
-    pub fn neighborhood(&self) -> &HashMap<NodeId, (u32, Vec<NodeId>)> {
+    /// The learned records: node → (distance, adjacency list), in node-id
+    /// order. Contains exactly the nodes within `k` hops, excluding the
+    /// node itself.
+    pub fn neighborhood(&self) -> &BTreeMap<NodeId, (u32, Vec<NodeId>)> {
         &self.known
     }
 
@@ -74,12 +77,13 @@ impl KHopDiscovery {
 /// Builds the punctured graph from discovery records (shared by the plain
 /// and the loss-tolerant discovery).
 fn punctured_from_records(
-    known: &HashMap<NodeId, (u32, Vec<NodeId>)>,
+    known: &BTreeMap<NodeId, (u32, Vec<NodeId>)>,
     center: NodeId,
 ) -> (confine_graph::Graph, Vec<NodeId>) {
-    let mut members: Vec<NodeId> = known.keys().copied().filter(|&v| v != center).collect();
-    members.sort_unstable();
-    let index: HashMap<NodeId, usize> = members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // BTreeMap keys iterate in ascending order, so the members come out
+    // sorted — the canonical shape the engine fingerprints.
+    let members: Vec<NodeId> = known.keys().copied().filter(|&v| v != center).collect();
+    let index: BTreeMap<NodeId, usize> = members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut g = confine_graph::Graph::with_node_capacity(members.len());
     g.add_nodes(members.len());
     for (i, &v) in members.iter().enumerate() {
@@ -88,6 +92,7 @@ fn punctured_from_records(
             if let Some(&j) = index.get(w) {
                 if i < j {
                     g.add_edge(NodeId::from(i), NodeId::from(j))
+                        // lint: panic-ok(members are distinct and i < j visits each pair once, so the insert cannot collide)
                         .expect("each member pair added once");
                 }
             }
@@ -152,12 +157,13 @@ impl Protocol for KHopDiscovery {
 pub struct RepeatedDiscovery {
     k: u32,
     repeats: u32,
-    /// origin → (hop distance estimate, adjacency list).
-    known: HashMap<NodeId, (u32, Vec<NodeId>)>,
+    /// origin → (hop distance estimate, adjacency list), in node-id order
+    /// like [`KHopDiscovery::known`].
+    known: BTreeMap<NodeId, (u32, Vec<NodeId>)>,
     /// origin → (ttl to forward with, remaining rebroadcasts). Ordered so
     /// the rebroadcast sequence — and with it any lossy-link RNG stream —
     /// is deterministic.
-    pending: std::collections::BTreeMap<NodeId, (u32, u32)>,
+    pending: BTreeMap<NodeId, (u32, u32)>,
 }
 
 impl RepeatedDiscovery {
@@ -173,8 +179,8 @@ impl RepeatedDiscovery {
         RepeatedDiscovery {
             k,
             repeats,
-            known: HashMap::new(),
-            pending: std::collections::BTreeMap::new(),
+            known: BTreeMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 
@@ -182,7 +188,7 @@ impl RepeatedDiscovery {
     ///
     /// Under loss the distance is an upper bound (a record may first arrive
     /// along a non-shortest surviving path).
-    pub fn neighborhood(&self) -> &HashMap<NodeId, (u32, Vec<NodeId>)> {
+    pub fn neighborhood(&self) -> &BTreeMap<NodeId, (u32, Vec<NodeId>)> {
         &self.known
     }
 
@@ -332,13 +338,18 @@ impl Convergecast {
         }
         let sum: f64 = self.value + self.reports.iter().map(|(s, _)| s).sum::<f64>();
         let count: u32 = 1 + self.reports.iter().map(|(_, c)| c).sum::<u32>();
-        self.reported = true;
         if self.is_sink {
+            self.reported = true;
             self.result = Some((sum, count));
-        } else {
-            let parent = self.parent.expect("non-sink nodes have parents");
-            ctx.send(parent, CastMessage::Report { sum, count });
+            return;
         }
+        // A non-sink node only joins the tree through a Build message, which
+        // sets its parent; if that invariant ever breaks, the node stays
+        // un-reported (hence non-quiescent) and the run surfaces the fault
+        // as a round-limit error instead of panicking mid-simulation.
+        let Some(parent) = self.parent else { return };
+        self.reported = true;
+        ctx.send(parent, CastMessage::Report { sum, count });
     }
 }
 
@@ -401,7 +412,7 @@ pub struct LocalMinElection {
     candidate: bool,
     priority: f64,
     best_heard: Option<(f64, NodeId)>,
-    seen: HashMap<NodeId, ()>,
+    seen: BTreeSet<NodeId>,
 }
 
 impl LocalMinElection {
@@ -418,7 +429,7 @@ impl LocalMinElection {
             candidate,
             priority,
             best_heard: None,
-            seen: HashMap::new(),
+            seen: BTreeSet::new(),
         }
     }
 
@@ -457,10 +468,10 @@ impl Protocol for LocalMinElection {
     ) {
         for env in inbox {
             let claim = env.payload;
-            if claim.origin == ctx.node() || self.seen.contains_key(&claim.origin) {
+            if claim.origin == ctx.node() || self.seen.contains(&claim.origin) {
                 continue;
             }
-            self.seen.insert(claim.origin, ());
+            self.seen.insert(claim.origin);
             let key = (claim.priority, claim.origin);
             if self.best_heard.is_none_or(|(p, id)| key < (p, id)) {
                 self.best_heard = Some(key);
@@ -573,7 +584,7 @@ mod tests {
         let k = 2;
         let lossy = LinkModel::Lossy { p: 0.3, seed: 42 };
 
-        let complete = |known: &std::collections::HashMap<NodeId, (u32, Vec<NodeId>)>,
+        let complete = |known: &std::collections::BTreeMap<NodeId, (u32, Vec<NodeId>)>,
                         v: NodeId| {
             let expected = traverse::k_hop_neighbors(&g, v, k);
             expected.iter().all(|u| known.contains_key(u))
@@ -591,7 +602,7 @@ mod tests {
             "30% loss must break some plain floods"
         );
 
-        let mut robust = Engine::new(&g, |_| RepeatedDiscovery::new(k, 5)).with_link_model(lossy);
+        let mut robust = Engine::new(&g, |_| RepeatedDiscovery::new(k, 6)).with_link_model(lossy);
         robust.run(64).unwrap();
         let robust_ok = g
             .nodes()
@@ -599,12 +610,12 @@ mod tests {
             .count();
         assert!(
             robust_ok > plain_ok,
-            "5 repeats ({robust_ok} complete) must beat single-shot ({plain_ok})"
+            "6 repeats ({robust_ok} complete) must beat single-shot ({plain_ok})"
         );
         assert_eq!(
             robust_ok,
             g.node_count(),
-            "5 repeats at p=0.3 recovers everyone (seeded)"
+            "6 repeats at p=0.3 recovers everyone (seeded)"
         );
     }
 

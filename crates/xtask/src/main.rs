@@ -1,0 +1,78 @@
+//! Workspace automation entry point, invoked as `cargo xtask <command>`
+//! through the `[alias]` in `.cargo/config.toml`.
+//!
+//! Commands:
+//!
+//! * `lint` — run the confine-analysis policy (determinism, no-panic,
+//!   purity) over the workspace; exit 1 on any finding. This is the CI
+//!   gate guarding the invariants in DESIGN.md §10.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--quiet")),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--quiet]");
+}
+
+/// The workspace root: xtask always runs from somewhere inside the repo
+/// (cargo sets the cwd to the invoking directory), so walk upwards to the
+/// directory holding the workspace manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn lint(quiet: bool) -> ExitCode {
+    let root = workspace_root();
+    let findings = match confine_analysis::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: I/O error while scanning: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        if !quiet {
+            println!("xtask lint: workspace clean (policy: determinism, no-panic, purity)");
+        }
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    let (mut det, mut pan, mut pur, mut unused) = (0usize, 0usize, 0usize, 0usize);
+    for f in &findings {
+        match f.lint {
+            confine_analysis::Lint::Determinism => det += 1,
+            confine_analysis::Lint::NoPanic => pan += 1,
+            confine_analysis::Lint::Purity => pur += 1,
+            confine_analysis::Lint::UnusedMarker => unused += 1,
+        }
+    }
+    eprintln!(
+        "xtask lint: {} finding(s) — determinism {det}, no-panic {pan}, \
+         purity {pur}, unused-marker {unused}",
+        findings.len()
+    );
+    ExitCode::FAILURE
+}

@@ -12,7 +12,7 @@
 //! cargo run --release --example barrier_corridor
 //! ```
 
-use confine::core::schedule::DccScheduler;
+use confine::core::Dcc;
 use confine::deploy::deployment;
 use confine::deploy::scenario::scenario_from_deployment;
 use confine::deploy::{CommModel, Rect};
@@ -34,7 +34,11 @@ fn main() {
     let rs = 1.0; // γ = 1
     for tau in [4usize, 8, 14] {
         let mut rng = StdRng::seed_from_u64(tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
 
         // Weak-barrier test: every vertical crossing line through the target
         // must pass within Rs of an awake node.

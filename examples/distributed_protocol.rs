@@ -11,8 +11,8 @@
 //! cargo run --release --example distributed_protocol
 //! ```
 
-use confine::core::distributed::DistributedDcc;
-use confine::core::schedule::{is_vpt_fixpoint, DccScheduler};
+use confine::core::schedule::is_vpt_fixpoint;
+use confine::core::Dcc;
 use confine::deploy::scenario::random_udg_scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +29,9 @@ fn main() {
         confine::core::vpt::independence_radius(tau),
     );
 
-    let (set, stats) = DistributedDcc::new(tau)
+    let (set, stats) = Dcc::builder(tau)
+        .distributed()
+        .expect("valid tau")
         .run(&scenario.graph, &scenario.boundary, &mut rng)
         .expect("bounded-radius phases converge");
     println!("\ndistributed run:");
@@ -50,7 +52,11 @@ fn main() {
 
     // Compare with the centralized reference.
     let mut rng = StdRng::seed_from_u64(11);
-    let central = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+    let central = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("valid inputs");
     println!(
         "\ncentralized reference kept {} nodes ({} rounds); both runs are VPT fixpoints \
          and differ only by deletion order",

@@ -14,7 +14,7 @@ use confine::graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), confine::netsim::SimError> {
     let mut rng = StdRng::seed_from_u64(17);
     // A densely triangulated deployment (every interior node is genuinely
     // redundant at τ = 4, so different epochs can lean on different nodes).
@@ -40,7 +40,7 @@ fn main() {
         model.capacity
     );
 
-    let report = rot.run(&graph, &boundary, 30, &mut rng);
+    let report = rot.run(&graph, &boundary, 30, &mut rng)?;
     println!("\nepoch  awake  newly-dead");
     for (i, e) in report.epochs.iter().enumerate() {
         println!("{:>5} {:>6} {:>11}", i, e.awake.len(), e.dead.len());
@@ -58,7 +58,7 @@ fn main() {
     println!("always-on baseline: {} epochs", rot.always_on_baseline());
     println!(
         "static-set baseline: {} epochs",
-        rot.static_baseline(&graph, &boundary, &mut rng)
+        rot.static_baseline(&graph, &boundary, &mut rng)?
     );
     let internal_total = boundary.iter().filter(|&&b| !b).count();
     println!(
@@ -68,4 +68,5 @@ fn main() {
     );
     assert!(report.lifetime() > rot.always_on_baseline());
     assert!(report.distinct_servers(&boundary) > 0);
+    Ok(())
 }

@@ -11,8 +11,9 @@
 //! cargo run --example multi_boundary
 //! ```
 
-use confine::core::schedule::{is_vpt_fixpoint, DccScheduler};
+use confine::core::schedule::is_vpt_fixpoint;
 use confine::core::verify::cone_inner_boundaries;
+use confine::core::Dcc;
 use confine::graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,7 +96,11 @@ fn main() {
 
     let tau = 4;
     let mut rng = StdRng::seed_from_u64(3);
-    let set = DccScheduler::new(tau).schedule(&coned.graph, &coned.protected, &mut rng);
+    let set = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&coned.graph, &coned.protected, &mut rng)
+        .expect("valid inputs");
     println!(
         "DCC at τ = {tau}: {} awake / {} asleep ({} rounds)",
         set.active_count(),

@@ -13,7 +13,7 @@
 //! ```
 
 use confine::core::config::{best_tau_for_requirement, ConfineConfig, Guarantee};
-use confine::core::schedule::DccScheduler;
+use confine::core::Dcc;
 use confine::deploy::coverage::verify_coverage;
 use confine::deploy::scenario::random_udg_scenario;
 use rand::rngs::StdRng;
@@ -46,7 +46,11 @@ fn main() {
             Guarantee::Unbounded => f64::INFINITY,
         };
         let mut rng = StdRng::seed_from_u64(7 + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let report = verify_coverage(&scenario.positions, &set.active, rs, scenario.target, 0.05);
         let measured = report.max_hole_diameter();
         println!(

@@ -11,7 +11,7 @@
 //! ```
 
 use confine::core::config::{best_tau_for_requirement, ConfineConfig, Guarantee};
-use confine::core::schedule::DccScheduler;
+use confine::core::Dcc;
 use confine::deploy::coverage::verify_coverage;
 use confine::deploy::scenario::random_udg_scenario;
 use rand::rngs::StdRng;
@@ -45,7 +45,11 @@ fn main() {
     assert_eq!(config.guarantee(scenario.rc), Guarantee::Blanket);
 
     // Schedule: connectivity-only, boundary nodes stay awake.
-    let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+    let set = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("valid inputs");
     println!(
         "DCC kept {} / {} nodes awake ({} deletion rounds, {} nodes sleeping)",
         set.active_count(),

@@ -10,7 +10,7 @@
 //! cargo run --release --example void_spectrum
 //! ```
 
-use confine::core::schedule::DccScheduler;
+use confine::core::Dcc;
 use confine::cycles::relevant::relevant_length_spectrum;
 use confine::deploy::scenario::random_udg_scenario;
 use confine::graph::Masked;
@@ -28,7 +28,11 @@ fn main() {
 
     for tau in [3usize, 4, 6] {
         let mut rng = StdRng::seed_from_u64(3 + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .expect("valid inputs");
         let masked = Masked::from_active(&scenario.graph, &set.active);
         let skeleton = masked.to_induced().graph;
         let spectrum = relevant_length_spectrum(&skeleton);

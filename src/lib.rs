@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use confine::core::config::best_tau_for_requirement;
-//! use confine::core::schedule::DccScheduler;
+//! use confine::core::Dcc;
 //! use confine::deploy::coverage::verify_coverage;
 //! use confine::deploy::scenario::random_udg_scenario;
 //! use rand::SeedableRng;
@@ -34,7 +34,11 @@
 //!
 //! // Application: sensing range Rs = Rc (γ = 1), blanket coverage needed.
 //! let tau = best_tau_for_requirement(1.0, scenario.rc, 0.0).expect("γ ≤ √3");
-//! let set = DccScheduler::new(tau).schedule(&scenario.graph, &scenario.boundary, &mut rng);
+//! let set = Dcc::builder(tau)
+//!     .centralized()
+//!     .expect("valid tau")
+//!     .run(&scenario.graph, &scenario.boundary, &mut rng)
+//!     .expect("valid inputs");
 //! assert!(set.active_count() < 400);
 //!
 //! // Ground truth check with the simulator's hidden coordinates.

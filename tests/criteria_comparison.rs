@@ -1,7 +1,7 @@
 //! DCC vs HGC on structured topologies: agreement where both are right,
 //! and DCC's strictly better granularity where HGC wastes nodes.
 
-use confine::core::schedule::DccScheduler;
+use confine::core::Dcc;
 use confine::cycles::partition::is_tau_partitionable;
 use confine::cycles::Cycle;
 use confine::graph::{generators, NodeId};
@@ -76,7 +76,11 @@ fn dcc_at_tau3_and_hgc_keep_comparable_sets() {
     assert_eq!(hgc.deleted.len(), 1);
 
     let mut rng = StdRng::seed_from_u64(3);
-    let dcc = DccScheduler::new(3).schedule(&g, &fence, &mut rng);
+    let dcc = Dcc::builder(3)
+        .centralized()
+        .expect("valid tau")
+        .run(&g, &fence, &mut rng)
+        .expect("valid inputs");
     assert_eq!(dcc.deleted.len(), 1);
     assert_eq!(dcc.active_count(), hgc.active_count());
 }
@@ -95,7 +99,11 @@ fn dcc_with_larger_tau_beats_hgc_on_the_wheel() {
     assert!(hgc.initial_ok);
     assert_eq!(hgc.active_count(), 9, "HGC cannot give up the hub");
 
-    let dcc = DccScheduler::new(8).schedule(&g, &fence, &mut StdRng::seed_from_u64(5));
+    let dcc = Dcc::builder(8)
+        .centralized()
+        .expect("valid tau")
+        .run(&g, &fence, &mut StdRng::seed_from_u64(5))
+        .expect("valid inputs");
     assert_eq!(dcc.active_count(), 8, "8-confine coverage drops the hub");
 }
 

@@ -3,9 +3,9 @@
 //! (Proposition 1), plus distributed/centralized agreement.
 
 use confine::core::config::{best_tau_for_requirement, blanket_ratio_threshold};
-use confine::core::distributed::DistributedDcc;
-use confine::core::schedule::{is_vpt_fixpoint, DccScheduler, DeletionOrder};
+use confine::core::schedule::{is_vpt_fixpoint, DeletionOrder};
 use confine::core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
+use confine::core::Dcc;
 use confine::deploy::coverage::verify_coverage;
 use confine::deploy::outer::extract_outer_walk;
 use confine::deploy::scenario::random_udg_scenario;
@@ -27,7 +27,11 @@ fn theorem5_partitionability_is_preserved_by_scheduling() {
         boundary_partition_tau(&s, &walk, &all).expect("boundary is in the cycle space");
     for tau in [initial_tau, initial_tau + 2] {
         let mut rng = StdRng::seed_from_u64(7 + tau as u64);
-        let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&s.graph, &s.boundary, &mut rng)
+            .expect("valid inputs");
         assert_eq!(
             verify_criterion(&s, &set.active, tau),
             CriterionOutcome::Satisfied,
@@ -41,7 +45,11 @@ fn schedules_reach_fixpoints_and_stay_connected() {
     let s = scenario(32);
     for tau in [3usize, 5] {
         let mut rng = StdRng::seed_from_u64(tau as u64);
-        let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&s.graph, &s.boundary, &mut rng)
+            .expect("valid inputs");
         assert!(is_vpt_fixpoint(&s.graph, &set.active, &s.boundary, tau));
         let masked = Masked::from_active(&s.graph, &set.active);
         assert!(
@@ -60,7 +68,11 @@ fn proposition1_blanket_coverage_holds_geometrically() {
     let tau = best_tau_for_requirement(gamma, s.rc, 0.0).unwrap();
     assert_eq!(tau, 6);
     let mut rng = StdRng::seed_from_u64(9);
-    let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+    let set = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&s.graph, &s.boundary, &mut rng)
+        .expect("valid inputs");
     let report = verify_coverage(&s.positions, &set.active, s.rc / gamma, s.target, 0.08);
     assert!(
         report.is_blanket(),
@@ -77,7 +89,11 @@ fn proposition1_partial_coverage_hole_bound_holds() {
     let tau = 5usize;
     assert!(gamma > blanket_ratio_threshold(tau));
     let mut rng = StdRng::seed_from_u64(11);
-    let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+    let set = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&s.graph, &s.boundary, &mut rng)
+        .expect("valid inputs");
     let report = verify_coverage(&s.positions, &set.active, s.rc / gamma, s.target, 0.08);
     let bound = (tau as f64 - 2.0) * s.rc;
     assert!(
@@ -94,7 +110,11 @@ fn larger_tau_gives_sparser_sets() {
     let mut sizes = Vec::new();
     for tau in [3usize, 4, 6] {
         let mut rng = StdRng::seed_from_u64(42);
-        let set = DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut rng);
+        let set = Dcc::builder(tau)
+            .centralized()
+            .expect("valid tau")
+            .run(&s.graph, &s.boundary, &mut rng)
+            .expect("valid inputs");
         sizes.push(set.active_count());
     }
     assert!(
@@ -112,13 +132,18 @@ fn distributed_run_matches_centralized_fixpoint() {
     let mut rng = StdRng::seed_from_u64(77);
     let s = random_udg_scenario(150, 1.0, 16.0, &mut rng);
     let tau = 4;
-    let (dist, stats) = DistributedDcc::new(tau)
+    let (dist, stats) = Dcc::builder(tau)
+        .distributed()
+        .expect("valid tau")
         .run(&s.graph, &s.boundary, &mut rng)
         .expect("protocol converges");
     assert!(is_vpt_fixpoint(&s.graph, &dist.active, &s.boundary, tau));
     assert!(stats.discovery_messages > 0 && stats.comm_rounds > 0);
-    let central =
-        DccScheduler::new(tau).schedule(&s.graph, &s.boundary, &mut StdRng::seed_from_u64(77));
+    let central = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&s.graph, &s.boundary, &mut StdRng::seed_from_u64(77))
+        .expect("valid inputs");
     // Both are fixpoints of the same transformation; sizes agree closely.
     let diff = dist.active_count().abs_diff(central.active_count());
     assert!(
@@ -139,9 +164,12 @@ fn sequential_order_is_a_valid_ablation() {
     let all: Vec<_> = s.graph.nodes().collect();
     let tau = boundary_partition_tau(&s, &walk, &all).expect("boundary in cycle space");
     let mut rng = StdRng::seed_from_u64(5);
-    let seq = DccScheduler::new(tau)
-        .with_order(DeletionOrder::Sequential)
-        .schedule(&s.graph, &s.boundary, &mut rng);
+    let seq = Dcc::builder(tau)
+        .order(DeletionOrder::Sequential)
+        .centralized()
+        .expect("valid tau")
+        .run(&s.graph, &s.boundary, &mut rng)
+        .expect("valid inputs");
     assert!(is_vpt_fixpoint(&s.graph, &seq.active, &s.boundary, tau));
     assert_eq!(
         verify_criterion(&s, &seq.active, tau),
@@ -154,7 +182,11 @@ fn sequential_order_is_a_valid_ablation() {
 fn boundary_nodes_always_survive() {
     let s = scenario(37);
     let mut rng = StdRng::seed_from_u64(13);
-    let set = DccScheduler::new(5).schedule(&s.graph, &s.boundary, &mut rng);
+    let set = Dcc::builder(5)
+        .centralized()
+        .expect("valid tau")
+        .run(&s.graph, &s.boundary, &mut rng)
+        .expect("valid inputs");
     for v in s.boundary_nodes() {
         assert!(set.active.contains(&v), "boundary node {v:?} was deleted");
     }

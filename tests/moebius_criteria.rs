@@ -97,7 +97,10 @@ fn moebius_has_no_redundant_node_for_dcc() {
         boundary[v.index()] = true;
     }
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
-    let set =
-        confine::core::schedule::DccScheduler::new(3).schedule(&band.graph, &boundary, &mut rng);
+    let set = confine::core::Dcc::builder(3)
+        .centralized()
+        .expect("valid tau")
+        .run(&band.graph, &boundary, &mut rng)
+        .expect("valid inputs");
     assert_eq!(set.active_count(), 12, "nothing can sleep at τ = 3");
 }

@@ -12,8 +12,9 @@
 //!   around the repaired boundary (plus the courtyard itself, which is the
 //!   point of the exemption).
 
-use confine::core::schedule::{is_vpt_fixpoint, DccScheduler};
+use confine::core::schedule::is_vpt_fixpoint;
 use confine::core::verify::{boundary_partition_tau, cone_inner_boundaries};
+use confine::core::Dcc;
 use confine::deploy::coverage::verify_coverage;
 use confine::deploy::deployment::{perturbed_grid, Deployment};
 use confine::deploy::outer::extract_outer_walk;
@@ -141,7 +142,11 @@ fn coned_donut_schedules_and_covers() {
     let k = tau.div_ceil(2) as f64;
 
     let mut rng = StdRng::seed_from_u64(9);
-    let set = DccScheduler::new(tau).schedule(&d.scenario.graph, &d.protected, &mut rng);
+    let set = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(&d.scenario.graph, &d.protected, &mut rng)
+        .expect("valid inputs");
     assert!(is_vpt_fixpoint(
         &d.scenario.graph,
         &set.active,
@@ -205,7 +210,11 @@ fn scheduling_without_coning_lets_ring_nodes_sleep() {
     // coned run pins the whole ring awake, the plain run thins it.
     let d = donut(78);
     let mut rng = StdRng::seed_from_u64(4);
-    let with_cone = DccScheduler::new(4).schedule(&d.scenario.graph, &d.protected, &mut rng);
+    let with_cone = Dcc::builder(4)
+        .centralized()
+        .expect("valid tau")
+        .run(&d.scenario.graph, &d.protected, &mut rng)
+        .expect("valid inputs");
 
     // Plain graph = coned graph without the apex: rebuild from the scenario
     // by masking the apex out and re-running on the original outer flags.
@@ -213,7 +222,11 @@ fn scheduling_without_coning_lets_ring_nodes_sleep() {
     let plain_nodes: Vec<NodeId> = d.scenario.graph.nodes().filter(|&v| v != d.apex).collect();
     let masked = Masked::from_active(&d.scenario.graph, &plain_nodes);
     let induced = masked.to_induced();
-    let plain = DccScheduler::new(4).schedule(&induced.graph, &plain_boundary, &mut rng);
+    let plain = Dcc::builder(4)
+        .centralized()
+        .expect("valid tau")
+        .run(&induced.graph, &plain_boundary, &mut rng)
+        .expect("valid inputs");
 
     let ring_awake_coned = d
         .inner_ring

@@ -3,8 +3,8 @@
 //! single further node can be removed without losing τ-partitionability of
 //! the boundary.
 
-use confine::core::schedule::DccScheduler;
 use confine::core::verify::{boundary_partition_tau, verify_criterion, CriterionOutcome};
+use confine::core::Dcc;
 use confine::cycles::horton::irreducible_cycle_bounds;
 use confine::deploy::outer::extract_outer_walk;
 use confine::deploy::scenario::random_udg_scenario;
@@ -26,11 +26,15 @@ fn theorem6_no_single_node_is_redundant() {
         .max;
     let tau = initial_tau.max(max_irr);
 
-    let set = DccScheduler::new(tau).schedule(
-        &scenario.graph,
-        &scenario.boundary,
-        &mut StdRng::seed_from_u64(5),
-    );
+    let set = Dcc::builder(tau)
+        .centralized()
+        .expect("valid tau")
+        .run(
+            &scenario.graph,
+            &scenario.boundary,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .expect("valid inputs");
     assert_eq!(
         verify_criterion(&scenario, &set.active, tau),
         CriterionOutcome::Satisfied,
