@@ -1,0 +1,242 @@
+//! `BENCH_chaos.json` emitter — the deterministic-chaos soak benchmark.
+//!
+//! Runs the same seed-triple campaign under both rejoin policies and
+//! reports, per policy: wall-clock per campaign, fault events executed,
+//! enforced-oracle failures, and — for every failing triple — the ddmin
+//! shrinker's minimal script size and probe count. A replay check reruns
+//! one triple with a parallel engine and asserts the trace digest is
+//! bitwise-identical, which is the guarantee the whole layer rests on.
+//!
+//! ```text
+//! cargo run --release -p confine-bench --bin chaos_soak -- \
+//!     --seeds 25 [--nodes 120] [--degree 12] [--events 6] \
+//!     [--out results/BENCH_chaos.json]
+//! ```
+
+use std::time::Instant;
+
+use confine_bench::args::Args;
+use confine_bench::rule;
+use confine_core::prelude::{ChaosOptions, ChaosRunner, RejoinPolicy};
+use confine_netsim::chaos::SeedTriple;
+
+struct PolicyRow {
+    policy: &'static str,
+    campaigns: usize,
+    events: usize,
+    failures: usize,
+    total_ms: f64,
+    shrunk: Vec<ShrinkRow>,
+}
+
+struct ShrinkRow {
+    triple: String,
+    original_events: usize,
+    minimal_events: usize,
+    probes: usize,
+    repro: String,
+}
+
+fn soak(
+    policy: RejoinPolicy,
+    name: &'static str,
+    opts: &ChaosOptions,
+    seeds: &[SeedTriple],
+) -> PolicyRow {
+    let runner = ChaosRunner::new(ChaosOptions {
+        rejoin: policy,
+        ..opts.clone()
+    });
+    let mut row = PolicyRow {
+        policy: name,
+        campaigns: 0,
+        events: 0,
+        failures: 0,
+        total_ms: 0.0,
+        shrunk: Vec::new(),
+    };
+    for &triple in seeds {
+        let t0 = Instant::now();
+        let report = runner.run(triple).expect("campaign must execute");
+        row.total_ms += t0.elapsed().as_secs_f64() * 1000.0;
+        row.campaigns += 1;
+        row.events += report.plan.len();
+        if report.failed() {
+            row.failures += 1;
+            if let Some(cex) = runner.shrink(triple).expect("shrink must execute") {
+                row.shrunk.push(ShrinkRow {
+                    triple: triple.to_string(),
+                    original_events: report.plan.len(),
+                    minimal_events: cex.result.plan.len(),
+                    probes: cex.result.tests_run,
+                    repro: cex.repro,
+                });
+            }
+        }
+    }
+    row
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn to_json(
+    rows: &[PolicyRow],
+    opts: &ChaosOptions,
+    seeds: usize,
+    base: u64,
+    replay_identical: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"chaos_soak\",\n");
+    out.push_str(
+        "  \"comparison\": \"seed-triple chaos campaigns (crash / recover / partition against the full schedule→repair→rejoin loop) under RejoinPolicy::ReVerify vs the planted RejoinPolicy::TrustSnapshot regression\",\n",
+    );
+    out.push_str(&format!(
+        "  \"config\": {{ \"nodes\": {}, \"degree\": {}, \"tau\": {}, \"events\": {}, \"seeds\": {seeds}, \"base_seed\": {base} }},\n",
+        opts.nodes, opts.degree, opts.tau, opts.events
+    ));
+    out.push_str(&format!(
+        "  \"replay_digest_identical_across_threads\": {replay_identical},\n"
+    ));
+    out.push_str("  \"policies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"policy\": {},\n", json_str(r.policy)));
+        out.push_str(&format!("      \"campaigns\": {},\n", r.campaigns));
+        out.push_str(&format!("      \"fault_events\": {},\n", r.events));
+        out.push_str(&format!("      \"oracle_failures\": {},\n", r.failures));
+        out.push_str(&format!(
+            "      \"mean_campaign_ms\": {:.1},\n",
+            r.total_ms / r.campaigns.max(1) as f64
+        ));
+        out.push_str("      \"counterexamples\": [\n");
+        for (j, s) in r.shrunk.iter().enumerate() {
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"triple\": {},\n", json_str(&s.triple)));
+            out.push_str(&format!(
+                "          \"original_events\": {},\n",
+                s.original_events
+            ));
+            out.push_str(&format!(
+                "          \"minimal_events\": {},\n",
+                s.minimal_events
+            ));
+            out.push_str(&format!("          \"shrink_probes\": {},\n", s.probes));
+            out.push_str(&format!("          \"repro\": {}\n", json_str(&s.repro)));
+            out.push_str(if j + 1 == r.shrunk.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seeds = args.get_usize("seeds", 25);
+    let base = args.get_u64("base-seed", 0x0D57_C0DE);
+    let defaults = ChaosOptions::default();
+    let opts = ChaosOptions {
+        tau: args.get_usize("tau", defaults.tau),
+        nodes: args.get_usize("nodes", defaults.nodes),
+        degree: args.get_f64("degree", defaults.degree),
+        events: args.get_usize("events", defaults.events),
+        ..defaults
+    };
+    let out_path = args.get_str("out", "results/BENCH_chaos.json");
+
+    let triples: Vec<SeedTriple> = (0..seeds as u64)
+        .map(|i| SeedTriple::derived(base, i))
+        .collect();
+
+    println!(
+        "Chaos soak — {} campaigns/policy, {} nodes, τ = {}, ≤ {} events each",
+        seeds, opts.nodes, opts.tau, opts.events
+    );
+    rule(78);
+    println!(
+        "{:>16} {:>10} {:>8} {:>10} {:>14} {:>12}",
+        "policy", "campaigns", "events", "failures", "mean ms/run", "shrunk cexs"
+    );
+
+    let rows: Vec<PolicyRow> = [
+        (RejoinPolicy::ReVerify, "re-verify"),
+        (RejoinPolicy::TrustSnapshot, "trust-snapshot"),
+    ]
+    .into_iter()
+    .map(|(policy, name)| {
+        let row = soak(policy, name, &opts, &triples);
+        println!(
+            "{:>16} {:>10} {:>8} {:>10} {:>14.1} {:>12}",
+            row.policy,
+            row.campaigns,
+            row.events,
+            row.failures,
+            row.total_ms / row.campaigns.max(1) as f64,
+            row.shrunk.len()
+        );
+        row
+    })
+    .collect();
+    rule(78);
+
+    // Replay check: one triple, serial vs parallel engine, digest must match.
+    let probe = triples[0];
+    let serial = ChaosRunner::new(opts.clone()).run(probe).expect("serial");
+    let parallel = ChaosRunner::new(ChaosOptions {
+        threads: 4,
+        ..opts.clone()
+    })
+    .run(probe)
+    .expect("parallel");
+    let replay_identical =
+        serial.trace.digest() == parallel.trace.digest() && serial.active == parallel.active;
+    println!(
+        "replay check ({probe}): serial digest {:016x}, 4-thread digest {:016x} — {}",
+        serial.trace.digest(),
+        parallel.trace.digest(),
+        if replay_identical {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let sound_clean = rows[0].failures == 0;
+    let bug_caught = rows[1].failures > 0;
+    println!(
+        "acceptance: re-verify clean = {sound_clean}, trust-snapshot caught = {bug_caught}, replay = {replay_identical} — {}",
+        if sound_clean && bug_caught && replay_identical {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    let json = to_json(&rows, &opts, seeds, base, replay_identical);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

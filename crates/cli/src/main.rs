@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "prune" => cmd_prune(&opts),
         "verify" => cmd_verify(&opts),
         "fault-sweep" => cmd_fault_sweep(&opts),
+        "chaos" => cmd_chaos(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -80,10 +81,20 @@ commands:
   fault-sweep --in FILE --tau T [--seed S] [--loss \"0,0.1,0.2,0.3\"]
               [--crashes C]
             distributed runs under loss × mid-run crashes, then a
-            post-schedule crash + repair; prints cost and QoC per cell
+            post-schedule crash + repair; prints cost, QoC and heartbeat
+            false suspicions per cell
+  chaos     [--seeds N] [--base-seed S] [--one T:F:S] [--shrink]
+            [--nodes N] [--tau T] [--degree D] [--events E]
+            [--rejoin re-verify|trust-snapshot]
+            deterministic chaos campaigns: seeded crash / recover /
+            partition scripts against schedule + repair, with invariant
+            oracles; --one replays a single triple, --shrink ddmin-reduces
+            failures to a minimal fault script; exits nonzero on any
+            enforced-oracle violation
 
-engine options (schedule, fault-sweep):
-  --threads N   VPT evaluation threads (0 = all cores, the default)
+engine options (schedule, fault-sweep, chaos):
+  --threads N   VPT evaluation threads (0 = all cores, the default;
+                chaos defaults to 1 — replay is identical either way)
   --no-cache    disable the neighbourhood-fingerprint verdict memo";
 
 /// Seeds a [`Dcc`] builder from the CLI's uniform engine options:
@@ -270,7 +281,7 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
     let nodes: Vec<NodeId> = s.graph.nodes().collect();
 
     println!(
-        "{:>5} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11}",
+        "{:>5} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11} {:>9}",
         "loss",
         "crashes",
         "result",
@@ -279,7 +290,8 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
         "crashed",
         "QoC",
         "repair_rnds",
-        "repair_msgs"
+        "repair_msgs",
+        "falsusp"
     );
     for &p in &losses {
         for c in 0..=max_crashes {
@@ -309,11 +321,15 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
                         CriterionOutcome::NoCertifiedBoundary => "n/a",
                     };
                     // Post-schedule crash of one interior active node + repair.
+                    // The repair's heartbeat phase runs under the same link
+                    // model, so its false-suspicion count exposes how often
+                    // loss masquerades as death.
                     let victim = set.active.iter().copied().find(|v| !s.boundary[v.index()]);
-                    let (rr, rm) = match victim {
+                    let (rr, rm, fs) = match victim {
                         Some(v) => {
                             let outcome = dcc_builder(tau, opts)?
                                 .comm_range(s.rc)
+                                .link_model(link)
                                 .repair()
                                 .map_err(|e| format!("repair: {e}"))?
                                 .repair(&s.graph, &s.boundary, &set.active, v, &mut rng)
@@ -321,12 +337,13 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
                             (
                                 outcome.degradation.repair_rounds,
                                 outcome.stats.repair_messages,
+                                outcome.stats.false_suspicions,
                             )
                         }
-                        None => (0, 0),
+                        None => (0, 0, 0),
                     };
                     println!(
-                        "{:>5.2} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11}",
+                        "{:>5.2} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11} {:>9}",
                         p,
                         c,
                         "ok",
@@ -335,15 +352,17 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
                         stats.crashed,
                         qoc,
                         rr,
-                        rm
+                        rm,
+                        fs
                     );
                 }
                 Err(SimError::ElectionStalled { retries }) => {
                     println!(
-                        "{:>5.2} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11}",
+                        "{:>5.2} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>12} {:>11} {:>9}",
                         p,
                         c,
                         format!("stall({retries})"),
+                        "-",
                         "-",
                         "-",
                         "-",
@@ -357,6 +376,104 @@ fn cmd_fault_sweep(opts: &Opts) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_chaos(opts: &Opts) -> Result<(), String> {
+    use confine_core::prelude::{ChaosOptions, ChaosRunner, RejoinPolicy};
+    use confine_netsim::chaos::SeedTriple;
+
+    let tau = opts.usize("tau", 4)?;
+    if tau < MIN_TAU {
+        return Err(format!("--tau must be ≥ {MIN_TAU}"));
+    }
+    let rejoin = match opts.get("rejoin").as_deref() {
+        None | Some("re-verify") => RejoinPolicy::ReVerify,
+        Some("trust-snapshot") => RejoinPolicy::TrustSnapshot,
+        Some(other) => {
+            return Err(format!(
+                "--rejoin expects re-verify or trust-snapshot, got {other:?}"
+            ))
+        }
+    };
+    let runner = ChaosRunner::new(ChaosOptions {
+        tau,
+        nodes: opts.usize("nodes", 120)?,
+        degree: opts.f64("degree", 12.0)?,
+        events: opts.usize("events", 6)?,
+        rejoin,
+        threads: opts.usize("threads", 1)?,
+        cache: !opts.flag("no-cache"),
+    });
+    let shrink = opts.flag("shrink");
+
+    // Replay a single triple.
+    if let Some(spec) = opts.get("one") {
+        let triple = SeedTriple::parse(&spec)
+            .ok_or_else(|| format!("--one expects topology:faults:schedule, got {spec:?}"))?;
+        let report = runner.run(triple).map_err(|e| format!("chaos run: {e}"))?;
+        println!("{}", report.trace.render());
+        if !report.failed() {
+            println!(
+                "triple {triple}: clean ({} fault events, {} final actives, digest {:016x})",
+                report.plan.len(),
+                report.active.len(),
+                report.trace.digest()
+            );
+            return Ok(());
+        }
+        if shrink {
+            if let Some(cex) = runner.shrink(triple).map_err(|e| format!("shrink: {e}"))? {
+                println!("--- minimized counterexample ---");
+                println!("{}", cex.repro);
+            }
+        }
+        return Err(format!(
+            "triple {triple}: {} enforced oracle violation(s)",
+            report.trace.violations().len()
+        ));
+    }
+
+    // Seed-sweep campaign.
+    let seeds = opts.usize("seeds", 25)?;
+    let base = opts.u64("base-seed", 0x0D57_C0DE)?;
+    let mut failures: Vec<SeedTriple> = Vec::new();
+    for i in 0..seeds as u64 {
+        let triple = SeedTriple::derived(base, i);
+        let report = runner
+            .run(triple)
+            .map_err(|e| format!("seed {i} ({triple}): {e}"))?;
+        println!(
+            "[{i:>3}] {:>4}  events {:>2}  active {:>3}  msgs {:>7}  false-susp {:>2}  {triple}",
+            if report.failed() { "FAIL" } else { "ok" },
+            report.plan.len(),
+            report.active.len(),
+            report.stats.total_messages(),
+            report.stats.false_suspicions
+        );
+        if report.failed() {
+            failures.push(triple);
+            if shrink {
+                if let Some(cex) = runner.shrink(triple).map_err(|e| format!("shrink: {e}"))? {
+                    println!("--- minimized counterexample ---");
+                    println!("{}", cex.repro);
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("{seeds} seeds: all clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {seeds} seeds violated enforced oracles: {}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
 }
 
 fn cmd_verify(opts: &Opts) -> Result<(), String> {

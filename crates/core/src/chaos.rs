@@ -1,0 +1,739 @@
+//! The DCC chaos harness: deterministic fault campaigns against the full
+//! schedule → crash → repair → rejoin → reconcile loop.
+//!
+//! This is the protocol-specific half of the deterministic
+//! simulation-testing layer (the generic half — seed triples, fault plans,
+//! traces, the ddmin shrinker — lives in [`confine_netsim::chaos`]). A
+//! [`ChaosRunner`] expands a [`SeedTriple`] into a complete adversarial
+//! run:
+//!
+//! 1. the **topology seed** builds a random UDG scenario with a certified
+//!    boundary ring;
+//! 2. the **schedule seed** drives every message-level random choice: the
+//!    initial DCC-D schedule, then each repair/rejoin/reconcile pass;
+//! 3. the **fault seed** expands into a [`ChaosPlan`] of crash, recover
+//!    and partition events, applied in order.
+//!
+//! After every event the harness evaluates the invariant oracles —
+//! `τ`-partitionability of the certified boundary
+//! ([`verify_criterion`]), VPT-fixpoint convergence
+//! ([`is_vpt_fixpoint`]) — and records the verdicts in a replayable
+//! [`Trace`]. Both are **differential**: a random deployment is not
+//! guaranteed to certify the criterion even fully awake, and a crash may
+//! destroy coverage no protocol could rebuild, so what the repair layer
+//! owes is *no regression against what is achievable* — a verdict only
+//! fails if the property held at the post-schedule baseline, still holds
+//! with every currently-alive node awake (the criterion is monotone in
+//! the active set, so that is the best case), and the maintained set
+//! breaks it anyway. While a partition is open, coverage degradation is
+//! expected, so verdicts are informational; everywhere else they are
+//! enforced. At quiescence a churn probe reruns reconciliation around
+//! every node that ever changed state and reports (informationally)
+//! whether it was a no-op.
+//!
+//! The same triple replays **bitwise-identically**: equal [`Trace`]s, equal
+//! digests, equal final active sets — across thread counts too, since the
+//! VPT engine's parallel evaluation is order-invariant. On an enforced
+//! violation, [`ChaosRunner::shrink`] minimizes the fault script with
+//! [`shrink_plan`] and packages the one-line repro command.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use confine_deploy::scenario::random_udg_scenario;
+use confine_deploy::Scenario;
+use confine_graph::{traverse, Graph, NodeId};
+use confine_netsim::chaos::{
+    shrink_plan, ChaosEvent, ChaosPlan, SeedTriple, ShrinkResult, Trace, TraceEvent,
+};
+use confine_netsim::faults::FaultPlan;
+use confine_netsim::SimError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dcc::{Dcc, RepairRunner};
+use crate::distributed::DistributedStats;
+use crate::repair::RejoinPolicy;
+use crate::schedule::is_vpt_fixpoint;
+use crate::verify::{verify_criterion, CriterionOutcome};
+
+/// Configuration of a chaos campaign (shared by every seed triple).
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Confine size `τ`.
+    pub tau: usize,
+    /// Nodes per random scenario.
+    pub nodes: usize,
+    /// Target average degree of the random UDG.
+    pub degree: f64,
+    /// Fault events per randomly generated plan.
+    pub events: usize,
+    /// How crash-recovered nodes re-enter the schedule.
+    pub rejoin: RejoinPolicy,
+    /// Worker threads of the VPT engine (`0` = machine parallelism).
+    pub threads: usize,
+    /// Whether the VPT engine's verdict cache is enabled.
+    pub cache: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            tau: 4,
+            // Sized so the certified boundary band leaves a real interior:
+            // smaller deployments are boundary-dominated and the schedule
+            // rightly sleeps every internal node, leaving nothing to crash.
+            nodes: 120,
+            degree: 12.0,
+            events: 6,
+            rejoin: RejoinPolicy::ReVerify,
+            threads: 1,
+            cache: true,
+        }
+    }
+}
+
+/// The result of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The seed triple that (re)produces this run.
+    pub triple: SeedTriple,
+    /// The fault script that was applied.
+    pub plan: ChaosPlan,
+    /// The replayable event trace, oracle verdicts included.
+    pub trace: Trace,
+    /// The final active set, in id order.
+    pub active: Vec<NodeId>,
+    /// Aggregate protocol cost across the schedule and every fault
+    /// reaction.
+    pub stats: DistributedStats,
+}
+
+impl ChaosReport {
+    /// Did any *enforced* oracle fail?
+    pub fn failed(&self) -> bool {
+        !self.trace.violations().is_empty()
+    }
+}
+
+/// A minimized counterexample produced by [`ChaosRunner::shrink`].
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The 1-minimal failing plan and the shrinker's test count.
+    pub result: ShrinkResult,
+    /// The replay of the minimal plan (violations included).
+    pub report: ChaosReport,
+    /// Human-readable repro: the CLI command plus the minimal script.
+    pub repro: String,
+}
+
+/// Executes seeded chaos campaigns; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ChaosRunner {
+    opts: ChaosOptions,
+}
+
+impl ChaosRunner {
+    /// Creates a runner for the given campaign configuration.
+    pub fn new(opts: ChaosOptions) -> Self {
+        ChaosRunner { opts }
+    }
+
+    /// The campaign configuration.
+    pub fn options(&self) -> &ChaosOptions {
+        &self.opts
+    }
+
+    /// The scenario a triple's topology seed expands into (exposed so
+    /// callers can inspect or render the topology of a repro).
+    pub fn scenario(&self, triple: SeedTriple) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(triple.topology);
+        random_udg_scenario(self.opts.nodes, 1.0, self.opts.degree, &mut rng)
+    }
+
+    /// Runs the triple with its derived random fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] of the underlying drivers (these mean
+    /// the *simulation* could not run, not that an oracle failed — oracle
+    /// verdicts live in the returned trace).
+    pub fn run(&self, triple: SeedTriple) -> Result<ChaosReport, SimError> {
+        self.execute(triple, None)
+    }
+
+    /// Replays the triple under an explicit fault plan (the shrinker's
+    /// probe path; also useful for hand-crafted scripts).
+    pub fn run_plan(&self, triple: SeedTriple, plan: &ChaosPlan) -> Result<ChaosReport, SimError> {
+        self.execute(triple, Some(plan))
+    }
+
+    /// Runs the triple; on an enforced-oracle violation, ddmin-minimizes
+    /// the fault script and returns the packaged counterexample. `None`
+    /// means the run was clean.
+    pub fn shrink(&self, triple: SeedTriple) -> Result<Option<Counterexample>, SimError> {
+        let report = self.run(triple)?;
+        if !report.failed() {
+            return Ok(None);
+        }
+        let mut oracle = |candidate: &ChaosPlan| {
+            self.run_plan(triple, candidate)
+                .map(|r| r.failed())
+                .unwrap_or(false)
+        };
+        let result = shrink_plan(&report.plan, &mut oracle);
+        let minimal = self.run_plan(triple, &result.plan)?;
+        let repro = format!(
+            "{}{}\nminimal fault script ({} events, {} candidate runs):\n{}",
+            triple.repro_command(),
+            self.cli_flags(),
+            result.plan.len(),
+            result.tests_run,
+            result.plan.describe()
+        );
+        Ok(Some(Counterexample {
+            result,
+            report: minimal,
+            repro,
+        }))
+    }
+
+    /// The non-default campaign options as CLI flags, appended to a
+    /// triple's repro command so the printed line reproduces verbatim.
+    fn cli_flags(&self) -> String {
+        let defaults = ChaosOptions::default();
+        let mut flags = String::new();
+        if self.opts.tau != defaults.tau {
+            flags.push_str(&format!(" --tau {}", self.opts.tau));
+        }
+        if self.opts.nodes != defaults.nodes {
+            flags.push_str(&format!(" --nodes {}", self.opts.nodes));
+        }
+        if self.opts.degree != defaults.degree {
+            flags.push_str(&format!(" --degree {}", self.opts.degree));
+        }
+        if self.opts.events != defaults.events {
+            flags.push_str(&format!(" --events {}", self.opts.events));
+        }
+        if self.opts.rejoin == RejoinPolicy::TrustSnapshot {
+            flags.push_str(" --rejoin trust-snapshot");
+        }
+        flags
+    }
+
+    fn execute(
+        &self,
+        triple: SeedTriple,
+        fixed: Option<&ChaosPlan>,
+    ) -> Result<ChaosReport, SimError> {
+        let scenario = self.scenario(triple);
+        let graph = &scenario.graph;
+        let boundary = &scenario.boundary;
+        let mut rng = StdRng::seed_from_u64(triple.schedule);
+        let mut trace = Trace::new();
+        let mut total = DistributedStats::default();
+
+        // Initial schedule (consumes the head of the schedule-seed stream).
+        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
+        if !self.opts.cache {
+            builder = builder.no_cache();
+        }
+        let (set, sched_stats) = builder.distributed()?.run(graph, boundary, &mut rng)?;
+        total.merge(&sched_stats);
+        trace.push(TraceEvent::Phase {
+            step: 0,
+            label: "schedule".into(),
+            rounds: sched_stats.comm_rounds,
+            messages: sched_stats.total_messages(),
+            dropped: sched_stats.dropped,
+        });
+        let mut active = set.active;
+
+        // Post-schedule baseline: what the fault reactions must not
+        // regress. The criterion is not guaranteed on a random deployment
+        // (informational here); the scheduler's fixpoint contract is
+        // unconditional, so that one is enforced even at baseline.
+        let baseline = Baseline {
+            partitionable: self.partitionable(&scenario, &active),
+            fixpoint: is_vpt_fixpoint(graph, &active, boundary, self.opts.tau),
+        };
+        trace.push(TraceEvent::Oracle {
+            step: 0,
+            name: "partitionable".into(),
+            pass: baseline.partitionable,
+            enforced: false,
+        });
+        trace.push(TraceEvent::Oracle {
+            step: 0,
+            name: "fixpoint".into(),
+            pass: baseline.fixpoint,
+            enforced: true,
+        });
+
+        let plan = match fixed {
+            Some(p) => p.clone(),
+            None => {
+                let victims: Vec<NodeId> = active
+                    .iter()
+                    .copied()
+                    .filter(|v| !boundary[v.index()])
+                    .collect();
+                let candidates = split_candidates(graph, &victims);
+                ChaosPlan::random(&victims, &candidates, self.opts.events, triple.faults)
+            }
+        };
+
+        // node → the active set it saw when it crashed (its rejoin snapshot).
+        let mut down: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        // Open partition: (side, plan step at which it heals).
+        let mut split: Option<(BTreeSet<NodeId>, usize)> = None;
+        // Everything that ever changed membership (the churn-probe seeds),
+        // plus, while a split is open, the dirty seeds of its eventual heal.
+        let mut changed: BTreeSet<NodeId> = BTreeSet::new();
+        let mut dirty_since_split: BTreeSet<NodeId> = BTreeSet::new();
+
+        for (step, event) in plan.events.iter().enumerate() {
+            match event {
+                ChaosEvent::Crash { node } => {
+                    // Sleeping or already-down victims script nothing
+                    // (keeps plans closed under the shrinker's deletions).
+                    if down.contains_key(node) || !active.contains(node) {
+                        continue;
+                    }
+                    trace.push(TraceEvent::Crash { step, node: *node });
+                    down.insert(*node, active.clone());
+                    changed.insert(*node);
+                    dirty_since_split.insert(*node);
+                    let mut runner =
+                        self.repair_runner(split.as_ref().map(|(s, _)| s), &down, Some(*node))?;
+                    let outcome = runner.repair(graph, boundary, &active, *node, &mut rng)?;
+                    total.merge(&outcome.stats);
+                    trace.push(TraceEvent::Phase {
+                        step,
+                        label: "repair".into(),
+                        rounds: outcome.stats.comm_rounds,
+                        messages: outcome.stats.total_messages(),
+                        dropped: outcome.stats.dropped,
+                    });
+                    record_membership(
+                        step,
+                        &active,
+                        &outcome.set.active,
+                        &mut changed,
+                        &mut dirty_since_split,
+                        &mut trace,
+                    );
+                    active = outcome.set.active;
+                }
+                ChaosEvent::Recover { node } => {
+                    let Some(snapshot) = down.remove(node) else {
+                        continue; // inert without a prior crash
+                    };
+                    trace.push(TraceEvent::Recover { step, node: *node });
+                    let mut runner =
+                        self.repair_runner(split.as_ref().map(|(s, _)| s), &down, None)?;
+                    let outcome = runner.rejoin(
+                        graph,
+                        boundary,
+                        &active,
+                        *node,
+                        &snapshot,
+                        self.opts.rejoin,
+                        &mut rng,
+                    )?;
+                    total.merge(&outcome.stats);
+                    trace.push(TraceEvent::Phase {
+                        step,
+                        label: "rejoin".into(),
+                        rounds: outcome.stats.comm_rounds,
+                        messages: outcome.stats.total_messages(),
+                        dropped: outcome.stats.dropped,
+                    });
+                    record_membership(
+                        step,
+                        &active,
+                        &outcome.set.active,
+                        &mut changed,
+                        &mut dirty_since_split,
+                        &mut trace,
+                    );
+                    active = outcome.set.active;
+                }
+                ChaosEvent::Split { side, heal_after } => {
+                    if split.is_some() {
+                        continue; // one partition at a time
+                    }
+                    trace.push(TraceEvent::Split {
+                        step,
+                        side: side.clone(),
+                    });
+                    let side_set: BTreeSet<NodeId> = side.iter().copied().collect();
+                    // The heal must reconcile every node whose verdicts the
+                    // split may have staled: seed with the cut endpoints.
+                    for (_, a, b) in graph.edges() {
+                        if side_set.contains(&a) != side_set.contains(&b) {
+                            dirty_since_split.insert(a);
+                            dirty_since_split.insert(b);
+                        }
+                    }
+                    split = Some((side_set, step + heal_after));
+                }
+            }
+
+            if let Some((side, heal_at)) = split.take() {
+                if step >= heal_at {
+                    self.heal(
+                        &scenario,
+                        &mut active,
+                        &mut dirty_since_split,
+                        &down,
+                        step,
+                        &mut rng,
+                        &mut trace,
+                        &mut total,
+                        &mut changed,
+                    )?;
+                } else {
+                    split = Some((side, heal_at));
+                }
+            }
+
+            // During an open split, degradation is expected: verdicts are
+            // recorded but not enforced.
+            let enforced = split.is_none();
+            self.check_oracles(
+                &scenario, &active, baseline, &down, enforced, step, &mut trace,
+            );
+        }
+
+        // Plan exhausted: heal any partition still open, then re-check.
+        if split.take().is_some() {
+            let step = plan.len();
+            self.heal(
+                &scenario,
+                &mut active,
+                &mut dirty_since_split,
+                &down,
+                step,
+                &mut rng,
+                &mut trace,
+                &mut total,
+                &mut changed,
+            )?;
+            self.check_oracles(&scenario, &active, baseline, &down, true, step, &mut trace);
+        }
+
+        // Quiescence churn probe: reconciling around everything that ever
+        // changed must be a no-op. Informational — transient wake/re-prune
+        // churn can legitimately settle on an equivalent but different
+        // fixpoint; the probe flags it for inspection without failing the
+        // run.
+        if !changed.is_empty() {
+            // As in `heal`: dead nodes can't flood, their neighbours can.
+            for &n in down.keys() {
+                changed.extend(graph.neighbors(n).filter(|u| !down.contains_key(u)));
+            }
+            let dirty: Vec<NodeId> = changed.iter().copied().collect();
+            let mut runner = self.repair_runner(None, &down, None)?;
+            let probe = runner.reconcile(graph, boundary, &active, &dirty, &mut rng)?;
+            total.merge(&probe.stats);
+            trace.push(TraceEvent::Oracle {
+                step: plan.len(),
+                name: "churn".into(),
+                pass: probe.set.active == active,
+                enforced: false,
+            });
+        }
+
+        trace.push(TraceEvent::Final {
+            active: active.clone(),
+        });
+        Ok(ChaosReport {
+            triple,
+            plan,
+            trace,
+            active,
+            stats: total,
+        })
+    }
+
+    /// Heals the open partition: reconciles around the dirty seeds
+    /// accumulated while it was open.
+    #[allow(clippy::too_many_arguments)]
+    fn heal(
+        &self,
+        scenario: &Scenario,
+        active: &mut Vec<NodeId>,
+        dirty_since_split: &mut BTreeSet<NodeId>,
+        down: &BTreeMap<NodeId, Vec<NodeId>>,
+        step: usize,
+        rng: &mut StdRng,
+        trace: &mut Trace,
+        total: &mut DistributedStats,
+        changed: &mut BTreeSet<NodeId>,
+    ) -> Result<(), SimError> {
+        trace.push(TraceEvent::Heal { step });
+        // A still-down node is a dead flood source: reconciliation around it
+        // must be seeded from its alive neighbours instead.
+        for &n in down.keys() {
+            dirty_since_split.extend(
+                scenario
+                    .graph
+                    .neighbors(n)
+                    .filter(|u| !down.contains_key(u)),
+            );
+        }
+        let dirty: Vec<NodeId> = dirty_since_split.iter().copied().collect();
+        dirty_since_split.clear();
+        let mut runner = self.repair_runner(None, down, None)?;
+        let outcome = runner.reconcile(&scenario.graph, &scenario.boundary, active, &dirty, rng)?;
+        total.merge(&outcome.stats);
+        trace.push(TraceEvent::Phase {
+            step,
+            label: "reconcile".into(),
+            rounds: outcome.stats.comm_rounds,
+            messages: outcome.stats.total_messages(),
+            dropped: outcome.stats.dropped,
+        });
+        record_membership(
+            step,
+            active,
+            &outcome.set.active,
+            changed,
+            dirty_since_split,
+            trace,
+        );
+        *active = outcome.set.active;
+        Ok(())
+    }
+
+    /// A repair runner under the current environment: an open partition and
+    /// every currently-down node become the ambient fault plan of each
+    /// embedded protocol phase (down nodes must neither hear wake floods
+    /// nor answer discovery).
+    fn repair_runner(
+        &self,
+        split: Option<&BTreeSet<NodeId>>,
+        down: &BTreeMap<NodeId, Vec<NodeId>>,
+        exclude: Option<NodeId>,
+    ) -> Result<RepairRunner, SimError> {
+        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
+        if !self.opts.cache {
+            builder = builder.no_cache();
+        }
+        let mut plan = FaultPlan::new();
+        if let Some(side) = split {
+            let side_vec: Vec<NodeId> = side.iter().copied().collect();
+            plan = plan.partition(&side_vec, 0, usize::MAX);
+        }
+        for &n in down.keys() {
+            // The node an operation is itself about (the crash victim, the
+            // rejoiner) is the operation's business, not the environment's.
+            if Some(n) != exclude {
+                plan = plan.crash(n, 0);
+            }
+        }
+        if !plan.is_empty() {
+            builder = builder.fault_plan(plan);
+        }
+        builder.repair()
+    }
+
+    /// τ-partitionability of the certified boundary (Proposition 2). A
+    /// scenario without a certified walk makes the oracle vacuous.
+    fn partitionable(&self, scenario: &Scenario, active: &[NodeId]) -> bool {
+        !matches!(
+            verify_criterion(scenario, active, self.opts.tau),
+            CriterionOutcome::Violated
+        )
+    }
+
+    /// Evaluates the invariant oracles in differential form against the
+    /// post-schedule baseline and the currently-achievable best case, and
+    /// records their verdicts.
+    #[allow(clippy::too_many_arguments)]
+    fn check_oracles(
+        &self,
+        scenario: &Scenario,
+        active: &[NodeId],
+        baseline: Baseline,
+        down: &BTreeMap<NodeId, Vec<NodeId>>,
+        enforced: bool,
+        step: usize,
+        trace: &mut Trace,
+    ) {
+        let partitionable = self.partitionable(scenario, active);
+        // Best case under the current down-set: every alive node awake.
+        // The criterion is monotone in the active set, so if this fails no
+        // repair strategy could have preserved it — the verdict is vacuous.
+        let alive: Vec<NodeId> = (0..scenario.graph.node_count() as u32)
+            .map(NodeId)
+            .filter(|v| !down.contains_key(v))
+            .collect();
+        let achievable = self.partitionable(scenario, &alive);
+        trace.push(TraceEvent::Oracle {
+            step,
+            name: "partitionable".into(),
+            pass: partitionable || !(baseline.partitionable && achievable),
+            enforced,
+        });
+        // Repair convergence: the active set is again a global VPT fixpoint.
+        let fixpoint = is_vpt_fixpoint(&scenario.graph, active, &scenario.boundary, self.opts.tau);
+        trace.push(TraceEvent::Oracle {
+            step,
+            name: "fixpoint".into(),
+            pass: fixpoint || !baseline.fixpoint,
+            enforced,
+        });
+    }
+}
+
+/// The post-schedule oracle verdicts the rest of a run is held against.
+#[derive(Debug, Clone, Copy)]
+struct Baseline {
+    partitionable: bool,
+    fixpoint: bool,
+}
+
+/// Geometric split candidates: radius-2 BFS balls around a few spread-out
+/// victims — realistic one-side partitions (arbitrary node subsets are
+/// not).
+fn split_candidates(graph: &Graph, victims: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    if victims.is_empty() {
+        return out;
+    }
+    let picks = [0, victims.len() / 2, victims.len() - 1];
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    for &i in &picks {
+        let center = victims[i];
+        if !seen.insert(center) {
+            continue;
+        }
+        let mut side = traverse::k_hop_neighbors(graph, center, 2);
+        side.push(center);
+        side.sort_unstable();
+        // A split must actually cut the network in two.
+        if !side.is_empty() && side.len() < graph.node_count() {
+            out.push(side);
+        }
+    }
+    out
+}
+
+/// Records a membership delta (if any) and folds it into the dirty sets.
+fn record_membership(
+    step: usize,
+    before: &[NodeId],
+    after: &[NodeId],
+    changed: &mut BTreeSet<NodeId>,
+    dirty_since_split: &mut BTreeSet<NodeId>,
+    trace: &mut Trace,
+) {
+    let b: BTreeSet<NodeId> = before.iter().copied().collect();
+    let a: BTreeSet<NodeId> = after.iter().copied().collect();
+    let woken: Vec<NodeId> = a.difference(&b).copied().collect();
+    let slept: Vec<NodeId> = b.difference(&a).copied().collect();
+    if woken.is_empty() && slept.is_empty() {
+        return;
+    }
+    changed.extend(woken.iter().copied());
+    changed.extend(slept.iter().copied());
+    dirty_since_split.extend(woken.iter().copied());
+    dirty_since_split.extend(slept.iter().copied());
+    trace.push(TraceEvent::Membership { step, woken, slept });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ChaosOptions {
+        ChaosOptions {
+            nodes: 40,
+            degree: 9.0,
+            events: 8,
+            ..ChaosOptions::default()
+        }
+    }
+
+    #[test]
+    #[ignore = "soak: ~40 full campaigns; run with --ignored"]
+    fn soak_reverify_stays_clean_and_trust_snapshot_fails_sometimes() {
+        let sound = ChaosRunner::new(quick_opts());
+        let buggy = ChaosRunner::new(ChaosOptions {
+            rejoin: RejoinPolicy::TrustSnapshot,
+            ..quick_opts()
+        });
+        let mut clean_failures = Vec::new();
+        let mut buggy_failures = 0usize;
+        for i in 0..40 {
+            let triple = SeedTriple::derived(0xA5, i);
+            let report = sound.run(triple).unwrap();
+            if report.failed() {
+                clean_failures.push((triple, report.trace.render()));
+            }
+            if buggy.run(triple).unwrap().failed() {
+                buggy_failures += 1;
+            }
+        }
+        assert!(
+            clean_failures.is_empty(),
+            "ReVerify must stay clean: {} failures, first:\n{}",
+            clean_failures.len(),
+            clean_failures[0].1
+        );
+        assert!(
+            buggy_failures > 0,
+            "the TrustSnapshot regression must be observable in 40 seeds"
+        );
+        println!("trust-snapshot failure rate: {buggy_failures}/40");
+    }
+
+    #[test]
+    fn clean_runs_pass_the_enforced_oracles() {
+        let runner = ChaosRunner::new(quick_opts());
+        for i in 0..3 {
+            let triple = SeedTriple::derived(11, i);
+            let report = runner.run(triple).unwrap();
+            assert!(
+                !report.failed(),
+                "seed {triple} must run clean under ReVerify:\n{}",
+                report.trace.render()
+            );
+            assert!(!report.active.is_empty());
+            assert!(report.stats.total_messages() > 0);
+        }
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical() {
+        let runner = ChaosRunner::new(quick_opts());
+        let triple = SeedTriple::derived(23, 1);
+        let a = runner.run(triple).unwrap();
+        let b = runner.run(triple).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.trace.digest(), b.trace.digest());
+        assert_eq!(a.active, b.active);
+        // A different topology seed takes a different path.
+        let c = runner
+            .run(SeedTriple {
+                topology: triple.topology ^ 1,
+                ..triple
+            })
+            .unwrap();
+        assert_ne!(a.trace.digest(), c.trace.digest());
+    }
+
+    #[test]
+    fn explicit_plans_replay_and_empty_plans_are_noops() {
+        let runner = ChaosRunner::new(quick_opts());
+        let triple = SeedTriple::derived(5, 0);
+        let empty = runner.run_plan(triple, &ChaosPlan::new()).unwrap();
+        assert!(!empty.failed(), "an empty plan cannot violate anything");
+        // The final set equals the initial schedule's set: no faults ran.
+        assert!(matches!(
+            empty.trace.events.first(),
+            Some(TraceEvent::Phase { label, .. }) if label == "schedule"
+        ));
+    }
+}

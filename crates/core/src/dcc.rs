@@ -45,7 +45,7 @@ use rand::Rng;
 
 use crate::distributed::{DistributedDcc, DistributedStats};
 use crate::incremental::IncrementalDcc;
-use crate::repair::{CoverageRepair, RepairOutcome};
+use crate::repair::{CoverageRepair, ReconcileOutcome, RejoinOutcome, RejoinPolicy, RepairOutcome};
 use crate::schedule::{run_schedule, CoverageSet, DeletionOrder};
 use crate::vpt_engine::{EngineConfig, EngineStats, VptEngine};
 
@@ -249,7 +249,10 @@ impl DccBuilder {
         })
     }
 
-    /// Finishes into the failure-adaptive coverage repair driver.
+    /// Finishes into the failure-adaptive coverage repair driver. A
+    /// [`DccBuilder::fault_plan`] becomes the *ambient* environment every
+    /// repair phase runs under (partitions, loss, flaps — crash entries
+    /// stay the business of the explicit `crashed` argument).
     pub fn repair(self) -> Result<RepairRunner, SimError> {
         self.check_tau()?;
         Ok(RepairRunner {
@@ -258,6 +261,7 @@ impl DccBuilder {
                 self.heartbeat_timeout,
                 self.round_limit,
                 self.comm_range,
+                self.faults.unwrap_or_default(),
             ),
             engine: VptEngine::with_config(self.tau, self.engine),
         })
@@ -402,6 +406,46 @@ impl RepairRunner {
     ) -> Result<RepairOutcome, SimError> {
         self.inner
             .repair_with_engine(graph, boundary, active, crashed, &mut self.engine, rng)
+    }
+
+    /// Re-enters a crash-recovered `node` with its pre-crash active-set
+    /// `snapshot` under the given [`RejoinPolicy`]; see
+    /// [`CoverageRepair::rejoin`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn rejoin<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        node: NodeId,
+        snapshot: &[NodeId],
+        policy: RejoinPolicy,
+        rng: &mut R,
+    ) -> Result<RejoinOutcome, SimError> {
+        self.inner.rejoin_with_engine(
+            graph,
+            boundary,
+            active,
+            node,
+            snapshot,
+            policy,
+            &mut self.engine,
+            rng,
+        )
+    }
+
+    /// Reconciles the schedule around `dirty` seeds (the post-heal pass
+    /// after a partition); see [`CoverageRepair::reconcile`].
+    pub fn reconcile<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        dirty: &[NodeId],
+        rng: &mut R,
+    ) -> Result<ReconcileOutcome, SimError> {
+        self.inner
+            .reconcile_with_engine(graph, boundary, active, dirty, &mut self.engine, rng)
     }
 
     /// Counters of the underlying [`VptEngine`].

@@ -63,12 +63,29 @@ pub struct DistributedStats {
     pub dropped: usize,
     /// Nodes that crash-stopped during the run.
     pub crashed: usize,
+    /// Heartbeat false positives: times a node was suspected dead and then
+    /// heard from again (live nodes silenced by loss, flaps or partitions).
+    pub false_suspicions: usize,
 }
 
 impl DistributedStats {
     /// Total messages across all phases.
     pub fn total_messages(&self) -> usize {
         self.discovery_messages + self.election_messages + self.repair_messages
+    }
+
+    /// Folds another run's counters into this one (campaign aggregation
+    /// across a schedule and its fault reactions).
+    pub fn merge(&mut self, other: &DistributedStats) {
+        self.deletion_rounds += other.deletion_rounds;
+        self.comm_rounds += other.comm_rounds;
+        self.discovery_messages += other.discovery_messages;
+        self.election_messages += other.election_messages;
+        self.repair_messages += other.repair_messages;
+        self.bytes += other.bytes;
+        self.dropped += other.dropped;
+        self.crashed += other.crashed;
+        self.false_suspicions += other.false_suspicions;
     }
 
     pub(crate) fn absorb_discovery(&mut self, stats: RunStats) {
@@ -252,6 +269,18 @@ impl DistributedDcc {
             return Err(SimError::BoundaryMismatch {
                 flags: boundary.len(),
                 nodes: graph.node_count(),
+            });
+        }
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.recoveries().next().is_some())
+        {
+            // The initial schedule removes crashed nodes permanently; a node
+            // that comes back mid-schedule would need the rejoin protocol.
+            return Err(SimError::UnsupportedFault {
+                what: "crash recovery during the initial schedule — \
+                       rejoin is handled by the repair/chaos layer",
             });
         }
         let k = neighborhood_radius(self.tau);
@@ -500,6 +529,21 @@ mod tests {
         assert_eq!(stats.deletion_rounds, 0);
         assert_eq!(stats.election_messages, 0);
         assert!(stats.discovery_messages > 0, "discovery still ran once");
+    }
+
+    #[test]
+    fn mid_schedule_recovery_is_rejected_with_a_typed_error() {
+        use confine_netsim::faults::FaultPlan;
+        let g = generators::king_grid_graph(5, 5);
+        let boundary = king_boundary(5, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = FaultPlan::new().crash(NodeId(12), 2).recover(NodeId(12), 6);
+        let result = Dcc::builder(3)
+            .fault_plan(plan)
+            .distributed()
+            .unwrap()
+            .run(&g, &boundary, &mut rng);
+        assert!(matches!(result, Err(SimError::UnsupportedFault { .. })));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   crashed active nodes, k-hop wake-up of sleeping neighbours and local
 //!   re-scheduling back to a VPT fixpoint, with Proposition-1 degradation
 //!   bounds.
+//! * [`chaos`] — the deterministic chaos harness: seed-triple campaigns of
+//!   crash / recover / partition faults against the full schedule → repair
+//!   → rejoin loop, with invariant oracles, replayable traces and a ddmin
+//!   fault-script shrinker.
 //! * [`verify`] — exact criterion verification (Propositions 2/3) and the
 //!   boundary-coning pre-processing for multiply-connected areas.
 //! * [`moebius`] — the Figure 1 Möbius-band network separating the
@@ -59,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod dcc;
 pub mod distributed;

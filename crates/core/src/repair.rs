@@ -33,8 +33,8 @@ use std::collections::BTreeSet;
 
 use confine_graph::{traverse, Graph, GraphView, Masked, NodeId};
 use confine_netsim::faults::{FaultPlan, Heartbeat};
-use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
-use confine_netsim::{Context, Engine, Envelope, Protocol, SimError};
+use confine_netsim::protocols::{KHopDiscovery, LocalMinElection, WakeFlood};
+use confine_netsim::{Engine, SimError};
 use rand::Rng;
 
 use crate::distributed::DistributedStats;
@@ -77,62 +77,68 @@ pub struct RepairOutcome {
     pub degradation: Degradation,
 }
 
-/// Wake token: "rejoin the active set", flooded with a hop budget.
-#[derive(Debug, Clone, Copy)]
-struct WakeToken {
-    ttl: u32,
+/// How a node that crash-recovered re-enters the schedule
+/// ([`CoverageRepair::rejoin`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RejoinPolicy {
+    /// Wake the rejoiner's neighbourhood and re-run restricted VPT rounds
+    /// until the active set is again a global fixpoint — the sound path.
+    #[default]
+    ReVerify,
+    /// Trust the rejoiner's pre-crash snapshot verbatim: substitute nodes
+    /// that woke while it was down are sent straight back to sleep and no
+    /// VPT verdict is re-checked. **Deliberately unsound** — the snapshot
+    /// is stale, so this can tear open a covered hole. Kept as the planted
+    /// regression the chaos shrinker demo hunts (DESIGN.md §11).
+    TrustSnapshot,
 }
 
-/// One-shot TTL flood from the detector set over the physical topology.
-#[derive(Debug)]
-struct WakeFlood {
-    source: bool,
-    ttl: u32,
-    heard: bool,
+/// The result of one [`CoverageRepair::rejoin`] call.
+#[derive(Debug, Clone)]
+pub struct RejoinOutcome {
+    /// The adjusted schedule: `active` is the new active set, `deleted` the
+    /// nodes this rejoin put (back) to sleep, `rounds` its deletion rounds.
+    pub set: CoverageSet,
+    /// Sleeping nodes woken by the re-verification (always empty under
+    /// [`RejoinPolicy::TrustSnapshot`]).
+    pub woken: Vec<NodeId>,
+    /// Substitutes: nodes awake now that the rejoiner's snapshot recorded
+    /// as asleep (the churn its crash caused). Under `TrustSnapshot` these
+    /// are exactly the nodes forced back to sleep.
+    pub demoted: Vec<NodeId>,
+    /// Traffic of the announcement flood and any re-scheduling rounds.
+    pub stats: DistributedStats,
 }
 
-impl Protocol for WakeFlood {
-    type Message = WakeToken;
-
-    fn on_start(&mut self, ctx: &mut Context<'_, WakeToken>) {
-        if self.source {
-            self.heard = true;
-            if self.ttl > 0 {
-                ctx.broadcast(WakeToken { ttl: self.ttl - 1 });
-            }
-        }
-    }
-
-    fn on_round(&mut self, ctx: &mut Context<'_, WakeToken>, inbox: &[Envelope<WakeToken>]) {
-        // In the synchronous flood the first arrival carries the largest
-        // remaining ttl, so re-forwarding only on first receipt is lossless.
-        let best = inbox.iter().map(|env| env.payload.ttl).max();
-        if let Some(ttl) = best {
-            if !self.heard {
-                self.heard = true;
-                if ttl > 0 {
-                    ctx.broadcast(WakeToken { ttl: ttl - 1 });
-                }
-            }
-        }
-    }
-
-    fn is_quiescent(&self) -> bool {
-        true
-    }
-
-    fn payload_size(_msg: &WakeToken) -> usize {
-        4
-    }
+/// The result of one [`CoverageRepair::reconcile`] call.
+#[derive(Debug, Clone)]
+pub struct ReconcileOutcome {
+    /// The reconciled schedule: `active` is the new active set, `deleted`
+    /// the nodes this pass put (back) to sleep, `rounds` its deletion
+    /// rounds.
+    pub set: CoverageSet,
+    /// Sleeping nodes woken around the dirty seeds (some may have been
+    /// re-deleted; those appear in `set.deleted` too).
+    pub woken: Vec<NodeId>,
+    /// Traffic of the wake flood and the re-scheduling rounds.
+    pub stats: DistributedStats,
 }
 
-/// Distributed coverage repair around one crashed active node.
-#[derive(Debug, Clone, Copy)]
+/// Distributed coverage repair around one crashed active node, plus the
+/// rejoin and reconciliation passes of the chaos layer.
+#[derive(Debug, Clone)]
 pub struct CoverageRepair {
     tau: usize,
     heartbeat_timeout: usize,
     max_comm_rounds: usize,
     comm_range: f64,
+    /// Ambient fault environment every repair phase runs under (partitions,
+    /// link loss, flaps). Phases apply it afresh — entries are interpreted
+    /// in per-phase rounds, so open-ended windows (e.g. a partition with
+    /// `until = usize::MAX`) describe a condition that simply *holds*
+    /// throughout the repair. Crash entries are not harvested by the repair
+    /// loop and belong in the explicit `crashed` argument instead.
+    ambient: FaultPlan,
 }
 
 impl CoverageRepair {
@@ -144,7 +150,13 @@ impl CoverageRepair {
     #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).repair()`")]
     pub fn new(tau: usize) -> Self {
         assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        CoverageRepair::from_builder(tau, crate::config::DEFAULT_HEARTBEAT_TIMEOUT, 10_000, 1.0)
+        CoverageRepair::from_builder(
+            tau,
+            crate::config::DEFAULT_HEARTBEAT_TIMEOUT,
+            10_000,
+            1.0,
+            FaultPlan::new(),
+        )
     }
 
     pub(crate) fn from_builder(
@@ -152,12 +164,23 @@ impl CoverageRepair {
         heartbeat_timeout: usize,
         max_comm_rounds: usize,
         comm_range: f64,
+        ambient: FaultPlan,
     ) -> Self {
         CoverageRepair {
             tau,
             heartbeat_timeout,
             max_comm_rounds,
             comm_range,
+            ambient,
+        }
+    }
+
+    /// The ambient fault environment, if any was configured.
+    fn ambient_plan(&self) -> Option<FaultPlan> {
+        if self.ambient.is_empty() {
+            None
+        } else {
+            Some(self.ambient.clone())
         }
     }
 
@@ -233,18 +256,26 @@ impl CoverageRepair {
             return Err(SimError::NotActive { node: crashed });
         }
         let k = neighborhood_radius(self.tau);
-        let m = independence_radius(self.tau);
         let mut stats = DistributedStats::default();
 
-        // Phase 1: heartbeat detection on the pre-crash active overlay.
+        // Phase 1: heartbeat detection on the pre-crash active overlay,
+        // under the ambient fault environment plus the crash itself.
         let horizon = self.heartbeat_timeout + 3;
         let detectors: Vec<NodeId> = {
             let overlay = Masked::from_active(graph, active);
             let mut hb = Engine::new(&overlay, |_| {
                 Heartbeat::new(self.heartbeat_timeout, horizon)
             })
-            .with_faults(FaultPlan::new().crash(crashed, 1));
+            .with_faults(self.ambient.clone().crash(crashed, 1));
             stats.absorb_repair(hb.run(horizon + 4)?);
+            // Ambient loss or partitions make live neighbours fall silent
+            // too; count how often a node was suspected and then heard from
+            // again (the false-positive side of the detector).
+            stats.false_suspicions += overlay
+                .active_nodes()
+                .filter_map(|v| hb.state(v))
+                .map(|state| state.false_suspicions())
+                .sum::<usize>();
             overlay
                 .view_neighbors(crashed)
                 .filter(|&w| {
@@ -267,16 +298,16 @@ impl CoverageRepair {
             .collect();
         let woken: Vec<NodeId> = {
             let sources: BTreeSet<NodeId> = detectors.iter().copied().collect();
-            let mut flood = Engine::new(&wake_view, |v| WakeFlood {
-                source: sources.contains(&v),
-                ttl: k + 1,
-                heard: false,
-            });
+            let mut flood =
+                Engine::new(&wake_view, |v| WakeFlood::new(sources.contains(&v), k + 1));
+            if let Some(plan) = self.ambient_plan() {
+                flood = flood.with_faults(plan);
+            }
             stats.absorb_repair(flood.run(self.max_comm_rounds)?);
             wake_view
                 .active_nodes()
                 .filter(|v| !survivors.contains(v) && ball.contains(v))
-                .filter(|&v| flood.state(v).is_some_and(|state| state.heard))
+                .filter(|&v| flood.state(v).is_some_and(|state| state.heard()))
                 .collect()
         };
 
@@ -286,28 +317,336 @@ impl CoverageRepair {
         // any overlay ball, so no affected verdict escapes the region).
         let comm_rounds_before = stats.comm_rounds;
         let mut region = vec![false; graph.node_count()];
-        let mark = |center: NodeId, region: &mut Vec<bool>| {
-            region[center.index()] = true;
-            for w in traverse::k_hop_neighbors(graph, center, k) {
-                region[w.index()] = true;
-            }
-        };
-        mark(crashed, &mut region);
+        self.mark_region(graph, crashed, &mut region);
         for &w in &woken {
-            mark(w, &mut region);
+            self.mark_region(graph, w, &mut region);
         }
-        let woken_set: BTreeSet<NodeId> = woken.iter().copied().collect();
+        let prefer_sleep: BTreeSet<NodeId> = woken.iter().copied().collect();
         let mut members: Vec<NodeId> = survivors
             .iter()
             .copied()
             .chain(woken.iter().copied())
             .collect();
         members.sort_unstable();
-        let mut masked = Masked::from_active(graph, &members);
+        let set = self.prune_to_fixpoint(
+            graph,
+            boundary,
+            &members,
+            &mut region,
+            &prefer_sleep,
+            vpt,
+            &mut stats,
+            rng,
+        )?;
+        let tau = self.tau as f64;
+        let degradation = Degradation {
+            detection_rounds: self.heartbeat_timeout + 1,
+            repair_rounds: stats.comm_rounds - comm_rounds_before,
+            transient_hole_bound: (2.0 * tau - 4.0) * self.comm_range,
+            post_repair_hole_bound: (tau - 2.0) * self.comm_range,
+        };
+        Ok(RepairOutcome {
+            set,
+            woken,
+            detectors,
+            stats,
+            degradation,
+        })
+    }
+
+    /// Re-enters `node` into the schedule after a crash-recovery, given the
+    /// active-set `snapshot` it held when it went down.
+    ///
+    /// The rejoiner floods an announcement `k + 1` hops; under
+    /// [`RejoinPolicy::ReVerify`] the sleeping nodes of its `k`-ball wake
+    /// and the union is pruned back to a global VPT fixpoint, while
+    /// [`RejoinPolicy::TrustSnapshot`] reverts the neighbourhood to the
+    /// stale snapshot without any re-verification (deliberately unsound —
+    /// see [`RejoinPolicy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
+    /// cover the graph, [`SimError::Internal`] if `node` is already active,
+    /// or [`SimError::RoundLimitExceeded`] if a phase fails to converge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rejoin<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        node: NodeId,
+        snapshot: &[NodeId],
+        policy: RejoinPolicy,
+        rng: &mut R,
+    ) -> Result<RejoinOutcome, SimError> {
+        let mut engine = VptEngine::new(self.tau);
+        self.rejoin_with_engine(
+            graph,
+            boundary,
+            active,
+            node,
+            snapshot,
+            policy,
+            &mut engine,
+            rng,
+        )
+    }
+
+    /// [`CoverageRepair::rejoin`] with a caller-owned [`VptEngine`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rejoin_with_engine<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        node: NodeId,
+        snapshot: &[NodeId],
+        policy: RejoinPolicy,
+        vpt: &mut VptEngine,
+        rng: &mut R,
+    ) -> Result<RejoinOutcome, SimError> {
+        if boundary.len() != graph.node_count() {
+            return Err(SimError::BoundaryMismatch {
+                flags: boundary.len(),
+                nodes: graph.node_count(),
+            });
+        }
+        if active.contains(&node) {
+            return Err(SimError::Internal {
+                what: "rejoin of a node that is already active",
+            });
+        }
+        let k = neighborhood_radius(self.tau);
+        let mut stats = DistributedStats::default();
+
+        // Announcement: the rejoiner floods "I'm back" k + 1 hops over the
+        // physical topology (its radio is up again).
+        let wake_view = Masked::all_active(graph);
+        let mut flood = Engine::new(&wake_view, |v| WakeFlood::new(v == node, k + 1));
+        if let Some(plan) = self.ambient_plan() {
+            flood = flood.with_faults(plan);
+        }
+        stats.absorb_repair(flood.run(self.max_comm_rounds)?);
+
+        let ball: BTreeSet<NodeId> = traverse::k_hop_neighbors(graph, node, k)
+            .into_iter()
+            .collect();
+        let snapshot_set: BTreeSet<NodeId> = snapshot.iter().copied().collect();
+        // Substitutes: nodes awake now that the snapshot recorded as asleep
+        // — the churn the rejoiner's crash caused in its neighbourhood.
+        let demoted: Vec<NodeId> = active
+            .iter()
+            .copied()
+            .filter(|v| ball.contains(v) && !snapshot_set.contains(v))
+            .collect();
+
+        match policy {
+            RejoinPolicy::TrustSnapshot => {
+                // The planted regression: revert the neighbourhood to the
+                // stale snapshot without re-checking a single VPT verdict.
+                // Nodes the snapshot believed awake but the interim repair
+                // put to sleep stay asleep, so coverage can tear.
+                let demoted_set: BTreeSet<NodeId> = demoted.iter().copied().collect();
+                let mut new_active: Vec<NodeId> = active
+                    .iter()
+                    .copied()
+                    .filter(|v| !demoted_set.contains(v))
+                    .chain(std::iter::once(node))
+                    .collect();
+                new_active.sort_unstable();
+                Ok(RejoinOutcome {
+                    set: CoverageSet {
+                        active: new_active,
+                        deleted: demoted.clone(),
+                        rounds: 0,
+                    },
+                    woken: Vec::new(),
+                    demoted,
+                    stats,
+                })
+            }
+            RejoinPolicy::ReVerify => {
+                // Wake the sleepers of the rejoiner's ball that heard the
+                // announcement, then prune the union back to a fixpoint.
+                // Waking first makes the pass self-healing: if the interim
+                // repair left the neighbourhood short of coverage (e.g. it
+                // ran under a partition), the fresh candidates restore it.
+                let active_set: BTreeSet<NodeId> = active.iter().copied().collect();
+                let woken: Vec<NodeId> = wake_view
+                    .active_nodes()
+                    .filter(|v| *v != node && !active_set.contains(v) && ball.contains(v))
+                    .filter(|&v| flood.state(v).is_some_and(|state| state.heard()))
+                    .collect();
+                let mut region = vec![false; graph.node_count()];
+                self.mark_region(graph, node, &mut region);
+                for &w in &woken {
+                    self.mark_region(graph, w, &mut region);
+                }
+                let mut prefer_sleep: BTreeSet<NodeId> = woken.iter().copied().collect();
+                prefer_sleep.insert(node);
+                prefer_sleep.extend(demoted.iter().copied());
+                let mut members: Vec<NodeId> = active
+                    .iter()
+                    .copied()
+                    .chain(woken.iter().copied())
+                    .chain(std::iter::once(node))
+                    .collect();
+                members.sort_unstable();
+                let set = self.prune_to_fixpoint(
+                    graph,
+                    boundary,
+                    &members,
+                    &mut region,
+                    &prefer_sleep,
+                    vpt,
+                    &mut stats,
+                    rng,
+                )?;
+                Ok(RejoinOutcome {
+                    set,
+                    woken,
+                    demoted,
+                    stats,
+                })
+            }
+        }
+    }
+
+    /// Reconciles the schedule around a set of `dirty` seeds — nodes near a
+    /// membership change whose verdicts may be stale (the post-heal pass
+    /// after a network partition).
+    ///
+    /// The seeds flood a wake call `k + 1` hops; sleeping nodes inside the
+    /// seeds' `k`-balls rejoin as candidates and the union is pruned back
+    /// to a global VPT fixpoint. With no stale state this is a no-op (the
+    /// pruner immediately re-sleeps every woken node), which the chaos
+    /// harness checks as its churn oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BoundaryMismatch`] if the flag slice does not
+    /// cover the graph, or [`SimError::RoundLimitExceeded`] if a phase
+    /// fails to converge.
+    pub fn reconcile<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        dirty: &[NodeId],
+        rng: &mut R,
+    ) -> Result<ReconcileOutcome, SimError> {
+        let mut engine = VptEngine::new(self.tau);
+        self.reconcile_with_engine(graph, boundary, active, dirty, &mut engine, rng)
+    }
+
+    /// [`CoverageRepair::reconcile`] with a caller-owned [`VptEngine`].
+    pub(crate) fn reconcile_with_engine<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        active: &[NodeId],
+        dirty: &[NodeId],
+        vpt: &mut VptEngine,
+        rng: &mut R,
+    ) -> Result<ReconcileOutcome, SimError> {
+        if boundary.len() != graph.node_count() {
+            return Err(SimError::BoundaryMismatch {
+                flags: boundary.len(),
+                nodes: graph.node_count(),
+            });
+        }
+        let k = neighborhood_radius(self.tau);
+        let mut stats = DistributedStats::default();
+
+        let sources: BTreeSet<NodeId> = dirty.iter().copied().collect();
+        let wake_view = Masked::all_active(graph);
+        let mut flood = Engine::new(&wake_view, |v| WakeFlood::new(sources.contains(&v), k + 1));
+        if let Some(plan) = self.ambient_plan() {
+            flood = flood.with_faults(plan);
+        }
+        stats.absorb_repair(flood.run(self.max_comm_rounds)?);
+
+        let balls: BTreeSet<NodeId> = dirty
+            .iter()
+            .copied()
+            .chain(
+                dirty
+                    .iter()
+                    .flat_map(|&d| traverse::k_hop_neighbors(graph, d, k)),
+            )
+            .collect();
+        let active_set: BTreeSet<NodeId> = active.iter().copied().collect();
+        let woken: Vec<NodeId> = wake_view
+            .active_nodes()
+            .filter(|v| !active_set.contains(v) && balls.contains(v))
+            .filter(|&v| flood.state(v).is_some_and(|state| state.heard()))
+            .collect();
+
+        let mut region = vec![false; graph.node_count()];
+        for &d in dirty {
+            self.mark_region(graph, d, &mut region);
+        }
+        for &w in &woken {
+            self.mark_region(graph, w, &mut region);
+        }
+        let prefer_sleep: BTreeSet<NodeId> = woken.iter().copied().collect();
+        let mut members: Vec<NodeId> = active
+            .iter()
+            .copied()
+            .chain(woken.iter().copied())
+            .collect();
+        members.sort_unstable();
+        let set = self.prune_to_fixpoint(
+            graph,
+            boundary,
+            &members,
+            &mut region,
+            &prefer_sleep,
+            vpt,
+            &mut stats,
+            rng,
+        )?;
+        Ok(ReconcileOutcome { set, woken, stats })
+    }
+
+    /// Marks `center` and its `k`-ball (on the physical graph) in `region`.
+    fn mark_region(&self, graph: &Graph, center: NodeId, region: &mut [bool]) {
+        let k = neighborhood_radius(self.tau);
+        region[center.index()] = true;
+        for w in traverse::k_hop_neighbors(graph, center, k) {
+            region[w.index()] = true;
+        }
+    }
+
+    /// Shared pruning core of repair, rejoin and reconcile: runs restricted
+    /// discovery/election rounds on the `members` overlay until no node in
+    /// `region` is deletable, biasing elections so `prefer_sleep` nodes
+    /// (freshly woken, rejoiners, substitutes) go back to sleep first.
+    /// Every deletion extends `region` by the winner's `k`-ball, so the
+    /// restricted loop still reaches a *global* VPT fixpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn prune_to_fixpoint<R: Rng>(
+        &self,
+        graph: &Graph,
+        boundary: &[bool],
+        members: &[NodeId],
+        region: &mut [bool],
+        prefer_sleep: &BTreeSet<NodeId>,
+        vpt: &mut VptEngine,
+        stats: &mut DistributedStats,
+        rng: &mut R,
+    ) -> Result<CoverageSet, SimError> {
+        let k = neighborhood_radius(self.tau);
+        let m = independence_radius(self.tau);
+        let mut masked = Masked::from_active(graph, members);
         let mut resleep = Vec::new();
         let mut rounds = 0usize;
         loop {
             let mut discovery = Engine::new(&masked, |_| KHopDiscovery::new(k));
+            if let Some(plan) = self.ambient_plan() {
+                discovery = discovery.with_faults(plan);
+            }
             stats.absorb_repair(discovery.run(self.max_comm_rounds)?);
             let jobs: Vec<EvalJob> = masked
                 .active_nodes()
@@ -340,15 +679,19 @@ impl CoverageRepair {
             let mut priorities = vec![0.0f64; graph.node_count()];
             for v in masked.active_nodes() {
                 if deletable[v.index()] {
-                    // Woken nodes draw from [0, 1), originals from [1, 2):
-                    // repair prefers restoring the pre-crash schedule.
-                    let bias = if woken_set.contains(&v) { 0.0 } else { 1.0 };
+                    // Preferred sleepers draw from [0, 1), the rest from
+                    // [1, 2): the pruner undoes churn before touching the
+                    // original schedule.
+                    let bias = if prefer_sleep.contains(&v) { 0.0 } else { 1.0 };
                     priorities[v.index()] = bias + rng.gen::<f64>();
                 }
             }
             let mut election = Engine::new(&masked, |v| {
                 LocalMinElection::new(m, deletable[v.index()], priorities[v.index()])
             });
+            if let Some(plan) = self.ambient_plan() {
+                election = election.with_faults(plan);
+            }
             stats.absorb_repair(election.run(self.max_comm_rounds)?);
             let winners: Vec<NodeId> = masked
                 .active_nodes()
@@ -356,36 +699,21 @@ impl CoverageRepair {
                 .filter(|&v| election.state(v).is_some_and(|s| s.is_winner(v)))
                 .collect();
             if winners.is_empty() {
-                // With reliable links the globally minimal candidate always
-                // wins, so this indicates corrupted election state.
+                // A candidate that hears no stricter claim wins by default,
+                // so an empty winner set indicates corrupted election state.
                 return Err(SimError::ElectionStalled { retries: 0 });
             }
             for v in winners {
                 masked.deactivate(v);
                 resleep.push(v);
-                mark(v, &mut region);
+                self.mark_region(graph, v, region);
             }
             rounds += 1;
         }
-
-        let set = CoverageSet {
+        Ok(CoverageSet {
             active: masked.active_nodes().collect(),
             deleted: resleep,
             rounds,
-        };
-        let tau = self.tau as f64;
-        let degradation = Degradation {
-            detection_rounds: self.heartbeat_timeout + 1,
-            repair_rounds: stats.comm_rounds - comm_rounds_before,
-            transient_hole_bound: (2.0 * tau - 4.0) * self.comm_range,
-            post_repair_hole_bound: (tau - 2.0) * self.comm_range,
-        };
-        Ok(RepairOutcome {
-            set,
-            woken,
-            detectors,
-            stats,
-            degradation,
         })
     }
 }
@@ -561,5 +889,141 @@ mod tests {
             .repair(&g, &boundary, &set.active, sleeper, &mut rng)
             .unwrap_err();
         assert_eq!(err, SimError::NotActive { node: sleeper });
+    }
+
+    #[test]
+    fn rejoin_reverify_restores_a_fixpoint_with_the_node_considered() {
+        let g = generators::king_grid_graph(7, 7);
+        let boundary = king_boundary(7, 7);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(9);
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        let victim = internal_actives(&set.active, &boundary)[0];
+        let snapshot = set.active.clone();
+        let mut runner = Dcc::builder(tau).repair().unwrap();
+        let repaired = runner
+            .repair(&g, &boundary, &set.active, victim, &mut rng)
+            .unwrap();
+
+        let outcome = runner
+            .rejoin(
+                &g,
+                &boundary,
+                &repaired.set.active,
+                victim,
+                &snapshot,
+                RejoinPolicy::ReVerify,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            is_vpt_fixpoint(&g, &outcome.set.active, &boundary, tau),
+            "re-verified rejoin ends on a global fixpoint"
+        );
+        assert!(outcome.stats.repair_messages > 0, "announcement traffic");
+        // The rejoiner either serves or was pruned as redundant — but it
+        // was *considered*: if asleep, it must be VPT-deletable right now.
+        if !outcome.set.active.contains(&victim) {
+            assert!(outcome.set.deleted.contains(&victim));
+        }
+    }
+
+    #[test]
+    fn rejoin_trust_snapshot_skips_verification_and_demotes_substitutes() {
+        let g = generators::king_grid_graph(7, 7);
+        let boundary = king_boundary(7, 7);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(13);
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        let victim = internal_actives(&set.active, &boundary)[0];
+        let snapshot = set.active.clone();
+        let mut runner = Dcc::builder(tau).repair().unwrap();
+        let repaired = runner
+            .repair(&g, &boundary, &set.active, victim, &mut rng)
+            .unwrap();
+
+        let outcome = runner
+            .rejoin(
+                &g,
+                &boundary,
+                &repaired.set.active,
+                victim,
+                &snapshot,
+                RejoinPolicy::TrustSnapshot,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(
+            outcome.set.rounds, 0,
+            "the planted bug runs zero verification rounds"
+        );
+        assert!(outcome.set.active.contains(&victim), "splices itself in");
+        assert!(outcome.woken.is_empty(), "wakes nobody");
+        // Every demoted substitute was active and absent from the snapshot.
+        for d in &outcome.demoted {
+            assert!(repaired.set.active.contains(d));
+            assert!(!snapshot.contains(d));
+            assert!(!outcome.set.active.contains(d));
+        }
+    }
+
+    #[test]
+    fn rejoining_an_active_node_is_a_typed_error() {
+        let g = generators::king_grid_graph(5, 5);
+        let boundary = king_boundary(5, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (set, _) = Dcc::builder(4)
+            .distributed()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        let snapshot = set.active.clone();
+        let node = set.active[0];
+        let err = Dcc::builder(4)
+            .repair()
+            .unwrap()
+            .rejoin(
+                &g,
+                &boundary,
+                &set.active,
+                node,
+                &snapshot,
+                RejoinPolicy::ReVerify,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Internal { .. }));
+    }
+
+    #[test]
+    fn reconcile_on_a_clean_fixpoint_is_a_noop() {
+        let g = generators::king_grid_graph(7, 7);
+        let boundary = king_boundary(7, 7);
+        let tau = 4;
+        let mut rng = StdRng::seed_from_u64(21);
+        let (set, _) = Dcc::builder(tau)
+            .distributed()
+            .unwrap()
+            .run(&g, &boundary, &mut rng)
+            .unwrap();
+        assert!(is_vpt_fixpoint(&g, &set.active, &boundary, tau));
+        let dirty = internal_actives(&set.active, &boundary);
+        let outcome = Dcc::builder(tau)
+            .repair()
+            .unwrap()
+            .reconcile(&g, &boundary, &set.active, &dirty, &mut rng)
+            .unwrap();
+        assert_eq!(
+            outcome.set.active, set.active,
+            "a quiescent schedule reconciles to itself"
+        );
     }
 }

@@ -8,13 +8,20 @@
 //! synchrony.
 //!
 //! Nodes implement [`AsyncProtocol`]: a start activation plus one activation
-//! per delivered message. Message latencies come from a deterministic
-//! [`LatencyModel`], so asynchronous runs are reproducible.
+//! per delivered message. Delivery times come from a pluggable, seeded
+//! [`Schedule`](crate::schedule::Schedule) — by default the deterministic
+//! [`LatencyModel`], or an adversarial reorder/duplicate scheduler via
+//! [`AsyncEngine::with_schedule`] — so asynchronous runs are reproducible
+//! and their delivery order can be digested and compared across runs.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use confine_graph::{GraphView, NodeId};
+
+use crate::chaos::Digest;
+use crate::engine::SimError;
+use crate::schedule::{LatencySchedule, Schedule};
 
 /// Per-message latency model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +115,9 @@ pub struct AsyncStats {
     pub messages: usize,
     /// Virtual time of the last delivery.
     pub end_time: f64,
+    /// Extra deliveries injected by a duplicating schedule (also counted in
+    /// `messages` once delivered).
+    pub duplicated: usize,
 }
 
 #[derive(Debug)]
@@ -177,10 +187,11 @@ pub struct AsyncEngine<'g, V: GraphView, P: AsyncProtocol> {
     states: Vec<Option<P>>,
     node_ids: Vec<NodeId>,
     neighbor_cache: Vec<Vec<NodeId>>,
-    latency: LatencyModel,
-    rng: Option<rand::rngs::StdRng>,
+    schedule: Box<dyn Schedule>,
     queue: BinaryHeap<Event<P::Message>>,
     seq: u64,
+    sent: u64,
+    digest: Digest,
     stats: AsyncStats,
 }
 
@@ -199,51 +210,44 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
             neighbor_cache[v.index()] = view.view_neighbors(v).collect();
             node_ids.push(v);
         }
-        let rng = match latency {
-            LatencyModel::Fixed(_) => None,
-            LatencyModel::Uniform { seed, .. } => Some(
-                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
-            ),
-        };
         AsyncEngine {
             view,
             states,
             node_ids,
             neighbor_cache,
-            latency,
-            rng,
+            schedule: Box::new(LatencySchedule::from(latency)),
             queue: BinaryHeap::new(),
             seq: 0,
+            sent: 0,
+            digest: Digest::new(),
             stats: AsyncStats::default(),
         }
     }
 
-    fn sample_latency(&mut self) -> f64 {
-        match self.latency {
-            LatencyModel::Fixed(d) => d.max(0.0),
-            LatencyModel::Uniform { lo, hi, .. } => {
-                use rand::Rng as _;
-                // The constructor always pairs a uniform model with its RNG;
-                // degrade to the minimum latency if that ever breaks.
-                match self.rng.as_mut() {
-                    Some(rng) => rng.gen_range(lo.min(hi)..=hi.max(lo)).max(0.0),
-                    None => lo.min(hi).max(0.0),
-                }
-            }
-        }
+    /// Replaces the delivery schedule (default: the [`LatencyModel`] passed
+    /// to [`Self::new`]). Install before the first [`Self::run`] call —
+    /// messages already queued keep their old delivery times.
+    pub fn with_schedule(mut self, schedule: impl Schedule + 'static) -> Self {
+        self.schedule = Box::new(schedule);
+        self
     }
 
     fn dispatch(&mut self, from: NodeId, now: f64, outbox: Vec<(NodeId, P::Message)>) {
         for (to, payload) in outbox {
-            let latency = self.sample_latency();
-            self.seq += 1;
-            self.queue.push(Event {
-                time: now + latency,
-                seq: self.seq,
-                to,
-                from,
-                payload,
-            });
+            let index = self.sent;
+            self.sent += 1;
+            let offsets = self.schedule.deliveries(from, to, index);
+            self.stats.duplicated += offsets.len().saturating_sub(1);
+            for offset in offsets {
+                self.seq += 1;
+                self.queue.push(Event {
+                    time: now + offset.max(0.0),
+                    seq: self.seq,
+                    to,
+                    from,
+                    payload: payload.clone(),
+                });
+            }
         }
     }
 
@@ -251,9 +255,9 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
     ///
     /// # Errors
     ///
-    /// Returns the number of undelivered events if the budget is exhausted
-    /// (a protocol that chatters forever).
-    pub fn run(&mut self, max_events: usize) -> Result<AsyncStats, usize> {
+    /// Returns [`SimError::EventBudgetExhausted`] if the budget runs out
+    /// with the queue still non-empty (a protocol that chatters forever).
+    pub fn run(&mut self, max_events: usize) -> Result<AsyncStats, SimError> {
         // Start activations at t = 0.
         for i in 0..self.node_ids.len() {
             let v = self.node_ids[i];
@@ -274,11 +278,14 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
         let mut delivered = 0usize;
         while let Some(event) = self.queue.pop() {
             if delivered >= max_events {
-                return Err(self.queue.len() + 1);
+                return Err(SimError::EventBudgetExhausted { delivered });
             }
             delivered += 1;
             self.stats.messages = delivered;
             self.stats.end_time = event.time;
+            self.digest.update_u64(event.from.index() as u64);
+            self.digest.update_u64(event.to.index() as u64);
+            self.digest.update_u64(event.time.to_bits());
             let v = event.to;
             let mut ctx = AsyncContext {
                 node: v,
@@ -312,6 +319,14 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
     /// The view this engine runs over.
     pub fn view(&self) -> &'g V {
         self.view
+    }
+
+    /// FNV-1a digest of the delivery order so far: each delivered message
+    /// folds in `(from, to, time)`. Two runs with equal digests processed
+    /// the same deliveries in the same order at the same virtual times —
+    /// the replay-determinism witness for asynchronous runs.
+    pub fn delivery_digest(&self) -> u64 {
+        self.digest.value()
     }
 }
 
@@ -497,9 +512,60 @@ mod tests {
         }
         let g = generators::cycle_graph(4);
         let mut engine = AsyncEngine::new(&g, |_| Chatter, LatencyModel::Fixed(1.0));
-        assert!(
-            engine.run(100).is_err(),
-            "infinite chatter must hit the budget"
+        assert_eq!(
+            engine.run(100),
+            Err(SimError::EventBudgetExhausted { delivered: 100 }),
+            "infinite chatter must hit the budget, typed"
         );
+    }
+
+    #[test]
+    fn adversarial_schedule_preserves_flood_reachability() {
+        // Reorder + duplicate chaos must not break the TTL-discovery
+        // fixpoint: duplicate suppression and ttl upgrades absorb both.
+        let g = generators::grid_graph(4, 4);
+        let k = 2;
+        let mut engine = AsyncEngine::new(
+            &g,
+            |_| AsyncDiscovery {
+                k,
+                known: Default::default(),
+            },
+            LatencyModel::Fixed(1.0),
+        )
+        .with_schedule(crate::schedule::AdversarialSchedule::new(5).duplicate_p(0.4));
+        let stats = engine.run(1_000_000).expect("drains");
+        assert!(stats.duplicated > 0, "chaos actually injected duplicates");
+        for v in g.nodes() {
+            let state = engine.state(v).unwrap();
+            let mut learned: Vec<NodeId> = state.known.keys().copied().collect();
+            learned.sort_unstable();
+            let expected = confine_graph::traverse::k_hop_neighbors(&g, v, k);
+            assert_eq!(learned, expected, "node {v:?} under adversarial schedule");
+        }
+    }
+
+    #[test]
+    fn delivery_digest_replays_bitwise_from_the_seed() {
+        let g = generators::grid_graph(4, 4);
+        let run = |seed: u64| {
+            let mut engine = AsyncEngine::new(
+                &g,
+                |_| AsyncDiscovery {
+                    k: 2,
+                    known: Default::default(),
+                },
+                LatencyModel::Fixed(1.0),
+            )
+            .with_schedule(crate::schedule::AdversarialSchedule::new(seed).duplicate_p(0.2));
+            let stats = engine.run(1_000_000).expect("drains");
+            (engine.delivery_digest(), stats)
+        };
+        let (d1, s1) = run(11);
+        let (d2, s2) = run(11);
+        assert_eq!(d1, d2, "same schedule seed, same delivery order");
+        assert_eq!(s1, s2);
+        let (d3, _) = run(12);
+        assert_ne!(d1, d3, "different seed explores a different schedule");
     }
 }

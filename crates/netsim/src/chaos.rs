@@ -1,0 +1,609 @@
+//! Deterministic chaos machinery: fault-event plans, run traces and a
+//! delta-debugging shrinker.
+//!
+//! This module holds the protocol-agnostic half of the deterministic
+//! simulation-testing (DST) layer. A chaos run is described by a
+//! [`SeedTriple`] — topology seed, fault seed, schedule seed — from which
+//! everything else derives: the fault seed expands into a [`ChaosPlan`] (an
+//! ordered script of crash / recover / split events), the schedule seed
+//! drives every message-level random choice, and the run emits a compact
+//! [`Trace`] that replays **bitwise-identically** from the same triple.
+//! When an invariant oracle rejects a run, [`shrink_plan`] minimizes the
+//! fault script to a 1-minimal counterexample by classic `ddmin` delta
+//! debugging, and [`SeedTriple::repro_command`] pretty-prints the command
+//! that replays it.
+//!
+//! The protocol-specific half — which oracles to check and how to react to
+//! each fault — lives with the DCC drivers in `confine-core`.
+
+use std::fmt;
+
+use confine_graph::NodeId;
+
+/// Incremental FNV-1a hash, the digest primitive of trace comparison.
+///
+/// Hand-rolled so trace digests need no dependency and stay stable across
+/// platforms (the algorithm is fully specified: 64-bit FNV-1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// The three seeds that fully determine a chaos run.
+///
+/// * `topology` — generates the deployment scenario;
+/// * `faults` — expands into the [`ChaosPlan`];
+/// * `schedule` — drives every message-level random choice (loss draws,
+///   election priorities, adversarial delivery orders).
+///
+/// Renders as `topology:faults:schedule` and parses back from that form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTriple {
+    /// Seed of the deployment topology.
+    pub topology: u64,
+    /// Seed of the fault script.
+    pub faults: u64,
+    /// Seed of message-level scheduling choices.
+    pub schedule: u64,
+}
+
+impl SeedTriple {
+    /// The `index`-th triple derived from `base`, decorrelated by a
+    /// SplitMix64 step per component so sweeps don't reuse streams.
+    pub fn derived(base: u64, index: u64) -> Self {
+        let mut x = base.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SeedTriple {
+            topology: next(),
+            faults: next(),
+            schedule: next(),
+        }
+    }
+
+    /// Parses `topology:faults:schedule`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split(':');
+        let topology = parts.next()?.trim().parse().ok()?;
+        let faults = parts.next()?.trim().parse().ok()?;
+        let schedule = parts.next()?.trim().parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SeedTriple {
+            topology,
+            faults,
+            schedule,
+        })
+    }
+
+    /// The CLI command that replays this triple.
+    pub fn repro_command(&self) -> String {
+        format!("cargo run -p confine-cli -- chaos --one {self}")
+    }
+}
+
+impl fmt::Display for SeedTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.topology, self.faults, self.schedule)
+    }
+}
+
+/// One scripted fault event, applied by a chaos harness in plan order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Crash-stop `node`, snapshotting its state for a later recovery.
+    Crash {
+        /// The victim.
+        node: NodeId,
+    },
+    /// Rejoin `node` with its pre-crash state snapshot. Inert when `node`
+    /// is not currently crashed (which keeps plans closed under the event
+    /// deletions the shrinker performs).
+    Recover {
+        /// The rejoining node.
+        node: NodeId,
+    },
+    /// Split the network: `side` vs everyone else, healing after
+    /// `heal_after` further plan events have been applied.
+    Split {
+        /// Nodes on one side of the split.
+        side: Vec<NodeId>,
+        /// Plan events until the split heals.
+        heal_after: usize,
+    },
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosEvent::Crash { node } => write!(f, "crash {}", node.0),
+            ChaosEvent::Recover { node } => write!(f, "recover {}", node.0),
+            ChaosEvent::Split { side, heal_after } => {
+                write!(f, "split |side|={} heal-after {heal_after}", side.len())
+            }
+        }
+    }
+}
+
+/// An ordered fault script — the unit the shrinker minimizes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The events, applied first to last.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// A random plan of `events` events, deterministic in `seed`.
+    ///
+    /// Crashes draw victims from `victims` (nodes not currently down);
+    /// roughly half the crashes schedule a recovery a few events later;
+    /// splits draw a side from `split_candidates` (pass pre-computed
+    /// geometric cuts — BFS balls make realistic splits, arbitrary subsets
+    /// do not). With no candidates the plan is crash/recover only.
+    pub fn random(
+        victims: &[NodeId],
+        split_candidates: &[Vec<NodeId>],
+        events: usize,
+        seed: u64,
+    ) -> Self {
+        use rand::Rng as _;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut plan = ChaosPlan::new();
+        let mut down: Vec<NodeId> = Vec::new();
+        while plan.events.len() < events {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.25 && !down.is_empty() {
+                let i = rng.gen_range(0..down.len());
+                let node = down.swap_remove(i);
+                plan.events.push(ChaosEvent::Recover { node });
+            } else if roll < 0.85 || split_candidates.is_empty() {
+                let up: Vec<NodeId> = victims
+                    .iter()
+                    .copied()
+                    .filter(|v| !down.contains(v))
+                    .collect();
+                if up.is_empty() {
+                    if down.is_empty() {
+                        break; // no victims at all: nothing left to script
+                    }
+                    continue; // everyone is down: only recoveries remain
+                }
+                let node = up[rng.gen_range(0..up.len())];
+                down.push(node);
+                plan.events.push(ChaosEvent::Crash { node });
+            } else {
+                let side = split_candidates[rng.gen_range(0..split_candidates.len())].clone();
+                let heal_after = rng.gen_range(1..=2);
+                plan.events.push(ChaosEvent::Split { side, heal_after });
+            }
+        }
+        plan
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan scripts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// One line per event, numbered, for repro printouts.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&format!("  [{i}] {e}\n"));
+        }
+        out
+    }
+}
+
+/// One record of a chaos-run trace.
+///
+/// Records are plain data with total `Eq`, so two traces compare bitwise;
+/// the digest folds each record's `Debug` rendering, which is deterministic
+/// for these field types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A crash fault was applied at plan step `step`.
+    Crash {
+        /// Plan step index.
+        step: usize,
+        /// The victim.
+        node: NodeId,
+    },
+    /// A recovery was applied.
+    Recover {
+        /// Plan step index.
+        step: usize,
+        /// The rejoining node.
+        node: NodeId,
+    },
+    /// A split became active.
+    Split {
+        /// Plan step index.
+        step: usize,
+        /// Nodes on one side.
+        side: Vec<NodeId>,
+    },
+    /// The active split healed.
+    Heal {
+        /// Plan step index.
+        step: usize,
+    },
+    /// A protocol phase ran to completion (delivery order is summarized by
+    /// the phase's deterministic cost counters; per-message logs would
+    /// dwarf the run).
+    Phase {
+        /// Plan step index.
+        step: usize,
+        /// Which phase (e.g. `schedule`, `repair`, `rejoin`, `reconcile`).
+        label: String,
+        /// Rounds the phase took.
+        rounds: usize,
+        /// Messages the phase sent.
+        messages: usize,
+        /// Messages the phase lost.
+        dropped: usize,
+    },
+    /// Active-set membership changed.
+    Membership {
+        /// Plan step index.
+        step: usize,
+        /// Nodes woken (activated).
+        woken: Vec<NodeId>,
+        /// Nodes put to sleep (deactivated).
+        slept: Vec<NodeId>,
+    },
+    /// An invariant oracle was evaluated.
+    Oracle {
+        /// Plan step index.
+        step: usize,
+        /// Oracle name (e.g. `partitionable`, `fixpoint`, `churn`).
+        name: String,
+        /// Did the invariant hold?
+        pass: bool,
+        /// Was the oracle enforced here? During an active split, coverage
+        /// degradation is expected and verdicts are informational only.
+        enforced: bool,
+    },
+    /// The final active set, in id order.
+    Final {
+        /// Active node ids.
+        active: Vec<NodeId>,
+    },
+}
+
+/// A compact, replayable record of one chaos run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The records, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// FNV-1a digest of the whole trace — equal digests mean bitwise-equal
+    /// traces for all practical purposes (and `==` on [`Trace`] is exact).
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        for e in &self.events {
+            d.update(format!("{e:?}").as_bytes());
+            d.update(b"\n");
+        }
+        d.value()
+    }
+
+    /// The failed-and-enforced oracle records.
+    pub fn violations(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Oracle {
+                        pass: false,
+                        enforced: true,
+                        ..
+                    }
+                )
+            })
+            .collect()
+    }
+
+    /// One line per record, for human consumption.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Crash { step, node } => {
+                    out.push_str(&format!("[{step}] crash {}\n", node.0));
+                }
+                TraceEvent::Recover { step, node } => {
+                    out.push_str(&format!("[{step}] recover {}\n", node.0));
+                }
+                TraceEvent::Split { step, side } => {
+                    out.push_str(&format!("[{step}] split |side|={}\n", side.len()));
+                }
+                TraceEvent::Heal { step } => {
+                    out.push_str(&format!("[{step}] heal\n"));
+                }
+                TraceEvent::Phase {
+                    step,
+                    label,
+                    rounds,
+                    messages,
+                    dropped,
+                } => {
+                    out.push_str(&format!(
+                        "[{step}] phase {label}: rounds {rounds}, messages {messages}, dropped {dropped}\n"
+                    ));
+                }
+                TraceEvent::Membership { step, woken, slept } => {
+                    out.push_str(&format!(
+                        "[{step}] membership: +{} -{}\n",
+                        woken.len(),
+                        slept.len()
+                    ));
+                }
+                TraceEvent::Oracle {
+                    step,
+                    name,
+                    pass,
+                    enforced,
+                } => {
+                    let verdict = if *pass { "ok" } else { "FAIL" };
+                    let mode = if *enforced { "" } else { " (informational)" };
+                    out.push_str(&format!("[{step}] oracle {name}: {verdict}{mode}\n"));
+                }
+                TraceEvent::Final { active } => {
+                    out.push_str(&format!("final active set: {} nodes\n", active.len()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of a [`shrink_plan`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkResult {
+    /// The 1-minimal failing plan.
+    pub plan: ChaosPlan,
+    /// How many candidate plans the oracle evaluated.
+    pub tests_run: usize,
+}
+
+/// Minimizes a failing fault script by `ddmin` delta debugging.
+///
+/// `still_fails` must return `true` for `failing` itself (the caller has
+/// already observed the failure); the result is **1-minimal**: removing any
+/// single remaining event makes the failure disappear. Plans must be closed
+/// under event deletion, which [`ChaosPlan`] guarantees by making orphaned
+/// events (e.g. a recovery whose crash was deleted) inert.
+pub fn shrink_plan(
+    failing: &ChaosPlan,
+    still_fails: &mut dyn FnMut(&ChaosPlan) -> bool,
+) -> ShrinkResult {
+    let mut events = failing.events.clone();
+    let mut tests_run = 0usize;
+    let mut granularity = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let candidate: Vec<ChaosEvent> = events[..start]
+                .iter()
+                .chain(events[end..].iter())
+                .cloned()
+                .collect();
+            if candidate.len() < events.len() {
+                tests_run += 1;
+                if still_fails(&ChaosPlan {
+                    events: candidate.clone(),
+                }) {
+                    events = candidate;
+                    granularity = granularity.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= events.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(events.len());
+        }
+    }
+    ShrinkResult {
+        plan: ChaosPlan { events },
+        tests_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = Digest::new();
+        a.update(b"hello");
+        let mut b = Digest::new();
+        b.update(b"hello");
+        assert_eq!(a.value(), b.value());
+        let mut c = Digest::new();
+        c.update(b"hellp");
+        assert_ne!(a.value(), c.value());
+        // Known FNV-1a vector: the empty input hashes to the offset basis.
+        assert_eq!(Digest::new().value(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn seed_triples_round_trip_and_decorrelate() {
+        let t = SeedTriple::derived(7, 3);
+        assert_eq!(SeedTriple::parse(&t.to_string()), Some(t));
+        assert_eq!(SeedTriple::parse("1:2:3").unwrap().schedule, 3);
+        assert_eq!(SeedTriple::parse("1:2"), None);
+        assert_eq!(SeedTriple::parse("1:2:3:4"), None);
+        assert_eq!(SeedTriple::parse("a:2:3"), None);
+        assert_ne!(SeedTriple::derived(7, 0), SeedTriple::derived(7, 1));
+        assert_ne!(t.topology, t.faults);
+        assert!(t.repro_command().contains("chaos --one"));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_well_formed() {
+        let victims: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let sides = vec![vec![NodeId(0), NodeId(1)], vec![NodeId(5), NodeId(6)]];
+        let a = ChaosPlan::random(&victims, &sides, 8, 99);
+        let b = ChaosPlan::random(&victims, &sides, 8, 99);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.len(), 8);
+        // A recovery only ever follows its crash.
+        let mut down: Vec<NodeId> = Vec::new();
+        for e in &a.events {
+            match e {
+                ChaosEvent::Crash { node } => {
+                    assert!(!down.contains(node), "no double crash");
+                    down.push(*node);
+                }
+                ChaosEvent::Recover { node } => {
+                    assert!(down.contains(node), "recover only after crash");
+                    down.retain(|v| v != node);
+                }
+                ChaosEvent::Split { side, heal_after } => {
+                    assert!(!side.is_empty());
+                    assert!((1..=2).contains(heal_after));
+                }
+            }
+        }
+        assert!(!a.describe().is_empty());
+    }
+
+    #[test]
+    fn trace_digest_matches_equality() {
+        let mut a = Trace::new();
+        a.push(TraceEvent::Crash {
+            step: 0,
+            node: NodeId(4),
+        });
+        a.push(TraceEvent::Oracle {
+            step: 0,
+            name: "fixpoint".into(),
+            pass: true,
+            enforced: true,
+        });
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.push(TraceEvent::Heal { step: 1 });
+        assert_ne!(a.digest(), c.digest());
+        assert!(a.violations().is_empty());
+        assert!(!a.render().is_empty());
+    }
+
+    #[test]
+    fn shrinker_finds_the_minimal_core() {
+        // Failure iff the plan contains crash(3) AND crash(7) AND recover(3),
+        // in that relative order — buried in 9 noise events.
+        let noise = |i: u32| ChaosEvent::Crash {
+            node: NodeId(100 + i),
+        };
+        let mut events = Vec::new();
+        events.push(noise(0));
+        events.push(ChaosEvent::Crash { node: NodeId(3) });
+        events.extend((1..4).map(noise));
+        events.push(ChaosEvent::Crash { node: NodeId(7) });
+        events.extend((4..7).map(noise));
+        events.push(ChaosEvent::Recover { node: NodeId(3) });
+        events.extend((7..10).map(noise));
+        let failing = ChaosPlan { events };
+        let mut fails = |p: &ChaosPlan| {
+            let c3 = p
+                .events
+                .iter()
+                .position(|e| matches!(e, ChaosEvent::Crash { node } if *node == NodeId(3)));
+            let c7 = p
+                .events
+                .iter()
+                .position(|e| matches!(e, ChaosEvent::Crash { node } if *node == NodeId(7)));
+            let r3 = p
+                .events
+                .iter()
+                .position(|e| matches!(e, ChaosEvent::Recover { node } if *node == NodeId(3)));
+            matches!((c3, c7, r3), (Some(a), Some(b), Some(c)) if a < b && b < c)
+        };
+        assert!(fails(&failing));
+        let result = shrink_plan(&failing, &mut fails);
+        assert_eq!(result.plan.len(), 3, "1-minimal: {:?}", result.plan);
+        assert!(fails(&result.plan));
+        assert!(result.tests_run > 0);
+    }
+
+    #[test]
+    fn shrinker_handles_already_minimal_plans() {
+        let one = ChaosPlan {
+            events: vec![ChaosEvent::Crash { node: NodeId(1) }],
+        };
+        let result = shrink_plan(&one, &mut |_| true);
+        assert_eq!(result.plan, one);
+        assert_eq!(result.tests_run, 0);
+    }
+}

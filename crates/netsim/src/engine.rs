@@ -112,6 +112,10 @@ pub struct RunStats {
     pub crashed: usize,
     /// Messages lost specifically to flapped-down links (also in `dropped`).
     pub flapped: usize,
+    /// Messages lost crossing an active network split (also in `dropped`).
+    pub partitioned: usize,
+    /// Crashed nodes that rejoined during the run (per the fault plan).
+    pub recovered: usize,
 }
 
 /// Errors from [`Engine::run`].
@@ -153,11 +157,25 @@ pub enum SimError {
         /// The offending node.
         node: NodeId,
     },
+    /// The asynchronous engine's delivery budget ran out before its event
+    /// queue drained (a protocol that chatters forever, or a budget set too
+    /// low for the topology).
+    EventBudgetExhausted {
+        /// Messages that were delivered before the budget ran out.
+        delivered: usize,
+    },
     /// An internal invariant of a driver or engine was violated — the
     /// simulation state is inconsistent and the run cannot continue. This
     /// replaces panics on "impossible" states in library code.
     Internal {
         /// Which invariant broke.
+        what: &'static str,
+    },
+    /// The fault configuration asks for a behaviour the selected driver
+    /// does not model (e.g. crash *recovery* during the initial schedule —
+    /// rejoin is the business of the repair/chaos layer).
+    UnsupportedFault {
+        /// What was asked for and who should handle it instead.
         what: &'static str,
     },
 }
@@ -183,8 +201,17 @@ impl fmt::Display for SimError {
             SimError::NotActive { node } => {
                 write!(f, "node {} is not in the scheduled active set", node.0)
             }
+            SimError::EventBudgetExhausted { delivered } => {
+                write!(
+                    f,
+                    "event budget exhausted after {delivered} deliveries with the queue non-empty"
+                )
+            }
             SimError::Internal { what } => {
                 write!(f, "internal simulation invariant violated: {what}")
+            }
+            SimError::UnsupportedFault { what } => {
+                write!(f, "unsupported fault configuration: {what}")
             }
         }
     }
@@ -255,7 +282,11 @@ pub struct Engine<'g, V: GraphView, P: Protocol> {
     faults: Option<crate::faults::FaultPlan>,
     fault_rng: Option<rand::rngs::StdRng>,
     crashed: Vec<bool>,
+    /// Nodes that have crashed at least once — a recovered node never
+    /// re-crashes from the same plan entry.
+    crashed_once: Vec<bool>,
     crashed_ids: Vec<NodeId>,
+    recovered_ids: Vec<NodeId>,
 }
 
 impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
@@ -285,7 +316,9 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
             faults: None,
             fault_rng: None,
             crashed: vec![false; bound],
+            crashed_once: vec![false; bound],
             crashed_ids: Vec::new(),
+            recovered_ids: Vec::new(),
         }
     }
 
@@ -312,9 +345,15 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
         self
     }
 
-    /// Nodes that crash-stopped so far, in crash order.
+    /// Nodes that crash-stopped so far, in crash order. A node that later
+    /// recovered stays listed here (and in [`Self::recovered_nodes`]).
     pub fn crashed_nodes(&self) -> &[NodeId] {
         &self.crashed_ids
+    }
+
+    /// Nodes that recovered from a crash so far, in recovery order.
+    pub fn recovered_nodes(&self) -> &[NodeId] {
+        &self.recovered_ids
     }
 
     /// Returns `true` when the current link model drops this message.
@@ -349,6 +388,11 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
         }
         let mut override_p = None;
         if let Some(plan) = &self.faults {
+            if plan.partition_blocks(from, to, round) {
+                self.stats.dropped += 1;
+                self.stats.partitioned += 1;
+                return false;
+            }
             if plan.link_down(from, to, round) {
                 self.stats.dropped += 1;
                 self.stats.flapped += 1;
@@ -380,11 +424,12 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
             .node_ids
             .iter()
             .copied()
-            .filter(|&v| !self.crashed[v.index()])
+            .filter(|&v| !self.crashed_once[v.index()])
             .filter(|&v| plan.crash_round(v).is_some_and(|r| r <= round))
             .collect();
         for v in due {
             self.crashed[v.index()] = true;
+            self.crashed_once[v.index()] = true;
             self.crashed_ids.push(v);
             self.stats.crashed += 1;
             let lost = inboxes[v.index()].len();
@@ -392,6 +437,37 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
             *in_flight -= lost;
             self.stats.dropped += lost;
         }
+    }
+
+    /// Applies every recovery scheduled at or before `round`: the node
+    /// resumes acting from its pre-crash protocol state. Its inbox starts
+    /// empty — everything sent to it while down was dropped at send time.
+    /// Recoveries run after crashes each round, so a same-round crash +
+    /// recovery is an instant reboot (state kept, inbox lost).
+    fn apply_recoveries(&mut self, round: usize) {
+        let Some(plan) = &self.faults else { return };
+        let due: Vec<NodeId> = self
+            .node_ids
+            .iter()
+            .copied()
+            .filter(|&v| self.crashed[v.index()])
+            .filter(|&v| plan.recover_round(v).is_some_and(|r| r <= round))
+            .collect();
+        for v in due {
+            self.crashed[v.index()] = false;
+            self.recovered_ids.push(v);
+            self.stats.recovered += 1;
+        }
+    }
+
+    /// Is some currently-crashed node scheduled to recover after `round`?
+    /// The run must idle until then rather than declare quiescence.
+    fn pending_recovery(&self, round: usize) -> bool {
+        let Some(plan) = &self.faults else {
+            return false;
+        };
+        plan.recoveries()
+            .any(|(v, r)| r > round && self.crashed[v.index()])
     }
 
     /// Runs the protocol to quiescence.
@@ -407,6 +483,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
 
         // Round-0 crashes take effect before anyone acts.
         self.apply_crashes(0, &mut inboxes, &mut in_flight);
+        self.apply_recoveries(0);
 
         // Start activations.
         for i in 0..self.node_ids.len() {
@@ -436,6 +513,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
 
         for round in 1..=max_rounds {
             self.apply_crashes(round, &mut inboxes, &mut in_flight);
+            self.apply_recoveries(round);
             let all_quiet = self
                 .node_ids
                 .iter()
@@ -445,7 +523,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
                         .as_ref()
                         .is_none_or(Protocol::is_quiescent)
                 });
-            if in_flight == 0 && all_quiet {
+            if in_flight == 0 && all_quiet && !self.pending_recovery(round) {
                 return Ok(self.stats);
             }
             self.stats.rounds = round;
@@ -489,7 +567,7 @@ impl<'g, V: GraphView, P: Protocol> Engine<'g, V, P> {
                     .as_ref()
                     .is_none_or(Protocol::is_quiescent)
             });
-        if in_flight == 0 && all_quiet {
+        if in_flight == 0 && all_quiet && !self.pending_recovery(max_rounds) {
             Ok(self.stats)
         } else {
             Err(SimError::RoundLimitExceeded { limit: max_rounds })

@@ -5,22 +5,31 @@
 //! degrades — and recovers — requires injecting faults *deterministically*,
 //! or no experiment is reproducible. This module provides:
 //!
-//! * [`FaultPlan`] — a seedable script of crash-stop faults, link up/down
-//!   flapping intervals and per-link loss overrides, applied by the
-//!   [`Engine`](crate::Engine) via
+//! * [`FaultPlan`] — a seedable script of crash faults (with optional
+//!   recovery), network [`Partition`]s, link up/down flapping intervals and
+//!   per-link loss overrides, applied by the [`Engine`](crate::Engine) via
 //!   [`Engine::with_faults`](crate::Engine::with_faults). Plans are plain
 //!   data: the same plan on the same topology yields the same execution.
 //! * [`Heartbeat`] — a beaconing protocol by which every node detects
 //!   crashed direct neighbours within a configurable silence timeout, the
 //!   detection primitive of the coverage-repair layer in `confine-core`.
 //!
-//! Crash semantics are **crash-stop**: a node scheduled to crash at round
-//! `r` executes rounds `< r` normally, then never acts again. Messages
-//! queued for delivery to it at round `r` or later are lost (counted in
-//! [`RunStats::dropped`](crate::RunStats::dropped)); messages it sent at
-//! round `r − 1` were already on the air and are still delivered.
+//! Crash semantics are **crash-stop** unless a recovery is scheduled: a node
+//! scheduled to crash at round `r` executes rounds `< r` normally, then
+//! stops acting. Messages queued for delivery to it at round `r` or later
+//! are lost (counted in [`RunStats::dropped`](crate::RunStats::dropped));
+//! messages it sent at round `r − 1` were already on the air and are still
+//! delivered. A node with a scheduled [`FaultPlan::recover`] round rejoins
+//! with its **pre-crash protocol state snapshot** — nothing it missed while
+//! down is replayed, which is exactly what forces the repair layer to
+//! reconcile stale state on rejoin.
+//!
+//! Partition semantics: while a [`Partition`] is active, any message whose
+//! endpoints lie on opposite sides of the split is dropped (counted in
+//! `dropped` and [`RunStats::partitioned`](crate::RunStats::partitioned));
+//! intra-side traffic is untouched. Healing is implicit: the window ends.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use confine_graph::NodeId;
 
@@ -54,6 +63,33 @@ impl LinkFlap {
     }
 }
 
+/// A network split active for a window of rounds: messages crossing between
+/// `side` and its complement are dropped while `from ≤ round < until`.
+///
+/// The split is described by one side only, so it composes with any node
+/// universe: nodes not listed are all on the other side together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    /// Nodes on one side of the split.
+    pub side: BTreeSet<NodeId>,
+    /// First round at which the split is active.
+    pub from: usize,
+    /// First round at which the split has healed (exclusive end).
+    pub until: usize,
+}
+
+impl Partition {
+    /// Does this split block a message `a → b` at `round`?
+    pub fn blocks(&self, a: NodeId, b: NodeId, round: usize) -> bool {
+        round >= self.from && round < self.until && self.side.contains(&a) != self.side.contains(&b)
+    }
+
+    /// Is the split active (not yet healed) at `round`?
+    pub fn active_at(&self, round: usize) -> bool {
+        round >= self.from && round < self.until
+    }
+}
+
 /// A deterministic fault script, applied by the engine as rounds elapse.
 ///
 /// # Example
@@ -75,6 +111,10 @@ impl LinkFlap {
 pub struct FaultPlan {
     /// node → round at which it crash-stops.
     crashes: BTreeMap<NodeId, usize>,
+    /// node → round at which it rejoins with its pre-crash state snapshot.
+    recoveries: BTreeMap<NodeId, usize>,
+    /// Network splits, each active over its own round window.
+    partitions: Vec<Partition>,
     /// link → flapping schedule.
     flaps: BTreeMap<(NodeId, NodeId), LinkFlap>,
     /// link → loss probability override.
@@ -108,6 +148,25 @@ impl FaultPlan {
     /// Schedules `node` to crash-stop at `round` (0 = never participates).
     pub fn crash(mut self, node: NodeId, round: usize) -> Self {
         self.crashes.insert(node, round);
+        self
+    }
+
+    /// Schedules `node` to rejoin at `round` with the protocol state it had
+    /// when it crashed (crash-recover semantics). A recovery without a
+    /// matching crash, or scheduled at or before the crash round, is inert.
+    pub fn recover(mut self, node: NodeId, round: usize) -> Self {
+        self.recoveries.insert(node, round);
+        self
+    }
+
+    /// Schedules a network split: messages between `side` and everything
+    /// else are dropped while `from ≤ round < until`.
+    pub fn partition(mut self, side: &[NodeId], from: usize, until: usize) -> Self {
+        self.partitions.push(Partition {
+            side: side.iter().copied().collect(),
+            from,
+            until,
+        });
         self
     }
 
@@ -146,6 +205,31 @@ impl FaultPlan {
         self.crashes.remove(&node).is_some()
     }
 
+    /// The round at which `node` recovers, if scheduled.
+    pub fn recover_round(&self, node: NodeId) -> Option<usize> {
+        self.recoveries.get(&node).copied()
+    }
+
+    /// The scheduled recoveries, in node order.
+    pub fn recoveries(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.recoveries.iter().map(|(&v, &r)| (v, r))
+    }
+
+    /// Removes a scheduled recovery (mirror of [`Self::remove_crash`]).
+    pub fn remove_recovery(&mut self, node: NodeId) -> bool {
+        self.recoveries.remove(&node).is_some()
+    }
+
+    /// The scheduled network splits.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Does some scheduled split block a message `a → b` at `round`?
+    pub fn partition_blocks(&self, a: NodeId, b: NodeId, round: usize) -> bool {
+        self.partitions.iter().any(|p| p.blocks(a, b, round))
+    }
+
     /// Is the link `a—b` flapped down at `round`?
     pub fn link_down(&self, a: NodeId, b: NodeId, round: usize) -> bool {
         self.flaps
@@ -165,7 +249,11 @@ impl FaultPlan {
 
     /// True when the plan schedules no fault at all.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.flaps.is_empty() && self.loss.is_empty()
+        self.crashes.is_empty()
+            && self.recoveries.is_empty()
+            && self.partitions.is_empty()
+            && self.flaps.is_empty()
+            && self.loss.is_empty()
     }
 
     /// True when the plan needs a loss RNG.
@@ -173,14 +261,22 @@ impl FaultPlan {
         !self.loss.is_empty()
     }
 
-    /// Re-bases the plan by `by` already-elapsed rounds: crash rounds shift
-    /// down (saturating at 0 — drivers should [`Self::remove_crash`] applied
-    /// crashes first) and flap phases shift up so the up/down pattern
-    /// continues seamlessly across engine phases.
+    /// Re-bases the plan by `by` already-elapsed rounds: crash, recovery and
+    /// partition rounds shift down (saturating at 0 — drivers should
+    /// [`Self::remove_crash`] / [`Self::remove_recovery`] applied events
+    /// first) and flap phases shift up so the up/down pattern continues
+    /// seamlessly across engine phases.
     pub fn advanced(&self, by: usize) -> Self {
         let mut plan = self.clone();
         for round in plan.crashes.values_mut() {
             *round = round.saturating_sub(by);
+        }
+        for round in plan.recoveries.values_mut() {
+            *round = round.saturating_sub(by);
+        }
+        for split in plan.partitions.iter_mut() {
+            split.from = split.from.saturating_sub(by);
+            split.until = split.until.saturating_sub(by);
         }
         for flap in plan.flaps.values_mut() {
             flap.phase += by;
@@ -223,6 +319,11 @@ pub struct Heartbeat {
     /// neighbour → last round a beacon from it arrived.
     last_heard: BTreeMap<NodeId, usize>,
     round: usize,
+    /// Suspected-then-seen events: a beacon arrived from a neighbour that
+    /// had already been silent past the timeout, proving the suspicion
+    /// false. Under pure crash-stop this stays 0; loss, flapping, partitions
+    /// and recoveries all inflate it.
+    false_suspicions: usize,
 }
 
 impl Heartbeat {
@@ -241,6 +342,7 @@ impl Heartbeat {
             neighbors: Vec::new(),
             last_heard: BTreeMap::new(),
             round: 0,
+            false_suspicions: 0,
         }
     }
 
@@ -254,12 +356,19 @@ impl Heartbeat {
         self.neighbors
             .iter()
             .copied()
-            .filter(|w| {
-                self.round
-                    .saturating_sub(self.last_heard.get(w).copied().unwrap_or(0))
-                    > self.timeout
-            })
+            .filter(|&w| self.is_suspect(w, self.round))
             .collect()
+    }
+
+    /// How many suspicions this node has had disproven by a later beacon
+    /// (suspected-then-seen count).
+    pub fn false_suspicions(&self) -> usize {
+        self.false_suspicions
+    }
+
+    /// Is `w` silent past the timeout as of `round`?
+    fn is_suspect(&self, w: NodeId, round: usize) -> bool {
+        round.saturating_sub(self.last_heard.get(&w).copied().unwrap_or(0)) > self.timeout
     }
 }
 
@@ -274,6 +383,9 @@ impl Protocol for Heartbeat {
     fn on_round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Envelope<()>]) {
         self.round = ctx.round();
         for env in inbox {
+            if self.is_suspect(env.from, ctx.round()) {
+                self.false_suspicions += 1;
+            }
             self.last_heard.insert(env.from, ctx.round());
         }
         if ctx.round() < self.horizon {
@@ -460,6 +572,108 @@ mod tests {
             engine.state(NodeId(2)).unwrap().suspected(),
             vec![NodeId(1)]
         );
+    }
+
+    #[test]
+    fn partition_blocks_only_cross_side_traffic() {
+        let g = generators::path_graph(4); // 0-1-2-3
+        let split = [NodeId(0), NodeId(1)];
+        let mut engine = Engine::new(&g, |_| Heartbeat::new(2, 8))
+            .with_faults(FaultPlan::new().partition(&split, 0, 32));
+        let stats = engine.run(16).unwrap();
+        assert!(stats.partitioned > 0);
+        assert_eq!(stats.partitioned, stats.dropped, "only the 1—2 link drops");
+        // Intra-side links are untouched; the cut link's endpoints suspect
+        // each other.
+        assert_eq!(
+            engine.state(NodeId(1)).unwrap().suspected(),
+            vec![NodeId(2)]
+        );
+        assert_eq!(
+            engine.state(NodeId(2)).unwrap().suspected(),
+            vec![NodeId(1)]
+        );
+        assert!(engine.state(NodeId(0)).unwrap().suspected().is_empty());
+        assert!(engine.state(NodeId(3)).unwrap().suspected().is_empty());
+    }
+
+    #[test]
+    fn healed_partition_clears_suspicions_and_counts_false_ones() {
+        let g = generators::path_graph(2);
+        // Split for rounds [0, 5): each endpoint suspects the other by round
+        // 4 (timeout 2), then beacons resume and disprove the suspicion.
+        let mut engine = Engine::new(&g, |_| Heartbeat::new(2, 12))
+            .with_faults(FaultPlan::new().partition(&[NodeId(0)], 0, 5));
+        engine.run(24).unwrap();
+        for v in [NodeId(0), NodeId(1)] {
+            let s = engine.state(v).unwrap();
+            assert!(s.suspected().is_empty(), "heal resolves {v:?}");
+            assert!(s.false_suspicions() > 0, "suspected-then-seen at {v:?}");
+        }
+    }
+
+    #[test]
+    fn crash_recover_rejoins_with_pre_crash_state() {
+        let g = generators::path_graph(3); // 0-1-2
+        let mut engine = Engine::new(&g, |_| Heartbeat::new(2, 14))
+            .with_faults(FaultPlan::new().crash(NodeId(1), 2).recover(NodeId(1), 8));
+        let stats = engine.run(32).unwrap();
+        assert_eq!(stats.crashed, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(engine.crashed_nodes(), [NodeId(1)]);
+        assert_eq!(engine.recovered_nodes(), [NodeId(1)]);
+        // Neighbours suspected 1 while it was down, then heard it again.
+        for v in [NodeId(0), NodeId(2)] {
+            let s = engine.state(v).unwrap();
+            assert!(s.suspected().is_empty(), "recovery resolves {v:?}");
+            assert!(s.false_suspicions() > 0, "suspected-then-seen at {v:?}");
+        }
+        // The rejoined node woke with its stale pre-crash snapshot: it had
+        // last heard its neighbours before round 2, so on rejoin it falsely
+        // suspected them until their next beacons arrived.
+        let s = engine.state(NodeId(1)).unwrap();
+        assert!(s.suspected().is_empty());
+        assert!(s.false_suspicions() > 0, "stale snapshot disproven");
+    }
+
+    #[test]
+    fn recovery_defers_quiescence() {
+        // A silent network would quiesce immediately, but a scheduled
+        // recovery keeps the run alive until it fires.
+        let g = generators::path_graph(2);
+        let mut engine = Engine::new(&g, |_| Heartbeat::new(1, 4))
+            .with_faults(FaultPlan::new().crash(NodeId(0), 1).recover(NodeId(0), 9));
+        let stats = engine.run(32).unwrap();
+        assert_eq!(stats.recovered, 1);
+        assert!(stats.rounds >= 9, "ran until the recovery fired");
+    }
+
+    #[test]
+    fn recovery_without_crash_is_inert() {
+        let g = generators::path_graph(2);
+        let mut engine = Engine::new(&g, |_| Heartbeat::new(1, 4))
+            .with_faults(FaultPlan::new().recover(NodeId(0), 2));
+        let stats = engine.run(16).unwrap();
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.crashed, 0);
+    }
+
+    #[test]
+    fn advanced_rebases_recoveries_and_partitions() {
+        let plan = FaultPlan::new()
+            .crash(NodeId(1), 7)
+            .recover(NodeId(1), 9)
+            .partition(&[NodeId(0)], 4, 8);
+        let later = plan.advanced(3);
+        assert_eq!(later.recover_round(NodeId(1)), Some(6));
+        assert_eq!(later.partitions()[0].from, 1);
+        assert_eq!(later.partitions()[0].until, 5);
+        // Global round 5 maps to local round 2 of the re-based plan.
+        assert_eq!(
+            plan.partition_blocks(NodeId(0), NodeId(1), 5),
+            later.partition_blocks(NodeId(0), NodeId(1), 2)
+        );
+        assert!(!plan.is_empty());
     }
 
     #[test]

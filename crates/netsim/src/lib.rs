@@ -15,11 +15,16 @@
 //!   random priorities) and [`protocols::RepeatedDiscovery`] (loss-tolerant
 //!   flooding).
 //! * [`faults`] — deterministic fault injection: [`faults::FaultPlan`]
-//!   scripts crash-stop failures, link flapping and per-link loss, and
-//!   [`faults::Heartbeat`] detects crashed neighbours within a configurable
-//!   timeout.
+//!   scripts crash faults (with optional recovery), network partitions,
+//!   link flapping and per-link loss, and [`faults::Heartbeat`] detects
+//!   crashed neighbours within a configurable timeout.
 //! * [`async`] — an event-driven engine with per-message latencies, for
 //!   checking that the localized primitives survive asynchrony.
+//! * [`schedule`] — pluggable delivery schedules for the async engine,
+//!   including a seeded adversarial reorder/duplicate scheduler.
+//! * [`chaos`] — the deterministic simulation-testing substrate: seed
+//!   triples, fault-event plans, replayable traces and a delta-debugging
+//!   shrinker for minimal counterexamples.
 //!
 //! See the [`Engine`] docs for a complete runnable example.
 #![forbid(unsafe_code)]
@@ -28,8 +33,10 @@
 mod async_engine;
 mod engine;
 
+pub mod chaos;
 pub mod faults;
 pub mod protocols;
+pub mod schedule;
 
 /// Event-driven asynchronous execution (per-message latencies, message
 /// reordering) — see [`AsyncEngine`](crate::async::AsyncEngine).

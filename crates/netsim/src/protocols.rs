@@ -11,6 +11,9 @@
 //!   candidates within `m` hops. The winners form an independent set at hop
 //!   distance `m` (not necessarily maximal in one shot — the scheduler
 //!   iterates, exactly as the paper's round structure does).
+//! * [`WakeFlood`] — a one-shot TTL flood from a source set; the repair
+//!   layer's "everyone within h hops, wake up" primitive, also used for
+//!   rejoin announcements and post-heal reconciliation.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -393,6 +396,84 @@ impl Protocol for Convergecast {
     }
 }
 
+/// Message of [`WakeFlood`]: "wake up", carried with a hop budget.
+#[derive(Debug, Clone, Copy)]
+pub struct WakeToken {
+    /// Remaining hops this token may still travel.
+    pub ttl: u32,
+}
+
+/// One-shot TTL flood from a set of source nodes.
+///
+/// Sources mark themselves heard and broadcast a [`WakeToken`] with the
+/// configured hop budget; every node re-forwards the first token it hears
+/// (decrementing the budget), so after the run exactly the nodes within
+/// `ttl` hops of a source — along the flooded view — have
+/// [`WakeFlood::heard`] set. In the synchronous engine the first arrival
+/// always carries the largest remaining ttl, so forwarding only on first
+/// receipt is lossless.
+///
+/// The repair layer uses this as its wake-up call (detectors → the crash
+/// site's k-ball), as the rejoin announcement of a recovered node, and as
+/// the dirty-region ping of post-partition reconciliation.
+#[derive(Debug)]
+pub struct WakeFlood {
+    source: bool,
+    ttl: u32,
+    heard: bool,
+}
+
+impl WakeFlood {
+    /// Creates the per-node state: `source` nodes start the flood, `ttl`
+    /// is the hop budget of their tokens.
+    pub fn new(source: bool, ttl: u32) -> Self {
+        WakeFlood {
+            source,
+            ttl,
+            heard: false,
+        }
+    }
+
+    /// After the run: did the flood reach this node? (Sources count as
+    /// having heard themselves.)
+    pub fn heard(&self) -> bool {
+        self.heard
+    }
+}
+
+impl Protocol for WakeFlood {
+    type Message = WakeToken;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WakeToken>) {
+        if self.source {
+            self.heard = true;
+            if self.ttl > 0 {
+                ctx.broadcast(WakeToken { ttl: self.ttl - 1 });
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, WakeToken>, inbox: &[Envelope<WakeToken>]) {
+        let best = inbox.iter().map(|env| env.payload.ttl).max();
+        if let Some(ttl) = best {
+            if !self.heard {
+                self.heard = true;
+                if ttl > 0 {
+                    ctx.broadcast(WakeToken { ttl: ttl - 1 });
+                }
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    fn payload_size(_msg: &WakeToken) -> usize {
+        4
+    }
+}
+
 /// Priority announcement for [`LocalMinElection`].
 #[derive(Debug, Clone, Copy)]
 pub struct PriorityClaim {
@@ -707,6 +788,34 @@ mod tests {
         engine.run(8).unwrap();
         assert!(engine.state(NodeId(0)).unwrap().is_winner(NodeId(0)));
         assert!(!engine.state(NodeId(1)).unwrap().is_winner(NodeId(1)));
+    }
+
+    #[test]
+    fn wake_flood_reaches_exactly_the_ttl_ball() {
+        let g = generators::grid_graph(7, 7);
+        let source = NodeId(24); // centre of the grid
+        let ttl = 2;
+        let mut engine = Engine::new(&g, |v| WakeFlood::new(v == source, ttl));
+        engine.run(16).unwrap();
+        for v in g.nodes() {
+            let heard = engine.state(v).unwrap().heard();
+            let within = traverse::distance(&g, source, v).is_some_and(|d| d <= ttl);
+            assert_eq!(heard, within, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn wake_flood_merges_multiple_sources() {
+        let g = generators::path_graph(10);
+        let sources = [NodeId(0), NodeId(9)];
+        let mut engine = Engine::new(&g, |v| WakeFlood::new(sources.contains(&v), 3));
+        engine.run(16).unwrap();
+        let heard: Vec<bool> = g
+            .nodes()
+            .map(|v| engine.state(v).unwrap().heard())
+            .collect();
+        let expected = [true, true, true, true, false, false, true, true, true, true];
+        assert_eq!(heard, expected);
     }
 
     #[test]

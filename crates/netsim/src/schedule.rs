@@ -1,0 +1,200 @@
+//! Pluggable message-delivery schedules for the asynchronous engine.
+//!
+//! [`AsyncEngine`](crate::AsyncEngine) asks its [`Schedule`] how each sent
+//! message travels: the schedule returns zero or more delivery-time offsets
+//! relative to the send instant. Exactly one offset is a plain (possibly
+//! jittered) delivery; several duplicate the message; an empty answer drops
+//! it. The long-standing [`LatencyModel`] is one implementation (via
+//! [`LatencySchedule`]: always exactly one delivery); [`AdversarialSchedule`]
+//! is a seeded chaos scheduler that reorders and duplicates aggressively
+//! while staying inside a hard delay bound, so protocol guarantees can be
+//! checked against schedules far nastier than i.i.d. latency produces.
+//!
+//! Everything is deterministic in the schedule's seed: the same seed yields
+//! the same delivery decisions in the same order, which is what makes
+//! asynchronous chaos runs replayable.
+
+use confine_graph::NodeId;
+
+use crate::async_engine::LatencyModel;
+
+/// Decides how each sent message is delivered.
+///
+/// The engine calls [`Schedule::deliveries`] once per sent message, in send
+/// order, passing the global send index; implementations may use any of the
+/// arguments (or none) to drive their decisions, but must be deterministic:
+/// the same call sequence must yield the same answers.
+pub trait Schedule: std::fmt::Debug {
+    /// Delivery offsets (each ≥ 0, relative to the send instant) for the
+    /// `index`-th message sent in this run, travelling `from → to`. An
+    /// empty vector drops the message; more than one entry duplicates it.
+    fn deliveries(&mut self, from: NodeId, to: NodeId, index: u64) -> Vec<f64>;
+}
+
+/// [`LatencyModel`] as a [`Schedule`]: every message is delivered exactly
+/// once, after a fixed or uniformly-jittered latency.
+#[derive(Debug)]
+pub struct LatencySchedule {
+    model: LatencyModel,
+    rng: Option<rand::rngs::StdRng>,
+}
+
+impl From<LatencyModel> for LatencySchedule {
+    fn from(model: LatencyModel) -> Self {
+        let rng = match model {
+            LatencyModel::Fixed(_) => None,
+            LatencyModel::Uniform { seed, .. } => Some(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            ),
+        };
+        LatencySchedule { model, rng }
+    }
+}
+
+impl LatencySchedule {
+    fn sample(&mut self) -> f64 {
+        match self.model {
+            LatencyModel::Fixed(d) => d.max(0.0),
+            LatencyModel::Uniform { lo, hi, .. } => {
+                use rand::Rng as _;
+                // The constructor always pairs a uniform model with its RNG;
+                // degrade to the minimum latency if that ever breaks.
+                match self.rng.as_mut() {
+                    Some(rng) => rng.gen_range(lo.min(hi)..=hi.max(lo)).max(0.0),
+                    None => lo.min(hi).max(0.0),
+                }
+            }
+        }
+    }
+}
+
+impl Schedule for LatencySchedule {
+    fn deliveries(&mut self, _from: NodeId, _to: NodeId, _index: u64) -> Vec<f64> {
+        vec![self.sample()]
+    }
+}
+
+/// A seeded adversarial scheduler: reorder, duplicate, delay-bounded.
+///
+/// Each message is delivered after `base + U[0, bound]` — enough jitter to
+/// reorder anything sent within `bound` of each other — and with probability
+/// `dup_p` a second, independently-delayed copy is injected. No message is
+/// ever delayed past `base + bound` (the delay bound) and none is dropped:
+/// loss is the [`LinkModel`](crate::LinkModel)'s job, so schedule chaos and
+/// loss chaos compose independently.
+///
+/// # Example
+///
+/// ```
+/// use confine_graph::NodeId;
+/// use confine_netsim::schedule::{AdversarialSchedule, Schedule};
+///
+/// let mut sched = AdversarialSchedule::new(7).duplicate_p(1.0);
+/// let d = sched.deliveries(NodeId(0), NodeId(1), 0);
+/// assert_eq!(d.len(), 2, "dup_p = 1 always duplicates");
+/// assert!(d.iter().all(|&t| t >= 0.1 && t <= 0.1 + 2.0));
+/// ```
+#[derive(Debug)]
+pub struct AdversarialSchedule {
+    base: f64,
+    bound: f64,
+    dup_p: f64,
+    rng: rand::rngs::StdRng,
+}
+
+impl AdversarialSchedule {
+    /// A scheduler with base latency 0.1, delay bound 2.0 and duplicate
+    /// probability 0.05, deterministic in `seed`.
+    pub fn new(seed: u64) -> Self {
+        AdversarialSchedule {
+            base: 0.1,
+            bound: 2.0,
+            dup_p: 0.05,
+            rng: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the base latency and the extra-delay bound: every delivery lands
+    /// in `[base, base + bound]`.
+    pub fn delay_bounds(mut self, base: f64, bound: f64) -> Self {
+        self.base = base.max(0.0);
+        self.bound = bound.max(0.0);
+        self
+    }
+
+    /// Sets the per-message duplicate probability.
+    pub fn duplicate_p(mut self, p: f64) -> Self {
+        self.dup_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    fn draw(&mut self) -> f64 {
+        use rand::Rng as _;
+        self.base + self.rng.gen_range(0.0..=self.bound)
+    }
+}
+
+impl Schedule for AdversarialSchedule {
+    fn deliveries(&mut self, _from: NodeId, _to: NodeId, _index: u64) -> Vec<f64> {
+        use rand::Rng as _;
+        let first = self.draw();
+        let duplicated = self.dup_p > 0.0 && self.rng.gen_bool(self.dup_p);
+        if duplicated {
+            vec![first, self.draw()]
+        } else {
+            vec![first]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(sched: &mut dyn Schedule, n: u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| sched.deliveries(NodeId(0), NodeId(1), i))
+            .collect()
+    }
+
+    #[test]
+    fn latency_schedule_delivers_exactly_once() {
+        let mut fixed = LatencySchedule::from(LatencyModel::Fixed(1.5));
+        assert_eq!(drain(&mut fixed, 4), vec![vec![1.5]; 4]);
+        let mut jitter = LatencySchedule::from(LatencyModel::Uniform {
+            lo: 0.5,
+            hi: 2.0,
+            seed: 3,
+        });
+        for d in drain(&mut jitter, 64) {
+            assert_eq!(d.len(), 1);
+            assert!((0.5..=2.0).contains(&d[0]));
+        }
+    }
+
+    #[test]
+    fn adversarial_is_deterministic_in_its_seed() {
+        let mut a = AdversarialSchedule::new(42).duplicate_p(0.5);
+        let mut b = AdversarialSchedule::new(42).duplicate_p(0.5);
+        assert_eq!(drain(&mut a, 100), drain(&mut b, 100));
+        let mut c = AdversarialSchedule::new(43).duplicate_p(0.5);
+        assert_ne!(drain(&mut a, 100), drain(&mut c, 100));
+    }
+
+    #[test]
+    fn adversarial_respects_the_delay_bound() {
+        let mut sched = AdversarialSchedule::new(9)
+            .delay_bounds(0.25, 1.0)
+            .duplicate_p(0.3);
+        let mut duplicated = 0;
+        for d in drain(&mut sched, 500) {
+            assert!(!d.is_empty(), "never drops");
+            assert!(d.len() <= 2);
+            duplicated += d.len() - 1;
+            for t in d {
+                assert!((0.25..=1.25).contains(&t), "delay-bounded: {t}");
+            }
+        }
+        assert!(duplicated > 50, "duplicates actually happen: {duplicated}");
+    }
+}

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use confine_graph::{mis, traverse, Graph, NodeId};
+use confine_netsim::faults::{FaultPlan, LinkFlap};
 use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
 use confine_netsim::Engine;
 
@@ -82,6 +83,71 @@ proptest! {
             let has_candidate = comp.iter().any(|&v| candidate(v));
             let has_winner = comp.iter().any(|&v| winners.contains(&v));
             prop_assert_eq!(has_candidate, has_winner, "liveness per component");
+        }
+    }
+
+    /// `LinkFlap::is_down` is periodic in the round, and shifting the phase
+    /// by `s` is the same as evaluating `s` rounds later.
+    #[test]
+    fn flap_is_periodic_and_phase_shifts_rounds(
+        period in 1usize..12,
+        down_for in 0usize..12,
+        phase in 0usize..24,
+        round in 0usize..100,
+        shift in 0usize..24,
+    ) {
+        let down_for = down_for.min(period);
+        let f = LinkFlap { period, down_for, phase };
+        // Periodicity in the round argument.
+        prop_assert_eq!(f.is_down(round), f.is_down(round + period));
+        // Phase/round exchange: phase + s at round r ≡ phase at round r + s.
+        let shifted = LinkFlap { phase: phase + shift, ..f };
+        prop_assert_eq!(shifted.is_down(round), f.is_down(round + shift));
+        // Exactly `down_for` down-rounds per window.
+        let downs = (round..round + period).filter(|&r| f.is_down(r)).count();
+        prop_assert_eq!(downs, down_for);
+    }
+
+    /// `FaultPlan::advanced` composes additively and commutes with querying:
+    /// asking the re-based plan about local rounds equals asking the
+    /// original about global rounds, for crashes, recoveries, partitions
+    /// and flaps alike.
+    #[test]
+    fn advanced_composes_and_commutes(
+        crash_round in 0usize..30,
+        recover_round in 0usize..40,
+        split_from in 0usize..20,
+        split_len in 1usize..15,
+        period in 1usize..8,
+        phase in 0usize..8,
+        a in 0usize..12,
+        b in 0usize..12,
+        probe in 0usize..25,
+    ) {
+        let plan = FaultPlan::new()
+            .crash(NodeId(1), crash_round)
+            .recover(NodeId(1), recover_round)
+            .partition(&[NodeId(0), NodeId(1)], split_from, split_from + split_len)
+            .flap(NodeId(0), NodeId(2), LinkFlap { period, down_for: 1, phase });
+        // advanced(a).advanced(b) == advanced(a + b).
+        prop_assert_eq!(plan.advanced(a).advanced(b), plan.advanced(a + b));
+        // advanced(0) is the identity.
+        prop_assert_eq!(plan.advanced(0), plan.clone());
+        // Querying commutes with re-basing (on rounds that don't saturate).
+        let adv = plan.advanced(a);
+        prop_assert_eq!(
+            plan.link_down(NodeId(0), NodeId(2), probe + a),
+            adv.link_down(NodeId(0), NodeId(2), probe)
+        );
+        prop_assert_eq!(
+            plan.partition_blocks(NodeId(1), NodeId(2), probe + a),
+            adv.partition_blocks(NodeId(1), NodeId(2), probe)
+        );
+        if crash_round >= a {
+            prop_assert_eq!(adv.crash_round(NodeId(1)), Some(crash_round - a));
+        }
+        if recover_round >= a {
+            prop_assert_eq!(adv.recover_round(NodeId(1)), Some(recover_round - a));
         }
     }
 
