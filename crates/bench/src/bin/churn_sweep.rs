@@ -1,0 +1,285 @@
+//! `BENCH_churn.json` emitter — graceful degradation under continuous churn.
+//!
+//! Sweeps the streaming churn harness across a node-speed × duty-cycle-period
+//! grid and reports, per cell: coverage-hole exposure time (rounds ×
+//! uncovered-area proxy), repair message traffic and the false-suspicion
+//! rate, averaged over the seed triples of the cell. A replay check reruns
+//! one triple with a parallel engine and with the verdict cache disabled and
+//! asserts the trace digest is bitwise-identical.
+//!
+//! ```text
+//! cargo run --release -p confine-bench --bin churn_sweep -- \
+//!     --seeds 5 [--nodes 120] [--degree 12] [--rounds 20] \
+//!     [--speeds 0,0.05,0.15] [--duty-periods 8,16] [--duty-down 2] \
+//!     [--out results/BENCH_churn.json]
+//! ```
+
+use std::time::Instant;
+
+use confine_bench::args::Args;
+use confine_bench::rule;
+use confine_core::prelude::{ChurnOptions, ChurnRunner};
+use confine_netsim::chaos::SeedTriple;
+
+struct CellRow {
+    speed: f64,
+    duty_period: usize,
+    campaigns: usize,
+    violations: usize,
+    hole_exposure: f64,
+    mean_covered: f64,
+    min_covered: f64,
+    repair_messages: usize,
+    false_suspicions: usize,
+    suspicion_rate: f64,
+    moves: usize,
+    sleeps: usize,
+    total_ms: f64,
+}
+
+fn sweep_cell(opts: &ChurnOptions, seeds: &[SeedTriple]) -> CellRow {
+    let runner = ChurnRunner::new(opts.clone());
+    let mut row = CellRow {
+        speed: opts.speed,
+        duty_period: opts.duty_period,
+        campaigns: 0,
+        violations: 0,
+        hole_exposure: 0.0,
+        mean_covered: 0.0,
+        min_covered: 1.0,
+        repair_messages: 0,
+        false_suspicions: 0,
+        suspicion_rate: 0.0,
+        moves: 0,
+        sleeps: 0,
+        total_ms: 0.0,
+    };
+    for &triple in seeds {
+        let t0 = Instant::now();
+        let report = runner.run(triple).expect("campaign must execute");
+        row.total_ms += t0.elapsed().as_secs_f64() * 1000.0;
+        row.campaigns += 1;
+        if report.failed() {
+            row.violations += 1;
+        }
+        let m = &report.metrics;
+        row.hole_exposure += m.hole_exposure;
+        row.mean_covered += m.mean_covered;
+        row.min_covered = row.min_covered.min(m.min_covered);
+        row.repair_messages += m.repair_messages;
+        row.false_suspicions += m.false_suspicions;
+        row.suspicion_rate += m.suspicion_rate;
+        row.moves += m.moves;
+        row.sleeps += m.sleeps;
+    }
+    let n = row.campaigns.max(1) as f64;
+    row.hole_exposure /= n;
+    row.mean_covered /= n;
+    row.suspicion_rate /= n;
+    row
+}
+
+fn parse_list_f64(spec: &str, what: &str) -> Vec<f64> {
+    spec.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--{what}: bad number {t:?}"))
+        })
+        .collect()
+}
+
+fn parse_list_usize(spec: &str, what: &str) -> Vec<usize> {
+    spec.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--{what}: bad count {t:?}"))
+        })
+        .collect()
+}
+
+fn to_json(
+    rows: &[CellRow],
+    opts: &ChurnOptions,
+    seeds: usize,
+    base: u64,
+    replay_identical: bool,
+    all_clean: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"churn_sweep\",\n");
+    out.push_str(
+        "  \"comparison\": \"graceful degradation of streaming DCC coverage maintenance across node speed (Rc/round) and duty-cycle period: coverage-hole exposure (sum of per-round uncovered target fraction), repair message traffic and heartbeat false-suspicion rate\",\n",
+    );
+    out.push_str(&format!(
+        "  \"config\": {{ \"nodes\": {}, \"degree\": {}, \"tau\": {}, \"rounds\": {}, \"duty_down\": {}, \"degrade_every\": {}, \"degrade_pct\": {}, \"seeds_per_cell\": {seeds}, \"base_seed\": {base} }},\n",
+        opts.nodes, opts.degree, opts.tau, opts.rounds, opts.duty_down,
+        opts.degrade_every, opts.degrade_pct
+    ));
+    out.push_str(&format!(
+        "  \"acceptance\": {{ \"all_cells_clean\": {all_clean}, \"replay_digest_identical\": {replay_identical} }},\n"
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"speed_rc_per_round\": {},\n", r.speed));
+        out.push_str(&format!("      \"duty_period\": {},\n", r.duty_period));
+        out.push_str(&format!("      \"campaigns\": {},\n", r.campaigns));
+        out.push_str(&format!("      \"oracle_violations\": {},\n", r.violations));
+        out.push_str(&format!(
+            "      \"hole_exposure\": {:.4},\n",
+            r.hole_exposure
+        ));
+        out.push_str(&format!("      \"mean_covered\": {:.4},\n", r.mean_covered));
+        out.push_str(&format!("      \"min_covered\": {:.4},\n", r.min_covered));
+        out.push_str(&format!(
+            "      \"repair_messages\": {},\n",
+            r.repair_messages
+        ));
+        out.push_str(&format!(
+            "      \"false_suspicions\": {},\n",
+            r.false_suspicions
+        ));
+        out.push_str(&format!(
+            "      \"suspicion_rate_per_round\": {:.3},\n",
+            r.suspicion_rate
+        ));
+        out.push_str(&format!("      \"moves\": {},\n", r.moves));
+        out.push_str(&format!("      \"sleeps\": {},\n", r.sleeps));
+        out.push_str(&format!(
+            "      \"mean_campaign_ms\": {:.1}\n",
+            r.total_ms / r.campaigns.max(1) as f64
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seeds = args.get_usize("seeds", 5);
+    let base = args.get_u64("base-seed", 0xC4_02_4E);
+    let defaults = ChurnOptions::default();
+    let opts = ChurnOptions {
+        tau: args.get_usize("tau", defaults.tau),
+        nodes: args.get_usize("nodes", defaults.nodes),
+        degree: args.get_f64("degree", defaults.degree),
+        rounds: args.get_usize("rounds", defaults.rounds),
+        duty_down: args.get_usize("duty-down", defaults.duty_down),
+        ..defaults
+    };
+    let speeds = parse_list_f64(&args.get_str("speeds", "0,0.05,0.15"), "speeds");
+    let duty_periods = parse_list_usize(&args.get_str("duty-periods", "8,16"), "duty-periods");
+    let out_path = args.get_str("out", "results/BENCH_churn.json");
+
+    let triples: Vec<SeedTriple> = (0..seeds as u64)
+        .map(|i| SeedTriple::derived(base, i))
+        .collect();
+
+    println!(
+        "Churn sweep — {} campaigns/cell over {} speeds × {} duty periods, {} nodes, τ = {}, {} rounds",
+        seeds,
+        speeds.len(),
+        duty_periods.len(),
+        opts.nodes,
+        opts.tau,
+        opts.rounds
+    );
+    rule(92);
+    println!(
+        "{:>7} {:>6} {:>10} {:>10} {:>9} {:>9} {:>12} {:>9} {:>9} {:>10}",
+        "speed",
+        "duty",
+        "violations",
+        "exposure",
+        "covered",
+        "min cov",
+        "repair msgs",
+        "falsusp",
+        "susp/rnd",
+        "ms/run"
+    );
+
+    let mut rows: Vec<CellRow> = Vec::new();
+    for &speed in &speeds {
+        for &duty_period in &duty_periods {
+            let cell = sweep_cell(
+                &ChurnOptions {
+                    speed,
+                    duty_period,
+                    ..opts.clone()
+                },
+                &triples,
+            );
+            println!(
+                "{:>7.3} {:>6} {:>10} {:>10.4} {:>8.1}% {:>8.1}% {:>12} {:>9} {:>9.2} {:>10.1}",
+                cell.speed,
+                cell.duty_period,
+                cell.violations,
+                cell.hole_exposure,
+                cell.mean_covered * 100.0,
+                cell.min_covered * 100.0,
+                cell.repair_messages,
+                cell.false_suspicions,
+                cell.suspicion_rate,
+                cell.total_ms / cell.campaigns.max(1) as f64
+            );
+            rows.push(cell);
+        }
+    }
+    rule(92);
+
+    // Replay check: one triple at the fastest cell, serial-cached vs
+    // 2-thread-uncached — digest, active set and metrics must all match.
+    let probe_opts = ChurnOptions {
+        speed: *speeds.last().expect("at least one speed"),
+        duty_period: duty_periods[0],
+        ..opts.clone()
+    };
+    let probe = triples[0];
+    let serial = ChurnRunner::new(probe_opts.clone())
+        .run(probe)
+        .expect("serial");
+    let parallel = ChurnRunner::new(ChurnOptions {
+        threads: 2,
+        cache: false,
+        ..probe_opts
+    })
+    .run(probe)
+    .expect("parallel");
+    let replay_identical = serial.trace.digest() == parallel.trace.digest()
+        && serial.active == parallel.active
+        && serial.metrics == parallel.metrics;
+    println!(
+        "replay check ({probe}): serial digest {:016x}, 2-thread uncached digest {:016x} — {}",
+        serial.trace.digest(),
+        parallel.trace.digest(),
+        if replay_identical {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let all_clean = rows.iter().all(|r| r.violations == 0);
+    let grid_ok = speeds.len() >= 3 && duty_periods.len() >= 2;
+    println!(
+        "acceptance: grid ≥ 3×2 = {grid_ok}, all cells clean = {all_clean}, replay = {replay_identical} — {}",
+        if grid_ok && all_clean && replay_identical {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    let json = to_json(&rows, &opts, seeds, base, replay_identical, all_clean);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&opts),
         "fault-sweep" => cmd_fault_sweep(&opts),
         "chaos" => cmd_chaos(&opts),
+        "churn" => cmd_churn(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -85,14 +86,25 @@ commands:
             false suspicions per cell
   chaos     [--seeds N] [--base-seed S] [--one T:F:S] [--shrink]
             [--nodes N] [--tau T] [--degree D] [--events E]
-            [--rejoin re-verify|trust-snapshot]
+            [--rejoin re-verify|trust-snapshot] [--churn]
             deterministic chaos campaigns: seeded crash / recover /
             partition scripts against schedule + repair, with invariant
             oracles; --one replays a single triple, --shrink ddmin-reduces
-            failures to a minimal fault script; exits nonzero on any
+            failures to a minimal fault script, --churn adds move/degrade
+            events to the generated scripts; exits nonzero on any
+            enforced-oracle violation
+  churn     [--seeds N] [--base-seed S] [--one T:F:S] [--rounds K]
+            [--model waypoint|drift] [--speed V] [--pause P]
+            [--drift-bound B] [--duty-period D] [--duty-down W]
+            [--degrade-every E] [--degrade-pct F] [--quasi]
+            [--nodes N] [--tau T] [--degree D]
+            streaming churn campaigns: per-round mobility, duty-cycling
+            and radio degradation feed topology deltas into the repair
+            loop; prints coverage-hole exposure, repair traffic and
+            false-suspicion rate per seed; exits nonzero on any
             enforced-oracle violation
 
-engine options (schedule, fault-sweep, chaos):
+engine options (schedule, fault-sweep, chaos, churn):
   --threads N   VPT evaluation threads (0 = all cores, the default;
                 chaos defaults to 1 — replay is identical either way)
   --no-cache    disable the neighbourhood-fingerprint verdict memo";
@@ -401,6 +413,7 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
         degree: opts.f64("degree", 12.0)?,
         events: opts.usize("events", 6)?,
         rejoin,
+        churn: opts.flag("churn"),
         threads: opts.usize("threads", 1)?,
         cache: !opts.flag("no-cache"),
     });
@@ -437,11 +450,13 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
     let seeds = opts.usize("seeds", 25)?;
     let base = opts.u64("base-seed", 0x0D57_C0DE)?;
     let mut failures: Vec<SeedTriple> = Vec::new();
+    let mut false_suspicions = 0usize;
     for i in 0..seeds as u64 {
         let triple = SeedTriple::derived(base, i);
         let report = runner
             .run(triple)
             .map_err(|e| format!("seed {i} ({triple}): {e}"))?;
+        false_suspicions += report.stats.false_suspicions;
         println!(
             "[{i:>3}] {:>4}  events {:>2}  active {:>3}  msgs {:>7}  false-susp {:>2}  {triple}",
             if report.failed() { "FAIL" } else { "ok" },
@@ -461,7 +476,124 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
         }
     }
     if failures.is_empty() {
-        println!("{seeds} seeds: all clean");
+        println!("{seeds} seeds: all clean, {false_suspicions} false suspicion(s)");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {seeds} seeds violated enforced oracles: {}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
+}
+
+fn cmd_churn(opts: &Opts) -> Result<(), String> {
+    use confine_core::prelude::{ChurnModel, ChurnOptions, ChurnRunner};
+    use confine_netsim::chaos::SeedTriple;
+
+    let tau = opts.usize("tau", 4)?;
+    if tau < MIN_TAU {
+        return Err(format!("--tau must be ≥ {MIN_TAU}"));
+    }
+    let model = match opts.get("model").as_deref() {
+        None | Some("waypoint") => ChurnModel::RandomWaypoint,
+        Some("drift") => ChurnModel::BoundedDrift,
+        Some(other) => return Err(format!("--model expects waypoint or drift, got {other:?}")),
+    };
+    let degrade_pct = opts.usize("degrade-pct", 70)?;
+    if degrade_pct > 100 {
+        return Err("--degrade-pct is a percentage ≤ 100".into());
+    }
+    let runner = ChurnRunner::new(ChurnOptions {
+        tau,
+        nodes: opts.usize("nodes", 120)?,
+        degree: opts.f64("degree", 12.0)?,
+        rounds: opts.usize("rounds", 20)?,
+        model,
+        speed: opts.f64("speed", 0.05)?,
+        pause: opts.usize("pause", 2)?,
+        drift_bound: opts.f64("drift-bound", 0.5)?,
+        duty_period: opts.usize("duty-period", 8)?,
+        duty_down: opts.usize("duty-down", 2)?,
+        degrade_every: opts.usize("degrade-every", 5)?,
+        degrade_pct: degrade_pct as u8,
+        quasi: opts.flag("quasi"),
+        threads: opts.usize("threads", 1)?,
+        cache: !opts.flag("no-cache"),
+    });
+
+    // Replay a single triple with its full trace.
+    if let Some(spec) = opts.get("one") {
+        let triple = SeedTriple::parse(&spec)
+            .ok_or_else(|| format!("--one expects topology:faults:schedule, got {spec:?}"))?;
+        let report = runner.run(triple).map_err(|e| format!("churn run: {e}"))?;
+        println!("{}", report.trace.render());
+        let m = &report.metrics;
+        println!(
+            "hole exposure {:.4}  covered mean {:.2}% min {:.2}%  repair msgs {}  \
+             false susp {} ({:.2}/round)  moved {} slept {} woken {} degraded {}",
+            m.hole_exposure,
+            m.mean_covered * 100.0,
+            m.min_covered * 100.0,
+            m.repair_messages,
+            m.false_suspicions,
+            m.suspicion_rate,
+            m.moves,
+            m.sleeps,
+            m.wakes,
+            m.degrades
+        );
+        if report.failed() {
+            return Err(format!(
+                "triple {triple}: {} enforced oracle violation(s)",
+                report.trace.violations().len()
+            ));
+        }
+        println!(
+            "triple {triple}: clean ({} rounds, {} final actives, digest {:016x})",
+            m.rounds,
+            report.active.len(),
+            report.trace.digest()
+        );
+        return Ok(());
+    }
+
+    // Seed-sweep campaign.
+    let seeds = opts.usize("seeds", 10)?;
+    let base = opts.u64("base-seed", 0xC4_02_4E)?;
+    let mut failures: Vec<SeedTriple> = Vec::new();
+    let mut exposure = 0.0;
+    let mut false_suspicions = 0usize;
+    for i in 0..seeds as u64 {
+        let triple = SeedTriple::derived(base, i);
+        let report = runner
+            .run(triple)
+            .map_err(|e| format!("seed {i} ({triple}): {e}"))?;
+        let m = &report.metrics;
+        exposure += m.hole_exposure;
+        false_suspicions += m.false_suspicions;
+        println!(
+            "[{i:>3}] {:>4}  exposure {:>7.4}  covered {:>6.2}%  repair msgs {:>6}  \
+             false-susp {:>3}  {triple}",
+            if report.failed() { "FAIL" } else { "ok" },
+            m.hole_exposure,
+            m.mean_covered * 100.0,
+            m.repair_messages,
+            m.false_suspicions
+        );
+        if report.failed() {
+            failures.push(triple);
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "{seeds} seeds: all clean, total hole exposure {exposure:.4}, \
+             {false_suspicions} false suspicion(s)"
+        );
         Ok(())
     } else {
         Err(format!(

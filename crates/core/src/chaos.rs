@@ -12,7 +12,9 @@
 //! 2. the **schedule seed** drives every message-level random choice: the
 //!    initial DCC-D schedule, then each repair/rejoin/reconcile pass;
 //! 3. the **fault seed** expands into a [`ChaosPlan`] of crash, recover
-//!    and partition events, applied in order.
+//!    and partition events — plus, with [`ChaosOptions::churn`], move and
+//!    radio-degrade events that mutate the topology itself — applied in
+//!    order.
 //!
 //! After every event the harness evaluates the invariant oracles —
 //! `τ`-partitionability of the certified boundary
@@ -39,8 +41,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use confine_deploy::geometry::Point;
+use confine_deploy::mobility::churn_graph;
 use confine_deploy::scenario::random_udg_scenario;
-use confine_deploy::Scenario;
+use confine_deploy::{CommModel, Scenario};
 use confine_graph::{traverse, Graph, NodeId};
 use confine_netsim::chaos::{
     shrink_plan, ChaosEvent, ChaosPlan, SeedTriple, ShrinkResult, Trace, TraceEvent,
@@ -73,6 +77,10 @@ pub struct ChaosOptions {
     pub threads: usize,
     /// Whether the VPT engine's verdict cache is enabled.
     pub cache: bool,
+    /// Script churn events too: randomly generated plans draw from the full
+    /// event alphabet including [`ChaosEvent::Move`] and
+    /// [`ChaosEvent::Degrade`], so the topology itself mutates mid-run.
+    pub churn: bool,
 }
 
 impl Default for ChaosOptions {
@@ -88,6 +96,7 @@ impl Default for ChaosOptions {
             rejoin: RejoinPolicy::ReVerify,
             threads: 1,
             cache: true,
+            churn: false,
         }
     }
 }
@@ -217,6 +226,9 @@ impl ChaosRunner {
         if self.opts.rejoin == RejoinPolicy::TrustSnapshot {
             flags.push_str(" --rejoin trust-snapshot");
         }
+        if self.opts.churn {
+            flags.push_str(" --churn");
+        }
         flags
     }
 
@@ -225,9 +237,11 @@ impl ChaosRunner {
         triple: SeedTriple,
         fixed: Option<&ChaosPlan>,
     ) -> Result<ChaosReport, SimError> {
-        let scenario = self.scenario(triple);
-        let graph = &scenario.graph;
-        let boundary = &scenario.boundary;
+        let mut scenario = self.scenario(triple);
+        // Boundary flags never change (the certified ring is pinned); the
+        // graph and positions do, under Move/Degrade events.
+        let boundary = scenario.boundary.clone();
+        let mut factor: Vec<u8> = vec![100; scenario.graph.node_count()];
         let mut rng = StdRng::seed_from_u64(triple.schedule);
         let mut trace = Trace::new();
         let mut total = DistributedStats::default();
@@ -237,7 +251,10 @@ impl ChaosRunner {
         if !self.opts.cache {
             builder = builder.no_cache();
         }
-        let (set, sched_stats) = builder.distributed()?.run(graph, boundary, &mut rng)?;
+        let (set, sched_stats) =
+            builder
+                .distributed()?
+                .run(&scenario.graph, &boundary, &mut rng)?;
         total.merge(&sched_stats);
         trace.push(TraceEvent::Phase {
             step: 0,
@@ -254,7 +271,7 @@ impl ChaosRunner {
         // unconditional, so that one is enforced even at baseline.
         let baseline = Baseline {
             partitionable: self.partitionable(&scenario, &active),
-            fixpoint: is_vpt_fixpoint(graph, &active, boundary, self.opts.tau),
+            fixpoint: is_vpt_fixpoint(&scenario.graph, &active, &boundary, self.opts.tau),
         };
         trace.push(TraceEvent::Oracle {
             step: 0,
@@ -277,8 +294,12 @@ impl ChaosRunner {
                     .copied()
                     .filter(|v| !boundary[v.index()])
                     .collect();
-                let candidates = split_candidates(graph, &victims);
-                ChaosPlan::random(&victims, &candidates, self.opts.events, triple.faults)
+                let candidates = split_candidates(&scenario.graph, &victims);
+                if self.opts.churn {
+                    ChaosPlan::random_churn(&victims, &candidates, self.opts.events, triple.faults)
+                } else {
+                    ChaosPlan::random(&victims, &candidates, self.opts.events, triple.faults)
+                }
             }
         };
 
@@ -305,7 +326,8 @@ impl ChaosRunner {
                     dirty_since_split.insert(*node);
                     let mut runner =
                         self.repair_runner(split.as_ref().map(|(s, _)| s), &down, Some(*node))?;
-                    let outcome = runner.repair(graph, boundary, &active, *node, &mut rng)?;
+                    let outcome =
+                        runner.repair(&scenario.graph, &boundary, &active, *node, &mut rng)?;
                     total.merge(&outcome.stats);
                     trace.push(TraceEvent::Phase {
                         step,
@@ -332,8 +354,8 @@ impl ChaosRunner {
                     let mut runner =
                         self.repair_runner(split.as_ref().map(|(s, _)| s), &down, None)?;
                     let outcome = runner.rejoin(
-                        graph,
-                        boundary,
+                        &scenario.graph,
+                        &boundary,
                         &active,
                         *node,
                         &snapshot,
@@ -369,13 +391,87 @@ impl ChaosRunner {
                     let side_set: BTreeSet<NodeId> = side.iter().copied().collect();
                     // The heal must reconcile every node whose verdicts the
                     // split may have staled: seed with the cut endpoints.
-                    for (_, a, b) in graph.edges() {
+                    for (_, a, b) in scenario.graph.edges() {
                         if side_set.contains(&a) != side_set.contains(&b) {
                             dirty_since_split.insert(a);
                             dirty_since_split.insert(b);
                         }
                     }
                     split = Some((side_set, step + heal_after));
+                }
+                ChaosEvent::Move {
+                    node,
+                    dx_mils,
+                    dy_mils,
+                } => {
+                    // The certified boundary ring is pinned: moving a ring
+                    // node would invalidate the outer walk every oracle
+                    // depends on. Inert, so plans stay shrinker-closed.
+                    if boundary[node.index()] {
+                        continue;
+                    }
+                    let rc = scenario.rc;
+                    let old_p = scenario.positions[node.index()];
+                    let new_p = Point::new(
+                        (old_p.x + f64::from(*dx_mils) / 1000.0 * rc)
+                            .clamp(scenario.region.min.x, scenario.region.max.x),
+                        (old_p.y + f64::from(*dy_mils) / 1000.0 * rc)
+                            .clamp(scenario.region.min.y, scenario.region.max.y),
+                    );
+                    if new_p.distance_sq(old_p) == 0.0 {
+                        continue; // clamped into a no-op
+                    }
+                    trace.push(TraceEvent::Move { step, node: *node });
+                    scenario.positions[node.index()] = new_p;
+                    let dirty = retopologize(&mut scenario, &factor, *node, self.opts.tau);
+                    changed.insert(*node);
+                    changed.extend(dirty.iter().copied());
+                    dirty_since_split.extend(dirty);
+                    if split.is_none() {
+                        self.settle(
+                            &scenario,
+                            &mut active,
+                            &mut dirty_since_split,
+                            &down,
+                            step,
+                            &mut rng,
+                            &mut trace,
+                            &mut total,
+                            &mut changed,
+                        )?;
+                    }
+                }
+                ChaosEvent::Degrade { node, factor_pct } => {
+                    if boundary[node.index()] {
+                        continue; // as for Move: the ring's links are sacred
+                    }
+                    let f = (*factor_pct).min(100);
+                    if factor[node.index()] == f {
+                        continue; // no change — inert
+                    }
+                    trace.push(TraceEvent::Degrade {
+                        step,
+                        node: *node,
+                        factor_pct: f,
+                    });
+                    factor[node.index()] = f;
+                    let dirty = retopologize(&mut scenario, &factor, *node, self.opts.tau);
+                    changed.insert(*node);
+                    changed.extend(dirty.iter().copied());
+                    dirty_since_split.extend(dirty);
+                    if split.is_none() {
+                        self.settle(
+                            &scenario,
+                            &mut active,
+                            &mut dirty_since_split,
+                            &down,
+                            step,
+                            &mut rng,
+                            &mut trace,
+                            &mut total,
+                            &mut changed,
+                        )?;
+                    }
                 }
             }
 
@@ -429,12 +525,19 @@ impl ChaosRunner {
         // run.
         if !changed.is_empty() {
             // As in `heal`: dead nodes can't flood, their neighbours can.
+            let mut extra: Vec<NodeId> = Vec::new();
             for &n in down.keys() {
-                changed.extend(graph.neighbors(n).filter(|u| !down.contains_key(u)));
+                extra.extend(
+                    scenario
+                        .graph
+                        .neighbors(n)
+                        .filter(|u| !down.contains_key(u)),
+                );
             }
+            changed.extend(extra);
             let dirty: Vec<NodeId> = changed.iter().copied().collect();
             let mut runner = self.repair_runner(None, &down, None)?;
-            let probe = runner.reconcile(graph, boundary, &active, &dirty, &mut rng)?;
+            let probe = runner.reconcile(&scenario.graph, &boundary, &active, &dirty, &mut rng)?;
             total.merge(&probe.stats);
             trace.push(TraceEvent::Oracle {
                 step: plan.len(),
@@ -472,6 +575,34 @@ impl ChaosRunner {
         changed: &mut BTreeSet<NodeId>,
     ) -> Result<(), SimError> {
         trace.push(TraceEvent::Heal { step });
+        self.settle(
+            scenario,
+            active,
+            dirty_since_split,
+            down,
+            step,
+            rng,
+            trace,
+            total,
+            changed,
+        )
+    }
+
+    /// Reconciles the schedule around the accumulated dirty seeds (the
+    /// shared tail of a partition heal and of an in-place topology change).
+    #[allow(clippy::too_many_arguments)]
+    fn settle(
+        &self,
+        scenario: &Scenario,
+        active: &mut Vec<NodeId>,
+        dirty_since_split: &mut BTreeSet<NodeId>,
+        down: &BTreeMap<NodeId, Vec<NodeId>>,
+        step: usize,
+        rng: &mut StdRng,
+        trace: &mut Trace,
+        total: &mut DistributedStats,
+        changed: &mut BTreeSet<NodeId>,
+    ) -> Result<(), SimError> {
         // A still-down node is a dead flood source: reconciliation around it
         // must be seeded from its alive neighbours instead.
         for &n in down.keys() {
@@ -620,6 +751,42 @@ fn split_candidates(graph: &Graph, victims: &[NodeId]) -> Vec<Vec<NodeId>> {
     out
 }
 
+/// Rebuilds the scenario graph from its current positions and per-node
+/// degradation factors, returning the verdict-staleness seeds of the change:
+/// the endpoints of every added edge, plus — for removed edges, whose
+/// influence radius lives in the *old* metric — the old-graph `k`-balls of
+/// the removed endpoints. Every node whose `k`-neighbourhood gained a member
+/// lies within `k` new-graph hops of an added endpoint (so the reconcile
+/// wake flood reaches it from the seed), and every node that lost one is
+/// itself a seed.
+fn retopologize(scenario: &mut Scenario, factor: &[u8], seed: NodeId, tau: usize) -> Vec<NodeId> {
+    let new_graph = churn_graph(
+        &scenario.positions,
+        CommModel::Udg { rc: scenario.rc },
+        factor,
+        0,
+    );
+    let k = crate::vpt::neighborhood_radius(tau);
+    let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+    dirty.insert(seed);
+    for (_, a, b) in scenario.graph.edges() {
+        if !new_graph.has_edge(a, b) {
+            dirty.insert(a);
+            dirty.insert(b);
+            dirty.extend(traverse::k_hop_neighbors(&scenario.graph, a, k));
+            dirty.extend(traverse::k_hop_neighbors(&scenario.graph, b, k));
+        }
+    }
+    for (_, a, b) in new_graph.edges() {
+        if !scenario.graph.has_edge(a, b) {
+            dirty.insert(a);
+            dirty.insert(b);
+        }
+    }
+    scenario.graph = new_graph;
+    dirty.into_iter().collect()
+}
+
 /// Records a membership delta (if any) and folds it into the dirty sets.
 fn record_membership(
     step: usize,
@@ -722,6 +889,117 @@ mod tests {
             })
             .unwrap();
         assert_ne!(a.trace.digest(), c.trace.digest());
+    }
+
+    fn has_churn_event(plan: &ChaosPlan) -> bool {
+        plan.events
+            .iter()
+            .any(|e| matches!(e, ChaosEvent::Move { .. } | ChaosEvent::Degrade { .. }))
+    }
+
+    #[test]
+    fn churn_plans_mutate_topology_and_replay_identically() {
+        // Default sizing: quick_opts deployments can be boundary-dominated,
+        // leaving no internal actives and hence no churn victims.
+        let runner = ChaosRunner::new(ChaosOptions {
+            churn: true,
+            ..ChaosOptions::default()
+        });
+        // Scan for a seed whose plan actually scripts a move/degrade
+        // (degenerate deployments produce empty victim sets under any RNG).
+        let triple = (0..16)
+            .map(|i| SeedTriple::derived(31, i))
+            .find(|&t| {
+                runner
+                    .run(t)
+                    .map(|r| has_churn_event(&r.plan))
+                    .unwrap_or(false)
+            })
+            .expect("a churn-scripting seed within 16 tries");
+        let a = runner.run(triple).unwrap();
+        let b = runner.run(triple).unwrap();
+        assert_eq!(a.trace, b.trace, "churn replay must be bitwise identical");
+        assert_eq!(a.trace.digest(), b.trace.digest());
+        assert_eq!(a.active, b.active);
+        assert!(
+            !a.failed(),
+            "seed {triple} must stay clean under ReVerify churn:\n{}",
+            a.trace.render()
+        );
+    }
+
+    #[test]
+    fn explicit_move_and_degrade_scripts_apply_and_restore() {
+        let runner = ChaosRunner::new(ChaosOptions::default());
+        // Discover a seed whose fault-free schedule keeps an internal node
+        // active (the churn victim).
+        let (triple, victim) = (0..16)
+            .filter_map(|i| {
+                let t = SeedTriple::derived(37, i);
+                let clean = runner.run_plan(t, &ChaosPlan::new()).ok()?;
+                let scen = runner.scenario(t);
+                let v = clean
+                    .active
+                    .iter()
+                    .copied()
+                    .find(|v| !scen.boundary[v.index()])?;
+                Some((t, v))
+            })
+            .next()
+            .expect("a seed with an internal active node within 16 tries");
+        let scenario = runner.scenario(triple);
+        let mut plan = ChaosPlan::new();
+        plan.events.push(ChaosEvent::Degrade {
+            node: victim,
+            factor_pct: 60,
+        });
+        plan.events.push(ChaosEvent::Move {
+            node: victim,
+            dx_mils: 400,
+            dy_mils: -250,
+        });
+        plan.events.push(ChaosEvent::Degrade {
+            node: victim,
+            factor_pct: 100,
+        });
+        let report = runner.run_plan(triple, &plan).unwrap();
+        assert!(
+            !report.failed(),
+            "sound repair must absorb scripted churn:\n{}",
+            report.trace.render()
+        );
+        let moves = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Move { .. }))
+            .count();
+        let degrades = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Degrade { .. }))
+            .count();
+        assert_eq!(moves, 1, "the scripted move must be recorded");
+        assert_eq!(degrades, 2, "degrade + restore must both be recorded");
+        // A boundary-node move is inert (the certified ring is pinned).
+        let ring = scenario
+            .boundary_nodes()
+            .first()
+            .copied()
+            .expect("certified scenarios have a ring");
+        let mut pinned = ChaosPlan::new();
+        pinned.events.push(ChaosEvent::Move {
+            node: ring,
+            dx_mils: 500,
+            dy_mils: 500,
+        });
+        let quiet = runner.run_plan(triple, &pinned).unwrap();
+        assert!(quiet
+            .trace
+            .events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Move { .. })));
     }
 
     #[test]

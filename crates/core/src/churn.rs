@@ -1,0 +1,649 @@
+//! Streaming coverage maintenance under continuous churn: mobility,
+//! duty-cycling and radio degradation feeding the repair loop round by
+//! round.
+//!
+//! Where [`crate::chaos`] scripts *discrete* fault events against a static
+//! topology, this module runs the protocol against a topology that never
+//! stops changing: every round, nodes move (random-waypoint or
+//! bounded-drift, [`MobilityModel`]), radios degrade or recover, and a
+//! per-node duty cycle takes nodes down and up ([`DutyCycle`]). The
+//! [`ChurnRunner`] folds each round's **topology delta** — moved, degraded,
+//! slept and woken nodes plus every flipped link — into dirty seeds for the
+//! incremental reconcile pass, so DCC *maintains* τ-confine coverage
+//! instead of recomputing it from scratch.
+//!
+//! Determinism matches the chaos layer: a [`SeedTriple`] fixes the
+//! deployment (topology seed), the mobility/duty/degradation streams (fault
+//! seed) and every protocol-level choice (schedule seed), so a churn trace
+//! replays bitwise-identically across thread counts and cache modes.
+//!
+//! ## Graceful-degradation accounting
+//!
+//! The runner reports [`ChurnMetrics`]:
+//!
+//! * **coverage-hole exposure** — `Σ_rounds (1 − covered_fraction)` of the
+//!   maintained active set over the target area, a rounds × uncovered-area
+//!   proxy for how much coverage churn transiently costs;
+//! * **repair traffic** — messages spent by the per-round reconcile passes
+//!   (the initial schedule is reported separately in `total_messages`);
+//! * **false-suspicion rate** — duty-cycle sleeps are *announced*, so they
+//!   never trip failure detection; but a link that silently vanishes under
+//!   movement or degradation is indistinguishable, locally, from a peer
+//!   death. Each active–active link lost between live nodes counts two
+//!   false suspicions (one per monitoring endpoint).
+//!
+//! The invariant oracles are the differential ones of the chaos harness,
+//! evaluated every round and **enforced** (there are no partitions here to
+//! excuse degradation): the active set must stay a VPT fixpoint of the
+//! *current* graph, and τ-partitionability must not regress against what
+//! the currently-awake node set could achieve.
+
+use std::collections::BTreeSet;
+
+use confine_deploy::coverage::verify_coverage;
+use confine_deploy::deployment;
+use confine_deploy::geometry::Rect;
+use confine_deploy::mobility::{churn_graph, DutyCycle, MobilityModel, MobilityWalker};
+use confine_deploy::scenario::scenario_with_graph;
+use confine_deploy::{CommModel, Scenario};
+use confine_graph::{traverse, NodeId};
+use confine_netsim::chaos::{SeedTriple, Trace, TraceEvent};
+use confine_netsim::faults::FaultPlan;
+use confine_netsim::SimError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dcc::{Dcc, RepairRunner};
+use crate::distributed::DistributedStats;
+use crate::schedule::is_vpt_fixpoint;
+use crate::verify::{verify_criterion, CriterionOutcome};
+use crate::vpt::neighborhood_radius;
+
+/// Which mobility model drives the walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnModel {
+    /// Random waypoint across the whole region.
+    RandomWaypoint,
+    /// Bounded drift around each node's deployment position.
+    BoundedDrift,
+}
+
+/// Configuration of a churn campaign (shared by every seed triple).
+#[derive(Debug, Clone)]
+pub struct ChurnOptions {
+    /// Confine size `τ`.
+    pub tau: usize,
+    /// Nodes per random scenario.
+    pub nodes: usize,
+    /// Target average degree of the initial random deployment.
+    pub degree: f64,
+    /// Churn rounds to simulate after the initial schedule.
+    pub rounds: usize,
+    /// Mobility model.
+    pub model: ChurnModel,
+    /// Node speed in units of `Rc` per round (`0` = static).
+    pub speed: f64,
+    /// Maximum waypoint pause in rounds (random-waypoint only).
+    pub pause: usize,
+    /// Drift tether radius in units of `Rc` (bounded-drift only).
+    pub drift_bound: f64,
+    /// Duty-cycle window length in rounds (`0` disables duty-cycling).
+    pub duty_period: usize,
+    /// Rounds asleep per duty window.
+    pub duty_down: usize,
+    /// Rotate one node's radio degradation every this many rounds
+    /// (`0` disables degradation).
+    pub degrade_every: usize,
+    /// Degraded range factor in percent (e.g. `70` = radios at 70 %).
+    pub degrade_pct: u8,
+    /// Use a quasi-UDG radio (certain links below `0.6·Rc`, annulus links
+    /// with probability `0.5`) instead of a clean UDG.
+    pub quasi: bool,
+    /// Worker threads of the VPT engine (`0` = machine parallelism).
+    pub threads: usize,
+    /// Whether the VPT engine's verdict cache is enabled.
+    pub cache: bool,
+}
+
+impl Default for ChurnOptions {
+    fn default() -> Self {
+        ChurnOptions {
+            tau: 4,
+            // Same sizing rationale as the chaos harness: small deployments
+            // are boundary-dominated and leave no internal nodes to churn.
+            nodes: 120,
+            degree: 12.0,
+            rounds: 20,
+            model: ChurnModel::RandomWaypoint,
+            speed: 0.05,
+            pause: 2,
+            drift_bound: 0.5,
+            duty_period: 8,
+            duty_down: 2,
+            degrade_every: 5,
+            degrade_pct: 70,
+            quasi: false,
+            threads: 1,
+            cache: true,
+        }
+    }
+}
+
+/// Graceful-degradation accounting of one churn run; see the
+/// [module docs](self) for the metric definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnMetrics {
+    /// Churn rounds simulated.
+    pub rounds: usize,
+    /// `Σ_rounds (1 − covered_fraction)`: rounds × uncovered-area proxy.
+    pub hole_exposure: f64,
+    /// Mean per-round covered fraction of the target area.
+    pub mean_covered: f64,
+    /// Worst per-round covered fraction.
+    pub min_covered: f64,
+    /// Messages spent by the per-round reconcile passes.
+    pub repair_messages: usize,
+    /// All protocol messages including the initial schedule.
+    pub total_messages: usize,
+    /// Active–active link losses between live nodes, two per link.
+    pub false_suspicions: usize,
+    /// `false_suspicions / rounds`.
+    pub suspicion_rate: f64,
+    /// Node-moves applied across the run.
+    pub moves: usize,
+    /// Degradation toggles applied across the run.
+    pub degrades: usize,
+    /// Duty-cycle sleep transitions across the run.
+    pub sleeps: usize,
+    /// Duty-cycle wake transitions across the run.
+    pub wakes: usize,
+}
+
+/// The result of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// The seed triple that (re)produces this run.
+    pub triple: SeedTriple,
+    /// The replayable per-round trace, oracle verdicts included.
+    pub trace: Trace,
+    /// The final active set, in id order.
+    pub active: Vec<NodeId>,
+    /// Aggregate protocol cost across the schedule and every reconcile.
+    pub stats: DistributedStats,
+    /// Graceful-degradation metrics.
+    pub metrics: ChurnMetrics,
+}
+
+impl ChurnReport {
+    /// Did any *enforced* oracle fail?
+    pub fn failed(&self) -> bool {
+        !self.trace.violations().is_empty()
+    }
+}
+
+/// Executes seeded churn campaigns; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ChurnRunner {
+    opts: ChurnOptions,
+}
+
+impl ChurnRunner {
+    /// Creates a runner for the given campaign configuration.
+    pub fn new(opts: ChurnOptions) -> Self {
+        ChurnRunner { opts }
+    }
+
+    /// The campaign configuration.
+    pub fn options(&self) -> &ChurnOptions {
+        &self.opts
+    }
+
+    /// The radio model of this campaign (range `Rc = 1`).
+    fn comm_model(&self) -> CommModel {
+        if self.opts.quasi {
+            CommModel::QuasiUdg {
+                r_in: 0.6,
+                rc: 1.0,
+                p_mid: 0.5,
+            }
+        } else {
+            CommModel::Udg { rc: 1.0 }
+        }
+    }
+
+    /// The mobility model in position units (`Rc = 1`).
+    fn mobility_model(&self) -> MobilityModel {
+        match self.opts.model {
+            ChurnModel::RandomWaypoint => MobilityModel::RandomWaypoint {
+                speed: self.opts.speed,
+                pause: self.opts.pause,
+            },
+            ChurnModel::BoundedDrift => MobilityModel::BoundedDrift {
+                step: self.opts.speed,
+                bound: self.opts.drift_bound,
+            },
+        }
+    }
+
+    /// The initial scenario a triple's topology seed expands into: a
+    /// uniform deployment whose churn-graph connectivity (at full radio
+    /// factors) carries a certified boundary ring.
+    pub fn scenario(&self, triple: SeedTriple) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(triple.topology);
+        let side = deployment::square_side_for_degree(self.opts.nodes, 1.0, self.opts.degree);
+        let region = Rect::new(0.0, 0.0, side, side);
+        let dep = deployment::uniform(self.opts.nodes, region, &mut rng);
+        let factor = vec![100u8; self.opts.nodes];
+        let graph = churn_graph(
+            &dep.positions,
+            self.comm_model(),
+            &factor,
+            link_seed(triple),
+        );
+        scenario_with_graph(dep, 1.0, graph)
+    }
+
+    /// Runs the triple: initial DCC-D schedule, then `rounds` rounds of
+    /// mobility / duty-cycling / degradation with streaming reconciliation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] of the underlying drivers (oracle
+    /// verdicts live in the returned trace, not in the error path).
+    pub fn run(&self, triple: SeedTriple) -> Result<ChurnReport, SimError> {
+        let mut scenario = self.scenario(triple);
+        let boundary = scenario.boundary.clone();
+        let n = scenario.graph.node_count();
+        let model = self.comm_model();
+        let links = link_seed(triple);
+        let mut factor = vec![100u8; n];
+        let mut rng = StdRng::seed_from_u64(triple.schedule);
+        let mut trace = Trace::new();
+        let mut total = DistributedStats::default();
+
+        // Initial schedule (consumes the head of the schedule-seed stream).
+        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
+        if !self.opts.cache {
+            builder = builder.no_cache();
+        }
+        let (set, sched_stats) =
+            builder
+                .distributed()?
+                .run(&scenario.graph, &boundary, &mut rng)?;
+        total.merge(&sched_stats);
+        trace.push(TraceEvent::Phase {
+            step: 0,
+            label: "schedule".into(),
+            rounds: sched_stats.comm_rounds,
+            messages: sched_stats.total_messages(),
+            dropped: sched_stats.dropped,
+        });
+        let mut active = set.active;
+
+        // Post-schedule baseline, as in the chaos harness: the per-round
+        // oracles are differential against it.
+        let baseline_partitionable = self.partitionable(&scenario, &active);
+        let baseline_fixpoint = is_vpt_fixpoint(&scenario.graph, &active, &boundary, self.opts.tau);
+        trace.push(TraceEvent::Oracle {
+            step: 0,
+            name: "partitionable".into(),
+            pass: baseline_partitionable,
+            enforced: false,
+        });
+        trace.push(TraceEvent::Oracle {
+            step: 0,
+            name: "fixpoint".into(),
+            pass: baseline_fixpoint,
+            enforced: true,
+        });
+
+        // Fault-seed streams: mobility walk, duty phases, degradation picks
+        // each get an independent derived stream so changing one knob never
+        // rewrites the others.
+        let walker_seed = SeedTriple::derived(triple.faults, 1).topology;
+        let duty_seed = SeedTriple::derived(triple.faults, 2).topology;
+        let mut degrade_rng = StdRng::seed_from_u64(SeedTriple::derived(triple.faults, 3).topology);
+        // Boundary nodes are pinned and duty-exempt: the certified ring is
+        // the input assumption every oracle stands on.
+        let mobile: Vec<bool> = boundary.iter().map(|&b| !b).collect();
+        let mut walker = MobilityWalker::new(
+            self.mobility_model(),
+            scenario.region,
+            &scenario.positions,
+            mobile,
+            walker_seed,
+        );
+        let duty = DutyCycle::new(
+            self.opts.duty_period,
+            self.opts.duty_down,
+            n,
+            boundary.clone(),
+            duty_seed,
+        );
+        let internals: Vec<NodeId> = scenario.internal_nodes();
+
+        // Coverage accounting: sensing radius from the paper's granularity
+        // relation rs = 2·Rc/τ, sampled on a fixed raster.
+        let rs = 2.0 / self.opts.tau.max(1) as f64;
+        let resolution = (scenario.target.width().min(scenario.target.height()) / 96.0).max(1e-6);
+
+        let k = neighborhood_radius(self.opts.tau);
+        let mut metrics = ChurnMetrics {
+            rounds: self.opts.rounds,
+            hole_exposure: 0.0,
+            mean_covered: 0.0,
+            min_covered: 1.0,
+            repair_messages: 0,
+            total_messages: 0,
+            false_suspicions: 0,
+            suspicion_rate: 0.0,
+            moves: 0,
+            degrades: 0,
+            sleeps: 0,
+            wakes: 0,
+        };
+        let mut covered_sum = 0.0;
+
+        for round in 1..=self.opts.rounds {
+            // -- 1. Physical churn: movement, degradation, duty cycling. --
+            let moved = walker.advance(&mut scenario.positions);
+            let mut degraded: Vec<NodeId> = Vec::new();
+            if self.opts.degrade_every > 0
+                && round % self.opts.degrade_every == 0
+                && !internals.is_empty()
+            {
+                let v = internals[degrade_rng.gen_range(0..internals.len())];
+                let target = if factor[v.index()] == 100 {
+                    self.opts.degrade_pct.min(100)
+                } else {
+                    100
+                };
+                if factor[v.index()] != target {
+                    factor[v.index()] = target;
+                    degraded.push(v);
+                }
+            }
+            let (slept, woken) = duty.transitions(round);
+
+            // -- 2. Topology delta: rebuild and diff the graph. --
+            let new_graph = churn_graph(&scenario.positions, model, &factor, links);
+            let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+            let mut edges_changed = 0usize;
+            let mut lost_live_links = 0usize;
+            let active_set: BTreeSet<NodeId> = active.iter().copied().collect();
+            for (_, a, b) in scenario.graph.edges() {
+                if !new_graph.has_edge(a, b) {
+                    edges_changed += 1;
+                    dirty.insert(a);
+                    dirty.insert(b);
+                    // Removed edges stale verdicts across the *old* metric.
+                    dirty.extend(traverse::k_hop_neighbors(&scenario.graph, a, k));
+                    dirty.extend(traverse::k_hop_neighbors(&scenario.graph, b, k));
+                    // False-suspicion accounting: a silently lost link
+                    // between two live active nodes reads, locally, as a
+                    // peer death at both monitoring endpoints.
+                    if active_set.contains(&a)
+                        && active_set.contains(&b)
+                        && !duty.is_down(a, round)
+                        && !duty.is_down(b, round)
+                    {
+                        lost_live_links += 1;
+                    }
+                }
+            }
+            for (_, a, b) in new_graph.edges() {
+                if !scenario.graph.has_edge(a, b) {
+                    edges_changed += 1;
+                    dirty.insert(a);
+                    dirty.insert(b);
+                }
+            }
+            trace.push(TraceEvent::Delta {
+                step: round,
+                moved: moved.len(),
+                degraded: degraded.len(),
+                slept: slept.len(),
+                woken: woken.len(),
+                edges_changed,
+            });
+            dirty.extend(moved.iter().copied());
+            dirty.extend(degraded.iter().copied());
+            dirty.extend(woken.iter().copied());
+            // A newly slept node is a dead flood source: seed from its
+            // old-graph neighbourhood instead, like a crash repair does.
+            for &v in &slept {
+                dirty.extend(
+                    traverse::k_hop_neighbors(&scenario.graph, v, k)
+                        .into_iter()
+                        .filter(|u| !duty.is_down(*u, round)),
+                );
+            }
+            metrics.moves += moved.len();
+            metrics.degrades += degraded.len();
+            metrics.sleeps += slept.len();
+            metrics.wakes += woken.len();
+            metrics.false_suspicions += 2 * lost_live_links;
+            scenario.graph = new_graph;
+
+            // -- 3. Announced sleeps leave the active set immediately. --
+            if !slept.is_empty() || !woken.is_empty() {
+                trace.push(TraceEvent::Membership {
+                    step: round,
+                    woken: woken.clone(),
+                    slept: slept.clone(),
+                });
+            }
+            active.retain(|v| !duty.is_down(*v, round));
+
+            // -- 4. Streaming reconcile around the delta. --
+            let down: Vec<NodeId> = (0..n)
+                .map(NodeId::from)
+                .filter(|v| duty.is_down(*v, round))
+                .collect();
+            if !dirty.is_empty() {
+                let seeds: Vec<NodeId> = dirty.iter().copied().collect();
+                let mut runner = self.repair_runner(&down)?;
+                let outcome =
+                    runner.reconcile(&scenario.graph, &boundary, &active, &seeds, &mut rng)?;
+                total.merge(&outcome.stats);
+                metrics.repair_messages += outcome.stats.total_messages();
+                trace.push(TraceEvent::Phase {
+                    step: round,
+                    label: "reconcile".into(),
+                    rounds: outcome.stats.comm_rounds,
+                    messages: outcome.stats.total_messages(),
+                    dropped: outcome.stats.dropped,
+                });
+                active = outcome.set.active;
+            }
+
+            // -- 5. Enforced differential oracles, every round. --
+            let partitionable = self.partitionable(&scenario, &active);
+            let awake: Vec<NodeId> = (0..n)
+                .map(NodeId::from)
+                .filter(|v| !duty.is_down(*v, round))
+                .collect();
+            let achievable = self.partitionable(&scenario, &awake);
+            trace.push(TraceEvent::Oracle {
+                step: round,
+                name: "partitionable".into(),
+                pass: partitionable || !(baseline_partitionable && achievable),
+                enforced: true,
+            });
+            let fixpoint = is_vpt_fixpoint(&scenario.graph, &active, &boundary, self.opts.tau);
+            trace.push(TraceEvent::Oracle {
+                step: round,
+                name: "fixpoint".into(),
+                pass: fixpoint || !baseline_fixpoint,
+                enforced: true,
+            });
+
+            // -- 6. Coverage-hole accounting on ground truth. --
+            let report = verify_coverage(
+                &scenario.positions,
+                &active,
+                rs,
+                scenario.target,
+                resolution,
+            );
+            covered_sum += report.covered_fraction;
+            metrics.hole_exposure += 1.0 - report.covered_fraction;
+            if report.covered_fraction < metrics.min_covered {
+                metrics.min_covered = report.covered_fraction;
+            }
+        }
+
+        let rounds = self.opts.rounds.max(1) as f64;
+        metrics.mean_covered = covered_sum / rounds;
+        metrics.suspicion_rate = metrics.false_suspicions as f64 / rounds;
+        metrics.total_messages = total.total_messages();
+        total.false_suspicions += metrics.false_suspicions;
+        trace.push(TraceEvent::Final {
+            active: active.clone(),
+        });
+        Ok(ChurnReport {
+            triple,
+            trace,
+            active,
+            stats: total,
+            metrics,
+        })
+    }
+
+    /// A repair runner whose ambient fault plan crashes every duty-down
+    /// node at round 0: physically-off nodes neither hear wake floods nor
+    /// answer discovery.
+    fn repair_runner(&self, down: &[NodeId]) -> Result<RepairRunner, SimError> {
+        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
+        if !self.opts.cache {
+            builder = builder.no_cache();
+        }
+        let mut plan = FaultPlan::new();
+        for &v in down {
+            plan = plan.crash(v, 0);
+        }
+        if !plan.is_empty() {
+            builder = builder.fault_plan(plan);
+        }
+        builder.repair()
+    }
+
+    /// τ-partitionability of the certified boundary; vacuous without a
+    /// certified walk (as in the chaos harness).
+    fn partitionable(&self, scenario: &Scenario, active: &[NodeId]) -> bool {
+        !matches!(
+            verify_criterion(scenario, active, self.opts.tau),
+            CriterionOutcome::Violated
+        )
+    }
+}
+
+/// The stable quasi-UDG annulus seed of a campaign: derived from the
+/// topology seed so the link lottery is part of the topology, not of the
+/// fault or schedule streams.
+fn link_seed(triple: SeedTriple) -> u64 {
+    SeedTriple::derived(triple.topology, 0x11).faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ChurnOptions {
+        ChurnOptions {
+            rounds: 6,
+            ..ChurnOptions::default()
+        }
+    }
+
+    #[test]
+    fn churn_runs_stay_clean_and_report_metrics() {
+        let runner = ChurnRunner::new(quick_opts());
+        let mut churned = 0usize;
+        for i in 0..2 {
+            let triple = SeedTriple::derived(0x60, i);
+            let report = runner.run(triple).unwrap();
+            assert!(
+                !report.failed(),
+                "seed {triple} must maintain coverage under churn:\n{}",
+                report.trace.render()
+            );
+            assert_eq!(report.metrics.rounds, 6);
+            assert!(report.metrics.mean_covered >= 0.0);
+            assert!(report.metrics.min_covered <= report.metrics.mean_covered + 1e-9);
+            assert!(report.metrics.total_messages >= report.metrics.repair_messages);
+            assert!(!report.active.is_empty(), "the ring at least stays awake");
+            churned += report.metrics.moves + report.metrics.sleeps + report.metrics.degrades;
+        }
+        assert!(churned > 0, "default options must actually churn");
+    }
+
+    #[test]
+    fn duty_cycle_sleeps_are_announced_not_suspected() {
+        // Static, never-degrading network: every link loss would be a bug,
+        // so duty cycling alone must produce zero false suspicions.
+        let runner = ChurnRunner::new(ChurnOptions {
+            speed: 0.0,
+            degrade_every: 0,
+            rounds: 10,
+            quasi: false,
+            ..quick_opts()
+        });
+        let report = runner.run(SeedTriple::derived(0x61, 0)).unwrap();
+        assert!(!report.failed(), "{}", report.trace.render());
+        assert_eq!(
+            report.metrics.false_suspicions, 0,
+            "announced sleeps must not read as failures"
+        );
+        assert!(
+            report.metrics.sleeps > 0,
+            "the duty cycle must have fired at all"
+        );
+        assert_eq!(report.metrics.moves, 0);
+        assert_eq!(report.metrics.degrades, 0);
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical_and_seeds_are_independent() {
+        let runner = ChurnRunner::new(ChurnOptions {
+            rounds: 5,
+            quasi: true,
+            ..quick_opts()
+        });
+        let triple = SeedTriple::derived(0x62, 3);
+        let a = runner.run(triple).unwrap();
+        let b = runner.run(triple).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.trace.digest(), b.trace.digest());
+        assert_eq!(a.active, b.active);
+        assert_eq!(a.metrics, b.metrics);
+        // A different fault seed churns differently on the same topology.
+        let c = runner
+            .run(SeedTriple {
+                faults: triple.faults ^ 0xF00D,
+                ..triple
+            })
+            .unwrap();
+        assert_ne!(a.trace.digest(), c.trace.digest());
+    }
+
+    #[test]
+    fn static_options_are_a_fixpoint_noop() {
+        // No movement, no duty cycle, no degradation, UDG radio: after the
+        // schedule nothing changes, so there is nothing to reconcile.
+        let runner = ChurnRunner::new(ChurnOptions {
+            speed: 0.0,
+            duty_period: 0,
+            degrade_every: 0,
+            quasi: false,
+            rounds: 4,
+            ..quick_opts()
+        });
+        let report = runner.run(SeedTriple::derived(0x63, 1)).unwrap();
+        assert!(!report.failed(), "{}", report.trace.render());
+        assert_eq!(report.metrics.repair_messages, 0, "no deltas, no repairs");
+        assert_eq!(report.metrics.false_suspicions, 0);
+        assert_eq!(report.metrics.moves, 0);
+        assert_eq!(report.metrics.hole_exposure * 0.0, 0.0, "finite exposure");
+    }
+}

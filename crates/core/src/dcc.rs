@@ -1,10 +1,6 @@
 //! Unified entry point for every DCC scheduling flavour.
 //!
-//! Historically each flavour grew its own constructor idiom —
-//! `DccScheduler::new(tau).with_order(..)`, `DistributedDcc::new(tau)
-//! .with_faults(..)`, `IncrementalDcc::new(tau)`, `CoverageRepair::new(tau)
-//! .with_heartbeat_timeout(..)` — with no shared validation and no shared
-//! evaluation state. [`Dcc::builder`] replaces the trio: one builder carries
+//! [`Dcc::builder`] is the sole constructor idiom: one builder carries
 //! τ, the deletion order, the [`EngineConfig`] of the shared
 //! [`VptEngine`], the fault plan and the energy bias, and yields
 //! [`DccBuilder::centralized`], [`DccBuilder::distributed`],
@@ -499,7 +495,7 @@ mod tests {
     }
 
     #[test]
-    fn centralized_runner_matches_deprecated_scheduler() {
+    fn centralized_runner_matches_reference_schedule() {
         let g = generators::king_grid_graph(6, 6);
         let boundary = king_boundary(6, 6);
         let mut new_rng = StdRng::seed_from_u64(21);
@@ -508,15 +504,17 @@ mod tests {
             .unwrap()
             .run(&g, &boundary, &mut new_rng)
             .unwrap();
-        #[allow(deprecated)]
-        let old = crate::schedule::DccScheduler::new(4).schedule(
+        let reference = crate::schedule::reference_schedule(
             &g,
             &boundary,
+            4,
+            DeletionOrder::MisParallel,
             &mut StdRng::seed_from_u64(21),
-        );
-        assert_eq!(set.active, old.active, "same RNG ⇒ same coverage set");
-        assert_eq!(set.deleted, old.deleted);
-        assert_eq!(set.rounds, old.rounds);
+        )
+        .unwrap();
+        assert_eq!(set.active, reference.active, "same RNG ⇒ same coverage set");
+        assert_eq!(set.deleted, reference.deleted);
+        assert_eq!(set.rounds, reference.rounds);
     }
 
     #[test]

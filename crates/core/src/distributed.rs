@@ -23,8 +23,9 @@
 //!
 //! # Faults
 //!
-//! [`DistributedDcc::with_faults`] runs the same protocol under a lossy
-//! [`LinkModel`] and a [`FaultPlan`] of crash-stop failures. Discovery
+//! `Dcc::builder(tau).link_model(..).fault_plan(..)` runs the same protocol
+//! under a lossy [`LinkModel`] and a [`FaultPlan`] of crash-stop failures.
+//! Discovery
 //! switches to the loss-tolerant
 //! [`confine_netsim::protocols::RepeatedDiscovery`], crashed nodes are
 //! harvested from every phase and removed from the active topology, and an
@@ -142,24 +143,6 @@ pub struct DistributedDcc {
 }
 
 impl DistributedDcc {
-    /// Creates the protocol driver for confine size `tau`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tau < 3`.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).distributed()`")]
-    pub fn new(tau: usize) -> Self {
-        assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        DistributedDcc::from_builder(
-            tau,
-            10_000,
-            LinkModel::Reliable,
-            None,
-            crate::config::DEFAULT_DISCOVERY_REPEATS,
-            crate::config::DEFAULT_RETRY_BUDGET,
-        )
-    }
-
     pub(crate) fn from_builder(
         tau: usize,
         max_comm_rounds: usize,
@@ -176,59 +159,6 @@ impl DistributedDcc {
             discovery_repeats,
             retry_budget,
         }
-    }
-
-    /// Overrides the per-phase communication round limit.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).round_limit(..)`")]
-    pub fn with_round_limit(mut self, limit: usize) -> Self {
-        self.max_comm_rounds = limit;
-        self
-    }
-
-    /// Selects the link reliability model. With anything other than
-    /// [`LinkModel::Reliable`] the discovery phase switches to
-    /// [`RepeatedDiscovery`].
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).link_model(..)`")]
-    pub fn with_link_model(mut self, link: LinkModel) -> Self {
-        self.link = link;
-        self
-    }
-
-    /// Runs the protocol under faults: lossy links per `link` plus the
-    /// crash/flap/loss script of `plan`. Plan rounds count *global*
-    /// communication rounds across all phases of the run.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dcc::builder(tau).link_model(..).fault_plan(..)`"
-    )]
-    pub fn with_faults(mut self, link: LinkModel, plan: FaultPlan) -> Self {
-        self.link = link;
-        self.faults = Some(plan);
-        self
-    }
-
-    /// Overrides the rebroadcast count of the loss-tolerant discovery
-    /// (default [`crate::config::DEFAULT_DISCOVERY_REPEATS`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `repeats == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dcc::builder(tau).discovery_repeats(..)`"
-    )]
-    pub fn with_discovery_repeats(mut self, repeats: u32) -> Self {
-        assert!(repeats > 0, "need at least one transmission per record");
-        self.discovery_repeats = repeats;
-        self
-    }
-
-    /// Overrides the election retry budget (default
-    /// [`crate::config::DEFAULT_RETRY_BUDGET`]).
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).retry_budget(..)`")]
-    pub fn with_retry_budget(mut self, budget: usize) -> Self {
-        self.retry_budget = budget;
-        self
     }
 
     /// Executes the protocol on `graph` with the given boundary flags.

@@ -188,17 +188,6 @@ pub struct IncrementalDcc {
 }
 
 impl IncrementalDcc {
-    /// Creates the protocol driver for confine size `tau`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tau < 3`.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).incremental()`")]
-    pub fn new(tau: usize) -> Self {
-        assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        IncrementalDcc::from_builder(tau, 10_000)
-    }
-
     pub(crate) fn from_builder(tau: usize, max_comm_rounds: usize) -> Self {
         IncrementalDcc {
             tau,

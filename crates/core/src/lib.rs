@@ -27,6 +27,10 @@
 //!   crash / recover / partition faults against the full schedule → repair
 //!   → rejoin loop, with invariant oracles, replayable traces and a ddmin
 //!   fault-script shrinker.
+//! * [`churn`] — streaming coverage maintenance under continuous churn:
+//!   mobility, duty-cycling and radio degradation feed per-round topology
+//!   deltas into the repair loop, with graceful-degradation accounting
+//!   (coverage-hole exposure, repair traffic, false-suspicion rate).
 //! * [`verify`] — exact criterion verification (Propositions 2/3) and the
 //!   boundary-coning pre-processing for multiply-connected areas.
 //! * [`moebius`] — the Figure 1 Möbius-band network separating the
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod churn;
 pub mod config;
 pub mod dcc;
 pub mod distributed;
@@ -80,7 +85,5 @@ pub mod vpt_engine;
 
 pub use config::{ConfineConfig, Guarantee};
 pub use dcc::{Dcc, DccBuilder};
-#[allow(deprecated)]
-pub use schedule::DccScheduler;
 pub use schedule::{CoverageSet, DeletionOrder};
 pub use vpt_engine::{EngineConfig, EngineStats, VptEngine};

@@ -8,6 +8,7 @@
 //! engine types, and the [`SimError`] they report with.
 
 pub use crate::chaos::{ChaosOptions, ChaosReport, ChaosRunner, Counterexample};
+pub use crate::churn::{ChurnMetrics, ChurnModel, ChurnOptions, ChurnReport, ChurnRunner};
 pub use crate::config::{ConfineConfig, Guarantee};
 pub use crate::dcc::{
     CentralizedRunner, Dcc, DccBuilder, DistributedRunner, IncrementalRunner, RepairRunner,

@@ -142,23 +142,6 @@ pub struct CoverageRepair {
 }
 
 impl CoverageRepair {
-    /// Creates the repair driver for confine size `tau`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tau < 3`.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).repair()`")]
-    pub fn new(tau: usize) -> Self {
-        assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        CoverageRepair::from_builder(
-            tau,
-            crate::config::DEFAULT_HEARTBEAT_TIMEOUT,
-            10_000,
-            1.0,
-            FaultPlan::new(),
-        )
-    }
-
     pub(crate) fn from_builder(
         tau: usize,
         heartbeat_timeout: usize,
@@ -182,32 +165,6 @@ impl CoverageRepair {
         } else {
             Some(self.ambient.clone())
         }
-    }
-
-    /// Overrides the heartbeat silence timeout (default
-    /// [`crate::config::DEFAULT_HEARTBEAT_TIMEOUT`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dcc::builder(tau).heartbeat_timeout(..)`"
-    )]
-    pub fn with_heartbeat_timeout(mut self, timeout: usize) -> Self {
-        self.heartbeat_timeout = timeout;
-        self
-    }
-
-    /// Overrides the per-phase communication round limit.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).round_limit(..)`")]
-    pub fn with_round_limit(mut self, limit: usize) -> Self {
-        self.max_comm_rounds = limit;
-        self
-    }
-
-    /// Sets the communication range `Rc` used to scale the hole bounds in
-    /// the [`Degradation`] report (default 1.0).
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).comm_range(..)`")]
-    pub fn with_comm_range(mut self, rc: f64) -> Self {
-        self.comm_range = rc;
-        self
     }
 
     /// Detects the crash of `crashed` by heartbeat, wakes the sleeping

@@ -77,8 +77,8 @@ impl CoverageSet {
     }
 }
 
-/// Engine-backed schedule driver shared by the [`crate::dcc`] runners, the
-/// lifetime-rotation machinery and the deprecated [`DccScheduler`] shims.
+/// Engine-backed schedule driver shared by the [`crate::dcc`] runners and
+/// the lifetime-rotation machinery.
 ///
 /// Candidate verdicts come from `engine` (round cache + fingerprint memo +
 /// thread fan-out); candidate *sets* — and therefore the RNG consumption and
@@ -240,129 +240,6 @@ pub fn reference_schedule<R: Rng>(
     })
 }
 
-/// The DCC scheduler.
-///
-/// Deprecated: construct runs through [`crate::dcc::Dcc::builder`] instead,
-/// which validates inputs with typed [`SimError`]s and shares one
-/// [`VptEngine`] across runs.
-///
-/// # Example
-///
-/// ```
-/// use confine_core::prelude::*;
-/// use confine_graph::generators;
-/// use rand::SeedableRng;
-///
-/// // Wheel: rim is the boundary, the hub is internal. At τ = 6 the hub is
-/// // redundant (the rim partitions itself); at τ = 5 it must stay.
-/// let g = generators::wheel_graph(6);
-/// let mut boundary = vec![false; 7];
-/// for i in 1..=6 { boundary[i] = true; }
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-///
-/// let set = Dcc::builder(6).centralized()?.run(&g, &boundary, &mut rng)?;
-/// assert_eq!(set.active_count(), 6, "hub deleted");
-///
-/// let set = Dcc::builder(5).centralized()?.run(&g, &boundary, &mut rng)?;
-/// assert_eq!(set.active_count(), 7, "hub kept");
-/// # Ok::<(), confine_netsim::SimError>(())
-/// ```
-#[derive(Debug, Clone, Copy)]
-pub struct DccScheduler {
-    tau: usize,
-    order: DeletionOrder,
-}
-
-impl DccScheduler {
-    /// Creates a scheduler for confine size `tau` with the paper's parallel
-    /// deletion discipline.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tau < 3`.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).centralized()`")]
-    pub fn new(tau: usize) -> Self {
-        assert!(tau >= crate::config::MIN_TAU, "confine size must be ≥ 3");
-        DccScheduler {
-            tau,
-            order: DeletionOrder::MisParallel,
-        }
-    }
-
-    /// Selects the deletion discipline.
-    #[deprecated(since = "0.2.0", note = "use `Dcc::builder(tau).order(..)`")]
-    pub fn with_order(mut self, order: DeletionOrder) -> Self {
-        self.order = order;
-        self
-    }
-
-    /// The confine size `τ`.
-    pub fn tau(&self) -> usize {
-        self.tau
-    }
-
-    /// Runs the schedule on `graph`. `boundary[i]` marks protected nodes
-    /// (they stay awake and are never tested).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `boundary.len() != graph.node_count()`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dcc::builder(tau).centralized()?.run(..)`"
-    )]
-    pub fn schedule<R: Rng>(&self, graph: &Graph, boundary: &[bool], rng: &mut R) -> CoverageSet {
-        #[allow(deprecated)]
-        self.schedule_biased(graph, boundary, &[], |_| 0.0, rng)
-    }
-
-    /// Runs the schedule with two extensions used by the lifetime-rotation
-    /// machinery:
-    ///
-    /// * `excluded` nodes are treated as already gone (dead batteries);
-    ///   they appear in neither `active` nor `deleted`;
-    /// * `bias(v)` is added to each candidate's random deletion priority —
-    ///   *smaller wins*, so low-bias nodes are sent to sleep preferentially
-    ///   (e.g. pass residual energy to spare depleted nodes).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `boundary.len() != graph.node_count()`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dcc::builder(tau).energy_bias(..).centralized()?.run_biased(..)`"
-    )]
-    pub fn schedule_biased<R: Rng, F>(
-        &self,
-        graph: &Graph,
-        boundary: &[bool],
-        excluded: &[NodeId],
-        bias: F,
-        rng: &mut R,
-    ) -> CoverageSet
-    where
-        F: Fn(NodeId) -> f64,
-    {
-        assert_eq!(
-            boundary.len(),
-            graph.node_count(),
-            "boundary flags must cover all nodes"
-        );
-        let mut engine = VptEngine::new(self.tau);
-        run_schedule(
-            graph,
-            boundary,
-            excluded,
-            bias,
-            self.order,
-            &mut engine,
-            rng,
-        )
-        // lint: panic-ok(deprecated shim keeps its documented panicking contract; tau and boundary were validated above)
-        .expect("validated inputs cannot fail")
-    }
-}
-
 /// Checks the scheduler's fixpoint property: no active internal node passes
 /// the deletability test any more.
 pub fn is_vpt_fixpoint(graph: &Graph, active: &[NodeId], boundary: &[bool], tau: usize) -> bool {
@@ -374,8 +251,9 @@ pub fn is_vpt_fixpoint(graph: &Graph, active: &[NodeId], boundary: &[bool], tau:
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims must keep their seed behaviour; these tests pin it.
-    #![allow(deprecated)]
+    // `reference_schedule` is the seed scheduler's semantics; these tests
+    // pin its behaviour (and, by the purity argument in its docs, the
+    // engine-backed path's too).
     use super::*;
     use confine_graph::{generators, traverse};
     use rand::rngs::StdRng;
@@ -396,11 +274,13 @@ mod tests {
         let boundary = rim_boundary(8, 9);
         let mut rng = StdRng::seed_from_u64(3);
         for tau in 3..8 {
-            let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+            let set = reference_schedule(&g, &boundary, tau, DeletionOrder::MisParallel, &mut rng)
+                .unwrap();
             assert_eq!(set.active_count(), 9, "hub needed for tau {tau}");
             assert!(set.deleted.is_empty());
         }
-        let set = DccScheduler::new(8).schedule(&g, &boundary, &mut rng);
+        let set =
+            reference_schedule(&g, &boundary, 8, DeletionOrder::MisParallel, &mut rng).unwrap();
         assert_eq!(set.deleted, vec![NodeId(0)]);
         assert_eq!(set.rounds, 1);
     }
@@ -416,7 +296,8 @@ mod tests {
             })
             .collect();
         let mut rng = StdRng::seed_from_u64(7);
-        let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+        let set =
+            reference_schedule(&g, &boundary, 4, DeletionOrder::MisParallel, &mut rng).unwrap();
         for (i, &is_b) in boundary.iter().enumerate() {
             if is_b {
                 assert!(
@@ -442,7 +323,8 @@ mod tests {
             .collect();
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let set = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
+            let set =
+                reference_schedule(&g, &boundary, 4, DeletionOrder::MisParallel, &mut rng).unwrap();
             assert!(
                 is_vpt_fixpoint(&g, &set.active, &boundary, 4),
                 "seed {seed}"
@@ -465,10 +347,10 @@ mod tests {
             })
             .collect();
         let mut rng = StdRng::seed_from_u64(11);
-        let par = DccScheduler::new(4).schedule(&g, &boundary, &mut rng);
-        let seq = DccScheduler::new(4)
-            .with_order(DeletionOrder::Sequential)
-            .schedule(&g, &boundary, &mut rng);
+        let par =
+            reference_schedule(&g, &boundary, 4, DeletionOrder::MisParallel, &mut rng).unwrap();
+        let seq =
+            reference_schedule(&g, &boundary, 4, DeletionOrder::Sequential, &mut rng).unwrap();
         for set in [&par, &seq] {
             assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 4));
         }
@@ -493,7 +375,8 @@ mod tests {
         let mut sizes = Vec::new();
         for tau in [3, 4, 6, 8] {
             let mut rng = StdRng::seed_from_u64(42);
-            let set = DccScheduler::new(tau).schedule(&g, &boundary, &mut rng);
+            let set = reference_schedule(&g, &boundary, tau, DeletionOrder::MisParallel, &mut rng)
+                .unwrap();
             sizes.push(set.active_count());
         }
         for w in sizes.windows(2) {
@@ -505,17 +388,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "≥ 3")]
     fn rejects_tiny_tau() {
-        let _ = DccScheduler::new(2);
+        let g = generators::path_graph(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = reference_schedule(
+            &g,
+            &[true, true, true],
+            2,
+            DeletionOrder::MisParallel,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::InvalidTau { tau: 2, min: 3 });
     }
 
     #[test]
-    #[should_panic(expected = "boundary flags")]
     fn rejects_mismatched_flags() {
         let g = generators::path_graph(3);
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = DccScheduler::new(3).schedule(&g, &[true], &mut rng);
+        let err =
+            reference_schedule(&g, &[true], 3, DeletionOrder::MisParallel, &mut rng).unwrap_err();
+        assert_eq!(err, SimError::BoundaryMismatch { flags: 1, nodes: 3 });
     }
 
     #[test]
@@ -528,7 +421,8 @@ mod tests {
         boundary[0] = true;
         boundary[6] = true;
         let mut rng = StdRng::seed_from_u64(5);
-        let set = DccScheduler::new(3).schedule(&g, &boundary, &mut rng);
+        let set =
+            reference_schedule(&g, &boundary, 3, DeletionOrder::MisParallel, &mut rng).unwrap();
         assert_eq!(set.active_count(), 7, "no interior relay may sleep");
         assert!(set.deleted.is_empty());
         assert!(is_vpt_fixpoint(&g, &set.active, &boundary, 3));

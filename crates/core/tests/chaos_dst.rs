@@ -3,8 +3,11 @@
 //! counts, and the ddmin shrinker catching a deliberately planted
 //! rejoin regression and reducing it to a minimal fault script.
 
+use std::collections::BTreeSet;
+
 use confine_core::prelude::*;
-use confine_netsim::chaos::{ChaosPlan, SeedTriple};
+use confine_graph::traverse;
+use confine_netsim::chaos::{ChaosEvent, ChaosPlan, SeedTriple, TraceEvent};
 
 fn opts() -> ChaosOptions {
     ChaosOptions {
@@ -103,6 +106,84 @@ fn shrinker_reduces_trust_snapshot_regression_to_minimal_script() {
         .run_plan(triple, &cex.result.plan)
         .expect("sound replay of minimal plan");
     assert!(!minimal_sound.failed());
+}
+
+/// ISSUE 6 satellite: a scripted crash that lands while a partition is
+/// still open repairs inside the degraded topology, and once the split
+/// heals the sound `RejoinPolicy::ReVerify` path settles back to a clean
+/// enforced-oracle verdict. The trace must witness the
+/// split → crash → heal ordering so replays can be audited.
+#[test]
+fn crash_during_open_partition_stays_clean_under_reverify() {
+    // The full-size default deployment: the 40-node quick options are
+    // boundary-dominated and rarely leave two internal actives far enough
+    // apart to put a partition between them.
+    let runner = ChaosRunner::new(ChaosOptions::default());
+    // Scan a few topology seeds for a deployment with an internal active
+    // node to cut a 2-hop ball around, plus a second internal active
+    // outside that ball to crash mid-partition. Robust under any RNG:
+    // every internal active is tried as the cut center, and degenerate
+    // deployments simply advance to the next seed.
+    let (triple, side, victim) = (0..24)
+        .filter_map(|i| {
+            let t = SeedTriple::derived(0x5EED, i);
+            let clean = runner.run_plan(t, &ChaosPlan::new()).ok()?;
+            let scenario = runner.scenario(t);
+            let internal: Vec<_> = clean
+                .active
+                .iter()
+                .copied()
+                .filter(|v| !scenario.boundary[v.index()])
+                .collect();
+            internal.iter().find_map(|&center| {
+                let mut side: BTreeSet<_> = traverse::k_hop_neighbors(&scenario.graph, center, 2)
+                    .into_iter()
+                    .collect();
+                side.insert(center);
+                let victim = internal.iter().copied().find(|v| !side.contains(v))?;
+                Some((t, side.into_iter().collect::<Vec<_>>(), victim))
+            })
+        })
+        .next()
+        .expect("a splittable deployment within 24 seeds");
+
+    let plan = ChaosPlan {
+        events: vec![
+            ChaosEvent::Split {
+                side,
+                heal_after: 2,
+            },
+            ChaosEvent::Crash { node: victim },
+        ],
+    };
+    let report = runner.run_plan(triple, &plan).expect("scripted run");
+    assert!(
+        !report.failed(),
+        "ReVerify must stay clean when a crash lands inside an open partition:\n{}",
+        report.trace.render()
+    );
+
+    let position = |pred: fn(&TraceEvent) -> bool| report.trace.events.iter().position(pred);
+    let split_at =
+        position(|e| matches!(e, TraceEvent::Split { .. })).expect("split must be traced");
+    let crash_at =
+        position(|e| matches!(e, TraceEvent::Crash { .. })).expect("crash must be traced");
+    let heal_at = position(|e| matches!(e, TraceEvent::Heal { .. })).expect("heal must be traced");
+    assert!(
+        split_at < crash_at && crash_at < heal_at,
+        "the partition must open before the crash and heal after it:\n{}",
+        report.trace.render()
+    );
+    // The crash landed at plan step 1, strictly inside the split window
+    // (heal_after = 2 defers the heal past the end of the script).
+    assert!(matches!(
+        report.trace.events[crash_at],
+        TraceEvent::Crash { step: 1, .. }
+    ));
+    assert!(matches!(
+        report.trace.events[heal_at],
+        TraceEvent::Heal { step: 2 }
+    ));
 }
 
 /// The shrinker's probe path: an explicitly scripted plan replays

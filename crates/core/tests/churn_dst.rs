@@ -1,0 +1,297 @@
+//! Acceptance tests of the streaming-churn harness (ISSUE 6):
+//! bitwise-identical replay of a churn campaign across engine thread
+//! counts and cache modes, and the ddmin shrinker reducing a planted
+//! churn regression — `RejoinPolicy::TrustSnapshot` under move/degrade
+//! churn — to a 1-minimal fault script whose repro command round-trips.
+//!
+//! Seed discipline: these tests never pin "seed X fails" expectations.
+//! Wherever a particular deployment shape is needed, a small derived-seed
+//! range is scanned and the first suitable triple is used, so the tests
+//! hold under any upstream RNG stream.
+
+use std::str::FromStr;
+
+use confine_core::prelude::*;
+use confine_netsim::chaos::{shrink_plan, ChaosEvent, ChaosPlan, SeedTriple};
+
+fn churn_opts() -> ChurnOptions {
+    ChurnOptions {
+        rounds: 6,
+        ..ChurnOptions::default()
+    }
+}
+
+// Full-size default deployment: the 40-node quick options used by the
+// scripted-chaos tests are boundary-dominated, leaving too few internal
+// actives to plant a churn regression around.
+fn chaos_opts() -> ChaosOptions {
+    ChaosOptions {
+        events: 8,
+        churn: true,
+        ..ChaosOptions::default()
+    }
+}
+
+/// Acceptance: a churn campaign — mobility, duty-cycling and degradation
+/// feeding per-round deltas into the streaming reconcile pass — replays
+/// bitwise-identically whether the VPT engine runs single-threaded or
+/// 4-way parallel, cached or uncached.
+#[test]
+fn churn_replay_is_identical_across_thread_counts_and_cache_modes() {
+    let triple = SeedTriple::derived(0xC0FFEE, 3);
+    let serial = ChurnRunner::new(churn_opts()).run(triple).expect("serial");
+    let parallel = ChurnRunner::new(ChurnOptions {
+        threads: 4,
+        ..churn_opts()
+    })
+    .run(triple)
+    .expect("parallel");
+    let uncached = ChurnRunner::new(ChurnOptions {
+        threads: 4,
+        cache: false,
+        ..churn_opts()
+    })
+    .run(triple)
+    .expect("uncached");
+
+    assert_eq!(
+        serial.trace, parallel.trace,
+        "churn trace must not depend on engine threads"
+    );
+    assert_eq!(serial.trace.digest(), parallel.trace.digest());
+    assert_eq!(serial.active, parallel.active);
+    assert_eq!(serial.stats, parallel.stats);
+    assert_eq!(serial.metrics, parallel.metrics);
+
+    assert_eq!(
+        serial.trace, uncached.trace,
+        "churn trace must not depend on the verdict cache"
+    );
+    assert_eq!(serial.trace.digest(), uncached.trace.digest());
+    assert_eq!(serial.active, uncached.active);
+    assert_eq!(serial.metrics, uncached.metrics);
+}
+
+/// The scripted flavour of the same guarantee: `chaos --churn` campaigns
+/// (random plans drawing Move/Degrade alongside crash faults) replay
+/// identically across engine configurations.
+#[test]
+fn scripted_churn_chaos_replays_across_engines() {
+    let triple = SeedTriple::derived(0xCAB1E, 1);
+    let serial = ChaosRunner::new(chaos_opts()).run(triple).expect("serial");
+    let parallel = ChaosRunner::new(ChaosOptions {
+        threads: 4,
+        cache: false,
+        ..chaos_opts()
+    })
+    .run(triple)
+    .expect("parallel uncached");
+    assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.trace.digest(), parallel.trace.digest());
+    assert_eq!(serial.active, parallel.active);
+    assert_eq!(serial.plan, parallel.plan, "derived plans must agree too");
+}
+
+/// A fault script that plants the TrustSnapshot regression around churn:
+/// crash two internal active nodes (the second crash's repair is what the
+/// first node's pre-crash snapshot cannot know about), mutate the topology
+/// under them (a move and a radio degradation), then recover the first so
+/// its stale snapshot is re-imposed on a graph it no longer describes.
+fn planted_script(runner: &ChaosRunner, triple: SeedTriple) -> Option<ChaosPlan> {
+    let clean = runner.run_plan(triple, &ChaosPlan::new()).ok()?;
+    let scenario = runner.scenario(triple);
+    let internal: Vec<_> = clean
+        .active
+        .iter()
+        .copied()
+        .filter(|v| !scenario.boundary[v.index()])
+        .collect();
+    if internal.len() < 4 {
+        return None;
+    }
+    let crashed = internal[0];
+    let mover = internal[internal.len() / 2];
+    let degraded = internal[internal.len() - 1];
+    Some(ChaosPlan {
+        events: vec![
+            ChaosEvent::Crash { node: crashed },
+            ChaosEvent::Crash { node: internal[1] },
+            ChaosEvent::Move {
+                node: mover,
+                dx_mils: 850,
+                dy_mils: -850,
+            },
+            ChaosEvent::Degrade {
+                node: degraded,
+                factor_pct: 40,
+            },
+            ChaosEvent::Move {
+                node: degraded,
+                dx_mils: -700,
+                dy_mils: 700,
+            },
+            ChaosEvent::Recover { node: crashed },
+        ],
+    })
+}
+
+/// Acceptance: `shrink_plan` on a planted churn regression yields a
+/// 1-minimal script (closed under deletion of Move/Degrade events) whose
+/// repro command round-trips, and the sound rejoin policy survives the
+/// same script.
+#[test]
+fn shrink_plan_reduces_planted_churn_regression_to_one_minimal_script() {
+    let buggy = ChaosRunner::new(ChaosOptions {
+        rejoin: RejoinPolicy::TrustSnapshot,
+        ..chaos_opts()
+    });
+    let fails = |plan: &ChaosPlan, triple: SeedTriple| {
+        buggy
+            .run_plan(triple, plan)
+            .map(|r| r.failed())
+            .unwrap_or(false)
+    };
+
+    // Scan for a deployment where the planted script actually tears
+    // coverage: whether a given topology does depends on which substitutes
+    // the crash wakes, so this is a property of the deployment shape, not
+    // of any one seed.
+    let (triple, planted) = (0..64)
+        .filter_map(|i| {
+            let t = SeedTriple::derived(0x7E57, i);
+            let plan = planted_script(&buggy, t)?;
+            fails(&plan, t).then_some((t, plan))
+        })
+        .next()
+        .expect("a triple where the planted churn script trips an oracle, within 64 seeds");
+
+    let mut oracle = |candidate: &ChaosPlan| fails(candidate, triple);
+    let result = shrink_plan(&planted, &mut oracle);
+    assert!(result.tests_run > 0);
+    assert!(!result.plan.events.is_empty());
+    assert!(result.plan.len() <= planted.len());
+
+    // The minimal script still fails, and is an (ordered) subsequence of
+    // the planted one: ddmin only ever deletes events, so the shrinker is
+    // closed under deletion even across Move/Degrade events.
+    assert!(
+        fails(&result.plan, triple),
+        "the minimal plan must still fail:\n{}",
+        result.plan.describe()
+    );
+    let mut tail = planted.events.as_slice();
+    for event in &result.plan.events {
+        let at = tail
+            .iter()
+            .position(|e| e == event)
+            .unwrap_or_else(|| panic!("{event:?} is not a subsequence of the planted script"));
+        tail = &tail[at + 1..];
+    }
+
+    // 1-minimality: deleting any single event makes the script pass.
+    for skip in 0..result.plan.len() {
+        let mut events = result.plan.events.clone();
+        events.remove(skip);
+        let sub = ChaosPlan { events };
+        assert!(
+            !fails(&sub, triple),
+            "dropping event {skip} must defuse a 1-minimal script:\n{}",
+            sub.describe()
+        );
+    }
+
+    // The repro command round-trips: it names the chaos entry point and a
+    // triple string that parses back (strictly) to the same triple.
+    let repro = triple.repro_command();
+    assert!(repro.contains("chaos --one"), "repro: {repro}");
+    assert!(repro.contains(&triple.to_string()));
+    assert_eq!(SeedTriple::from_str(&triple.to_string()).unwrap(), triple);
+
+    // The regression is in the rejoin policy, not in churn itself: the
+    // sound policy survives the very same script on the same deployment.
+    let sound = ChaosRunner::new(chaos_opts())
+        .run_plan(triple, &result.plan)
+        .expect("sound replay");
+    assert!(
+        !sound.failed(),
+        "ReVerify must survive the minimal churn script:\n{}",
+        sound.trace.render()
+    );
+}
+
+/// The runner-level shrinker packages churn campaigns with full repro
+/// flags: a failing `--churn` campaign under the planted rejoin bug
+/// shrinks to a script whose printed repro carries the campaign options.
+#[test]
+fn runner_shrink_carries_churn_repro_flags() {
+    let buggy = ChaosRunner::new(ChaosOptions {
+        rejoin: RejoinPolicy::TrustSnapshot,
+        ..chaos_opts()
+    });
+    // Random churn plans interleave moves and degradations between crash /
+    // recover pairs, so a modest scan finds a failing campaign under any
+    // RNG; if a stream is unusually kind, the test degrades to a no-op
+    // rather than pinning a seed.
+    let Some(triple) = (0..32)
+        .map(|i| SeedTriple::derived(0xBAD5EED, i))
+        .find(|&t| buggy.run(t).map(|r| r.failed()).unwrap_or(false))
+    else {
+        eprintln!("no failing churn campaign in 32 seeds under this RNG; skipping");
+        return;
+    };
+
+    let cex = buggy
+        .shrink(triple)
+        .expect("shrink runs")
+        .expect("failing campaign must yield a counterexample");
+    assert!(cex.report.failed(), "the packaged minimal replay fails");
+    assert!(
+        cex.repro.contains("chaos --one"),
+        "repro must name the CLI entry point: {}",
+        cex.repro
+    );
+    assert!(
+        cex.repro.contains("--churn"),
+        "repro must carry the churn flag: {}",
+        cex.repro
+    );
+    assert!(
+        cex.repro.contains("--rejoin trust-snapshot"),
+        "repro must carry the planted policy: {}",
+        cex.repro
+    );
+    assert!(cex.repro.contains(&triple.to_string()));
+
+    // Round-trip: replaying the packaged minimal script reproduces the
+    // violation bitwise.
+    let replay = buggy
+        .run_plan(triple, &cex.result.plan)
+        .expect("replay of the minimal script");
+    assert!(replay.failed());
+    assert_eq!(replay.trace.digest(), cex.report.trace.digest());
+}
+
+/// Duty-cycle membership changes are announced, never suspected, and the
+/// suspicion accounting reaches the campaign stats — all under a quasi-UDG
+/// radio so degraded links exercise the false-suspicion path.
+#[test]
+fn suspicion_accounting_flows_into_campaign_stats() {
+    let runner = ChurnRunner::new(ChurnOptions {
+        quasi: true,
+        speed: 0.1,
+        ..churn_opts()
+    });
+    for i in 0..2 {
+        let triple = SeedTriple::derived(0x5059, i);
+        let report = runner.run(triple).expect("campaign");
+        assert_eq!(
+            report.stats.false_suspicions, report.metrics.false_suspicions,
+            "campaign stats and metrics must agree on suspicions"
+        );
+        // Whether a silent link loss occurs is topology dependent, so the
+        // count itself is not asserted — only that the per-round rate is
+        // derived from it consistently.
+        let expected_rate = report.metrics.false_suspicions as f64 / report.metrics.rounds as f64;
+        assert!((report.metrics.suspicion_rate - expected_rate).abs() < 1e-9);
+    }
+}

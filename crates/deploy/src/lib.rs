@@ -10,6 +10,8 @@
 //!   metric), winding-parity tests;
 //! * [`deployment`] — uniform / Poisson / perturbed-grid node placement;
 //! * [`radio`] — UDG and quasi-UDG connectivity models;
+//! * [`mobility`] — random-waypoint / bounded-drift walkers, duty-cycle
+//!   schedules and degradation-aware churn connectivity;
 //! * [`trace`] — the synthetic GreenOrbs RSSI pipeline (log-normal
 //!   shadowing, best-10 records per packet, threshold extraction);
 //! * [`scenario`] — bundles graph + ground truth + boundary flags;
@@ -43,6 +45,7 @@ pub mod coverage;
 pub mod deployment;
 pub mod format;
 pub mod geometry;
+pub mod mobility;
 pub mod outer;
 pub mod radio;
 pub mod scenario;

@@ -155,6 +155,15 @@ pub fn scenario_from_deployment<R: Rng>(
 ) -> Scenario {
     let rc = model.rc();
     let graph = model.build(&deployment, rng);
+    scenario_with_graph(deployment, rc, graph)
+}
+
+/// Builds a scenario around an *externally constructed* connectivity graph
+/// (e.g. one produced by [`crate::mobility::churn_graph`]), running the same
+/// boundary-band growth and target-margin search as
+/// [`scenario_from_deployment`]. Node `i` of `graph` must sit at
+/// `deployment.positions[i]`.
+pub fn scenario_with_graph(deployment: Deployment, rc: f64, graph: Graph) -> Scenario {
     let max_band = (deployment.region.width() + deployment.region.height()) / 2.0;
 
     let mut scenario = Scenario {

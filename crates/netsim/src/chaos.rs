@@ -123,6 +123,32 @@ impl fmt::Display for SeedTriple {
     }
 }
 
+/// Error returned by [`SeedTriple`]'s [`std::str::FromStr`]: the input is
+/// not of the `topology:faults:schedule` form (wrong part count, non-numeric
+/// component, or trailing garbage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseSeedTripleError;
+
+impl fmt::Display for ParseSeedTripleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected `topology:faults:schedule` (three u64s)")
+    }
+}
+
+impl std::error::Error for ParseSeedTripleError {}
+
+impl std::str::FromStr for SeedTriple {
+    type Err = ParseSeedTripleError;
+
+    /// Strict form of [`SeedTriple::parse`]: exactly three `:`-separated
+    /// `u64`s. Trailing garbage (`1:2:3x`, `1:2:3:4`, `1:2:3:`) is rejected
+    /// because each component must parse as a number in full and a fourth
+    /// part — even an empty one — fails the part count.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SeedTriple::parse(s).ok_or(ParseSeedTripleError)
+    }
+}
+
 /// One scripted fault event, applied by a chaos harness in plan order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChaosEvent {
@@ -146,6 +172,29 @@ pub enum ChaosEvent {
         /// Plan events until the split heals.
         heal_after: usize,
     },
+    /// Displace `node` by `(dx_mils, dy_mils)` thousandths of the
+    /// communication range, clamped to the deployment region. Payloads are
+    /// integers so events keep total `Eq` (trace comparison is bitwise).
+    /// Inert when `node` is a boundary node or out of range, which keeps
+    /// plans closed under the shrinker's deletions.
+    Move {
+        /// The node that moves.
+        node: NodeId,
+        /// Displacement along x, in 1/1000 of the communication range.
+        dx_mils: i32,
+        /// Displacement along y, in 1/1000 of the communication range.
+        dy_mils: i32,
+    },
+    /// Degrade `node`'s radio to `factor_pct` percent of its nominal range
+    /// (`100` restores it). Inert for boundary nodes, unknown nodes,
+    /// factors above 100 and no-op factor changes — closure under deletion
+    /// again.
+    Degrade {
+        /// The node whose radio degrades.
+        node: NodeId,
+        /// New effective range, as a percentage of nominal (1..=100).
+        factor_pct: u8,
+    },
 }
 
 impl fmt::Display for ChaosEvent {
@@ -155,6 +204,14 @@ impl fmt::Display for ChaosEvent {
             ChaosEvent::Recover { node } => write!(f, "recover {}", node.0),
             ChaosEvent::Split { side, heal_after } => {
                 write!(f, "split |side|={} heal-after {heal_after}", side.len())
+            }
+            ChaosEvent::Move {
+                node,
+                dx_mils,
+                dy_mils,
+            } => write!(f, "move {} dx {dx_mils}‰ dy {dy_mils}‰", node.0),
+            ChaosEvent::Degrade { node, factor_pct } => {
+                write!(f, "degrade {} to {factor_pct}%", node.0)
             }
         }
     }
@@ -220,6 +277,72 @@ impl ChaosPlan {
         plan
     }
 
+    /// A random *churn* plan: like [`ChaosPlan::random`] but the event mix
+    /// includes [`ChaosEvent::Move`] and [`ChaosEvent::Degrade`].
+    ///
+    /// This is a separate generator on purpose: extending `random` would
+    /// change its RNG consumption and silently rewrite the fault script of
+    /// every existing seed. Moves draw any victim (carrying a crashed node
+    /// is physically fine), displacements up to ±0.6·Rc per axis; degrades
+    /// set the victim's range to 55–90 % of nominal, with a 30 % chance of
+    /// a full restore instead. Deterministic in `seed`.
+    pub fn random_churn(
+        victims: &[NodeId],
+        split_candidates: &[Vec<NodeId>],
+        events: usize,
+        seed: u64,
+    ) -> Self {
+        use rand::Rng as _;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut plan = ChaosPlan::new();
+        let mut down: Vec<NodeId> = Vec::new();
+        if victims.is_empty() {
+            return plan;
+        }
+        while plan.events.len() < events {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.15 && !down.is_empty() {
+                let i = rng.gen_range(0..down.len());
+                let node = down.swap_remove(i);
+                plan.events.push(ChaosEvent::Recover { node });
+            } else if roll < 0.40 {
+                let up: Vec<NodeId> = victims
+                    .iter()
+                    .copied()
+                    .filter(|v| !down.contains(v))
+                    .collect();
+                if up.is_empty() {
+                    continue; // everyone is down: only recoveries remain
+                }
+                let node = up[rng.gen_range(0..up.len())];
+                down.push(node);
+                plan.events.push(ChaosEvent::Crash { node });
+            } else if roll < 0.65 {
+                let node = victims[rng.gen_range(0..victims.len())];
+                let dx_mils = rng.gen_range(-600..=600);
+                let dy_mils = rng.gen_range(-600..=600);
+                plan.events.push(ChaosEvent::Move {
+                    node,
+                    dx_mils,
+                    dy_mils,
+                });
+            } else if roll < 0.85 || split_candidates.is_empty() {
+                let node = victims[rng.gen_range(0..victims.len())];
+                let factor_pct = if rng.gen_bool(0.3) {
+                    100
+                } else {
+                    rng.gen_range(55..=90)
+                };
+                plan.events.push(ChaosEvent::Degrade { node, factor_pct });
+            } else {
+                let side = split_candidates[rng.gen_range(0..split_candidates.len())].clone();
+                let heal_after = rng.gen_range(1..=2);
+                plan.events.push(ChaosEvent::Split { side, heal_after });
+            }
+        }
+        plan
+    }
+
     /// Number of scripted events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -272,6 +395,39 @@ pub enum TraceEvent {
     Heal {
         /// Plan step index.
         step: usize,
+    },
+    /// A scripted move was applied.
+    Move {
+        /// Plan step index.
+        step: usize,
+        /// The node that moved.
+        node: NodeId,
+    },
+    /// A scripted radio degradation was applied.
+    Degrade {
+        /// Plan step index.
+        step: usize,
+        /// The degraded node.
+        node: NodeId,
+        /// New effective range, percent of nominal.
+        factor_pct: u8,
+    },
+    /// One streaming round's topology delta, summarized by counts (per-node
+    /// listings would dwarf the trace on continuous-churn workloads; the
+    /// membership records carry the exact sleep/wake sets).
+    Delta {
+        /// Churn round index.
+        step: usize,
+        /// Nodes whose position changed this round.
+        moved: usize,
+        /// Nodes whose radio factor changed this round.
+        degraded: usize,
+        /// Nodes the duty cycle took down this round.
+        slept: usize,
+        /// Nodes the duty cycle brought back this round.
+        woken: usize,
+        /// Edges that appeared or disappeared in the rebuilt graph.
+        edges_changed: usize,
     },
     /// A protocol phase ran to completion (delivery order is summarized by
     /// the phase's deterministic cost counters; per-message logs would
@@ -378,6 +534,29 @@ impl Trace {
                 }
                 TraceEvent::Heal { step } => {
                     out.push_str(&format!("[{step}] heal\n"));
+                }
+                TraceEvent::Move { step, node } => {
+                    out.push_str(&format!("[{step}] move {}\n", node.0));
+                }
+                TraceEvent::Degrade {
+                    step,
+                    node,
+                    factor_pct,
+                } => {
+                    out.push_str(&format!("[{step}] degrade {} to {factor_pct}%\n", node.0));
+                }
+                TraceEvent::Delta {
+                    step,
+                    moved,
+                    degraded,
+                    slept,
+                    woken,
+                    edges_changed,
+                } => {
+                    out.push_str(&format!(
+                        "[{step}] delta: moved {moved}, degraded {degraded}, slept {slept}, \
+                         woken {woken}, edges±{edges_changed}\n"
+                    ));
                 }
                 TraceEvent::Phase {
                     step,
@@ -531,9 +710,66 @@ mod tests {
                     assert!(!side.is_empty());
                     assert!((1..=2).contains(heal_after));
                 }
+                other => panic!("`random` never scripts churn events: {other}"),
             }
         }
         assert!(!a.describe().is_empty());
+    }
+
+    #[test]
+    fn churn_plans_are_deterministic_and_include_churn_events() {
+        let victims: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let sides = vec![vec![NodeId(0), NodeId(1)]];
+        let a = ChaosPlan::random_churn(&victims, &sides, 40, 7);
+        let b = ChaosPlan::random_churn(&victims, &sides, 40, 7);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.len(), 40);
+        let mut moves = 0usize;
+        let mut degrades = 0usize;
+        let mut down: Vec<NodeId> = Vec::new();
+        for e in &a.events {
+            match e {
+                ChaosEvent::Crash { node } => {
+                    assert!(!down.contains(node), "no double crash");
+                    down.push(*node);
+                }
+                ChaosEvent::Recover { node } => {
+                    assert!(down.contains(node), "recover only after crash");
+                    down.retain(|v| v != node);
+                }
+                ChaosEvent::Split { side, .. } => assert!(!side.is_empty()),
+                ChaosEvent::Move {
+                    dx_mils, dy_mils, ..
+                } => {
+                    assert!((-600..=600).contains(dx_mils));
+                    assert!((-600..=600).contains(dy_mils));
+                    moves += 1;
+                }
+                ChaosEvent::Degrade { factor_pct, .. } => {
+                    assert!((55..=100).contains(factor_pct));
+                    degrades += 1;
+                }
+            }
+        }
+        assert!(moves > 0, "40 events must include a move");
+        assert!(degrades > 0, "40 events must include a degrade");
+        // The classic generator is untouched by the churn one: same seed,
+        // same crash/recover/split stream as always.
+        let classic = ChaosPlan::random(&victims, &sides, 8, 99);
+        assert!(classic
+            .events
+            .iter()
+            .all(|e| !matches!(e, ChaosEvent::Move { .. } | ChaosEvent::Degrade { .. })));
+    }
+
+    #[test]
+    fn from_str_is_strict_about_trailing_garbage() {
+        let t = SeedTriple::derived(3, 9);
+        assert_eq!(t.to_string().parse::<SeedTriple>().ok(), Some(t));
+        for bad in ["1:2:3x", "1:2:3:4", "1:2:3:", "1:2", "", "1:2:3 4"] {
+            assert!(bad.parse::<SeedTriple>().is_err(), "{bad:?} must not parse");
+        }
+        assert!(!ParseSeedTripleError.to_string().is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use confine_graph::{mis, traverse, Graph, NodeId};
+use confine_netsim::chaos::SeedTriple;
 use confine_netsim::faults::{FaultPlan, LinkFlap};
 use confine_netsim::protocols::{KHopDiscovery, LocalMinElection};
 use confine_netsim::Engine;
@@ -149,6 +150,26 @@ proptest! {
         if recover_round >= a {
             prop_assert_eq!(adv.recover_round(NodeId(1)), Some(recover_round - a));
         }
+    }
+
+    /// `SeedTriple` round-trips through Display/FromStr for every value,
+    /// and any non-numeric suffix turns the rendering into a parse error
+    /// (the strict `FromStr` rejects trailing garbage).
+    #[test]
+    fn seed_triple_display_from_str_round_trip(
+        topology in any::<u64>(),
+        faults in any::<u64>(),
+        schedule in any::<u64>(),
+        garbage in "[a-z:+#-]{1,6}",
+    ) {
+        let t = SeedTriple { topology, faults, schedule };
+        let rendered = t.to_string();
+        prop_assert_eq!(rendered.parse::<SeedTriple>().ok(), Some(t));
+        prop_assert_eq!(SeedTriple::parse(&rendered), Some(t));
+        // No character of the garbage class extends a valid u64 or adds a
+        // legal fourth component, so the suffixed form must never parse.
+        let dirty = format!("{rendered}{garbage}");
+        prop_assert!(dirty.parse::<SeedTriple>().is_err(), "{} parsed", dirty);
     }
 
     /// Message accounting is sane: a k-hop flood delivers at least one
