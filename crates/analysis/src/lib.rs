@@ -1,7 +1,7 @@
 //! Workspace lint engine guarding the invariants the paper's correctness
 //! story rests on (DESIGN.md §10).
 //!
-//! Three source-level lints run over the algorithm crates:
+//! Four source-level lints run over the algorithm crates:
 //!
 //! * **determinism** — no iteration over `HashMap`/`HashSet` in `core`,
 //!   `cycles`, `netsim` or `graph`. Hash iteration order varies per process
@@ -15,11 +15,16 @@
 //! * **purity** — no `Instant::now`/`SystemTime::now`/`thread_rng`/
 //!   `from_entropy` in the deterministic sim crates: all randomness flows
 //!   through caller-seeded RNGs, all time through round counters.
+//! * **hot-alloc** — no `collect` of a neighbour iterator
+//!   (`view_neighbors`/`neighbors`/`incident`) in the sim crates: the
+//!   slice-based `GraphView` API (`neighbor_slice`, `incident_slices`)
+//!   serves adjacency without allocating, and per-visit `Vec`s are exactly
+//!   the hot-path overhead the CSR substrate removed.
 //!
 //! Violations are suppressed by `// lint: <kind>(<reason>)` markers (kinds
-//! `unordered-ok`, `panic-ok`, `impure-ok`) on the same line or the line
-//! above; markers that suppress nothing are themselves violations. Tests,
-//! benches, binaries and `#[cfg(test)]` modules are exempt.
+//! `unordered-ok`, `panic-ok`, `impure-ok`, `alloc-ok`) on the same line or
+//! the line above; markers that suppress nothing are themselves violations.
+//! Tests, benches, binaries and `#[cfg(test)]` modules are exempt.
 //!
 //! The engine is deliberately lexical (a masking lexer, no `syn`, zero
 //! dependencies): it cannot see through type aliases or functions returning
@@ -49,6 +54,8 @@ pub struct CrateRules {
     pub no_panic: bool,
     /// Forbid ambient time/entropy.
     pub purity: bool,
+    /// Flag `collect`ed neighbour iterators (use the slice API instead).
+    pub hot_alloc: bool,
 }
 
 /// The workspace lint policy: which crates are held to which invariants.
@@ -62,24 +69,28 @@ pub const POLICY: &[CrateRules] = &[
         determinism: true,
         no_panic: true,
         purity: true,
+        hot_alloc: true,
     },
     CrateRules {
         name: "cycles",
         determinism: true,
         no_panic: true,
         purity: true,
+        hot_alloc: true,
     },
     CrateRules {
         name: "netsim",
         determinism: true,
         no_panic: true,
         purity: true,
+        hot_alloc: true,
     },
     CrateRules {
         name: "graph",
         determinism: true,
         no_panic: false,
         purity: true,
+        hot_alloc: true,
     },
 ];
 
@@ -99,6 +110,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
                 rules.determinism,
                 rules.no_panic,
                 rules.purity,
+                rules.hot_alloc,
             ));
         }
     }
@@ -147,7 +159,9 @@ mod tests {
     fn policy_covers_the_algorithm_crates() {
         let names: Vec<&str> = POLICY.iter().map(|r| r.name).collect();
         assert_eq!(names, ["core", "cycles", "netsim", "graph"]);
-        assert!(POLICY.iter().all(|r| r.determinism && r.purity));
+        assert!(POLICY
+            .iter()
+            .all(|r| r.determinism && r.purity && r.hot_alloc));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The three project lints: determinism, no-panic and purity.
+//! The four project lints: determinism, no-panic, purity and hot-alloc.
 //!
 //! All three work on the [`SourceFile`](crate::source::SourceFile) code view
 //! — comments and string literals never produce findings — and honour the
@@ -10,6 +10,8 @@
 //!   unreachable and documented as such.
 //! * `// lint: impure-ok(<reason>)` — this wall-clock/entropy access does
 //!   not feed simulation state.
+//! * `// lint: alloc-ok(<reason>)` — this neighbour-iterator collection is
+//!   off the hot path (one-shot setup, error reporting, …).
 //!
 //! A marker suppresses findings on its own line, or on the next line when
 //! the marker line carries no code. Markers that suppress nothing are
@@ -27,6 +29,8 @@ pub enum Lint {
     NoPanic,
     /// Wall-clock or ambient-entropy access in a deterministic sim crate.
     Purity,
+    /// A `collect` of a neighbour iterator in a hot path; use the slice API.
+    HotAlloc,
     /// A suppression marker that matched no finding.
     UnusedMarker,
 }
@@ -37,6 +41,7 @@ impl fmt::Display for Lint {
             Lint::Determinism => "determinism",
             Lint::NoPanic => "no-panic",
             Lint::Purity => "purity",
+            Lint::HotAlloc => "hot-alloc",
             Lint::UnusedMarker => "unused-marker",
         };
         f.write_str(name)
@@ -96,6 +101,11 @@ const IMPURE_TOKENS: &[&str] = &[
     "rand::random",
 ];
 
+/// Neighbour-iterator producers whose results must not be collected into a
+/// fresh `Vec` on hot paths — the slice API (`neighbor_slice`,
+/// `incident_slices`) returns borrowed adjacency without allocating.
+const NEIGHBOR_ITER_TOKENS: &[&str] = &["view_neighbors(", ".neighbors(", ".incident("];
+
 /// Runs every lint that applies to `file` and returns the surviving
 /// findings (marker-suppressed ones removed, unused markers appended).
 pub fn lint_file(
@@ -103,6 +113,7 @@ pub fn lint_file(
     determinism: bool,
     no_panic: bool,
     purity: bool,
+    hot_alloc: bool,
 ) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
     if determinism {
@@ -114,6 +125,9 @@ pub fn lint_file(
     if purity {
         raw.extend(purity_findings(file));
     }
+    if hot_alloc {
+        raw.extend(hot_alloc_findings(file));
+    }
 
     let markers = file.markers();
     let mut used = vec![false; markers.len()];
@@ -123,6 +137,7 @@ pub fn lint_file(
             Lint::Determinism => "unordered-ok",
             Lint::NoPanic => "panic-ok",
             Lint::Purity => "impure-ok",
+            Lint::HotAlloc => "alloc-ok",
             Lint::UnusedMarker => unreachable!("raw findings never carry this lint"),
         };
         let suppressed = markers.iter().enumerate().any(|(i, m)| {
@@ -393,6 +408,30 @@ fn purity_findings(file: &SourceFile) -> Vec<Finding> {
     )
 }
 
+/// Hot-alloc lint: collecting a neighbour iterator into a fresh `Vec` on
+/// every visit is the allocation pattern the slice-based `GraphView` API
+/// (`neighbor_slice`, `incident_slices`) exists to remove. A logical line
+/// that both produces a neighbour iterator and `.collect`s is flagged;
+/// out-of-hot-path collections carry an `alloc-ok` marker with a reason.
+fn hot_alloc_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in logical_lines(file) {
+        let line = line.as_str();
+        if line.contains(".collect") && NEIGHBOR_ITER_TOKENS.iter().any(|t| line.contains(t)) {
+            out.push(finding(
+                file,
+                idx + 1,
+                Lint::HotAlloc,
+                "collecting a neighbour iterator allocates per visit; use \
+                 `neighbor_slice`/`incident_slices` (or mark \
+                 `lint: alloc-ok(reason)` off the hot path)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 fn token_findings(file: &SourceFile, tokens: &[&str], lint: Lint, message: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     for (idx, line) in file.code.iter().enumerate() {
@@ -421,7 +460,7 @@ mod tests {
 
     fn lint(text: &str) -> Vec<Finding> {
         let f = SourceFile::scan(Path::new("x.rs"), text);
-        lint_file(&f, true, true, true)
+        lint_file(&f, true, true, true, true)
     }
 
     #[test]
@@ -530,6 +569,49 @@ mod tests {
                         let s: u32 = m.values().sum();\n\
                     }\n";
         let hits = lint(text);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn neighbor_collect_is_flagged_and_waivable() {
+        let text = "fn f(g: &Graph, v: NodeId) {\n\
+                        let nbrs: Vec<NodeId> = g.view_neighbors(v).collect();\n\
+                    }\n";
+        let hits = lint(text);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, Lint::HotAlloc);
+        assert_eq!(hits[0].line, 2);
+
+        let waived = "fn f(g: &Graph, v: NodeId) {\n\
+                          // lint: alloc-ok(one-shot setup, not per-round)\n\
+                          let nbrs: Vec<NodeId> = g.neighbors(v).collect();\n\
+                      }\n";
+        assert!(lint(waived).is_empty());
+    }
+
+    #[test]
+    fn wrapped_neighbor_collect_is_flagged_at_chain_start() {
+        let text = "fn f(g: &Graph, v: NodeId) {\n\
+                        let nbrs: Vec<NodeId> = g\n\
+                            .incident(v)\n\
+                            .map(|(w, _)| w)\n\
+                            .collect();\n\
+                    }\n";
+        let hits = lint(text);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, Lint::HotAlloc);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn slice_adjacency_and_plain_collects_are_clean() {
+        let hits = lint(
+            "fn f(g: &Graph, v: NodeId) {\n\
+                 let d = g.neighbor_slice(v).len();\n\
+                 let all: Vec<NodeId> = g.nodes().collect();\n\
+                 for w in g.view_neighbors(v) { let _ = w; }\n\
+             }\n",
+        );
         assert!(hits.is_empty(), "{hits:?}");
     }
 

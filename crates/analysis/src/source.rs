@@ -30,7 +30,7 @@ pub struct SourceFile {
 /// `// lint: unordered-ok(result is sorted before use)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Marker {
-    /// The marker kind: `unordered-ok`, `panic-ok` or `impure-ok`.
+    /// The marker kind: `unordered-ok`, `panic-ok`, `impure-ok` or `alloc-ok`.
     pub kind: String,
     /// The mandatory justification inside the parentheses.
     pub reason: String,
@@ -349,7 +349,7 @@ fn is_char_literal(chars: &[char], i: usize) -> bool {
 fn parse_marker(tail: &str) -> Option<(String, String)> {
     let open = tail.find('(')?;
     let kind = tail[..open].trim();
-    if !matches!(kind, "unordered-ok" | "panic-ok" | "impure-ok") {
+    if !matches!(kind, "unordered-ok" | "panic-ok" | "impure-ok" | "alloc-ok") {
         return None;
     }
     let close = tail[open..].find(')')? + open;

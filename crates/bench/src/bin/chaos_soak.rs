@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use confine_bench::args::Args;
 use confine_bench::rule;
-use confine_core::prelude::{ChaosOptions, ChaosRunner, RejoinPolicy};
+use confine_core::prelude::{ChaosOptions, ChaosRunner, EngineConfig, RejoinPolicy};
 use confine_netsim::chaos::SeedTriple;
 
 struct PolicyRow {
@@ -207,7 +207,7 @@ fn main() {
     let probe = triples[0];
     let serial = ChaosRunner::new(opts.clone()).run(probe).expect("serial");
     let parallel = ChaosRunner::new(ChaosOptions {
-        threads: 4,
+        engine: EngineConfig::builder().threads(4).build(),
         ..opts.clone()
     })
     .run(probe)

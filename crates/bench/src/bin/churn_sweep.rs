@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use confine_bench::args::Args;
 use confine_bench::rule;
-use confine_core::prelude::{ChurnOptions, ChurnRunner};
+use confine_core::prelude::{ChurnOptions, ChurnRunner, EngineConfig};
 use confine_netsim::chaos::SeedTriple;
 
 struct CellRow {
@@ -248,8 +248,7 @@ fn main() {
         .run(probe)
         .expect("serial");
     let parallel = ChurnRunner::new(ChurnOptions {
-        threads: 2,
-        cache: false,
+        engine: EngineConfig::builder().threads(2).cache(false).build(),
         ..probe_opts
     })
     .run(probe)

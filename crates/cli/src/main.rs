@@ -109,14 +109,19 @@ engine options (schedule, fault-sweep, chaos, churn):
                 chaos defaults to 1 — replay is identical either way)
   --no-cache    disable the neighbourhood-fingerprint verdict memo";
 
+/// Parses the CLI's uniform engine options — `--threads N` and
+/// `--no-cache` — into an [`EngineConfig`].
+fn engine_config(opts: &Opts, default_threads: usize) -> Result<EngineConfig, String> {
+    Ok(EngineConfig::builder()
+        .threads(opts.usize("threads", default_threads)?)
+        .cache(!opts.flag("no-cache"))
+        .build())
+}
+
 /// Seeds a [`Dcc`] builder from the CLI's uniform engine options:
 /// `--threads N` (0 = auto) and `--no-cache`.
 fn dcc_builder(tau: usize, opts: &Opts) -> Result<DccBuilder, String> {
-    let threads = opts.usize("threads", 0)?;
-    Ok(Dcc::builder(tau).engine_config(EngineConfig {
-        threads,
-        cache: !opts.flag("no-cache"),
-    }))
+    Ok(Dcc::builder(tau).engine_config(engine_config(opts, 0)?))
 }
 
 fn load(opts: &Opts) -> Result<Scenario, String> {
@@ -414,8 +419,7 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
         events: opts.usize("events", 6)?,
         rejoin,
         churn: opts.flag("churn"),
-        threads: opts.usize("threads", 1)?,
-        cache: !opts.flag("no-cache"),
+        engine: engine_config(opts, 1)?,
     });
     let shrink = opts.flag("shrink");
 
@@ -522,8 +526,7 @@ fn cmd_churn(opts: &Opts) -> Result<(), String> {
         degrade_every: opts.usize("degrade-every", 5)?,
         degrade_pct: degrade_pct as u8,
         quasi: opts.flag("quasi"),
-        threads: opts.usize("threads", 1)?,
-        cache: !opts.flag("no-cache"),
+        engine: engine_config(opts, 1)?,
     });
 
     // Replay a single triple with its full trace.

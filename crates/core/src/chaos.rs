@@ -59,6 +59,7 @@ use crate::distributed::DistributedStats;
 use crate::repair::RejoinPolicy;
 use crate::schedule::is_vpt_fixpoint;
 use crate::verify::{verify_criterion, CriterionOutcome};
+use crate::vpt_engine::EngineConfig;
 
 /// Configuration of a chaos campaign (shared by every seed triple).
 #[derive(Debug, Clone)]
@@ -73,10 +74,9 @@ pub struct ChaosOptions {
     pub events: usize,
     /// How crash-recovered nodes re-enter the schedule.
     pub rejoin: RejoinPolicy,
-    /// Worker threads of the VPT engine (`0` = machine parallelism).
-    pub threads: usize,
-    /// Whether the VPT engine's verdict cache is enabled.
-    pub cache: bool,
+    /// VPT engine configuration (worker threads, verdict cache) applied to
+    /// every schedule and repair run of the campaign.
+    pub engine: EngineConfig,
     /// Script churn events too: randomly generated plans draw from the full
     /// event alphabet including [`ChaosEvent::Move`] and
     /// [`ChaosEvent::Degrade`], so the topology itself mutates mid-run.
@@ -94,8 +94,7 @@ impl Default for ChaosOptions {
             degree: 12.0,
             events: 6,
             rejoin: RejoinPolicy::ReVerify,
-            threads: 1,
-            cache: true,
+            engine: EngineConfig::builder().threads(1).build(),
             churn: false,
         }
     }
@@ -247,10 +246,7 @@ impl ChaosRunner {
         let mut total = DistributedStats::default();
 
         // Initial schedule (consumes the head of the schedule-seed stream).
-        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
-        if !self.opts.cache {
-            builder = builder.no_cache();
-        }
+        let builder = Dcc::builder(self.opts.tau).engine_config(self.opts.engine);
         let (set, sched_stats) =
             builder
                 .distributed()?
@@ -647,10 +643,7 @@ impl ChaosRunner {
         down: &BTreeMap<NodeId, Vec<NodeId>>,
         exclude: Option<NodeId>,
     ) -> Result<RepairRunner, SimError> {
-        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
-        if !self.opts.cache {
-            builder = builder.no_cache();
-        }
+        let mut builder = Dcc::builder(self.opts.tau).engine_config(self.opts.engine);
         let mut plan = FaultPlan::new();
         if let Some(side) = split {
             let side_vec: Vec<NodeId> = side.iter().copied().collect();

@@ -58,6 +58,7 @@ use crate::distributed::DistributedStats;
 use crate::schedule::is_vpt_fixpoint;
 use crate::verify::{verify_criterion, CriterionOutcome};
 use crate::vpt::neighborhood_radius;
+use crate::vpt_engine::EngineConfig;
 
 /// Which mobility model drives the walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,10 +100,9 @@ pub struct ChurnOptions {
     /// Use a quasi-UDG radio (certain links below `0.6·Rc`, annulus links
     /// with probability `0.5`) instead of a clean UDG.
     pub quasi: bool,
-    /// Worker threads of the VPT engine (`0` = machine parallelism).
-    pub threads: usize,
-    /// Whether the VPT engine's verdict cache is enabled.
-    pub cache: bool,
+    /// VPT engine configuration (worker threads, verdict cache) applied to
+    /// every schedule and repair run of the campaign.
+    pub engine: EngineConfig,
 }
 
 impl Default for ChurnOptions {
@@ -123,8 +123,7 @@ impl Default for ChurnOptions {
             degrade_every: 5,
             degrade_pct: 70,
             quasi: false,
-            threads: 1,
-            cache: true,
+            engine: EngineConfig::builder().threads(1).build(),
         }
     }
 }
@@ -262,10 +261,7 @@ impl ChurnRunner {
         let mut total = DistributedStats::default();
 
         // Initial schedule (consumes the head of the schedule-seed stream).
-        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
-        if !self.opts.cache {
-            builder = builder.no_cache();
-        }
+        let builder = Dcc::builder(self.opts.tau).engine_config(self.opts.engine);
         let (set, sched_stats) =
             builder
                 .distributed()?
@@ -514,10 +510,7 @@ impl ChurnRunner {
     /// node at round 0: physically-off nodes neither hear wake floods nor
     /// answer discovery.
     fn repair_runner(&self, down: &[NodeId]) -> Result<RepairRunner, SimError> {
-        let mut builder = Dcc::builder(self.opts.tau).threads(self.opts.threads);
-        if !self.opts.cache {
-            builder = builder.no_cache();
-        }
+        let mut builder = Dcc::builder(self.opts.tau).engine_config(self.opts.engine);
         let mut plan = FaultPlan::new();
         for &v in down {
             plan = plan.crash(v, 0);

@@ -215,7 +215,7 @@ impl DccBuilder {
         self.check_tau()?;
         Ok(CentralizedRunner {
             order: self.order,
-            engine: VptEngine::with_config(self.tau, self.engine),
+            engine: VptEngine::new(self.tau, self.engine),
             bias: self.bias,
         })
     }
@@ -232,7 +232,7 @@ impl DccBuilder {
                 self.discovery_repeats,
                 self.retry_budget,
             ),
-            engine: VptEngine::with_config(self.tau, self.engine),
+            engine: VptEngine::new(self.tau, self.engine),
         })
     }
 
@@ -241,7 +241,7 @@ impl DccBuilder {
         self.check_tau()?;
         Ok(IncrementalRunner {
             inner: IncrementalDcc::from_builder(self.tau, self.round_limit),
-            engine: VptEngine::with_config(self.tau, self.engine),
+            engine: VptEngine::new(self.tau, self.engine),
         })
     }
 
@@ -259,7 +259,7 @@ impl DccBuilder {
                 self.comm_range,
                 self.faults.unwrap_or_default(),
             ),
-            engine: VptEngine::with_config(self.tau, self.engine),
+            engine: VptEngine::new(self.tau, self.engine),
         })
     }
 }

@@ -42,7 +42,7 @@ use rand::Rng;
 
 use crate::schedule::CoverageSet;
 use crate::vpt::{independence_radius, neighborhood_radius};
-use crate::vpt_engine::{EvalJob, VptEngine};
+use crate::vpt_engine::{EngineConfig, EvalJob, VptEngine};
 
 /// Aggregate cost of a distributed run, per phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -181,7 +181,7 @@ impl DistributedDcc {
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
         self.run_with_engine(graph, boundary, &mut engine, rng)
     }
 
@@ -364,7 +364,7 @@ where
     let verdicts = engine.evaluate_jobs(&jobs);
     let mut deletable = vec![false; boundary.len()];
     let mut any = false;
-    for (job, ok) in jobs.iter().zip(verdicts) {
+    for (job, ok) in jobs.iter().zip(verdicts.iter()) {
         if ok {
             deletable[job.node.index()] = true;
             any = true;

@@ -30,7 +30,7 @@ use rand::Rng;
 use crate::distributed::DistributedStats;
 use crate::schedule::CoverageSet;
 use crate::vpt::{independence_radius, neighborhood_radius};
-use crate::vpt_engine::{EvalJob, VptEngine};
+use crate::vpt_engine::{EngineConfig, EvalJob, VptEngine};
 
 /// A node's cached k-hop neighbourhood: member → adjacency list (as learned
 /// at start-up, minus deletions). Ordered so every iteration over the view
@@ -212,7 +212,7 @@ impl IncrementalDcc {
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
         self.run_with_engine(graph, boundary, &mut engine, rng)
     }
 
@@ -274,7 +274,7 @@ impl IncrementalDcc {
             let verdicts = vpt.evaluate_jobs(&jobs);
             let mut deletable = vec![false; graph.node_count()];
             let mut any = false;
-            for (job, ok) in jobs.iter().zip(verdicts) {
+            for (job, ok) in jobs.iter().zip(verdicts.iter()) {
                 if ok {
                     deletable[job.node.index()] = true;
                     any = true;
@@ -338,6 +338,7 @@ impl IncrementalDcc {
                     continue;
                 }
                 for x in heard {
+                    // lint: alloc-ok(dynamically filtered adjacency per deletion notice, not per candidate)
                     let own: Vec<NodeId> = graph
                         .neighbors(v)
                         .filter(|w| masked.contains(*w) && !winner_flags[w.index()] && *w != x)

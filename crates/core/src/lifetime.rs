@@ -28,7 +28,7 @@ use confine_netsim::SimError;
 use rand::Rng;
 
 use crate::schedule::{run_schedule, CoverageSet, DeletionOrder};
-use crate::vpt_engine::VptEngine;
+use crate::vpt_engine::{EngineConfig, VptEngine};
 
 /// Battery and duty-cycle parameters for the rotation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,7 +147,7 @@ impl RotationScheduler {
         let mut epochs = Vec::new();
         // One engine across all epochs: later epochs re-visit neighbourhood
         // shapes from earlier ones, so the fingerprint memo keeps paying.
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
 
         for _ in 0..max_epochs {
             // Battery-dead nodes leave the topology.
@@ -222,7 +222,7 @@ impl RotationScheduler {
         boundary: &[bool],
         rng: &mut R,
     ) -> Result<usize, SimError> {
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
         let set = run_schedule(
             graph,
             boundary,

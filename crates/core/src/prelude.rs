@@ -16,5 +16,7 @@ pub use crate::dcc::{
 pub use crate::distributed::DistributedStats;
 pub use crate::repair::{ReconcileOutcome, RejoinOutcome, RejoinPolicy, RepairOutcome};
 pub use crate::schedule::{CoverageSet, DeletionOrder};
-pub use crate::vpt_engine::{EngineConfig, EngineStats, VptEngine};
+pub use crate::vpt_engine::{
+    EngineConfig, EngineConfigBuilder, EngineStats, VerdictBits, VptEngine,
+};
 pub use confine_netsim::SimError;

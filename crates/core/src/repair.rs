@@ -40,7 +40,7 @@ use rand::Rng;
 use crate::distributed::DistributedStats;
 use crate::schedule::CoverageSet;
 use crate::vpt::{independence_radius, neighborhood_radius};
-use crate::vpt_engine::{EvalJob, VptEngine};
+use crate::vpt_engine::{EngineConfig, EvalJob, VptEngine};
 
 /// How far the repaired network strayed from the paper's guarantees, and for
 /// how long (all bounds per Proposition 1; distances in units of `Rc`).
@@ -186,7 +186,7 @@ impl CoverageRepair {
         crashed: NodeId,
         rng: &mut R,
     ) -> Result<RepairOutcome, SimError> {
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
         self.repair_with_engine(graph, boundary, active, crashed, &mut engine, rng)
     }
 
@@ -337,7 +337,7 @@ impl CoverageRepair {
         policy: RejoinPolicy,
         rng: &mut R,
     ) -> Result<RejoinOutcome, SimError> {
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
         self.rejoin_with_engine(
             graph,
             boundary,
@@ -493,7 +493,7 @@ impl CoverageRepair {
         dirty: &[NodeId],
         rng: &mut R,
     ) -> Result<ReconcileOutcome, SimError> {
-        let mut engine = VptEngine::new(self.tau);
+        let mut engine = VptEngine::new(self.tau, EngineConfig::default());
         self.reconcile_with_engine(graph, boundary, active, dirty, &mut engine, rng)
     }
 
@@ -623,7 +623,7 @@ impl CoverageRepair {
             let verdicts = vpt.evaluate_jobs(&jobs);
             let mut deletable = vec![false; graph.node_count()];
             let mut any = false;
-            for (job, ok) in jobs.iter().zip(verdicts) {
+            for (job, ok) in jobs.iter().zip(verdicts.iter()) {
                 if ok {
                     deletable[job.node.index()] = true;
                     any = true;

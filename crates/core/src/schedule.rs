@@ -23,7 +23,7 @@ use confine_graph::{mis, Graph, GraphView, Masked, NodeId};
 use confine_netsim::SimError;
 use rand::Rng;
 
-use crate::vpt::{independence_radius, is_vertex_deletable};
+use crate::vpt::{independence_radius, is_vertex_deletable_with, VptScratch};
 use crate::vpt_engine::VptEngine;
 
 /// How deletions are ordered within the schedule.
@@ -166,7 +166,7 @@ where
 
 /// The seed scheduler's semantics with **no** caching and **no**
 /// parallelism: every eligible node is re-evaluated by a fresh
-/// [`is_vertex_deletable`] call in every round.
+/// [`crate::vpt::is_vertex_deletable`] call in every round.
 ///
 /// This is the sequential-uncached baseline the `vpt_engine` benches compare
 /// the engine against; because verdicts are pure, it returns exactly the
@@ -194,11 +194,14 @@ pub fn reference_schedule<R: Rng>(
     let mut masked = Masked::all_active(graph);
     let mut deleted = Vec::new();
     let mut rounds = 0;
+    // One scratch for the whole run: the baseline stays sequential and
+    // uncached, but it need not re-allocate its arenas per candidate.
+    let mut scratch = VptScratch::default();
     loop {
         let candidates: Vec<NodeId> = masked
             .active_nodes()
             .filter(|&v| !boundary[v.index()])
-            .filter(|&v| is_vertex_deletable(&masked, v, tau))
+            .filter(|&v| is_vertex_deletable_with(&masked, v, tau, &mut scratch))
             .collect();
         if candidates.is_empty() {
             break;
@@ -244,9 +247,10 @@ pub fn reference_schedule<R: Rng>(
 /// the deletability test any more.
 pub fn is_vpt_fixpoint(graph: &Graph, active: &[NodeId], boundary: &[bool], tau: usize) -> bool {
     let masked = Masked::from_active(graph, active);
+    let mut scratch = VptScratch::default();
     active
         .iter()
-        .all(|&v| boundary[v.index()] || !is_vertex_deletable(&masked, v, tau))
+        .all(|&v| boundary[v.index()] || !is_vertex_deletable_with(&masked, v, tau, &mut scratch))
 }
 
 #[cfg(test)]

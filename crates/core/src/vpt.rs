@@ -13,17 +13,24 @@
 //! partition. Both tests are local — a node can evaluate them from `k`-hop
 //! connectivity alone, which is what makes the scheduler distributed.
 
-use confine_cycles::horton::{max_irreducible_at_most_with, CycleScratch};
-use confine_graph::{traverse, Graph, GraphView, NodeId};
+use confine_cycles::horton::{
+    connected_and_max_irreducible_at_most_with, max_irreducible_at_most_with, CycleScratch,
+};
+use confine_graph::{traverse, EdgeView, Graph, GraphView, NeighborhoodScratch, NodeId};
 
 /// Reusable scratch state for repeated VPT evaluations.
 ///
-/// Holds the GF(2) elimination buffers of the irreducible-cycle test; one
-/// scratch per evaluating thread removes all per-candidate heap churn from
-/// the scheduler's hot loop. A fresh (`Default`) scratch is always valid.
+/// Holds the GF(2) elimination buffers of the irreducible-cycle test plus the
+/// epoch-stamped ball-extraction arena ([`NeighborhoodScratch`]); one scratch
+/// per evaluating thread removes all per-candidate heap churn — ball BFS,
+/// induced-subgraph build and Horton elimination alike — from the scheduler's
+/// hot loop. A fresh (`Default`) scratch is always valid, and the
+/// [`crate::vpt_engine::VptEngine`] keeps its per-worker scratches alive
+/// across runs and epochs.
 #[derive(Debug, Clone, Default)]
 pub struct VptScratch {
-    cycles: CycleScratch,
+    pub(crate) cycles: CycleScratch,
+    pub(crate) hood: NeighborhoodScratch,
 }
 
 /// The discovery radius `k = ⌈τ/2⌉` used by the transformation.
@@ -106,9 +113,19 @@ pub fn is_vertex_deletable_with<V: GraphView>(
     scratch: &mut VptScratch,
 ) -> bool {
     let k = neighborhood_radius(tau);
-    let ball = traverse::k_hop_neighbors(view, v, k);
-    let (punctured, _) = induced_from_view(view, &ball);
-    vpt_graph_ok_with(&punctured, tau, scratch)
+    scratch.hood.punctured(view, v, k);
+    scratch_csr_ok(scratch, tau)
+}
+
+/// Definition 5 on the punctured CSR most recently extracted into
+/// `scratch.hood` — the allocation-free path the engine's workers run.
+///
+/// The CSR build assigns node and edge ids exactly as
+/// [`induced_from_view`] does on the same member list, so verdicts (and the
+/// engine's fingerprints) are bit-identical across the two substrates.
+pub(crate) fn scratch_csr_ok(scratch: &mut VptScratch, tau: usize) -> bool {
+    let VptScratch { cycles, hood } = scratch;
+    connected_and_max_irreducible_at_most_with(hood.csr(), tau, cycles)
 }
 
 /// Evaluates the edge-deletion condition of the transformation for the edge
@@ -143,12 +160,15 @@ pub fn is_edge_deletable<V: GraphView>(view: &V, a: NodeId, b: NodeId, tau: usiz
 
 /// The two-part test of Definition 5 on an already-materialised punctured
 /// neighbourhood graph.
-pub fn vpt_graph_ok(punctured: &Graph, tau: usize) -> bool {
+///
+/// Generic over [`EdgeView`], so it accepts both owned [`Graph`]s (the
+/// protocol paths ship those) and packed `CsrGraph`s.
+pub fn vpt_graph_ok<G: EdgeView>(punctured: &G, tau: usize) -> bool {
     vpt_graph_ok_with(punctured, tau, &mut VptScratch::default())
 }
 
 /// Scratch-reusing form of [`vpt_graph_ok`].
-pub fn vpt_graph_ok_with(punctured: &Graph, tau: usize, scratch: &mut VptScratch) -> bool {
+pub fn vpt_graph_ok_with<G: EdgeView>(punctured: &G, tau: usize, scratch: &mut VptScratch) -> bool {
     traverse::is_connected(punctured)
         && max_irreducible_at_most_with(punctured, tau, &mut scratch.cycles)
 }

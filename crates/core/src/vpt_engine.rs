@@ -28,17 +28,19 @@
 //! centralized, incremental and repair paths all route their deletability
 //! loops through one engine instead of three ad-hoc loops.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 
-use confine_graph::{traverse, Graph, GraphView, NodeId};
+use confine_graph::{EdgeView, Graph, GraphView, NodeId};
 
-use crate::vpt::{
-    independence_radius, induced_from_view, neighborhood_radius, vpt_graph_ok_with, VptScratch,
-};
+use crate::vpt::{neighborhood_radius, vpt_graph_ok_with, VptScratch};
 
 /// Configuration of a [`VptEngine`].
+///
+/// Construct via [`EngineConfig::builder`] (or [`EngineConfig::default`]);
+/// every scheduler front-end — [`crate::dcc::Dcc::builder`], the chaos and
+/// churn runners, and the CLI's `--threads`/`--no-cache` flags — consumes
+/// this one type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for candidate fan-out; `0` resolves to the machine's
@@ -56,6 +58,42 @@ impl Default for EngineConfig {
             threads: 0,
             cache: true,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder with the defaults (auto thread count, caching on).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`]; see [`EngineConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads for candidate fan-out; `0` (the default) resolves to
+    /// the machine's available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables the verdict cache and fingerprint memo
+    /// (default enabled).
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -93,12 +131,12 @@ pub struct EvalJob {
 /// # Example
 ///
 /// ```
-/// use confine_core::vpt_engine::VptEngine;
+/// use confine_core::vpt_engine::{EngineConfig, VptEngine};
 /// use confine_graph::{generators, Masked, NodeId};
 ///
 /// let g = generators::king_grid_graph(5, 5);
 /// let masked = Masked::all_active(&g);
-/// let mut engine = VptEngine::new(4);
+/// let mut engine = VptEngine::new(4, EngineConfig::default());
 /// engine.begin_run(g.node_count());
 /// let eligible: Vec<NodeId> = g.nodes().collect();
 /// let deletable = engine.deletable_candidates(&masked, &eligible);
@@ -108,27 +146,23 @@ pub struct EvalJob {
 pub struct VptEngine {
     tau: usize,
     k: u32,
-    m: u32,
-    threads: usize,
     cache: bool,
-    /// Round-valid verdicts, invalidated by m-hop balls of membership
+    /// Round-valid verdicts, invalidated by k-hop balls of membership
     /// changes.
     verdicts: Vec<Option<bool>>,
     /// Per-node fingerprint → verdict memo; survives invalidation because
     /// verdicts are pure functions of the fingerprinted subgraph.
-    memo: Vec<HashMap<u64, bool>>,
+    memo: Vec<FpMemo>,
+    /// One arena per worker thread — ball BFS, induced-CSR and GF(2) buffers
+    /// all survive across calls, runs and epochs.
+    scratches: Vec<VptScratch>,
     stats: EngineStats,
 }
 
 impl VptEngine {
-    /// Creates an engine for confine size `tau` with the default
-    /// configuration (auto thread count, caching on).
-    pub fn new(tau: usize) -> Self {
-        VptEngine::with_config(tau, EngineConfig::default())
-    }
-
-    /// Creates an engine with an explicit configuration.
-    pub fn with_config(tau: usize, config: EngineConfig) -> Self {
+    /// Creates an engine for confine size `tau`; build the configuration via
+    /// [`EngineConfig::builder`] (or pass [`EngineConfig::default`]).
+    pub fn new(tau: usize, config: EngineConfig) -> Self {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -139,11 +173,10 @@ impl VptEngine {
         VptEngine {
             tau,
             k: neighborhood_radius(tau),
-            m: independence_radius(tau),
-            threads,
             cache: config.cache,
             verdicts: Vec::new(),
             memo: Vec::new(),
+            scratches: (0..threads).map(|_| VptScratch::default()).collect(),
             stats: EngineStats::default(),
         }
     }
@@ -155,7 +188,7 @@ impl VptEngine {
 
     /// The resolved worker thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.scratches.len()
     }
 
     /// Whether caching is enabled.
@@ -182,7 +215,7 @@ impl VptEngine {
     pub fn begin_run(&mut self, node_bound: usize) {
         if self.verdicts.len() != node_bound {
             self.verdicts = vec![None; node_bound];
-            self.memo = (0..node_bound).map(|_| HashMap::new()).collect();
+            self.memo = (0..node_bound).map(|_| FpMemo::default()).collect();
         } else {
             self.verdicts.iter_mut().for_each(|v| *v = None);
         }
@@ -213,13 +246,14 @@ impl VptEngine {
 
         let (tau, k, cache) = (self.tau, self.k, self.cache);
         let memo = &self.memo;
-        let outcomes = run_jobs(&misses, self.threads, |&(_, v), scratch| {
-            let ball = traverse::k_hop_neighbors(view, v, k);
-            let (punctured, members) = induced_from_view(view, &ball);
-            let fp = fingerprint(&members, &punctured);
+        let outcomes = run_jobs(&misses, &mut self.scratches, |&(_, v), scratch| {
+            // Ball extraction and the induced build run entirely inside the
+            // worker's arena; no per-candidate allocation after warm-up.
+            scratch.hood.punctured(view, v, k);
+            let fp = fingerprint(scratch.hood.members(), scratch.hood.csr());
             match cache.then(|| memo[v.index()].get(&fp)).flatten() {
                 Some(&b) => (fp, b, true),
-                None => (fp, vpt_graph_ok_with(&punctured, tau, scratch), false),
+                None => (fp, crate::vpt::scratch_csr_ok(scratch, tau), false),
             }
         });
 
@@ -262,27 +296,27 @@ impl VptEngine {
     }
 
     /// Evaluates caller-materialised punctured subgraphs through the memo,
-    /// fanning misses out over the worker threads. Returns verdicts in job
-    /// order.
+    /// fanning misses out over the worker threads. Returns a packed verdict
+    /// bitset in job order.
     ///
     /// This is the path the protocol-driven schedulers (incremental, repair,
     /// distributed) use: their discovery state already holds each node's
     /// punctured graph, so only the fingerprint memo applies.
-    pub fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> Vec<bool> {
+    pub fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> VerdictBits {
         let bound = jobs.iter().map(|j| j.node.index() + 1).max().unwrap_or(0);
         if self.memo.len() < bound {
-            self.memo.resize_with(bound, HashMap::new);
+            self.memo.resize_with(bound, FpMemo::default);
         }
         let (tau, cache) = (self.tau, self.cache);
         let memo = &self.memo;
-        let outcomes = run_jobs(jobs, self.threads, |job, scratch| {
+        let outcomes = run_jobs(jobs, &mut self.scratches, |job, scratch| {
             let fp = fingerprint(&job.members, &job.graph);
             match cache.then(|| memo[job.node.index()].get(&fp)).flatten() {
                 Some(&b) => (fp, b, true),
                 None => (fp, vpt_graph_ok_with(&job.graph, tau, scratch), false),
             }
         });
-        let mut verdicts = Vec::with_capacity(jobs.len());
+        let mut verdicts = VerdictBits::with_capacity(jobs.len());
         for (job, &(fp, verdict, memo_hit)) in jobs.iter().zip(&outcomes) {
             if memo_hit {
                 self.stats.memo_hits += 1;
@@ -300,7 +334,7 @@ impl VptEngine {
             // evaluation of its materialised punctured graph, catching
             // fingerprint collisions and stale memo entries.
             let mut scratch = VptScratch::default();
-            for (job, &verdict) in jobs.iter().zip(&verdicts).step_by(8) {
+            for (job, verdict) in jobs.iter().zip(verdicts.iter()).step_by(8) {
                 assert_eq!(
                     verdict,
                     vpt_graph_ok_with(&job.graph, self.tau, &mut scratch),
@@ -313,21 +347,24 @@ impl VptEngine {
     }
 
     /// Records that `v` is about to be deactivated on `view` (call **before**
-    /// the deactivation): round verdicts of every node within `m` hops of
+    /// the deactivation): round verdicts of every node within `k` hops of
     /// `v` are invalidated.
     ///
-    /// The ball computed on the pre-deletion view is a superset of every node
-    /// whose k-hop punctured subgraph can change — deletions never shorten
-    /// distances — and `m = k + 1` adds one more conservative hop, matching
-    /// the invalidation radius of the MIS independence argument.
+    /// Radius `k` is exact, not conservative: `u`'s verdict reads only the
+    /// induced subgraph on `N_k(u) \ {u}`, and every intermediate vertex of
+    /// a `≤ k`-hop path from `u` lies strictly inside `u`'s `k`-ball — so a
+    /// deletion at distance `k + 1` can change neither the ball membership
+    /// nor its induced edges. The ball is computed on the pre-deletion view
+    /// (distances only grow afterwards), hence it covers every affected
+    /// node.
     pub fn note_deletion<V: GraphView>(&mut self, view: &V, v: NodeId) {
         self.invalidate_ball(view, v);
     }
 
     /// Records that `v` was just activated on `view` (call **after** the
-    /// activation, e.g. a repair wake-up): round verdicts of the `m`-hop
-    /// ball of `v` — computed on the post-wake view, so it covers every node
-    /// that can now reach `v` within `k` hops — are invalidated.
+    /// activation, e.g. a repair wake-up): round verdicts of the `k`-hop
+    /// ball of `v` — computed on the post-wake view, so it covers exactly
+    /// the nodes that can now reach `v` within `k` hops — are invalidated.
     pub fn note_wake<V: GraphView>(&mut self, view: &V, v: NodeId) {
         self.invalidate_ball(view, v);
     }
@@ -336,7 +373,10 @@ impl VptEngine {
         if !self.cache {
             return;
         }
-        for w in traverse::k_hop_neighbors(view, v, self.m) {
+        // The ball BFS reuses worker 0's arena — invalidation runs between
+        // fan-outs, when every scratch is idle.
+        let ball = self.scratches[0].hood.ball_members(view, v, self.k);
+        for &w in ball {
             if self.verdicts[w.index()].take().is_some() {
                 self.stats.invalidations += 1;
             }
@@ -347,46 +387,152 @@ impl VptEngine {
     }
 }
 
+/// A packed verdict bitset, returned by [`VptEngine::evaluate_jobs`] in job
+/// order — one bit per job instead of one byte, sized for schedules that
+/// evaluate tens of thousands of candidates per round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl VerdictBits {
+    fn with_capacity(n: usize) -> Self {
+        VerdictBits {
+            words: Vec::with_capacity(n.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, verdict: bool) {
+        let (w, bit) = (self.len / 64, self.len % 64);
+        if bit == 0 {
+            self.words.push(0);
+        }
+        if verdict {
+            self.words[w] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Verdict of job `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "verdict index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of verdicts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no jobs were evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of positive (deletable) verdicts.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the verdicts in job order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
 /// 64-bit structural fingerprint of a punctured neighbourhood: member ids
 /// (sorted, parent-graph numbering) plus the induced edge list. Two equal
 /// fingerprints disagree on the verdict only under a hash collision
 /// (~`n²/2⁶⁴` for `n` distinct neighbourhood states per node — vanishing at
 /// any realistic scale, and property-tested against fresh evaluation).
-fn fingerprint(members: &[NodeId], graph: &Graph) -> u64 {
-    let mut h = DefaultHasher::new();
-    members.len().hash(&mut h);
+///
+/// Generic over [`EdgeView`]: the CSR extraction assigns node and edge ids
+/// exactly as the [`Graph`]-building path does, so both substrates hash to
+/// the same key and share one memo.
+fn fingerprint<G: EdgeView>(members: &[NodeId], graph: &G) -> u64 {
+    let mut h = (members.len() as u64).wrapping_mul(FP_K) ^ graph.edge_count() as u64;
     for v in members {
-        v.index().hash(&mut h);
+        h = fp_mix(h, v.index() as u64);
     }
-    graph.edge_count().hash(&mut h);
-    for (_, a, b) in graph.edges() {
-        (a.index(), b.index()).hash(&mut h);
+    for e in (0..graph.edge_count()).map(confine_graph::EdgeId::from) {
+        let (a, b) = graph.edge_endpoints(e);
+        h = fp_mix(h, ((a.index() as u64) << 32) | b.index() as u64);
     }
-    h.finish()
+    h
 }
 
+/// Odd multiplier for the fingerprint mix (the 64-bit golden-ratio
+/// constant, as in Fibonacci hashing).
+const FP_K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One multiply–xor round: deterministic, word-at-a-time, and an order of
+/// magnitude cheaper than a SipHash pass over the same stream. The memo
+/// tolerates the weaker mixing — a collision costs a wrong cached verdict
+/// only if two *different* subgraphs for the *same* node collide, and the
+/// strict-invariants audit cross-checks cached verdicts against fresh
+/// evaluation.
+#[inline]
+fn fp_mix(h: u64, x: u64) -> u64 {
+    (h.rotate_left(29) ^ x).wrapping_mul(FP_K)
+}
+
+/// Pass-through hasher for memo keys that are already 64-bit fingerprints:
+/// one multiply replaces a full SipHash invocation per probe.
+#[derive(Debug, Default, Clone)]
+struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = fp_mix(self.0, b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(FP_K);
+    }
+}
+
+/// Per-node fingerprint → verdict map keyed by the pass-through hasher.
+type FpMemo = HashMap<u64, bool, BuildHasherDefault<FpHasher>>;
+
 /// Maps `jobs` through `f`, preserving order, spreading contiguous chunks
-/// over up to `threads` scoped worker threads. Each worker owns one
-/// [`VptScratch`]; with one thread (or one job) everything runs inline.
-fn run_jobs<J, O, F>(jobs: &[J], threads: usize, f: F) -> Vec<O>
+/// over scoped worker threads — one persistent [`VptScratch`] per worker, so
+/// arenas warmed by earlier calls keep paying off. With one scratch (or few
+/// jobs) everything runs inline on worker 0.
+fn run_jobs<J, O, F>(jobs: &[J], scratches: &mut [VptScratch], f: F) -> Vec<O>
 where
     J: Sync,
     O: Send,
     F: Fn(&J, &mut VptScratch) -> O + Sync,
 {
-    let threads = threads.clamp(1, jobs.len().max(1));
+    let threads = scratches.len().clamp(1, jobs.len().max(1));
     if threads == 1 {
-        let mut scratch = VptScratch::default();
-        return jobs.iter().map(|j| f(j, &mut scratch)).collect();
+        let scratch = &mut scratches[0];
+        return jobs.iter().map(|j| f(j, scratch)).collect();
     }
     let chunk = jobs.len().div_ceil(threads);
     let mut out: Vec<Option<O>> = (0..jobs.len()).map(|_| None).collect();
+    let f = &f;
     std::thread::scope(|s| {
-        for (js, os) in jobs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(|| {
-                let mut scratch = VptScratch::default();
+        for ((js, os), scratch) in jobs
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(scratches.iter_mut())
+        {
+            s.spawn(move || {
                 for (j, o) in js.iter().zip(os.iter_mut()) {
-                    *o = Some(f(j, &mut scratch));
+                    *o = Some(f(j, scratch));
                 }
             });
         }
@@ -400,8 +546,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vpt::is_vertex_deletable;
-    use confine_graph::{generators, Masked};
+    use crate::vpt::{induced_from_view, is_vertex_deletable};
+    use confine_graph::{generators, traverse, Masked};
 
     fn fresh_candidates(masked: &Masked<'_>, eligible: &[NodeId], tau: usize) -> Vec<NodeId> {
         eligible
@@ -415,7 +561,7 @@ mod tests {
     fn engine_matches_fresh_evaluation_across_deletions() {
         let g = generators::king_grid_graph(6, 6);
         let mut masked = Masked::all_active(&g);
-        let mut engine = VptEngine::new(4);
+        let mut engine = VptEngine::new(4, EngineConfig::default());
         engine.begin_run(g.node_count());
         // Delete a few nodes one at a time, checking the candidate set
         // against fresh evaluation at every step.
@@ -438,7 +584,7 @@ mod tests {
         let g = generators::king_grid_graph(5, 5);
         let masked = Masked::all_active(&g);
         let eligible: Vec<NodeId> = g.nodes().collect();
-        let mut engine = VptEngine::new(4);
+        let mut engine = VptEngine::new(4, EngineConfig::default());
         engine.begin_run(g.node_count());
         let first = engine.deletable_candidates(&masked, &eligible);
         let evals_after_first = engine.stats().evaluations;
@@ -458,13 +604,7 @@ mod tests {
         let g = generators::king_grid_graph(4, 5);
         let masked = Masked::all_active(&g);
         let eligible: Vec<NodeId> = g.nodes().collect();
-        let mut engine = VptEngine::with_config(
-            4,
-            EngineConfig {
-                threads: 1,
-                cache: false,
-            },
-        );
+        let mut engine = VptEngine::new(4, EngineConfig::builder().threads(1).cache(false).build());
         engine.begin_run(g.node_count());
         let a = engine.deletable_candidates(&masked, &eligible);
         let b = engine.deletable_candidates(&masked, &eligible);
@@ -479,20 +619,8 @@ mod tests {
         let g = generators::king_grid_graph(7, 7);
         let masked = Masked::all_active(&g);
         let eligible: Vec<NodeId> = g.nodes().collect();
-        let mut inline = VptEngine::with_config(
-            4,
-            EngineConfig {
-                threads: 1,
-                cache: true,
-            },
-        );
-        let mut fanned = VptEngine::with_config(
-            4,
-            EngineConfig {
-                threads: 4,
-                cache: true,
-            },
-        );
+        let mut inline = VptEngine::new(4, EngineConfig::builder().threads(1).build());
+        let mut fanned = VptEngine::new(4, EngineConfig::builder().threads(4).build());
         inline.begin_run(g.node_count());
         fanned.begin_run(g.node_count());
         assert_eq!(
@@ -516,15 +644,18 @@ mod tests {
                 }
             })
             .collect();
-        let mut engine = VptEngine::new(6);
+        let mut engine = VptEngine::new(6, EngineConfig::default());
         let first = engine.evaluate_jobs(&jobs);
         let evals = engine.stats().evaluations;
         let second = engine.evaluate_jobs(&jobs);
         assert_eq!(first, second);
         assert_eq!(engine.stats().evaluations, evals, "all memo hits");
+        assert_eq!(first.len(), jobs.len());
+        assert!(!first.is_empty());
+        assert!(first.count_ones() <= first.len());
         // Hub deletable at τ = 6; rim nodes' punctured balls lose the rim
         // cycle closure — verdicts must match fresh evaluation regardless.
-        for (job, &verdict) in jobs.iter().zip(&first) {
+        for (job, verdict) in jobs.iter().zip(first.iter()) {
             assert_eq!(verdict, is_vertex_deletable(&g, job.node, 6));
         }
     }
@@ -533,7 +664,7 @@ mod tests {
     fn wake_invalidation_restores_fresh_verdicts() {
         let g = generators::king_grid_graph(6, 6);
         let mut masked = Masked::all_active(&g);
-        let mut engine = VptEngine::new(4);
+        let mut engine = VptEngine::new(4, EngineConfig::default());
         engine.begin_run(g.node_count());
         let eligible: Vec<NodeId> = masked.active_nodes().collect();
         engine.deletable_candidates(&masked, &eligible);

@@ -41,14 +41,13 @@ fn churn_replay_is_identical_across_thread_counts_and_cache_modes() {
     let triple = SeedTriple::derived(0xC0FFEE, 3);
     let serial = ChurnRunner::new(churn_opts()).run(triple).expect("serial");
     let parallel = ChurnRunner::new(ChurnOptions {
-        threads: 4,
+        engine: EngineConfig::builder().threads(4).build(),
         ..churn_opts()
     })
     .run(triple)
     .expect("parallel");
     let uncached = ChurnRunner::new(ChurnOptions {
-        threads: 4,
-        cache: false,
+        engine: EngineConfig::builder().threads(4).cache(false).build(),
         ..churn_opts()
     })
     .run(triple)
@@ -80,8 +79,7 @@ fn scripted_churn_chaos_replays_across_engines() {
     let triple = SeedTriple::derived(0xCAB1E, 1);
     let serial = ChaosRunner::new(chaos_opts()).run(triple).expect("serial");
     let parallel = ChaosRunner::new(ChaosOptions {
-        threads: 4,
-        cache: false,
+        engine: EngineConfig::builder().threads(4).cache(false).build(),
         ..chaos_opts()
     })
     .run(triple)

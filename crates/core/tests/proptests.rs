@@ -354,7 +354,7 @@ proptest! {
             })
             .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut engine = VptEngine::with_config(tau, EngineConfig { threads, cache: true });
+        let mut engine = VptEngine::new(tau, EngineConfig::builder().threads(threads).build());
         engine.begin_run(g.node_count());
         let mut masked = Masked::all_active(&g);
         loop {
@@ -396,7 +396,7 @@ proptest! {
         );
         let g = &scenario.graph;
         let boundary = &scenario.boundary;
-        let mut engine = VptEngine::new(tau);
+        let mut engine = VptEngine::new(tau, EngineConfig::default());
         engine.begin_run(g.node_count());
         let mut masked = Masked::all_active(g);
         loop {
@@ -437,7 +437,7 @@ proptest! {
         // Seeds only diversify the grid/pick dimensions here; deletions are
         // deterministic (first candidate) so failures minimise cleanly.
         let _ = seed;
-        let mut engine = VptEngine::new(tau);
+        let mut engine = VptEngine::new(tau, EngineConfig::default());
         engine.begin_run(g.node_count());
         let mut masked = Masked::all_active(&g);
         // Schedule to a fixpoint through the engine.

@@ -49,7 +49,7 @@ proptest! {
         let g = &scenario.graph;
         let boundary = &scenario.boundary;
 
-        let mut engine = VptEngine::new(tau);
+        let mut engine = VptEngine::new(tau, EngineConfig::default());
         engine.begin_run(g.node_count());
         let mut masked = Masked::all_active(g);
         loop {

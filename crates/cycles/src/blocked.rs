@@ -1,0 +1,314 @@
+//! Blocked ("Four Russians"-style) GF(2) elimination.
+//!
+//! [`Echelon::eliminate`] row-reduces a batch of GF(2) vectors while tracking,
+//! for every reduced row, *which* input vectors sum to it — the combination
+//! bookkeeping the τ-partitionability decomposer needs. The elimination is
+//! blocked: finished pivot rows are grouped, each group is made internally
+//! reduced (Gauss–Jordan on its own pivot columns) and expanded into a
+//! `2^k`-entry XOR table, and every remaining row is then cleared against the
+//! whole group with a single table lookup and one wide XOR instead of up to
+//! `k` row XORs. One table is alive at a time, so memory stays `O(2^k)` rows
+//! regardless of matrix size.
+//!
+//! The reduced row produced for input `j` is the unique element of
+//! `input[j] + span(earlier accepted rows)` that is zero at every earlier
+//! pivot column — the same vector the row-by-row elimination in
+//! [`crate::linalg`] computes — so ranks, pivot sets and decompositions are
+//! bit-identical to the sequential kernel (property-tested in this crate).
+
+use crate::gf2::BitVec;
+
+/// Picks the table width: `2^k` XOR-table entries must pay for themselves
+/// against `k−1` saved row XORs across the remaining rows, so small batches
+/// degenerate towards plain sequential elimination.
+fn chunk_bits(n: usize) -> usize {
+    match n {
+        0..=15 => 1,
+        16..=63 => 4,
+        64..=255 => 6,
+        _ => 8,
+    }
+}
+
+/// XORs row `src` into row `dst` of `rows` (`dst != src`).
+fn xor_rows(rows: &mut [BitVec], dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    if dst < src {
+        let (lo, hi) = rows.split_at_mut(src);
+        lo[dst].xor_assign(&hi[0]);
+    } else {
+        let (lo, hi) = rows.split_at_mut(dst);
+        hi[0].xor_assign(&lo[src]);
+    }
+}
+
+/// A row-echelon form with combination tracking, built by blocked
+/// elimination and reusable across batches without reallocating.
+///
+/// # Example
+///
+/// ```
+/// use confine_cycles::blocked::Echelon;
+/// use confine_cycles::gf2::BitVec;
+///
+/// let rows = vec![
+///     BitVec::from_indices(4, &[0, 1]),
+///     BitVec::from_indices(4, &[1, 2]),
+///     BitVec::from_indices(4, &[0, 2]), // dependent: sum of the first two
+/// ];
+/// let mut ech = Echelon::new();
+/// ech.eliminate(4, &rows);
+/// assert_eq!(ech.rank(), 2);
+/// assert_eq!(ech.accepted(), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Echelon {
+    len: usize,
+    rows: Vec<BitVec>,
+    combos: Vec<BitVec>,
+    pivots: Vec<usize>,
+    accepted: Vec<usize>,
+    /// Retired `BitVec`s recycled across [`Echelon::eliminate`] calls.
+    spare: Vec<BitVec>,
+    table_rows: Vec<BitVec>,
+    table_combos: Vec<BitVec>,
+}
+
+impl Echelon {
+    /// Creates an empty echelon; buffers grow on first use.
+    pub fn new() -> Self {
+        Echelon::default()
+    }
+
+    /// Vector length of the last elimination.
+    pub fn vector_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of linearly independent input rows.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Pivot column of each reduced row, in acceptance order.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// The reduced rows, in acceptance order. Row `r` is zero at the pivot
+    /// column of every earlier row and has bit `pivots()[r]` set.
+    pub fn rows(&self) -> &[BitVec] {
+        &self.rows
+    }
+
+    /// For each reduced row, the set of input indices whose GF(2) sum equals
+    /// it (`combos()[r]` has `input.len()` bits).
+    pub fn combos(&self) -> &[BitVec] {
+        &self.combos
+    }
+
+    /// Indices of the input rows that were accepted as independent,
+    /// in increasing order.
+    pub fn accepted(&self) -> &[usize] {
+        &self.accepted
+    }
+
+    /// Row-reduces `input` (vectors of `len` bits), replacing any previous
+    /// contents of `self` and recycling its allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector's length differs from `len`.
+    pub fn eliminate(&mut self, len: usize, input: &[BitVec]) {
+        self.len = len;
+        self.spare.append(&mut self.rows);
+        self.spare.append(&mut self.combos);
+        self.pivots.clear();
+        self.accepted.clear();
+
+        let n = input.len();
+        let mut work: Vec<BitVec> = Vec::with_capacity(n);
+        let mut work_combos: Vec<BitVec> = Vec::with_capacity(n);
+        for (j, v) in input.iter().enumerate() {
+            assert_eq!(v.len(), len, "input vector {j} has wrong length");
+            let mut w = self.spare.pop().unwrap_or_default();
+            w.copy_from(v);
+            work.push(w);
+            let mut c = self.spare.pop().unwrap_or_default();
+            c.reset(n);
+            c.set(j, true);
+            work_combos.push(c);
+        }
+
+        let k = chunk_bits(n);
+        // Pivot column of accepted row `j` of `work`; only read for tail
+        // members, which always have an entry.
+        let mut pivot_of = vec![0usize; n];
+        // Accepted rows not yet folded into a finished table.
+        let mut tail: Vec<usize> = Vec::with_capacity(k);
+        for j in 0..n {
+            // `work[j]` is already reduced against every finished group (the
+            // eager table pass below); clear the unfinished tail row by row.
+            for &i in &tail {
+                if work[j].get(pivot_of[i]) {
+                    xor_rows(&mut work, j, i);
+                    xor_rows(&mut work_combos, j, i);
+                }
+            }
+            let Some(p) = work[j].first_one() else {
+                continue; // dependent on earlier rows
+            };
+            pivot_of[j] = p;
+            self.pivots.push(p);
+            self.accepted.push(j);
+            tail.push(j);
+            if tail.len() == k && j + 1 < n {
+                self.finish_group(&mut work, &mut work_combos, &pivot_of, &tail, j + 1);
+                tail.clear();
+            }
+        }
+
+        for (j, (w, c)) in work.into_iter().zip(work_combos).enumerate() {
+            if self.accepted.binary_search(&j).is_ok() {
+                self.rows.push(w);
+                self.combos.push(c);
+            } else {
+                self.spare.push(w);
+                self.spare.push(c);
+            }
+        }
+    }
+
+    /// Finishes a group of accepted rows: makes them internally reduced,
+    /// expands them into a `2^|tail|`-entry XOR table, and clears the group's
+    /// pivot columns from every row in `work[from..]` with one lookup each.
+    fn finish_group(
+        &mut self,
+        work: &mut [BitVec],
+        work_combos: &mut [BitVec],
+        pivot_of: &[usize],
+        tail: &[usize],
+        from: usize,
+    ) {
+        // Gauss–Jordan on the group's own pivot columns: afterwards row `a`
+        // has bit 1 exactly at its own pivot among the group pivots, so a
+        // mask gathered from a target row picks the unique table entry that
+        // clears all of them at once. Rows XORed in are zero at every earlier
+        // pivot, so the echelon invariant survives.
+        for (b, &ib) in tail.iter().enumerate() {
+            for (a, &ia) in tail.iter().enumerate() {
+                if a != b && work[ia].get(pivot_of[ib]) {
+                    xor_rows(work, ia, ib);
+                    xor_rows(work_combos, ia, ib);
+                }
+            }
+        }
+        let size = 1usize << tail.len();
+        while self.table_rows.len() < size {
+            self.table_rows.push(BitVec::default());
+            self.table_combos.push(BitVec::default());
+        }
+        let combo_len = work_combos[tail[0]].len();
+        self.table_rows[0].reset(self.len);
+        self.table_combos[0].reset(combo_len);
+        for m in 1..size {
+            let prev = m & (m - 1);
+            let bit = m.trailing_zeros() as usize;
+            let (lo, hi) = self.table_rows.split_at_mut(m);
+            hi[0].copy_from(&lo[prev]);
+            hi[0].xor_assign(&work[tail[bit]]);
+            let (lo, hi) = self.table_combos.split_at_mut(m);
+            hi[0].copy_from(&lo[prev]);
+            hi[0].xor_assign(&work_combos[tail[bit]]);
+        }
+        for t in from..work.len() {
+            let mut m = 0usize;
+            for (idx, &i) in tail.iter().enumerate() {
+                if work[t].get(pivot_of[i]) {
+                    m |= 1 << idx;
+                }
+            }
+            if m != 0 {
+                work[t].xor_assign(&self.table_rows[m]);
+                work_combos[t].xor_assign(&self.table_combos[m]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Gf2Basis;
+
+    fn v(len: usize, idx: &[usize]) -> BitVec {
+        BitVec::from_indices(len, idx)
+    }
+
+    #[test]
+    fn matches_online_oracle_on_small_batch() {
+        let rows = vec![
+            v(6, &[0, 1]),
+            v(6, &[2, 3]),
+            v(6, &[1, 2]),
+            v(6, &[0, 3]), // sum of the first three
+            v(6, &[4, 5]),
+        ];
+        let mut ech = Echelon::new();
+        ech.eliminate(6, &rows);
+        let mut basis = Gf2Basis::new(6);
+        let mut kept = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            if basis.try_insert(r) {
+                kept.push(i);
+            }
+        }
+        assert_eq!(ech.rank(), basis.rank());
+        assert_eq!(ech.accepted(), kept.as_slice());
+    }
+
+    #[test]
+    fn combos_sum_back_to_rows() {
+        let rows: Vec<BitVec> = (0..40)
+            .map(|i| v(50, &[i, (i * 7 + 3) % 50, (i * 13 + 1) % 50]))
+            .collect();
+        let mut ech = Echelon::new();
+        ech.eliminate(50, &rows);
+        for (r, combo) in ech.rows().iter().zip(ech.combos()) {
+            let mut sum = BitVec::zeros(50);
+            for i in combo.ones() {
+                sum.xor_assign(&rows[i]);
+            }
+            assert_eq!(&sum, r);
+        }
+        // Every row is zero at all earlier pivots and set at its own.
+        for (i, r) in ech.rows().iter().enumerate() {
+            assert!(r.get(ech.pivots()[i]));
+            for &q in &ech.pivots()[..i] {
+                assert!(!r.get(q), "row {i} not cleared at earlier pivot {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_across_batches() {
+        let mut ech = Echelon::new();
+        ech.eliminate(8, &[v(8, &[0, 1]), v(8, &[1, 2])]);
+        assert_eq!(ech.rank(), 2);
+        ech.eliminate(3, &[v(3, &[0]), v(3, &[0]), v(3, &[1, 2])]);
+        assert_eq!(ech.rank(), 2);
+        assert_eq!(ech.accepted(), &[0, 2]);
+        assert_eq!(ech.vector_len(), 3);
+    }
+
+    #[test]
+    fn zero_and_empty_inputs() {
+        let mut ech = Echelon::new();
+        ech.eliminate(5, &[]);
+        assert_eq!(ech.rank(), 0);
+        ech.eliminate(5, &[BitVec::zeros(5), v(5, &[3])]);
+        assert_eq!(ech.rank(), 1);
+        assert_eq!(ech.pivots(), &[3]);
+        assert_eq!(ech.accepted(), &[1]);
+    }
+}

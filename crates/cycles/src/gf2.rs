@@ -7,7 +7,8 @@
 
 use std::fmt;
 
-const BLOCK_BITS: usize = 64;
+/// Number of bits per storage block (`u64` words).
+pub const BLOCK_BITS: usize = 64;
 
 /// A fixed-length vector over GF(2).
 ///
@@ -156,12 +157,49 @@ impl BitVec {
 
     /// Index of the lowest set bit, or `None` for the zero vector.
     pub fn first_one(&self) -> Option<usize> {
-        for (bi, &block) in self.blocks.iter().enumerate() {
+        self.first_one_from(0)
+    }
+
+    /// Index of the lowest set bit at or above block `from_block`, or `None`.
+    ///
+    /// The word-level eliminations resume pivot scans here: once every bit
+    /// below a block is known to be zero, later scans skip those words
+    /// instead of re-reading them.
+    #[inline]
+    pub fn first_one_from(&self, from_block: usize) -> Option<usize> {
+        for (bi, &block) in self.blocks.iter().enumerate().skip(from_block) {
             if block != 0 {
                 return Some(bi * BLOCK_BITS + block.trailing_zeros() as usize);
             }
         }
         None
+    }
+
+    /// Number of `u64` blocks backing this vector.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// In-place XOR with `other`, touching only blocks `from_block..`.
+    ///
+    /// Sound whenever both operands are known to be zero below `from_block`
+    /// (e.g. both have their lowest set bit in that block); the elimination
+    /// kernels use this to make each reduction step proportional to the
+    /// remaining suffix rather than the full vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn xor_suffix(&mut self, other: &BitVec, from_block: usize) {
+        assert_eq!(self.len, other.len, "GF(2) addition requires equal lengths");
+        for (a, b) in self.blocks[from_block..]
+            .iter_mut()
+            .zip(&other.blocks[from_block..])
+        {
+            *a ^= b;
+        }
     }
 
     /// Number of set bits (the Hamming weight; for a cycle vector, its

@@ -20,7 +20,7 @@
 //! via [Chickering–Geiger–Heckerman 1995]).
 
 use confine_graph::spt::SptTree;
-use confine_graph::{EdgeId, Graph};
+use confine_graph::{EdgeId, EdgeView, Graph, NodeId};
 
 use crate::cycle::Cycle;
 use crate::gf2::BitVec;
@@ -224,67 +224,532 @@ pub fn irreducible_cycle_bounds(graph: &Graph) -> Option<IrreducibleBounds> {
 
 /// Reusable scratch state for [`max_irreducible_at_most_with`].
 ///
-/// The VPT inner test eliminates one small cycle space per candidate node per
-/// scheduling round; keeping the GF(2) basis rows and the candidate working
-/// vector alive between calls removes all per-call heap traffic from that hot
-/// loop. A fresh (`Default`) scratch is always valid.
+/// The VPT inner test ranks one small cycle space per candidate node per
+/// scheduling round; every working array of that kernel (BFS stamps, the
+/// fundamental-coordinate map, adjacency bitsets, the annihilator columns)
+/// lives here and is recycled between calls, so the hot loop performs no
+/// steady-state allocation. A fresh (`Default`) scratch is always valid.
 #[derive(Debug, Clone, Default)]
 pub struct CycleScratch {
-    oracle: Gf2Basis,
-    work: BitVec,
+    /// Per-node visit stamp, shared by the forest build, the 4-cycle pair
+    /// dedup and the per-root sweeps (each bumps `stamp`).
+    visit: Vec<u32>,
+    /// Per-node BFS depth, valid where `visit` matches the current stamp.
+    depth: Vec<u32>,
+    /// Per-node parent edge id in the current BFS tree (`u32::MAX` at roots).
+    parent_edge: Vec<u32>,
+    /// Per-node parent node id in the current BFS tree.
+    parent: Vec<u32>,
+    /// BFS queue, kept as the visit order of the current root.
+    queue: Vec<u32>,
+    /// Per-edge fundamental coordinate (`u32::MAX` marks forest edges).
+    coord: Vec<u32>,
+    /// Stamped dense pair → coordinate matrix (small graphs only).
+    pair_val: Vec<u32>,
+    /// Stamps validating `pair_val` entries.
+    pair_stamp: Vec<u32>,
+    /// Adjacency bitsets: `n` rows of `nw` words.
+    adj: Vec<u64>,
+    /// Column-major annihilator of the accepted span: `ν` columns of `w`
+    /// words; column `p` is the vector of functional values at coordinate `p`.
+    cols: Vec<u64>,
+    /// Probe residual (`w` words).
+    probe: Vec<u64>,
+    /// Common-neighbour buffer for the 4-cycle enumeration.
+    commons: Vec<u32>,
+    /// Distance-2 candidate bitset for the 4-cycle tier (one row of words).
+    dist2: Vec<u64>,
+    /// Monotone stamp for `visit` / `pair_stamp`.
+    stamp: u32,
+}
+
+/// Marker for spanning-forest edges in the coordinate map.
+const TREE: u32 = u32::MAX;
+
+/// Dense pair-matrix cutoff: below this many `n²` entries the kernel keeps a
+/// stamped `n × n` coordinate lookup (one array read per edge query); above
+/// it, pair queries fall back to binary search on the incident slices.
+const DENSE_PAIR_ENTRIES: usize = 1 << 20;
+
+/// XORs annihilator column `c` into `probe` (skips forest edges).
+#[inline]
+fn xor_coord(probe: &mut [u64], cols: &[u64], w: usize, c: u32) {
+    if c != TREE {
+        let base = c as usize * w;
+        for (pi, ci) in probe.iter_mut().zip(&cols[base..base + w]) {
+            *pi ^= ci;
+        }
+    }
+}
+
+/// Restricts the annihilator to the hyperplane orthogonal to the accepted
+/// vector whose probe residual is `t` (nonzero): picks the lowest live
+/// functional `j` with `t_j = 1` and replaces every functional `g` that sees
+/// the vector by `g + f_j`; `f_j` itself drops out (its row auto-zeroes,
+/// since `t_j = 1`).
+fn eliminate(cols: &mut [u64], w: usize, t: &[u64]) {
+    let (jw, word) = t
+        .iter()
+        .enumerate()
+        .find(|(_, &x)| x != 0)
+        // lint: panic-ok(callers eliminate only nonzero residuals)
+        .expect("residual is nonzero");
+    let jb = word.trailing_zeros();
+    // Branchless: testing `col[jw]` bit `jb` per column would mispredict
+    // ~half the time across the whole annihilator; a masked XOR keeps the
+    // scan a straight line of word ops.
+    for col in cols.chunks_exact_mut(w) {
+        let mask = 0u64.wrapping_sub((col[jw] >> jb) & 1);
+        for (ci, ti) in col.iter_mut().zip(t) {
+            *ci ^= ti & mask;
+        }
+    }
 }
 
 /// Fast predicate: is the *maximum* irreducible cycle of `graph` at most
 /// `tau`?
 ///
 /// Equivalent to `irreducible_cycle_bounds(graph).map_or(true, |b| b.max <= tau)`
-/// but cheaper: cycles of length ≤ `tau` span the whole cycle space **iff**
-/// the maximum irreducible cycle is ≤ `tau`, so it suffices to rank the
-/// length-capped Horton candidates — no full basis is materialised and the
-/// scan exits as soon as the rank reaches `ν`.
+/// but far cheaper: cycles of length ≤ `tau` span the whole cycle space
+/// **iff** the maximum irreducible cycle is ≤ `tau`, so it suffices to test
+/// whether the short-cycle candidates span — no basis is materialised and
+/// the scan exits as soon as the span is complete.
 ///
 /// Forests (no cycles) trivially satisfy the bound. This is the inner test of
 /// the void preserving transformation (Definition 5), executed once per node
 /// per scheduling round, so its speed dominates the scheduler.
-pub fn max_irreducible_at_most(graph: &Graph, tau: usize) -> bool {
-    max_irreducible_at_most_with(graph, tau, &mut CycleScratch::default())
+pub fn max_irreducible_at_most<V: EdgeView>(view: &V, tau: usize) -> bool {
+    max_irreducible_at_most_with(view, tau, &mut CycleScratch::default())
 }
 
 /// Scratch-reusing form of [`max_irreducible_at_most`].
 ///
 /// Identical result; the caller owns the [`CycleScratch`] and amortises its
-/// allocations across many graphs (one punctured neighbourhood per candidate
-/// node per round in the DCC schedulers).
-pub fn max_irreducible_at_most_with(graph: &Graph, tau: usize, scratch: &mut CycleScratch) -> bool {
-    let nu = crate::space::circuit_rank(graph);
+/// arrays across many graphs (one punctured neighbourhood per candidate node
+/// per round in the DCC schedulers). Generic over [`EdgeView`], so the
+/// engine's packed `CsrGraph` neighbourhoods run through the same kernel as
+/// owned [`Graph`]s.
+///
+/// # Algorithm
+///
+/// Candidates are tested in *fundamental coordinates*: fix a BFS spanning
+/// forest and number the `ν` non-forest edges; a cycle's coordinate vector
+/// over the fundamental-cycle basis is exactly its restriction to those
+/// edges, so no edge-space bit-vector is ever built. Instead of reducing
+/// each candidate against an echelon basis, the kernel maintains the
+/// *annihilator* of the span accepted so far — a shrinking set of `d`
+/// GF(2) functionals stored column-major (`ν` columns of `⌈ν/64⌉` words).
+/// Testing a candidate XORs one column per non-forest edge it contains and
+/// checks the residual for zero; accepting one is a rank-1 column update.
+/// Dependent candidates — the overwhelming majority in the dense
+/// neighbourhood graphs the scheduler probes — therefore cost a handful of
+/// word operations rather than a full elimination walk, and the kernel
+/// returns `true` the moment the deficiency `d` hits zero.
+///
+/// Three exact reductions shrink the scan further: non-forest edges whose
+/// *fundamental* cycle (an LCA walk on the BFS forest, capped at `tau`
+/// steps) is already short are pre-accepted and their coordinates stripped
+/// — unit vectors eliminate to functionals that vanish there — so `d`
+/// starts well below `ν` and the live width usually fits one word; 4-cycle
+/// diagonals probe only the `s` star cycles through one fixed common
+/// neighbour, which span all `C(s+1, 2)` quadrilaterals of that diagonal;
+/// and the tier scan is monomorphised over the functional word width with
+/// register-resident probes (`W ∈ {1, 2, 4}`, dynamic fallback above).
+///
+/// Candidate generation is tiered: triangles from adjacency-bitset
+/// intersections, 4-cycles from common-neighbour pairs (both enumerated
+/// once each), and for `tau ≥ 5` a depth-capped Horton sweep (per-root BFS
+/// tree paths closed by a non-tree edge). The sweep drops Horton's
+/// LCA-at-root filter: a non-simple closed walk of length ≤ `tau`
+/// decomposes into cycles each of length ≤ `tau`, so probing it is sound,
+/// and a rejected duplicate is cheaper than the filter that would have
+/// skipped it.
+pub fn max_irreducible_at_most_with<V: EdgeView>(
+    view: &V,
+    tau: usize,
+    scratch: &mut CycleScratch,
+) -> bool {
+    span_kernel(view, tau, scratch, false)
+}
+
+/// [`max_irreducible_at_most_with`] fused with a connectivity test: `true`
+/// iff `view` is connected (empty and single-node graphs count, matching
+/// `is_connected`) *and* its maximum irreducible cycle is at most `tau`.
+///
+/// The inner test of the void preserving transformation needs both answers
+/// for every punctured neighbourhood; sharing the kernel's spanning-forest
+/// BFS saves the separate connectivity sweep per candidate.
+pub fn connected_and_max_irreducible_at_most_with<V: EdgeView>(
+    view: &V,
+    tau: usize,
+    scratch: &mut CycleScratch,
+) -> bool {
+    span_kernel(view, tau, scratch, true)
+}
+
+fn span_kernel<V: EdgeView>(
+    view: &V,
+    tau: usize,
+    scratch: &mut CycleScratch,
+    require_connected: bool,
+) -> bool {
+    let n = view.node_bound();
+    let m = view.edge_count();
+    let CycleScratch {
+        visit,
+        depth,
+        parent_edge,
+        parent,
+        queue,
+        coord,
+        pair_val,
+        pair_stamp,
+        adj,
+        cols,
+        probe,
+        commons,
+        dist2,
+        stamp,
+    } = scratch;
+
+    // Stamp hygiene: restart the epoch before the counter can wrap within
+    // one call (one global tick plus one per 4-cycle pivot and per root).
+    if *stamp >= u32::MAX - (2 * n as u32 + 2) {
+        visit.iter_mut().for_each(|s| *s = 0);
+        pair_stamp.iter_mut().for_each(|s| *s = 0);
+        *stamp = 0;
+    }
+    if visit.len() < n {
+        visit.resize(n, 0);
+        depth.resize(n, 0);
+        parent_edge.resize(n, 0);
+        parent.resize(n, 0);
+    }
+
+    // Global BFS spanning forest: components for ν, parent edges for the
+    // fundamental-coordinate map.
+    *stamp += 1;
+    let s0 = *stamp;
+    let mut tree_edges = 0usize;
+    queue.clear();
+    for root in 0..n {
+        if visit[root] == s0 {
+            continue;
+        }
+        // A non-empty queue here means a second component root: the first
+        // component's BFS is complete yet did not reach this node.
+        if require_connected && !queue.is_empty() {
+            return false;
+        }
+        visit[root] = s0;
+        parent_edge[root] = u32::MAX;
+        queue.push(root as u32);
+        let mut head = queue.len() - 1;
+        depth[root] = 0;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            let (nbrs, eids) = view.incident_slices(NodeId::from(v));
+            for (&wn, &e) in nbrs.iter().zip(eids) {
+                let wi = wn.index();
+                if visit[wi] != s0 {
+                    visit[wi] = s0;
+                    parent_edge[wi] = e.index() as u32;
+                    parent[wi] = v as u32;
+                    depth[wi] = depth[v] + 1;
+                    tree_edges += 1;
+                    queue.push(wi as u32);
+                }
+            }
+        }
+    }
+    let nu = m - tree_edges;
     if nu == 0 {
         return true;
     }
     if tau < 3 {
         return false;
     }
-    scratch.oracle.reset(graph.edge_count());
-    let CycleScratch { oracle, work } = scratch;
-    let mut rank = 0usize;
 
-    // Tier 1: triangles, enumerated directly from cliques — in the dense
-    // neighbourhood graphs the scheduler tests, triangles alone usually span
-    // the cycle space and the expensive Horton sweep never starts.
-    for a in graph.nodes() {
-        let nbrs: Vec<(confine_graph::NodeId, EdgeId)> =
-            graph.incident(a).filter(|&(b, _)| b > a).collect();
-        for (i, &(b, eab)) in nbrs.iter().enumerate() {
-            for &(c, eac) in &nbrs[i + 1..] {
-                let Some(ebc) = graph.edge_between(b, c) else {
-                    continue;
-                };
-                work.reset(graph.edge_count());
-                work.set(eab.index(), true);
-                work.set(eac.index(), true);
-                work.set(ebc.index(), true);
-                if oracle.try_insert(work) {
-                    rank += 1;
-                    if rank == nu {
+    // Fundamental coordinates, with short fundamental cycles seeded into
+    // the span up front. A non-forest edge whose fundamental cycle (forest
+    // path + closing edge, measured by an LCA walk capped at tau steps) is
+    // at most tau long contributes a *unit* coordinate vector, so accepting
+    // it just deletes its coordinate from the space. Those edges get the
+    // TREE marker too — every functional the annihilator will ever hold
+    // vanishes on them, so skipping them in probes is exact — and only the
+    // surviving coordinates are numbered. Geometric neighbourhoods route
+    // most non-forest edges through nearby tree paths, so this typically
+    // absorbs the bulk of the rank before any candidate is probed and
+    // shrinks the annihilator to a word or two per column.
+    coord.clear();
+    coord.resize(m, 0);
+    for v in 0..n {
+        if visit[v] == s0 && parent_edge[v] != u32::MAX {
+            coord[parent_edge[v] as usize] = TREE;
+        }
+    }
+    let mut next = 0u32;
+    for (e, ce) in coord.iter_mut().enumerate() {
+        if *ce == TREE {
+            continue;
+        }
+        let (a, b) = view.edge_endpoints(EdgeId::from(e));
+        let (mut x, mut y) = (a.index(), b.index());
+        let mut len = 1usize;
+        while x != y && len < tau {
+            if depth[x] >= depth[y] {
+                x = parent[x] as usize;
+            } else {
+                y = parent[y] as usize;
+            }
+            len += 1;
+        }
+        if x == y {
+            *ce = TREE;
+        } else {
+            *ce = next;
+            next += 1;
+        }
+    }
+    debug_assert!((next as usize) <= nu);
+
+    // Annihilator of the seeded span, restricted to the d surviving
+    // coordinates: the identity functionals. Deficiency d counts the
+    // functionals still alive.
+    let d = next as usize;
+    if d == 0 {
+        return true;
+    }
+    let w = d.div_ceil(64);
+    let ws = match w {
+        1 => 1,
+        2 => 2,
+        3 | 4 => 4,
+        _ => w,
+    };
+    cols.clear();
+    cols.resize(d * ws, 0);
+    for p in 0..d {
+        cols[p * ws + p / 64] = 1u64 << (p % 64);
+    }
+
+    // Adjacency bitsets and the pair → coordinate lookup.
+    let nw = n.div_ceil(64);
+    adj.clear();
+    adj.resize(n * nw, 0);
+    let dense = n * n <= DENSE_PAIR_ENTRIES;
+    if dense && pair_val.len() < n * n {
+        pair_val.resize(n * n, 0);
+        pair_stamp.resize(n * n, 0);
+    }
+    for (e, &ce) in coord.iter().enumerate() {
+        let (a, b) = view.edge_endpoints(EdgeId::from(e));
+        let (ai, bi) = (a.index(), b.index());
+        adj[ai * nw + bi / 64] |= 1u64 << (bi % 64);
+        adj[bi * nw + ai / 64] |= 1u64 << (ai % 64);
+        if dense {
+            pair_val[ai * n + bi] = ce;
+            pair_val[bi * n + ai] = ce;
+            pair_stamp[ai * n + bi] = s0;
+            pair_stamp[bi * n + ai] = s0;
+        }
+    }
+    // Dispatch on annihilator width. After seeding, punctured
+    // neighbourhoods almost always land at d ≤ 256, where a fixed-width
+    // probe lives entirely in registers and every per-word loop unrolls;
+    // wider graphs (whole-topology audits) take the dynamic-width path.
+    // Strides 3 are padded up to 4; the pad words are zero throughout, so
+    // masked XORs against them are no-ops.
+    match ws {
+        1 => scan_tiers::<V, 1>(
+            view,
+            tau,
+            n,
+            nw,
+            s0,
+            dense,
+            coord,
+            adj,
+            pair_val,
+            pair_stamp,
+            visit,
+            depth,
+            parent,
+            parent_edge,
+            queue,
+            commons,
+            dist2,
+            stamp,
+            cols,
+            d,
+        ),
+        2 => scan_tiers::<V, 2>(
+            view,
+            tau,
+            n,
+            nw,
+            s0,
+            dense,
+            coord,
+            adj,
+            pair_val,
+            pair_stamp,
+            visit,
+            depth,
+            parent,
+            parent_edge,
+            queue,
+            commons,
+            dist2,
+            stamp,
+            cols,
+            d,
+        ),
+        4 => scan_tiers::<V, 4>(
+            view,
+            tau,
+            n,
+            nw,
+            s0,
+            dense,
+            coord,
+            adj,
+            pair_val,
+            pair_stamp,
+            visit,
+            depth,
+            parent,
+            parent_edge,
+            queue,
+            commons,
+            dist2,
+            stamp,
+            cols,
+            d,
+        ),
+        _ => {
+            probe.clear();
+            probe.resize(ws, 0);
+            scan_tiers_dyn(
+                view,
+                tau,
+                n,
+                nw,
+                s0,
+                dense,
+                coord,
+                adj,
+                pair_val,
+                pair_stamp,
+                visit,
+                depth,
+                parent,
+                parent_edge,
+                queue,
+                commons,
+                dist2,
+                stamp,
+                cols,
+                probe,
+                ws,
+                d,
+            )
+        }
+    }
+}
+
+/// XORs annihilator column `c` into a fixed-width `probe` (skips forest and
+/// seeded edges, whose functionals are identically zero).
+#[inline(always)]
+fn xor_coord_w<const W: usize>(probe: &mut [u64; W], cols: &[u64], c: u32) {
+    if c != TREE {
+        let base = c as usize * W;
+        for i in 0..W {
+            probe[i] ^= cols[base + i];
+        }
+    }
+}
+
+/// Fixed-width form of [`eliminate`]: same branchless masked rank-1 update,
+/// with the inner word loop unrolled at compile time.
+#[inline]
+fn eliminate_w<const W: usize>(cols: &mut [u64], t: &[u64; W]) {
+    let (jw, word) = t
+        .iter()
+        .enumerate()
+        .find(|(_, &x)| x != 0)
+        // lint: panic-ok(callers eliminate only nonzero residuals)
+        .expect("residual is nonzero");
+    let jb = word.trailing_zeros();
+    for col in cols.chunks_exact_mut(W) {
+        let mask = 0u64.wrapping_sub((col[jw] >> jb) & 1);
+        for i in 0..W {
+            col[i] ^= t[i] & mask;
+        }
+    }
+}
+
+/// The three candidate tiers (triangles, 4-cycles, depth-capped Horton
+/// sweep) over a `W`-word annihilator. Monomorphised per width so the probe
+/// is a register array and every word loop unrolls; see
+/// [`max_irreducible_at_most_with`] for the tier rationale.
+#[allow(clippy::too_many_arguments)]
+fn scan_tiers<V: EdgeView, const W: usize>(
+    view: &V,
+    tau: usize,
+    n: usize,
+    nw: usize,
+    s0: u32,
+    dense: bool,
+    coord: &[u32],
+    adj: &[u64],
+    pair_val: &[u32],
+    pair_stamp: &[u32],
+    visit: &mut [u32],
+    depth: &mut [u32],
+    parent: &mut [u32],
+    parent_edge: &mut [u32],
+    queue: &mut Vec<u32>,
+    commons: &mut Vec<u32>,
+    dist2: &mut Vec<u64>,
+    stamp: &mut u32,
+    cols: &mut [u64],
+    mut d: usize,
+) -> bool {
+    let pair_coord = |a: usize, b: usize| -> u32 {
+        if dense {
+            debug_assert_eq!(pair_stamp[a * n + b], s0, "pair lookups hit known edges");
+            pair_val[a * n + b]
+        } else {
+            match view.find_edge(NodeId::from(a), NodeId::from(b)) {
+                Some(e) => coord[e.index()],
+                None => TREE,
+            }
+        }
+    };
+
+    // Tier 1: triangles, once each via their edge with the two smallest
+    // endpoints (c ranges above max(a, b)).
+    for (e, &ce) in coord.iter().enumerate() {
+        let (a, b) = view.edge_endpoints(EdgeId::from(e));
+        let (ai, bi) = (a.index(), b.index());
+        for wi in bi / 64..nw {
+            let mut word = adj[ai * nw + wi] & adj[bi * nw + wi];
+            if wi == bi / 64 {
+                word &= (!0u64).checked_shl(bi as u32 % 64 + 1).unwrap_or(0);
+            }
+            while word != 0 {
+                let c = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let mut probe = [0u64; W];
+                xor_coord_w(&mut probe, cols, ce);
+                xor_coord_w(&mut probe, cols, pair_coord(ai, c));
+                xor_coord_w(&mut probe, cols, pair_coord(bi, c));
+                if probe.iter().any(|&x| x != 0) {
+                    eliminate_w(cols, &probe);
+                    d -= 1;
+                    if d == 0 {
                         return true;
                     }
                 }
@@ -292,50 +757,349 @@ pub fn max_irreducible_at_most_with(graph: &Graph, tau: usize, scratch: &mut Cyc
         }
     }
     if tau == 3 {
-        return false;
+        return d == 0;
     }
 
-    // Tier 2: Horton candidates of length 4..=tau, streamed with early
-    // exit. The span (hence the rank) is order-independent, so no sorting
-    // is needed for this predicate.
-    for v in graph.nodes() {
-        let tree = SptTree::build(&graph, v);
-        for (e, x, y) in graph.edges() {
-            if tree.parent(x) == Some(y) || tree.parent(y) == Some(x) {
+    // Tier 2: 4-cycles. For the diagonal pair (a, c) with a the cycle's
+    // smallest vertex, every 4-cycle a–y–c–z closes two common neighbours
+    // y, z > a of the pair; candidate partners c are the union of the
+    // neighbourhoods of a's larger neighbours, accumulated as one bitset
+    // row (word ops only, no per-wedge stamping). Star reduction: with
+    // common neighbours y₀, y₁, …, yₛ the cycle on (yᵢ, yⱼ) is the edge-set
+    // XOR of the cycles on (y₀, yᵢ) and (y₀, yⱼ) — the shared y₀ legs
+    // cancel — so the s star candidates span all (s+1 choose 2) 4-cycles on
+    // this diagonal.
+    if dist2.len() < nw {
+        dist2.resize(nw, 0);
+    }
+    for a in 0..n {
+        let d2 = &mut dist2[..nw];
+        d2.iter_mut().for_each(|x| *x = 0);
+        for b in view.neighbor_slice(NodeId::from(a)) {
+            let bi = b.index();
+            if bi <= a {
                 continue;
             }
-            let (Some(dx), Some(dy)) = (tree.depth(x), tree.depth(y)) else {
-                continue;
-            };
-            let len = (dx + dy + 1) as usize;
-            if len > tau || len < 4 {
-                continue;
+            for (di, ri) in d2.iter_mut().zip(&adj[bi * nw..bi * nw + nw]) {
+                *di |= ri;
             }
-            if tree.lca(x, y) != Some(v) {
-                continue;
+        }
+        for (wi2, &d2w) in d2.iter().enumerate().skip(a / 64) {
+            let mut cword = d2w;
+            if wi2 == a / 64 {
+                cword &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
             }
-            work.reset(graph.edge_count());
-            work.set(e.index(), true);
-            for endpoint in [x, y] {
-                let mut cur = endpoint;
-                while let Some(p) = tree.parent(cur) {
-                    let pe = graph
-                        .edge_between(cur, p)
-                        // lint: panic-ok(every BFS-tree parent edge was taken from this graph)
-                        .expect("tree edges exist in the graph");
-                    work.set(pe.index(), true);
-                    cur = p;
+            while cword != 0 {
+                let c = wi2 * 64 + cword.trailing_zeros() as usize;
+                cword &= cword - 1;
+                commons.clear();
+                for wi in a / 64..nw {
+                    let mut word = adj[a * nw + wi] & adj[c * nw + wi];
+                    if wi == a / 64 {
+                        word &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+                    }
+                    while word != 0 {
+                        commons.push((wi * 64) as u32 + word.trailing_zeros());
+                        word &= word - 1;
+                    }
                 }
-            }
-            if oracle.try_insert(work) {
-                rank += 1;
-                if rank == nu {
-                    return true;
+                if commons.len() >= 2 {
+                    let y = commons[0] as usize;
+                    let leg_ay = pair_coord(a, y);
+                    let leg_yc = pair_coord(y, c);
+                    for &zc in &commons[1..] {
+                        let z = zc as usize;
+                        let mut probe = [0u64; W];
+                        xor_coord_w(&mut probe, cols, leg_ay);
+                        xor_coord_w(&mut probe, cols, leg_yc);
+                        xor_coord_w(&mut probe, cols, pair_coord(c, z));
+                        xor_coord_w(&mut probe, cols, pair_coord(z, a));
+                        if probe.iter().any(|&x| x != 0) {
+                            eliminate_w(cols, &probe);
+                            d -= 1;
+                            if d == 0 {
+                                return true;
+                            }
+                        }
+                    }
                 }
             }
         }
     }
-    false
+    if tau == 4 {
+        return d == 0;
+    }
+
+    // Tier 3: Horton candidates of length 5..=tau — per-root BFS trees
+    // (depth-capped: an endpoint deeper than ⌊tau/2⌋ cannot close a short
+    // enough walk), closed by any co-visited non-parent edge.
+    let cap = (tau / 2) as u32;
+    for root in 0..n {
+        *stamp += 1;
+        let sr = *stamp;
+        queue.clear();
+        visit[root] = sr;
+        depth[root] = 0;
+        parent_edge[root] = u32::MAX;
+        queue.push(root as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            if depth[v] == cap {
+                continue;
+            }
+            let (nbrs, eids) = view.incident_slices(NodeId::from(v));
+            for (&wn, &e) in nbrs.iter().zip(eids) {
+                let wi = wn.index();
+                if visit[wi] != sr {
+                    visit[wi] = sr;
+                    depth[wi] = depth[v] + 1;
+                    parent_edge[wi] = e.index() as u32;
+                    parent[wi] = v as u32;
+                    queue.push(wi as u32);
+                }
+            }
+        }
+        for &qv in queue.iter() {
+            let v = qv as usize;
+            let (nbrs, eids) = view.incident_slices(NodeId::from(v));
+            for (&wn, &e) in nbrs.iter().zip(eids) {
+                let wi = wn.index();
+                if wi <= v || visit[wi] != sr {
+                    continue;
+                }
+                let ei = e.index() as u32;
+                if parent_edge[v] == ei || parent_edge[wi] == ei {
+                    continue;
+                }
+                let len = depth[v] + depth[wi] + 1;
+                if len < 5 || len as usize > tau {
+                    continue;
+                }
+                let mut probe = [0u64; W];
+                xor_coord_w(&mut probe, cols, coord[ei as usize]);
+                for endpoint in [v, wi] {
+                    let mut cur = endpoint;
+                    while parent_edge[cur] != u32::MAX {
+                        let pe = parent_edge[cur] as usize;
+                        xor_coord_w(&mut probe, cols, coord[pe]);
+                        cur = parent[cur] as usize;
+                    }
+                }
+                if probe.iter().any(|&x| x != 0) {
+                    eliminate_w(cols, &probe);
+                    d -= 1;
+                    if d == 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    d == 0
+}
+
+/// Dynamic-width twin of [`scan_tiers`] for annihilators wider than four
+/// words (whole-graph audits on large dense topologies). Identical logic,
+/// heap-held probe.
+#[allow(clippy::too_many_arguments)]
+fn scan_tiers_dyn<V: EdgeView>(
+    view: &V,
+    tau: usize,
+    n: usize,
+    nw: usize,
+    s0: u32,
+    dense: bool,
+    coord: &[u32],
+    adj: &[u64],
+    pair_val: &[u32],
+    pair_stamp: &[u32],
+    visit: &mut [u32],
+    depth: &mut [u32],
+    parent: &mut [u32],
+    parent_edge: &mut [u32],
+    queue: &mut Vec<u32>,
+    commons: &mut Vec<u32>,
+    dist2: &mut Vec<u64>,
+    stamp: &mut u32,
+    cols: &mut [u64],
+    probe: &mut [u64],
+    w: usize,
+    mut d: usize,
+) -> bool {
+    let pair_coord = |a: usize, b: usize| -> u32 {
+        if dense {
+            debug_assert_eq!(pair_stamp[a * n + b], s0, "pair lookups hit known edges");
+            pair_val[a * n + b]
+        } else {
+            match view.find_edge(NodeId::from(a), NodeId::from(b)) {
+                Some(e) => coord[e.index()],
+                None => TREE,
+            }
+        }
+    };
+
+    // Tier 1: triangles, once each via their edge with the two smallest
+    // endpoints (c ranges above max(a, b)).
+    for (e, &ce) in coord.iter().enumerate() {
+        let (a, b) = view.edge_endpoints(EdgeId::from(e));
+        let (ai, bi) = (a.index(), b.index());
+        for wi in bi / 64..nw {
+            let mut word = adj[ai * nw + wi] & adj[bi * nw + wi];
+            if wi == bi / 64 {
+                word &= (!0u64).checked_shl(bi as u32 % 64 + 1).unwrap_or(0);
+            }
+            while word != 0 {
+                let c = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                probe.iter_mut().for_each(|x| *x = 0);
+                xor_coord(probe, cols, w, ce);
+                xor_coord(probe, cols, w, pair_coord(ai, c));
+                xor_coord(probe, cols, w, pair_coord(bi, c));
+                if probe.iter().any(|&x| x != 0) {
+                    eliminate(cols, w, probe);
+                    d -= 1;
+                    if d == 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    if tau == 3 {
+        return d == 0;
+    }
+
+    // Tier 2: 4-cycles via bitset-discovered diagonals with star reduction;
+    // see [`scan_tiers`].
+    if dist2.len() < nw {
+        dist2.resize(nw, 0);
+    }
+    for a in 0..n {
+        let d2 = &mut dist2[..nw];
+        d2.iter_mut().for_each(|x| *x = 0);
+        for b in view.neighbor_slice(NodeId::from(a)) {
+            let bi = b.index();
+            if bi <= a {
+                continue;
+            }
+            for (di, ri) in d2.iter_mut().zip(&adj[bi * nw..bi * nw + nw]) {
+                *di |= ri;
+            }
+        }
+        for (wi2, &d2w) in d2.iter().enumerate().skip(a / 64) {
+            let mut cword = d2w;
+            if wi2 == a / 64 {
+                cword &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+            }
+            while cword != 0 {
+                let c = wi2 * 64 + cword.trailing_zeros() as usize;
+                cword &= cword - 1;
+                commons.clear();
+                for wi in a / 64..nw {
+                    let mut word = adj[a * nw + wi] & adj[c * nw + wi];
+                    if wi == a / 64 {
+                        word &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+                    }
+                    while word != 0 {
+                        commons.push((wi * 64) as u32 + word.trailing_zeros());
+                        word &= word - 1;
+                    }
+                }
+                if commons.len() >= 2 {
+                    let y = commons[0] as usize;
+                    let leg_ay = pair_coord(a, y);
+                    let leg_yc = pair_coord(y, c);
+                    for &zc in &commons[1..] {
+                        let z = zc as usize;
+                        probe.iter_mut().for_each(|x| *x = 0);
+                        xor_coord(probe, cols, w, leg_ay);
+                        xor_coord(probe, cols, w, leg_yc);
+                        xor_coord(probe, cols, w, pair_coord(c, z));
+                        xor_coord(probe, cols, w, pair_coord(z, a));
+                        if probe.iter().any(|&x| x != 0) {
+                            eliminate(cols, w, probe);
+                            d -= 1;
+                            if d == 0 {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if tau == 4 {
+        return d == 0;
+    }
+
+    // Tier 3: Horton candidates of length 5..=tau; see [`scan_tiers`].
+    let cap = (tau / 2) as u32;
+    for root in 0..n {
+        *stamp += 1;
+        let sr = *stamp;
+        queue.clear();
+        visit[root] = sr;
+        depth[root] = 0;
+        parent_edge[root] = u32::MAX;
+        queue.push(root as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            if depth[v] == cap {
+                continue;
+            }
+            let (nbrs, eids) = view.incident_slices(NodeId::from(v));
+            for (&wn, &e) in nbrs.iter().zip(eids) {
+                let wi = wn.index();
+                if visit[wi] != sr {
+                    visit[wi] = sr;
+                    depth[wi] = depth[v] + 1;
+                    parent_edge[wi] = e.index() as u32;
+                    parent[wi] = v as u32;
+                    queue.push(wi as u32);
+                }
+            }
+        }
+        for &qv in queue.iter() {
+            let v = qv as usize;
+            let (nbrs, eids) = view.incident_slices(NodeId::from(v));
+            for (&wn, &e) in nbrs.iter().zip(eids) {
+                let wi = wn.index();
+                if wi <= v || visit[wi] != sr {
+                    continue;
+                }
+                let ei = e.index() as u32;
+                if parent_edge[v] == ei || parent_edge[wi] == ei {
+                    continue;
+                }
+                let len = depth[v] + depth[wi] + 1;
+                if len < 5 || len as usize > tau {
+                    continue;
+                }
+                probe.iter_mut().for_each(|x| *x = 0);
+                xor_coord(probe, cols, w, coord[ei as usize]);
+                for endpoint in [v, wi] {
+                    let mut cur = endpoint;
+                    while parent_edge[cur] != u32::MAX {
+                        let pe = parent_edge[cur] as usize;
+                        xor_coord(probe, cols, w, coord[pe]);
+                        cur = parent[cur] as usize;
+                    }
+                }
+                if probe.iter().any(|&x| x != 0) {
+                    eliminate(cols, w, probe);
+                    d -= 1;
+                    if d == 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    d == 0
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 
 mod cycle;
 
+pub mod blocked;
 pub mod brute;
 pub mod gf2;
 pub mod horton;

@@ -96,10 +96,17 @@ impl Gf2Basis {
     }
 
     /// Reduces `r` against the accepted rows in place (no allocation).
+    ///
+    /// Word-level: every stored row is a residual whose lowest set bit *is*
+    /// its pivot, so XORing it into `r` clears `r`'s lowest bit and can only
+    /// set bits above it. The pivot scan therefore resumes from the block it
+    /// last stopped in, and each XOR touches only the suffix from that block.
     fn reduce_in_place(&self, r: &mut BitVec) {
-        while let Some(p) = r.first_one() {
+        let mut block = 0;
+        while let Some(p) = r.first_one_from(block) {
+            block = p / crate::gf2::BLOCK_BITS;
             match self.pivot_row[p] {
-                Some(i) => r.xor_assign(&self.rows[i]),
+                Some(i) => r.xor_suffix(&self.rows[i], block),
                 None => break,
             }
         }
@@ -138,14 +145,15 @@ impl Gf2Basis {
 /// Expresses vectors over a *fixed* basis, reporting which basis members the
 /// unique combination uses.
 ///
-/// Built once from the basis vectors; each [`Decomposer::decompose`] call is
-/// a single elimination pass.
+/// Built by blocked elimination (see [`crate::blocked::Echelon`]); each
+/// [`Decomposer::decompose`] call is a single forward-substitution pass.
+/// A decomposer can be [`Decomposer::rebuild`]-ed in place, recycling every
+/// row allocation — the partition testers under `strict-invariants` re-run
+/// eliminations per punctured neighbourhood and rely on this pooling.
 #[derive(Debug, Clone)]
 pub struct Decomposer {
     len: usize,
-    rows: Vec<BitVec>,
-    combos: Vec<BitVec>,
-    pivots: Vec<usize>,
+    ech: crate::blocked::Echelon,
 }
 
 impl Decomposer {
@@ -158,38 +166,35 @@ impl Decomposer {
     pub fn from_basis(len: usize, basis: &[BitVec]) -> Self {
         let mut d = Decomposer {
             len,
-            rows: Vec::new(),
-            combos: Vec::new(),
-            pivots: Vec::new(),
+            ech: crate::blocked::Echelon::new(),
         };
-        for (i, v) in basis.iter().enumerate() {
-            assert_eq!(v.len(), len, "basis vector {i} has wrong length");
-            let mut r = v.clone();
-            let mut combo = BitVec::zeros(basis.len());
-            combo.set(i, true);
-            for ((row, c), &p) in d.rows.iter().zip(&d.combos).zip(&d.pivots) {
-                if r.get(p) {
-                    r.xor_assign(row);
-                    combo.xor_assign(c);
-                }
-            }
-            let p = r
-                .first_one()
-                // lint: panic-ok(documented precondition: from_basis panics on linearly dependent input)
-                .expect("basis vectors must be linearly independent");
-            d.rows.push(r);
-            d.combos.push(combo);
-            d.pivots.push(p);
-        }
+        d.rebuild(len, basis);
+        d
+    }
+
+    /// Re-runs the elimination for a (possibly different) basis in place,
+    /// recycling the previous rows' allocations.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Decomposer::from_basis`].
+    pub fn rebuild(&mut self, len: usize, basis: &[BitVec]) {
+        self.len = len;
+        self.ech.eliminate(len, basis);
+        assert_eq!(
+            self.ech.rank(),
+            basis.len(),
+            "basis vectors must be linearly independent"
+        );
         #[cfg(feature = "strict-invariants")]
         {
-            // Rank preservation: the forward elimination must assign one
-            // distinct pivot column per input vector. A repeated pivot would
-            // mean two reduced rows share a lowest bit — i.e. the
-            // elimination silently dropped rank and later decompositions
-            // would be wrong rather than failing loudly.
+            // Rank preservation: the elimination must assign one distinct
+            // pivot column per input vector. A repeated pivot would mean two
+            // reduced rows share a lowest bit — i.e. the blocked elimination
+            // silently dropped rank and later decompositions would be wrong
+            // rather than failing loudly.
             let mut seen = vec![false; len];
-            for &p in &d.pivots {
+            for &p in self.ech.pivots() {
                 assert!(
                     !seen[p],
                     "strict-invariants: GF(2) elimination produced duplicate pivot column {p}"
@@ -197,17 +202,16 @@ impl Decomposer {
                 seen[p] = true;
             }
             assert_eq!(
-                d.rows.len(),
+                self.ech.rank(),
                 basis.len(),
                 "strict-invariants: elimination must keep one row per basis vector"
             );
         }
-        d
     }
 
     /// Number of basis vectors.
     pub fn basis_size(&self) -> usize {
-        self.rows.len()
+        self.ech.rank()
     }
 
     /// Expresses `target` over the basis.
@@ -221,8 +225,14 @@ impl Decomposer {
     pub fn decompose(&self, target: &BitVec) -> Option<Vec<usize>> {
         assert_eq!(target.len(), self.len, "vector length mismatch");
         let mut r = target.clone();
-        let mut combo = BitVec::zeros(self.rows.len());
-        for ((row, c), &p) in self.rows.iter().zip(&self.combos).zip(&self.pivots) {
+        let mut combo = BitVec::zeros(self.ech.rank());
+        for ((row, c), &p) in self
+            .ech
+            .rows()
+            .iter()
+            .zip(self.ech.combos())
+            .zip(self.ech.pivots())
+        {
             if r.get(p) {
                 r.xor_assign(row);
                 combo.xor_assign(c);

@@ -54,6 +54,9 @@ use crate::linalg::Decomposer;
 pub struct PartitionTester {
     mcb: Mcb,
     decomposer: Decomposer,
+    /// Pooled copies of the basis cycles' edge vectors; [`PartitionTester::rebuild`]
+    /// recycles these (and the decomposer's elimination rows) across graphs.
+    vectors: Vec<BitVec>,
 }
 
 impl PartitionTester {
@@ -66,7 +69,38 @@ impl PartitionTester {
     pub fn from_mcb(mcb: Mcb) -> Self {
         let vectors: Vec<BitVec> = mcb.cycles().iter().map(|c| c.edge_vec().clone()).collect();
         let decomposer = Decomposer::from_basis(mcb.edge_count(), &vectors);
-        PartitionTester { mcb, decomposer }
+        PartitionTester {
+            mcb,
+            decomposer,
+            vectors,
+        }
+    }
+
+    /// Re-targets the tester at a new minimum cycle basis **in place**,
+    /// recycling the basis-vector buffer and the decomposer's GF(2)
+    /// elimination rows.
+    ///
+    /// Callers that test many graphs in sequence (one punctured neighbourhood
+    /// per candidate node in the strict-invariants audits) keep one tester
+    /// alive instead of re-allocating an elimination per graph.
+    pub fn rebuild(&mut self, mcb: Mcb) {
+        let cycles = mcb.cycles();
+        self.vectors.truncate(cycles.len());
+        let reused = self.vectors.len();
+        for (dst, c) in self.vectors.iter_mut().zip(cycles) {
+            dst.copy_from(c.edge_vec());
+        }
+        for c in &cycles[reused..] {
+            self.vectors.push(c.edge_vec().clone());
+        }
+        self.decomposer.rebuild(mcb.edge_count(), &self.vectors);
+        self.mcb = mcb;
+    }
+
+    /// [`PartitionTester::rebuild`] from a graph: computes the minimum cycle
+    /// basis of `graph` and re-targets the tester at it.
+    pub fn rebuild_for(&mut self, graph: &Graph) {
+        self.rebuild(minimum_cycle_basis(graph));
     }
 
     /// The minimum cycle basis backing this tester.
@@ -227,6 +261,32 @@ mod tests {
         let c = Cycle::from_vertex_cycle(&g, &rim).unwrap();
         assert!(is_tau_partitionable(&g, c.edge_vec(), 3));
         assert!(!is_tau_partitionable(&g, c.edge_vec(), 2));
+    }
+
+    #[test]
+    fn rebuilt_tester_matches_fresh_tester() {
+        // One tester re-targeted across graphs of different sizes must answer
+        // exactly like a fresh tester per graph (pooled rows notwithstanding).
+        let graphs = [
+            generators::grid_graph(5, 4),
+            generators::king_grid_graph(3, 3),
+            generators::cycle_graph(8),
+            generators::grid_graph(3, 3),
+        ];
+        let mut pooled = PartitionTester::new(&generators::wheel_graph(5));
+        for g in &graphs {
+            pooled.rebuild_for(g);
+            let fresh = PartitionTester::new(g);
+            assert_eq!(pooled.mcb().dimension(), fresh.mcb().dimension());
+            let zero = BitVec::zeros(g.edge_count());
+            assert_eq!(pooled.min_partition_tau(&zero), Some(0));
+            for c in fresh.mcb().cycles() {
+                assert_eq!(
+                    pooled.min_partition_tau(c.edge_vec()),
+                    fresh.min_partition_tau(c.edge_vec())
+                );
+            }
+        }
     }
 
     #[test]

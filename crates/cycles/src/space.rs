@@ -6,16 +6,19 @@
 //! A fast (non-minimum) basis is given by the *fundamental cycles* of any
 //! spanning forest: one cycle per non-tree edge.
 
-use confine_graph::{EdgeId, Graph, NodeId};
+use confine_graph::{EdgeId, EdgeView, Graph, NodeId};
 
 use crate::cycle::Cycle;
 use crate::gf2::BitVec;
 use crate::linalg::Gf2Basis;
 
 /// Circuit rank (cycle-space dimension) `ν = m − n + c`.
-pub fn circuit_rank(graph: &Graph) -> usize {
-    let c = confine_graph::traverse::connected_components(graph).len();
-    graph.edge_count() + c - graph.node_count()
+///
+/// Generic over [`EdgeView`], so it runs on both [`Graph`] and the packed
+/// `CsrGraph` engine substrate without conversion.
+pub fn circuit_rank<V: EdgeView>(view: &V) -> usize {
+    let c = confine_graph::traverse::connected_components(view).len();
+    view.edge_count() + c - view.active_count()
 }
 
 /// Computes the fundamental-cycle basis of `graph` with respect to a BFS

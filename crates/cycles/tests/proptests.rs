@@ -174,3 +174,64 @@ proptest! {
         prop_assert_eq!(va.ones().count(), va.count_ones());
     }
 }
+
+/// Random bit matrices for elimination cross-checks.
+fn arb_matrix() -> impl Strategy<Value = (usize, Vec<Vec<bool>>)> {
+    (1usize..200, 0usize..24).prop_flat_map(|(len, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::bool::weighted(0.3), len),
+            rows,
+        )
+        .prop_map(move |m| (len, m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The blocked Four-Russians elimination must be bit-identical to the
+    /// row-by-row [`Gf2Basis`]: same rank, same accepted input rows, and the
+    /// same membership verdict for every input vector.
+    #[test]
+    fn blocked_elimination_matches_rowwise((len, rows) in arb_matrix()) {
+        let vectors: Vec<BitVec> = rows
+            .iter()
+            .map(|bits| {
+                let idx: Vec<usize> =
+                    bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+                BitVec::from_indices(len, &idx)
+            })
+            .collect();
+
+        let mut rowwise = Gf2Basis::new(len);
+        let mut accepted = Vec::new();
+        for (i, v) in vectors.iter().enumerate() {
+            if rowwise.try_insert(v) {
+                accepted.push(i);
+            }
+        }
+
+        let mut blocked = confine_cycles::blocked::Echelon::new();
+        blocked.eliminate(len, &vectors);
+
+        prop_assert_eq!(blocked.rank(), rowwise.rank());
+        prop_assert_eq!(blocked.accepted(), &accepted[..]);
+        prop_assert_eq!(blocked.pivots().len(), blocked.rank());
+        for v in &vectors {
+            prop_assert!(rowwise.contains(v));
+        }
+
+        // Decomposition membership: every accepted row decomposes to itself;
+        // every vector in the span decomposes; out-of-span probes do not.
+        let basis: Vec<BitVec> = accepted.iter().map(|&i| vectors[i].clone()).collect();
+        let dec = Decomposer::from_basis(len, &basis);
+        for (i, v) in vectors.iter().enumerate() {
+            let used = dec.decompose(v).expect("input rows are in the span");
+            let mut sum = BitVec::zeros(len);
+            for &j in &used {
+                sum.xor_assign(&basis[j]);
+            }
+            prop_assert_eq!(&sum, v, "decomposition of row {} must sum back", i);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Compressed-sparse-row graph substrate and reusable neighbourhood scratch.
+//!
+//! The VPT engine evaluates hundreds of thousands of punctured k-hop
+//! neighbourhoods per schedule. Building each one as a [`Graph`] allocates a
+//! `Vec` per node plus an `O(node_bound)` index map per call; at 25k nodes the
+//! allocator, not the kernel, dominates. [`CsrGraph`] packs adjacency into
+//! three flat arrays (offsets, neighbours, edge ids), and
+//! [`NeighborhoodScratch`] re-extracts k-hop balls and their induced CSR
+//! subgraphs into the same buffers call after call, using epoch stamps instead
+//! of clearing.
+//!
+//! The induced build preserves the exact identifier assignment of
+//! [`Graph::induced_subgraph`] on a sorted member list: child node ids follow
+//! ascending parent id, and edge ids are assigned in lexicographic `(lo, hi)`
+//! child order. Downstream fingerprints and GF(2) incidence vectors are
+//! therefore bit-identical across the two substrates.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::view::{EdgeView, GraphView};
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// Node ids are dense `0..node_count`; adjacency for node `v` is the slice
+/// `nbrs[offsets[v]..offsets[v + 1]]`, sorted by neighbour id, with the
+/// parallel `eids` slice carrying the matching edge ids. Edge endpoints are
+/// stored canonically as `(smaller, larger)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    nbrs: Vec<NodeId>,
+    eids: Vec<EdgeId>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl CsrGraph {
+    /// Creates an empty CSR graph.
+    pub fn new() -> Self {
+        CsrGraph::default()
+    }
+
+    /// Builds a CSR copy of `graph`, preserving all node and edge ids.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut nbrs = Vec::with_capacity(2 * graph.edge_count());
+        let mut eids = Vec::with_capacity(2 * graph.edge_count());
+        for v in graph.nodes() {
+            let (ns, es) = graph.incident_slices(v);
+            nbrs.extend_from_slice(ns);
+            eids.extend_from_slice(es);
+            offsets.push(nbrs.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            nbrs,
+            eids,
+            edges: graph.edges().map(|(_, a, b)| (a, b)).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbours of `v` as a borrowed slice, sorted by id.
+    ///
+    /// Out-of-bounds nodes yield the empty slice.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        if i + 1 < self.offsets.len() {
+            &self.nbrs[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// The `(neighbors, edge ids)` slice pair incident to `v`.
+    #[inline]
+    pub fn incident_slices(&self, v: NodeId) -> (&[NodeId], &[EdgeId]) {
+        let i = v.index();
+        if i + 1 < self.offsets.len() {
+            let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+            (&self.nbrs[range.clone()], &self.eids[range])
+        } else {
+            (&[], &[])
+        }
+    }
+
+    /// The canonical `(smaller, larger)` endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Iterates over all edges as `(EdgeId, NodeId, NodeId)` in id order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (EdgeId::from(i), a, b))
+    }
+
+    /// Clears the graph to `n` isolated nodes, keeping allocations.
+    fn reset(&mut self, n: usize) {
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        self.nbrs.clear();
+        self.eids.clear();
+        self.edges.clear();
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn node_bound(&self) -> usize {
+        self.node_count()
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        CsrGraph::neighbor_slice(self, v)
+    }
+
+    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        CsrGraph::neighbor_slice(self, v).iter().copied()
+    }
+
+    fn active_count(&self) -> usize {
+        self.node_count()
+    }
+}
+
+impl EdgeView for CsrGraph {
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    fn incident_slices(&self, v: NodeId) -> (&[NodeId], &[EdgeId]) {
+        CsrGraph::incident_slices(self, v)
+    }
+
+    fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints(e)
+    }
+}
+
+/// Reusable buffers for k-hop ball extraction and induced-CSR construction.
+///
+/// One scratch serves one worker thread; every method reuses the same
+/// epoch-stamped arrays, so after warm-up no call allocates. Balls are
+/// breadth-first, bounded by hop count, and membership tests are `O(1)` stamp
+/// comparisons rather than hash lookups.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborhoodScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    order: Vec<u32>,
+    queue: Vec<NodeId>,
+    members: Vec<NodeId>,
+    cursor: Vec<u32>,
+    csr: CsrGraph,
+}
+
+impl NeighborhoodScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        NeighborhoodScratch::default()
+    }
+
+    /// Starts a fresh epoch, invalidating all stamps in `O(1)` (amortised).
+    fn bump_epoch(&mut self, node_bound: usize) {
+        if self.stamp.len() < node_bound {
+            self.stamp.resize(node_bound, 0);
+            self.dist.resize(node_bound, 0);
+            self.order.resize(node_bound, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Collects the ball of nodes at hop distance `1..=k` from `center` in
+    /// `view` (excluding `center` itself), sorted by id.
+    ///
+    /// An inactive or out-of-bounds `center` yields the empty slice, matching
+    /// [`crate::traverse::k_hop_neighbors`].
+    pub fn ball_members<V: GraphView>(&mut self, view: &V, center: NodeId, k: u32) -> &[NodeId] {
+        self.collect_ball(view, center, k);
+        &self.members
+    }
+
+    fn collect_ball<V: GraphView>(&mut self, view: &V, center: NodeId, k: u32) {
+        self.bump_epoch(view.node_bound());
+        self.members.clear();
+        self.queue.clear();
+        if !view.contains(center) || k == 0 {
+            return;
+        }
+        self.stamp[center.index()] = self.epoch;
+        self.dist[center.index()] = 0;
+        self.queue.push(center);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u.index()];
+            if du == k {
+                continue;
+            }
+            for &w in view.neighbor_slice(u) {
+                if self.stamp[w.index()] != self.epoch && view.contains(w) {
+                    self.stamp[w.index()] = self.epoch;
+                    self.dist[w.index()] = du + 1;
+                    self.queue.push(w);
+                    self.members.push(w);
+                }
+            }
+        }
+        self.members.sort_unstable();
+    }
+
+    /// Extracts the punctured k-hop neighbourhood of `center`: the subgraph of
+    /// `view` induced by the nodes at hop distance `1..=k` from `center`.
+    ///
+    /// Returns the induced [`CsrGraph`] (child ids dense, in ascending parent
+    /// id order; edge ids in lexicographic child order — identical to
+    /// [`Graph::induced_subgraph`] on the returned member list) and the sorted
+    /// parent ids of its nodes.
+    pub fn punctured<V: GraphView>(
+        &mut self,
+        view: &V,
+        center: NodeId,
+        k: u32,
+    ) -> (&CsrGraph, &[NodeId]) {
+        self.collect_ball(view, center, k);
+        self.build_induced(view);
+        (&self.csr, &self.members)
+    }
+
+    /// Builds `self.csr` as the subgraph induced by the current stamped ball.
+    ///
+    /// `center` carries the current epoch stamp but is absent from `members`
+    /// and gets no `order` entry; the membership test below goes through
+    /// `order`, so edges to the centre are dropped — exactly the puncture.
+    fn build_induced<V: GraphView>(&mut self, view: &V) {
+        let n = self.members.len();
+        // A second stamp pass: order[w] = child id, valid only for members
+        // (the centre keeps a stale order from some earlier epoch, so it is
+        // re-excluded by the sentinel below).
+        const NOT_MEMBER: u32 = u32::MAX;
+        for i in &self.queue {
+            self.order[i.index()] = NOT_MEMBER;
+        }
+        for (i, &a) in self.members.iter().enumerate() {
+            self.order[a.index()] = i as u32;
+        }
+        self.csr.reset(n);
+        // One stamped pass over the parent slices collects the (lo, hi) edge
+        // list in lexicographic child order; degrees and the CSR scatter then
+        // run over the edge list alone (two touches per edge) instead of a
+        // second stamped slice sweep.
+        for (i, &a) in self.members.iter().enumerate() {
+            for &w in view.neighbor_slice(a) {
+                if self.stamp[w.index()] != self.epoch || self.order[w.index()] == NOT_MEMBER {
+                    continue;
+                }
+                let j = self.order[w.index()] as usize;
+                if i < j {
+                    self.csr.edges.push((NodeId::from(i), NodeId::from(j)));
+                }
+            }
+        }
+        for &(a, b) in &self.csr.edges {
+            self.csr.offsets[a.index() + 1] += 1;
+            self.csr.offsets[b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            self.csr.offsets[i + 1] += self.csr.offsets[i];
+        }
+        let nnz = self.csr.offsets[n] as usize;
+        self.csr.nbrs.resize(nnz, NodeId(0));
+        self.csr.eids.resize(nnz, EdgeId(0));
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.csr.offsets[..n]);
+        // Scattering in edge order fills each adjacency list ascending: a
+        // node's hi-side partners (smaller ids) arrive before its lo-side
+        // partners (larger ids), each group itself in ascending order —
+        // identical layout to a per-slice rescan.
+        for (e, &(a, b)) in self.csr.edges.iter().enumerate() {
+            let (i, j) = (a.index(), b.index());
+            let eid = EdgeId::from(e);
+            self.csr.nbrs[self.cursor[i] as usize] = b;
+            self.csr.eids[self.cursor[i] as usize] = eid;
+            self.cursor[i] += 1;
+            self.csr.nbrs[self.cursor[j] as usize] = a;
+            self.csr.eids[self.cursor[j] as usize] = eid;
+            self.cursor[j] += 1;
+        }
+    }
+
+    /// The induced CSR built by the latest [`NeighborhoodScratch::punctured`]
+    /// call.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The sorted parent ids of the latest ball, as returned by
+    /// [`NeighborhoodScratch::punctured`] / [`NeighborhoodScratch::ball_members`].
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Returns `true` if the current induced CSR (from the latest
+    /// [`NeighborhoodScratch::punctured`] call) is connected. The empty graph
+    /// counts as connected, matching [`crate::traverse::is_connected`].
+    pub fn csr_is_connected(&mut self) -> bool {
+        let n = self.csr.node_count();
+        if n <= 1 {
+            return true;
+        }
+        // Reuse the queue and the per-child cursor array as a visited set;
+        // both are dead between punctured() calls.
+        self.queue.clear();
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        self.cursor[0] = 1;
+        self.queue.push(NodeId(0));
+        let mut seen = 1usize;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &w in self.csr.neighbor_slice(u) {
+                if self.cursor[w.index()] == 0 {
+                    self.cursor[w.index()] = 1;
+                    self.queue.push(w);
+                    seen += 1;
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::view::Masked;
+
+    #[test]
+    fn from_graph_roundtrip() {
+        let g = generators::cycle_graph(5);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.node_count(), 5);
+        assert_eq!(c.edge_count(), 5);
+        for v in g.nodes() {
+            assert_eq!(c.neighbor_slice(v), g.neighbor_slice(v));
+            assert_eq!(c.incident_slices(v), g.incident_slices(v));
+        }
+        for (e, a, b) in g.edges() {
+            assert_eq!(c.endpoints(e), (a, b));
+        }
+        assert_eq!(c.neighbor_slice(NodeId(9)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn ball_members_match_traverse() {
+        let g = generators::king_grid_graph(5, 5);
+        let mut scratch = NeighborhoodScratch::new();
+        for k in 0..4 {
+            for v in g.nodes() {
+                let expect = crate::traverse::k_hop_neighbors(&g, v, k);
+                let got = scratch.ball_members(&g, v, k);
+                assert_eq!(got, expect.as_slice(), "v={v:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn punctured_matches_induced_subgraph() {
+        let g = generators::king_grid_graph(4, 6);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(7));
+        m.deactivate(NodeId(13));
+        let mut scratch = NeighborhoodScratch::new();
+        for v in g.nodes().filter(|&v| m.contains(v)) {
+            let members = crate::traverse::k_hop_neighbors(&m, v, 2);
+            let (csr, got_members) = scratch.punctured(&m, v, 2);
+            assert_eq!(got_members, members.as_slice());
+            let sub = g.induced_subgraph(&members).unwrap();
+            assert_eq!(csr.node_count(), sub.graph.node_count());
+            assert_eq!(csr.edge_count(), sub.graph.edge_count());
+            for child in sub.graph.nodes() {
+                assert_eq!(csr.incident_slices(child), sub.graph.incident_slices(child));
+            }
+            for (e, a, b) in sub.graph.edges() {
+                assert_eq!(csr.endpoints(e), (a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_connectivity_matches_traverse() {
+        let g = generators::king_grid_graph(3, 5);
+        let mut m = Masked::all_active(&g);
+        m.deactivate(NodeId(4));
+        m.deactivate(NodeId(7));
+        let mut scratch = NeighborhoodScratch::new();
+        for v in g.nodes().filter(|&v| m.contains(v)) {
+            let (csr, _) = scratch.punctured(&m, v, 2);
+            let expect = crate::traverse::is_connected(csr);
+            assert_eq!(scratch.csr_is_connected(), expect, "v={v:?}");
+        }
+    }
+}

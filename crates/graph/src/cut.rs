@@ -39,6 +39,7 @@ pub fn cut_structure<V: GraphView>(view: &V) -> CutStructure {
         disc[root.index()] = Some(timer);
         low[root.index()] = timer;
         timer += 1;
+        // lint: alloc-ok(explicit DFS frames need owned lists; cut structure runs once per topology)
         stack.push((root, view.view_neighbors(root).collect(), 0));
         let mut root_children = 0usize;
 
@@ -64,6 +65,7 @@ pub fn cut_structure<V: GraphView>(view: &V) -> CutStructure {
                         disc[w.index()] = Some(timer);
                         low[w.index()] = timer;
                         timer += 1;
+                        // lint: alloc-ok(explicit DFS frames need owned lists; runs once per topology)
                         stack.push((w, view.view_neighbors(w).collect(), 0));
                     } else if parent[v.index()] != Some(w) {
                         low[v.index()] = low[v.index()].min(disc[w.index()].expect("discovered"));

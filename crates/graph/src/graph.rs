@@ -70,11 +70,14 @@ impl fmt::Display for EdgeId {
 
 /// A simple undirected graph with stable, dense edge identifiers.
 ///
-/// The representation is an adjacency list kept sorted by neighbour id plus an
-/// edge table storing canonical `(min, max)` endpoint pairs. Neither nodes nor
-/// edges can be removed — the coverage algorithms express deletion through
-/// [`crate::Masked`] views or by rebuilding induced subgraphs, which keeps all
-/// identifiers stable and the incidence vectors of the cycle space valid.
+/// The representation is a pair of parallel adjacency arrays kept sorted by
+/// neighbour id — one holding the neighbour ids themselves (so traversal code
+/// can borrow them as `&[NodeId]` slices without touching the edge ids) and
+/// one holding the matching edge ids — plus an edge table storing canonical
+/// `(min, max)` endpoint pairs. Neither nodes nor edges can be removed — the
+/// coverage algorithms express deletion through [`crate::Masked`] views or by
+/// rebuilding induced subgraphs, which keeps all identifiers stable and the
+/// incidence vectors of the cycle space valid.
 ///
 /// # Example
 ///
@@ -91,7 +94,8 @@ impl fmt::Display for EdgeId {
 /// ```
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    nbrs: Vec<Vec<NodeId>>,
+    eids: Vec<Vec<EdgeId>>,
     edges: Vec<(NodeId, NodeId)>,
 }
 
@@ -99,7 +103,8 @@ impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Graph {
-            adj: Vec::new(),
+            nbrs: Vec::new(),
+            eids: Vec::new(),
             edges: Vec::new(),
         }
     }
@@ -107,7 +112,8 @@ impl Graph {
     /// Creates an empty graph with room for `nodes` nodes.
     pub fn with_node_capacity(nodes: usize) -> Self {
         Graph {
-            adj: Vec::with_capacity(nodes),
+            nbrs: Vec::with_capacity(nodes),
+            eids: Vec::with_capacity(nodes),
             edges: Vec::new(),
         }
     }
@@ -136,8 +142,9 @@ impl Graph {
 
     /// Adds a new isolated node and returns its identifier.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId::from(self.adj.len());
-        self.adj.push(Vec::new());
+        let id = NodeId::from(self.nbrs.len());
+        self.nbrs.push(Vec::new());
+        self.eids.push(Vec::new());
         id
     }
 
@@ -165,19 +172,21 @@ impl Graph {
         let id = EdgeId::from(self.edges.len());
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         self.edges.push((lo, hi));
-        let insert_sorted = |list: &mut Vec<(NodeId, EdgeId)>, n: NodeId| {
-            let pos = list.partition_point(|&(w, _)| w < n);
-            list.insert(pos, (n, id));
+        let mut insert_sorted = |at: NodeId, n: NodeId| {
+            let list = &mut self.nbrs[at.index()];
+            let pos = list.partition_point(|&w| w < n);
+            list.insert(pos, n);
+            self.eids[at.index()].insert(pos, id);
         };
-        insert_sorted(&mut self.adj[a.index()], b);
-        insert_sorted(&mut self.adj[b.index()], a);
+        insert_sorted(a, b);
+        insert_sorted(b, a);
         Ok(id)
     }
 
     /// Number of nodes in the graph.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.nbrs.len()
     }
 
     /// Number of edges in the graph.
@@ -188,12 +197,12 @@ impl Graph {
 
     /// Returns `true` if the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.nbrs.is_empty()
     }
 
     /// Iterates over all node identifiers, in increasing order.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId::from)
+        (0..self.nbrs.len()).map(NodeId::from)
     }
 
     /// Iterates over all edges as `(EdgeId, NodeId, NodeId)` with canonical
@@ -211,7 +220,25 @@ impl Graph {
     ///
     /// Panics if `v` is out of bounds.
     pub fn neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.adj[v.index()].iter().map(|&(w, _)| w)
+        self.nbrs[v.index()].iter().copied()
+    }
+
+    /// The neighbours of `v` as a borrowed slice, sorted by id.
+    ///
+    /// Out-of-bounds nodes yield the empty slice.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        self.nbrs.get(v.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The `(neighbors, edge ids)` slice pair incident to `v`, both sorted by
+    /// neighbour id and index-aligned. Out-of-bounds nodes yield empty slices.
+    #[inline]
+    pub fn incident_slices(&self, v: NodeId) -> (&[NodeId], &[EdgeId]) {
+        match (self.nbrs.get(v.index()), self.eids.get(v.index())) {
+            (Some(n), Some(e)) => (n, e),
+            _ => (&[], &[]),
+        }
     }
 
     /// Iterates over `(neighbor, edge)` pairs incident to `v` in increasing
@@ -221,7 +248,10 @@ impl Graph {
     ///
     /// Panics if `v` is out of bounds.
     pub fn incident(&self, v: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
-        self.adj[v.index()].iter().copied()
+        self.nbrs[v.index()]
+            .iter()
+            .zip(&self.eids[v.index()])
+            .map(|(&w, &e)| (w, e))
     }
 
     /// Degree of `v`.
@@ -231,20 +261,17 @@ impl Graph {
     /// Panics if `v` is out of bounds.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        self.nbrs[v.index()].len()
     }
 
     /// Returns the edge id joining `a` and `b`, if present.
     pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        if a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+        if a.index() >= self.nbrs.len() || b.index() >= self.nbrs.len() {
             return None;
         }
-        let list = &self.adj[a.index()];
-        let pos = list.partition_point(|&(w, _)| w < b);
-        match list.get(pos) {
-            Some(&(w, e)) if w == b => Some(e),
-            _ => None,
-        }
+        let list = &self.nbrs[a.index()];
+        let pos = list.partition_point(|&w| w < b);
+        (list.get(pos) == Some(&b)).then(|| self.eids[a.index()][pos])
     }
 
     /// Returns `true` if nodes `a` and `b` are adjacent.
@@ -268,22 +295,22 @@ impl Graph {
     ///
     /// Returns [`GraphError::NodeOutOfBounds`] otherwise.
     pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
-        if v.index() < self.adj.len() {
+        if v.index() < self.nbrs.len() {
             Ok(())
         } else {
             Err(GraphError::NodeOutOfBounds {
                 node: v,
-                node_count: self.adj.len(),
+                node_count: self.nbrs.len(),
             })
         }
     }
 
     /// Average node degree (`2m / n`), or `0.0` for the empty graph.
     pub fn average_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        if self.nbrs.is_empty() {
             0.0
         } else {
-            2.0 * self.edges.len() as f64 / self.adj.len() as f64
+            2.0 * self.edges.len() as f64 / self.nbrs.len() as f64
         }
     }
 
@@ -311,7 +338,7 @@ impl Graph {
     /// # Ok::<(), confine_graph::GraphError>(())
     /// ```
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Result<InducedSubgraph, GraphError> {
-        let mut from_parent = vec![None; self.adj.len()];
+        let mut from_parent = vec![None; self.nbrs.len()];
         let mut to_parent = Vec::with_capacity(nodes.len());
         let mut sub = Graph::with_node_capacity(nodes.len());
         for &v in nodes {
@@ -324,7 +351,7 @@ impl Graph {
         }
         for (child_idx, &parent) in to_parent.iter().enumerate() {
             let child = NodeId::from(child_idx);
-            for &(w, _) in &self.adj[parent.index()] {
+            for &w in &self.nbrs[parent.index()] {
                 if let Some(child_w) = from_parent[w.index()] {
                     // Add each edge once, from the lower child id.
                     if child < child_w {

@@ -13,7 +13,12 @@
 //! * [`Graph`] — simple undirected graph with stable edge identifiers.
 //! * [`GraphView`] — a read-only abstraction implemented both by [`Graph`] and
 //!   by [`Masked`], the zero-copy "some nodes are switched off" view used by
-//!   the sleep-scheduling algorithms.
+//!   the sleep-scheduling algorithms. Adjacency is exposed as borrowed
+//!   `&[NodeId]` slices; [`EdgeView`] adds edge-id access for the cycle-space
+//!   kernels.
+//! * [`CsrGraph`] and [`NeighborhoodScratch`] — the packed engine substrate:
+//!   epoch-stamped, allocation-free k-hop ball extraction and induced-CSR
+//!   construction, bit-identical to [`Graph::induced_subgraph`].
 //! * [`traverse`] — BFS/DFS utilities, connectivity, k-hop balls.
 //! * [`spt`] — shortest-path trees with lowest-common-ancestor queries, the
 //!   building block of Horton's minimum-cycle-basis algorithm.
@@ -45,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod error;
 mod graph;
 mod view;
@@ -56,6 +62,7 @@ pub mod mis;
 pub mod spt;
 pub mod traverse;
 
+pub use csr::{CsrGraph, NeighborhoodScratch};
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, InducedSubgraph, NodeId};
-pub use view::{GraphView, Masked};
+pub use view::{EdgeView, GraphView, Masked};

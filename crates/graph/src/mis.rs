@@ -64,6 +64,12 @@ pub fn m_hop_mis<V: GraphView>(
 
     let mut selected = Vec::new();
     let mut blocked = vec![false; view.node_bound()];
+    // Epoch-stamped bounded BFS: one visited/dist array pair serves every
+    // winner, so blocking costs O(ball) per winner instead of O(n).
+    let mut seen = vec![0u32; view.node_bound()];
+    let mut dist = vec![0u32; view.node_bound()];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut epoch = 0u32;
     for v in order {
         if blocked[v.index()] {
             continue;
@@ -71,10 +77,27 @@ pub fn m_hop_mis<V: GraphView>(
         selected.push(v);
         // Block every node within m - 1 hops: any such node is at distance
         // < m from v and may not join the set.
-        let dist = bfs_distances(view, v, Some(m - 1));
-        for (i, d) in dist.iter().enumerate() {
-            if d.is_some() {
-                blocked[i] = true;
+        epoch += 1;
+        queue.clear();
+        seen[v.index()] = epoch;
+        dist[v.index()] = 0;
+        blocked[v.index()] = true;
+        queue.push(v);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u.index()];
+            if du == m - 1 {
+                continue;
+            }
+            for &w in view.neighbor_slice(u) {
+                if seen[w.index()] != epoch && view.contains(w) {
+                    seen[w.index()] = epoch;
+                    dist[w.index()] = du + 1;
+                    blocked[w.index()] = true;
+                    queue.push(w);
+                }
             }
         }
     }

@@ -35,32 +35,50 @@ pub struct SptTree {
     depth: Vec<Option<u32>>,
 }
 
+impl Default for SptTree {
+    /// An empty tree, as a reusable arena: call [`SptTree::rebuild`] before
+    /// querying it.
+    fn default() -> Self {
+        SptTree {
+            root: NodeId(0),
+            parent: Vec::new(),
+            depth: Vec::new(),
+        }
+    }
+}
+
 impl SptTree {
     /// Builds the BFS shortest-path tree of `view` rooted at `root`.
     ///
     /// Nodes unreachable from `root` (or inactive) have no depth and no
     /// parent. If `root` itself is inactive the tree is empty.
     pub fn build<V: GraphView>(view: &V, root: NodeId) -> Self {
-        let mut parent: Vec<Option<NodeId>> = vec![None; view.node_bound()];
-        let mut depth: Vec<Option<u32>> = vec![None; view.node_bound()];
+        let mut tree = SptTree::default();
+        tree.rebuild(view, root);
+        tree
+    }
+
+    /// Rebuilds this tree in place for a (possibly different) view and root,
+    /// reusing the parent/depth allocations.
+    pub fn rebuild<V: GraphView>(&mut self, view: &V, root: NodeId) {
+        self.root = root;
+        self.parent.clear();
+        self.parent.resize(view.node_bound(), None);
+        self.depth.clear();
+        self.depth.resize(view.node_bound(), None);
         if view.contains(root) {
-            depth[root.index()] = Some(0);
+            self.depth[root.index()] = Some(0);
             let mut queue = VecDeque::from([root]);
             while let Some(v) = queue.pop_front() {
-                let dv = depth[v.index()].expect("queued nodes have depth");
+                let dv = self.depth[v.index()].expect("queued nodes have depth");
                 for w in view.view_neighbors(v) {
-                    if depth[w.index()].is_none() {
-                        depth[w.index()] = Some(dv + 1);
-                        parent[w.index()] = Some(v);
+                    if self.depth[w.index()].is_none() {
+                        self.depth[w.index()] = Some(dv + 1);
+                        self.parent[w.index()] = Some(v);
                         queue.push_back(w);
                     }
                 }
             }
-        }
-        SptTree {
-            root,
-            parent,
-            depth,
         }
     }
 

@@ -1,14 +1,21 @@
-use crate::graph::{Graph, NodeId};
+use crate::graph::{EdgeId, Graph, NodeId};
 
 /// Read-only view of an undirected graph.
 ///
 /// The coverage scheduler switches nodes off without rebuilding graphs, so all
 /// traversal utilities in this crate are generic over `GraphView`. The trait
-/// is implemented by [`Graph`] itself (everything active) and by [`Masked`]
-/// (a graph plus an activity mask).
+/// is implemented by [`Graph`] itself (everything active), by [`Masked`] (a
+/// graph plus an activity mask) and by [`crate::CsrGraph`] (the packed engine
+/// substrate).
 ///
 /// Node identifiers of a view are those of the *underlying* graph; inactive
 /// nodes keep their ids but report no neighbours and `contains == false`.
+///
+/// Adjacency is exposed as a borrowed slice of the *underlying* graph's
+/// sorted neighbour list ([`GraphView::neighbor_slice`]); the provided
+/// [`GraphView::view_neighbors`] filters that slice down to the active nodes.
+/// Hot paths iterate the slice directly and consult [`GraphView::contains`]
+/// themselves, which avoids materialising iterator chains per call.
 pub trait GraphView {
     /// Total number of node slots (active or not) in the underlying graph.
     fn node_bound(&self) -> usize;
@@ -16,10 +23,23 @@ pub trait GraphView {
     /// Returns `true` if `v` is an active node of this view.
     fn contains(&self, v: NodeId) -> bool;
 
+    /// The *underlying* sorted neighbour list of `v` as a borrowed slice.
+    ///
+    /// The slice ignores the activity mask: callers filter with
+    /// [`GraphView::contains`] (or use [`GraphView::view_neighbors`], which
+    /// does it for them). Out-of-bounds nodes yield the empty slice.
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId];
+
     /// Iterates over the *active* neighbours of `v`.
     ///
     /// Iterating from an inactive or out-of-bounds node yields nothing.
-    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_;
+    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let live = self.contains(v);
+        self.neighbor_slice(v)
+            .iter()
+            .copied()
+            .filter(move |&w| live && self.contains(w))
+    }
 
     /// Number of active nodes.
     fn active_count(&self) -> usize {
@@ -36,6 +56,31 @@ pub trait GraphView {
     }
 }
 
+/// Read-only access to the *edge identifiers* of a fully-active graph.
+///
+/// The cycle-space machinery (Horton candidates, GF(2) incidence vectors)
+/// needs stable dense edge ids on top of plain adjacency. Both [`Graph`] and
+/// [`crate::CsrGraph`] implement this, so the VPT kernel can run on either
+/// substrate without conversion.
+pub trait EdgeView: GraphView {
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+
+    /// The `(neighbors, edge ids)` slice pair incident to `v`, both sorted by
+    /// neighbour id and index-aligned. Out-of-bounds nodes yield empty slices.
+    fn incident_slices(&self, v: NodeId) -> (&[NodeId], &[EdgeId]);
+
+    /// The canonical `(smaller, larger)` endpoints of edge `e`.
+    fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId);
+
+    /// Returns the edge id joining `a` and `b`, if present.
+    fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        let (nbrs, eids) = self.incident_slices(a);
+        let pos = nbrs.partition_point(|&w| w < b);
+        (nbrs.get(pos) == Some(&b)).then(|| eids[pos])
+    }
+}
+
 impl GraphView for Graph {
     fn node_bound(&self) -> usize {
         self.node_count()
@@ -45,12 +90,30 @@ impl GraphView for Graph {
         v.index() < self.node_count()
     }
 
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbor_slice(self, v)
+    }
+
     fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.neighbors(v)
+        Graph::neighbor_slice(self, v).iter().copied()
     }
 
     fn active_count(&self) -> usize {
         self.node_count()
+    }
+}
+
+impl EdgeView for Graph {
+    fn edge_count(&self) -> usize {
+        Graph::edge_count(self)
+    }
+
+    fn incident_slices(&self, v: NodeId) -> (&[NodeId], &[EdgeId]) {
+        Graph::incident_slices(self, v)
+    }
+
+    fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints(e)
     }
 }
 
@@ -159,11 +222,8 @@ impl GraphView for Masked<'_> {
         v.index() < self.active.len() && self.active[v.index()]
     }
 
-    fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let live = self.contains(v);
-        self.graph
-            .neighbors(v)
-            .filter(move |&w| live && self.active[w.index()])
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        self.graph.neighbor_slice(v)
     }
 
     fn active_count(&self) -> usize {
@@ -180,8 +240,12 @@ impl GraphView for &'_ Graph {
         (**self).contains(v)
     }
 
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        (**self).neighbor_slice(v)
+    }
+
     fn view_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        (**self).view_neighbors(v)
+        (**self).neighbor_slice(v).iter().copied()
     }
 }
 

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use confine_graph::{
-    cut, generators, mis, spt::SptTree, traverse, Graph, GraphView, Masked, NodeId,
+    cut, generators, mis, spt::SptTree, traverse, CsrGraph, Graph, GraphView, Masked,
+    NeighborhoodScratch, NodeId,
 };
 
 fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
@@ -216,4 +217,90 @@ fn deterministic_families_sanity() {
     let w = generators::wheel_graph(10);
     assert_eq!(traverse::diameter(&w), 2);
     assert!(cut::cut_structure(&w).articulation_points.is_empty());
+}
+
+/// Builds a quasi-UDG in-test from unit-square positions: links shorter than
+/// `0.6·r` always exist, annulus pairs `[0.6·r, r)` join when a deterministic
+/// pair hash says so (the graph crate cannot depend on the deploy crate's
+/// radio models, so the construction is inlined).
+fn quasi_udg_from_positions(pos: &[(f64, f64)], r: f64) -> Graph {
+    let mut g = Graph::new();
+    g.add_nodes(pos.len());
+    for i in 0..pos.len() {
+        for j in (i + 1)..pos.len() {
+            let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+            let d = (dx * dx + dy * dy).sqrt();
+            let pair_hash = (i.wrapping_mul(31) ^ j.wrapping_mul(17)) % 2 == 0;
+            if d < 0.6 * r || (d < r && pair_hash) {
+                g.add_edge(i.into(), j.into()).expect("unique pair");
+            }
+        }
+    }
+    g
+}
+
+/// The full CSR mirror must agree with the adjacency-list graph on every
+/// node, neighbour slice, incident edge id and edge endpoint pair.
+fn assert_csr_mirrors(g: &Graph) {
+    let csr = CsrGraph::from_graph(g);
+    assert_eq!(csr.node_count(), g.node_count());
+    assert_eq!(csr.edge_count(), g.edge_count());
+    for v in g.nodes() {
+        assert_eq!(csr.neighbor_slice(v), g.neighbor_slice(v));
+        assert_eq!(csr.incident_slices(v), g.incident_slices(v));
+    }
+    for (e, a, b) in g.edges() {
+        assert_eq!(csr.endpoints(e), (a, b));
+    }
+    let csr_edges: Vec<_> = csr.edges().collect();
+    let graph_edges: Vec<_> = g.edges().collect();
+    assert_eq!(csr_edges, graph_edges);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// [`CsrGraph::from_graph`] is an exact structural mirror on quasi-UDGs
+    /// generated from random unit-square positions.
+    #[test]
+    fn csr_mirrors_quasi_udg(
+        pos in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..40),
+        r in 0.15f64..0.45,
+    ) {
+        assert_csr_mirrors(&quasi_udg_from_positions(&pos, r));
+    }
+
+    /// The punctured-ball extraction of [`NeighborhoodScratch`] assigns node
+    /// and edge ids exactly as [`Graph::induced_subgraph`] does — the
+    /// contract the engine's fingerprint memo rests on.
+    #[test]
+    fn punctured_csr_matches_induced_subgraph(
+        pos in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..32),
+        r in 0.2f64..0.5,
+        k in 1u32..4,
+    ) {
+        let g = quasi_udg_from_positions(&pos, r);
+        let mut scratch = NeighborhoodScratch::new();
+        for v in g.nodes() {
+            scratch.punctured(&g, v, k);
+            let mut ball = traverse::k_hop_neighbors(&g, v, k);
+            ball.retain(|&w| w != v);
+            ball.sort_unstable();
+            prop_assert_eq!(scratch.members(), &ball[..]);
+            let induced = g.induced_subgraph(&ball).expect("members are valid");
+            let csr = scratch.csr();
+            prop_assert_eq!(csr.node_count(), induced.graph.node_count());
+            prop_assert_eq!(csr.edge_count(), induced.graph.edge_count());
+            let a: Vec<_> = csr.edges().collect();
+            let b: Vec<_> = induced.graph.edges().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn csr_mirrors_king_grids() {
+    for (w, h) in [(1, 1), (2, 3), (5, 4), (8, 8)] {
+        assert_csr_mirrors(&generators::king_grid_graph(w, h));
+    }
 }

@@ -207,6 +207,7 @@ impl<'g, V: GraphView, P: AsyncProtocol> AsyncEngine<'g, V, P> {
         let mut neighbor_cache = vec![Vec::new(); bound];
         for v in view.active_nodes() {
             states[v.index()] = Some(init(v));
+            // lint: alloc-ok(one-shot neighbor cache built at engine construction)
             neighbor_cache[v.index()] = view.view_neighbors(v).collect();
             node_ids.push(v);
         }
