@@ -1,7 +1,7 @@
 //! Workspace lint engine guarding the invariants the paper's correctness
 //! story rests on (DESIGN.md §10).
 //!
-//! Four source-level lints run over the algorithm crates:
+//! Five source-level lints run over the algorithm crates:
 //!
 //! * **determinism** — no iteration over `HashMap`/`HashSet` in `core`,
 //!   `cycles`, `netsim` or `graph`. Hash iteration order varies per process
@@ -20,11 +20,17 @@
 //!   slice-based `GraphView` API (`neighbor_slice`, `incident_slices`)
 //!   serves adjacency without allocating, and per-visit `Vec`s are exactly
 //!   the hot-path overhead the CSR substrate removed.
+//! * **no-truncating-cast** — no `as` casts to sub-64-bit integer types
+//!   (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`) in `core`, `cycles` or `graph`:
+//!   a truncating cast silently wraps out-of-range values into a *wrong
+//!   answer* rather than an error. Conversions go through `try_from`, a
+//!   checked helper, or carry a `cast-ok` waiver stating the range proof.
 //!
 //! Violations are suppressed by `// lint: <kind>(<reason>)` markers (kinds
-//! `unordered-ok`, `panic-ok`, `impure-ok`, `alloc-ok`) on the same line or
-//! the line above; markers that suppress nothing are themselves violations.
-//! Tests, benches, binaries and `#[cfg(test)]` modules are exempt.
+//! `unordered-ok`, `panic-ok`, `impure-ok`, `alloc-ok`, `cast-ok`) on the
+//! same line or the line above; markers that suppress nothing are themselves
+//! violations. Tests, benches, binaries and `#[cfg(test)]` modules are
+//! exempt.
 //!
 //! The engine is deliberately lexical (a masking lexer, no `syn`, zero
 //! dependencies): it cannot see through type aliases or functions returning
@@ -56,6 +62,8 @@ pub struct CrateRules {
     pub purity: bool,
     /// Flag `collect`ed neighbour iterators (use the slice API instead).
     pub hot_alloc: bool,
+    /// Forbid `as` casts to sub-64-bit integer types.
+    pub truncating_cast: bool,
 }
 
 /// The workspace lint policy: which crates are held to which invariants.
@@ -70,6 +78,7 @@ pub const POLICY: &[CrateRules] = &[
         no_panic: true,
         purity: true,
         hot_alloc: true,
+        truncating_cast: true,
     },
     CrateRules {
         name: "cycles",
@@ -77,13 +86,17 @@ pub const POLICY: &[CrateRules] = &[
         no_panic: true,
         purity: true,
         hot_alloc: true,
+        truncating_cast: true,
     },
+    // netsim narrows freely (packet headers, loss percentages): its values
+    // are bounded by construction and the crate is not on the answer path.
     CrateRules {
         name: "netsim",
         determinism: true,
         no_panic: true,
         purity: true,
         hot_alloc: true,
+        truncating_cast: false,
     },
     CrateRules {
         name: "graph",
@@ -91,6 +104,7 @@ pub const POLICY: &[CrateRules] = &[
         no_panic: false,
         purity: true,
         hot_alloc: true,
+        truncating_cast: true,
     },
 ];
 
@@ -111,6 +125,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
                 rules.no_panic,
                 rules.purity,
                 rules.hot_alloc,
+                rules.truncating_cast,
             ));
         }
     }
@@ -162,6 +177,10 @@ mod tests {
         assert!(POLICY
             .iter()
             .all(|r| r.determinism && r.purity && r.hot_alloc));
+        // The cast lint guards the answer-path crates; netsim is exempt.
+        assert!(POLICY
+            .iter()
+            .all(|r| r.truncating_cast == (r.name != "netsim")));
     }
 
     #[test]

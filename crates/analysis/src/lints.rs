@@ -1,8 +1,9 @@
-//! The four project lints: determinism, no-panic, purity and hot-alloc.
+//! The five project lints: determinism, no-panic, purity, hot-alloc and
+//! no-truncating-cast.
 //!
-//! All three work on the [`SourceFile`](crate::source::SourceFile) code view
-//! — comments and string literals never produce findings — and honour the
-//! suppression markers described in `DESIGN.md` §10:
+//! All of them work on the [`SourceFile`](crate::source::SourceFile) code
+//! view — comments and string literals never produce findings — and honour
+//! the suppression markers described in `DESIGN.md` §10:
 //!
 //! * `// lint: unordered-ok(<reason>)` — this hash-collection iteration is
 //!   order-insensitive (e.g. the result is sorted before use).
@@ -12,6 +13,8 @@
 //!   not feed simulation state.
 //! * `// lint: alloc-ok(<reason>)` — this neighbour-iterator collection is
 //!   off the hot path (one-shot setup, error reporting, …).
+//! * `// lint: cast-ok(<reason>)` — this `as` cast to a narrow integer
+//!   type is provably in range (the reason must say why).
 //!
 //! A marker suppresses findings on its own line, or on the next line when
 //! the marker line carries no code. Markers that suppress nothing are
@@ -31,6 +34,8 @@ pub enum Lint {
     Purity,
     /// A `collect` of a neighbour iterator in a hot path; use the slice API.
     HotAlloc,
+    /// An `as` cast to a narrow integer type that silently truncates.
+    TruncatingCast,
     /// A suppression marker that matched no finding.
     UnusedMarker,
 }
@@ -42,6 +47,7 @@ impl fmt::Display for Lint {
             Lint::NoPanic => "no-panic",
             Lint::Purity => "purity",
             Lint::HotAlloc => "hot-alloc",
+            Lint::TruncatingCast => "no-truncating-cast",
             Lint::UnusedMarker => "unused-marker",
         };
         f.write_str(name)
@@ -106,6 +112,12 @@ const IMPURE_TOKENS: &[&str] = &[
 /// `incident_slices`) returns borrowed adjacency without allocating.
 const NEIGHBOR_ITER_TOKENS: &[&str] = &["view_neighbors(", ".neighbors(", ".incident("];
 
+/// Integer types an `as` cast can silently truncate into. Casts *to* these
+/// must go through `try_from` (or carry a `cast-ok` waiver proving the
+/// range). Wider targets (`u64`/`usize` on 64-bit) and float casts are not
+/// flagged.
+const NARROW_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
 /// Runs every lint that applies to `file` and returns the surviving
 /// findings (marker-suppressed ones removed, unused markers appended).
 pub fn lint_file(
@@ -114,6 +126,7 @@ pub fn lint_file(
     no_panic: bool,
     purity: bool,
     hot_alloc: bool,
+    truncating_cast: bool,
 ) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
     if determinism {
@@ -128,6 +141,9 @@ pub fn lint_file(
     if hot_alloc {
         raw.extend(hot_alloc_findings(file));
     }
+    if truncating_cast {
+        raw.extend(truncating_cast_findings(file));
+    }
 
     let markers = file.markers();
     let mut used = vec![false; markers.len()];
@@ -138,6 +154,7 @@ pub fn lint_file(
             Lint::NoPanic => "panic-ok",
             Lint::Purity => "impure-ok",
             Lint::HotAlloc => "alloc-ok",
+            Lint::TruncatingCast => "cast-ok",
             Lint::UnusedMarker => unreachable!("raw findings never carry this lint"),
         };
         let suppressed = markers.iter().enumerate().any(|(i, m)| {
@@ -432,6 +449,55 @@ fn hot_alloc_findings(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// No-truncating-cast lint: `expr as u32` (and the other sub-64-bit integer
+/// targets) silently drops high bits when the value overflows the target —
+/// the failure mode is a wrong answer, not an error. Library code in the
+/// algorithm crates must use `try_from` (propagating or `expect`ing per the
+/// crate's panic policy), a checked helper, or carry a `cast-ok` waiver
+/// stating the range argument. The lint is purely lexical: it flags every
+/// `as <narrow-int>` cast, including provably lossless ones — those get the
+/// waiver, which doubles as documentation of the range proof.
+fn truncating_cast_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.exempt[idx] {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = line[from..].find("as") {
+            let start = from + pos;
+            from = start + 2;
+            let pre = line[..start].chars().next_back();
+            let post = line[start + 2..].chars().next();
+            // `as` must be a standalone keyword with code on both sides
+            // (`use x as y` parses the same way but its target is an
+            // identifier, never a bare integer type).
+            if !pre.is_some_and(|c| matches!(c, ' ' | ')' | ']')) || post != Some(' ') {
+                continue;
+            }
+            let target: String = line[start + 2..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if NARROW_CAST_TARGETS.contains(&target.as_str()) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    Lint::TruncatingCast,
+                    format!(
+                        "`as {target}` silently truncates out-of-range values; use \
+                         `{target}::try_from` or a checked helper (or mark \
+                         `lint: cast-ok(reason)` with the range argument)"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
 fn token_findings(file: &SourceFile, tokens: &[&str], lint: Lint, message: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     for (idx, line) in file.code.iter().enumerate() {
@@ -460,7 +526,7 @@ mod tests {
 
     fn lint(text: &str) -> Vec<Finding> {
         let f = SourceFile::scan(Path::new("x.rs"), text);
-        lint_file(&f, true, true, true, true)
+        lint_file(&f, true, true, true, true, true)
     }
 
     #[test]
@@ -613,6 +679,55 @@ mod tests {
              }\n",
         );
         assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn narrow_casts_are_flagged_and_waivable() {
+        let hits = lint("fn f(x: usize) -> u32 { x as u32 }\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, Lint::TruncatingCast);
+        assert!(hits[0].message.contains("u32::try_from"));
+
+        let waived = "fn f(x: usize) -> u32 {\n\
+                          // lint: cast-ok(x < 32 by the caller contract)\n\
+                          x as u32\n\
+                      }\n";
+        assert!(lint(waived).is_empty());
+    }
+
+    #[test]
+    fn widening_and_float_casts_are_clean() {
+        let hits = lint(
+            "fn f(x: u32, y: f32) {\n\
+                 let a = x as u64;\n\
+                 let b = x as usize;\n\
+                 let c = x as f64;\n\
+                 let d = y as f64;\n\
+             }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn use_renames_and_identifiers_containing_as_are_clean() {
+        let hits = lint(
+            "use std::io::Error as IoError;\n\
+             fn f(base: u32, has_u8: bool) -> u32 { if has_u8 { base } else { 0 } }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn cast_in_test_module_is_exempt() {
+        let hits = lint("#[cfg(test)]\nmod tests {\n    fn t(x: usize) -> u8 { x as u8 }\n}\n");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn parenthesised_cast_source_is_flagged() {
+        let hits = lint("fn f(a: u64, b: u64) -> u16 { (a + b) as u16 }\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, Lint::TruncatingCast);
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub struct SourceFile {
 /// `// lint: unordered-ok(result is sorted before use)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Marker {
-    /// The marker kind: `unordered-ok`, `panic-ok`, `impure-ok` or `alloc-ok`.
+    /// The marker kind: `unordered-ok`, `panic-ok`, `impure-ok`, `alloc-ok`
+    /// or `cast-ok`.
     pub kind: String,
     /// The mandatory justification inside the parentheses.
     pub reason: String,
@@ -349,7 +350,10 @@ fn is_char_literal(chars: &[char], i: usize) -> bool {
 fn parse_marker(tail: &str) -> Option<(String, String)> {
     let open = tail.find('(')?;
     let kind = tail[..open].trim();
-    if !matches!(kind, "unordered-ok" | "panic-ok" | "impure-ok" | "alloc-ok") {
+    if !matches!(
+        kind,
+        "unordered-ok" | "panic-ok" | "impure-ok" | "alloc-ok" | "cast-ok"
+    ) {
         return None;
     }
     let close = tail[open..].find(')')? + open;

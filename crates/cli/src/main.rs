@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "fault-sweep" => cmd_fault_sweep(&opts),
         "chaos" => cmd_chaos(&opts),
         "churn" => cmd_churn(&opts),
+        "model" => cmd_model(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -85,14 +86,27 @@ commands:
             post-schedule crash + repair; prints cost, QoC and heartbeat
             false suspicions per cell
   chaos     [--seeds N] [--base-seed S] [--one T:F:S] [--shrink]
+            [--plan \"crash 3; crash 7; recover 3\"]
             [--nodes N] [--tau T] [--degree D] [--events E]
             [--rejoin re-verify|trust-snapshot] [--churn]
             deterministic chaos campaigns: seeded crash / recover /
             partition scripts against schedule + repair, with invariant
-            oracles; --one replays a single triple, --shrink ddmin-reduces
-            failures to a minimal fault script, --churn adds move/degrade
-            events to the generated scripts; exits nonzero on any
-            enforced-oracle violation
+            oracles; --one replays a single triple, --plan replays it
+            under an explicit fault script instead of the derived one,
+            --shrink ddmin-reduces failures to a minimal fault script,
+            --churn adds move/degrade events to the generated scripts;
+            exits nonzero on any enforced-oracle violation
+  model     [--policy re-verify|trust-snapshot|both] [--max-n N]
+            [--topology path|cycle|both] [--radius K] [--por] [--lower]
+            [--base-seed S] [--tries K] [--tau T]
+            exhaustive small-N model checking of the discovery/election/
+            repair protocol: BFS-enumerates every reachable interleaving
+            (symmetry-reduced; --por switches to the sleep-set filter),
+            checks coverage + fixpoint oracles at quiescent states and
+            classifies declared election stalls; prints a minimal action
+            trace per violation and, with --lower, searches for a concrete
+            failing chaos repro for its crash/recover skeleton and replays
+            it; exits nonzero on any safety violation
   churn     [--seeds N] [--base-seed S] [--one T:F:S] [--rounds K]
             [--model waypoint|drift] [--speed V] [--pause P]
             [--drift-bound B] [--duty-period D] [--duty-down W]
@@ -423,11 +437,20 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
     });
     let shrink = opts.flag("shrink");
 
-    // Replay a single triple.
+    // Replay a single triple — under its derived random plan, or under an
+    // explicit `--plan "crash 3; crash 7; recover 3"` script (the form the
+    // model checker's lowered repro commands take).
     if let Some(spec) = opts.get("one") {
         let triple = SeedTriple::parse(&spec)
             .ok_or_else(|| format!("--one expects topology:faults:schedule, got {spec:?}"))?;
-        let report = runner.run(triple).map_err(|e| format!("chaos run: {e}"))?;
+        let report = match opts.get("plan") {
+            Some(script) => {
+                let plan = confine_netsim::chaos::ChaosPlan::parse_script(&script)?;
+                runner.run_plan(triple, &plan)
+            }
+            None => runner.run(triple),
+        }
+        .map_err(|e| format!("chaos run: {e}"))?;
         println!("{}", report.trace.render());
         if !report.failed() {
             println!(
@@ -438,7 +461,7 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
             );
             return Ok(());
         }
-        if shrink {
+        if shrink && opts.get("plan").is_none() {
             if let Some(cex) = runner.shrink(triple).map_err(|e| format!("shrink: {e}"))? {
                 println!("--- minimized counterexample ---");
                 println!("{}", cex.repro);
@@ -609,6 +632,125 @@ fn cmd_churn(opts: &Opts) -> Result<(), String> {
                 .join(", ")
         ))
     }
+}
+
+fn cmd_model(opts: &Opts) -> Result<(), String> {
+    use confine_core::prelude::{ChaosOptions, ChaosRunner, RejoinPolicy};
+    use confine_model::{explore, Instance, Options, Policy, Topology, Violation};
+
+    let max_n = opts.usize("max-n", 4)?;
+    let radius = opts.usize("radius", 1)?;
+    let policies: Vec<Policy> = match opts.get("policy").as_deref() {
+        None | Some("both") => vec![Policy::ReVerify, Policy::TrustSnapshot],
+        Some("re-verify") => vec![Policy::ReVerify],
+        Some("trust-snapshot") => vec![Policy::TrustSnapshot],
+        Some(other) => {
+            return Err(format!(
+                "--policy expects re-verify, trust-snapshot or both, got {other:?}"
+            ))
+        }
+    };
+    let topologies: Vec<Topology> = match opts.get("topology").as_deref() {
+        None | Some("both") => vec![Topology::Path, Topology::Cycle],
+        Some("path") => vec![Topology::Path],
+        Some("cycle") => vec![Topology::Cycle],
+        Some(other) => {
+            return Err(format!(
+                "--topology expects path, cycle or both, got {other:?}"
+            ))
+        }
+    };
+    let options = if opts.flag("por") {
+        Options {
+            symmetry: false,
+            por: true,
+            ..Options::default()
+        }
+    } else {
+        Options::default()
+    };
+
+    let mut total_violations = 0usize;
+    let mut worst: Option<(Policy, Violation)> = None;
+    println!("policy          topo   n  states      transitions  filtered  stalls  viol  ms");
+    for &policy in &policies {
+        for &topo in &topologies {
+            for n in 2..=max_n {
+                let Some(inst) = Instance::new(topo, n, radius, policy) else {
+                    continue;
+                };
+                let start = std::time::Instant::now();
+                let report = explore(&inst, options);
+                let ms = start.elapsed().as_millis();
+                println!(
+                    "{:<15} {:<6} {:>2}  {:>10}  {:>11}  {:>8}  {:>6}  {:>4}  {ms}",
+                    format!("{policy:?}"),
+                    format!("{topo:?}"),
+                    n,
+                    report.states,
+                    report.transitions,
+                    report.filtered,
+                    report.stall_states,
+                    report.violations.len(),
+                );
+                total_violations += report.violations.len();
+                for v in report.violations {
+                    let better = worst
+                        .as_ref()
+                        .is_none_or(|(_, w)| v.trace.len() < w.trace.len());
+                    if better {
+                        worst = Some((policy, v));
+                    }
+                }
+                if let Some(stall) = report.stall_example {
+                    if policy == Policy::ReVerify && topo == Topology::Path && n == max_n {
+                        println!("  declared-stall example: {}", stall.render());
+                    }
+                }
+            }
+        }
+    }
+
+    let Some((policy, cex)) = worst else {
+        println!("no safety violations: every reachable quiescent state is covered and fixpoint");
+        return Ok(());
+    };
+    println!(
+        "minimal counterexample ({} actions): {}",
+        cex.trace.len(),
+        cex.render()
+    );
+    let script = cex.env_script();
+    if opts.flag("lower") {
+        let rejoin = match policy {
+            Policy::ReVerify => RejoinPolicy::ReVerify,
+            Policy::TrustSnapshot => RejoinPolicy::TrustSnapshot,
+        };
+        let runner = ChaosRunner::new(ChaosOptions {
+            tau: opts.usize("tau", 4)?,
+            rejoin,
+            engine: engine_config(opts, 1)?,
+            ..ChaosOptions::default()
+        });
+        let base = opts.u64("base-seed", 0xC0FFEE)?;
+        let tries = opts.u64("tries", 6)?;
+        match runner
+            .concretize(&script, base, tries)
+            .map_err(|e| format!("lowering: {e}"))?
+        {
+            Some(lowering) => {
+                println!("lowered repro: {}", lowering.command);
+                let replay = runner
+                    .run_plan(lowering.triple, &lowering.plan)
+                    .map_err(|e| format!("replay: {e}"))?;
+                println!("replay: {}", if replay.failed() { "RED" } else { "GREEN" });
+            }
+            None => println!("lowering: no failing assignment within the search budget"),
+        }
+    }
+    Err(format!(
+        "{total_violations} safety violation(s) across the sweep"
+    ))
 }
 
 fn cmd_verify(opts: &Opts) -> Result<(), String> {

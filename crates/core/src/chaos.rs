@@ -46,6 +46,7 @@ use confine_deploy::mobility::churn_graph;
 use confine_deploy::scenario::random_udg_scenario;
 use confine_deploy::{CommModel, Scenario};
 use confine_graph::{traverse, Graph, NodeId};
+use confine_model::EnvOp;
 use confine_netsim::chaos::{
     shrink_plan, ChaosEvent, ChaosPlan, SeedTriple, ShrinkResult, Trace, TraceEvent,
 };
@@ -134,6 +135,20 @@ pub struct Counterexample {
     pub repro: String,
 }
 
+/// A concrete repro lowered from an abstract model-checker
+/// counterexample by [`ChaosRunner::concretize`].
+#[derive(Debug, Clone)]
+pub struct Lowering {
+    /// The seed triple the lowered script replays under.
+    pub triple: SeedTriple,
+    /// The concrete fault script (crashes/recoveries on real node ids).
+    pub plan: ChaosPlan,
+    /// The failing replay (enforced-oracle violations in its trace).
+    pub report: ChaosReport,
+    /// Copy-pasteable `chaos --plan` command that reproduces the failure.
+    pub command: String,
+}
+
 /// Executes seeded chaos campaigns; see the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct ChaosRunner {
@@ -203,6 +218,161 @@ impl ChaosRunner {
             report: minimal,
             repro,
         }))
+    }
+
+    /// Lowers an abstract model-checker counterexample (an [`EnvOp`]
+    /// crash/recover skeleton over small model node ids) into a concrete
+    /// failing chaos repro.
+    ///
+    /// The search walks derived seed triples; for each, it runs the
+    /// fault-free baseline to learn the scheduled active set, then tries
+    /// assignments of model ids to concrete active nodes guided by the
+    /// abstract failure mechanism: the crash-only victims (whose repair
+    /// must wake a substitute) anchor on active nodes with *sleeping
+    /// neighbours*, and the rejoiner is drawn from the actives within two
+    /// hops of the anchor, so the substitute lands inside the rejoiner's
+    /// trust neighbourhood. The first assignment whose replay trips an
+    /// enforced oracle is returned with its copy-pasteable `chaos --plan`
+    /// command; `Ok(None)` means no assignment failed within the budget —
+    /// evidence (not proof) that the abstract violation does not refine
+    /// at this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`]s of the underlying drivers.
+    pub fn concretize(
+        &self,
+        ops: &[EnvOp],
+        base_seed: u64,
+        seed_tries: u64,
+    ) -> Result<Option<Lowering>, SimError> {
+        // Distinct model ids, in order of first appearance; the ids that
+        // rejoin are assigned last (their partners anchor the search).
+        let mut ids: Vec<usize> = Vec::new();
+        for op in ops {
+            let id = match *op {
+                EnvOp::Crash(i) | EnvOp::Recover(i) => i,
+            };
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        let rejoiners: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&i| {
+                ops.iter()
+                    .any(|op| matches!(op, EnvOp::Recover(j) if *j == i))
+            })
+            .collect();
+        let crash_only: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|i| !rejoiners.contains(i))
+            .collect();
+        const ANCHORS_PER_SEED: usize = 8;
+        const PARTNERS_PER_ANCHOR: usize = 3;
+        for index in 0..seed_tries {
+            let triple = SeedTriple::derived(base_seed, index);
+            let scenario = self.scenario(triple);
+            let baseline = self.run_plan(triple, &ChaosPlan::new())?;
+            if baseline.active.len() == scenario.graph.node_count() {
+                // Everyone awake: no sleepers to wake, no substitutes to
+                // demote — the regression cannot fire here.
+                continue;
+            }
+            // Anchors: active nodes whose crash has sleeping neighbours to
+            // wake, most first — substitutes are what rejoin demotes.
+            let mut anchors: Vec<(usize, NodeId)> = baseline
+                .active
+                .iter()
+                .map(|&v| {
+                    let sleeping = scenario
+                        .graph
+                        .neighbors(v)
+                        .filter(|n| !baseline.active.contains(n))
+                        .count();
+                    (sleeping, v)
+                })
+                .filter(|&(sleeping, _)| sleeping > 0)
+                .collect();
+            anchors.sort_by_key(|&(sleeping, v)| (usize::MAX - sleeping, v));
+            for &(_, anchor) in anchors.iter().take(ANCHORS_PER_SEED) {
+                // Partners: actives within two hops, id order (the trust
+                // ball has radius ⌈τ/2⌉+1 ≥ 3, so two hops keeps the
+                // anchor's substitutes inside the rejoiner's demotion
+                // neighbourhood).
+                let near: Vec<NodeId> = traverse::k_hop_neighbors(&scenario.graph, anchor, 2)
+                    .into_iter()
+                    .filter(|v| *v != anchor && baseline.active.contains(v))
+                    .collect();
+                for &partner in near.iter().take(PARTNERS_PER_ANCHOR) {
+                    // The anchor takes the first crash-only id, the
+                    // partner the first rejoiner; any further ids map to
+                    // the remaining nearby actives.
+                    let mut assignment: Vec<(usize, NodeId)> = Vec::new();
+                    if let Some(&c) = crash_only.first() {
+                        assignment.push((c, anchor));
+                        if let Some(&r) = rejoiners.first() {
+                            assignment.push((r, partner));
+                        }
+                    } else if let Some(&r) = rejoiners.first() {
+                        assignment.push((r, anchor));
+                    }
+                    let mut spare = near
+                        .iter()
+                        .filter(|v| **v != partner)
+                        .chain(baseline.active.iter())
+                        .filter(|v| **v != anchor && **v != partner)
+                        .copied();
+                    for &id in ids.iter() {
+                        if assignment.iter().any(|(i, _)| *i == id) {
+                            continue;
+                        }
+                        let Some(node) = spare.next() else { break };
+                        assignment.push((id, node));
+                    }
+                    if assignment.len() != ids.len() {
+                        continue; // not enough distinct actives
+                    }
+                    let map = |model_id: usize| {
+                        assignment
+                            .iter()
+                            .find(|(i, _)| *i == model_id)
+                            .map(|&(_, n)| n)
+                    };
+                    let mut plan = ChaosPlan::new();
+                    for op in ops {
+                        match *op {
+                            EnvOp::Crash(i) => {
+                                let Some(node) = map(i) else { continue };
+                                plan.events.push(ChaosEvent::Crash { node });
+                            }
+                            EnvOp::Recover(i) => {
+                                let Some(node) = map(i) else { continue };
+                                plan.events.push(ChaosEvent::Recover { node });
+                            }
+                        }
+                    }
+                    let report = self.run_plan(triple, &plan)?;
+                    if report.failed() {
+                        let script = plan.render_script().unwrap_or_default();
+                        let command = format!(
+                            "{}{} --plan \"{script}\"",
+                            triple.repro_command(),
+                            self.cli_flags()
+                        );
+                        return Ok(Some(Lowering {
+                            triple,
+                            plan,
+                            report,
+                            command,
+                        }));
+                    }
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// The non-default campaign options as CLI flags, appended to a
@@ -689,8 +859,9 @@ impl ChaosRunner {
         // Best case under the current down-set: every alive node awake.
         // The criterion is monotone in the active set, so if this fails no
         // repair strategy could have preserved it — the verdict is vacuous.
-        let alive: Vec<NodeId> = (0..scenario.graph.node_count() as u32)
-            .map(NodeId)
+        let alive: Vec<NodeId> = scenario
+            .graph
+            .nodes()
             .filter(|v| !down.contains_key(v))
             .collect();
         let achievable = self.partitionable(scenario, &alive);

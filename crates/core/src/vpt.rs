@@ -33,9 +33,11 @@ pub struct VptScratch {
     pub(crate) hood: NeighborhoodScratch,
 }
 
-/// The discovery radius `k = ⌈τ/2⌉` used by the transformation.
+/// The discovery radius `k = ⌈τ/2⌉` used by the transformation. Saturates
+/// at `u32::MAX` for (absurd) `tau` beyond `u32` range — a radius that
+/// already exceeds any graph diameter the substrate can represent.
 pub fn neighborhood_radius(tau: usize) -> u32 {
-    (tau as u32).div_ceil(2)
+    u32::try_from(tau).map_or(u32::MAX, |t| t.div_ceil(2))
 }
 
 /// The independence radius `m = ⌈τ/2⌉ + 1` at which deletions are safely

@@ -1,0 +1,54 @@
+//! Lowers the model checker's abstract `TrustSnapshot` counterexample
+//! into a concrete failing chaos repro — the bridge that turns a 6-action
+//! abstract trace into a copy-pasteable `chaos --plan` command.
+
+use confine_core::chaos::{ChaosOptions, ChaosRunner};
+use confine_core::repair::RejoinPolicy;
+use confine_model::{explore, Instance, Options, Policy, Topology, ViolationKind};
+use confine_netsim::chaos::ChaosPlan;
+
+#[test]
+fn trust_snapshot_counterexample_lowers_to_failing_repro() {
+    // 1. The model checker rediscovers the planted regression.
+    let inst = Instance::new(Topology::Path, 4, 1, Policy::TrustSnapshot).unwrap();
+    let report = explore(&inst, Options::default());
+    let cex = report
+        .violations
+        .iter()
+        .find(|v| matches!(v.kind, ViolationKind::CoverageHole { .. }))
+        .expect("model must rediscover the TrustSnapshot regression");
+    assert!(cex.trace.len() <= 6, "counterexample: {}", cex.render());
+
+    // 2. Its environment skeleton lowers to a concrete failing script.
+    let runner = ChaosRunner::new(ChaosOptions {
+        rejoin: RejoinPolicy::TrustSnapshot,
+        ..ChaosOptions::default()
+    });
+    let lowering = runner
+        .concretize(&cex.env_script(), 0xC0FFEE, 4)
+        .expect("simulation errors are not oracle failures")
+        .expect("the abstract counterexample must refine to a concrete failure");
+    assert!(lowering.report.failed());
+    assert!(
+        lowering.command.contains("--plan"),
+        "repro must be scriptable: {}",
+        lowering.command
+    );
+    assert!(lowering.command.contains("--rejoin trust-snapshot"));
+
+    // 3. The printed command's script replays red verbatim.
+    let script = lowering.plan.render_script().unwrap();
+    let replay = runner
+        .run_plan(lowering.triple, &ChaosPlan::parse_script(&script).unwrap())
+        .unwrap();
+    assert!(replay.failed(), "lowered repro must replay red");
+    assert_eq!(replay.trace.digest(), lowering.report.trace.digest());
+
+    // 4. The same script is harmless under the sound policy.
+    let sound = ChaosRunner::new(ChaosOptions::default());
+    let green = sound.run_plan(lowering.triple, &lowering.plan).unwrap();
+    assert!(
+        !green.failed(),
+        "ReVerify must survive the script that kills TrustSnapshot"
+    );
+}

@@ -1,0 +1,86 @@
+//! Refinement check: sampled concrete chaos campaigns stay inside the
+//! abstract model's observable behaviour.
+//!
+//! The model checker's verdicts are only as good as the abstraction — if
+//! the concrete runners could produce a per-node lifecycle the model never
+//! exhibits, an abstract "safe" would prove nothing. This suite samples
+//! crash/recover campaigns with `ChaosRunner`, projects each concrete
+//! trace onto the model's observable alphabet (`project_trace`), and
+//! asserts every projected per-node sequence is accepted by the lifecycle
+//! automaton pooled from exhaustive small-N explorations under the same
+//! rejoin policy.
+
+use std::sync::OnceLock;
+
+use confine_core::chaos::{ChaosOptions, ChaosRunner};
+use confine_core::repair::RejoinPolicy;
+use confine_model::{explore, Instance, LifecycleAutomaton, Options, Policy, Topology};
+use confine_netsim::chaos::{project_trace, ChaosPlan, SeedTriple};
+use proptest::prelude::*;
+
+/// The lifecycle reference for one policy: the union of the observable
+/// per-node languages over every exhaustively explored small instance.
+/// Small n suffices — the automaton is a per-node abstraction, so larger
+/// rings/paths only repeat the same local transitions.
+fn reference(policy: Policy) -> &'static LifecycleAutomaton {
+    static REVERIFY: OnceLock<LifecycleAutomaton> = OnceLock::new();
+    static TRUST: OnceLock<LifecycleAutomaton> = OnceLock::new();
+    let cell = match policy {
+        Policy::ReVerify => &REVERIFY,
+        Policy::TrustSnapshot => &TRUST,
+    };
+    cell.get_or_init(|| {
+        let mut merged = LifecycleAutomaton::default();
+        for topo in [Topology::Path, Topology::Cycle] {
+            for n in 2..=3 {
+                let inst = Instance::new(topo, n, 1, policy).unwrap();
+                merged.merge(&explore(&inst, Options::default()).lifecycle);
+            }
+        }
+        merged
+    })
+}
+
+/// Runs one crash/recover-only campaign and checks every projected
+/// per-node lifecycle against the policy's reference automaton.
+fn assert_refines(policy: Policy, rejoin: RejoinPolicy, seed: u64, events: usize) {
+    let runner = ChaosRunner::new(ChaosOptions {
+        rejoin,
+        ..ChaosOptions::default()
+    });
+    let triple = SeedTriple::derived(seed, 0);
+    // Learn the scheduled active set, then script faults against it — the
+    // model's `Crash` precondition (awake victims) mirrors this choice.
+    let baseline = runner
+        .run_plan(triple, &ChaosPlan::new())
+        .expect("baseline campaign");
+    let plan = ChaosPlan::random(&baseline.active, &[], events, seed ^ 0x5EED);
+    let report = runner.run_plan(triple, &plan).expect("campaign");
+
+    let auto = reference(policy);
+    for (node, seq) in project_trace(&report.trace) {
+        assert!(
+            auto.accepts(&seq),
+            "concrete lifecycle escapes the model: node {node:?} did {seq:?} \
+             under {rejoin:?} (seed {seed}, plan {plan:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sound policy: every sampled concrete trace projects into the
+    /// model's reachable per-node behaviour.
+    #[test]
+    fn reverify_campaigns_project_into_the_model(seed in 0u64..10_000, events in 3usize..8) {
+        assert_refines(Policy::ReVerify, RejoinPolicy::ReVerify, seed, events);
+    }
+
+    /// The buggy policy refines too — the model over-approximates *both*
+    /// policies; it is the oracles, not the alphabet, that tell them apart.
+    #[test]
+    fn trust_snapshot_campaigns_project_into_the_model(seed in 0u64..10_000, events in 3usize..8) {
+        assert_refines(Policy::TrustSnapshot, RejoinPolicy::TrustSnapshot, seed, events);
+    }
+}

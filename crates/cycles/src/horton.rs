@@ -272,6 +272,23 @@ const TREE: u32 = u32::MAX;
 const DENSE_PAIR_ENTRIES: usize = 1 << 20;
 
 /// XORs annihilator column `c` into `probe` (skips forest edges).
+/// Checked narrowing for node/edge indices on the BFS hot paths: the graph
+/// substrate stores ids as `u32` (`NodeId`/`EdgeId` wrap `u32`), so every
+/// index a view hands out is `< 2^32`. The debug assertion guards the
+/// invariant without taxing release builds.
+#[inline]
+fn u32_of(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "index {i} exceeds u32 range");
+    i as u32 // lint: cast-ok(graph ids are u32 by construction; debug-asserted)
+}
+
+/// The word mask keeping only bits strictly above position `i % 64` — the
+/// "candidates after `i` in this word" filter of the bitset sweeps.
+#[inline]
+fn mask_above(i: usize) -> u64 {
+    (!0u64).checked_shl(u32_of(i % 64) + 1).unwrap_or(0)
+}
+
 #[inline]
 fn xor_coord(probe: &mut [u64], cols: &[u64], w: usize, c: u32) {
     if c != TREE {
@@ -414,7 +431,7 @@ fn span_kernel<V: EdgeView>(
 
     // Stamp hygiene: restart the epoch before the counter can wrap within
     // one call (one global tick plus one per 4-cycle pivot and per root).
-    if *stamp >= u32::MAX - (2 * n as u32 + 2) {
+    if u64::from(*stamp) + 2 * n as u64 + 2 >= u64::from(u32::MAX) {
         visit.iter_mut().for_each(|s| *s = 0);
         pair_stamp.iter_mut().for_each(|s| *s = 0);
         *stamp = 0;
@@ -443,7 +460,7 @@ fn span_kernel<V: EdgeView>(
         }
         visit[root] = s0;
         parent_edge[root] = u32::MAX;
-        queue.push(root as u32);
+        queue.push(u32_of(root));
         let mut head = queue.len() - 1;
         depth[root] = 0;
         while head < queue.len() {
@@ -454,11 +471,11 @@ fn span_kernel<V: EdgeView>(
                 let wi = wn.index();
                 if visit[wi] != s0 {
                     visit[wi] = s0;
-                    parent_edge[wi] = e.index() as u32;
-                    parent[wi] = v as u32;
+                    parent_edge[wi] = u32_of(e.index());
+                    parent[wi] = u32_of(v);
                     depth[wi] = depth[v] + 1;
                     tree_edges += 1;
-                    queue.push(wi as u32);
+                    queue.push(u32_of(wi));
                 }
             }
         }
@@ -737,7 +754,7 @@ fn scan_tiers<V: EdgeView, const W: usize>(
         for wi in bi / 64..nw {
             let mut word = adj[ai * nw + wi] & adj[bi * nw + wi];
             if wi == bi / 64 {
-                word &= (!0u64).checked_shl(bi as u32 % 64 + 1).unwrap_or(0);
+                word &= mask_above(bi);
             }
             while word != 0 {
                 let c = wi * 64 + word.trailing_zeros() as usize;
@@ -787,7 +804,7 @@ fn scan_tiers<V: EdgeView, const W: usize>(
         for (wi2, &d2w) in d2.iter().enumerate().skip(a / 64) {
             let mut cword = d2w;
             if wi2 == a / 64 {
-                cword &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+                cword &= mask_above(a);
             }
             while cword != 0 {
                 let c = wi2 * 64 + cword.trailing_zeros() as usize;
@@ -796,10 +813,10 @@ fn scan_tiers<V: EdgeView, const W: usize>(
                 for wi in a / 64..nw {
                     let mut word = adj[a * nw + wi] & adj[c * nw + wi];
                     if wi == a / 64 {
-                        word &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+                        word &= mask_above(a);
                     }
                     while word != 0 {
-                        commons.push((wi * 64) as u32 + word.trailing_zeros());
+                        commons.push(u32_of(wi * 64) + word.trailing_zeros());
                         word &= word - 1;
                     }
                 }
@@ -833,7 +850,7 @@ fn scan_tiers<V: EdgeView, const W: usize>(
     // Tier 3: Horton candidates of length 5..=tau — per-root BFS trees
     // (depth-capped: an endpoint deeper than ⌊tau/2⌋ cannot close a short
     // enough walk), closed by any co-visited non-parent edge.
-    let cap = (tau / 2) as u32;
+    let cap = u32_of(tau / 2);
     for root in 0..n {
         *stamp += 1;
         let sr = *stamp;
@@ -841,7 +858,7 @@ fn scan_tiers<V: EdgeView, const W: usize>(
         visit[root] = sr;
         depth[root] = 0;
         parent_edge[root] = u32::MAX;
-        queue.push(root as u32);
+        queue.push(u32_of(root));
         let mut head = 0;
         while head < queue.len() {
             let v = queue[head] as usize;
@@ -855,9 +872,9 @@ fn scan_tiers<V: EdgeView, const W: usize>(
                 if visit[wi] != sr {
                     visit[wi] = sr;
                     depth[wi] = depth[v] + 1;
-                    parent_edge[wi] = e.index() as u32;
-                    parent[wi] = v as u32;
-                    queue.push(wi as u32);
+                    parent_edge[wi] = u32_of(e.index());
+                    parent[wi] = u32_of(v);
+                    queue.push(u32_of(wi));
                 }
             }
         }
@@ -869,7 +886,7 @@ fn scan_tiers<V: EdgeView, const W: usize>(
                 if wi <= v || visit[wi] != sr {
                     continue;
                 }
-                let ei = e.index() as u32;
+                let ei = u32_of(e.index());
                 if parent_edge[v] == ei || parent_edge[wi] == ei {
                     continue;
                 }
@@ -948,7 +965,7 @@ fn scan_tiers_dyn<V: EdgeView>(
         for wi in bi / 64..nw {
             let mut word = adj[ai * nw + wi] & adj[bi * nw + wi];
             if wi == bi / 64 {
-                word &= (!0u64).checked_shl(bi as u32 % 64 + 1).unwrap_or(0);
+                word &= mask_above(bi);
             }
             while word != 0 {
                 let c = wi * 64 + word.trailing_zeros() as usize;
@@ -991,7 +1008,7 @@ fn scan_tiers_dyn<V: EdgeView>(
         for (wi2, &d2w) in d2.iter().enumerate().skip(a / 64) {
             let mut cword = d2w;
             if wi2 == a / 64 {
-                cword &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+                cword &= mask_above(a);
             }
             while cword != 0 {
                 let c = wi2 * 64 + cword.trailing_zeros() as usize;
@@ -1000,10 +1017,10 @@ fn scan_tiers_dyn<V: EdgeView>(
                 for wi in a / 64..nw {
                     let mut word = adj[a * nw + wi] & adj[c * nw + wi];
                     if wi == a / 64 {
-                        word &= (!0u64).checked_shl(a as u32 % 64 + 1).unwrap_or(0);
+                        word &= mask_above(a);
                     }
                     while word != 0 {
-                        commons.push((wi * 64) as u32 + word.trailing_zeros());
+                        commons.push(u32_of(wi * 64) + word.trailing_zeros());
                         word &= word - 1;
                     }
                 }
@@ -1035,7 +1052,7 @@ fn scan_tiers_dyn<V: EdgeView>(
     }
 
     // Tier 3: Horton candidates of length 5..=tau; see [`scan_tiers`].
-    let cap = (tau / 2) as u32;
+    let cap = u32_of(tau / 2);
     for root in 0..n {
         *stamp += 1;
         let sr = *stamp;
@@ -1043,7 +1060,7 @@ fn scan_tiers_dyn<V: EdgeView>(
         visit[root] = sr;
         depth[root] = 0;
         parent_edge[root] = u32::MAX;
-        queue.push(root as u32);
+        queue.push(u32_of(root));
         let mut head = 0;
         while head < queue.len() {
             let v = queue[head] as usize;
@@ -1057,9 +1074,9 @@ fn scan_tiers_dyn<V: EdgeView>(
                 if visit[wi] != sr {
                     visit[wi] = sr;
                     depth[wi] = depth[v] + 1;
-                    parent_edge[wi] = e.index() as u32;
-                    parent[wi] = v as u32;
-                    queue.push(wi as u32);
+                    parent_edge[wi] = u32_of(e.index());
+                    parent[wi] = u32_of(v);
+                    queue.push(u32_of(wi));
                 }
             }
         }
@@ -1071,7 +1088,7 @@ fn scan_tiers_dyn<V: EdgeView>(
                 if wi <= v || visit[wi] != sr {
                     continue;
                 }
-                let ei = e.index() as u32;
+                let ei = u32_of(e.index());
                 if parent_edge[v] == ei || parent_edge[wi] == ei {
                     continue;
                 }

@@ -49,7 +49,8 @@ impl CsrGraph {
             let (ns, es) = graph.incident_slices(v);
             nbrs.extend_from_slice(ns);
             eids.extend_from_slice(es);
-            offsets.push(nbrs.len() as u32);
+            let end = u32::try_from(nbrs.len()).expect("adjacency exceeds u32 offsets");
+            offsets.push(end);
         }
         CsrGraph {
             offsets,
@@ -273,6 +274,7 @@ impl NeighborhoodScratch {
             self.order[i.index()] = NOT_MEMBER;
         }
         for (i, &a) in self.members.iter().enumerate() {
+            // lint: cast-ok(members holds distinct u32 node ids, so i < 2^32)
             self.order[a.index()] = i as u32;
         }
         self.csr.reset(n);

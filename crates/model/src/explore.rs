@@ -1,0 +1,599 @@
+//! Breadth-first exhaustive exploration of an [`Instance`]'s reachable
+//! state space, with canonical state hashing, node-symmetry reduction, an
+//! optional sleep-set (DPOR-lite) independent-action filter, safety oracles
+//! at quiescent states and a declared-stall liveness classification.
+//!
+//! BFS gives shortest counterexamples for free: the first violating state
+//! discovered sits at minimal action depth, and its trace is reconstructed
+//! from parent pointers.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::machine::{Action, Instance, Kind, State, KIND_COUNT};
+
+/// Explorer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Quotient the visited set by the instance's node-symmetry group.
+    pub symmetry: bool,
+    /// Apply the sleep-set independent-action filter (DPOR-lite). Mutually
+    /// exclusive with `symmetry` (the two reductions are not composed);
+    /// when both are set, symmetry wins.
+    pub por: bool,
+    /// Abort after this many states (safety net; the small-N spaces stay
+    /// far below it).
+    pub max_states: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            symmetry: true,
+            por: false,
+            max_states: 20_000_000,
+        }
+    }
+}
+
+/// What went wrong at a reachable quiescent state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// τ-partitionability oracle: a position is uncovered at a quiescent
+    /// state and no election stall was declared — a silent coverage tear.
+    CoverageHole {
+        /// The uncovered position.
+        position: usize,
+    },
+    /// Fixpoint oracle: an awake node is redundant at a quiescent state —
+    /// the set is not a pruning fixpoint (over-coverage burns lifetime).
+    NotFixpoint {
+        /// The redundant awake node.
+        node: usize,
+    },
+    /// No action at all is enabled (cannot happen while rejoin is
+    /// available; checked for completeness).
+    Deadlock,
+}
+
+/// One oracle violation with its minimal reproducing action trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What failed.
+    pub kind: ViolationKind,
+    /// A shortest action sequence from the initial state to the violating
+    /// state (BFS order guarantees minimality).
+    pub trace: Vec<Action>,
+}
+
+impl Violation {
+    /// The environment skeleton of the trace — the crash/recover script a
+    /// concrete chaos plan replays (protocol steps happen on their own in
+    /// the concrete runner).
+    pub fn env_script(&self) -> Vec<EnvOp> {
+        self.trace
+            .iter()
+            .filter_map(|a| match *a {
+                Action::Crash(i) => Some(EnvOp::Crash(i)),
+                Action::Rejoin(i) => Some(EnvOp::Recover(i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the trace as a one-line arrow chain.
+    pub fn render(&self) -> String {
+        let steps: Vec<String> = self.trace.iter().map(|a| a.to_string()).collect();
+        format!("{:?} after [{}]", self.kind, steps.join(" → "))
+    }
+}
+
+/// An environment step of a lowered counterexample, in model node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvOp {
+    /// Crash this model node.
+    Crash(usize),
+    /// Recover (rejoin) this model node.
+    Recover(usize),
+}
+
+/// The per-node lifecycle language over the observable [`Kind`] alphabet,
+/// extracted from the explored state space. A concrete trace projection
+/// refines the model iff every per-node kind sequence it exhibits starts in
+/// `initial_kinds` and only follows `edges` — see the refinement proptest
+/// in `confine-core`.
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleAutomaton {
+    /// Kinds that can appear first in some node's observable lifecycle.
+    pub initial_kinds: BTreeSet<Kind>,
+    /// Observable kind pairs `(a, b)` where `b` can directly follow `a` in
+    /// some node's lifecycle along some reachable interleaving.
+    pub edges: BTreeSet<(Kind, Kind)>,
+}
+
+impl LifecycleAutomaton {
+    /// Unions another automaton into this one (used to pool the lifecycle
+    /// languages of several instances before a refinement check).
+    pub fn merge(&mut self, other: &LifecycleAutomaton) {
+        self.initial_kinds
+            .extend(other.initial_kinds.iter().copied());
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// Does the automaton accept this per-node observable kind sequence?
+    pub fn accepts(&self, seq: &[Kind]) -> bool {
+        let Some(first) = seq.first() else {
+            return true;
+        };
+        if !self.initial_kinds.contains(first) {
+            return false;
+        }
+        seq.windows(2).all(|w| self.edges.contains(&(w[0], w[1])))
+    }
+}
+
+/// The result of one exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct (canonical) states reached.
+    pub states: usize,
+    /// Transitions taken (after any sleep-set filtering).
+    pub transitions: usize,
+    /// Transitions the sleep-set filter skipped.
+    pub filtered: usize,
+    /// Order of the node-symmetry group quotiented by (1 = no reduction).
+    pub symmetry_group: usize,
+    /// Safety violations (coverage hole / fixpoint / deadlock), each with
+    /// a minimal trace. Empty means the policy is safe at this N.
+    pub violations: Vec<Violation>,
+    /// Quiescent states where the protocol *declared* an election stall
+    /// (the abstract `SimError::ElectionStalled` class) — reported, not a
+    /// safety failure: every hole there is announced, not silent.
+    pub stall_states: usize,
+    /// A minimal trace into one declared-stall state, if any exist.
+    pub stall_example: Option<Violation>,
+    /// The observable per-node lifecycle language (refinement reference).
+    pub lifecycle: LifecycleAutomaton,
+}
+
+impl Report {
+    /// Did the exploration prove the policy safe (no violations)?
+    pub fn safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Exhaustively explores `inst` under `opts`.
+pub fn explore(inst: &Instance, opts: Options) -> Report {
+    let n = inst.len();
+    let symmetries = if opts.symmetry {
+        inst.symmetries()
+    } else {
+        vec![(0..n).collect()]
+    };
+    let use_por = opts.por && !opts.symmetry;
+
+    let mut canon_of: HashMap<u128, u32> = HashMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut parent: Vec<Option<(u32, Action)>> = Vec::new();
+    let mut sleep: Vec<u128> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    // (from, action, to, demoted-bitmask) — kept for the lifecycle pass.
+    let mut transitions: Vec<(u32, Action, u32, u32)> = Vec::new();
+    let mut filtered = 0usize;
+
+    let init = inst.initial();
+    let init_key = inst.canonical_key(&init, &symmetries);
+    canon_of.insert(init_key, 0);
+    states.push(init);
+    parent.push(None);
+    sleep.push(0);
+    queue.push_back(0);
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut seen_kinds: BTreeSet<ViolationKind> = BTreeSet::new();
+    let mut stall_states = 0usize;
+    let mut stall_example: Option<Violation> = None;
+
+    // Classify the initial state too (it is quiescent by construction).
+    classify(
+        inst,
+        &states[0],
+        0,
+        &parent,
+        &mut violations,
+        &mut seen_kinds,
+        &mut stall_states,
+        &mut stall_example,
+    );
+
+    while let Some(id) = queue.pop_front() {
+        if states.len() >= opts.max_states {
+            break;
+        }
+        let enabled = inst.enabled_actions(&states[id as usize]);
+        let state_sleep = sleep[id as usize];
+        let mut taken_mask = 0u128;
+        for &a in &enabled {
+            let bit = action_bit(a, n);
+            if use_por && state_sleep & bit != 0 {
+                filtered += 1;
+                continue;
+            }
+            let (succ, demoted) = inst.apply(&states[id as usize], a);
+            let succ_sleep = if use_por {
+                let mut m = 0u128;
+                let foot_a = inst.footprint(a);
+                for &b in &enabled {
+                    let b_bit = action_bit(b, n);
+                    if (state_sleep | taken_mask) & b_bit != 0 && inst.footprint(b) & foot_a == 0 {
+                        m |= b_bit;
+                    }
+                }
+                m
+            } else {
+                0
+            };
+            taken_mask |= bit;
+            let key = inst.canonical_key(&succ, &symmetries);
+            let succ_id = match canon_of.get(&key) {
+                Some(&existing) => {
+                    if use_por {
+                        let merged = sleep[existing as usize] & succ_sleep;
+                        if merged != sleep[existing as usize] {
+                            // A path with fewer sleeping actions reached an
+                            // explored state: re-expand it so the filter
+                            // stays sound.
+                            sleep[existing as usize] = merged;
+                            queue.push_back(existing);
+                        }
+                    }
+                    existing
+                }
+                None => {
+                    let new_id = u32::try_from(states.len()).unwrap_or(u32::MAX);
+                    canon_of.insert(key, new_id);
+                    states.push(succ);
+                    parent.push(Some((id, a)));
+                    sleep.push(succ_sleep);
+                    queue.push_back(new_id);
+                    classify(
+                        inst,
+                        &states[new_id as usize],
+                        new_id,
+                        &parent,
+                        &mut violations,
+                        &mut seen_kinds,
+                        &mut stall_states,
+                        &mut stall_example,
+                    );
+                    new_id
+                }
+            };
+            let mut demoted_bits = 0u32;
+            for d in demoted {
+                demoted_bits |= 1 << d;
+            }
+            transitions.push((id, a, succ_id, demoted_bits));
+        }
+    }
+
+    let lifecycle = lifecycle_pass(inst, states.len(), &transitions);
+
+    Report {
+        states: states.len(),
+        transitions: transitions.len(),
+        filtered,
+        symmetry_group: symmetries.len(),
+        violations,
+        stall_states,
+        stall_example,
+        lifecycle,
+    }
+}
+
+/// A dense index for an action inside a `u128` sleep mask.
+fn action_bit(a: Action, n: usize) -> u128 {
+    let kind = match a.kind() {
+        Kind::Tick => 0,
+        Kind::Miss => 1,
+        Kind::Suspect => 2,
+        Kind::Wake => 3,
+        Kind::ElectRound => 4,
+        Kind::ElectRetry => 5,
+        Kind::Prune => 6,
+        Kind::Crash => 7,
+        Kind::Rejoin => 8,
+    };
+    1u128 << (kind * n + a.subject())
+}
+
+impl PartialOrd for ViolationKind {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ViolationKind {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(v: &ViolationKind) -> (u8, usize) {
+            match v {
+                ViolationKind::CoverageHole { position } => (0, *position),
+                ViolationKind::NotFixpoint { node } => (1, *node),
+                ViolationKind::Deadlock => (2, 0),
+            }
+        }
+        rank(self).cmp(&rank(other))
+    }
+}
+
+/// Checks one newly discovered state against the oracles; records at most
+/// one (minimal, by BFS order) violation per distinct [`ViolationKind`].
+#[allow(clippy::too_many_arguments)]
+fn classify(
+    inst: &Instance,
+    s: &State,
+    id: u32,
+    parent: &[Option<(u32, Action)>],
+    violations: &mut Vec<Violation>,
+    seen_kinds: &mut BTreeSet<ViolationKind>,
+    stall_states: &mut usize,
+    stall_example: &mut Option<Violation>,
+) {
+    let enabled = inst.enabled_actions(s);
+    if enabled.is_empty() {
+        let kind = ViolationKind::Deadlock;
+        if seen_kinds.insert(kind.clone()) {
+            violations.push(Violation {
+                kind,
+                trace: trace_to(parent, id),
+            });
+        }
+        return;
+    }
+    if !enabled.iter().all(Action::is_environment) {
+        return; // not quiescent — oracles judge settled states only
+    }
+    let n = inst.len();
+    let holes: Vec<usize> = (0..n).filter(|&p| !inst.covered(s, p)).collect();
+    if !holes.is_empty() {
+        if s.nodes.iter().any(|node| node.stalled) {
+            // The protocol declared the failure (ElectionStalled): a
+            // liveness finding, counted but not a safety violation.
+            *stall_states += 1;
+            if stall_example.is_none() {
+                *stall_example = Some(Violation {
+                    kind: ViolationKind::CoverageHole { position: holes[0] },
+                    trace: trace_to(parent, id),
+                });
+            }
+        } else {
+            let kind = ViolationKind::CoverageHole { position: holes[0] };
+            if seen_kinds.insert(kind.clone()) {
+                violations.push(Violation {
+                    kind,
+                    trace: trace_to(parent, id),
+                });
+            }
+        }
+        return;
+    }
+    for j in 0..n {
+        if inst.awake(s, j) && inst.redundant(s, j) {
+            let kind = ViolationKind::NotFixpoint { node: j };
+            if seen_kinds.insert(kind.clone()) {
+                violations.push(Violation {
+                    kind,
+                    trace: trace_to(parent, id),
+                });
+            }
+        }
+    }
+}
+
+/// Reconstructs the action trace from the initial state to `id`.
+fn trace_to(parent: &[Option<(u32, Action)>], id: u32) -> Vec<Action> {
+    let mut trace = Vec::new();
+    let mut cur = id;
+    while let Some((prev, action)) = parent[cur as usize] {
+        trace.push(action);
+        cur = prev;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Computes the observable per-node lifecycle automaton by propagating
+/// "last observable kind" sets over the explored transition graph to a
+/// fixpoint.
+fn lifecycle_pass(
+    inst: &Instance,
+    state_count: usize,
+    transitions: &[(u32, Action, u32, u32)],
+) -> LifecycleAutomaton {
+    let n = inst.len();
+    const START: u16 = 1 << (KIND_COUNT as u16); // "no kind seen yet"
+    let mut last: Vec<Vec<u16>> = vec![vec![0; n]; state_count];
+    last[0] = vec![START; n];
+    let mut auto = LifecycleAutomaton::default();
+
+    let kind_of_bit = |bit: usize| -> Kind {
+        [
+            Kind::Tick,
+            Kind::Miss,
+            Kind::Suspect,
+            Kind::Wake,
+            Kind::ElectRound,
+            Kind::ElectRetry,
+            Kind::Prune,
+            Kind::Crash,
+            Kind::Rejoin,
+        ][bit]
+    };
+    let bit_of_kind = |k: Kind| -> u16 {
+        1 << match k {
+            Kind::Tick => 0,
+            Kind::Miss => 1,
+            Kind::Suspect => 2,
+            Kind::Wake => 3,
+            Kind::ElectRound => 4,
+            Kind::ElectRetry => 5,
+            Kind::Prune => 6,
+            Kind::Crash => 7,
+            Kind::Rejoin => 8,
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(from, action, to, demoted_bits) in transitions {
+            let src = last[from as usize].clone();
+            for x in 0..n {
+                // What observable kind, if any, does this transition emit
+                // for node x?
+                let emitted = if action.subject() == x && action.kind().is_observable() {
+                    Some(action.kind())
+                } else if demoted_bits & (1 << x) != 0 {
+                    Some(Kind::Prune)
+                } else {
+                    None
+                };
+                let contribution = match emitted {
+                    Some(k) => {
+                        for bit in 0..=KIND_COUNT {
+                            if src[x] & (1 << bit) == 0 {
+                                continue;
+                            }
+                            if bit == KIND_COUNT {
+                                auto.initial_kinds.insert(k);
+                            } else {
+                                auto.edges.insert((kind_of_bit(bit), k));
+                            }
+                        }
+                        bit_of_kind(k)
+                    }
+                    None => src[x],
+                };
+                let cell = &mut last[to as usize][x];
+                if *cell | contribution != *cell {
+                    *cell |= contribution;
+                    changed = true;
+                }
+            }
+        }
+    }
+    auto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Policy, Topology};
+
+    fn path4(policy: Policy) -> Instance {
+        Instance::new(Topology::Path, 4, 1, policy).unwrap()
+    }
+
+    #[test]
+    fn reverify_is_safe_at_n4() {
+        let report = explore(&path4(Policy::ReVerify), Options::default());
+        assert!(report.safe(), "violations: {:?}", report.violations);
+        assert!(report.states > 100, "the space is non-trivial");
+        assert!(
+            report.stall_states > 0,
+            "the declared empty-election stall class is reachable"
+        );
+    }
+
+    #[test]
+    fn trust_snapshot_fails_with_a_six_action_counterexample() {
+        let report = explore(&path4(Policy::TrustSnapshot), Options::default());
+        assert!(!report.safe());
+        let hole = report
+            .violations
+            .iter()
+            .find(|v| matches!(v.kind, ViolationKind::CoverageHole { .. }))
+            .expect("the planted regression tears coverage");
+        assert!(
+            hole.trace.len() <= 6,
+            "minimal counterexample blew the budget: {}",
+            hole.render()
+        );
+        let script = hole.env_script();
+        assert!(script.iter().any(|op| matches!(op, EnvOp::Recover(_))));
+        assert!(
+            script
+                .iter()
+                .filter(|op| matches!(op, EnvOp::Crash(_)))
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn symmetry_reduction_preserves_verdicts() {
+        for policy in [Policy::ReVerify, Policy::TrustSnapshot] {
+            let inst = Instance::new(Topology::Cycle, 4, 1, policy).unwrap();
+            let full = explore(
+                &inst,
+                Options {
+                    symmetry: false,
+                    ..Options::default()
+                },
+            );
+            let reduced = explore(&inst, Options::default());
+            assert!(reduced.states < full.states, "the quotient must shrink");
+            assert_eq!(reduced.safe(), full.safe());
+            assert_eq!(
+                reduced.stall_states > 0,
+                full.stall_states > 0,
+                "stall reachability must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn sleep_set_filter_preserves_states_and_verdicts() {
+        for policy in [Policy::ReVerify, Policy::TrustSnapshot] {
+            for n in 2..=4 {
+                let inst = Instance::new(Topology::Path, n, 1, policy).unwrap();
+                let full = explore(
+                    &inst,
+                    Options {
+                        symmetry: false,
+                        por: false,
+                        ..Options::default()
+                    },
+                );
+                let por = explore(
+                    &inst,
+                    Options {
+                        symmetry: false,
+                        por: true,
+                        ..Options::default()
+                    },
+                );
+                assert_eq!(por.states, full.states, "POR must not lose states");
+                assert_eq!(por.safe(), full.safe());
+                assert!(por.transitions + por.filtered >= full.transitions);
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_automaton_shape() {
+        let report = explore(&path4(Policy::ReVerify), Options::default());
+        let auto = &report.lifecycle;
+        assert!(auto.initial_kinds.contains(&Kind::Crash));
+        assert!(auto.initial_kinds.contains(&Kind::Wake));
+        assert!(!auto.initial_kinds.contains(&Kind::Rejoin));
+        assert!(auto.edges.contains(&(Kind::Crash, Kind::Rejoin)));
+        assert!(auto.edges.contains(&(Kind::Wake, Kind::Prune)));
+        assert!(
+            !auto.edges.contains(&(Kind::Rejoin, Kind::Rejoin)),
+            "a node cannot rejoin twice without crashing in between"
+        );
+        assert!(auto.accepts(&[Kind::Crash, Kind::Rejoin, Kind::Crash]));
+        assert!(!auto.accepts(&[Kind::Rejoin]));
+    }
+}

@@ -1,0 +1,48 @@
+//! # confine-model — exhaustive small-N protocol model checking
+//!
+//! A dependency-free abstract state machine of the distributed
+//! discovery/election/repair protocol (heartbeat tick/miss, suspicion,
+//! election round + retry, k-hop wake-up, crash, and rejoin under both
+//! `ReVerify` and `TrustSnapshot` policies), plus a BFS explorer that
+//! enumerates *every* reachable interleaving for small node counts with
+//! canonical state hashing, node-symmetry reduction and an optional
+//! sleep-set independent-action filter.
+//!
+//! Each reachable quiescent state is checked against the
+//! τ-partitionability oracle (is every position covered by an awake node
+//! within the wake radius?) and the fixpoint oracle (is no awake node
+//! redundant?); states where the protocol *declared* an election stall are
+//! classified separately as liveness findings. On violation the explorer
+//! reconstructs a shortest action trace and exposes its environment
+//! skeleton ([`EnvOp`] crash/recover script) so `confine-core` can lower
+//! it into a concrete failing `ChaosPlan` repro.
+//!
+//! The [`LifecycleAutomaton`] extracted during exploration is the
+//! refinement reference: concrete chaos traces project onto per-node
+//! observable kind sequences which must stay inside the model's reachable
+//! lifecycle language (see the refinement proptest in `confine-core`).
+//!
+//! ```
+//! use confine_model::{explore, Instance, Options, Policy, Topology};
+//!
+//! let inst = Instance::new(Topology::Path, 4, 1, Policy::ReVerify).unwrap();
+//! let report = explore(&inst, Options::default());
+//! assert!(report.safe());
+//!
+//! let inst = Instance::new(Topology::Path, 4, 1, Policy::TrustSnapshot).unwrap();
+//! let report = explore(&inst, Options::default());
+//! assert!(!report.safe());
+//! assert!(report.violations[0].trace.len() <= 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod machine;
+
+pub use explore::{explore, EnvOp, LifecycleAutomaton, Options, Report, Violation, ViolationKind};
+pub use machine::{
+    Action, Instance, Kind, NodeState, Policy, Role, State, SusPhase, Topology, KIND_COUNT,
+    MAX_NODES,
+};

@@ -1,0 +1,796 @@
+//! The abstract protocol state machine: per-node [`NodeState`]s driven by an
+//! exhaustively enumerable [`Action`] alphabet.
+//!
+//! This is a *small-N abstraction* of `confine-core`'s repair protocol
+//! (DESIGN.md §8, §11), in the `NodeAction`/`NodeState` state-machine style
+//! of polestar-rs (SNIPPETS.md snippet 2), hand-rolled with zero
+//! dependencies. The mapping to the concrete system:
+//!
+//! * **Positions and coverage.** Nodes sit on a path or cycle; position `p`
+//!   is *covered* iff an awake node lies within hop distance `k`. This is
+//!   the τ-partitionability oracle collapsed to its combinatorial core: in
+//!   the concrete system a certified boundary stays τ-partitionable exactly
+//!   while every sensing region keeps an awake node within the
+//!   `⌈τ/2⌉`-ball (Prop. 2); here `k` plays the role of `⌈τ/2⌉`.
+//! * **Heartbeats.** A crashed node's neighbours miss its heartbeat
+//!   ([`Action::Miss`], timeout 1), then raise suspicion
+//!   ([`Action::Suspect`]). A rejoined node's first heartbeat
+//!   ([`Action::Tick`]) clears a stale miss counter.
+//! * **Wake-up propagation.** While a suspicion is open, sleepers inside
+//!   the suspect's `k`-ball wake one by one ([`Action::Wake`]) — the
+//!   per-hop interleavings of the concrete `WakeFlood`. A wake that
+//!   restores the ball's coverage completes the repair (the local election
+//!   concludes with the substitute in place).
+//! * **Election round + retry.** If the flood finds no sleeper to wake and
+//!   the ball is still uncovered, the election comes up empty:
+//!   [`Action::ElectRetry`] burns the retry budget, then
+//!   [`Action::ElectRound`] declares the stall — the abstract image of
+//!   `SimError::ElectionStalled`.
+//! * **Prune.** Outside repair, a redundant woken substitute is elected
+//!   back to sleep ([`Action::Prune`]) — the re-VPT fixpoint pruning, with
+//!   redundancy standing in for "vertex deletion test passes".
+//! * **Crash / rejoin.** [`Action::Crash`] snapshots the awake set
+//!   restricted to the victim's `k`-ball (what the node's neighbourhood
+//!   view knew). [`Action::Rejoin`] re-enters it under the configured
+//!   [`Policy`]: `ReVerify` wakes the rejoiner as a prunable substitute and
+//!   lets redundancy-guarded pruning settle the set; `TrustSnapshot`
+//!   reinstates the stale snapshot verbatim, demoting every awake in-ball
+//!   node the snapshot does not list — the deliberately planted regression
+//!   of DESIGN.md §11.
+
+/// Which rejoin discipline the model runs under; mirrors
+/// `confine_core::repair::RejoinPolicy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Sound: a rejoiner wakes as a substitute and the fixpoint pruning
+    /// decides who sleeps.
+    ReVerify,
+    /// The planted regression: the rejoiner trusts its pre-crash snapshot
+    /// and demotes substitutes without re-verification.
+    TrustSnapshot,
+}
+
+/// The instance topology: `n` nodes in a line or a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Nodes `0..n` with edges `i — i+1`.
+    Path,
+    /// As [`Topology::Path`] plus the closing edge `n-1 — 0`.
+    Cycle,
+}
+
+/// A node's scheduling role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Awake since the initial schedule (or reinstated by a
+    /// `TrustSnapshot` rejoin).
+    Active,
+    /// Asleep; a redundancy reserve.
+    Sleeping,
+    /// Woken as a substitute during repair; prunable once redundant.
+    Woken,
+}
+
+/// Suspicion lifecycle of one (crashed) node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SusPhase {
+    /// No suspicion raised.
+    Clear,
+    /// Suspicion raised; a repair (wake flood + election) is in flight.
+    Suspected,
+    /// The repair for this suspicion has run to completion (successfully
+    /// or into a declared stall); it will not re-fire.
+    Handled,
+}
+
+/// One node of the abstract machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeState {
+    /// Scheduling role (meaningful while not crashed; frozen across a
+    /// crash as the pre-crash role).
+    pub role: Role,
+    /// Crash-stopped?
+    pub crashed: bool,
+    /// Heartbeat miss observed (timeout = 1 silent round).
+    pub missed: bool,
+    /// Suspicion lifecycle.
+    pub phase: SusPhase,
+    /// Did the repair for this node end in a declared election stall?
+    pub stalled: bool,
+    /// Has the empty election already burned its one retry?
+    pub retried: bool,
+    /// Is this node's awake verdict *unverified*? Set only by a
+    /// `TrustSnapshot` rejoin (the policy reinstates the node without
+    /// re-running a single VPT check) and blocks pruning: the concrete
+    /// system prunes redundancy in the verification pass this policy
+    /// skips, so an unverified-redundant node is stuck — exactly the
+    /// fixpoint-oracle failure class of the concrete chaos harness.
+    pub trusted: bool,
+    /// Awake bitmap over the node's `k`-ball at crash time (bit `j` set ⇔
+    /// node `j` was awake); the rejoin snapshot. Valid only while crashed.
+    pub snapshot: u8,
+}
+
+impl NodeState {
+    fn initial(role: Role) -> Self {
+        NodeState {
+            role,
+            crashed: false,
+            missed: false,
+            phase: SusPhase::Clear,
+            stalled: false,
+            retried: false,
+            trusted: false,
+            snapshot: 0,
+        }
+    }
+
+    /// Packs the node into [`NODE_BITS`] bits for canonical state keys.
+    fn encode(&self) -> u32 {
+        let role = match self.role {
+            Role::Active => 0u32,
+            Role::Sleeping => 1,
+            Role::Woken => 2,
+        };
+        let phase = match self.phase {
+            SusPhase::Clear => 0u32,
+            SusPhase::Suspected => 1,
+            SusPhase::Handled => 2,
+        };
+        role | (u32::from(self.crashed) << 2)
+            | (u32::from(self.missed) << 3)
+            | (phase << 4)
+            | (u32::from(self.stalled) << 6)
+            | (u32::from(self.retried) << 7)
+            | (u32::from(self.trusted) << 8)
+            | (u32::from(self.snapshot) << 9)
+    }
+}
+
+/// Bits one [`NodeState`] occupies in a packed state key.
+const NODE_BITS: usize = 17;
+
+/// A global state: one [`NodeState`] per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Per-node states, indexed by node id.
+    pub nodes: Vec<NodeState>,
+}
+
+impl State {
+    /// Packs the state into a `u128` key (exact for `n ≤ 7`:
+    /// `7 × NODE_BITS = 119 ≤ 128`).
+    pub fn encode(&self) -> u128 {
+        let mut key = 0u128;
+        for (i, node) in self.nodes.iter().enumerate() {
+            key |= u128::from(node.encode()) << (NODE_BITS * i);
+        }
+        key
+    }
+}
+
+/// One protocol or environment step. The subject node is the first field
+/// throughout, so traces read uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// A (rejoined) node's heartbeat clears a stale miss counter.
+    Tick(usize),
+    /// A crashed node's heartbeat goes silent for a round.
+    Miss(usize),
+    /// The silence crosses the timeout: suspicion raised, repair starts.
+    Suspect(usize),
+    /// The wake flood of an open suspicion reaches this sleeper.
+    Wake(usize),
+    /// The election for this suspect's repair concludes (successfully, or
+    /// declaring a stall once the retry budget is spent).
+    ElectRound(usize),
+    /// The election came up empty but the retry budget is not yet spent.
+    ElectRetry(usize),
+    /// Fixpoint pruning elects a redundant substitute back to sleep.
+    Prune(usize),
+    /// Environment: crash-stop an awake node, snapshotting its ball.
+    Crash(usize),
+    /// Environment: the crashed node recovers and rejoins under the
+    /// instance's [`Policy`].
+    Rejoin(usize),
+}
+
+impl Action {
+    /// The node the action is about.
+    pub fn subject(&self) -> usize {
+        match *self {
+            Action::Tick(i)
+            | Action::Miss(i)
+            | Action::Suspect(i)
+            | Action::Wake(i)
+            | Action::ElectRound(i)
+            | Action::ElectRetry(i)
+            | Action::Prune(i)
+            | Action::Crash(i)
+            | Action::Rejoin(i) => i,
+        }
+    }
+
+    /// The action's [`Kind`].
+    pub fn kind(&self) -> Kind {
+        match self {
+            Action::Tick(_) => Kind::Tick,
+            Action::Miss(_) => Kind::Miss,
+            Action::Suspect(_) => Kind::Suspect,
+            Action::Wake(_) => Kind::Wake,
+            Action::ElectRound(_) => Kind::ElectRound,
+            Action::ElectRetry(_) => Kind::ElectRetry,
+            Action::Prune(_) => Kind::Prune,
+            Action::Crash(_) => Kind::Crash,
+            Action::Rejoin(_) => Kind::Rejoin,
+        }
+    }
+
+    /// Is this an environment action (fault injection) rather than a
+    /// protocol step?
+    pub fn is_environment(&self) -> bool {
+        matches!(self, Action::Crash(_) | Action::Rejoin(_))
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (name, i) = match *self {
+            Action::Tick(i) => ("tick", i),
+            Action::Miss(i) => ("miss", i),
+            Action::Suspect(i) => ("suspect", i),
+            Action::Wake(i) => ("wake", i),
+            Action::ElectRound(i) => ("elect", i),
+            Action::ElectRetry(i) => ("retry", i),
+            Action::Prune(i) => ("prune", i),
+            Action::Crash(i) => ("crash", i),
+            Action::Rejoin(i) => ("rejoin", i),
+        };
+        write!(f, "{name}({i})")
+    }
+}
+
+/// Action kinds without the subject — the alphabet of the per-node
+/// lifecycle language the refinement check compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kind {
+    /// See [`Action::Tick`].
+    Tick,
+    /// See [`Action::Miss`].
+    Miss,
+    /// See [`Action::Suspect`].
+    Suspect,
+    /// See [`Action::Wake`].
+    Wake,
+    /// See [`Action::ElectRound`].
+    ElectRound,
+    /// See [`Action::ElectRetry`].
+    ElectRetry,
+    /// See [`Action::Prune`] (also emitted for the demotions a
+    /// `TrustSnapshot` rejoin performs as a side effect).
+    Prune,
+    /// See [`Action::Crash`].
+    Crash,
+    /// See [`Action::Rejoin`].
+    Rejoin,
+}
+
+impl Kind {
+    /// The kinds a concrete chaos trace can witness (crashes, recoveries
+    /// and membership changes); the internal heartbeat/election kinds are
+    /// invisible to the concrete trace and excluded from the refinement
+    /// alphabet.
+    pub const OBSERVABLE: [Kind; 4] = [Kind::Crash, Kind::Rejoin, Kind::Wake, Kind::Prune];
+
+    /// Is this kind part of the refinement-observable alphabet?
+    pub fn is_observable(&self) -> bool {
+        Kind::OBSERVABLE.contains(self)
+    }
+}
+
+/// The number of action kinds (size of the [`Kind`] alphabet).
+pub const KIND_COUNT: usize = 9;
+
+/// A fully configured small-N instance of the abstract protocol.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    topo: Topology,
+    n: usize,
+    k: usize,
+    policy: Policy,
+}
+
+/// The largest supported instance (state keys stay exact in `u128`:
+/// `MAX_NODES × NODE_BITS = 119 ≤ 128`).
+pub const MAX_NODES: usize = 7;
+
+impl Instance {
+    /// Builds an instance: `n` nodes on `topo`, wake/coverage radius `k`,
+    /// rejoining under `policy`. Returns `None` for `n < 2`, `n >`
+    /// [`MAX_NODES`] or `k == 0`.
+    pub fn new(topo: Topology, n: usize, k: usize, policy: Policy) -> Option<Self> {
+        if !(2..=MAX_NODES).contains(&n) || k == 0 {
+            return None;
+        }
+        Some(Instance { topo, n, k, policy })
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (instances have ≥ 2 nodes); present for API hygiene.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The rejoin policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Hop distance between two positions.
+    pub fn dist(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        match self.topo {
+            Topology::Path => d,
+            Topology::Cycle => d.min(self.n - d),
+        }
+    }
+
+    /// Is `b` within the `k`-ball of `a` (inclusive)?
+    pub fn in_ball(&self, a: usize, b: usize) -> bool {
+        self.dist(a, b) <= self.k
+    }
+
+    /// The initial state: a greedy leftmost-first dominating set is
+    /// active (node 0 always), the rest asleep. On paths and even cycles
+    /// this is exactly the every-other-node pattern; on odd cycles the
+    /// greedy sweep stops early so that every initial active stays
+    /// essential and the state is a coverage *fixpoint*, not merely a
+    /// cover.
+    pub fn initial(&self) -> State {
+        let mut active = vec![false; self.n];
+        for i in 0..self.n {
+            let covered = (0..self.n).any(|j| active[j] && self.in_ball(j, i));
+            if !covered {
+                active[i] = true;
+            }
+        }
+        State {
+            nodes: active
+                .into_iter()
+                .map(|a| NodeState::initial(if a { Role::Active } else { Role::Sleeping }))
+                .collect(),
+        }
+    }
+
+    /// Is node `j` awake (not crashed, not sleeping)?
+    pub fn awake(&self, s: &State, j: usize) -> bool {
+        !s.nodes[j].crashed && s.nodes[j].role != Role::Sleeping
+    }
+
+    /// Is position `p` covered by an awake node within `k` hops?
+    pub fn covered(&self, s: &State, p: usize) -> bool {
+        (0..self.n).any(|q| self.awake(s, q) && self.in_ball(p, q))
+    }
+
+    /// Is position `p` still covered with node `x` removed from the awake
+    /// set?
+    fn covered_without(&self, s: &State, p: usize, x: usize) -> bool {
+        (0..self.n).any(|q| q != x && self.awake(s, q) && self.in_ball(p, q))
+    }
+
+    /// Is every position of `i`'s ball covered?
+    fn ball_covered(&self, s: &State, i: usize) -> bool {
+        (0..self.n).all(|p| !self.in_ball(i, p) || self.covered(s, p))
+    }
+
+    /// Could node `j` sleep without un-covering any currently covered
+    /// position? (Monotone: only positions that are covered now count, so
+    /// pruning never widens an existing hole.)
+    pub fn redundant(&self, s: &State, j: usize) -> bool {
+        self.awake(s, j)
+            && (0..self.n).all(|p| !self.covered(s, p) || self.covered_without(s, p, j))
+    }
+
+    /// Is some sleeper in `i`'s ball still available to wake?
+    fn wake_available(&self, s: &State, i: usize) -> bool {
+        (0..self.n)
+            .any(|j| self.in_ball(i, j) && !s.nodes[j].crashed && s.nodes[j].role == Role::Sleeping)
+    }
+
+    fn any_suspected(&self, s: &State) -> bool {
+        s.nodes.iter().any(|n| n.phase == SusPhase::Suspected)
+    }
+
+    /// Awake bitmap restricted to `i`'s ball — the rejoin snapshot a
+    /// crashing node takes of its neighbourhood view.
+    fn ball_snapshot(&self, s: &State, i: usize) -> u8 {
+        let mut bits = 0u8;
+        for j in 0..self.n {
+            if self.in_ball(i, j) && self.awake(s, j) {
+                bits |= 1 << j;
+            }
+        }
+        bits
+    }
+
+    /// Is `a` enabled in `s`?
+    pub fn enabled(&self, s: &State, a: Action) -> bool {
+        match a {
+            Action::Tick(i) => !s.nodes[i].crashed && s.nodes[i].missed,
+            Action::Miss(i) => s.nodes[i].crashed && !s.nodes[i].missed,
+            Action::Suspect(i) => {
+                s.nodes[i].crashed && s.nodes[i].missed && s.nodes[i].phase == SusPhase::Clear
+            }
+            Action::Wake(j) => {
+                !s.nodes[j].crashed
+                    && s.nodes[j].role == Role::Sleeping
+                    && (0..self.n)
+                        .any(|i| s.nodes[i].phase == SusPhase::Suspected && self.in_ball(i, j))
+            }
+            Action::ElectRound(i) => {
+                s.nodes[i].phase == SusPhase::Suspected
+                    && !self.wake_available(s, i)
+                    && (self.ball_covered(s, i) || s.nodes[i].retried)
+            }
+            Action::ElectRetry(i) => {
+                s.nodes[i].phase == SusPhase::Suspected
+                    && !self.wake_available(s, i)
+                    && !self.ball_covered(s, i)
+                    && !s.nodes[i].retried
+            }
+            Action::Prune(j) => {
+                self.awake(s, j)
+                    && !s.nodes[j].trusted
+                    && !self.any_suspected(s)
+                    && self.redundant(s, j)
+            }
+            Action::Crash(i) => !s.nodes[i].crashed && self.awake(s, i),
+            Action::Rejoin(i) => s.nodes[i].crashed,
+        }
+    }
+
+    /// Applies `a` to `s` (caller guarantees `a` is enabled). Returns the
+    /// successor state plus any *side-effect demotions* (nodes a
+    /// `TrustSnapshot` rejoin put back to sleep) — the refinement
+    /// projection records those as [`Kind::Prune`] events on the demoted
+    /// nodes.
+    pub fn apply(&self, s: &State, a: Action) -> (State, Vec<usize>) {
+        let mut t = s.clone();
+        let mut demoted = Vec::new();
+        match a {
+            Action::Tick(i) => t.nodes[i].missed = false,
+            Action::Miss(i) => t.nodes[i].missed = true,
+            Action::Suspect(i) => t.nodes[i].phase = SusPhase::Suspected,
+            Action::Wake(j) => {
+                t.nodes[j].role = Role::Woken;
+                // A wake is a live local decision: the woken substitute is
+                // verified by construction and immediately prunable again.
+                t.nodes[j].trusted = false;
+                // A wake that restores a suspect's ball coverage concludes
+                // that repair: the local election has its substitute.
+                for i in 0..self.n {
+                    if t.nodes[i].phase == SusPhase::Suspected && self.ball_covered(&t, i) {
+                        t.nodes[i].phase = SusPhase::Handled;
+                    }
+                }
+            }
+            Action::ElectRound(i) => {
+                t.nodes[i].phase = SusPhase::Handled;
+                if !self.ball_covered(&t, i) {
+                    t.nodes[i].stalled = true;
+                }
+            }
+            Action::ElectRetry(i) => t.nodes[i].retried = true,
+            Action::Prune(j) => t.nodes[j].role = Role::Sleeping,
+            Action::Crash(i) => {
+                t.nodes[i].snapshot = self.ball_snapshot(s, i);
+                t.nodes[i].crashed = true;
+            }
+            Action::Rejoin(i) => {
+                let snapshot = t.nodes[i].snapshot;
+                t.nodes[i] = NodeState::initial(match self.policy {
+                    Policy::ReVerify => Role::Woken,
+                    Policy::TrustSnapshot => Role::Active,
+                });
+                // Under `TrustSnapshot` the rejoiner is reinstated without
+                // re-verification: it is *trusted* (never pruned), which is
+                // exactly what lets the fixpoint oracle catch redundant
+                // unverified rejoiners (`is_vpt_fixpoint` in the concrete
+                // scheduler fails the same way).
+                t.nodes[i].trusted = self.policy == Policy::TrustSnapshot;
+                // Preserve the stale miss the crash left behind: the first
+                // post-rejoin heartbeat (Tick) clears it.
+                t.nodes[i].missed = s.nodes[i].missed;
+                if self.policy == Policy::TrustSnapshot {
+                    // The planted regression: demote every awake in-ball
+                    // node the stale snapshot does not list, with zero
+                    // verification rounds (repair.rs `TrustSnapshot`).
+                    for j in 0..self.n {
+                        if j != i
+                            && self.in_ball(i, j)
+                            && self.awake(&t, j)
+                            && snapshot & (1 << j) == 0
+                        {
+                            t.nodes[j].role = Role::Sleeping;
+                            demoted.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        (t, demoted)
+    }
+
+    /// All actions enabled in `s`, protocol steps before environment
+    /// steps, in subject order — the canonical expansion order of the
+    /// explorer.
+    pub fn enabled_actions(&self, s: &State) -> Vec<Action> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for a in [
+                Action::Tick(i),
+                Action::Miss(i),
+                Action::Suspect(i),
+                Action::Wake(i),
+                Action::ElectRound(i),
+                Action::ElectRetry(i),
+                Action::Prune(i),
+            ] {
+                if self.enabled(s, a) {
+                    out.push(a);
+                }
+            }
+        }
+        for i in 0..self.n {
+            for a in [Action::Crash(i), Action::Rejoin(i)] {
+                if self.enabled(s, a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `s` protocol-quiescent (no heartbeat, wake, election or prune
+    /// step enabled — only the environment could move)?
+    pub fn quiescent(&self, s: &State) -> bool {
+        self.enabled_actions(s).iter().all(|a| a.is_environment())
+    }
+
+    /// The topology automorphisms that also fix the initial role
+    /// assignment — the node-symmetry group the explorer quotients by.
+    pub fn symmetries(&self) -> Vec<Vec<usize>> {
+        let init = self.initial();
+        let mut perms: Vec<Vec<usize>> = vec![(0..self.n).collect()];
+        permutations(self.n, &mut |perm| {
+            if perm.iter().enumerate().all(|(i, &pi)| i == pi) {
+                return; // identity already included
+            }
+            let adjacency_preserved = (0..self.n).all(|a| {
+                (0..self.n).all(|b| self.dist(a, b) != 1 || self.dist(perm[a], perm[b]) == 1)
+            });
+            let roles_preserved =
+                (0..self.n).all(|i| init.nodes[i].role == init.nodes[perm[i]].role);
+            if adjacency_preserved && roles_preserved {
+                perms.push(perm.to_vec());
+            }
+        });
+        perms
+    }
+
+    /// The canonical key of `s`: the minimum encoding over the symmetry
+    /// group (computed once by the explorer and passed in).
+    pub fn canonical_key(&self, s: &State, symmetries: &[Vec<usize>]) -> u128 {
+        let mut best = u128::MAX;
+        let mut scratch = s.clone();
+        for perm in symmetries {
+            for (i, &pi) in perm.iter().enumerate() {
+                let mut node = s.nodes[i];
+                node.snapshot = permute_bits(node.snapshot, perm, self.n);
+                scratch.nodes[pi] = node;
+            }
+            best = best.min(scratch.encode());
+        }
+        best
+    }
+
+    /// The dependency footprint of `a`: the set of nodes whose state the
+    /// action reads or writes, as a bitmask. Two actions with disjoint
+    /// footprints commute — the independence relation of the DPOR-lite
+    /// filter. `Prune` and `ElectRound` read global coverage, so their
+    /// footprint is everything.
+    pub fn footprint(&self, a: Action) -> u32 {
+        match a {
+            Action::Prune(_) | Action::ElectRound(_) | Action::ElectRetry(_) => {
+                (1u32 << self.n) - 1
+            }
+            Action::Tick(i) | Action::Miss(i) => 1 << i,
+            // Suspect(i) changes which wakes are enabled inside i's ball;
+            // Crash/Rejoin read and write the ball; Wake(j) reads the
+            // suspicions within k and completes repairs whose ball it
+            // touches — conservatively 2k around the subject.
+            Action::Suspect(i) | Action::Crash(i) | Action::Rejoin(i) | Action::Wake(i) => {
+                let mut bits = 0u32;
+                for j in 0..self.n {
+                    if self.dist(i, j) <= 2 * self.k {
+                        bits |= 1 << j;
+                    }
+                }
+                bits
+            }
+        }
+    }
+}
+
+/// Calls `f` with every permutation of `0..n` (heap's algorithm, n ≤ 8).
+fn permutations(n: usize, f: &mut dyn FnMut(&[usize])) {
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_recurse(n, &mut items, f);
+}
+
+fn heap_recurse(k: usize, items: &mut Vec<usize>, f: &mut dyn FnMut(&[usize])) {
+    if k <= 1 {
+        f(items);
+        return;
+    }
+    for i in 0..k {
+        heap_recurse(k - 1, items, f);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Applies a node permutation to a ball bitmap.
+fn permute_bits(bits: u8, perm: &[usize], n: usize) -> u8 {
+    let mut out = 0u8;
+    for (j, &pj) in perm.iter().enumerate().take(n) {
+        if bits & (1 << j) != 0 {
+            out |= 1 << pj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4(policy: Policy) -> Instance {
+        Instance::new(Topology::Path, 4, 1, policy).unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_a_covered_fixpoint() {
+        for topo in [Topology::Path, Topology::Cycle] {
+            for n in 2..=4 {
+                let inst = Instance::new(topo, n, 1, Policy::ReVerify).unwrap();
+                let s = inst.initial();
+                for p in 0..n {
+                    assert!(inst.covered(&s, p), "{topo:?} n={n} position {p}");
+                }
+                for j in 0..n {
+                    assert!(
+                        !inst.redundant(&s, j) || !inst.awake(&s, j),
+                        "{topo:?} n={n}: initial active {j} must be essential"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_snapshot_is_ball_restricted() {
+        let inst = path4(Policy::TrustSnapshot);
+        let s = inst.initial();
+        assert!(inst.enabled(&s, Action::Crash(2)));
+        let (t, demoted) = inst.apply(&s, Action::Crash(2));
+        assert!(demoted.is_empty());
+        // Ball of 2 is {1,2,3}; awake inside it: just 2 itself (0 is
+        // outside the ball).
+        assert_eq!(t.nodes[2].snapshot, 0b0100);
+        assert!(t.nodes[2].crashed);
+    }
+
+    #[test]
+    fn trust_snapshot_rejoin_demotes_unverified_substitutes() {
+        let inst = path4(Policy::TrustSnapshot);
+        let mut s = inst.initial();
+        for a in [
+            Action::Crash(2),
+            Action::Crash(0),
+            Action::Miss(0),
+            Action::Suspect(0),
+            Action::Wake(1),
+        ] {
+            assert!(inst.enabled(&s, a), "{a} must be enabled");
+            s = inst.apply(&s, a).0;
+        }
+        // The covering wake concluded node 0's repair.
+        assert_eq!(s.nodes[0].phase, SusPhase::Handled);
+        assert!(inst.enabled(&s, Action::Rejoin(2)));
+        let (t, demoted) = inst.apply(&s, Action::Rejoin(2));
+        assert_eq!(demoted, vec![1], "the substitute is demoted unverified");
+        assert!(inst.quiescent(&t), "nothing re-detects the tear");
+        assert!(!inst.covered(&t, 0), "node 0's region is now a hole");
+        assert!(!t.nodes.iter().any(|n| n.stalled));
+    }
+
+    #[test]
+    fn reverify_rejoin_keeps_the_substitute_until_pruned() {
+        let inst = path4(Policy::ReVerify);
+        let mut s = inst.initial();
+        for a in [
+            Action::Crash(2),
+            Action::Crash(0),
+            Action::Miss(0),
+            Action::Suspect(0),
+            Action::Wake(1),
+            Action::Rejoin(2),
+        ] {
+            s = inst.apply(&s, a).0;
+        }
+        assert!((0..4).all(|p| inst.covered(&s, p)), "coverage survives");
+        assert_eq!(s.nodes[2].role, Role::Woken, "rejoiner re-earns its slot");
+    }
+
+    #[test]
+    fn empty_election_declares_a_stall_after_one_retry() {
+        let inst = path4(Policy::ReVerify);
+        let mut s = inst.initial();
+        for a in [
+            Action::Crash(0),
+            Action::Miss(0),
+            Action::Suspect(0),
+            Action::Wake(1),
+            Action::Crash(1),
+            Action::Miss(1),
+            Action::Suspect(1),
+        ] {
+            assert!(inst.enabled(&s, a), "{a} must be enabled");
+            s = inst.apply(&s, a).0;
+        }
+        // Ball of 1 is {0,1,2}: 0 crashed, 2 active — no sleeper to wake.
+        assert!(inst.enabled(&s, Action::ElectRetry(1)));
+        assert!(!inst.enabled(&s, Action::ElectRound(1)));
+        s = inst.apply(&s, Action::ElectRetry(1)).0;
+        assert!(inst.enabled(&s, Action::ElectRound(1)));
+        s = inst.apply(&s, Action::ElectRound(1)).0;
+        assert!(s.nodes[1].stalled, "the empty election is a declared stall");
+    }
+
+    #[test]
+    fn symmetry_group_sizes() {
+        // Path n=4 roles A,S,A,S: reversal maps roles to S,A,S,A — only
+        // the identity survives.
+        assert_eq!(path4(Policy::ReVerify).symmetries().len(), 1);
+        // Cycle n=4 roles A,S,A,S: rotation by 2 and both diagonal
+        // reflections survive.
+        let c4 = Instance::new(Topology::Cycle, 4, 1, Policy::ReVerify).unwrap();
+        assert_eq!(c4.symmetries().len(), 4);
+        // Cycle n=3 roles A,S,S: the reflection fixing node 0 survives.
+        let c3 = Instance::new(Topology::Cycle, 3, 1, Policy::ReVerify).unwrap();
+        assert_eq!(c3.symmetries().len(), 2);
+    }
+
+    #[test]
+    fn canonical_key_identifies_symmetric_states() {
+        let c4 = Instance::new(Topology::Cycle, 4, 1, Policy::ReVerify).unwrap();
+        let syms = c4.symmetries();
+        let s0 = c4.apply(&c4.initial(), Action::Crash(0)).0;
+        let s2 = c4.apply(&c4.initial(), Action::Crash(2)).0;
+        assert_ne!(s0.encode(), s2.encode());
+        assert_eq!(c4.canonical_key(&s0, &syms), c4.canonical_key(&s2, &syms));
+    }
+}

@@ -16,6 +16,7 @@
 //! The protocol-specific half — which oracles to check and how to react to
 //! each fault — lives with the DCC drivers in `confine-core`.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use confine_graph::NodeId;
@@ -361,6 +362,76 @@ impl ChaosPlan {
         }
         out
     }
+
+    /// Renders the plan as a `;`-separated script that
+    /// [`ChaosPlan::parse_script`] round-trips, e.g. `crash 3; recover 3`.
+    ///
+    /// Returns `None` if the plan contains an event with no script form
+    /// (splits carry whole node sets).
+    pub fn render_script(&self) -> Option<String> {
+        let mut parts = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            match e {
+                ChaosEvent::Crash { node } => parts.push(format!("crash {}", node.0)),
+                ChaosEvent::Recover { node } => parts.push(format!("recover {}", node.0)),
+                ChaosEvent::Move {
+                    node,
+                    dx_mils,
+                    dy_mils,
+                } => parts.push(format!("move {} {dx_mils} {dy_mils}", node.0)),
+                ChaosEvent::Degrade { node, factor_pct } => {
+                    parts.push(format!("degrade {} {factor_pct}", node.0));
+                }
+                ChaosEvent::Split { .. } => return None,
+            }
+        }
+        Some(parts.join("; "))
+    }
+
+    /// Parses a `;`-separated fault script: `crash N`, `recover N`,
+    /// `move N DX_MILS DY_MILS`, `degrade N PCT`. The inverse of
+    /// [`ChaosPlan::render_script`]; this is the `chaos --plan` format the
+    /// model checker's lowered repro commands use.
+    pub fn parse_script(script: &str) -> Result<Self, String> {
+        fn num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+            tok.parse()
+                .map_err(|_| format!("bad {what} in chaos script: `{tok}`"))
+        }
+        let mut plan = ChaosPlan::new();
+        for stmt in script.split(';') {
+            let toks: Vec<&str> = stmt.split_whitespace().collect();
+            let (op, args) = match toks.split_first() {
+                Some((op, rest)) => (*op, rest),
+                None => continue, // empty statement (trailing `;`)
+            };
+            let event = match (op, args.len()) {
+                ("crash", 1) => ChaosEvent::Crash {
+                    node: NodeId(num(args[0], "node id")?),
+                },
+                ("recover", 1) => ChaosEvent::Recover {
+                    node: NodeId(num(args[0], "node id")?),
+                },
+                ("move", 3) => ChaosEvent::Move {
+                    node: NodeId(num(args[0], "node id")?),
+                    dx_mils: num(args[1], "dx")?,
+                    dy_mils: num(args[2], "dy")?,
+                },
+                ("degrade", 2) => ChaosEvent::Degrade {
+                    node: NodeId(num(args[0], "node id")?),
+                    factor_pct: num(args[1], "factor")?,
+                },
+                _ => {
+                    return Err(format!(
+                        "bad chaos script statement `{}` (expected `crash N`, \
+                         `recover N`, `move N DX DY` or `degrade N PCT`)",
+                        stmt.trim()
+                    ))
+                }
+            };
+            plan.events.push(event);
+        }
+        Ok(plan)
+    }
 }
 
 /// One record of a chaos-run trace.
@@ -593,6 +664,58 @@ impl Trace {
         }
         out
     }
+}
+
+/// Projects a concrete chaos [`Trace`] onto per-node sequences of
+/// observable model [`Kind`](confine_model::Kind)s — the refinement
+/// interface to `confine-model`.
+///
+/// Mapping: `Crash` records project to `Kind::Crash`, `Recover` to
+/// `Kind::Rejoin`, and `Membership` deltas to `Kind::Wake` (woken) /
+/// `Kind::Prune` (slept), except that the crash victim's own membership
+/// exit at its repair step and the rejoiner's own membership entry at its
+/// rejoin step are folded into the Crash/Rejoin records (the model treats
+/// them as one atomic action). Membership of the initial `schedule` phase
+/// is pre-history — the model starts *at* the scheduled fixpoint — and is
+/// skipped.
+pub fn project_trace(trace: &Trace) -> BTreeMap<NodeId, Vec<confine_model::Kind>> {
+    use confine_model::Kind;
+    let mut out: BTreeMap<NodeId, Vec<Kind>> = BTreeMap::new();
+    let mut phase: Option<(usize, &str)> = None;
+    let mut crashed_at: Option<(usize, NodeId)> = None;
+    let mut recovered_at: Option<(usize, NodeId)> = None;
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::Crash { step, node } => {
+                out.entry(*node).or_default().push(Kind::Crash);
+                crashed_at = Some((*step, *node));
+            }
+            TraceEvent::Recover { step, node } => {
+                out.entry(*node).or_default().push(Kind::Rejoin);
+                recovered_at = Some((*step, *node));
+            }
+            TraceEvent::Phase { step, label, .. } => phase = Some((*step, label.as_str())),
+            TraceEvent::Membership { step, woken, slept } => {
+                if matches!(phase, Some((ps, "schedule")) if ps == *step) {
+                    continue;
+                }
+                for w in woken {
+                    if matches!(recovered_at, Some((rs, rn)) if rs == *step && rn == *w) {
+                        continue;
+                    }
+                    out.entry(*w).or_default().push(Kind::Wake);
+                }
+                for s in slept {
+                    if matches!(crashed_at, Some((cs, cn)) if cs == *step && cn == *s) {
+                        continue;
+                    }
+                    out.entry(*s).or_default().push(Kind::Prune);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 /// Outcome of a [`shrink_plan`] call.

@@ -54,7 +54,8 @@ fn lint(quiet: bool) -> ExitCode {
     if findings.is_empty() {
         if !quiet {
             println!(
-                "xtask lint: workspace clean (policy: determinism, no-panic, purity, hot-alloc)"
+                "xtask lint: workspace clean (policy: determinism, no-panic, purity, \
+                 hot-alloc, no-truncating-cast)"
             );
         }
         return ExitCode::SUCCESS;
@@ -62,20 +63,22 @@ fn lint(quiet: bool) -> ExitCode {
     for finding in &findings {
         println!("{finding}");
     }
-    let (mut det, mut pan, mut pur, mut alloc, mut unused) =
-        (0usize, 0usize, 0usize, 0usize, 0usize);
+    let (mut det, mut pan, mut pur, mut alloc, mut cast, mut unused) =
+        (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
     for f in &findings {
         match f.lint {
             confine_analysis::Lint::Determinism => det += 1,
             confine_analysis::Lint::NoPanic => pan += 1,
             confine_analysis::Lint::Purity => pur += 1,
             confine_analysis::Lint::HotAlloc => alloc += 1,
+            confine_analysis::Lint::TruncatingCast => cast += 1,
             confine_analysis::Lint::UnusedMarker => unused += 1,
         }
     }
     eprintln!(
         "xtask lint: {} finding(s) — determinism {det}, no-panic {pan}, \
-         purity {pur}, hot-alloc {alloc}, unused-marker {unused}",
+         purity {pur}, hot-alloc {alloc}, no-truncating-cast {cast}, \
+         unused-marker {unused}",
         findings.len()
     );
     ExitCode::FAILURE
