@@ -1,0 +1,389 @@
+//! `BENCH_server.json` emitter — the coverage-as-a-service daemon bench.
+//!
+//! Boots an in-process `confine-server` on an ephemeral port, loads one
+//! epoch, and drives it with real TCP clients at several concurrency
+//! levels: mostly what-if reads (the coalescable hot path) with a mutator
+//! thread mixing in crash/recover repairs. Per level it reports p50/p99
+//! request latency, throughput, and the shed rate (degraded reads +
+//! overload rejections). A final phase injects a scripted combiner crash,
+//! restarts the server on the same journal, and reports the recovery time
+//! and the digest check against an uninterrupted in-process run.
+//!
+//! ```text
+//! cargo run --release -p confine-bench --bin bench_server -- \
+//!     [--nodes 120] [--tau 4] [--requests 200] [--smoke] \
+//!     [--out results/BENCH_server.json]
+//! ```
+
+use std::time::Instant;
+
+use confine_bench::args::Args;
+use confine_bench::rule;
+use confine_server::state::{Delta, EpochParams, EpochState};
+use confine_server::{serve, Client, ClientConfig, Request, Response, ServerConfig, ServerError};
+
+struct LevelRow {
+    clients: usize,
+    requests: usize,
+    p50_us: u64,
+    p99_us: u64,
+    throughput_rps: f64,
+    degraded: usize,
+    rejected: usize,
+    shed_rate: f64,
+}
+
+struct RecoveryRow {
+    committed_before_crash: u64,
+    recovery_ms: u64,
+    digest_matches_uninterrupted: bool,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn epoch_request(p: EpochParams) -> Request {
+    Request::LoadEpoch {
+        epoch: p.epoch,
+        nodes: p.nodes,
+        degree_mils: p.degree_mils,
+        seed: p.seed,
+        tau: p.tau,
+    }
+}
+
+fn client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        deadline_ms: 10_000,
+        retries: 3,
+        backoff_base_ms: 5,
+        seed,
+    }
+}
+
+/// Drives one concurrency level against the running server.
+fn drive_level(
+    addr: std::net::SocketAddr,
+    params: EpochParams,
+    victims: &[u32],
+    clients: usize,
+    per_client: usize,
+) -> LevelRow {
+    let t0 = Instant::now();
+    let results: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let victims = victims.to_vec();
+                scope.spawn(move || {
+                    let mut client =
+                        Client::new(addr.to_string(), client_config(0xbe_ac_00 + c as u64));
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut degraded = 0usize;
+                    let mut rejected = 0usize;
+                    for k in 0..per_client {
+                        // Client 0 is the mutator: it alternates crash and
+                        // recover on a dedicated victim so repairs and reads
+                        // contend for the combiner.
+                        let req = if c == 0 && !victims.is_empty() {
+                            let v = victims[(k / 2) % victims.len()];
+                            if k % 2 == 0 {
+                                Request::Crash { node: v }
+                            } else {
+                                Request::Recover { node: v }
+                            }
+                        } else {
+                            Request::WhatIf {
+                                node: ((c * 131 + k * 17) % params.nodes) as u32,
+                            }
+                        };
+                        let t = Instant::now();
+                        match client.call(req) {
+                            Ok(Response::WhatIf { degraded: d, .. }) => {
+                                if d.is_some() {
+                                    degraded += 1;
+                                }
+                            }
+                            Ok(Response::Error(ServerError::Overloaded { .. })) => rejected += 1,
+                            Ok(_) => {}
+                            Err(_) => rejected += 1,
+                        }
+                        latencies.push(t.elapsed().as_micros() as u64);
+                    }
+                    (latencies, degraded, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut degraded = 0;
+    let mut rejected = 0;
+    for (l, d, r) in results {
+        latencies.extend(l);
+        degraded += d;
+        rejected += r;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    LevelRow {
+        clients,
+        requests,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        throughput_rps: requests as f64 / wall.max(1e-9),
+        degraded,
+        rejected,
+        shed_rate: (degraded + rejected) as f64 / requests.max(1) as f64,
+    }
+}
+
+/// The crash/recovery phase: scripted combiner crash, full restart on the
+/// same journal, digest check against an uninterrupted run.
+fn recovery_phase(params: EpochParams, journal: &std::path::Path) -> RecoveryRow {
+    let _ = std::fs::remove_file(journal);
+
+    // Uninterrupted reference.
+    let mut reference = EpochState::load(params).expect("reference load");
+    let a = reference.active()[reference.active().len() / 3];
+    assert!(reference.apply(Delta::Crash(a)).expect("crash a"));
+    let b = reference.active()[2 * reference.active().len() / 3];
+    assert!(reference.apply(Delta::Crash(b)).expect("crash b"));
+    assert!(reference.apply(Delta::Recover(a)).expect("recover a"));
+
+    // Server one dies on the third commit (mid `crash b`).
+    let mut config = ServerConfig::ephemeral(journal);
+    config.core.faults.crash_after_commits = Some(3);
+    let handle = serve(config).expect("serve one");
+    let mut client = Client::new(
+        handle.addr().to_string(),
+        ClientConfig {
+            retries: 0,
+            ..client_config(1)
+        },
+    );
+    assert!(matches!(
+        client.call(epoch_request(params)).expect("load"),
+        Response::Committed { .. }
+    ));
+    assert!(matches!(
+        client.call(Request::Crash { node: a.0 }).expect("crash a"),
+        Response::Committed { .. }
+    ));
+    let crashed = client.call(Request::Crash { node: b.0 }).expect("crash b");
+    assert!(
+        matches!(crashed, Response::Error(ServerError::CombinerCrashed)),
+        "expected the scripted combiner crash, got {crashed:?}"
+    );
+    handle.shutdown();
+
+    // Server two recovers from the journal at startup.
+    let t0 = Instant::now();
+    let handle = serve(ServerConfig::ephemeral(journal)).expect("serve two");
+    let startup_ms = t0.elapsed().as_millis() as u64;
+    let mut client = Client::new(handle.addr().to_string(), client_config(2));
+    assert!(matches!(
+        client.call(Request::Crash { node: b.0 }).expect("crash b"),
+        Response::Committed { .. }
+    ));
+    let Response::Committed { digest, seq, .. } = client
+        .call(Request::Recover { node: a.0 })
+        .expect("recover a")
+    else {
+        panic!("recover did not commit");
+    };
+    assert_eq!(seq, 3);
+    let Response::Status(status) = client.call(Request::Status).expect("status") else {
+        panic!("status did not answer");
+    };
+    handle.shutdown();
+    let _ = std::fs::remove_file(journal);
+
+    RecoveryRow {
+        committed_before_crash: 2,
+        // The measured journal replay; server-two startup bounds it above.
+        recovery_ms: status.last_recovery_ms.max(1).min(startup_ms.max(1)),
+        digest_matches_uninterrupted: digest == reference.digest(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn to_json(
+    params: EpochParams,
+    max_queue: usize,
+    rows: &[LevelRow],
+    recovery: &RecoveryRow,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"server\",\n");
+    out.push_str(&format!(
+        "  \"comparison\": {},\n",
+        json_str(
+            "coverage-as-a-service daemon under concurrent load: flat-combining \
+             queue with coalesced what-if sweeps, deadlines, admission control \
+             (degraded reads / overload rejection) and journal-backed crash recovery"
+        )
+    ));
+    out.push_str(&format!(
+        "  \"config\": {{ \"nodes\": {}, \"degree_mils\": {}, \"tau\": {}, \"seed\": {}, \"max_queue\": {max_queue} }},\n",
+        params.nodes, params.degree_mils, params.tau, params.seed
+    ));
+    out.push_str("  \"levels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"clients\": {},\n", r.clients));
+        out.push_str(&format!("      \"requests\": {},\n", r.requests));
+        out.push_str(&format!("      \"p50_us\": {},\n", r.p50_us));
+        out.push_str(&format!("      \"p99_us\": {},\n", r.p99_us));
+        out.push_str(&format!(
+            "      \"throughput_rps\": {:.1},\n",
+            r.throughput_rps
+        ));
+        out.push_str(&format!("      \"degraded_reads\": {},\n", r.degraded));
+        out.push_str(&format!("      \"overload_rejections\": {},\n", r.rejected));
+        out.push_str(&format!("      \"shed_rate\": {:.4}\n", r.shed_rate));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery\": {\n");
+    out.push_str(&format!(
+        "    \"committed_before_crash\": {},\n",
+        recovery.committed_before_crash
+    ));
+    out.push_str(&format!("    \"recovery_ms\": {},\n", recovery.recovery_ms));
+    out.push_str(&format!(
+        "    \"digest_matches_uninterrupted\": {}\n",
+        recovery.digest_matches_uninterrupted
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.get_flag("smoke");
+    let params = EpochParams {
+        epoch: 1,
+        nodes: args.get_usize("nodes", if smoke { 60 } else { 120 }),
+        degree_mils: args.get_u64("degree-mils", 12_000) as u32,
+        seed: args.get_u64("seed", 42),
+        tau: args.get_usize("tau", 4),
+    };
+    let per_client = args.get_usize("requests", if smoke { 20 } else { 200 });
+    let levels: Vec<usize> = if smoke {
+        vec![2, 4, 8]
+    } else {
+        vec![4, 16, 64]
+    };
+    let max_queue = args.get_usize("max-queue", 32);
+    let out_path = args.get_str("out", "results/BENCH_server.json");
+    let journal = std::env::temp_dir().join(format!(
+        "confine-bench-server-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+
+    // Boot and load the serving epoch.
+    let mut config = ServerConfig::ephemeral(&journal);
+    config.core.max_queue = max_queue;
+    let handle = serve(config).expect("serve");
+    let addr = handle.addr();
+    let mut boot = Client::new(addr.to_string(), client_config(0));
+    let Response::Committed { active, .. } = boot.call(epoch_request(params)).expect("load epoch")
+    else {
+        panic!("epoch load did not commit");
+    };
+    // Victims for the mutator thread, picked from the live schedule.
+    let reference = EpochState::load(params).expect("reference load");
+    let victims: Vec<u32> = vec![
+        reference.active()[reference.active().len() / 4].0,
+        reference.active()[reference.active().len() / 2].0,
+    ];
+
+    println!(
+        "Server bench — {} nodes (τ = {}), {} awake, queue bound {max_queue}, {} req/client",
+        params.nodes, params.tau, active, per_client
+    );
+    rule(78);
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>12} {:>9} {:>9} {:>9}",
+        "clients", "requests", "p50 µs", "p99 µs", "rps", "degraded", "rejected", "shed"
+    );
+
+    let rows: Vec<LevelRow> = levels
+        .iter()
+        .map(|&clients| {
+            let row = drive_level(addr, params, &victims, clients, per_client);
+            println!(
+                "{:>8} {:>9} {:>9} {:>9} {:>12.1} {:>9} {:>9} {:>9.4}",
+                row.clients,
+                row.requests,
+                row.p50_us,
+                row.p99_us,
+                row.throughput_rps,
+                row.degraded,
+                row.rejected,
+                row.shed_rate
+            );
+            row
+        })
+        .collect();
+    rule(78);
+    handle.shutdown();
+
+    let recovery = recovery_phase(params, &journal);
+    println!(
+        "recovery: {} committed deltas before the crash, replay {} ms, digest {}",
+        recovery.committed_before_crash,
+        recovery.recovery_ms,
+        if recovery.digest_matches_uninterrupted {
+            "IDENTICAL to uninterrupted run"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let all_served = rows
+        .iter()
+        .all(|r| r.requests > 0 && r.throughput_rps > 0.0);
+    let pass = all_served && recovery.digest_matches_uninterrupted;
+    println!(
+        "acceptance: all levels served = {all_served}, recovery digest identical = {} — {}",
+        recovery.digest_matches_uninterrupted,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let json = to_json(params, max_queue, &rows, &recovery);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -50,6 +50,8 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(&opts),
         "churn" => cmd_churn(&opts),
         "model" => cmd_model(&opts),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -107,6 +109,18 @@ commands:
             trace per violation and, with --lower, searches for a concrete
             failing chaos repro for its crash/recover skeleton and replays
             it; exits nonzero on any safety violation
+  serve     [--addr HOST:PORT] [--journal FILE] [--deadline MS]
+            [--max-queue N] [--faults SPEC] [--print-addr]
+            run the coverage daemon: warm per-epoch engine state behind a
+            flat-combining queue with deadlines, load shedding and an epoch
+            journal; restarting on the same --journal recovers the exact
+            pre-crash state; SPEC is e.g.
+            \"seed=7,drop=5,dup=3,delay=10:40,stall=2:250,crash-after=6\"
+  client    --request \"load-epoch 1 120 12000 42 4\" [--addr HOST:PORT]
+            [--deadline MS] [--retries N] [--backoff MS] [--seed S]
+            one request through the retrying client (jittered backoff);
+            prints the response line; requests: load-epoch E N D S T,
+            crash N, recover N, what-if N, replay SCRIPT, status
   churn     [--seeds N] [--base-seed S] [--one T:F:S] [--rounds K]
             [--model waypoint|drift] [--speed V] [--pause P]
             [--drift-bound B] [--duty-period D] [--duty-down W]
@@ -751,6 +765,60 @@ fn cmd_model(opts: &Opts) -> Result<(), String> {
     Err(format!(
         "{total_violations} safety violation(s) across the sweep"
     ))
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use confine_netsim::server_faults::ServerFaultPlan;
+    use confine_server::{serve, CoreConfig, ServerConfig};
+
+    let addr = opts.get("addr").unwrap_or_else(|| "127.0.0.1:7761".into());
+    let journal = opts
+        .get("journal")
+        .unwrap_or_else(|| "confine.journal".into());
+    let mut core = CoreConfig::new(journal);
+    core.default_deadline_ms = opts.u64("deadline", core.default_deadline_ms)?;
+    core.max_queue = opts.usize("max-queue", core.max_queue)?;
+    if let Some(spec) = opts.get("faults") {
+        core.faults = ServerFaultPlan::parse(&spec).map_err(|e| format!("--faults: {e}"))?;
+    }
+    let handle = serve(ServerConfig { addr, core }).map_err(|e| format!("serve: {e}"))?;
+    if opts.flag("print-addr") {
+        // Machine-readable first line so scripts can bind to port 0.
+        println!("{}", handle.addr());
+    } else {
+        println!(
+            "confine-server listening on {} (journal: {})",
+            handle.addr(),
+            opts.get("journal")
+                .unwrap_or_else(|| "confine.journal".into())
+        );
+    }
+    // Serve until killed; the journal makes the kill safe.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_client(opts: &Opts) -> Result<(), String> {
+    use confine_server::protocol::Request;
+    use confine_server::{Client, ClientConfig, Response};
+
+    let addr = opts.get("addr").unwrap_or_else(|| "127.0.0.1:7761".into());
+    let request =
+        Request::decode(&opts.require("request")?).map_err(|e| format!("--request: {e}"))?;
+    let config = ClientConfig {
+        deadline_ms: opts.u64("deadline", 5_000)?,
+        retries: opts.usize("retries", 4)? as u32,
+        backoff_base_ms: opts.u64("backoff", 20)?,
+        seed: opts.u64("seed", 1)?,
+    };
+    let mut client = Client::new(addr, config);
+    let response = client.call(request).map_err(|e| e.to_string())?;
+    println!("{}", response.encode());
+    match response {
+        Response::Error(e) => Err(e.to_string()),
+        _ => Ok(()),
+    }
 }
 
 fn cmd_verify(opts: &Opts) -> Result<(), String> {

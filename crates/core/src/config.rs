@@ -37,6 +37,16 @@ pub const DEFAULT_DISCOVERY_REPEATS: u32 = 3;
 /// the run aborts with `SimError::ElectionStalled` rather than spinning.
 pub const DEFAULT_RETRY_BUDGET: usize = 4;
 
+/// Jitter window, in communication rounds, applied to election *retries*
+/// (never the first attempt): each retrying candidate delays its priority
+/// re-announcement by `retry_jitter(node, attempt, WINDOW)` rounds — a pure
+/// function of node id and attempt number, so replays stay bitwise
+/// identical while a partition heal can no longer re-collide every stalled
+/// candidate in the same round (the synchronized retry storm). The window
+/// trades a few extra rounds of retry latency for desynchronization; 8 is
+/// comfortably larger than the election flood depth `m` at the default τ.
+pub const ELECTION_JITTER_WINDOW: u32 = 8;
+
 /// What a `τ`-confine coverage guarantees for a given sensing ratio
 /// (Proposition 1).
 #[derive(Debug, Clone, Copy, PartialEq)]

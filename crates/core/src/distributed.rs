@@ -36,7 +36,7 @@
 
 use confine_graph::{Graph, GraphView, Masked, NodeId};
 use confine_netsim::faults::FaultPlan;
-use confine_netsim::protocols::{KHopDiscovery, LocalMinElection, RepeatedDiscovery};
+use confine_netsim::protocols::{retry_jitter, KHopDiscovery, LocalMinElection, RepeatedDiscovery};
 use confine_netsim::{Engine, LinkModel, RunStats, SimError};
 use rand::Rng;
 
@@ -276,8 +276,19 @@ impl DistributedDcc {
                         priorities[v.index()] = rng.gen();
                     }
                 }
+                // Retries stagger each candidate's re-announcement by a
+                // deterministic per-node jitter (attempt 0 → no delay), so a
+                // partition heal or a crashed-winner retry can't re-collide
+                // every stalled candidate in the same round — the classic
+                // synchronized retry storm. Replay stays bitwise identical:
+                // the offset is a pure function of (node, attempt).
                 let mut election = Engine::new(&masked, |v| {
-                    LocalMinElection::new(m, deletable[v.index()], priorities[v.index()])
+                    LocalMinElection::with_start_delay(
+                        m,
+                        deletable[v.index()],
+                        priorities[v.index()],
+                        retry_jitter(v, retries, crate::config::ELECTION_JITTER_WINDOW),
+                    )
                 })
                 .with_link_model(self.link);
                 if let Some(p) = plan.as_ref() {

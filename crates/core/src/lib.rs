@@ -86,4 +86,7 @@ pub mod vpt_engine;
 pub use config::{ConfineConfig, Guarantee};
 pub use dcc::{Dcc, DccBuilder};
 pub use schedule::{CoverageSet, DeletionOrder};
-pub use vpt_engine::{EngineConfig, EngineConfigBuilder, EngineStats, VerdictBits, VptEngine};
+pub use vpt_engine::{
+    EngineConfig, EngineConfigBuilder, EngineSnapshot, EngineStats, SnapshotError, VerdictBits,
+    VptEngine,
+};

@@ -17,6 +17,7 @@ pub use crate::distributed::DistributedStats;
 pub use crate::repair::{ReconcileOutcome, RejoinOutcome, RejoinPolicy, RepairOutcome};
 pub use crate::schedule::{CoverageSet, DeletionOrder};
 pub use crate::vpt_engine::{
-    EngineConfig, EngineConfigBuilder, EngineStats, VerdictBits, VptEngine,
+    EngineConfig, EngineConfigBuilder, EngineSnapshot, EngineStats, SnapshotError, VerdictBits,
+    VptEngine,
 };
 pub use confine_netsim::SimError;

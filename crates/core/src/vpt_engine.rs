@@ -369,6 +369,63 @@ impl VptEngine {
         self.invalidate_ball(view, v);
     }
 
+    /// Captures the engine's complete memoization state — round verdicts
+    /// and the fingerprint memo — as a canonical value.
+    ///
+    /// Memo entries are sorted by fingerprint before exposure, so two
+    /// engines holding the same logical cache state produce equal
+    /// snapshots regardless of hash-map iteration order, and a snapshot's
+    /// [`EngineSnapshot::digest`] is stable across processes. Restoring a
+    /// snapshot ([`VptEngine::restore_snapshot`]) then sweeping yields
+    /// bitwise-identical results to the uninterrupted engine: verdicts are
+    /// pure functions of the fingerprinted subgraphs, so the caches only
+    /// change how fast answers arrive, never what they are.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let memo = self
+            .memo
+            .iter()
+            .map(|m| {
+                // Sorted by fingerprint so the snapshot is canonical no
+                // matter what order the memo yields its entries in.
+                let mut pairs: Vec<(u64, bool)> = m.iter().map(|(&fp, &v)| (fp, v)).collect();
+                pairs.sort_unstable();
+                pairs
+            })
+            .collect();
+        EngineSnapshot {
+            tau: self.tau,
+            cache: self.cache,
+            verdicts: self.verdicts.clone(),
+            memo,
+        }
+    }
+
+    /// Restores the memoization state captured by [`VptEngine::snapshot`],
+    /// replacing the engine's verdicts and memo wholesale (worker scratches
+    /// are transient and unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TauMismatch`] when the snapshot was taken at a
+    /// different confine size — its verdicts answer a different question
+    /// and must not be replayed here.
+    pub fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.tau != self.tau {
+            return Err(SnapshotError::TauMismatch {
+                engine: self.tau,
+                snapshot: snapshot.tau,
+            });
+        }
+        self.cache = snapshot.cache;
+        self.verdicts = snapshot.verdicts.clone();
+        self.memo = snapshot
+            .memo
+            .iter()
+            .map(|pairs| pairs.iter().copied().collect())
+            .collect();
+        Ok(())
+    }
+
     fn invalidate_ball<V: GraphView>(&mut self, view: &V, v: NodeId) {
         if !self.cache {
             return;
@@ -386,6 +443,93 @@ impl VptEngine {
         }
     }
 }
+
+/// A canonical capture of a [`VptEngine`]'s memoization state, produced by
+/// [`VptEngine::snapshot`] and replayed by [`VptEngine::restore_snapshot`].
+///
+/// The `confine-server` epoch journal persists these across daemon crashes:
+/// because memo pairs are sorted and verdicts are pure, a restored engine is
+/// observationally identical to one that never died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    tau: usize,
+    cache: bool,
+    verdicts: Vec<Option<bool>>,
+    memo: Vec<Vec<(u64, bool)>>,
+}
+
+impl EngineSnapshot {
+    /// The confine size `τ` the captured engine evaluated for.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The node bound of the captured run (0 before any `begin_run`).
+    pub fn node_bound(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Total fingerprint-memo entries across all nodes.
+    pub fn memo_entries(&self) -> usize {
+        self.memo.iter().map(Vec::len).sum()
+    }
+
+    /// A 64-bit FNV-1a digest of the canonical snapshot content — stable
+    /// across processes and std releases, suitable for journal integrity
+    /// checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.tau as u64);
+        mix(u64::from(self.cache));
+        mix(self.verdicts.len() as u64);
+        for v in &self.verdicts {
+            mix(match v {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+        for pairs in &self.memo {
+            mix(pairs.len() as u64);
+            for &(fp, verdict) in pairs {
+                mix(fp);
+                mix(u64::from(verdict));
+            }
+        }
+        h
+    }
+}
+
+/// Rejection of an incompatible [`EngineSnapshot`] restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was captured at a different confine size.
+    TauMismatch {
+        /// The restoring engine's `τ`.
+        engine: usize,
+        /// The snapshot's `τ`.
+        snapshot: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::TauMismatch { engine, snapshot } => write!(
+                f,
+                "engine snapshot captured at tau {snapshot} cannot restore into an engine at tau {engine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// A packed verdict bitset, returned by [`VptEngine::evaluate_jobs`] in job
 /// order — one bit per job instead of one byte, sized for schedules that
@@ -658,6 +802,53 @@ mod tests {
         for (job, verdict) in jobs.iter().zip(first.iter()) {
             assert_eq!(verdict, is_vertex_deletable(&g, job.node, 6));
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_into_a_fresh_engine() {
+        let g = generators::king_grid_graph(6, 6);
+        let mut masked = Masked::all_active(&g);
+        let mut engine = VptEngine::new(4, EngineConfig::default());
+        engine.begin_run(g.node_count());
+        let eligible: Vec<NodeId> = masked.active_nodes().collect();
+        let first = engine.deletable_candidates(&masked, &eligible);
+        engine.note_deletion(&masked, first[0]);
+        masked.deactivate(first[0]);
+
+        let snap = engine.snapshot();
+        assert_eq!(snap.tau(), 4);
+        assert_eq!(snap.node_bound(), g.node_count());
+        assert!(snap.memo_entries() > 0);
+        assert_eq!(snap, engine.snapshot(), "snapshot is a canonical value");
+        assert_eq!(snap.digest(), engine.snapshot().digest());
+
+        // A fresh engine restored from the snapshot answers the next sweep
+        // identically to the uninterrupted engine — with zero fresh
+        // evaluations beyond what the uninterrupted engine would run.
+        let mut restored = VptEngine::new(4, EngineConfig::default());
+        restored.restore_snapshot(&snap).unwrap();
+        engine.reset_stats();
+        let eligible: Vec<NodeId> = masked.active_nodes().collect();
+        let a = engine.deletable_candidates(&masked, &eligible);
+        let b = restored.deletable_candidates(&masked, &eligible);
+        assert_eq!(a, b);
+        assert_eq!(
+            engine.stats().evaluations,
+            restored.stats().evaluations,
+            "the restored engine re-evaluates exactly what the survivor does"
+        );
+        assert_eq!(restored.snapshot().digest(), engine.snapshot().digest());
+
+        let mut wrong_tau = VptEngine::new(6, EngineConfig::default());
+        let err = wrong_tau.restore_snapshot(&snap).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::TauMismatch {
+                engine: 6,
+                snapshot: 4
+            }
+        );
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -415,6 +415,71 @@ proptest! {
         }
     }
 
+    /// Crash-recovery invariant behind the `confine-server` epoch journal: a
+    /// sweep interrupted mid-schedule, snapshotted, restored into a fresh
+    /// engine and continued is bitwise-identical to the uninterrupted sweep
+    /// — candidate sets, deletion sequence and final snapshot digest — on
+    /// quasi-UDG deployments, in both cache modes.
+    #[test]
+    fn snapshot_restore_sweep_matches_uninterrupted(
+        n in 25usize..45,
+        tau in 3usize..6,
+        seed in 0u64..1000,
+        cache_bit in 0u8..2,
+    ) {
+        use rand::SeedableRng;
+        let cache = cache_bit == 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let side = confine_deploy::deployment::square_side_for_degree(n, 1.0, 10.0);
+        let region = confine_deploy::Rect::new(0.0, 0.0, side, side);
+        let dep = confine_deploy::deployment::uniform(n, region, &mut rng);
+        let scenario = confine_deploy::scenario::scenario_from_deployment(
+            dep,
+            confine_deploy::CommModel::QuasiUdg { r_in: 0.6, rc: 1.0, p_mid: 0.6 },
+            &mut rng,
+        );
+        let g = &scenario.graph;
+        let boundary = &scenario.boundary;
+        let config = EngineConfig::builder().cache(cache).build();
+
+        let mut survivor = VptEngine::new(tau, config);
+        survivor.begin_run(g.node_count());
+        let mut masked = Masked::all_active(g);
+        // Run one deletion round, then "crash": snapshot the survivor and
+        // restore into a cold engine mid-schedule.
+        let eligible: Vec<NodeId> = masked
+            .active_nodes()
+            .filter(|&v| !boundary[v.index()])
+            .collect();
+        let first = survivor.deletable_candidates(&masked, &eligible);
+        if let Some(&v) = first.first() {
+            survivor.note_deletion(&masked, v);
+            masked.deactivate(v);
+        }
+        let snap = survivor.snapshot();
+        let mut restored = VptEngine::new(tau, config);
+        restored.restore_snapshot(&snap).expect("same tau");
+
+        // Drive both engines to the fixpoint over identical views; every
+        // round's candidate set must agree exactly.
+        let mut masked_r = masked.clone();
+        loop {
+            let eligible: Vec<NodeId> = masked
+                .active_nodes()
+                .filter(|&v| !boundary[v.index()])
+                .collect();
+            let a = survivor.deletable_candidates(&masked, &eligible);
+            let b = restored.deletable_candidates(&masked_r, &eligible);
+            prop_assert_eq!(&a, &b);
+            let Some(&v) = a.first() else { break };
+            survivor.note_deletion(&masked, v);
+            restored.note_deletion(&masked_r, v);
+            masked.deactivate(v);
+            masked_r.deactivate(v);
+        }
+        prop_assert_eq!(survivor.snapshot().digest(), restored.snapshot().digest());
+    }
+
     /// Regression for the repair path: after waking sleeping nodes back up
     /// (a crashed node's k-ball, exactly what [`Dcc::builder`]'s repair
     /// runner does), the engine's ⌈τ/2⌉+1-hop invalidation radius leaves no

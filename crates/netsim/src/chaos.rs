@@ -77,17 +77,28 @@ pub struct SeedTriple {
     pub schedule: u64,
 }
 
+/// The SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
+///
+/// This is the derivation primitive of every decorrelated stream in the
+/// workspace — seed-triple sweeps, per-node election retry jitter, the
+/// server client's backoff jitter and the server fault plan all key their
+/// choices through it, so no layer ever consults ambient entropy.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl SeedTriple {
     /// The `index`-th triple derived from `base`, decorrelated by a
     /// SplitMix64 step per component so sweeps don't reuse streams.
     pub fn derived(base: u64, index: u64) -> Self {
         let mut x = base.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let mut next = move || {
+            let z = splitmix64(x);
             x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = x;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
+            z
         };
         SeedTriple {
             topology: next(),
@@ -392,45 +403,194 @@ impl ChaosPlan {
     /// `move N DX_MILS DY_MILS`, `degrade N PCT`. The inverse of
     /// [`ChaosPlan::render_script`]; this is the `chaos --plan` format the
     /// model checker's lowered repro commands use.
-    pub fn parse_script(script: &str) -> Result<Self, String> {
-        fn num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
-            tok.parse()
-                .map_err(|_| format!("bad {what} in chaos script: `{tok}`"))
+    ///
+    /// Each statement may carry an optional `[K]` round key prefix
+    /// (`[0] crash 3; [1] recover 3`), matching the numbering of
+    /// [`ChaosPlan::describe`]. Keys are checks, not reordering: they must
+    /// be unique and strictly increasing, or the parse fails with a typed
+    /// [`ScriptError`]. Likewise, extra tokens after a complete statement,
+    /// unknown operations and empty interior statements are all hard errors
+    /// — only a single trailing `;` is tolerated. Whitespace between tokens
+    /// and around separators is free-form.
+    pub fn parse_script(script: &str) -> Result<Self, ScriptError> {
+        fn num<T: std::str::FromStr>(tok: &str, what: &'static str) -> Result<T, ScriptError> {
+            tok.parse().map_err(|_| ScriptError::BadNumber {
+                what,
+                token: tok.to_string(),
+            })
         }
         let mut plan = ChaosPlan::new();
-        for stmt in script.split(';') {
-            let toks: Vec<&str> = stmt.split_whitespace().collect();
-            let (op, args) = match toks.split_first() {
-                Some((op, rest)) => (*op, rest),
-                None => continue, // empty statement (trailing `;`)
+        let mut last_key: Option<usize> = None;
+        let statements: Vec<&str> = script.split(';').collect();
+        let count = statements.len();
+        for (index, stmt) in statements.into_iter().enumerate() {
+            let mut toks: Vec<&str> = stmt.split_whitespace().collect();
+            if toks.is_empty() {
+                if index + 1 == count {
+                    break; // a single trailing `;` is fine
+                }
+                return Err(ScriptError::EmptyStatement { index });
+            }
+            if let Some(key_tok) = toks[0].strip_prefix('[') {
+                let Some(key_tok) = key_tok.strip_suffix(']') else {
+                    return Err(ScriptError::BadRoundKey {
+                        token: toks[0].to_string(),
+                    });
+                };
+                let key: usize = key_tok.parse().map_err(|_| ScriptError::BadRoundKey {
+                    token: toks[0].to_string(),
+                })?;
+                match last_key {
+                    Some(prev) if key == prev => {
+                        return Err(ScriptError::DuplicateRoundKey { key })
+                    }
+                    Some(prev) if key < prev => {
+                        return Err(ScriptError::OutOfOrderRoundKey {
+                            key,
+                            previous: prev,
+                        })
+                    }
+                    _ => last_key = Some(key),
+                }
+                toks.remove(0);
+            }
+            let Some((&op, args)) = toks.split_first() else {
+                return Err(ScriptError::EmptyStatement { index });
             };
-            let event = match (op, args.len()) {
-                ("crash", 1) => ChaosEvent::Crash {
+            let arity = match op {
+                "crash" | "recover" => 1,
+                "move" => 3,
+                "degrade" => 2,
+                _ => {
+                    return Err(ScriptError::UnknownStatement {
+                        statement: stmt.trim().to_string(),
+                    })
+                }
+            };
+            if args.len() > arity {
+                return Err(ScriptError::TrailingGarbage {
+                    statement: stmt.trim().to_string(),
+                    garbage: args[arity..].join(" "),
+                });
+            }
+            if args.len() < arity {
+                return Err(ScriptError::UnknownStatement {
+                    statement: stmt.trim().to_string(),
+                });
+            }
+            let event = match op {
+                "crash" => ChaosEvent::Crash {
                     node: NodeId(num(args[0], "node id")?),
                 },
-                ("recover", 1) => ChaosEvent::Recover {
+                "recover" => ChaosEvent::Recover {
                     node: NodeId(num(args[0], "node id")?),
                 },
-                ("move", 3) => ChaosEvent::Move {
+                "move" => ChaosEvent::Move {
                     node: NodeId(num(args[0], "node id")?),
                     dx_mils: num(args[1], "dx")?,
                     dy_mils: num(args[2], "dy")?,
                 },
-                ("degrade", 2) => ChaosEvent::Degrade {
+                _ => ChaosEvent::Degrade {
                     node: NodeId(num(args[0], "node id")?),
                     factor_pct: num(args[1], "factor")?,
                 },
-                _ => {
-                    return Err(format!(
-                        "bad chaos script statement `{}` (expected `crash N`, \
-                         `recover N`, `move N DX DY` or `degrade N PCT`)",
-                        stmt.trim()
-                    ))
-                }
             };
             plan.events.push(event);
         }
         Ok(plan)
+    }
+}
+
+/// Typed rejection of a malformed `chaos --plan` fault script; every way
+/// [`ChaosPlan::parse_script`] can fail, so harnesses and servers can react
+/// per class instead of string-matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// An empty statement (`crash 3;; recover 3`) anywhere but the very
+    /// end of the script.
+    EmptyStatement {
+        /// Zero-based statement index of the empty statement.
+        index: usize,
+    },
+    /// An operation that is not `crash`/`recover`/`move`/`degrade`, or one
+    /// with too few arguments.
+    UnknownStatement {
+        /// The offending statement, trimmed.
+        statement: String,
+    },
+    /// A numeric argument that does not parse (or does not fit its type).
+    BadNumber {
+        /// Which argument was malformed.
+        what: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// Extra tokens after a complete statement (`crash 3 7`).
+    TrailingGarbage {
+        /// The offending statement, trimmed.
+        statement: String,
+        /// The tokens beyond the operation's arity.
+        garbage: String,
+    },
+    /// A `[K]` round key that repeats an earlier key.
+    DuplicateRoundKey {
+        /// The repeated key.
+        key: usize,
+    },
+    /// A `[K]` round key smaller than an earlier key.
+    OutOfOrderRoundKey {
+        /// The out-of-order key.
+        key: usize,
+        /// The largest key seen before it.
+        previous: usize,
+    },
+    /// A malformed `[K]` round key token (unclosed bracket, non-numeric).
+    BadRoundKey {
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::EmptyStatement { index } => {
+                write!(f, "empty statement at position {index} in chaos script")
+            }
+            ScriptError::UnknownStatement { statement } => write!(
+                f,
+                "bad chaos script statement `{statement}` (expected `crash N`, \
+                 `recover N`, `move N DX DY` or `degrade N PCT`)"
+            ),
+            ScriptError::BadNumber { what, token } => {
+                write!(f, "bad {what} in chaos script: `{token}`")
+            }
+            ScriptError::TrailingGarbage { statement, garbage } => write!(
+                f,
+                "trailing garbage `{garbage}` after chaos script statement `{statement}`"
+            ),
+            ScriptError::DuplicateRoundKey { key } => {
+                write!(f, "duplicate round key [{key}] in chaos script")
+            }
+            ScriptError::OutOfOrderRoundKey { key, previous } => write!(
+                f,
+                "out-of-order round key [{key}] after [{previous}] in chaos script"
+            ),
+            ScriptError::BadRoundKey { token } => {
+                write!(
+                    f,
+                    "bad round key `{token}` in chaos script (expected `[K]`)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl From<ScriptError> for String {
+    fn from(e: ScriptError) -> String {
+        e.to_string()
     }
 }
 
@@ -893,6 +1053,94 @@ mod tests {
             assert!(bad.parse::<SeedTriple>().is_err(), "{bad:?} must not parse");
         }
         assert!(!ParseSeedTripleError.to_string().is_empty());
+    }
+
+    #[test]
+    fn parse_script_round_trips_and_accepts_round_keys() {
+        let plan = ChaosPlan {
+            events: vec![
+                ChaosEvent::Crash { node: NodeId(3) },
+                ChaosEvent::Move {
+                    node: NodeId(5),
+                    dx_mils: -120,
+                    dy_mils: 40,
+                },
+                ChaosEvent::Degrade {
+                    node: NodeId(7),
+                    factor_pct: 60,
+                },
+                ChaosEvent::Recover { node: NodeId(3) },
+            ],
+        };
+        let script = plan.render_script().unwrap();
+        assert_eq!(ChaosPlan::parse_script(&script).unwrap(), plan);
+        // A single trailing `;` and free-form whitespace are tolerated.
+        let sloppy = format!("  {} ;", script.replace("; ", "  ;\t "));
+        assert_eq!(ChaosPlan::parse_script(&sloppy).unwrap(), plan);
+        // Round keys in `describe` numbering check out.
+        let keyed = "[0] crash 3; [1] move 5 -120 40; [2] degrade 7 60; [7] recover 3";
+        assert_eq!(ChaosPlan::parse_script(keyed).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_script_rejects_garbage_with_typed_errors() {
+        assert_eq!(
+            ChaosPlan::parse_script("crash 3 7"),
+            Err(ScriptError::TrailingGarbage {
+                statement: "crash 3 7".into(),
+                garbage: "7".into(),
+            })
+        );
+        assert_eq!(
+            ChaosPlan::parse_script("crash 3;; recover 3"),
+            Err(ScriptError::EmptyStatement { index: 1 })
+        );
+        assert_eq!(
+            ChaosPlan::parse_script("[4] crash 3; [4] recover 3"),
+            Err(ScriptError::DuplicateRoundKey { key: 4 })
+        );
+        assert_eq!(
+            ChaosPlan::parse_script("[4] crash 3; [2] recover 3"),
+            Err(ScriptError::OutOfOrderRoundKey {
+                key: 2,
+                previous: 4
+            })
+        );
+        assert!(matches!(
+            ChaosPlan::parse_script("[4 crash 3"),
+            Err(ScriptError::BadRoundKey { .. })
+        ));
+        assert!(matches!(
+            ChaosPlan::parse_script("explode 3"),
+            Err(ScriptError::UnknownStatement { .. })
+        ));
+        assert!(matches!(
+            ChaosPlan::parse_script("crash"),
+            Err(ScriptError::UnknownStatement { .. })
+        ));
+        assert!(matches!(
+            ChaosPlan::parse_script("crash x"),
+            Err(ScriptError::BadNumber {
+                what: "node id",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ChaosPlan::parse_script("degrade 3 400"),
+            Err(ScriptError::BadNumber { what: "factor", .. })
+        ));
+        // Every class renders a non-empty human message and converts to the
+        // CLI's String error channel.
+        let e = ChaosPlan::parse_script("crash 3 junk here").unwrap_err();
+        assert!(String::from(e.clone()).contains("junk here"));
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`chaos`] — the deterministic simulation-testing substrate: seed
 //!   triples, fault-event plans, replayable traces and a delta-debugging
 //!   shrinker for minimal counterexamples.
+//! * [`server_faults`] — deterministic fault scripts for the coverage
+//!   server's request path (drop/duplicate/delay, slow-client stalls,
+//!   combiner crashes), consumed by `confine-server`.
 //!
 //! See the [`Engine`] docs for a complete runnable example.
 #![forbid(unsafe_code)]
@@ -37,6 +40,7 @@ pub mod chaos;
 pub mod faults;
 pub mod protocols;
 pub mod schedule;
+pub mod server_faults;
 
 /// Event-driven asynchronous execution (per-message latencies, message
 /// reordering) — see [`AsyncEngine`](crate::async::AsyncEngine).

@@ -485,6 +485,26 @@ pub struct PriorityClaim {
     pub ttl: u32,
 }
 
+/// The deterministic per-node retry jitter of a repeated election, in
+/// rounds: a SplitMix64 draw over `(node, attempt)` folded into
+/// `0..window`.
+///
+/// After a partition heals (or an election round comes back empty because
+/// the minimal candidate crashed mid-flood), every stalled node retries at
+/// once — a synchronized retry storm that recreates exactly the collision
+/// it is retrying around. Staggering each node's re-announcement by this
+/// jitter desynchronizes the storm without any ambient randomness: the
+/// offset is a pure function of the node id and the attempt number, so
+/// replays stay bitwise identical. `window == 0` and attempt `0` both mean
+/// no jitter (the first attempt is never delayed — it is not a retry).
+pub fn retry_jitter(node: NodeId, attempt: usize, window: u32) -> u32 {
+    if window == 0 || attempt == 0 {
+        return 0;
+    }
+    let key = (u64::from(node.0) << 32) | (attempt as u64 & 0xFFFF_FFFF);
+    u32::try_from(crate::chaos::splitmix64(key) % u64::from(window)).unwrap_or(0)
+}
+
 /// Elects candidates whose priority is minimal among candidates within `m`
 /// hops. Non-candidates participate as relays.
 #[derive(Debug)]
@@ -492,6 +512,7 @@ pub struct LocalMinElection {
     m: u32,
     candidate: bool,
     priority: f64,
+    start_delay: u32,
     best_heard: Option<(f64, NodeId)>,
     seen: BTreeSet<NodeId>,
 }
@@ -504,11 +525,26 @@ impl LocalMinElection {
     ///
     /// Panics if `m == 0`.
     pub fn new(m: u32, candidate: bool, priority: f64) -> Self {
+        Self::with_start_delay(m, candidate, priority, 0)
+    }
+
+    /// Like [`LocalMinElection::new`], but the candidate holds its
+    /// announcement for `start_delay` rounds — the retry-storm
+    /// desynchronizer; pass [`retry_jitter`] of the attempt number.
+    /// Relays ignore the delay. Correctness is unaffected: claims still
+    /// flood `m` hops once released, and the engine keeps the run alive
+    /// (via [`Protocol::is_quiescent`]) until every delayed claim is out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn with_start_delay(m: u32, candidate: bool, priority: f64, start_delay: u32) -> Self {
         assert!(m > 0, "election radius must be positive");
         LocalMinElection {
             m,
             candidate,
             priority,
+            start_delay,
             best_heard: None,
             seen: BTreeSet::new(),
         }
@@ -533,7 +569,7 @@ impl Protocol for LocalMinElection {
     type Message = PriorityClaim;
 
     fn on_start(&mut self, ctx: &mut Context<'_, PriorityClaim>) {
-        if self.candidate {
+        if self.candidate && self.start_delay == 0 {
             ctx.broadcast(PriorityClaim {
                 origin: ctx.node(),
                 priority: self.priority,
@@ -547,6 +583,16 @@ impl Protocol for LocalMinElection {
         ctx: &mut Context<'_, PriorityClaim>,
         inbox: &[Envelope<PriorityClaim>],
     ) {
+        if self.candidate && self.start_delay > 0 {
+            self.start_delay -= 1;
+            if self.start_delay == 0 {
+                ctx.broadcast(PriorityClaim {
+                    origin: ctx.node(),
+                    priority: self.priority,
+                    ttl: self.m - 1,
+                });
+            }
+        }
         for env in inbox {
             let claim = env.payload;
             if claim.origin == ctx.node() || self.seen.contains(&claim.origin) {
@@ -567,7 +613,10 @@ impl Protocol for LocalMinElection {
     }
 
     fn is_quiescent(&self) -> bool {
-        true
+        // A candidate still holding a jittered claim keeps the run alive:
+        // the engine would otherwise terminate a message-free round before
+        // the delayed announcement ever went out.
+        !(self.candidate && self.start_delay > 0)
     }
 
     fn payload_size(_msg: &PriorityClaim) -> usize {
@@ -828,5 +877,89 @@ mod tests {
         engine.run(16).unwrap();
         assert!(engine.state(NodeId(0)).unwrap().is_winner(NodeId(0)));
         assert!(engine.state(NodeId(9)).unwrap().is_winner(NodeId(9)));
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_distinct_and_gated() {
+        // No jitter for the first attempt or a zero window.
+        for v in 0..32 {
+            assert_eq!(retry_jitter(NodeId(v), 0, 8), 0);
+            assert_eq!(retry_jitter(NodeId(v), 3, 0), 0);
+        }
+        // Deterministic: same (node, attempt) → same offset.
+        assert_eq!(retry_jitter(NodeId(5), 2, 8), retry_jitter(NodeId(5), 2, 8));
+        // The regression this guards: a retry storm is *synchronized* when
+        // every node retries at the same offset. Across any realistic node
+        // population the jitter must spread offsets over the window.
+        let offsets: BTreeSet<u32> = (0..32).map(|v| retry_jitter(NodeId(v), 1, 8)).collect();
+        assert!(
+            offsets.len() > 1,
+            "per-node offsets must differ, got {offsets:?}"
+        );
+        // ... and successive attempts of one node also move around.
+        let per_attempt: BTreeSet<u32> = (1..9).map(|a| retry_jitter(NodeId(7), a, 8)).collect();
+        assert!(
+            per_attempt.len() > 1,
+            "per-attempt offsets must differ, got {per_attempt:?}"
+        );
+        // Offsets stay inside the window.
+        for v in 0..64 {
+            for a in 1..4 {
+                assert!(retry_jitter(NodeId(v), a, 6) < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_election_elects_the_same_winners() {
+        // Staggered announcements change rounds, not outcomes: the same
+        // global-minimum candidates win with and without start delays.
+        let g = generators::grid_graph(5, 5);
+        let priority = |v: NodeId| (v.index() as f64 * 7.3) % 11.0;
+        let run = |attempt: usize| {
+            let mut engine = Engine::new(&g, |v| {
+                LocalMinElection::with_start_delay(
+                    2,
+                    v.index() % 3 == 0,
+                    priority(v),
+                    retry_jitter(v, attempt, 6),
+                )
+            });
+            engine.run(64).unwrap();
+            let winners: Vec<NodeId> = g
+                .nodes()
+                .filter(|&v| engine.state(v).unwrap().is_winner(v))
+                .collect();
+            winners
+        };
+        let plain = run(0);
+        assert!(!plain.is_empty());
+        for attempt in 1..4 {
+            assert_eq!(run(attempt), plain, "attempt {attempt} changed winners");
+        }
+    }
+
+    #[test]
+    fn delayed_claim_still_floods_the_full_m_ball() {
+        // Two candidates, one delayed: the lower priority still wins even
+        // when its claim goes out five rounds late — the quiescence gate
+        // must keep the run alive past the message-free opening rounds.
+        let g = generators::path_graph(8);
+        let m = 3;
+        let mut engine = Engine::new(&g, |v| {
+            let delay = if v == NodeId(2) { 5 } else { 0 };
+            LocalMinElection::with_start_delay(
+                m,
+                v == NodeId(2) || v == NodeId(4),
+                if v == NodeId(2) { 0.1 } else { 0.9 },
+                delay,
+            )
+        });
+        engine.run(64).unwrap();
+        assert!(engine.state(NodeId(2)).unwrap().is_winner(NodeId(2)));
+        assert!(
+            !engine.state(NodeId(4)).unwrap().is_winner(NodeId(4)),
+            "the delayed lower-priority claim must still reach node 4"
+        );
     }
 }

@@ -1,0 +1,344 @@
+//! Deterministic fault scripts for the coverage server's request path.
+//!
+//! The `confine-server` daemon proves its robustness story the same way the
+//! chaos harness proves the protocol's: every injected failure is a pure
+//! function of a seed and a sequence number, so a failing burst replays
+//! bitwise-identically from its script. This module holds that script — the
+//! server crate consumes it at its connection and combiner layers:
+//!
+//! * **request faults** — drop (never processed, the client's deadline
+//!   expires), duplicate (processed twice; the server's deltas are inert on
+//!   repeat so duplicates must not corrupt state) and delay (held for a
+//!   scripted number of milliseconds before submission);
+//! * **slow-client stalls** — the response write is held for a scripted
+//!   duration, simulating a client that stops draining its socket; other
+//!   connections must keep their latency;
+//! * **combiner crashes** — after a scripted number of committed deltas the
+//!   combiner dies mid-batch, dropping all warm engine state; the next
+//!   submission must recover from the epoch journal to the exact pre-crash
+//!   fixpoint.
+//!
+//! All draws go through [`crate::chaos::splitmix64`]; no ambient entropy.
+
+use std::fmt;
+
+use crate::chaos::splitmix64;
+
+/// The per-request fault decision of a [`ServerFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFault {
+    /// Process the request normally.
+    None,
+    /// Swallow the request: no processing, no response.
+    Drop,
+    /// Process the request twice (the duplicate's response is discarded).
+    Duplicate,
+    /// Hold the request for this many milliseconds before submission.
+    Delay(u32),
+}
+
+/// A deterministic server-side fault script.
+///
+/// Percentages are integer per-cent bands carved out of one SplitMix64 draw
+/// per request sequence number, so `drop_pct + dup_pct + delay_pct ≤ 100`
+/// partitions the roll space disjointly (drop wins over duplicate wins over
+/// delay). The default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerFaultPlan {
+    /// Seed of every decision draw.
+    pub seed: u64,
+    /// Percentage of requests dropped outright.
+    pub drop_pct: u8,
+    /// Percentage of requests processed twice.
+    pub dup_pct: u8,
+    /// Percentage of requests delayed before submission.
+    pub delay_pct: u8,
+    /// Injected submission delay, milliseconds.
+    pub delay_ms: u32,
+    /// Percentage of responses stalled before the write (slow client).
+    pub stall_pct: u8,
+    /// Injected response stall, milliseconds.
+    pub stall_ms: u32,
+    /// Crash the combiner mid-batch once this many deltas have committed.
+    pub crash_after_commits: Option<u64>,
+}
+
+impl ServerFaultPlan {
+    /// A plan that injects nothing (the [`Default`]).
+    pub fn quiet() -> Self {
+        ServerFaultPlan::default()
+    }
+
+    /// The fault decision for request number `seq` on this connection
+    /// stream. Pure: same plan, same `seq`, same decision.
+    pub fn request_fault(&self, seq: u64) -> RequestFault {
+        let bands = u64::from(self.drop_pct) + u64::from(self.dup_pct) + u64::from(self.delay_pct);
+        if bands == 0 {
+            return RequestFault::None;
+        }
+        let roll = splitmix64(self.seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 100;
+        if roll < u64::from(self.drop_pct) {
+            RequestFault::Drop
+        } else if roll < u64::from(self.drop_pct) + u64::from(self.dup_pct) {
+            RequestFault::Duplicate
+        } else if roll < bands {
+            RequestFault::Delay(self.delay_ms)
+        } else {
+            RequestFault::None
+        }
+    }
+
+    /// The response stall for request `seq`, if any — drawn from a stream
+    /// decorrelated from [`ServerFaultPlan::request_fault`].
+    pub fn response_stall(&self, seq: u64) -> Option<u32> {
+        if self.stall_pct == 0 || self.stall_ms == 0 {
+            return None;
+        }
+        let roll =
+            splitmix64(self.seed ^ 0x5357_414c_4c21 ^ seq.wrapping_mul(0x0100_0000_01b3)) % 100;
+        (roll < u64::from(self.stall_pct)).then_some(self.stall_ms)
+    }
+
+    /// True when the combiner must crash now: exactly `crash_after_commits`
+    /// deltas have committed. The trigger fires on equality so a recovered
+    /// server (whose commit counter resumes past the mark) does not crash
+    /// again in a loop.
+    pub fn combiner_crashes_at(&self, committed: u64) -> bool {
+        self.crash_after_commits == Some(committed)
+    }
+
+    /// Parses the CLI form: a comma-separated `key=value` list over the
+    /// keys `seed`, `drop`, `dup`, `delay` (as `PCT:MS`), `stall` (as
+    /// `PCT:MS`) and `crash-after`. Example:
+    /// `seed=7,drop=5,dup=3,delay=10:40,stall=2:250,crash-after=6`.
+    pub fn parse(spec: &str) -> Result<Self, ParseServerFaultError> {
+        fn num<T: std::str::FromStr>(
+            tok: &str,
+            what: &'static str,
+        ) -> Result<T, ParseServerFaultError> {
+            tok.trim()
+                .parse()
+                .map_err(|_| ParseServerFaultError::BadNumber {
+                    what,
+                    token: tok.trim().to_string(),
+                })
+        }
+        fn pct_ms(val: &str, what: &'static str) -> Result<(u8, u32), ParseServerFaultError> {
+            let Some((pct, ms)) = val.split_once(':') else {
+                return Err(ParseServerFaultError::BadNumber {
+                    what,
+                    token: val.trim().to_string(),
+                });
+            };
+            Ok((num(pct, what)?, num(ms, what)?))
+        }
+        let mut plan = ServerFaultPlan::quiet();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, val)) = part.split_once('=') else {
+                return Err(ParseServerFaultError::BadPair {
+                    pair: part.to_string(),
+                });
+            };
+            match key.trim() {
+                "seed" => plan.seed = num(val, "seed")?,
+                "drop" => plan.drop_pct = num(val, "drop percentage")?,
+                "dup" => plan.dup_pct = num(val, "duplicate percentage")?,
+                "delay" => {
+                    let (pct, ms) = pct_ms(val, "delay PCT:MS")?;
+                    plan.delay_pct = pct;
+                    plan.delay_ms = ms;
+                }
+                "stall" => {
+                    let (pct, ms) = pct_ms(val, "stall PCT:MS")?;
+                    plan.stall_pct = pct;
+                    plan.stall_ms = ms;
+                }
+                "crash-after" => plan.crash_after_commits = Some(num(val, "crash-after")?),
+                other => {
+                    return Err(ParseServerFaultError::UnknownKey {
+                        key: other.to_string(),
+                    })
+                }
+            }
+        }
+        let bands = u64::from(plan.drop_pct) + u64::from(plan.dup_pct) + u64::from(plan.delay_pct);
+        if bands > 100 || plan.stall_pct > 100 {
+            return Err(ParseServerFaultError::BandsOverflow { total: bands });
+        }
+        Ok(plan)
+    }
+}
+
+/// Typed rejection of a malformed `--faults` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseServerFaultError {
+    /// A part without `key=value` shape.
+    BadPair {
+        /// The offending part.
+        pair: String,
+    },
+    /// An unknown key.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A value that does not parse as its expected number form.
+    BadNumber {
+        /// Which value was malformed.
+        what: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// Percentages exceeding 100 in total.
+    BandsOverflow {
+        /// The out-of-range drop+dup+delay total.
+        total: u64,
+    },
+}
+
+impl fmt::Display for ParseServerFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseServerFaultError::BadPair { pair } => {
+                write!(f, "bad fault spec part `{pair}` (expected key=value)")
+            }
+            ParseServerFaultError::UnknownKey { key } => write!(
+                f,
+                "unknown fault spec key `{key}` (expected seed, drop, dup, delay, stall or crash-after)"
+            ),
+            ParseServerFaultError::BadNumber { what, token } => {
+                write!(f, "bad {what} in fault spec: `{token}`")
+            }
+            ParseServerFaultError::BandsOverflow { total } => {
+                write!(f, "fault percentages sum to {total} (> 100)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseServerFaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_banded() {
+        let plan = ServerFaultPlan {
+            seed: 42,
+            drop_pct: 10,
+            dup_pct: 10,
+            delay_pct: 20,
+            delay_ms: 15,
+            ..ServerFaultPlan::quiet()
+        };
+        let mut counts = [0usize; 4];
+        for seq in 0..10_000 {
+            assert_eq!(plan.request_fault(seq), plan.request_fault(seq));
+            match plan.request_fault(seq) {
+                RequestFault::None => counts[0] += 1,
+                RequestFault::Drop => counts[1] += 1,
+                RequestFault::Duplicate => counts[2] += 1,
+                RequestFault::Delay(ms) => {
+                    assert_eq!(ms, 15);
+                    counts[3] += 1;
+                }
+            }
+        }
+        // Bands land near their percentages (±3 points over 10k draws).
+        assert!((counts[1] as i64 - 1000).abs() < 300, "{counts:?}");
+        assert!((counts[2] as i64 - 1000).abs() < 300, "{counts:?}");
+        assert!((counts[3] as i64 - 2000).abs() < 300, "{counts:?}");
+        // A different seed reshuffles the decisions.
+        let other = ServerFaultPlan { seed: 43, ..plan };
+        assert!((0..100).any(|s| plan.request_fault(s) != other.request_fault(s)));
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = ServerFaultPlan::quiet();
+        for seq in 0..1000 {
+            assert_eq!(plan.request_fault(seq), RequestFault::None);
+            assert_eq!(plan.response_stall(seq), None);
+        }
+        assert!(!plan.combiner_crashes_at(0));
+    }
+
+    #[test]
+    fn combiner_crash_fires_exactly_once() {
+        let plan = ServerFaultPlan {
+            crash_after_commits: Some(5),
+            ..ServerFaultPlan::quiet()
+        };
+        assert!(!plan.combiner_crashes_at(4));
+        assert!(plan.combiner_crashes_at(5));
+        assert!(!plan.combiner_crashes_at(6), "no crash loop after recovery");
+    }
+
+    #[test]
+    fn spec_round_trips_and_rejects_garbage() {
+        let plan = ServerFaultPlan::parse(
+            "seed=7, drop=5, dup=3, delay=10:40, stall=2:250, crash-after=6",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop_pct, 5);
+        assert_eq!(plan.dup_pct, 3);
+        assert_eq!((plan.delay_pct, plan.delay_ms), (10, 40));
+        assert_eq!((plan.stall_pct, plan.stall_ms), (2, 250));
+        assert_eq!(plan.crash_after_commits, Some(6));
+        assert_eq!(ServerFaultPlan::parse(""), Ok(ServerFaultPlan::quiet()));
+        assert!(matches!(
+            ServerFaultPlan::parse("drop"),
+            Err(ParseServerFaultError::BadPair { .. })
+        ));
+        assert!(matches!(
+            ServerFaultPlan::parse("explode=1"),
+            Err(ParseServerFaultError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ServerFaultPlan::parse("drop=abc"),
+            Err(ParseServerFaultError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            ServerFaultPlan::parse("delay=50"),
+            Err(ParseServerFaultError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            ServerFaultPlan::parse("drop=60,dup=50"),
+            Err(ParseServerFaultError::BandsOverflow { total: 110 })
+        ));
+        assert!(!ParseServerFaultError::BandsOverflow { total: 110 }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn stall_stream_is_decorrelated_from_request_stream() {
+        let plan = ServerFaultPlan {
+            seed: 9,
+            drop_pct: 50,
+            stall_pct: 50,
+            stall_ms: 10,
+            ..ServerFaultPlan::quiet()
+        };
+        // If the two streams shared draws, every dropped request would also
+        // stall (or never stall); over 1000 draws both combinations occur.
+        let mut drop_and_stall = 0;
+        let mut drop_no_stall = 0;
+        for seq in 0..1000 {
+            if plan.request_fault(seq) == RequestFault::Drop {
+                if plan.response_stall(seq).is_some() {
+                    drop_and_stall += 1;
+                } else {
+                    drop_no_stall += 1;
+                }
+            }
+        }
+        assert!(drop_and_stall > 0 && drop_no_stall > 0);
+    }
+}

@@ -172,6 +172,58 @@ proptest! {
         prop_assert!(dirty.parse::<SeedTriple>().is_err(), "{} parsed", dirty);
     }
 
+    /// `render_script`/`parse_script` round-trip: every renderable chaos
+    /// plan survives rendering, adversarial re-whitespacing and round-key
+    /// annotation, while any non-empty garbage suffix on a statement is a
+    /// hard parse error (satellite of the `chaos --plan` hardening).
+    #[test]
+    fn chaos_script_round_trips_under_adversarial_whitespace(
+        kinds in proptest::collection::vec((0u8..4, any::<u32>(), any::<i32>(), any::<i32>(), 1u8..=100), 1..12),
+        pad in proptest::collection::vec("[ \t]{1,3}", 0..4),
+        garbage in "[a-z0-9]{1,5}",
+    ) {
+        use confine_netsim::chaos::{ChaosEvent, ChaosPlan, ScriptError};
+        let mut plan = ChaosPlan::new();
+        for &(kind, node, dx, dy, pct) in &kinds {
+            let node = NodeId(node % 256);
+            plan.events.push(match kind {
+                0 => ChaosEvent::Crash { node },
+                1 => ChaosEvent::Recover { node },
+                2 => ChaosEvent::Move { node, dx_mils: dx % 2000, dy_mils: dy % 2000 },
+                _ => ChaosEvent::Degrade { node, factor_pct: pct },
+            });
+        }
+        let script = plan.render_script().expect("no splits rendered");
+        prop_assert_eq!(&ChaosPlan::parse_script(&script).expect("round trip"), &plan);
+
+        // Re-whitespace adversarially: pad every separator with the sampled
+        // mix of spaces/tabs and collapse inter-token spacing to tabs.
+        let sloppy = format!(
+            "{}{}{} ;",
+            pad.concat(),
+            script.replace("; ", &format!("{};\t{}", pad.concat(), pad.concat())).replace(' ', " \t "),
+            pad.concat(),
+        );
+        prop_assert_eq!(&ChaosPlan::parse_script(&sloppy).expect("whitespace-insensitive"), &plan);
+
+        // Annotate with the canonical round keys; still the same plan.
+        let keyed: Vec<String> = script
+            .split("; ")
+            .enumerate()
+            .map(|(i, stmt)| format!("[{i}] {stmt}"))
+            .collect();
+        prop_assert_eq!(&ChaosPlan::parse_script(&keyed.join("; ")).expect("keyed form"), &plan);
+
+        // A garbage token appended to the last statement must be rejected
+        // as trailing garbage or a malformed number, never silently eaten.
+        let dirty = format!("{script} {garbage}");
+        let err = ChaosPlan::parse_script(&dirty).expect_err("garbage accepted");
+        prop_assert!(
+            matches!(err, ScriptError::TrailingGarbage { .. } | ScriptError::BadNumber { .. } | ScriptError::UnknownStatement { .. }),
+            "unexpected error shape: {:?}", err
+        );
+    }
+
     /// Message accounting is sane: a k-hop flood delivers at least one
     /// message per edge direction and terminates within diameter+2 rounds.
     #[test]

@@ -1,0 +1,240 @@
+//! Client side of the coverage service: framing, deadlines, and a retry
+//! policy with deterministic jittered backoff.
+//!
+//! The client holds one connection and reconnects lazily. A call is retried
+//! when the transport fails (dropped request, stalled response past the
+//! read deadline, broken connection) or when the server answers with a
+//! *retryable* error — `Timeout`, `Overloaded`, `CombinerCrashed` — all of
+//! which mean "the state is fine, ask again". Deltas are idempotent
+//! server-side (duplicates replay inert), so retrying a mutation whose
+//! response was lost is safe.
+//!
+//! Backoff after attempt `k` is `base · 2^k + jitter(k)` with the jitter
+//! drawn from SplitMix64 over `(seed, k)` — deterministic per client seed,
+//! decorrelated across clients, so a thundering herd of retriers spreads
+//! out the same way every run (the property the bench pins).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use confine_netsim::chaos::splitmix64;
+
+use crate::protocol::{read_frame, write_frame, Envelope, Request, Response, ServerError};
+
+/// Retry and deadline policy of a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline sent with every request, milliseconds.
+    pub deadline_ms: u64,
+    /// Retries after the first attempt.
+    pub retries: u32,
+    /// Base backoff in milliseconds; attempt `k` waits `base·2^k` plus
+    /// jitter in `[0, base)`.
+    pub backoff_base_ms: u64,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline_ms: 5_000,
+            retries: 4,
+            backoff_base_ms: 20,
+            seed: 1,
+        }
+    }
+}
+
+/// Why a call gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed at the transport level; holds the last failure.
+    Exhausted {
+        /// Attempts made (first try included).
+        attempts: u32,
+        /// The last transport error observed.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A retrying client bound to one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Creates a client for `addr` (connection is established lazily).
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> Self {
+        Client {
+            addr: addr.into(),
+            config,
+            stream: None,
+        }
+    }
+
+    /// The deterministic backoff before retry `attempt` (0-based),
+    /// milliseconds. Exposed for tests and the bench harness.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let base = self.config.backoff_base_ms.max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(10));
+        exp + splitmix64(self.config.seed ^ u64::from(attempt).wrapping_add(1)) % base
+    }
+
+    /// Issues one request, retrying per the configured policy.
+    ///
+    /// A `Ok(Response::Error(..))` return is a definitive server answer
+    /// (bad request, scheduler rejection, or a retryable error that still
+    /// failed on the last attempt); `Err` means the transport never
+    /// delivered an answer at all.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] when every attempt failed at the wire.
+    pub fn call(&mut self, request: Request) -> Result<Response, ClientError> {
+        let env = Envelope {
+            deadline_ms: self.config.deadline_ms,
+            request,
+        };
+        let attempts = self.config.retries + 1;
+        let mut last_wire = String::new();
+        let mut last_response: Option<Response> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                thread_sleep_ms(self.backoff_ms(attempt - 1));
+            }
+            match self.attempt(&env) {
+                Ok(resp) => {
+                    if !retryable(&resp) {
+                        return Ok(resp);
+                    }
+                    last_response = Some(resp);
+                }
+                Err(msg) => {
+                    self.stream = None;
+                    last_wire = msg;
+                }
+            }
+        }
+        match last_response {
+            Some(resp) => Ok(resp),
+            None => Err(ClientError::Exhausted {
+                attempts,
+                last: last_wire,
+            }),
+        }
+    }
+
+    /// One wire round trip: connect if needed, write the frame, read the
+    /// response within the deadline (plus slack for server-side stalls).
+    fn attempt(&mut self, env: &Envelope) -> Result<Response, String> {
+        let read_budget = Duration::from_millis(self.config.deadline_ms + 1_000);
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| format!("nodelay: {e}"))?;
+            self.stream = Some(stream);
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err("no connection".to_string());
+        };
+        stream
+            .set_read_timeout(Some(read_budget))
+            .map_err(|e| format!("timeout: {e}"))?;
+        write_frame(stream, &env.encode()).map_err(|e| format!("write: {e}"))?;
+        let line = read_frame(stream).map_err(|e| format!("read: {e}"))?;
+        Response::decode(&line).map_err(|e| format!("decode: {e}"))
+    }
+}
+
+/// Server answers that mean "retry me": the state is intact and a later
+/// attempt can succeed.
+fn retryable(resp: &Response) -> bool {
+    matches!(
+        resp,
+        Response::Error(
+            ServerError::Timeout { .. }
+                | ServerError::Overloaded { .. }
+                | ServerError::CombinerCrashed
+        )
+    )
+}
+
+fn thread_sleep_ms(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_growing() {
+        let c = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                backoff_base_ms: 16,
+                seed: 9,
+                ..ClientConfig::default()
+            },
+        );
+        let d = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                backoff_base_ms: 16,
+                seed: 9,
+                ..ClientConfig::default()
+            },
+        );
+        let other = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                backoff_base_ms: 16,
+                seed: 10,
+                ..ClientConfig::default()
+            },
+        );
+        for k in 0..6 {
+            assert_eq!(c.backoff_ms(k), d.backoff_ms(k), "same seed, same delay");
+            let exp = 16u64 << k;
+            assert!(c.backoff_ms(k) >= exp && c.backoff_ms(k) < exp + 16);
+        }
+        // Different seeds decorrelate somewhere in the first few retries.
+        assert!((0..6).any(|k| c.backoff_ms(k) != other.backoff_ms(k)));
+    }
+
+    #[test]
+    fn unreachable_server_exhausts_retries() {
+        // Port 1 on localhost refuses connections immediately.
+        let mut c = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                retries: 1,
+                backoff_base_ms: 1,
+                ..ClientConfig::default()
+            },
+        );
+        match c.call(Request::Status) {
+            Err(ClientError::Exhausted { attempts: 2, last }) => {
+                assert!(last.contains("connect"), "{last}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,755 @@
+//! Flat-combining request core: many submitters, one combiner, zero big
+//! mutexes held across engine work by anyone who isn't combining.
+//!
+//! Submitters publish requests into a queue and wait on a private slot. The
+//! first submitter to win `try_lock` on the engine core becomes the
+//! *combiner*: it drains the queue in batches, executes every request
+//! against the warm [`EpochState`], and deposits each response into its
+//! slot. Everyone else just blocks on their own condvar — no lock convoy on
+//! the engine, and the combiner gets to merge work: a run of consecutive
+//! what-if reads collapses into one engine sweep
+//! ([`EpochState::what_if_batch`]).
+//!
+//! Three robustness policies live here:
+//!
+//! * **deadlines** — every request carries one; expired requests are
+//!   answered `Timeout` by their own waiter and skipped by the combiner
+//!   (mutations past deadline are *not* executed);
+//! * **admission control** — when the queue is deeper than `max_queue`,
+//!   mutations are rejected `Overloaded` and what-ifs are answered from the
+//!   last committed state with an explicit `Degraded { staleness }` marker
+//!   instead of queuing without bound;
+//! * **combiner crashes** — a scripted fault
+//!   ([`ServerFaultPlan::combiner_crashes_at`]) kills the warm state
+//!   mid-batch; the rest of the batch is answered `CombinerCrashed`, and
+//!   the next combiner first replays the epoch journal (verifying digests)
+//!   before serving — the recovery path the smoke test pins.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use confine_graph::NodeId;
+use confine_netsim::server_faults::ServerFaultPlan;
+
+use crate::journal::Journal;
+use crate::protocol::{Envelope, Request, Response, ServerError, StatusBody};
+use crate::state::{Delta, EpochParams, EpochState};
+
+/// Tuning knobs of the request core.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Deadline applied when a request says `0`.
+    pub default_deadline_ms: u64,
+    /// Queue depth beyond which admission control sheds load.
+    pub max_queue: usize,
+    /// Path of the epoch journal.
+    pub journal_path: std::path::PathBuf,
+    /// Deterministic fault script (combiner crashes consume
+    /// `crash_after_commits`; the connection layer consumes the rest).
+    pub faults: ServerFaultPlan,
+}
+
+impl CoreConfig {
+    /// A quiet configuration journaling to `journal_path`.
+    pub fn new(journal_path: impl Into<std::path::PathBuf>) -> Self {
+        CoreConfig {
+            default_deadline_ms: 5_000,
+            max_queue: 256,
+            journal_path: journal_path.into(),
+            faults: ServerFaultPlan::quiet(),
+        }
+    }
+}
+
+/// Monotonic counters, readable without any lock.
+#[derive(Debug, Default)]
+pub struct CoreStats {
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    crashes: AtomicU64,
+    recoveries: AtomicU64,
+    last_recovery_ms: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+enum SlotState {
+    Waiting,
+    Done(Response),
+    /// The waiter gave up (deadline); the combiner must not execute the
+    /// request and must drop any late response.
+    Abandoned,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct Pending {
+    env: Envelope,
+    deadline: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Everything the combiner owns while combining.
+struct EngineCore {
+    state: Option<EpochState>,
+    journal: Journal,
+    /// Set by an injected combiner crash: warm state is gone and the next
+    /// combiner must recover from the journal before serving.
+    poisoned: bool,
+    /// Commits across the core's lifetime (epoch loads included) — the
+    /// clock the crash-injection script reads.
+    total_commits: u64,
+}
+
+/// The last committed state, cheap to read for degraded answers and status.
+#[derive(Debug, Default, Clone)]
+struct CommittedView {
+    loaded: bool,
+    epoch: u64,
+    seq: u64,
+    active: Vec<NodeId>,
+    digest: u64,
+}
+
+/// The flat-combining request core. One per daemon; `Arc`-shared across
+/// connection threads.
+pub struct RequestCore {
+    config: CoreConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    core: Mutex<EngineCore>,
+    committed: Mutex<CommittedView>,
+    stats: CoreStats,
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A panicking holder cannot leave our state logically torn: every
+    // critical section writes a complete value or none. Recover the guard.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl RequestCore {
+    /// Builds the core. If the journal already holds an epoch (a restarted
+    /// daemon), it is recovered eagerly so the first request is served warm.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Journal`] when an existing journal fails to replay —
+    /// refusing to serve beats serving a state the journal contradicts.
+    pub fn new(config: CoreConfig) -> Result<Self, ServerError> {
+        let journal = Journal::new(&config.journal_path);
+        let t0 = Instant::now();
+        let state = journal
+            .recover()
+            .map_err(|e| ServerError::Journal(e.to_string()))?;
+        let stats = CoreStats::default();
+        let mut committed = CommittedView::default();
+        if let Some(s) = &state {
+            stats.recoveries.store(1, Ordering::Relaxed);
+            stats
+                .last_recovery_ms
+                .store(elapsed_ms(t0), Ordering::Relaxed);
+            committed = view_of(s);
+        }
+        Ok(RequestCore {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            core: Mutex::new(EngineCore {
+                state,
+                journal,
+                poisoned: false,
+                total_commits: 0,
+            }),
+            committed: Mutex::new(committed),
+            stats,
+        })
+    }
+
+    /// Submits one request and blocks until its response, its deadline, or
+    /// an admission-control verdict — whichever comes first.
+    pub fn submit(&self, env: Envelope) -> Response {
+        // Status never queues: it reads the committed view and counters.
+        if matches!(env.request, Request::Status) {
+            return Response::Status(self.status());
+        }
+        let deadline_ms = if env.deadline_ms == 0 {
+            self.config.default_deadline_ms
+        } else {
+            env.deadline_ms
+        };
+        let enqueued = Instant::now();
+        let deadline = enqueued + Duration::from_millis(deadline_ms);
+
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Waiting),
+            cv: Condvar::new(),
+        });
+        {
+            let mut q = unpoison(self.queue.lock());
+            let depth = q.len() as u64;
+            if q.len() >= self.config.max_queue {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return self.shed(&env.request, depth);
+            }
+            q.push_back(Pending {
+                env,
+                deadline,
+                slot: Arc::clone(&slot),
+            });
+        }
+
+        loop {
+            // Whoever holds the core is combining and will reach our slot;
+            // otherwise we volunteer.
+            if let Ok(mut core) = self.core.try_lock() {
+                self.combine(&mut core);
+            }
+            let mut st = unpoison(slot.state.lock());
+            loop {
+                match &*st {
+                    SlotState::Done(resp) => return resp.clone(),
+                    SlotState::Abandoned => {
+                        return Response::Error(ServerError::Timeout {
+                            waited_ms: elapsed_ms(enqueued),
+                        })
+                    }
+                    SlotState::Waiting => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            *st = SlotState::Abandoned;
+                            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            return Response::Error(ServerError::Timeout {
+                                waited_ms: elapsed_ms(enqueued),
+                            });
+                        }
+                        let wait = (deadline - now).min(Duration::from_millis(10));
+                        let (guard, timeout) = unpoison_timeout(slot.cv.wait_timeout(st, wait));
+                        st = guard;
+                        if timeout.timed_out() {
+                            // Re-try becoming the combiner: the previous one
+                            // may have exited between our enqueue and its
+                            // final empty-queue check.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The admission-control answer for a request arriving over a full
+    /// queue: reads are served from the last committed state with an
+    /// explicit staleness marker, mutations are refused.
+    fn shed(&self, request: &Request, depth: u64) -> Response {
+        match request {
+            Request::WhatIf { node } => {
+                let view = unpoison(self.committed.lock());
+                if !view.loaded {
+                    return Response::Error(ServerError::NoEpoch);
+                }
+                // At a committed fixpoint no active internal node is
+                // deletable, so membership is the whole degraded answer.
+                let active = view.active.binary_search(&NodeId(*node)).is_ok();
+                Response::WhatIf {
+                    node: *node,
+                    active,
+                    deletable: false,
+                    degraded: Some(depth),
+                }
+            }
+            _ => Response::Error(ServerError::Overloaded { queue_depth: depth }),
+        }
+    }
+
+    /// Point-in-time server counters and committed-state summary.
+    pub fn status(&self) -> StatusBody {
+        let view = unpoison(self.committed.lock());
+        StatusBody {
+            epoch: view.epoch,
+            seq: view.seq,
+            active: view.active.len(),
+            digest: view.digest,
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            crashes: self.stats.crashes.load(Ordering::Relaxed),
+            recoveries: self.stats.recoveries.load(Ordering::Relaxed),
+            last_recovery_ms: self.stats.last_recovery_ms.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            max_batch: self.stats.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The combiner loop: recover if poisoned, then drain and execute
+    /// batches until the queue is empty.
+    fn combine(&self, core: &mut EngineCore) {
+        if core.poisoned {
+            self.recover(core);
+        }
+        loop {
+            let batch: Vec<Pending> = {
+                let mut q = unpoison(self.queue.lock());
+                q.drain(..).collect()
+            };
+            if batch.is_empty() {
+                return;
+            }
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .max_batch
+                .fetch_max(batch.len() as u64, Ordering::Relaxed);
+            let mut crashed_mid_batch = false;
+            let mut reads: Vec<Pending> = Vec::new();
+            for pending in batch {
+                if crashed_mid_batch {
+                    deposit(&pending, Response::Error(ServerError::CombinerCrashed));
+                    continue;
+                }
+                if expired(&pending, &self.stats) {
+                    continue;
+                }
+                if matches!(pending.env.request, Request::WhatIf { .. }) {
+                    reads.push(pending);
+                    continue;
+                }
+                // A mutation ends the current read run: answer the reads
+                // first (one engine sweep), in queue order.
+                self.flush_reads(core, &mut reads);
+                match self.execute_mutation(core, &pending) {
+                    Ok(resp) => deposit(&pending, resp),
+                    Err(crashed) => {
+                        deposit(&pending, Response::Error(ServerError::CombinerCrashed));
+                        crashed_mid_batch = crashed;
+                    }
+                }
+            }
+            if !crashed_mid_batch {
+                self.flush_reads(core, &mut reads);
+            } else {
+                for pending in reads.drain(..) {
+                    deposit(&pending, Response::Error(ServerError::CombinerCrashed));
+                }
+                // Recover immediately so the next batch (and the retries of
+                // the failed requests) are served from the journal state.
+                self.recover(core);
+            }
+        }
+    }
+
+    /// Answers a run of coalesced what-if reads with one engine sweep.
+    fn flush_reads(&self, core: &mut EngineCore, reads: &mut Vec<Pending>) {
+        if reads.is_empty() {
+            return;
+        }
+        let run: Vec<Pending> = std::mem::take(reads);
+        let Some(state) = core.state.as_mut() else {
+            for pending in &run {
+                deposit(pending, Response::Error(ServerError::NoEpoch));
+            }
+            return;
+        };
+        let nodes: Vec<NodeId> = run
+            .iter()
+            .map(|p| match p.env.request {
+                Request::WhatIf { node } => NodeId(node),
+                // flush_reads only ever receives what-if requests.
+                _ => NodeId(u32::MAX),
+            })
+            .collect();
+        match state.what_if_batch(&nodes) {
+            Ok(answers) => {
+                for (pending, ((active, deletable), node)) in
+                    run.iter().zip(answers.into_iter().zip(&nodes))
+                {
+                    deposit(
+                        pending,
+                        Response::WhatIf {
+                            node: node.0,
+                            active,
+                            deletable,
+                            degraded: None,
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                for pending in &run {
+                    deposit(pending, Response::Error(e.clone()));
+                }
+            }
+        }
+    }
+
+    /// Executes one mutation. `Err(true)` signals an injected combiner
+    /// crash: warm state is dropped and the caller fails the rest of the
+    /// batch.
+    fn execute_mutation(&self, core: &mut EngineCore, pending: &Pending) -> Result<Response, bool> {
+        // The scripted crash fires at the commit boundary: state mutated,
+        // journal record not yet durable — exactly the window a real crash
+        // would tear.
+        let crash_now = self
+            .config
+            .faults
+            .combiner_crashes_at(core.total_commits + 1)
+            && pending.env.request.is_mutation();
+        match &pending.env.request {
+            Request::LoadEpoch {
+                epoch,
+                nodes,
+                degree_mils,
+                seed,
+                tau,
+            } => {
+                let params = EpochParams {
+                    epoch: *epoch,
+                    nodes: *nodes,
+                    degree_mils: *degree_mils,
+                    seed: *seed,
+                    tau: *tau,
+                };
+                let state = match EpochState::load(params) {
+                    Ok(s) => s,
+                    Err(e) => return Ok(Response::Error(e)),
+                };
+                if crash_now {
+                    self.crash_combiner(core);
+                    return Err(true);
+                }
+                if let Err(e) = core.journal.record_epoch(params, state.digest()) {
+                    return Ok(Response::Error(ServerError::Journal(e.to_string())));
+                }
+                core.total_commits += 1;
+                let resp = Response::Committed {
+                    epoch: params.epoch,
+                    seq: state.seq(),
+                    active: state.active().len(),
+                    digest: state.digest(),
+                };
+                self.publish(&state);
+                core.state = Some(state);
+                Ok(resp)
+            }
+            Request::Crash { node } | Request::Recover { node } => {
+                let delta = if matches!(pending.env.request, Request::Crash { .. }) {
+                    Delta::Crash(NodeId(*node))
+                } else {
+                    Delta::Recover(NodeId(*node))
+                };
+                self.apply_deltas(core, &[delta], crash_now)
+            }
+            Request::Replay { script } => {
+                let deltas = match EpochState::parse_replay(script) {
+                    Ok(d) => d,
+                    Err(e) => return Ok(Response::Error(e)),
+                };
+                self.apply_deltas(core, &deltas, crash_now)
+            }
+            // Reads never reach execute_mutation.
+            Request::WhatIf { .. } | Request::Status => Ok(Response::Error(
+                ServerError::BadRequest("read routed to mutation path".to_string()),
+            )),
+        }
+    }
+
+    /// Applies a delta sequence against the loaded epoch, journaling every
+    /// committed step. `Err(true)` = injected combiner crash.
+    fn apply_deltas(
+        &self,
+        core: &mut EngineCore,
+        deltas: &[Delta],
+        crash_now: bool,
+    ) -> Result<Response, bool> {
+        if core.state.is_none() {
+            return Ok(Response::Error(ServerError::NoEpoch));
+        }
+        if crash_now {
+            // Mutate-then-die: apply the first delta without journaling it,
+            // then drop the warm state. Recovery must still converge to the
+            // journaled prefix — the acceptance test's whole point.
+            if let Some(state) = core.state.as_mut() {
+                let _ = state.apply(deltas[0]);
+            }
+            self.crash_combiner(core);
+            return Err(true);
+        }
+        let mut last_error = None;
+        {
+            // Narrow scope: state borrow ends before publish().
+            let Some(state) = core.state.as_mut() else {
+                return Ok(Response::Error(ServerError::NoEpoch));
+            };
+            for &delta in deltas {
+                match state.apply(delta) {
+                    Ok(false) => {}
+                    Ok(true) => {
+                        core.total_commits += 1;
+                        if let Err(e) =
+                            core.journal
+                                .record_delta(state.seq(), delta, state.digest())
+                        {
+                            // State and journal have diverged; poison so the
+                            // next combiner rebuilds from the journal.
+                            core.poisoned = true;
+                            return Ok(Response::Error(ServerError::Journal(e.to_string())));
+                        }
+                    }
+                    Err(e) => {
+                        last_error = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(state) = core.state.as_ref() else {
+            return Ok(Response::Error(ServerError::NoEpoch));
+        };
+        self.publish(state);
+        if let Some(e) = last_error {
+            return Ok(Response::Error(e));
+        }
+        Ok(Response::Committed {
+            epoch: state.params().epoch,
+            seq: state.seq(),
+            active: state.active().len(),
+            digest: state.digest(),
+        })
+    }
+
+    /// Drops the warm state, as the scripted fault demands.
+    fn crash_combiner(&self, core: &mut EngineCore) {
+        core.state = None;
+        core.poisoned = true;
+        core.total_commits += 1;
+        self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replays the journal after a combiner crash, timing it.
+    fn recover(&self, core: &mut EngineCore) {
+        let t0 = Instant::now();
+        match core.journal.recover() {
+            Ok(state) => {
+                if let Some(s) = &state {
+                    self.publish(s);
+                }
+                core.state = state;
+                core.poisoned = false;
+                self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .last_recovery_ms
+                    .store(elapsed_ms(t0), Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Journal unusable: serve NoEpoch rather than lies. Leave
+                // poisoned=false so we do not spin on recovery.
+                core.state = None;
+                core.poisoned = false;
+            }
+        }
+    }
+
+    /// Updates the committed view read by shedding and status paths.
+    fn publish(&self, state: &EpochState) {
+        let mut view = unpoison(self.committed.lock());
+        *view = view_of(state);
+    }
+}
+
+impl std::fmt::Debug for RequestCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestCore")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+fn view_of(state: &EpochState) -> CommittedView {
+    CommittedView {
+        loaded: true,
+        epoch: state.params().epoch,
+        seq: state.seq(),
+        active: state.active().to_vec(),
+        digest: state.digest(),
+    }
+}
+
+fn elapsed_ms(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+fn expired(pending: &Pending, stats: &CoreStats) -> bool {
+    let mut st = unpoison(pending.slot.state.lock());
+    match &*st {
+        SlotState::Abandoned => true,
+        SlotState::Waiting if Instant::now() >= pending.deadline => {
+            *st = SlotState::Abandoned;
+            stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            pending.slot.cv.notify_all();
+            true
+        }
+        _ => false,
+    }
+}
+
+fn deposit(pending: &Pending, resp: Response) {
+    let mut st = unpoison(pending.slot.state.lock());
+    if matches!(*st, SlotState::Waiting) {
+        *st = SlotState::Done(resp);
+        pending.slot.cv.notify_all();
+    }
+}
+
+type TimedWait<'a, T> = (MutexGuard<'a, T>, std::sync::WaitTimeoutResult);
+
+fn unpoison_timeout<'a, T>(
+    r: Result<TimedWait<'a, T>, PoisonError<TimedWait<'a, T>>>,
+) -> TimedWait<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "confine-core-test-{tag}-{}.journal",
+            std::process::id()
+        ))
+    }
+
+    fn load_req() -> Envelope {
+        Envelope {
+            deadline_ms: 30_000,
+            request: Request::LoadEpoch {
+                epoch: 1,
+                nodes: 50,
+                degree_mils: 11_000,
+                seed: 7,
+                tau: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn serves_load_whatif_crash_recover() {
+        let path = temp_path("serve");
+        let _ = std::fs::remove_file(&path);
+        let core = RequestCore::new(CoreConfig::new(&path)).unwrap();
+        let Response::Committed { active, digest, .. } = core.submit(load_req()) else {
+            panic!("load failed");
+        };
+        assert!(active > 0);
+        // Status reflects the committed epoch.
+        let status = core.status();
+        assert_eq!(status.digest, digest);
+        assert_eq!(status.active, active);
+        // What-if on an active node at fixpoint: active, not deletable.
+        let Response::WhatIf {
+            active: a,
+            deletable,
+            degraded,
+            ..
+        } = core.submit(Envelope {
+            deadline_ms: 10_000,
+            request: Request::WhatIf { node: 0 },
+        })
+        else {
+            panic!("what-if failed");
+        };
+        assert!(!deletable || a, "deletable implies active");
+        assert_eq!(degraded, None);
+        // Crash then recover a mid-schedule node round-trips the digest.
+        let victim = {
+            let view = unpoison(core.committed.lock());
+            view.active[view.active.len() / 2].0
+        };
+        let Response::Committed { seq, .. } = core.submit(Envelope {
+            deadline_ms: 30_000,
+            request: Request::Crash { node: victim },
+        }) else {
+            panic!("crash failed");
+        };
+        assert_eq!(seq, 1);
+        let Response::Committed {
+            seq, digest: d2, ..
+        } = core.submit(Envelope {
+            deadline_ms: 30_000,
+            request: Request::Recover { node: victim },
+        })
+        else {
+            panic!("recover failed");
+        };
+        assert_eq!(seq, 2);
+        assert_ne!(d2, digest, "seq advanced, digest moved");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn no_epoch_and_overload_answers() {
+        let path = temp_path("overload");
+        let _ = std::fs::remove_file(&path);
+        let mut config = CoreConfig::new(&path);
+        config.max_queue = 0; // everything sheds
+        let core = RequestCore::new(config).unwrap();
+        assert!(matches!(
+            core.submit(Envelope {
+                deadline_ms: 100,
+                request: Request::Crash { node: 1 }
+            }),
+            Response::Error(ServerError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            core.submit(Envelope {
+                deadline_ms: 100,
+                request: Request::WhatIf { node: 1 }
+            }),
+            Response::Error(ServerError::NoEpoch)
+        ));
+        assert!(core.status().shed >= 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn combiner_crash_recovers_from_journal() {
+        let path = temp_path("crashrec");
+        let _ = std::fs::remove_file(&path);
+        let mut config = CoreConfig::new(&path);
+        // Crash on the second commit: the first crash-delta after the load.
+        config.faults.crash_after_commits = Some(2);
+        let core = RequestCore::new(config).unwrap();
+        let Response::Committed { digest: d0, .. } = core.submit(load_req()) else {
+            panic!("load failed");
+        };
+        let victim = {
+            let view = unpoison(core.committed.lock());
+            view.active[view.active.len() / 2].0
+        };
+        // This mutation hits the scripted crash.
+        assert!(matches!(
+            core.submit(Envelope {
+                deadline_ms: 30_000,
+                request: Request::Crash { node: victim }
+            }),
+            Response::Error(ServerError::CombinerCrashed)
+        ));
+        let status = core.status();
+        assert_eq!(status.crashes, 1);
+        assert_eq!(status.recoveries, 1);
+        // Recovery rewound to the journaled prefix (the bare epoch).
+        assert_eq!(status.digest, d0);
+        // The retry now commits.
+        assert!(matches!(
+            core.submit(Envelope {
+                deadline_ms: 30_000,
+                request: Request::Crash { node: victim }
+            }),
+            Response::Committed { seq: 1, .. }
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

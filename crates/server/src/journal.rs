@@ -1,0 +1,336 @@
+//! The epoch journal: an append-only log from which a killed daemon
+//! recovers its exact pre-crash state.
+//!
+//! Because [`crate::state::EpochState`] is a pure function of its generating
+//! parameters and the committed delta sequence, the journal does not need to
+//! persist the state itself — only the recipe:
+//!
+//! ```text
+//! epoch 1 nodes 120 degree-mils 12000 seed 42 tau 4 digest 9f0c…
+//! delta 1 crash 9 digest 77ab…
+//! delta 2 recover 9 digest 9f0c…
+//! ```
+//!
+//! Each line carries the state digest *after* applying it; recovery replays
+//! the recipe and verifies every digest, so corruption, truncation mid-line
+//! and divergent replays are all detected rather than silently served. A new
+//! `epoch` line supersedes everything before it (the journal is truncated on
+//! epoch load to keep replay linear).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use confine_graph::NodeId;
+
+use crate::state::{Delta, EpochParams, EpochState};
+
+/// Why a journal could not be written or replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The journal file could not be opened, read or written.
+    Io(std::io::Error),
+    /// A line did not match the journal grammar.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was found there.
+        found: String,
+    },
+    /// Replaying a record produced a different state than the journal
+    /// recorded — the journal and the code disagree, and serving either
+    /// state would be a lie.
+    DigestMismatch {
+        /// 1-based line number of the mismatching record.
+        line: usize,
+        /// The digest the journal recorded.
+        expected: u64,
+        /// The digest replay produced.
+        got: u64,
+    },
+    /// A delta record was replayed as inert (e.g. crash of an inactive
+    /// node) — committed journals never record no-ops, so replay diverged.
+    InertReplay {
+        /// 1-based line number of the record.
+        line: usize,
+    },
+    /// The journal is empty or starts with a delta instead of an epoch.
+    NoEpoch,
+    /// Rebuilding the state failed inside the scheduler.
+    State(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o: {e}"),
+            JournalError::Corrupt { line, found } => {
+                write!(f, "journal line {line} corrupt: `{found}`")
+            }
+            JournalError::DigestMismatch {
+                line,
+                expected,
+                got,
+            } => write!(
+                f,
+                "journal line {line}: replay digest {got:016x} != recorded {expected:016x}"
+            ),
+            JournalError::InertReplay { line } => {
+                write!(f, "journal line {line}: recorded delta replayed as a no-op")
+            }
+            JournalError::NoEpoch => write!(f, "journal holds no epoch record"),
+            JournalError::State(msg) => write!(f, "journal replay: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Append-only journal writer bound to one file path.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Binds a journal to `path` (created lazily on first append).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Journal { path: path.into() }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records an epoch load, truncating any previous contents: the new
+    /// epoch supersedes them and recovery replays from the epoch line.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failure.
+    pub fn record_epoch(&self, params: EpochParams, digest: u64) -> Result<(), JournalError> {
+        let mut f = File::create(&self.path)?;
+        writeln!(
+            f,
+            "epoch {} nodes {} degree-mils {} seed {} tau {} digest {digest:016x}",
+            params.epoch, params.nodes, params.degree_mils, params.seed, params.tau
+        )?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Appends one committed delta with the post-state digest.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failure.
+    pub fn record_delta(&self, seq: u64, delta: Delta, digest: u64) -> Result<(), JournalError> {
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        let body = match delta {
+            Delta::Crash(v) => format!("crash {}", v.0),
+            Delta::Recover(v) => format!("recover {}", v.0),
+        };
+        writeln!(f, "delta {seq} {body} digest {digest:016x}")?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Replays the journal into a fresh [`EpochState`], verifying every
+    /// recorded digest along the way. Returns `Ok(None)` when the journal
+    /// file does not exist yet (a cold start, not an error).
+    ///
+    /// # Errors
+    ///
+    /// Every [`JournalError`] variant: I/O, grammar corruption, digest
+    /// divergence, inert replay or a missing epoch record.
+    pub fn recover(&self) -> Result<Option<EpochState>, JournalError> {
+        let file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(JournalError::Io(e)),
+        };
+        let mut state: Option<EpochState> = None;
+        for (idx, line) in BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            let lineno = idx + 1;
+            let corrupt = || JournalError::Corrupt {
+                line: lineno,
+                found: line.clone(),
+            };
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.first().copied() {
+                Some("epoch") => {
+                    let record = parse_epoch_line(&toks).ok_or_else(corrupt)?;
+                    let replayed = EpochState::load(record.params)
+                        .map_err(|e| JournalError::State(e.to_string()))?;
+                    if replayed.digest() != record.digest {
+                        return Err(JournalError::DigestMismatch {
+                            line: lineno,
+                            expected: record.digest,
+                            got: replayed.digest(),
+                        });
+                    }
+                    state = Some(replayed);
+                }
+                Some("delta") => {
+                    let record = parse_delta_line(&toks).ok_or_else(corrupt)?;
+                    let current = state.as_mut().ok_or(JournalError::NoEpoch)?;
+                    let committed = current
+                        .apply(record.delta)
+                        .map_err(|e| JournalError::State(e.to_string()))?;
+                    if !committed {
+                        return Err(JournalError::InertReplay { line: lineno });
+                    }
+                    if current.digest() != record.digest {
+                        return Err(JournalError::DigestMismatch {
+                            line: lineno,
+                            expected: record.digest,
+                            got: current.digest(),
+                        });
+                    }
+                }
+                Some(_) => return Err(corrupt()),
+                None => continue,
+            }
+        }
+        match state {
+            Some(s) => Ok(Some(s)),
+            None => Err(JournalError::NoEpoch),
+        }
+    }
+}
+
+struct EpochRecord {
+    params: EpochParams,
+    digest: u64,
+}
+
+struct DeltaRecord {
+    delta: Delta,
+    digest: u64,
+}
+
+fn parse_epoch_line(toks: &[&str]) -> Option<EpochRecord> {
+    match toks {
+        ["epoch", epoch, "nodes", nodes, "degree-mils", degree, "seed", seed, "tau", tau, "digest", digest] => {
+            Some(EpochRecord {
+                params: EpochParams {
+                    epoch: epoch.parse().ok()?,
+                    nodes: nodes.parse().ok()?,
+                    degree_mils: degree.parse().ok()?,
+                    seed: seed.parse().ok()?,
+                    tau: tau.parse().ok()?,
+                },
+                digest: u64::from_str_radix(digest, 16).ok()?,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn parse_delta_line(toks: &[&str]) -> Option<DeltaRecord> {
+    match toks {
+        ["delta", _seq, op, node, "digest", digest] => {
+            let node = NodeId(node.parse().ok()?);
+            let delta = match *op {
+                "crash" => Delta::Crash(node),
+                "recover" => Delta::Recover(node),
+                _ => return None,
+            };
+            Some(DeltaRecord {
+                delta,
+                digest: u64::from_str_radix(digest, 16).ok()?,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EpochParams {
+        EpochParams {
+            epoch: 1,
+            nodes: 50,
+            degree_mils: 11_000,
+            seed: 7,
+            tau: 4,
+        }
+    }
+
+    fn temp_journal(tag: &str) -> Journal {
+        let path = std::env::temp_dir().join(format!(
+            "confine-journal-test-{tag}-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        Journal::new(path)
+    }
+
+    #[test]
+    fn cold_start_is_none_and_empty_is_error() {
+        let j = temp_journal("cold");
+        assert!(j.recover().unwrap().is_none());
+        std::fs::write(j.path(), "").unwrap();
+        assert!(matches!(j.recover(), Err(JournalError::NoEpoch)));
+        let _ = std::fs::remove_file(j.path());
+    }
+
+    #[test]
+    fn journal_round_trips_load_and_deltas() {
+        let j = temp_journal("roundtrip");
+        let mut live = EpochState::load(params()).unwrap();
+        j.record_epoch(params(), live.digest()).unwrap();
+        let victim = live.active()[live.active().len() / 3];
+        assert!(live.apply(Delta::Crash(victim)).unwrap());
+        j.record_delta(live.seq(), Delta::Crash(victim), live.digest())
+            .unwrap();
+        assert!(live.apply(Delta::Recover(victim)).unwrap());
+        j.record_delta(live.seq(), Delta::Recover(victim), live.digest())
+            .unwrap();
+
+        let recovered = j.recover().unwrap().expect("journal has an epoch");
+        assert_eq!(recovered.digest(), live.digest());
+        assert_eq!(recovered.active(), live.active());
+        assert_eq!(recovered.seq(), live.seq());
+        let _ = std::fs::remove_file(j.path());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let j = temp_journal("corrupt");
+        let live = EpochState::load(params()).unwrap();
+        j.record_epoch(params(), live.digest()).unwrap();
+
+        // Garbage line → Corrupt.
+        let good = std::fs::read_to_string(j.path()).unwrap();
+        std::fs::write(j.path(), format!("{good}garbage here\n")).unwrap();
+        assert!(matches!(
+            j.recover(),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
+
+        // Tampered digest → DigestMismatch.
+        let (head, _) = good.trim_end().rsplit_once(' ').unwrap();
+        std::fs::write(j.path(), format!("{head} {:016x}\n", live.digest() ^ 1)).unwrap();
+        assert!(matches!(
+            j.recover(),
+            Err(JournalError::DigestMismatch { line: 1, .. })
+        ));
+
+        // Delta before epoch → NoEpoch.
+        std::fs::write(j.path(), "delta 1 crash 3 digest 0000000000000000\n").unwrap();
+        assert!(matches!(j.recover(), Err(JournalError::NoEpoch)));
+        let _ = std::fs::remove_file(j.path());
+    }
+}

@@ -1,0 +1,39 @@
+//! Coverage-as-a-service: a long-lived daemon that keeps a warm
+//! [`confine_core::vpt_engine::VptEngine`] per topology epoch and serves
+//! coverage questions and repairs over a tiny length-prefixed TCP protocol.
+//!
+//! The crate is the robustness layer of the workspace — the scheduling
+//! mathematics lives in `confine-core`; this crate makes it survivable:
+//!
+//! * [`protocol`] — the wire grammar (requests, responses, typed errors);
+//! * [`state`] — one epoch's warm state, a pure function of its parameters
+//!   and committed delta sequence;
+//! * [`journal`] — the append-only recipe log that makes crash recovery
+//!   exact (digest-verified replay);
+//! * [`combiner`] — the flat-combining request core: deadlines, admission
+//!   control with degraded reads, coalesced what-if sweeps, and recovery
+//!   from injected combiner crashes;
+//! * [`server`] — the TCP accept loop plus the wire half of the fault
+//!   harness (drop / delay / duplicate / stall);
+//! * [`client`] — a retrying client with deterministic jittered backoff.
+//!
+//! Everything here is under the workspace no-panic lint: failures travel as
+//! typed errors, not unwinds, because a daemon that aborts on a malformed
+//! frame is not a daemon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod combiner;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use combiner::{CoreConfig, RequestCore};
+pub use journal::{Journal, JournalError};
+pub use protocol::{Envelope, Request, Response, ServerError, StatusBody, WireError};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use state::{Delta, EpochParams, EpochState};

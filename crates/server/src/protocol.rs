@@ -1,0 +1,596 @@
+//! Wire protocol of the coverage server: length-prefixed UTF-8 frames.
+//!
+//! Every frame is a `u32` little-endian byte length followed by exactly that
+//! many bytes of UTF-8 — one request or response line. Requests carry their
+//! deadline (milliseconds the client is willing to wait) as the first token,
+//! so the server can expire queued work without guessing:
+//!
+//! ```text
+//! 2000 load-epoch 1 120 12000 42 4
+//! 2000 what-if 17
+//! 500  crash 9
+//! ```
+//!
+//! Responses are `ok …` or `err …` lines; both directions are plain text so
+//! `nc`-style debugging and the journal share one human-readable grammar.
+//! Encoding and decoding are exact inverses — property-tested round trips —
+//! and every malformed line decodes to a typed error instead of panicking
+//! (this crate is under the workspace no-panic lint).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Upper bound on a frame body, rejecting corrupt length prefixes before
+/// they turn into multi-gigabyte allocations.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// One request, as decoded from a frame body (deadline token excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Generate the epoch's scenario and schedule it to a fixpoint.
+    LoadEpoch {
+        /// Caller-chosen epoch id (monotonicity is not required; the server
+        /// serves one epoch at a time and journals transitions).
+        epoch: u64,
+        /// Node count of the generated quasi-random UDG deployment.
+        nodes: usize,
+        /// Mean degree in thousandths (12000 = degree 12.0), kept integral
+        /// so the journal grammar never prints floats.
+        degree_mils: u32,
+        /// Topology seed.
+        seed: u64,
+        /// Confine size τ.
+        tau: usize,
+    },
+    /// Crash an active node and repair coverage around it.
+    Crash {
+        /// The victim's node id.
+        node: u32,
+    },
+    /// Rejoin a previously crashed node (re-verified, never trusted).
+    Recover {
+        /// The rejoining node id.
+        node: u32,
+    },
+    /// Read-only: is the node active, and would its deletion preserve
+    /// coverage (VPT-deletable) right now?
+    WhatIf {
+        /// The node id under the hypothetical.
+        node: u32,
+    },
+    /// Apply a `chaos --plan` style crash/recover script atomically.
+    Replay {
+        /// The script, `;`-separated (`crash N; recover N; …`).
+        script: String,
+    },
+    /// Read-only server and epoch counters.
+    Status,
+}
+
+/// A request plus its client deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Milliseconds the client will wait before abandoning the request;
+    /// `0` means "use the server default".
+    pub deadline_ms: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// One response, as decoded from a frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A mutation (or epoch load) committed at this journal position.
+    Committed {
+        /// The serving epoch.
+        epoch: u64,
+        /// Committed delta count within the epoch.
+        seq: u64,
+        /// Active nodes after the operation.
+        active: usize,
+        /// State digest after the operation (journal integrity value).
+        digest: u64,
+    },
+    /// Answer to [`Request::WhatIf`].
+    WhatIf {
+        /// The node asked about.
+        node: u32,
+        /// Whether it is active in the answering state.
+        active: bool,
+        /// Whether deleting it would preserve coverage.
+        deletable: bool,
+        /// `Some(staleness)` when answered from the last committed state
+        /// under load shedding instead of the live engine; `staleness` is
+        /// the mutation queue depth the request skipped.
+        degraded: Option<u64>,
+    },
+    /// Answer to [`Request::Status`].
+    Status(StatusBody),
+    /// The request failed with a typed error.
+    Error(ServerError),
+}
+
+/// Counters reported by [`Response::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatusBody {
+    /// The serving epoch (0 before any load).
+    pub epoch: u64,
+    /// Committed delta count within the epoch.
+    pub seq: u64,
+    /// Active nodes.
+    pub active: usize,
+    /// Current state digest.
+    pub digest: u64,
+    /// Requests answered degraded or rejected under overload.
+    pub shed: u64,
+    /// Requests expired in queue past their deadline.
+    pub timeouts: u64,
+    /// Injected combiner crashes survived.
+    pub crashes: u64,
+    /// Journal recoveries performed.
+    pub recoveries: u64,
+    /// Duration of the most recent journal recovery, milliseconds.
+    pub last_recovery_ms: u64,
+    /// Combiner batches executed.
+    pub batches: u64,
+    /// Largest batch drained in one combiner pass.
+    pub max_batch: u64,
+}
+
+/// Typed request failures, carried inside [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The request sat in queue past its deadline.
+    Timeout {
+        /// Milliseconds actually waited before expiry was detected.
+        waited_ms: u64,
+    },
+    /// The mutation queue is full; the request was rejected unprocessed.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: u64,
+    },
+    /// The combiner crashed mid-batch before reaching this request; state
+    /// was recovered from the journal, and the client should retry.
+    CombinerCrashed,
+    /// No epoch is loaded yet.
+    NoEpoch,
+    /// The request was malformed or referenced an impossible node.
+    BadRequest(String),
+    /// The scheduling engine rejected the operation.
+    Sim(String),
+    /// The epoch journal could not be written or replayed.
+    Journal(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Timeout { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms in queue")
+            }
+            ServerError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded (queue depth {queue_depth})")
+            }
+            ServerError::CombinerCrashed => write!(f, "combiner crashed mid-batch; retry"),
+            ServerError::NoEpoch => write!(f, "no epoch loaded"),
+            ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServerError::Sim(msg) => write!(f, "scheduler error: {msg}"),
+            ServerError::Journal(msg) => write!(f, "journal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A wire-level failure: framing, I/O or grammar.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket or file failed.
+    Io(std::io::Error),
+    /// A frame length prefix exceeded [`MAX_FRAME`] or the body was not
+    /// UTF-8, or a line did not match the grammar.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O failures of the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, line: &str) -> Result<(), WireError> {
+    let bytes = line.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| WireError::Malformed(format!("frame of {} bytes", bytes.len())))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O failures (including clean EOF, surfaced as `UnexpectedEof`), an
+/// oversized length prefix, or a non-UTF-8 body.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<String, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!("length prefix {len}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| WireError::Malformed("non-utf8 body".to_string()))
+}
+
+impl Envelope {
+    /// Renders the request line (`<deadline_ms> <request…>`).
+    pub fn encode(&self) -> String {
+        format!("{} {}", self.deadline_ms, self.request.encode())
+    }
+
+    /// Parses a request line.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on any deviation from the grammar.
+    pub fn decode(line: &str) -> Result<Self, WireError> {
+        let line = line.trim();
+        let (deadline, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| WireError::Malformed(format!("request line `{line}`")))?;
+        let deadline_ms = deadline
+            .parse()
+            .map_err(|_| WireError::Malformed(format!("deadline `{deadline}`")))?;
+        Ok(Envelope {
+            deadline_ms,
+            request: Request::decode(rest)?,
+        })
+    }
+}
+
+impl Request {
+    /// Renders the request body (without the deadline token).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::LoadEpoch {
+                epoch,
+                nodes,
+                degree_mils,
+                seed,
+                tau,
+            } => format!("load-epoch {epoch} {nodes} {degree_mils} {seed} {tau}"),
+            Request::Crash { node } => format!("crash {node}"),
+            Request::Recover { node } => format!("recover {node}"),
+            Request::WhatIf { node } => format!("what-if {node}"),
+            Request::Replay { script } => format!("replay {script}"),
+            Request::Status => "status".to_string(),
+        }
+    }
+
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on unknown operations, wrong arity or
+    /// non-numeric arguments.
+    pub fn decode(body: &str) -> Result<Self, WireError> {
+        fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, WireError> {
+            let tok = tok.ok_or_else(|| WireError::Malformed(format!("missing {what}")))?;
+            tok.parse()
+                .map_err(|_| WireError::Malformed(format!("bad {what} `{tok}`")))
+        }
+        let body = body.trim();
+        let (op, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
+        let mut toks = rest.split_whitespace();
+        let exact = |mut toks: std::str::SplitWhitespace<'_>, req: Request| match toks.next() {
+            None => Ok(req),
+            Some(junk) => Err(WireError::Malformed(format!("trailing `{junk}`"))),
+        };
+        match op {
+            "load-epoch" => {
+                let req = Request::LoadEpoch {
+                    epoch: num(toks.next(), "epoch")?,
+                    nodes: num(toks.next(), "nodes")?,
+                    degree_mils: num(toks.next(), "degree-mils")?,
+                    seed: num(toks.next(), "seed")?,
+                    tau: num(toks.next(), "tau")?,
+                };
+                exact(toks, req)
+            }
+            "crash" => {
+                let req = Request::Crash {
+                    node: num(toks.next(), "node")?,
+                };
+                exact(toks, req)
+            }
+            "recover" => {
+                let req = Request::Recover {
+                    node: num(toks.next(), "node")?,
+                };
+                exact(toks, req)
+            }
+            "what-if" => {
+                let req = Request::WhatIf {
+                    node: num(toks.next(), "node")?,
+                };
+                exact(toks, req)
+            }
+            "replay" => {
+                if rest.is_empty() {
+                    return Err(WireError::Malformed("replay without script".to_string()));
+                }
+                Ok(Request::Replay {
+                    script: rest.to_string(),
+                })
+            }
+            "status" => exact(toks, Request::Status),
+            other => Err(WireError::Malformed(format!("unknown op `{other}`"))),
+        }
+    }
+
+    /// True for requests that change epoch state (subject to overload
+    /// shedding); reads are answerable degraded.
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, Request::WhatIf { .. } | Request::Status)
+    }
+}
+
+impl Response {
+    /// Renders the response line.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Committed {
+                epoch,
+                seq,
+                active,
+                digest,
+            } => format!("ok committed {epoch} {seq} {active} {digest:016x}"),
+            Response::WhatIf {
+                node,
+                active,
+                deletable,
+                degraded,
+            } => {
+                let mut s = format!(
+                    "ok what-if {node} {} {}",
+                    u8::from(*active),
+                    u8::from(*deletable)
+                );
+                if let Some(staleness) = degraded {
+                    s.push_str(&format!(" degraded {staleness}"));
+                }
+                s
+            }
+            Response::Status(b) => format!(
+                "ok status {} {} {} {:016x} {} {} {} {} {} {} {}",
+                b.epoch,
+                b.seq,
+                b.active,
+                b.digest,
+                b.shed,
+                b.timeouts,
+                b.crashes,
+                b.recoveries,
+                b.last_recovery_ms,
+                b.batches,
+                b.max_batch,
+            ),
+            Response::Error(e) => match e {
+                ServerError::Timeout { waited_ms } => format!("err timeout {waited_ms}"),
+                ServerError::Overloaded { queue_depth } => {
+                    format!("err overloaded {queue_depth}")
+                }
+                ServerError::CombinerCrashed => "err combiner-crashed".to_string(),
+                ServerError::NoEpoch => "err no-epoch".to_string(),
+                ServerError::BadRequest(m) => format!("err bad-request {m}"),
+                ServerError::Sim(m) => format!("err sim {m}"),
+                ServerError::Journal(m) => format!("err journal {m}"),
+            },
+        }
+    }
+
+    /// Parses a response line.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on any deviation from the grammar.
+    pub fn decode(line: &str) -> Result<Self, WireError> {
+        fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, WireError> {
+            let tok = tok.ok_or_else(|| WireError::Malformed(format!("missing {what}")))?;
+            tok.parse()
+                .map_err(|_| WireError::Malformed(format!("bad {what} `{tok}`")))
+        }
+        fn hex(tok: Option<&str>, what: &str) -> Result<u64, WireError> {
+            let tok = tok.ok_or_else(|| WireError::Malformed(format!("missing {what}")))?;
+            u64::from_str_radix(tok, 16)
+                .map_err(|_| WireError::Malformed(format!("bad {what} `{tok}`")))
+        }
+        let mut toks = line.split_whitespace();
+        match (toks.next(), toks.next()) {
+            (Some("ok"), Some("committed")) => Ok(Response::Committed {
+                epoch: num(toks.next(), "epoch")?,
+                seq: num(toks.next(), "seq")?,
+                active: num(toks.next(), "active")?,
+                digest: hex(toks.next(), "digest")?,
+            }),
+            (Some("ok"), Some("what-if")) => {
+                let node = num(toks.next(), "node")?;
+                let active: u8 = num(toks.next(), "active")?;
+                let deletable: u8 = num(toks.next(), "deletable")?;
+                let degraded = match toks.next() {
+                    Some("degraded") => Some(num(toks.next(), "staleness")?),
+                    Some(junk) => return Err(WireError::Malformed(format!("trailing `{junk}`"))),
+                    None => None,
+                };
+                Ok(Response::WhatIf {
+                    node,
+                    active: active != 0,
+                    deletable: deletable != 0,
+                    degraded,
+                })
+            }
+            (Some("ok"), Some("status")) => Ok(Response::Status(StatusBody {
+                epoch: num(toks.next(), "epoch")?,
+                seq: num(toks.next(), "seq")?,
+                active: num(toks.next(), "active")?,
+                digest: hex(toks.next(), "digest")?,
+                shed: num(toks.next(), "shed")?,
+                timeouts: num(toks.next(), "timeouts")?,
+                crashes: num(toks.next(), "crashes")?,
+                recoveries: num(toks.next(), "recoveries")?,
+                last_recovery_ms: num(toks.next(), "last-recovery-ms")?,
+                batches: num(toks.next(), "batches")?,
+                max_batch: num(toks.next(), "max-batch")?,
+            })),
+            (Some("err"), Some(kind)) => {
+                let rest = toks.collect::<Vec<_>>().join(" ");
+                let err = match kind {
+                    "timeout" => ServerError::Timeout {
+                        waited_ms: rest
+                            .parse()
+                            .map_err(|_| WireError::Malformed(format!("bad waited `{rest}`")))?,
+                    },
+                    "overloaded" => ServerError::Overloaded {
+                        queue_depth: rest
+                            .parse()
+                            .map_err(|_| WireError::Malformed(format!("bad depth `{rest}`")))?,
+                    },
+                    "combiner-crashed" => ServerError::CombinerCrashed,
+                    "no-epoch" => ServerError::NoEpoch,
+                    "bad-request" => ServerError::BadRequest(rest),
+                    "sim" => ServerError::Sim(rest),
+                    "journal" => ServerError::Journal(rest),
+                    other => return Err(WireError::Malformed(format!("unknown error `{other}`"))),
+                };
+                Ok(Response::Error(err))
+            }
+            _ => Err(WireError::Malformed(format!("response line `{line}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::LoadEpoch {
+                epoch: 3,
+                nodes: 120,
+                degree_mils: 12_000,
+                seed: 42,
+                tau: 4,
+            },
+            Request::Crash { node: 9 },
+            Request::Recover { node: 9 },
+            Request::WhatIf { node: 17 },
+            Request::Replay {
+                script: "crash 3; recover 3".to_string(),
+            },
+            Request::Status,
+        ];
+        for req in reqs {
+            let env = Envelope {
+                deadline_ms: 2000,
+                request: req.clone(),
+            };
+            assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        assert!(Request::decode("crash").is_err());
+        assert!(Request::decode("crash 1 2").is_err());
+        assert!(Request::decode("explode 1").is_err());
+        assert!(Request::decode("replay").is_err());
+        assert!(Envelope::decode("soon crash 1").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Committed {
+                epoch: 1,
+                seq: 7,
+                active: 88,
+                digest: 0xdead_beef_0042_1111,
+            },
+            Response::WhatIf {
+                node: 4,
+                active: true,
+                deletable: false,
+                degraded: None,
+            },
+            Response::WhatIf {
+                node: 4,
+                active: false,
+                deletable: false,
+                degraded: Some(12),
+            },
+            Response::Status(StatusBody {
+                epoch: 2,
+                seq: 3,
+                active: 40,
+                digest: 77,
+                shed: 1,
+                timeouts: 2,
+                crashes: 3,
+                recoveries: 4,
+                last_recovery_ms: 5,
+                batches: 6,
+                max_batch: 7,
+            }),
+            Response::Error(ServerError::Timeout { waited_ms: 512 }),
+            Response::Error(ServerError::Overloaded { queue_depth: 64 }),
+            Response::Error(ServerError::CombinerCrashed),
+            Response::Error(ServerError::NoEpoch),
+            Response::Error(ServerError::BadRequest("node 900 out of range".to_string())),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp, "{resp:?}");
+        }
+        assert!(Response::decode("ok nonsense").is_err());
+        assert!(Response::decode("err nonsense").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "2000 status").unwrap();
+        write_frame(&mut buf, "ok status 0 0 0 0000000000000000 0 0 0 0 0 0 0").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), "2000 status");
+        assert!(read_frame(&mut r).unwrap().starts_with("ok status"));
+        assert!(read_frame(&mut r).is_err(), "eof");
+
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(bad)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

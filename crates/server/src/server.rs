@@ -1,0 +1,195 @@
+//! The TCP face of the daemon: accept loop, per-connection framing, and the
+//! wire-level half of the fault harness.
+//!
+//! Each connection gets a thread that reads length-prefixed request frames,
+//! pushes them through the shared [`RequestCore`], and writes response
+//! frames back. The [`ServerFaultPlan`] is consulted per request (a global
+//! sequence number keeps the draw deterministic given arrival order):
+//!
+//! * **drop** — the request is read and discarded with no response; the
+//!   client's read deadline expires and its retry policy kicks in;
+//! * **delay** — processing is postponed, aging the request against its
+//!   queue deadline;
+//! * **duplicate** — the request is submitted twice, modelling duplicated
+//!   delivery; committed deltas are idempotent (duplicates replay inert),
+//!   which this fault exercises end to end;
+//! * **stall** — the response is withheld for a while before the write,
+//!   modelling a stalled writer / slow consumer.
+//!
+//! Combiner crashes are injected deeper, in [`crate::combiner`].
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use confine_netsim::server_faults::{RequestFault, ServerFaultPlan};
+
+use crate::combiner::{CoreConfig, RequestCore};
+use crate::protocol::{read_frame, write_frame, Envelope, Response, ServerError, WireError};
+
+/// Configuration of a listening server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Request-core tuning (deadlines, queue bound, journal, faults).
+    pub core: CoreConfig,
+}
+
+impl ServerConfig {
+    /// An ephemeral-port server journaling to `journal_path`.
+    pub fn ephemeral(journal_path: impl Into<std::path::PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            core: CoreConfig::new(journal_path),
+        }
+    }
+}
+
+/// A running server: owns the accept thread and the shared request core.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    core: Arc<RequestCore>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared request core (for in-process status checks in tests and
+    /// benches).
+    pub fn core(&self) -> &Arc<RequestCore> {
+        &self.core
+    }
+
+    /// Stops accepting connections and joins the accept thread. Established
+    /// connections finish their in-flight request and then drop.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, recovers any existing journal, and starts serving.
+///
+/// # Errors
+///
+/// [`ServerError::Journal`] when an existing journal fails to replay, or a
+/// bind failure surfaced as [`ServerError::BadRequest`].
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    let faults = config.core.faults;
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServerError::BadRequest(format!("bind {}: {e}", config.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServerError::BadRequest(format!("local addr: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServerError::BadRequest(format!("nonblocking: {e}")))?;
+    let core = Arc::new(RequestCore::new(config.core)?);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let reqno = Arc::new(AtomicU64::new(0));
+
+    let accept_core = Arc::clone(&core);
+    let accept_stop = Arc::clone(&shutdown);
+    let accept_thread = thread::spawn(move || {
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let core = Arc::clone(&accept_core);
+                    let stop = Arc::clone(&accept_stop);
+                    let reqno = Arc::clone(&reqno);
+                    thread::spawn(move || serve_connection(stream, &core, &stop, &faults, &reqno));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        core,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// One connection's read-process-respond loop. Returns on EOF, wire error
+/// or server shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    core: &RequestCore,
+    stop: &AtomicBool,
+    faults: &ServerFaultPlan,
+    reqno: &AtomicU64,
+) {
+    // Bound reads so a silent peer cannot pin the thread across shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match read_frame(&mut stream) {
+            Ok(l) => l,
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let seq = reqno.fetch_add(1, Ordering::Relaxed);
+        let fault = faults.request_fault(seq);
+        if matches!(fault, RequestFault::Drop) {
+            continue;
+        }
+        if let RequestFault::Delay(ms) = fault {
+            thread::sleep(Duration::from_millis(u64::from(ms)));
+        }
+        let resp = match Envelope::decode(&line) {
+            Ok(env) => {
+                let first = core.submit(env.clone());
+                if matches!(fault, RequestFault::Duplicate) {
+                    // The duplicate arrives right behind the original; a
+                    // committed mutation must replay inert.
+                    let _ = core.submit(env);
+                }
+                first
+            }
+            Err(e) => Response::Error(ServerError::BadRequest(e.to_string())),
+        };
+        if let Some(ms) = faults.response_stall(seq) {
+            thread::sleep(Duration::from_millis(u64::from(ms)));
+        }
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}

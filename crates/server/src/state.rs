@@ -1,0 +1,395 @@
+//! The server's epoch state: one warm scheduling stack per topology epoch.
+//!
+//! An epoch is a generated quasi-random UDG deployment plus the coverage
+//! schedule the paper's DCC algorithm computed for it. The state is a pure
+//! function of the epoch parameters and the committed delta sequence — every
+//! random draw is derived from the epoch seed and the delta's sequence
+//! number via SplitMix64 — which is what makes the journal sound: replaying
+//! `load + deltas` after a crash reconstructs bit-for-bit the state the
+//! combiner held when it died.
+
+use std::collections::BTreeMap;
+
+use confine_core::prelude::*;
+use confine_core::vpt_engine::VptEngine;
+use confine_deploy::scenario::{random_udg_scenario, Scenario};
+use confine_graph::{Masked, NodeId};
+use confine_netsim::chaos::{splitmix64, ChaosEvent, ChaosPlan, Digest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::protocol::ServerError;
+
+/// The generating parameters of an epoch — everything needed to rebuild its
+/// topology and initial schedule from nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochParams {
+    /// Caller-chosen epoch id.
+    pub epoch: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Mean degree in thousandths.
+    pub degree_mils: u32,
+    /// Topology seed.
+    pub seed: u64,
+    /// Confine size τ.
+    pub tau: usize,
+}
+
+/// One committed state transition, as journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delta {
+    /// A node crashed; coverage was repaired around it.
+    Crash(NodeId),
+    /// A crashed node rejoined (re-verified).
+    Recover(NodeId),
+}
+
+/// The live state of the serving epoch.
+#[derive(Debug)]
+pub struct EpochState {
+    params: EpochParams,
+    scenario: Scenario,
+    /// Sorted active set — the committed schedule fixpoint.
+    active: Vec<NodeId>,
+    /// Crashed nodes and their pre-crash active snapshots (what a rejoin
+    /// announces).
+    crashed: BTreeMap<u32, Vec<NodeId>>,
+    /// Committed delta count.
+    seq: u64,
+    /// The warm engine: verdict cache and fingerprint memo survive across
+    /// requests, which is the entire point of keeping the daemon alive.
+    engine: VptEngine,
+}
+
+impl EpochState {
+    /// Generates the epoch topology and schedules it to the initial
+    /// fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for degenerate parameters,
+    /// [`ServerError::Sim`] when scheduling fails.
+    pub fn load(params: EpochParams) -> Result<Self, ServerError> {
+        if params.nodes == 0 || params.nodes > 100_000 {
+            return Err(ServerError::BadRequest(format!(
+                "nodes {} out of range",
+                params.nodes
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(splitmix64(params.seed));
+        let scenario = random_udg_scenario(
+            params.nodes,
+            1.0,
+            f64::from(params.degree_mils) / 1000.0,
+            &mut rng,
+        );
+        let mut runner = Dcc::builder(params.tau)
+            .centralized()
+            .map_err(|e| ServerError::Sim(e.to_string()))?;
+        let set = runner
+            .run(&scenario.graph, &scenario.boundary, &mut rng)
+            .map_err(|e| ServerError::Sim(e.to_string()))?;
+        let mut active = set.active;
+        active.sort_unstable();
+        let mut state = EpochState {
+            params,
+            scenario,
+            active,
+            crashed: BTreeMap::new(),
+            seq: 0,
+            engine: VptEngine::new(params.tau, EngineConfig::default()),
+        };
+        state.engine.begin_run(state.scenario.graph.node_count());
+        Ok(state)
+    }
+
+    /// The generating parameters.
+    pub fn params(&self) -> EpochParams {
+        self.params
+    }
+
+    /// The committed delta count.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The committed active set (sorted).
+    pub fn active(&self) -> &[NodeId] {
+        &self.active
+    }
+
+    /// FNV digest of the committed state: parameters, sequence, active set
+    /// and crashed-snapshot map. Stable across processes; the journal
+    /// records it per delta and recovery verifies it per replayed delta.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.update_u64(self.params.epoch);
+        d.update_u64(self.params.nodes as u64);
+        d.update_u64(u64::from(self.params.degree_mils));
+        d.update_u64(self.params.seed);
+        d.update_u64(self.params.tau as u64);
+        d.update_u64(self.seq);
+        d.update_u64(self.active.len() as u64);
+        for &v in &self.active {
+            d.update_u64(u64::from(v.0));
+        }
+        d.update_u64(self.crashed.len() as u64);
+        for (&node, snapshot) in &self.crashed {
+            d.update_u64(u64::from(node));
+            d.update_u64(snapshot.len() as u64);
+            for &v in snapshot {
+                d.update_u64(u64::from(v.0));
+            }
+        }
+        d.value()
+    }
+
+    /// Applies one delta: crash-and-repair or recover-and-reverify. Inert
+    /// deltas (crashing a non-active node, recovering a non-crashed one)
+    /// return `Ok(false)` and commit nothing, which keeps the journal free
+    /// of no-ops and replay closed under request duplication.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for out-of-range nodes,
+    /// [`ServerError::Sim`] when the repair protocol fails.
+    pub fn apply(&mut self, delta: Delta) -> Result<bool, ServerError> {
+        let node = match delta {
+            Delta::Crash(v) | Delta::Recover(v) => v,
+        };
+        if node.index() >= self.scenario.graph.node_count() {
+            return Err(ServerError::BadRequest(format!(
+                "node {} out of range ({} nodes)",
+                node.0,
+                self.scenario.graph.node_count()
+            )));
+        }
+        // Every delta derives its protocol randomness from (seed, seq), so
+        // journal replay regenerates the identical repair conversations.
+        let mut rng = StdRng::seed_from_u64(splitmix64(
+            self.params.seed ^ (self.seq + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+        let mut runner = Dcc::builder(self.params.tau)
+            .repair()
+            .map_err(|e| ServerError::Sim(e.to_string()))?;
+        match delta {
+            Delta::Crash(v) => {
+                if self.crashed.contains_key(&v.0) || self.active.binary_search(&v).is_err() {
+                    return Ok(false);
+                }
+                let snapshot = self.active.clone();
+                let outcome = runner
+                    .repair(
+                        &self.scenario.graph,
+                        &self.scenario.boundary,
+                        &self.active,
+                        v,
+                        &mut rng,
+                    )
+                    .map_err(|e| ServerError::Sim(e.to_string()))?;
+                self.install(outcome.set.active);
+                self.crashed.insert(v.0, snapshot);
+            }
+            Delta::Recover(v) => {
+                let Some(snapshot) = self.crashed.remove(&v.0) else {
+                    return Ok(false);
+                };
+                let outcome = runner
+                    .rejoin(
+                        &self.scenario.graph,
+                        &self.scenario.boundary,
+                        &self.active,
+                        v,
+                        &snapshot,
+                        RejoinPolicy::ReVerify,
+                        &mut rng,
+                    )
+                    .map_err(|e| {
+                        self.crashed.insert(v.0, snapshot.clone());
+                        ServerError::Sim(e.to_string())
+                    })?;
+                self.install(outcome.set.active);
+            }
+        }
+        self.seq += 1;
+        // The active set moved wholesale: invalidate round verdicts (the
+        // fingerprint memo survives and keeps paying off on what-ifs).
+        self.engine.begin_run(self.scenario.graph.node_count());
+        Ok(true)
+    }
+
+    fn install(&mut self, mut active: Vec<NodeId>) {
+        active.sort_unstable();
+        self.active = active;
+    }
+
+    /// Parses a crash/recover script into the deltas it would apply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for unparsable scripts or events other
+    /// than crash/recover (moves, degrades and splits belong to the chaos
+    /// harness, not the serving path).
+    pub fn parse_replay(script: &str) -> Result<Vec<Delta>, ServerError> {
+        let plan =
+            ChaosPlan::parse_script(script).map_err(|e| ServerError::BadRequest(e.to_string()))?;
+        plan.events
+            .iter()
+            .map(|e| match e {
+                ChaosEvent::Crash { node } => Ok(Delta::Crash(*node)),
+                ChaosEvent::Recover { node } => Ok(Delta::Recover(*node)),
+                other => Err(ServerError::BadRequest(format!(
+                    "replay supports crash/recover only, got `{other}`"
+                ))),
+            })
+            .collect()
+    }
+
+    /// Answers a what-if deletion against the live state: is `node` active,
+    /// and is it VPT-deletable (its removal preserves the coverage
+    /// invariants)? Boundary nodes are never deletable. Served through the
+    /// warm engine — repeated and batched what-ifs hit the verdict caches.
+    pub fn what_if(&mut self, node: NodeId) -> Result<(bool, bool), ServerError> {
+        if node.index() >= self.scenario.graph.node_count() {
+            return Err(ServerError::BadRequest(format!(
+                "node {} out of range ({} nodes)",
+                node.0,
+                self.scenario.graph.node_count()
+            )));
+        }
+        let active = self.active.binary_search(&node).is_ok();
+        if !active || self.scenario.boundary[node.index()] {
+            return Ok((active, false));
+        }
+        let mut masked = Masked::all_active(&self.scenario.graph);
+        for v in self.scenario.graph.nodes() {
+            if self.active.binary_search(&v).is_err() {
+                masked.deactivate(v);
+            }
+        }
+        let deletable = !self
+            .engine
+            .deletable_candidates(&masked, &[node])
+            .is_empty();
+        Ok((active, deletable))
+    }
+
+    /// Batched what-if: one engine sweep answers every queried node — this
+    /// is the coalescing win the flat combiner exploits when consecutive
+    /// read requests pile up behind a mutation.
+    pub fn what_if_batch(&mut self, nodes: &[NodeId]) -> Result<Vec<(bool, bool)>, ServerError> {
+        for &node in nodes {
+            if node.index() >= self.scenario.graph.node_count() {
+                return Err(ServerError::BadRequest(format!(
+                    "node {} out of range ({} nodes)",
+                    node.0,
+                    self.scenario.graph.node_count()
+                )));
+            }
+        }
+        let mut masked = Masked::all_active(&self.scenario.graph);
+        for v in self.scenario.graph.nodes() {
+            if self.active.binary_search(&v).is_err() {
+                masked.deactivate(v);
+            }
+        }
+        let mut eligible: Vec<NodeId> = nodes
+            .iter()
+            .copied()
+            .filter(|&v| {
+                self.active.binary_search(&v).is_ok() && !self.scenario.boundary[v.index()]
+            })
+            .collect();
+        eligible.sort_unstable();
+        eligible.dedup();
+        let deletable = self.engine.deletable_candidates(&masked, &eligible);
+        Ok(nodes
+            .iter()
+            .map(|&v| {
+                let active = self.active.binary_search(&v).is_ok();
+                (active, deletable.binary_search(&v).is_ok())
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EpochParams {
+        EpochParams {
+            epoch: 1,
+            nodes: 60,
+            degree_mils: 11_000,
+            seed: 42,
+            tau: 4,
+        }
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = EpochState::load(params()).unwrap();
+        let b = EpochState::load(params()).unwrap();
+        assert_eq!(a.active(), b.active());
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.active().is_empty());
+        assert!(EpochState::load(EpochParams {
+            nodes: 0,
+            ..params()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn deltas_commit_deterministically_and_dupes_are_inert() {
+        let mut a = EpochState::load(params()).unwrap();
+        let mut b = EpochState::load(params()).unwrap();
+        let victim = a.active()[a.active().len() / 2];
+        assert!(a.apply(Delta::Crash(victim)).unwrap());
+        assert!(b.apply(Delta::Crash(victim)).unwrap());
+        assert_eq!(a.digest(), b.digest());
+        // Duplicate crash is inert: no seq bump, no digest change.
+        let before = a.digest();
+        assert!(!a.apply(Delta::Crash(victim)).unwrap());
+        assert_eq!(a.digest(), before);
+        assert_eq!(a.seq(), 1);
+        // Recover brings the node back through re-verification.
+        assert!(a.apply(Delta::Recover(victim)).unwrap());
+        assert!(b.apply(Delta::Recover(victim)).unwrap());
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.apply(Delta::Recover(victim)).unwrap(), "double recover");
+        assert!(a.apply(Delta::Crash(NodeId(u32::MAX))).is_err());
+    }
+
+    #[test]
+    fn what_if_matches_ground_truth_and_batches() {
+        let mut s = EpochState::load(params()).unwrap();
+        let nodes: Vec<NodeId> = s.scenario.graph.nodes().collect();
+        let batch = s.what_if_batch(&nodes).unwrap();
+        for (&v, &(active, deletable)) in nodes.iter().zip(&batch) {
+            assert_eq!((active, deletable), s.what_if(v).unwrap());
+            if deletable {
+                assert!(active, "only active nodes can be deletable");
+            }
+        }
+        // At a schedule fixpoint no active internal node is deletable.
+        for (&v, &(_, deletable)) in nodes.iter().zip(&batch) {
+            if !s.scenario.boundary[v.index()] {
+                assert!(!deletable, "fixpoint node {v:?} reported deletable");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_scripts_parse_to_deltas() {
+        let deltas = EpochState::parse_replay("crash 3; recover 3").unwrap();
+        assert_eq!(
+            deltas,
+            vec![Delta::Crash(NodeId(3)), Delta::Recover(NodeId(3))]
+        );
+        assert!(EpochState::parse_replay("move 3 10 10").is_err());
+        assert!(EpochState::parse_replay("crash 3; garbage").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! End-to-end smoke and crash-recovery acceptance tests: real sockets, real
+//! threads, injected faults.
+//!
+//! The centrepiece is `combiner_crash_restart_reaches_uninterrupted_fixpoint`:
+//! a scripted combiner crash kills the warm state mid-batch (after the state
+//! mutation, before the journal record — the worst tear), the whole server is
+//! shut down, a second server recovers from the journal, the interrupted
+//! workload is replayed, and the final digest must equal the digest of an
+//! uninterrupted in-process run, bit for bit.
+
+use confine_server::state::{Delta, EpochParams, EpochState};
+use confine_server::{serve, Client, ClientConfig, Request, Response, ServerConfig, ServerError};
+
+fn params() -> EpochParams {
+    EpochParams {
+        epoch: 1,
+        nodes: 60,
+        degree_mils: 11_000,
+        seed: 42,
+        tau: 4,
+    }
+}
+
+fn load_request() -> Request {
+    let p = params();
+    Request::LoadEpoch {
+        epoch: p.epoch,
+        nodes: p.nodes,
+        degree_mils: p.degree_mils,
+        seed: p.seed,
+        tau: p.tau,
+    }
+}
+
+fn temp_journal(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "confine-smoke-{tag}-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn client_for(addr: std::net::SocketAddr) -> Client {
+    Client::new(
+        addr.to_string(),
+        ClientConfig {
+            deadline_ms: 30_000,
+            retries: 2,
+            backoff_base_ms: 5,
+            seed: 7,
+        },
+    )
+}
+
+#[test]
+fn socket_round_trip_serves_all_request_kinds() {
+    let journal = temp_journal("roundtrip");
+    let handle = serve(ServerConfig::ephemeral(&journal)).expect("serve");
+    let mut client = client_for(handle.addr());
+
+    let Response::Committed { active, digest, .. } =
+        client.call(load_request()).expect("load transport")
+    else {
+        panic!("load did not commit");
+    };
+    assert!(active > 0);
+
+    // Reference state tells us which nodes are real.
+    let reference = EpochState::load(params()).expect("reference load");
+    assert_eq!(reference.digest(), digest, "server state matches local");
+    let victim = reference.active()[reference.active().len() / 2];
+
+    // What-if at a fixpoint: active, not deletable, not degraded.
+    let Response::WhatIf {
+        active: a,
+        deletable,
+        degraded,
+        ..
+    } = client
+        .call(Request::WhatIf { node: victim.0 })
+        .expect("what-if transport")
+    else {
+        panic!("what-if did not answer");
+    };
+    assert!(a && !deletable && degraded.is_none());
+
+    // Crash, recover via replay script, check status.
+    let Response::Committed { seq, .. } = client
+        .call(Request::Crash { node: victim.0 })
+        .expect("crash transport")
+    else {
+        panic!("crash did not commit");
+    };
+    assert_eq!(seq, 1);
+    let Response::Committed { seq, .. } = client
+        .call(Request::Replay {
+            script: format!("recover {}", victim.0),
+        })
+        .expect("replay transport")
+    else {
+        panic!("replay did not commit");
+    };
+    assert_eq!(seq, 2);
+
+    let Response::Status(status) = client.call(Request::Status).expect("status transport") else {
+        panic!("status did not answer");
+    };
+    assert_eq!(status.seq, 2);
+    assert_eq!(status.epoch, 1);
+
+    // Malformed node → typed error, connection stays usable.
+    let resp = client
+        .call(Request::Crash { node: 9_999 })
+        .expect("bad-node transport");
+    assert!(matches!(resp, Response::Error(ServerError::BadRequest(_))));
+    assert!(matches!(
+        client.call(Request::Status).expect("status again"),
+        Response::Status(_)
+    ));
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn combiner_crash_restart_reaches_uninterrupted_fixpoint() {
+    let journal = temp_journal("recovery");
+
+    // The uninterrupted reference run, fully in process.
+    let mut reference = EpochState::load(params()).expect("reference load");
+    let a = reference.active()[reference.active().len() / 3];
+    assert!(reference.apply(Delta::Crash(a)).expect("crash a"));
+    let digest_after_a = reference.digest();
+    let b = reference.active()[2 * reference.active().len() / 3];
+    assert_ne!(a, b);
+    assert!(reference.apply(Delta::Crash(b)).expect("crash b"));
+    assert!(reference.apply(Delta::Recover(a)).expect("recover a"));
+    let reference_digest = reference.digest();
+
+    // Server one: scripted to crash its combiner on the third commit —
+    // the `crash b` mutation dies after mutating, before journaling.
+    let mut config = ServerConfig::ephemeral(&journal);
+    config.core.faults.crash_after_commits = Some(3);
+    let handle = serve(config).expect("serve one");
+    let mut client = Client::new(
+        handle.addr().to_string(),
+        ClientConfig {
+            deadline_ms: 30_000,
+            retries: 0, // observe the crash rather than retrying past it
+            backoff_base_ms: 5,
+            seed: 7,
+        },
+    );
+    assert!(matches!(
+        client.call(load_request()).expect("load transport"),
+        Response::Committed { .. }
+    ));
+    assert!(matches!(
+        client.call(Request::Crash { node: a.0 }).expect("crash a"),
+        Response::Committed { seq: 1, .. }
+    ));
+    assert!(matches!(
+        client.call(Request::Crash { node: b.0 }).expect("crash b"),
+        Response::Error(ServerError::CombinerCrashed)
+    ));
+    // Kill the daemon entirely: warm state is gone for good.
+    handle.shutdown();
+
+    // Server two: same journal, no faults. Recovery happens at startup.
+    let handle = serve(ServerConfig::ephemeral(&journal)).expect("serve two");
+    let mut client = client_for(handle.addr());
+    let Response::Status(status) = client.call(Request::Status).expect("status transport") else {
+        panic!("status did not answer");
+    };
+    assert_eq!(
+        status.digest, digest_after_a,
+        "restart recovered exactly the journaled prefix"
+    );
+    assert_eq!(status.seq, 1);
+    assert!(status.recoveries >= 1, "recovery was counted");
+
+    // Replay the interrupted workload; the fixpoint must be bitwise the
+    // uninterrupted run's.
+    assert!(matches!(
+        client.call(Request::Crash { node: b.0 }).expect("crash b"),
+        Response::Committed { seq: 2, .. }
+    ));
+    let Response::Committed {
+        seq,
+        digest,
+        active,
+        ..
+    } = client
+        .call(Request::Recover { node: a.0 })
+        .expect("recover a")
+    else {
+        panic!("recover did not commit");
+    };
+    assert_eq!(seq, 3);
+    assert_eq!(active, reference.active().len());
+    assert_eq!(
+        digest, reference_digest,
+        "recovered run diverged from the uninterrupted run"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn client_retries_ride_out_request_drops() {
+    let journal = temp_journal("drops");
+    let mut config = ServerConfig::ephemeral(&journal);
+    // Drop one request in five, deterministically.
+    config.core.faults.seed = 11;
+    config.core.faults.drop_pct = 20;
+    let handle = serve(config).expect("serve");
+    let mut client = Client::new(
+        handle.addr().to_string(),
+        ClientConfig {
+            deadline_ms: 300, // small read budget so drops are cheap to ride out
+            retries: 5,
+            backoff_base_ms: 2,
+            seed: 3,
+        },
+    );
+    for _ in 0..10 {
+        assert!(matches!(
+            client.call(Request::Status).expect("status transport"),
+            Response::Status(_)
+        ));
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn duplicated_mutations_replay_inert() {
+    let journal = temp_journal("dup");
+    let mut config = ServerConfig::ephemeral(&journal);
+    // Duplicate every request: each mutation is submitted twice server-side.
+    config.core.faults.dup_pct = 100;
+    let handle = serve(config).expect("serve");
+    let mut client = client_for(handle.addr());
+
+    assert!(matches!(
+        client.call(load_request()).expect("load transport"),
+        Response::Committed { .. }
+    ));
+    let reference = EpochState::load(params()).expect("reference load");
+    let victim = reference.active()[reference.active().len() / 2];
+    let Response::Committed { seq, .. } = client
+        .call(Request::Crash { node: victim.0 })
+        .expect("crash transport")
+    else {
+        panic!("crash did not commit");
+    };
+    // The duplicate submission was inert: one commit, not two.
+    assert_eq!(seq, 1);
+    let Response::Status(status) = client.call(Request::Status).expect("status transport") else {
+        panic!("status did not answer");
+    };
+    assert_eq!(status.seq, 1);
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
