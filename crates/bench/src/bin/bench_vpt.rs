@@ -1,15 +1,16 @@
 //! `BENCH_vpt.json` emitter — the VPT-engine acceptance benchmark.
 //!
-//! Schedules 800- to 25600-node quasi-UDG scenarios up to three times per
+//! Schedules 800- to 102400-node quasi-UDG scenarios up to four times per
 //! scale: with the sequential-uncached discipline
 //! (`DeletionOrder::Sequential`, one deletion per round, full candidate
 //! re-evaluation, no engine), with the seed MIS-parallel scheduler
-//! (`reference_schedule`, uncached), and through the parallel, memoizing
-//! [`VptEngine`] behind `Dcc::builder`. The engine's coverage set is
-//! asserted bitwise identical to the seed scheduler's, and all timings plus
-//! engine statistics land in the JSON. Above 5000 nodes the
-//! quadratic-in-deletions sequential baseline is skipped (`null` in the
-//! JSON) — the MIS-uncached reference remains the comparison point there.
+//! (`reference_schedule`, uncached), through the flat parallel, memoizing
+//! [`VptEngine`] behind `Dcc::builder`, and through the region-sharded
+//! engine (`Dcc::builder(..).region_assignment(..)`, one worker engine per
+//! geometric grid region). Every co-run pair of legs is asserted bitwise
+//! identical — VPT verdicts are pure functions of the punctured view, so
+//! any divergence is an engine bug, not noise. All timings plus engine
+//! statistics land in the JSON.
 //!
 //! ```text
 //! cargo run --release -p confine-bench --bin bench_vpt -- --out results/BENCH_vpt.json
@@ -18,11 +19,16 @@
 //!
 //! The acceptance bar is a ≥ 3× speedup of the engine path over the
 //! reference on the 1600-node scenario at τ = 6. Scales are overridable as
-//! `--scales 800:6,1600:6,3200:4,25600:4` (`nodes:tau` pairs); larger runs
-//! use τ = 4 by default to keep the uncached baseline's runtime sane.
-//! `--smoke` shrinks the run to one 400-node scale for CI: it writes no
-//! JSON and exists purely to trip the bitwise identity assertion (a
-//! non-zero exit) on any engine/scheduler divergence.
+//! `--scales 800:6,1600:6,3200:4,25600:4,102400:4` (`nodes:tau` pairs);
+//! larger runs use τ = 4 by default to keep the uncached baseline's
+//! runtime sane. Above 5000 nodes the quadratic-in-deletions sequential
+//! baseline is skipped (`null` in the JSON); above 30000 nodes the
+//! MIS-uncached reference is skipped too and the flat cached engine is the
+//! identity anchor for the sharded leg. A region-count × thread-count
+//! scaling grid at one mid scale rides along in `sharded_scaling`.
+//! `--smoke` shrinks the run to one 400-node scale (flat + 4-region
+//! sharded) for CI: it writes no JSON and exists purely to trip the
+//! bitwise identity assertions (a non-zero exit) on any divergence.
 
 use std::time::Instant;
 
@@ -31,7 +37,7 @@ use rand::SeedableRng;
 
 use confine_bench::args::Args;
 use confine_bench::rule;
-use confine_core::prelude::{Dcc, DeletionOrder, EngineStats};
+use confine_core::prelude::{CoverageSet, Dcc, DeletionOrder, EngineStats};
 use confine_core::schedule::reference_schedule;
 use confine_deploy::deployment::{self, square_side_for_degree};
 use confine_deploy::scenario::scenario_from_deployment;
@@ -49,11 +55,18 @@ struct Row {
     /// re-evaluation is quadratic in the deletion count.
     seq_ms: Option<f64>,
     /// `DeletionOrder::MisParallel` through `reference_schedule` (uncached):
-    /// the seed scheduler this engine must reproduce bitwise.
-    mis_ms: f64,
-    /// `DeletionOrder::MisParallel` through the parallel, memoizing engine.
+    /// the seed scheduler the engines must reproduce bitwise. `None` above
+    /// [`MIS_REFERENCE_MAX_NODES`].
+    mis_ms: Option<f64>,
+    /// `DeletionOrder::MisParallel` through the flat parallel, memoizing
+    /// engine.
     engine_ms: f64,
+    /// The same schedule through the region-sharded engine.
+    sharded_ms: f64,
+    /// Geometric grid regions the sharded leg ran with.
+    regions: usize,
     stats: EngineStats,
+    sharded_stats: EngineStats,
 }
 
 /// Largest scale the sequential-uncached baseline still runs at; beyond it
@@ -61,13 +74,21 @@ struct Row {
 /// MIS-uncached reference instead.
 const SEQ_BASELINE_MAX_NODES: usize = 5000;
 
+/// Largest scale the MIS-uncached reference still runs at; beyond it the
+/// flat cached engine anchors the sharded identity assert.
+const MIS_REFERENCE_MAX_NODES: usize = 30_000;
+
 impl Row {
     fn speedup(&self) -> Option<f64> {
         self.seq_ms.map(|seq| seq / self.engine_ms.max(1e-9))
     }
 
-    fn same_order_ratio(&self) -> f64 {
-        self.mis_ms / self.engine_ms.max(1e-9)
+    fn same_order_ratio(&self) -> Option<f64> {
+        self.mis_ms.map(|mis| mis / self.engine_ms.max(1e-9))
+    }
+
+    fn sharded_ratio(&self) -> f64 {
+        self.engine_ms / self.sharded_ms.max(1e-9)
     }
 }
 
@@ -85,6 +106,39 @@ fn quasi_udg(nodes: usize, degree: f64, seed: u64) -> Scenario {
         },
         &mut rng,
     )
+}
+
+/// Regions for the sharded leg at a given scale: 4 up to mid scales, 8
+/// once the deployment is large enough that per-region balls stop
+/// overlapping heavily.
+fn regions_for(nodes: usize) -> usize {
+    if nodes >= 50_000 {
+        8
+    } else {
+        4
+    }
+}
+
+/// Runs the sharded leg once and returns (coverage set, elapsed ms, stats).
+fn run_sharded(
+    scenario: &Scenario,
+    tau: usize,
+    regions: usize,
+    region_threads: usize,
+    seed: u64,
+) -> (CoverageSet, f64, EngineStats) {
+    let mut runner = Dcc::builder(tau)
+        .region_assignment(scenario.grid_regions(regions))
+        .region_threads(region_threads)
+        .centralized()
+        .expect("valid tau");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let set = runner
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("valid inputs");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (set, ms, runner.engine_stats())
 }
 
 fn bench_scale(nodes: usize, tau: usize, degree: f64, seed: u64) -> Row {
@@ -107,17 +161,19 @@ fn bench_scale(nodes: usize, tau: usize, degree: f64, seed: u64) -> Row {
         start.elapsed().as_secs_f64() * 1e3
     });
 
-    let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(seed + 1);
-    let reference = reference_schedule(
-        &scenario.graph,
-        &scenario.boundary,
-        tau,
-        DeletionOrder::MisParallel,
-        &mut rng,
-    )
-    .expect("valid inputs");
-    let mis_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reference = (nodes <= MIS_REFERENCE_MAX_NODES).then(|| {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let set = reference_schedule(
+            &scenario.graph,
+            &scenario.boundary,
+            tau,
+            DeletionOrder::MisParallel,
+            &mut rng,
+        )
+        .expect("valid inputs");
+        (set, start.elapsed().as_secs_f64() * 1e3)
+    });
 
     let mut runner = Dcc::builder(tau).centralized().expect("valid tau");
     let start = Instant::now();
@@ -127,9 +183,22 @@ fn bench_scale(nodes: usize, tau: usize, degree: f64, seed: u64) -> Row {
         .expect("valid inputs");
     let engine_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    if let Some((ref reference_set, _)) = reference {
+        assert_eq!(
+            reference_set.active, engine_set.active,
+            "n = {nodes}, τ = {tau}: engine coverage set diverged from the seed scheduler"
+        );
+    }
+
+    let regions = regions_for(nodes);
+    let (sharded_set, sharded_ms, sharded_stats) = run_sharded(&scenario, tau, regions, 0, seed);
     assert_eq!(
-        reference.active, engine_set.active,
-        "n = {nodes}, τ = {tau}: engine coverage set diverged from the seed scheduler"
+        engine_set.active, sharded_set.active,
+        "n = {nodes}, τ = {tau}, regions = {regions}: sharded coverage set diverged from the flat engine"
+    );
+    assert_eq!(
+        engine_set.deleted, sharded_set.deleted,
+        "n = {nodes}, τ = {tau}, regions = {regions}: sharded deletion order diverged from the flat engine"
     );
 
     Row {
@@ -138,10 +207,49 @@ fn bench_scale(nodes: usize, tau: usize, degree: f64, seed: u64) -> Row {
         edges: scenario.graph.edge_count(),
         active: engine_set.active_count(),
         seq_ms,
-        mis_ms,
+        mis_ms: reference.map(|(_, ms)| ms),
         engine_ms,
+        sharded_ms,
+        regions,
         stats: runner.engine_stats(),
+        sharded_stats,
     }
+}
+
+/// One cell of the region-count × thread-count scaling grid.
+struct ScalingCell {
+    regions: usize,
+    region_threads: usize,
+    ms: f64,
+}
+
+/// Sweeps regions × region-threads on one mid-scale scenario, asserting
+/// every configuration against the flat engine's coverage set.
+fn scaling_grid(nodes: usize, tau: usize, degree: f64, seed: u64) -> Vec<ScalingCell> {
+    let scenario = quasi_udg(nodes, degree, seed);
+    let mut runner = Dcc::builder(tau).centralized().expect("valid tau");
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let flat = runner
+        .run(&scenario.graph, &scenario.boundary, &mut rng)
+        .expect("valid inputs");
+
+    let mut cells = Vec::new();
+    for regions in [2usize, 4, 8] {
+        for region_threads in [1usize, 2, 4] {
+            let (set, ms, _) = run_sharded(&scenario, tau, regions, region_threads, seed);
+            assert_eq!(
+                flat.active, set.active,
+                "scaling grid n = {nodes}, regions = {regions}, threads = {region_threads}: diverged"
+            );
+            println!("  regions {regions} × threads {region_threads}: {ms:>10.1} ms");
+            cells.push(ScalingCell {
+                regions,
+                region_threads,
+                ms,
+            });
+        }
+    }
+    cells
 }
 
 fn parse_scales(spec: &str) -> Vec<(usize, usize)> {
@@ -159,14 +267,34 @@ fn parse_scales(spec: &str) -> Vec<(usize, usize)> {
         .collect()
 }
 
-fn to_json(rows: &[Row], degree: f64, seed: u64) -> String {
+fn push_stats(out: &mut String, key: &str, stats: &EngineStats, last: bool) {
+    out.push_str(&format!("      \"{key}\": {{\n"));
+    out.push_str(&format!(
+        "        \"evaluations\": {},\n",
+        stats.evaluations
+    ));
+    out.push_str(&format!("        \"round_hits\": {},\n", stats.round_hits));
+    out.push_str(&format!("        \"memo_hits\": {},\n", stats.memo_hits));
+    out.push_str(&format!(
+        "        \"invalidations\": {}\n",
+        stats.invalidations
+    ));
+    out.push_str(if last { "      }\n" } else { "      },\n" });
+}
+
+fn to_json(
+    rows: &[Row],
+    grid: &[(usize, usize, Vec<ScalingCell>)],
+    degree: f64,
+    seed: u64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"vpt_engine\",\n");
     out.push_str(
-        "  \"comparison\": \"sequential-uncached DCC scheduling (DeletionOrder::Sequential, no engine) vs parallel-cached VptEngine (DeletionOrder::MisParallel, Dcc::builder)\",\n",
+        "  \"comparison\": \"sequential-uncached DCC scheduling (DeletionOrder::Sequential, no engine) vs parallel-cached VptEngine vs region-sharded engine (Dcc::builder, grid assignment)\",\n",
     );
     out.push_str(
-        "  \"identity_check\": \"parallel-cached coverage set asserted bitwise-equal to the seed MIS-parallel scheduler (reference_schedule) per scale\",\n",
+        "  \"identity_check\": \"per scale, every co-run leg asserted bitwise-equal: seed MIS-parallel scheduler (reference_schedule, up to 30000 nodes), flat cached engine, sharded engine\",\n",
     );
     out.push_str("  \"topology\": \"quasi-UDG r_in=0.6 rc=1.0 p_mid=0.6, uniform deployment\",\n");
     out.push_str(&format!("  \"degree_target\": {degree},\n"));
@@ -183,38 +311,54 @@ fn to_json(rows: &[Row], degree: f64, seed: u64) -> String {
             Some(ms) => format!("      \"sequential_uncached_ms\": {ms:.1},\n"),
             None => "      \"sequential_uncached_ms\": null,\n".to_string(),
         });
-        out.push_str(&format!(
-            "      \"mis_parallel_uncached_ms\": {:.1},\n",
-            r.mis_ms
-        ));
+        out.push_str(&match r.mis_ms {
+            Some(ms) => format!("      \"mis_parallel_uncached_ms\": {ms:.1},\n"),
+            None => "      \"mis_parallel_uncached_ms\": null,\n".to_string(),
+        });
         out.push_str(&format!(
             "      \"parallel_cached_ms\": {:.1},\n",
             r.engine_ms
         ));
+        out.push_str(&format!("      \"sharded_ms\": {:.1},\n", r.sharded_ms));
+        out.push_str(&format!("      \"regions\": {},\n", r.regions));
         out.push_str(&match r.speedup() {
             Some(x) => format!("      \"speedup\": {x:.2},\n"),
             None => "      \"speedup\": null,\n".to_string(),
         });
+        out.push_str(&match r.same_order_ratio() {
+            Some(x) => format!("      \"same_order_ratio\": {x:.2},\n"),
+            None => "      \"same_order_ratio\": null,\n".to_string(),
+        });
         out.push_str(&format!(
-            "      \"same_order_ratio\": {:.2},\n",
-            r.same_order_ratio()
+            "      \"sharded_vs_flat\": {:.2},\n",
+            r.sharded_ratio()
         ));
-        out.push_str("      \"engine_stats\": {\n");
-        out.push_str(&format!(
-            "        \"evaluations\": {},\n",
-            r.stats.evaluations
-        ));
-        out.push_str(&format!(
-            "        \"round_hits\": {},\n",
-            r.stats.round_hits
-        ));
-        out.push_str(&format!("        \"memo_hits\": {},\n", r.stats.memo_hits));
-        out.push_str(&format!(
-            "        \"invalidations\": {}\n",
-            r.stats.invalidations
-        ));
-        out.push_str("      }\n");
+        push_stats(&mut out, "engine_stats", &r.stats, false);
+        push_stats(&mut out, "sharded_stats", &r.sharded_stats, true);
         out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded_scaling\": [\n");
+    for (gi, (nodes, tau, cells)) in grid.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"nodes\": {nodes},\n"));
+        out.push_str(&format!("      \"tau\": {tau},\n"));
+        out.push_str("      \"grid\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"regions\": {}, \"region_threads\": {}, \"ms\": {:.1} }}{}\n",
+                c.regions,
+                c.region_threads,
+                c.ms,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if gi + 1 == grid.len() {
             "    }\n"
         } else {
             "    },\n"
@@ -234,15 +378,23 @@ fn main() {
     let default_scales = if smoke {
         "400:4"
     } else {
-        "800:6,1600:6,3200:4,25600:4"
+        "800:6,1600:6,3200:4,25600:4,102400:4"
     };
     let scales = parse_scales(&args.get_str("scales", default_scales));
 
-    println!("VPT engine benchmark — sequential-uncached vs parallel-cached");
-    rule(78);
+    println!("VPT engine benchmark — uncached vs flat-cached vs region-sharded");
+    rule(92);
     println!(
-        "{:>7} {:>4} {:>8} {:>8} {:>12} {:>12} {:>12} {:>9}",
-        "nodes", "τ", "edges", "active", "seq (ms)", "mis (ms)", "engine (ms)", "speedup"
+        "{:>7} {:>4} {:>8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "nodes",
+        "τ",
+        "edges",
+        "active",
+        "seq (ms)",
+        "mis (ms)",
+        "engine (ms)",
+        "shard (ms)",
+        "speedup"
     );
 
     let mut rows = Vec::new();
@@ -251,19 +403,30 @@ fn main() {
         let seq = row
             .seq_ms
             .map_or("skipped".to_string(), |ms| format!("{ms:.1}"));
+        let mis = row
+            .mis_ms
+            .map_or("skipped".to_string(), |ms| format!("{ms:.1}"));
         let speedup = row
             .speedup()
             .map_or("—".to_string(), |x| format!("{x:.2}×"));
         println!(
-            "{:>7} {:>4} {:>8} {:>8} {:>12} {:>12.1} {:>12.1} {:>9}",
-            row.nodes, row.tau, row.edges, row.active, seq, row.mis_ms, row.engine_ms, speedup
+            "{:>7} {:>4} {:>8} {:>8} {:>12} {:>12} {:>12.1} {:>12.1} {:>9}",
+            row.nodes,
+            row.tau,
+            row.edges,
+            row.active,
+            seq,
+            mis,
+            row.engine_ms,
+            row.sharded_ms,
+            speedup
         );
         rows.push(row);
     }
-    rule(78);
+    rule(92);
 
     if smoke {
-        println!("smoke: coverage sets identical across engines — PASS");
+        println!("smoke: coverage sets identical across engines (flat + sharded) — PASS");
         return;
     }
 
@@ -280,7 +443,10 @@ fn main() {
         );
     }
 
-    let json = to_json(&rows, degree, seed);
+    println!("region × thread scaling grid (12800 nodes, τ = 4):");
+    let grid = vec![(12800usize, 4usize, scaling_grid(12800, 4, degree, seed))];
+
+    let json = to_json(&rows, &grid, degree, seed);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
 }

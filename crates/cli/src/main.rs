@@ -135,19 +135,28 @@ commands:
 engine options (schedule, fault-sweep, chaos, churn):
   --threads N   VPT evaluation threads (0 = all cores, the default;
                 chaos defaults to 1 — replay is identical either way)
-  --no-cache    disable the neighbourhood-fingerprint verdict memo";
+  --no-cache    disable the neighbourhood-fingerprint verdict memo
+  --regions R   shard evaluation across R spatial regions (0/1 = flat
+                single-engine path, the default); output is bitwise
+                identical to the flat engine at any R
+  --region-threads N
+                worker threads per region when sharded (0 = divide the
+                machine's cores across the regions, the default)";
 
-/// Parses the CLI's uniform engine options — `--threads N` and
-/// `--no-cache` — into an [`EngineConfig`].
+/// Parses the CLI's uniform engine options — `--threads N`, `--no-cache`,
+/// `--regions R` and `--region-threads N` — into an [`EngineConfig`].
 fn engine_config(opts: &Opts, default_threads: usize) -> Result<EngineConfig, String> {
     Ok(EngineConfig::builder()
         .threads(opts.usize("threads", default_threads)?)
         .cache(!opts.flag("no-cache"))
+        .regions(opts.usize("regions", 0)?)
+        .region_threads(opts.usize("region-threads", 0)?)
         .build())
 }
 
 /// Seeds a [`Dcc`] builder from the CLI's uniform engine options:
-/// `--threads N` (0 = auto) and `--no-cache`.
+/// `--threads N` (0 = auto), `--no-cache`, `--regions R` and
+/// `--region-threads N`.
 fn dcc_builder(tau: usize, opts: &Opts) -> Result<DccBuilder, String> {
     Ok(Dcc::builder(tau).engine_config(engine_config(opts, 0)?))
 }

@@ -34,6 +34,7 @@
 
 use std::fmt;
 
+use confine_graph::partition::RegionAssignment;
 use confine_graph::{Graph, NodeId};
 use confine_netsim::faults::FaultPlan;
 use confine_netsim::{LinkModel, SimError};
@@ -43,7 +44,8 @@ use crate::distributed::{DistributedDcc, DistributedStats};
 use crate::incremental::IncrementalDcc;
 use crate::repair::{CoverageRepair, ReconcileOutcome, RejoinOutcome, RejoinPolicy, RepairOutcome};
 use crate::schedule::{run_schedule, CoverageSet, DeletionOrder};
-use crate::vpt_engine::{EngineConfig, EngineStats, VptEngine};
+use crate::sharded::{AnyEngine, SweepEngine};
+use crate::vpt_engine::{EngineConfig, EngineStats};
 
 type BiasFn = Box<dyn Fn(NodeId) -> f64 + Send + Sync>;
 
@@ -69,6 +71,7 @@ impl Dcc {
             heartbeat_timeout: crate::config::DEFAULT_HEARTBEAT_TIMEOUT,
             comm_range: 1.0,
             bias: None,
+            region_assignment: None,
         }
     }
 }
@@ -88,6 +91,7 @@ pub struct DccBuilder {
     heartbeat_timeout: usize,
     comm_range: f64,
     bias: Option<BiasFn>,
+    region_assignment: Option<RegionAssignment>,
 }
 
 impl fmt::Debug for DccBuilder {
@@ -104,6 +108,7 @@ impl fmt::Debug for DccBuilder {
             .field("heartbeat_timeout", &self.heartbeat_timeout)
             .field("comm_range", &self.comm_range)
             .field("bias", &self.bias.is_some())
+            .field("region_assignment", &self.region_assignment.is_some())
             .finish()
     }
 }
@@ -133,6 +138,31 @@ impl DccBuilder {
     /// Replaces the whole engine configuration.
     pub fn engine_config(mut self, config: EngineConfig) -> Self {
         self.engine = config;
+        self
+    }
+
+    /// Shards evaluation across `regions` spatial regions (`0` or `1`, the
+    /// default, keeps the flat single-engine path). Without an explicit
+    /// [`DccBuilder::region_assignment`], each run partitions its view by
+    /// deterministic BFS stripes.
+    pub fn regions(mut self, regions: usize) -> Self {
+        self.engine.regions = regions;
+        self
+    }
+
+    /// Worker threads per region for the sharded path; `0` (the default)
+    /// divides the machine's available parallelism across the regions.
+    pub fn region_threads(mut self, region_threads: usize) -> Self {
+        self.engine.region_threads = region_threads;
+        self
+    }
+
+    /// Pins the sharded engine to a caller-computed region assignment
+    /// (e.g. `confine_deploy::partition::grid_assignment`); implies
+    /// sharding with the assignment's region count.
+    pub fn region_assignment(mut self, assignment: RegionAssignment) -> Self {
+        self.engine.regions = assignment.regions();
+        self.region_assignment = Some(assignment);
         self
     }
 
@@ -209,13 +239,24 @@ impl DccBuilder {
         Ok(())
     }
 
+    fn make_engine(
+        tau: usize,
+        config: EngineConfig,
+        assignment: Option<RegionAssignment>,
+    ) -> AnyEngine {
+        match assignment {
+            Some(a) => AnyEngine::with_assignment(tau, config, a),
+            None => AnyEngine::from_config(tau, config),
+        }
+    }
+
     /// Finishes into the centralized scheduler (the paper's reference
     /// algorithm, engine-accelerated).
     pub fn centralized(self) -> Result<CentralizedRunner, SimError> {
         self.check_tau()?;
         Ok(CentralizedRunner {
             order: self.order,
-            engine: VptEngine::new(self.tau, self.engine),
+            engine: Self::make_engine(self.tau, self.engine, self.region_assignment),
             bias: self.bias,
         })
     }
@@ -232,7 +273,7 @@ impl DccBuilder {
                 self.discovery_repeats,
                 self.retry_budget,
             ),
-            engine: VptEngine::new(self.tau, self.engine),
+            engine: Self::make_engine(self.tau, self.engine, self.region_assignment),
         })
     }
 
@@ -241,7 +282,7 @@ impl DccBuilder {
         self.check_tau()?;
         Ok(IncrementalRunner {
             inner: IncrementalDcc::from_builder(self.tau, self.round_limit),
-            engine: VptEngine::new(self.tau, self.engine),
+            engine: Self::make_engine(self.tau, self.engine, self.region_assignment),
         })
     }
 
@@ -259,7 +300,7 @@ impl DccBuilder {
                 self.comm_range,
                 self.faults.unwrap_or_default(),
             ),
-            engine: VptEngine::new(self.tau, self.engine),
+            engine: Self::make_engine(self.tau, self.engine, self.region_assignment),
         })
     }
 }
@@ -272,7 +313,7 @@ impl DccBuilder {
 /// re-running the Horton elimination.
 pub struct CentralizedRunner {
     order: DeletionOrder,
-    engine: VptEngine,
+    engine: AnyEngine,
     bias: Option<BiasFn>,
 }
 
@@ -323,7 +364,7 @@ impl CentralizedRunner {
         )
     }
 
-    /// Counters of the underlying [`VptEngine`].
+    /// Counters of the underlying engine (flat or sharded).
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
     }
@@ -333,7 +374,7 @@ impl CentralizedRunner {
 #[derive(Debug)]
 pub struct DistributedRunner {
     inner: DistributedDcc,
-    engine: VptEngine,
+    engine: AnyEngine,
 }
 
 impl DistributedRunner {
@@ -349,7 +390,7 @@ impl DistributedRunner {
             .run_with_engine(graph, boundary, &mut self.engine, rng)
     }
 
-    /// Counters of the underlying [`VptEngine`].
+    /// Counters of the underlying engine (flat or sharded).
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
     }
@@ -359,7 +400,7 @@ impl DistributedRunner {
 #[derive(Debug)]
 pub struct IncrementalRunner {
     inner: IncrementalDcc,
-    engine: VptEngine,
+    engine: AnyEngine,
 }
 
 impl IncrementalRunner {
@@ -375,7 +416,7 @@ impl IncrementalRunner {
             .run_with_engine(graph, boundary, &mut self.engine, rng)
     }
 
-    /// Counters of the underlying [`VptEngine`].
+    /// Counters of the underlying engine (flat or sharded).
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
     }
@@ -385,7 +426,7 @@ impl IncrementalRunner {
 #[derive(Debug)]
 pub struct RepairRunner {
     inner: CoverageRepair,
-    engine: VptEngine,
+    engine: AnyEngine,
 }
 
 impl RepairRunner {
@@ -444,7 +485,7 @@ impl RepairRunner {
             .reconcile_with_engine(graph, boundary, active, dirty, &mut self.engine, rng)
     }
 
-    /// Counters of the underlying [`VptEngine`].
+    /// Counters of the underlying engine (flat or sharded).
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
     }

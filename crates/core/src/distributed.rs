@@ -41,6 +41,7 @@ use confine_netsim::{Engine, LinkModel, RunStats, SimError};
 use rand::Rng;
 
 use crate::schedule::CoverageSet;
+use crate::sharded::SweepEngine;
 use crate::vpt::{independence_radius, neighborhood_radius};
 use crate::vpt_engine::{EngineConfig, EvalJob, VptEngine};
 
@@ -188,11 +189,11 @@ impl DistributedDcc {
     /// [`DistributedDcc::run`] with a caller-owned [`VptEngine`] whose
     /// fingerprint memo persists across runs (the [`crate::dcc`] runner
     /// path).
-    pub(crate) fn run_with_engine<R: Rng>(
+    pub(crate) fn run_with_engine<R: Rng, E: SweepEngine>(
         &self,
         graph: &Graph,
         boundary: &[bool],
-        vpt: &mut VptEngine,
+        vpt: &mut E,
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
         if boundary.len() != graph.node_count() {
@@ -346,11 +347,11 @@ impl DistributedDcc {
 /// Evaluates the VPT verdict of every active non-boundary node from its
 /// discovered punctured graph, skipping nodes in `skip` (crashed mid-phase).
 /// Evaluation goes through the engine's memoizing, fanning-out job path.
-pub(crate) fn local_verdicts<F>(
+pub(crate) fn local_verdicts<F, E: SweepEngine>(
     masked: &Masked<'_>,
     boundary: &[bool],
     skip: &[NodeId],
-    engine: &mut VptEngine,
+    engine: &mut E,
     mut punctured: F,
 ) -> (Vec<bool>, bool)
 where

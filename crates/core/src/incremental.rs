@@ -29,6 +29,7 @@ use rand::Rng;
 
 use crate::distributed::DistributedStats;
 use crate::schedule::CoverageSet;
+use crate::sharded::SweepEngine;
 use crate::vpt::{independence_radius, neighborhood_radius};
 use crate::vpt_engine::{EngineConfig, EvalJob, VptEngine};
 
@@ -219,11 +220,11 @@ impl IncrementalDcc {
     /// [`IncrementalDcc::run`] with a caller-owned [`VptEngine`] whose
     /// fingerprint memo persists across runs (the [`crate::dcc`] runner
     /// path).
-    pub(crate) fn run_with_engine<R: Rng>(
+    pub(crate) fn run_with_engine<R: Rng, E: SweepEngine>(
         &self,
         graph: &Graph,
         boundary: &[bool],
-        vpt: &mut VptEngine,
+        vpt: &mut E,
         rng: &mut R,
     ) -> Result<(CoverageSet, DistributedStats), SimError> {
         if boundary.len() != graph.node_count() {

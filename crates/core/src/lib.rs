@@ -79,6 +79,7 @@ pub mod moebius;
 pub mod prelude;
 pub mod repair;
 pub mod schedule;
+pub mod sharded;
 pub mod verify;
 pub mod vpt;
 pub mod vpt_engine;
@@ -86,6 +87,7 @@ pub mod vpt_engine;
 pub use config::{ConfineConfig, Guarantee};
 pub use dcc::{Dcc, DccBuilder};
 pub use schedule::{CoverageSet, DeletionOrder};
+pub use sharded::{AnyEngine, ShardedEngine, SweepEngine};
 pub use vpt_engine::{
     EngineConfig, EngineConfigBuilder, EngineSnapshot, EngineStats, SnapshotError, VerdictBits,
     VptEngine,

@@ -16,6 +16,7 @@ pub use crate::dcc::{
 pub use crate::distributed::DistributedStats;
 pub use crate::repair::{ReconcileOutcome, RejoinOutcome, RejoinPolicy, RepairOutcome};
 pub use crate::schedule::{CoverageSet, DeletionOrder};
+pub use crate::sharded::{AnyEngine, ShardedEngine, SweepEngine};
 pub use crate::vpt_engine::{
     EngineConfig, EngineConfigBuilder, EngineSnapshot, EngineStats, SnapshotError, VerdictBits,
     VptEngine,

@@ -39,6 +39,7 @@ use rand::Rng;
 
 use crate::distributed::DistributedStats;
 use crate::schedule::CoverageSet;
+use crate::sharded::SweepEngine;
 use crate::vpt::{independence_radius, neighborhood_radius};
 use crate::vpt_engine::{EngineConfig, EvalJob, VptEngine};
 
@@ -193,13 +194,13 @@ impl CoverageRepair {
     /// [`CoverageRepair::repair`] with a caller-owned [`VptEngine`] whose
     /// fingerprint memo persists across repairs (the [`crate::dcc`] runner
     /// path).
-    pub(crate) fn repair_with_engine<R: Rng>(
+    pub(crate) fn repair_with_engine<R: Rng, E: SweepEngine>(
         &self,
         graph: &Graph,
         boundary: &[bool],
         active: &[NodeId],
         crashed: NodeId,
-        vpt: &mut VptEngine,
+        vpt: &mut E,
         rng: &mut R,
     ) -> Result<RepairOutcome, SimError> {
         if boundary.len() != graph.node_count() {
@@ -352,7 +353,7 @@ impl CoverageRepair {
 
     /// [`CoverageRepair::rejoin`] with a caller-owned [`VptEngine`].
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn rejoin_with_engine<R: Rng>(
+    pub(crate) fn rejoin_with_engine<R: Rng, E: SweepEngine>(
         &self,
         graph: &Graph,
         boundary: &[bool],
@@ -360,7 +361,7 @@ impl CoverageRepair {
         node: NodeId,
         snapshot: &[NodeId],
         policy: RejoinPolicy,
-        vpt: &mut VptEngine,
+        vpt: &mut E,
         rng: &mut R,
     ) -> Result<RejoinOutcome, SimError> {
         if boundary.len() != graph.node_count() {
@@ -498,13 +499,13 @@ impl CoverageRepair {
     }
 
     /// [`CoverageRepair::reconcile`] with a caller-owned [`VptEngine`].
-    pub(crate) fn reconcile_with_engine<R: Rng>(
+    pub(crate) fn reconcile_with_engine<R: Rng, E: SweepEngine>(
         &self,
         graph: &Graph,
         boundary: &[bool],
         active: &[NodeId],
         dirty: &[NodeId],
-        vpt: &mut VptEngine,
+        vpt: &mut E,
         rng: &mut R,
     ) -> Result<ReconcileOutcome, SimError> {
         if boundary.len() != graph.node_count() {
@@ -583,14 +584,14 @@ impl CoverageRepair {
     /// Every deletion extends `region` by the winner's `k`-ball, so the
     /// restricted loop still reaches a *global* VPT fixpoint.
     #[allow(clippy::too_many_arguments)]
-    fn prune_to_fixpoint<R: Rng>(
+    fn prune_to_fixpoint<R: Rng, E: SweepEngine>(
         &self,
         graph: &Graph,
         boundary: &[bool],
         members: &[NodeId],
         region: &mut [bool],
         prefer_sleep: &BTreeSet<NodeId>,
-        vpt: &mut VptEngine,
+        vpt: &mut E,
         stats: &mut DistributedStats,
         rng: &mut R,
     ) -> Result<CoverageSet, SimError> {

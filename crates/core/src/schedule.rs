@@ -23,8 +23,8 @@ use confine_graph::{mis, Graph, GraphView, Masked, NodeId};
 use confine_netsim::SimError;
 use rand::Rng;
 
+use crate::sharded::SweepEngine;
 use crate::vpt::{independence_radius, is_vertex_deletable_with, VptScratch};
-use crate::vpt_engine::VptEngine;
 
 /// How deletions are ordered within the schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,16 +81,17 @@ impl CoverageSet {
 /// the lifetime-rotation machinery.
 ///
 /// Candidate verdicts come from `engine` (round cache + fingerprint memo +
-/// thread fan-out); candidate *sets* — and therefore the RNG consumption and
-/// the resulting coverage set — are bit-identical to fresh per-candidate
-/// evaluation, because verdicts are pure functions of the view.
-pub(crate) fn run_schedule<R: Rng, F>(
+/// thread fan-out — flat or region-sharded); candidate *sets* — and
+/// therefore the RNG consumption and the resulting coverage set — are
+/// bit-identical to fresh per-candidate evaluation, because verdicts are
+/// pure functions of the view.
+pub(crate) fn run_schedule<R: Rng, F, E: SweepEngine>(
     graph: &Graph,
     boundary: &[bool],
     excluded: &[NodeId],
     bias: F,
     order: DeletionOrder,
-    engine: &mut VptEngine,
+    engine: &mut E,
     rng: &mut R,
 ) -> Result<CoverageSet, SimError>
 where
@@ -136,8 +137,13 @@ where
                 if winners.is_empty() {
                     return Err(SimError::ElectionStalled { retries: 0 });
                 }
+                // One batched note per round: MIS winners sit ≥ m hops
+                // apart, so each winner's k-ball is identical before and
+                // after the round's other deactivations — the batch equals
+                // the per-winner interleaving bit for bit, and the sharded
+                // engine extracts the invalidation balls in parallel.
+                engine.note_deletions(&masked, &winners);
                 for v in winners {
-                    engine.note_deletion(&masked, v);
                     masked.deactivate(v);
                     deleted.push(v);
                 }

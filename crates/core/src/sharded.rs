@@ -1,0 +1,743 @@
+//! Hierarchical sharded evaluation: per-region [`VptEngine`]s with
+//! halo-stitched boundaries.
+//!
+//! # Why sharding is sound
+//!
+//! The VPT deletability verdict of a node `v` is a pure function of the
+//! induced subgraph on `N_k(v) \ {v}` with `k = ⌈τ/2⌉`
+//! ([`crate::vpt::neighborhood_radius`]). The schedule loop — candidate
+//! election, RNG draws, MIS winners — consumes only *verdicts*, so **any**
+//! engine that returns correct verdicts yields a bitwise-identical sweep.
+//! Sharding therefore changes where verdicts are computed and cached, never
+//! what they are:
+//!
+//! * the deployment is partitioned into regions (geometry-aware grid split
+//!   from `confine-deploy`, or the topology-only
+//!   [`confine_graph::partition::bfs_stripes`] fallback);
+//! * each region gets its own [`VptEngine`] — scratch arenas, round-valid
+//!   verdict cache and fingerprint memo — and evaluates exactly the
+//!   candidates whose **owner region** it is, *reading the global view*:
+//!   a ball that crosses a region boundary simply reaches into the
+//!   neighbouring region's territory, which is the engine-side realisation
+//!   of the m-hop **stitching halo**
+//!   ([`confine_graph::partition::region_halos`]);
+//! * membership changes are routed to exactly the regions owning a node of
+//!   the change's `k`-ball: if the deletion of `v` can flip the cached
+//!   verdict of `w`, then `w ∈ N_k(v)`, so the owner of `w` receives the
+//!   invalidation — regions whose halo the change does not touch never see
+//!   it.
+//!
+//! Inter-region cut cycles need no special casing for the same reason
+//! multi-boundary areas need none in `confine-cycles`: the punctured-ball
+//! extraction always runs on the full view, so every irreducible cycle a
+//! flat engine would see — including those crossing a region cut — appears
+//! verbatim in the regional evaluation. The `strict-invariants` feature
+//! additionally audits the stitching invariant at runtime: sampled balls of
+//! core nodes must stay inside their region's halo (locality), and the
+//! per-region engines inherit the flat engine's cached-versus-fresh verdict
+//! audit.
+
+use confine_graph::partition::{self, NodeBitSet, RegionAssignment};
+use confine_graph::{GraphView, NodeId};
+
+use crate::vpt::{independence_radius, neighborhood_radius, VptScratch};
+use crate::vpt_engine::{run_jobs, EngineConfig, EngineStats, EvalJob, VerdictBits, VptEngine};
+
+/// The engine surface the schedulers drive — implemented by the flat
+/// [`VptEngine`], the regional [`ShardedEngine`] and the [`AnyEngine`]
+/// dispatcher, with identical observable behaviour (verdicts are pure).
+pub trait SweepEngine {
+    /// The confine size `τ` the engine evaluates for.
+    fn tau(&self) -> usize;
+
+    /// Whether the verdict caches are enabled.
+    fn cache_enabled(&self) -> bool;
+
+    /// Prepares for a scheduling run over `node_bound` node slots.
+    fn begin_run(&mut self, node_bound: usize);
+
+    /// Filters `eligible` down to the VPT-deletable candidates, preserving
+    /// the caller's order.
+    fn deletable_candidates<V: GraphView + Sync>(
+        &mut self,
+        view: &V,
+        eligible: &[NodeId],
+    ) -> Vec<NodeId>;
+
+    /// Evaluates caller-materialised punctured subgraphs; returns verdicts
+    /// in job order.
+    fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> VerdictBits;
+
+    /// Records that `v` is about to be deactivated on `view`.
+    fn note_deletion<V: GraphView + Sync>(&mut self, view: &V, v: NodeId);
+
+    /// Records that `v` was just activated on `view`.
+    fn note_wake<V: GraphView + Sync>(&mut self, view: &V, v: NodeId);
+
+    /// Records a batch of simultaneous deactivations (one MIS round). The
+    /// nodes are pairwise ≥ `m = k + 1` hops apart, so their `k`-balls are
+    /// unaffected by each other's removal and the batch is equivalent to
+    /// any sequential interleaving of the individual notes.
+    fn note_deletions<V: GraphView + Sync>(&mut self, view: &V, nodes: &[NodeId]) {
+        for &v in nodes {
+            self.note_deletion(view, v);
+        }
+    }
+
+    /// Counters accumulated since construction or the last reset.
+    fn stats(&self) -> EngineStats;
+
+    /// Zeroes the counters.
+    fn reset_stats(&mut self);
+}
+
+impl SweepEngine for VptEngine {
+    fn tau(&self) -> usize {
+        VptEngine::tau(self)
+    }
+
+    fn cache_enabled(&self) -> bool {
+        VptEngine::cache_enabled(self)
+    }
+
+    fn begin_run(&mut self, node_bound: usize) {
+        VptEngine::begin_run(self, node_bound);
+    }
+
+    fn deletable_candidates<V: GraphView + Sync>(
+        &mut self,
+        view: &V,
+        eligible: &[NodeId],
+    ) -> Vec<NodeId> {
+        VptEngine::deletable_candidates(self, view, eligible)
+    }
+
+    fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> VerdictBits {
+        VptEngine::evaluate_jobs(self, jobs)
+    }
+
+    fn note_deletion<V: GraphView + Sync>(&mut self, view: &V, v: NodeId) {
+        VptEngine::note_deletion(self, view, v);
+    }
+
+    fn note_wake<V: GraphView + Sync>(&mut self, view: &V, v: NodeId) {
+        VptEngine::note_wake(self, view, v);
+    }
+
+    fn stats(&self) -> EngineStats {
+        VptEngine::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        VptEngine::reset_stats(self);
+    }
+}
+
+/// Region-parallel evaluation engine: one [`VptEngine`] per region, a
+/// deterministic node→region assignment, and exact ball-based delta routing.
+/// See the [module docs](self) for the stitching argument.
+///
+/// Sweeps are bitwise-identical to the flat engine's for the same RNG —
+/// asserted by the `sharded_identity` proptests and the `bench_vpt`
+/// co-runs.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    tau: usize,
+    k: u32,
+    m: u32,
+    cache: bool,
+    region_threads: usize,
+    /// One flat engine per region; worker `r` owns the verdicts and memo of
+    /// every node assigned to region `r`.
+    workers: Vec<VptEngine>,
+    /// Caller-pinned spatial assignment (e.g. a deploy-side grid split);
+    /// when absent, a BFS-stripe partition is computed per run.
+    fixed: Option<RegionAssignment>,
+    /// The assignment in force for the current run, established lazily at
+    /// the first call that sees a view.
+    assignment: Option<RegionAssignment>,
+    /// Closed m-hop halos per region, computed alongside the assignment —
+    /// the stitching band the strict-invariants audit checks balls against.
+    halos: Vec<NodeBitSet>,
+    /// Ball-BFS arenas for delta routing, one per region so a whole MIS
+    /// round's invalidation balls extract in parallel.
+    route: Vec<VptScratch>,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine with `config.regions` regions (at least
+    /// one); the per-run partition is the deterministic BFS-stripe split of
+    /// the view. `config.region_threads == 0` divides the machine's
+    /// available parallelism evenly across the regions.
+    pub fn new(tau: usize, config: EngineConfig) -> Self {
+        Self::build(tau, config, config.regions.max(1), None)
+    }
+
+    /// Creates a sharded engine over a caller-supplied (typically spatial)
+    /// region assignment; the region count is the assignment's.
+    pub fn with_assignment(tau: usize, config: EngineConfig, assignment: RegionAssignment) -> Self {
+        let regions = assignment.regions();
+        Self::build(tau, config, regions, Some(assignment))
+    }
+
+    fn build(
+        tau: usize,
+        config: EngineConfig,
+        regions: usize,
+        fixed: Option<RegionAssignment>,
+    ) -> Self {
+        let region_threads = if config.region_threads == 0 {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (cores / regions).max(1)
+        } else {
+            config.region_threads
+        };
+        let worker_config = EngineConfig {
+            threads: region_threads,
+            cache: config.cache,
+            regions: 0,
+            region_threads: 0,
+        };
+        ShardedEngine {
+            tau,
+            k: neighborhood_radius(tau),
+            m: independence_radius(tau),
+            cache: config.cache,
+            region_threads,
+            workers: (0..regions)
+                .map(|_| VptEngine::new(tau, worker_config))
+                .collect(),
+            fixed,
+            assignment: None,
+            halos: Vec::new(),
+            route: (0..regions).map(|_| VptScratch::default()).collect(),
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Resolved worker threads per region.
+    pub fn region_threads(&self) -> usize {
+        self.region_threads
+    }
+
+    /// The assignment in force for the current run (None before the first
+    /// evaluation of a run).
+    pub fn assignment(&self) -> Option<&RegionAssignment> {
+        self.assignment.as_ref()
+    }
+
+    /// Closed m-hop halo population per region for the current run (empty
+    /// before the first evaluation).
+    pub fn halo_counts(&self) -> Vec<usize> {
+        self.halos.iter().map(NodeBitSet::count).collect()
+    }
+
+    /// Establishes the region assignment and stitching halos for this run
+    /// from the first view an evaluation sees. Sound for the whole run:
+    /// deletions only lengthen distances, so halos computed here remain
+    /// supersets of every later ball.
+    fn ensure_partition<V: GraphView>(&mut self, view: &V) {
+        if self.assignment.is_some() {
+            return;
+        }
+        let assignment = match &self.fixed {
+            Some(a) if a.node_bound() == view.node_bound() => a.clone(),
+            _ => partition::bfs_stripes(view, self.workers.len()),
+        };
+        self.halos = partition::region_halos(view, &assignment, self.m);
+        self.assignment = Some(assignment);
+    }
+}
+
+/// Owner region of `v`: its assigned region, or a stable fallback for nodes
+/// outside the assignment (woken after partitioning, or protocol jobs ahead
+/// of any view). The fallback only picks *where* a verdict is cached — both
+/// the evaluation and invalidation paths route through this same function,
+/// so cache placement stays coherent.
+fn owner_of(assignment: Option<&RegionAssignment>, regions: usize, v: NodeId) -> usize {
+    assignment
+        .and_then(|a| a.region_of(v))
+        .map_or_else(|| v.index() % regions, |r| r.min(regions - 1))
+}
+
+impl SweepEngine for ShardedEngine {
+    fn tau(&self) -> usize {
+        self.tau
+    }
+
+    fn cache_enabled(&self) -> bool {
+        self.cache
+    }
+
+    fn begin_run(&mut self, node_bound: usize) {
+        // Repartition per run: the active set is about to change wholesale.
+        self.assignment = None;
+        self.halos.clear();
+        for w in &mut self.workers {
+            w.begin_run(node_bound);
+        }
+    }
+
+    fn deletable_candidates<V: GraphView + Sync>(
+        &mut self,
+        view: &V,
+        eligible: &[NodeId],
+    ) -> Vec<NodeId> {
+        self.ensure_partition(view);
+        let regions = self.workers.len();
+        if regions == 1 {
+            return self.workers[0].deletable_candidates(view, eligible);
+        }
+        let assignment = self.assignment.as_ref();
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); regions];
+        let mut origins: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        for (i, &v) in eligible.iter().enumerate() {
+            let r = owner_of(assignment, regions, v);
+            groups[r].push(v);
+            origins[r].push(i);
+        }
+        let mut flags: Vec<Option<Vec<bool>>> = (0..regions).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for ((worker, group), slot) in
+                self.workers.iter_mut().zip(&groups).zip(flags.iter_mut())
+            {
+                if group.is_empty() {
+                    *slot = Some(Vec::new());
+                    continue;
+                }
+                s.spawn(move || {
+                    // The regional engine reads the *global* view: balls
+                    // crossing the region cut reach into the neighbour's
+                    // halo, so the verdict equals the flat engine's.
+                    let dels = worker.deletable_candidates(view, group);
+                    let mut di = 0usize;
+                    let keep: Vec<bool> = group
+                        .iter()
+                        .map(|&v| {
+                            if di < dels.len() && dels[di] == v {
+                                di += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        })
+                        .collect();
+                    *slot = Some(keep);
+                });
+            }
+        });
+        let mut keep = vec![false; eligible.len()];
+        for (origin, region_flags) in origins.iter().zip(&flags) {
+            // lint: panic-ok(every region slot is filled before the scope joins)
+            let region_flags = region_flags.as_ref().expect("region evaluated");
+            for (&i, &b) in origin.iter().zip(region_flags) {
+                keep[i] = b;
+            }
+        }
+
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Stitching audit: the k-ball of a sampled assigned node must
+            // lie inside its owner region's closed m-hop halo — the
+            // locality invariant that licenses routing this node's
+            // evaluation and invalidation to that single region.
+            let assignment = self.assignment.as_ref();
+            for &v in eligible.iter().step_by(64) {
+                let Some(r) = assignment.and_then(|a| a.region_of(v)) else {
+                    continue;
+                };
+                let ball = self.route[0].hood.ball_members(view, v, self.k);
+                for &w in ball {
+                    assert!(
+                        self.halos[r].contains(w),
+                        "strict-invariants: ball of node {v:?} escapes the stitching halo of its region {r}"
+                    );
+                }
+            }
+        }
+
+        eligible
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &b)| b)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> VerdictBits {
+        let regions = self.workers.len();
+        if regions == 1 {
+            return self.workers[0].evaluate_jobs(jobs);
+        }
+        let assignment = self.assignment.as_ref();
+        let mut groups: Vec<Vec<&EvalJob>> = vec![Vec::new(); regions];
+        let mut origins: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        for (i, job) in jobs.iter().enumerate() {
+            let r = owner_of(assignment, regions, job.node);
+            groups[r].push(job);
+            origins[r].push(i);
+        }
+        let mut outs: Vec<Option<VerdictBits>> = (0..regions).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for ((worker, group), slot) in self.workers.iter_mut().zip(&groups).zip(outs.iter_mut())
+            {
+                if group.is_empty() {
+                    *slot = Some(VerdictBits::default());
+                    continue;
+                }
+                s.spawn(move || {
+                    *slot = Some(worker.evaluate_job_refs(group));
+                });
+            }
+        });
+        let mut merged = vec![false; jobs.len()];
+        for (origin, out) in origins.iter().zip(&outs) {
+            // lint: panic-ok(every region slot is filled before the scope joins)
+            let out = out.as_ref().expect("region evaluated");
+            for (&i, b) in origin.iter().zip(out.iter()) {
+                merged[i] = b;
+            }
+        }
+        let mut bits = VerdictBits::with_capacity(jobs.len());
+        for b in merged {
+            bits.push(b);
+        }
+        bits
+    }
+
+    fn note_deletion<V: GraphView + Sync>(&mut self, view: &V, v: NodeId) {
+        if !self.cache {
+            return;
+        }
+        self.ensure_partition(view);
+        let regions = self.workers.len();
+        let ball = self.route[0].hood.ball_members(view, v, self.k);
+        route_invalidation(
+            self.assignment.as_ref(),
+            &mut self.workers,
+            regions,
+            v,
+            ball,
+        );
+    }
+
+    fn note_wake<V: GraphView + Sync>(&mut self, view: &V, v: NodeId) {
+        // The post-wake ball covers exactly the nodes that can now reach
+        // `v` within k hops; routing by the owners of its members is exact
+        // even when the wake lands outside the run-start halos.
+        self.note_deletion(view, v);
+    }
+
+    fn note_deletions<V: GraphView + Sync>(&mut self, view: &V, nodes: &[NodeId]) {
+        if !self.cache || nodes.is_empty() {
+            return;
+        }
+        self.ensure_partition(view);
+        let k = self.k;
+        // One MIS round's invalidation balls extract in parallel across the
+        // routing arenas; the (cheap) cache clears then run serially.
+        let balls = run_jobs(nodes, &mut self.route, |&v, scratch| {
+            scratch.hood.ball_members(view, v, k).to_vec()
+        });
+        let regions = self.workers.len();
+        for (&v, ball) in nodes.iter().zip(&balls) {
+            route_invalidation(
+                self.assignment.as_ref(),
+                &mut self.workers,
+                regions,
+                v,
+                ball,
+            );
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for w in &self.workers {
+            let s = w.stats();
+            total.evaluations += s.evaluations;
+            total.round_hits += s.round_hits;
+            total.memo_hits += s.memo_hits;
+            total.invalidations += s.invalidations;
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        for w in &mut self.workers {
+            w.reset_stats();
+        }
+    }
+}
+
+/// Clears the round verdicts of `ball ∪ {v}` in exactly the regions owning
+/// one of those nodes. Exact, not conservative: a change at `v` can flip
+/// only verdicts of nodes in `ball = N_k(v)`, each cached solely in its
+/// owner region.
+fn route_invalidation(
+    assignment: Option<&RegionAssignment>,
+    workers: &mut [VptEngine],
+    regions: usize,
+    v: NodeId,
+    ball: &[NodeId],
+) {
+    let mut affected: Vec<usize> = ball
+        .iter()
+        .chain(std::iter::once(&v))
+        .map(|&w| owner_of(assignment, regions, w))
+        .collect();
+    affected.sort_unstable();
+    affected.dedup();
+    for r in affected {
+        workers[r].invalidate_nodes(ball);
+        workers[r].invalidate_nodes(&[v]);
+    }
+}
+
+/// Static dispatch over the flat and sharded engines — what the
+/// [`crate::dcc::Dcc`] runners hold, so one builder serves both paths
+/// without generics in the public runner types.
+#[derive(Debug, Clone)]
+pub enum AnyEngine {
+    /// The flat single-engine path.
+    Flat(VptEngine),
+    /// The region-parallel sharded path.
+    Sharded(ShardedEngine),
+}
+
+impl AnyEngine {
+    /// Builds the engine the configuration asks for: sharded when
+    /// `config.regions > 1`, flat otherwise.
+    pub fn from_config(tau: usize, config: EngineConfig) -> Self {
+        if config.regions > 1 {
+            AnyEngine::Sharded(ShardedEngine::new(tau, config))
+        } else {
+            AnyEngine::Flat(VptEngine::new(tau, config))
+        }
+    }
+
+    /// Builds a sharded engine over a caller-pinned region assignment.
+    pub fn with_assignment(tau: usize, config: EngineConfig, assignment: RegionAssignment) -> Self {
+        AnyEngine::Sharded(ShardedEngine::with_assignment(tau, config, assignment))
+    }
+}
+
+impl SweepEngine for AnyEngine {
+    fn tau(&self) -> usize {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::tau(e),
+            AnyEngine::Sharded(e) => SweepEngine::tau(e),
+        }
+    }
+
+    fn cache_enabled(&self) -> bool {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::cache_enabled(e),
+            AnyEngine::Sharded(e) => SweepEngine::cache_enabled(e),
+        }
+    }
+
+    fn begin_run(&mut self, node_bound: usize) {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::begin_run(e, node_bound),
+            AnyEngine::Sharded(e) => SweepEngine::begin_run(e, node_bound),
+        }
+    }
+
+    fn deletable_candidates<V: GraphView + Sync>(
+        &mut self,
+        view: &V,
+        eligible: &[NodeId],
+    ) -> Vec<NodeId> {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::deletable_candidates(e, view, eligible),
+            AnyEngine::Sharded(e) => SweepEngine::deletable_candidates(e, view, eligible),
+        }
+    }
+
+    fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> VerdictBits {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::evaluate_jobs(e, jobs),
+            AnyEngine::Sharded(e) => SweepEngine::evaluate_jobs(e, jobs),
+        }
+    }
+
+    fn note_deletion<V: GraphView + Sync>(&mut self, view: &V, v: NodeId) {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::note_deletion(e, view, v),
+            AnyEngine::Sharded(e) => SweepEngine::note_deletion(e, view, v),
+        }
+    }
+
+    fn note_wake<V: GraphView + Sync>(&mut self, view: &V, v: NodeId) {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::note_wake(e, view, v),
+            AnyEngine::Sharded(e) => SweepEngine::note_wake(e, view, v),
+        }
+    }
+
+    fn note_deletions<V: GraphView + Sync>(&mut self, view: &V, nodes: &[NodeId]) {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::note_deletions(e, view, nodes),
+            AnyEngine::Sharded(e) => SweepEngine::note_deletions(e, view, nodes),
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::stats(e),
+            AnyEngine::Sharded(e) => SweepEngine::stats(e),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            AnyEngine::Flat(e) => SweepEngine::reset_stats(e),
+            AnyEngine::Sharded(e) => SweepEngine::reset_stats(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpt::is_vertex_deletable;
+    use confine_graph::{generators, Masked};
+
+    fn fresh(masked: &Masked<'_>, eligible: &[NodeId], tau: usize) -> Vec<NodeId> {
+        eligible
+            .iter()
+            .copied()
+            .filter(|&v| is_vertex_deletable(masked, v, tau))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_candidates_match_fresh_evaluation_across_deletions() {
+        let g = generators::king_grid_graph(8, 8);
+        for regions in [1usize, 2, 4] {
+            let mut masked = Masked::all_active(&g);
+            let config = EngineConfig::builder()
+                .regions(regions)
+                .region_threads(1)
+                .build();
+            let mut engine = ShardedEngine::new(4, config);
+            assert_eq!(engine.regions(), regions);
+            SweepEngine::begin_run(&mut engine, g.node_count());
+            for _ in 0..5 {
+                let eligible: Vec<NodeId> = masked.active_nodes().collect();
+                let got = SweepEngine::deletable_candidates(&mut engine, &masked, &eligible);
+                assert_eq!(got, fresh(&masked, &eligible, 4), "regions = {regions}");
+                let Some(&v) = got.first() else { break };
+                SweepEngine::note_deletion(&mut engine, &masked, v);
+                masked.deactivate(v);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_round_notes_match_individual_notes() {
+        let g = generators::king_grid_graph(9, 9);
+        let masked = Masked::all_active(&g);
+        let eligible: Vec<NodeId> = masked.active_nodes().collect();
+        let config = EngineConfig::builder().regions(3).region_threads(1).build();
+        let mut batch = ShardedEngine::new(4, config);
+        let mut single = ShardedEngine::new(4, config);
+        for e in [&mut batch, &mut single] {
+            SweepEngine::begin_run(e, g.node_count());
+            SweepEngine::deletable_candidates(e, &masked, &eligible);
+        }
+        // Two far-apart deletions, as one MIS round would issue them.
+        let round = [NodeId(10), NodeId(70)];
+        SweepEngine::note_deletions(&mut batch, &masked, &round);
+        for &v in &round {
+            SweepEngine::note_deletion(&mut single, &masked, v);
+        }
+        let mut after = Masked::all_active(&g);
+        for &v in &round {
+            after.deactivate(v);
+        }
+        let eligible: Vec<NodeId> = after.active_nodes().collect();
+        assert_eq!(
+            SweepEngine::deletable_candidates(&mut batch, &after, &eligible),
+            SweepEngine::deletable_candidates(&mut single, &after, &eligible),
+        );
+        assert_eq!(SweepEngine::stats(&batch), SweepEngine::stats(&single));
+    }
+
+    #[test]
+    fn sharded_evaluate_jobs_matches_flat() {
+        use crate::vpt::induced_from_view;
+        use confine_graph::traverse;
+        let g = generators::king_grid_graph(7, 7);
+        let jobs: Vec<EvalJob> = g
+            .nodes()
+            .map(|v| {
+                let ball = traverse::k_hop_neighbors(&g, v, neighborhood_radius(4));
+                let (graph, members) = induced_from_view(&g, &ball);
+                EvalJob {
+                    node: v,
+                    members,
+                    graph,
+                }
+            })
+            .collect();
+        let mut flat = VptEngine::new(4, EngineConfig::default());
+        let config = EngineConfig::builder().regions(4).region_threads(1).build();
+        let mut sharded = ShardedEngine::new(4, config);
+        let a = flat.evaluate_jobs(&jobs);
+        let b = SweepEngine::evaluate_jobs(&mut sharded, &jobs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_assignment_and_halos_are_exposed() {
+        let g = generators::king_grid_graph(6, 6);
+        let masked = Masked::all_active(&g);
+        let asg = partition::bfs_stripes(&masked, 2);
+        let config = EngineConfig::builder().region_threads(1).build();
+        let mut engine = ShardedEngine::with_assignment(4, config, asg.clone());
+        assert_eq!(engine.regions(), 2);
+        assert!(engine.assignment().is_none(), "partition is lazy");
+        SweepEngine::begin_run(&mut engine, g.node_count());
+        let eligible: Vec<NodeId> = masked.active_nodes().collect();
+        SweepEngine::deletable_candidates(&mut engine, &masked, &eligible);
+        assert_eq!(engine.assignment(), Some(&asg));
+        let halos = engine.halo_counts();
+        assert_eq!(halos.len(), 2);
+        let counts = asg.counts();
+        for (h, c) in halos.iter().zip(&counts) {
+            assert!(h >= c, "closed halo contains the core");
+        }
+    }
+
+    #[test]
+    fn any_engine_dispatches_both_paths() {
+        let g = generators::king_grid_graph(6, 6);
+        let masked = Masked::all_active(&g);
+        let eligible: Vec<NodeId> = masked.active_nodes().collect();
+        let flat_cfg = EngineConfig::default();
+        let shard_cfg = EngineConfig::builder().regions(2).region_threads(1).build();
+        let mut flat = AnyEngine::from_config(4, flat_cfg);
+        let mut sharded = AnyEngine::from_config(4, shard_cfg);
+        assert!(matches!(flat, AnyEngine::Flat(_)));
+        assert!(matches!(sharded, AnyEngine::Sharded(_)));
+        assert_eq!(SweepEngine::tau(&flat), 4);
+        assert!(SweepEngine::cache_enabled(&sharded));
+        flat.begin_run(g.node_count());
+        sharded.begin_run(g.node_count());
+        assert_eq!(
+            flat.deletable_candidates(&masked, &eligible),
+            sharded.deletable_candidates(&masked, &eligible),
+        );
+        assert!(SweepEngine::stats(&sharded).evaluations > 0);
+        sharded.reset_stats();
+        assert_eq!(SweepEngine::stats(&sharded), EngineStats::default());
+    }
+}

@@ -50,6 +50,13 @@ pub struct EngineConfig {
     /// Disabled, every candidate is re-evaluated from scratch (the
     /// sequential-uncached baseline the benches compare against).
     pub cache: bool,
+    /// Spatial regions for the sharded engine
+    /// ([`crate::sharded::ShardedEngine`]); `0` or `1` selects the flat
+    /// single-engine path.
+    pub regions: usize,
+    /// Worker threads *per region* in the sharded engine; `0` divides the
+    /// machine's available parallelism evenly across the regions.
+    pub region_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +64,8 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 0,
             cache: true,
+            regions: 0,
+            region_threads: 0,
         }
     }
 }
@@ -88,6 +97,20 @@ impl EngineConfigBuilder {
     /// (default enabled).
     pub fn cache(mut self, cache: bool) -> Self {
         self.config.cache = cache;
+        self
+    }
+
+    /// Number of spatial regions for the sharded engine; `0` or `1` (the
+    /// default) selects the flat single-engine path.
+    pub fn regions(mut self, regions: usize) -> Self {
+        self.config.regions = regions;
+        self
+    }
+
+    /// Worker threads per region in the sharded engine; `0` (the default)
+    /// divides the machine's available parallelism across the regions.
+    pub fn region_threads(mut self, region_threads: usize) -> Self {
+        self.config.region_threads = region_threads;
         self
     }
 
@@ -303,6 +326,14 @@ impl VptEngine {
     /// distributed) use: their discovery state already holds each node's
     /// punctured graph, so only the fingerprint memo applies.
     pub fn evaluate_jobs(&mut self, jobs: &[EvalJob]) -> VerdictBits {
+        let refs: Vec<&EvalJob> = jobs.iter().collect();
+        self.evaluate_job_refs(&refs)
+    }
+
+    /// [`VptEngine::evaluate_jobs`] over borrowed jobs — the entry point the
+    /// sharded engine uses to regroup one job slice by region without
+    /// cloning the materialised punctured graphs.
+    pub(crate) fn evaluate_job_refs(&mut self, jobs: &[&EvalJob]) -> VerdictBits {
         let bound = jobs.iter().map(|j| j.node.index() + 1).max().unwrap_or(0);
         if self.memo.len() < bound {
             self.memo.resize_with(bound, FpMemo::default);
@@ -442,6 +473,21 @@ impl VptEngine {
             self.stats.invalidations += 1;
         }
     }
+
+    /// Drops the round verdicts of an explicit node set — the sharded
+    /// engine's entry point, which computes one invalidation ball per
+    /// membership change and hands it to exactly the region engines whose
+    /// halo the ball touches. Ids beyond the engine's bound are ignored.
+    pub fn invalidate_nodes(&mut self, nodes: &[NodeId]) {
+        if !self.cache {
+            return;
+        }
+        for &w in nodes {
+            if w.index() < self.verdicts.len() && self.verdicts[w.index()].take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
 }
 
 /// A canonical capture of a [`VptEngine`]'s memoization state, produced by
@@ -541,14 +587,14 @@ pub struct VerdictBits {
 }
 
 impl VerdictBits {
-    fn with_capacity(n: usize) -> Self {
+    pub(crate) fn with_capacity(n: usize) -> Self {
         VerdictBits {
             words: Vec::with_capacity(n.div_ceil(64)),
             len: 0,
         }
     }
 
-    fn push(&mut self, verdict: bool) {
+    pub(crate) fn push(&mut self, verdict: bool) {
         let (w, bit) = (self.len / 64, self.len % 64);
         if bit == 0 {
             self.words.push(0);
@@ -654,7 +700,7 @@ type FpMemo = HashMap<u64, bool, BuildHasherDefault<FpHasher>>;
 /// over scoped worker threads — one persistent [`VptScratch`] per worker, so
 /// arenas warmed by earlier calls keep paying off. With one scratch (or few
 /// jobs) everything runs inline on worker 0.
-fn run_jobs<J, O, F>(jobs: &[J], scratches: &mut [VptScratch], f: F) -> Vec<O>
+pub(crate) fn run_jobs<J, O, F>(jobs: &[J], scratches: &mut [VptScratch], f: F) -> Vec<O>
 where
     J: Sync,
     O: Send,

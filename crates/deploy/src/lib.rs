@@ -47,6 +47,7 @@ pub mod format;
 pub mod geometry;
 pub mod mobility;
 pub mod outer;
+pub mod partition;
 pub mod radio;
 pub mod scenario;
 pub mod setcover;

@@ -1,0 +1,102 @@
+//! Geometry-aware region splits for the sharded coverage engine.
+//!
+//! Where `confine_graph::partition::bfs_stripes` partitions by topology
+//! alone, deployments carry ground-truth positions — so the natural split
+//! is spatial: chop the deployment rectangle into a near-square grid of
+//! cells and label every node by the cell containing it. Spatially compact
+//! regions minimise the inter-region interface, which is exactly what the
+//! m-hop stitching halos pay for.
+
+use confine_graph::partition::RegionAssignment;
+
+use crate::geometry::{Point, Rect};
+use crate::scenario::Scenario;
+
+/// Splits `area` into a `gx × gy` grid with `gx·gy ≥ regions` and assigns
+/// every position the label of its cell, clamped to `regions - 1` (when the
+/// grid has surplus cells, the trailing cells merge into the last region).
+///
+/// Positions outside `area` clamp to the nearest cell, so the assignment is
+/// total: every node gets a region.
+///
+/// # Panics
+///
+/// Panics if `regions == 0`.
+pub fn grid_assignment(positions: &[Point], area: Rect, regions: usize) -> RegionAssignment {
+    assert!(regions > 0, "a partition needs at least one region");
+    let gx = (regions as f64).sqrt().ceil() as usize;
+    let gx = gx.max(1);
+    let gy = regions.div_ceil(gx);
+    let (w, h) = (
+        area.width().max(f64::MIN_POSITIVE),
+        area.height().max(f64::MIN_POSITIVE),
+    );
+    let labels = positions
+        .iter()
+        .map(|p| {
+            let fx = ((p.x - area.min.x) / w * gx as f64).floor();
+            let fy = ((p.y - area.min.y) / h * gy as f64).floor();
+            let cx = (fx.max(0.0) as usize).min(gx - 1);
+            let cy = (fy.max(0.0) as usize).min(gy - 1);
+            let cell = cy * gx + cx;
+            u32::try_from(cell.min(regions - 1)).unwrap_or(u32::MAX - 1)
+        })
+        .collect();
+    RegionAssignment::from_labels(labels, u32::try_from(regions).unwrap_or(u32::MAX - 1))
+}
+
+impl Scenario {
+    /// Grid-partitions this scenario's nodes into `regions` spatial regions
+    /// over its deployment rectangle; see [`grid_assignment`].
+    pub fn grid_regions(&self, regions: usize) -> RegionAssignment {
+        grid_assignment(&self.positions, self.region, regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_labels_follow_cells() {
+        let area = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let pts = vec![
+            Point::new(1.0, 1.0), // lower-left cell
+            Point::new(9.0, 1.0), // lower-right cell
+            Point::new(1.0, 9.0), // upper-left cell
+            Point::new(9.0, 9.0), // upper-right cell
+        ];
+        let asg = grid_assignment(&pts, area, 4);
+        assert_eq!(asg.regions(), 4);
+        let labels: Vec<u32> = (0..4)
+            .map(|i| asg.label_of(confine_graph::NodeId::from(i)))
+            .collect();
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_area_positions_clamp_and_surplus_cells_merge() {
+        let area = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let pts = vec![
+            Point::new(-3.0, -3.0),
+            Point::new(99.0, 99.0),
+            Point::new(2.0, 2.0),
+        ];
+        // 3 regions → 2×2 grid with the surplus cell clamped into region 2.
+        let asg = grid_assignment(&pts, area, 3);
+        assert_eq!(asg.regions(), 3);
+        let total: usize = asg.counts().iter().sum();
+        assert_eq!(total, 3, "every position must land in a region");
+        for i in 0..3 {
+            assert!(asg.region_of(confine_graph::NodeId::from(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn single_region_is_trivial() {
+        let area = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let pts = vec![Point::new(0.5, 0.5); 7];
+        let asg = grid_assignment(&pts, area, 1);
+        assert_eq!(asg.counts(), vec![7]);
+    }
+}

@@ -59,10 +59,12 @@ pub mod cut;
 pub mod dot;
 pub mod generators;
 pub mod mis;
+pub mod partition;
 pub mod spt;
 pub mod traverse;
 
 pub use csr::{CsrGraph, NeighborhoodScratch};
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, InducedSubgraph, NodeId};
+pub use partition::{NodeBitSet, RegionAssignment};
 pub use view::{EdgeView, GraphView, Masked};

@@ -1,0 +1,324 @@
+//! Region partitioning for hierarchical (sharded) coverage scheduling.
+//!
+//! The VPT deletability test is local: a node's verdict reads only its
+//! `k = ⌈τ/2⌉`-hop punctured ball. A deployment can therefore be split into
+//! regions, each evaluated by its own engine, provided every region can see
+//! an `m`-hop **halo** beyond its core — the stitching band in which balls
+//! of core nodes may overlap a neighbouring region. This module provides the
+//! assignment and halo machinery; the sharded engine itself lives in
+//! `confine-core`.
+//!
+//! Two assignment sources exist:
+//!
+//! * [`bfs_stripes`] — topology-only: a deterministic BFS sweep chops the
+//!   active nodes into contiguous, balanced stripes. Works on any
+//!   [`GraphView`], no coordinates required.
+//! * `confine-deploy`'s grid split — geometry-aware, for deployments that
+//!   carry positions; it produces the same [`RegionAssignment`] type.
+
+use std::collections::VecDeque;
+
+use crate::graph::NodeId;
+use crate::view::GraphView;
+
+/// Label for nodes outside every region (inactive or beyond the bound).
+pub const UNASSIGNED: u32 = u32::MAX;
+
+/// A total map from node slots to region labels.
+///
+/// Labels are dense (`0..regions`); inactive node slots carry
+/// [`UNASSIGNED`]. The assignment is a pure value: it does not retain the
+/// view it was computed from, so callers decide when it is stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionAssignment {
+    region_of: Vec<u32>,
+    regions: u32,
+}
+
+impl RegionAssignment {
+    /// Wraps an explicit label vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label is neither `< regions` nor [`UNASSIGNED`], or if
+    /// `regions == 0`.
+    pub fn from_labels(region_of: Vec<u32>, regions: u32) -> Self {
+        assert!(regions > 0, "a partition needs at least one region");
+        assert!(
+            region_of.iter().all(|&r| r < regions || r == UNASSIGNED),
+            "region label out of range"
+        );
+        RegionAssignment { region_of, regions }
+    }
+
+    /// Number of regions (labels run `0..regions`).
+    pub fn regions(&self) -> usize {
+        self.regions as usize
+    }
+
+    /// Number of node slots covered by the label map.
+    pub fn node_bound(&self) -> usize {
+        self.region_of.len()
+    }
+
+    /// Raw label of `v` ([`UNASSIGNED`] when out of range or unassigned).
+    pub fn label_of(&self, v: NodeId) -> u32 {
+        self.region_of.get(v.index()).copied().unwrap_or(UNASSIGNED)
+    }
+
+    /// Region index of `v`, or `None` for unassigned slots.
+    pub fn region_of(&self, v: NodeId) -> Option<usize> {
+        match self.label_of(v) {
+            UNASSIGNED => None,
+            r => Some(r as usize),
+        }
+    }
+
+    /// Core population of every region.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.regions()];
+        for &r in &self.region_of {
+            if r != UNASSIGNED {
+                counts[r as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Deterministic topology-only partition: a BFS sweep over the active nodes
+/// (seeded in increasing id order, one component after another) assigns
+/// consecutive visit ranks to regions in balanced stripes of
+/// `⌈active/regions⌉` nodes.
+///
+/// The sweep keeps each region's core BFS-contiguous inside its component,
+/// which keeps inter-region cut edges — and therefore halo volume — small
+/// without needing coordinates. Requesting more regions than active nodes
+/// simply leaves the surplus regions empty.
+pub fn bfs_stripes<V: GraphView>(view: &V, regions: usize) -> RegionAssignment {
+    let n = view.node_bound();
+    let r = u32::try_from(regions.max(1)).unwrap_or(UNASSIGNED - 1);
+    let quota = view.active_count().div_ceil(r as usize).max(1);
+    let mut region_of = vec![UNASSIGNED; n];
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut rank = 0usize;
+    for s in view.active_nodes() {
+        if seen[s.index()] {
+            continue;
+        }
+        seen[s.index()] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            let label = u32::try_from(rank / quota).unwrap_or(r - 1).min(r - 1);
+            region_of[v.index()] = label;
+            rank += 1;
+            for w in view.view_neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    RegionAssignment {
+        region_of,
+        regions: r,
+    }
+}
+
+/// Nodes with at least one active neighbour assigned to a different region —
+/// the inter-region cut the stitching halos exist to cover.
+pub fn interface_nodes<V: GraphView>(view: &V, assignment: &RegionAssignment) -> Vec<NodeId> {
+    view.active_nodes()
+        .filter(|&v| {
+            let r = assignment.label_of(v);
+            r != UNASSIGNED
+                && view
+                    .view_neighbors(v)
+                    .any(|w| assignment.label_of(w) != r && assignment.label_of(w) != UNASSIGNED)
+        })
+        .collect()
+}
+
+/// A fixed-bound bitset over node slots; the halo representation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeBitSet {
+    words: Vec<u64>,
+}
+
+impl NodeBitSet {
+    /// An empty set over `bound` node slots.
+    pub fn with_bound(bound: usize) -> Self {
+        NodeBitSet {
+            words: vec![0u64; bound.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `v`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds the construction bound.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let (w, bit) = (v.index() / 64, v.index() % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Membership test (out-of-bound ids are simply absent).
+    pub fn contains(&self, v: NodeId) -> bool {
+        let (w, bit) = (v.index() / 64, v.index() % 64);
+        self.words.get(w).is_some_and(|x| x >> bit & 1 == 1)
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Computes, per region, the closed `m`-hop halo: the region's core plus
+/// every active node within `m` hops of it on `view`.
+///
+/// Because deletions only lengthen distances, halos computed on the view a
+/// run starts from remain supersets of every later ball — the invariant
+/// that lets a sharded engine route membership changes to the regions whose
+/// halo contains them and nowhere else.
+pub fn region_halos<V: GraphView>(
+    view: &V,
+    assignment: &RegionAssignment,
+    m: u32,
+) -> Vec<NodeBitSet> {
+    let n = view.node_bound();
+    let regions = assignment.regions();
+    let mut halos: Vec<NodeBitSet> = (0..regions).map(|_| NodeBitSet::with_bound(n)).collect();
+    let mut seeds: Vec<Vec<NodeId>> = vec![Vec::new(); regions];
+    for v in view.active_nodes() {
+        if let Some(r) = assignment.region_of(v) {
+            seeds[r].push(v);
+        }
+    }
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    for (halo, core) in halos.iter_mut().zip(&seeds) {
+        queue.clear();
+        for &v in core {
+            halo.insert(v);
+            queue.push_back((v, 0));
+        }
+        while let Some((v, d)) = queue.pop_front() {
+            if d == m {
+                continue;
+            }
+            for w in view.view_neighbors(v) {
+                if halo.insert(w) {
+                    queue.push_back((w, d + 1));
+                }
+            }
+        }
+    }
+    halos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traverse;
+    use crate::view::Masked;
+
+    #[test]
+    fn stripes_cover_all_active_nodes_with_balanced_labels() {
+        let g = generators::king_grid_graph(8, 8);
+        let masked = Masked::all_active(&g);
+        for regions in [1usize, 2, 4, 7] {
+            let asg = bfs_stripes(&masked, regions);
+            assert_eq!(asg.regions(), regions);
+            assert_eq!(asg.node_bound(), 64);
+            let counts = asg.counts();
+            assert_eq!(counts.iter().sum::<usize>(), 64);
+            let quota = 64usize.div_ceil(regions);
+            for &c in &counts {
+                assert!(c <= quota, "stripe exceeds quota: {counts:?}");
+            }
+            for v in g.nodes() {
+                assert!(asg.region_of(v).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn stripes_skip_inactive_nodes_and_respect_components() {
+        let g = generators::king_grid_graph(5, 5);
+        let mut masked = Masked::all_active(&g);
+        masked.deactivate(NodeId(12));
+        let asg = bfs_stripes(&masked, 3);
+        assert_eq!(asg.region_of(NodeId(12)), None);
+        assert_eq!(asg.label_of(NodeId(12)), UNASSIGNED);
+        assert_eq!(asg.counts().iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn more_regions_than_nodes_leaves_surplus_empty() {
+        let g = generators::path_graph(3);
+        let asg = bfs_stripes(&&g, 8);
+        assert_eq!(asg.regions(), 8);
+        let counts = asg.counts();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        assert_eq!(counts.iter().filter(|&&c| c > 0).count(), 3);
+    }
+
+    #[test]
+    fn halos_contain_cores_and_exactly_the_m_ball() {
+        let g = generators::king_grid_graph(7, 7);
+        let masked = Masked::all_active(&g);
+        let asg = bfs_stripes(&masked, 4);
+        let m = 2u32;
+        let halos = region_halos(&masked, &asg, m);
+        assert_eq!(halos.len(), 4);
+        for v in g.nodes() {
+            let r = asg.region_of(v).unwrap();
+            assert!(halos[r].contains(v), "core node {v:?} missing from halo");
+            // v belongs to exactly the halos of regions owning a node within
+            // m hops of it.
+            let dist = traverse::bfs_distances(&masked, v, Some(m));
+            for (rr, halo) in halos.iter().enumerate() {
+                let reachable = g
+                    .nodes()
+                    .any(|w| asg.region_of(w) == Some(rr) && dist[w.index()].is_some());
+                assert_eq!(
+                    halo.contains(v),
+                    reachable,
+                    "halo membership of {v:?} in region {rr} disagrees with the m-ball"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interface_nodes_touch_two_regions() {
+        let g = generators::king_grid_graph(6, 6);
+        let masked = Masked::all_active(&g);
+        let asg = bfs_stripes(&masked, 2);
+        let cut = interface_nodes(&masked, &asg);
+        assert!(!cut.is_empty(), "a split grid has an interface");
+        for v in cut {
+            let r = asg.label_of(v);
+            assert!(masked.view_neighbors(v).any(|w| asg.label_of(w) != r));
+        }
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = NodeBitSet::with_bound(130);
+        assert!(!s.contains(NodeId(0)));
+        assert!(s.insert(NodeId(0)));
+        assert!(!s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(129)));
+        assert!(s.contains(NodeId(129)));
+        assert!(!s.contains(NodeId(500)));
+        assert_eq!(s.count(), 2);
+    }
+}

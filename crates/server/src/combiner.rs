@@ -49,6 +49,15 @@ pub struct CoreConfig {
     /// Deterministic fault script (combiner crashes consume
     /// `crash_after_commits`; the connection layer consumes the rest).
     pub faults: ServerFaultPlan,
+    /// Warm [`EpochState`]s kept resident (≥ 1; the front one serves).
+    /// Re-loading a warm epoch skips its initial DCC schedule; eviction is
+    /// LRU and journal-safe — the journal only ever describes the serving
+    /// epoch.
+    pub warm_epochs: usize,
+    /// Append a journal snapshot marker every this many committed deltas
+    /// (`0` disables). Recovery restores from the latest verified marker
+    /// instead of replaying the whole delta history.
+    pub snapshot_every: u64,
 }
 
 impl CoreConfig {
@@ -59,6 +68,8 @@ impl CoreConfig {
             max_queue: 256,
             journal_path: journal_path.into(),
             faults: ServerFaultPlan::quiet(),
+            warm_epochs: 4,
+            snapshot_every: 8,
         }
     }
 }
@@ -96,7 +107,10 @@ struct Pending {
 
 /// Everything the combiner owns while combining.
 struct EngineCore {
-    state: Option<EpochState>,
+    /// Warm epochs in MRU order; the front one is the serving epoch. The
+    /// journal describes the front epoch only, so evicting (or keeping) the
+    /// others never touches durability.
+    warm: Vec<EpochState>,
     journal: Journal,
     /// Set by an injected combiner crash: warm state is gone and the next
     /// combiner must recover from the journal before serving.
@@ -161,7 +175,7 @@ impl RequestCore {
             config,
             queue: Mutex::new(VecDeque::new()),
             core: Mutex::new(EngineCore {
-                state,
+                warm: state.into_iter().collect(),
                 journal,
                 poisoned: false,
                 total_commits: 0,
@@ -347,7 +361,7 @@ impl RequestCore {
             return;
         }
         let run: Vec<Pending> = std::mem::take(reads);
-        let Some(state) = core.state.as_mut() else {
+        let Some(state) = core.warm.first_mut() else {
             for pending in &run {
                 deposit(pending, Response::Error(ServerError::NoEpoch));
             }
@@ -412,6 +426,34 @@ impl RequestCore {
                     seed: *seed,
                     tau: *tau,
                 };
+                // Warm hit: the exact epoch is already resident — skip the
+                // initial DCC schedule, rewrite the journal to describe it
+                // (epoch line + snapshot of its committed state) and move
+                // it to the front of the LRU.
+                if let Some(pos) = core.warm.iter().position(|s| s.params() == params) {
+                    if crash_now {
+                        self.crash_combiner(core);
+                        return Err(true);
+                    }
+                    let state = core.warm.remove(pos);
+                    if let Err(e) = core.journal.reactivate(&state) {
+                        // The journal no longer matches any servable state;
+                        // poison so the next combiner rebuilds from disk.
+                        core.poisoned = true;
+                        core.warm.insert(0, state);
+                        return Ok(Response::Error(ServerError::Journal(e.to_string())));
+                    }
+                    core.total_commits += 1;
+                    let resp = Response::Committed {
+                        epoch: params.epoch,
+                        seq: state.seq(),
+                        active: state.active().len(),
+                        digest: state.digest(),
+                    };
+                    self.publish(&state);
+                    core.warm.insert(0, state);
+                    return Ok(resp);
+                }
                 let state = match EpochState::load(params) {
                     Ok(s) => s,
                     Err(e) => return Ok(Response::Error(e)),
@@ -431,7 +473,8 @@ impl RequestCore {
                     digest: state.digest(),
                 };
                 self.publish(&state);
-                core.state = Some(state);
+                core.warm.insert(0, state);
+                core.warm.truncate(self.config.warm_epochs.max(1));
                 Ok(resp)
             }
             Request::Crash { node } | Request::Recover { node } => {
@@ -464,14 +507,14 @@ impl RequestCore {
         deltas: &[Delta],
         crash_now: bool,
     ) -> Result<Response, bool> {
-        if core.state.is_none() {
+        if core.warm.is_empty() {
             return Ok(Response::Error(ServerError::NoEpoch));
         }
         if crash_now {
             // Mutate-then-die: apply the first delta without journaling it,
             // then drop the warm state. Recovery must still converge to the
             // journaled prefix — the acceptance test's whole point.
-            if let Some(state) = core.state.as_mut() {
+            if let Some(state) = core.warm.first_mut() {
                 let _ = state.apply(deltas[0]);
             }
             self.crash_combiner(core);
@@ -479,23 +522,37 @@ impl RequestCore {
         }
         let mut last_error = None;
         {
-            // Narrow scope: state borrow ends before publish().
-            let Some(state) = core.state.as_mut() else {
+            // Narrow scope: state borrow ends before publish(). Split the
+            // borrows so the journal stays reachable alongside the state.
+            let EngineCore {
+                warm,
+                journal,
+                poisoned,
+                total_commits,
+            } = core;
+            let Some(state) = warm.first_mut() else {
                 return Ok(Response::Error(ServerError::NoEpoch));
             };
             for &delta in deltas {
                 match state.apply(delta) {
                     Ok(false) => {}
                     Ok(true) => {
-                        core.total_commits += 1;
-                        if let Err(e) =
-                            core.journal
-                                .record_delta(state.seq(), delta, state.digest())
-                        {
+                        *total_commits += 1;
+                        if let Err(e) = journal.record_delta(state.seq(), delta, state.digest()) {
                             // State and journal have diverged; poison so the
                             // next combiner rebuilds from the journal.
-                            core.poisoned = true;
+                            *poisoned = true;
                             return Ok(Response::Error(ServerError::Journal(e.to_string())));
+                        }
+                        // Compaction marker: every K committed deltas,
+                        // checkpoint the full state so recovery replays
+                        // only the tail after it.
+                        let every = self.config.snapshot_every;
+                        if every > 0 && state.seq() % every == 0 {
+                            if let Err(e) = journal.record_snapshot(state) {
+                                *poisoned = true;
+                                return Ok(Response::Error(ServerError::Journal(e.to_string())));
+                            }
                         }
                     }
                     Err(e) => {
@@ -505,7 +562,7 @@ impl RequestCore {
                 }
             }
         }
-        let Some(state) = core.state.as_ref() else {
+        let Some(state) = core.warm.first() else {
             return Ok(Response::Error(ServerError::NoEpoch));
         };
         self.publish(state);
@@ -522,7 +579,7 @@ impl RequestCore {
 
     /// Drops the warm state, as the scripted fault demands.
     fn crash_combiner(&self, core: &mut EngineCore) {
-        core.state = None;
+        core.warm.clear();
         core.poisoned = true;
         core.total_commits += 1;
         self.stats.crashes.fetch_add(1, Ordering::Relaxed);
@@ -536,7 +593,7 @@ impl RequestCore {
                 if let Some(s) = &state {
                     self.publish(s);
                 }
-                core.state = state;
+                core.warm = state.into_iter().collect();
                 core.poisoned = false;
                 self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
                 self.stats
@@ -546,7 +603,7 @@ impl RequestCore {
             Err(_) => {
                 // Journal unusable: serve NoEpoch rather than lies. Leave
                 // poisoned=false so we do not spin on recovery.
-                core.state = None;
+                core.warm.clear();
                 core.poisoned = false;
             }
         }
@@ -711,6 +768,133 @@ mod tests {
             Response::Error(ServerError::NoEpoch)
         ));
         assert!(core.status().shed >= 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn load_epoch_req(epoch: u64) -> Envelope {
+        Envelope {
+            deadline_ms: 30_000,
+            request: Request::LoadEpoch {
+                epoch,
+                nodes: 50,
+                degree_mils: 11_000,
+                seed: 7,
+                tau: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn warm_epoch_switch_preserves_deltas_and_survives_restart() {
+        let path = temp_path("warmlru");
+        let _ = std::fs::remove_file(&path);
+        let core = RequestCore::new(CoreConfig::new(&path)).unwrap();
+        let Response::Committed { .. } = core.submit(load_epoch_req(1)) else {
+            panic!("load epoch 1 failed");
+        };
+        let victim = {
+            let view = unpoison(core.committed.lock());
+            view.active[view.active.len() / 2].0
+        };
+        let Response::Committed { digest: d1, .. } = core.submit(Envelope {
+            deadline_ms: 30_000,
+            request: Request::Crash { node: victim },
+        }) else {
+            panic!("crash failed");
+        };
+        // Switch away, then back: the warm hit resumes at seq 1 instead of
+        // replaying the epoch from scratch.
+        let Response::Committed { seq, .. } = core.submit(load_epoch_req(2)) else {
+            panic!("load epoch 2 failed");
+        };
+        assert_eq!(seq, 0, "epoch 2 is a cold load");
+        let Response::Committed {
+            seq, digest, epoch, ..
+        } = core.submit(load_epoch_req(1))
+        else {
+            panic!("reload epoch 1 failed");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(seq, 1, "warm hit keeps the committed delta");
+        assert_eq!(digest, d1);
+        // Reactivation rewrote the journal, so a restart lands on the same
+        // state without the original delta history.
+        drop(core);
+        let core = RequestCore::new(CoreConfig::new(&path)).unwrap();
+        let status = core.status();
+        assert_eq!(status.epoch, 1);
+        assert_eq!(status.seq, 1);
+        assert_eq!(status.digest, d1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_capacity_evicts_least_recent_epoch() {
+        let path = temp_path("warmevict");
+        let _ = std::fs::remove_file(&path);
+        let mut config = CoreConfig::new(&path);
+        config.warm_epochs = 1;
+        let core = RequestCore::new(config).unwrap();
+        let Response::Committed { digest: d0, .. } = core.submit(load_epoch_req(1)) else {
+            panic!("load epoch 1 failed");
+        };
+        let victim = {
+            let view = unpoison(core.committed.lock());
+            view.active[view.active.len() / 2].0
+        };
+        assert!(matches!(
+            core.submit(Envelope {
+                deadline_ms: 30_000,
+                request: Request::Crash { node: victim },
+            }),
+            Response::Committed { seq: 1, .. }
+        ));
+        // Capacity 1: loading epoch 2 evicts epoch 1, so switching back is a
+        // cold reload at seq 0 with the pristine digest.
+        assert!(matches!(
+            core.submit(load_epoch_req(2)),
+            Response::Committed { seq: 0, .. }
+        ));
+        let Response::Committed { seq, digest, .. } = core.submit(load_epoch_req(1)) else {
+            panic!("reload epoch 1 failed");
+        };
+        assert_eq!(seq, 0, "evicted epoch reloads cold");
+        assert_eq!(digest, d0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_cadence_marks_journal_and_speeds_recovery() {
+        let path = temp_path("snapcadence");
+        let _ = std::fs::remove_file(&path);
+        let mut config = CoreConfig::new(&path);
+        config.snapshot_every = 1;
+        let core = RequestCore::new(config).unwrap();
+        let Response::Committed { .. } = core.submit(load_req()) else {
+            panic!("load failed");
+        };
+        let victim = {
+            let view = unpoison(core.committed.lock());
+            view.active[view.active.len() / 2].0
+        };
+        let Response::Committed { digest, .. } = core.submit(Envelope {
+            deadline_ms: 30_000,
+            request: Request::Crash { node: victim },
+        }) else {
+            panic!("crash failed");
+        };
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().any(|l| l.starts_with("snapshot 1 ")),
+            "every-commit cadence writes a marker"
+        );
+        drop(core);
+        let mut config = CoreConfig::new(&path);
+        config.snapshot_every = 1;
+        let core = RequestCore::new(config).unwrap();
+        let status = core.status();
+        assert_eq!(status.seq, 1);
+        assert_eq!(status.digest, digest);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -9,6 +9,7 @@
 //! epoch 1 nodes 120 degree-mils 12000 seed 42 tau 4 digest 9f0c…
 //! delta 1 crash 9 digest 77ab…
 //! delta 2 recover 9 digest 9f0c…
+//! snapshot 2 active 87 0 1 4 … crashed 0 digest 9f0c…
 //! ```
 //!
 //! Each line carries the state digest *after* applying it; recovery replays
@@ -16,8 +17,20 @@
 //! and divergent replays are all detected rather than silently served. A new
 //! `epoch` line supersedes everything before it (the journal is truncated on
 //! epoch load to keep replay linear).
+//!
+//! **Snapshot markers** compact recovery without compacting the file: every
+//! K committed deltas the combiner appends a `snapshot` record — the full
+//! active set, the crashed-node snapshots and the state digest at that
+//! sequence. Recovery restores from the *latest verified* snapshot
+//! ([`crate::state::EpochState::from_checkpoint`] regenerates the topology
+//! but skips the initial DCC schedule and every delta at or before the
+//! checkpoint), then replays only the tail. A snapshot whose digest does
+//! not verify is skipped in favour of an older one, falling back to the
+//! full epoch replay — the append-only durability story is unchanged, only
+//! the replay cost shrinks.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -143,9 +156,58 @@ impl Journal {
         Ok(())
     }
 
+    /// Appends a snapshot marker: the full committed state at the current
+    /// sequence, from which recovery can restore without replaying the
+    /// deltas before it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failure.
+    pub fn record_snapshot(&self, state: &EpochState) -> Result<(), JournalError> {
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        writeln!(f, "{}", snapshot_line(state))?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Rewrites the journal for a re-activated warm epoch: the epoch line
+    /// (with its original sequence-0 digest) plus, when the epoch has
+    /// committed deltas, one snapshot marker holding its current state.
+    /// This is the journal-safe eviction/switch path of the warm-epoch LRU:
+    /// after the rewrite, recovery reconstructs exactly the state being
+    /// served, with no dependence on the superseded epoch's records.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failure.
+    pub fn reactivate(&self, state: &EpochState) -> Result<(), JournalError> {
+        let params = state.params();
+        let mut f = File::create(&self.path)?;
+        writeln!(
+            f,
+            "epoch {} nodes {} degree-mils {} seed {} tau {} digest {:016x}",
+            params.epoch,
+            params.nodes,
+            params.degree_mils,
+            params.seed,
+            params.tau,
+            state.load_digest()
+        )?;
+        if state.seq() > 0 {
+            writeln!(f, "{}", snapshot_line(state))?;
+        }
+        f.sync_all()?;
+        Ok(())
+    }
+
     /// Replays the journal into a fresh [`EpochState`], verifying every
     /// recorded digest along the way. Returns `Ok(None)` when the journal
     /// file does not exist yet (a cold start, not an error).
+    ///
+    /// When the journal holds snapshot markers, recovery restores from the
+    /// latest one whose digest verifies and replays only the deltas after
+    /// it; unverifiable snapshots are skipped (older markers, then the full
+    /// epoch replay, are tried instead).
     ///
     /// # Errors
     ///
@@ -157,7 +219,11 @@ impl Journal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(JournalError::Io(e)),
         };
-        let mut state: Option<EpochState> = None;
+        // Parse pass: strict grammar check on every line, keeping only the
+        // records that follow the last epoch line (an epoch supersedes
+        // everything before it).
+        let mut epoch: Option<(usize, EpochRecord)> = None;
+        let mut tail: Vec<(usize, TailRecord)> = Vec::new();
         for (idx, line) in BufReader::new(file).lines().enumerate() {
             let line = line?;
             let lineno = idx + 1;
@@ -168,44 +234,118 @@ impl Journal {
             let toks: Vec<&str> = line.split_whitespace().collect();
             match toks.first().copied() {
                 Some("epoch") => {
-                    let record = parse_epoch_line(&toks).ok_or_else(corrupt)?;
-                    let replayed = EpochState::load(record.params)
-                        .map_err(|e| JournalError::State(e.to_string()))?;
-                    if replayed.digest() != record.digest {
-                        return Err(JournalError::DigestMismatch {
-                            line: lineno,
-                            expected: record.digest,
-                            got: replayed.digest(),
-                        });
-                    }
-                    state = Some(replayed);
+                    epoch = Some((lineno, parse_epoch_line(&toks).ok_or_else(corrupt)?));
+                    tail.clear();
                 }
                 Some("delta") => {
+                    if epoch.is_none() {
+                        return Err(JournalError::NoEpoch);
+                    }
                     let record = parse_delta_line(&toks).ok_or_else(corrupt)?;
-                    let current = state.as_mut().ok_or(JournalError::NoEpoch)?;
-                    let committed = current
-                        .apply(record.delta)
-                        .map_err(|e| JournalError::State(e.to_string()))?;
-                    if !committed {
-                        return Err(JournalError::InertReplay { line: lineno });
+                    tail.push((lineno, TailRecord::Delta(record)));
+                }
+                Some("snapshot") => {
+                    if epoch.is_none() {
+                        return Err(JournalError::NoEpoch);
                     }
-                    if current.digest() != record.digest {
-                        return Err(JournalError::DigestMismatch {
-                            line: lineno,
-                            expected: record.digest,
-                            got: current.digest(),
-                        });
-                    }
+                    let record = parse_snapshot_line(&toks).ok_or_else(corrupt)?;
+                    tail.push((lineno, TailRecord::Snapshot(record)));
                 }
                 Some(_) => return Err(corrupt()),
                 None => continue,
             }
         }
-        match state {
-            Some(s) => Ok(Some(s)),
-            None => Err(JournalError::NoEpoch),
+        let Some((epoch_line, epoch)) = epoch else {
+            return Err(JournalError::NoEpoch);
+        };
+
+        // Fast path: latest verified snapshot + tail replay. A snapshot
+        // whose digest does not verify is skipped for an older one.
+        let snapshots: Vec<usize> = tail
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r))| matches!(r, TailRecord::Snapshot(_)))
+            .map(|(i, _)| i)
+            .collect();
+        for &pos in snapshots.iter().rev() {
+            let (_, TailRecord::Snapshot(snap)) = &tail[pos] else {
+                continue;
+            };
+            let mut state = EpochState::from_checkpoint(
+                epoch.params,
+                epoch.digest,
+                snap.seq,
+                snap.active.clone(),
+                snap.crashed.clone(),
+            )
+            .map_err(|e| JournalError::State(e.to_string()))?;
+            if state.digest() != snap.digest {
+                continue;
+            }
+            replay_tail(&mut state, &tail[pos + 1..])?;
+            return Ok(Some(state));
+        }
+
+        // Full replay from the epoch line; snapshot markers (all of which
+        // failed to verify, or none existed) are ignored.
+        let state =
+            EpochState::load(epoch.params).map_err(|e| JournalError::State(e.to_string()))?;
+        if state.digest() != epoch.digest {
+            return Err(JournalError::DigestMismatch {
+                line: epoch_line,
+                expected: epoch.digest,
+                got: state.digest(),
+            });
+        }
+        let mut state = state;
+        replay_tail(&mut state, &tail)?;
+        Ok(Some(state))
+    }
+}
+
+/// Applies the delta records in `tail` that are newer than `state`'s
+/// sequence, verifying every digest; snapshot markers are skipped (the
+/// caller already chose its restore point).
+fn replay_tail(state: &mut EpochState, tail: &[(usize, TailRecord)]) -> Result<(), JournalError> {
+    for (lineno, record) in tail {
+        let TailRecord::Delta(record) = record else {
+            continue;
+        };
+        if record.seq <= state.seq() {
+            continue;
+        }
+        let committed = state
+            .apply(record.delta)
+            .map_err(|e| JournalError::State(e.to_string()))?;
+        if !committed {
+            return Err(JournalError::InertReplay { line: *lineno });
+        }
+        if state.digest() != record.digest {
+            return Err(JournalError::DigestMismatch {
+                line: *lineno,
+                expected: record.digest,
+                got: state.digest(),
+            });
         }
     }
+    Ok(())
+}
+
+/// Serializes the committed state as one `snapshot` journal line.
+fn snapshot_line(state: &EpochState) -> String {
+    let mut line = format!("snapshot {} active {}", state.seq(), state.active().len());
+    for v in state.active() {
+        let _ = write!(line, " {}", v.0);
+    }
+    let _ = write!(line, " crashed {}", state.crashed().len());
+    for (node, snapshot) in state.crashed() {
+        let _ = write!(line, " {node} {}", snapshot.len());
+        for v in snapshot {
+            let _ = write!(line, " {}", v.0);
+        }
+    }
+    let _ = write!(line, " digest {:016x}", state.digest());
+    line
 }
 
 struct EpochRecord {
@@ -214,8 +354,21 @@ struct EpochRecord {
 }
 
 struct DeltaRecord {
+    seq: u64,
     delta: Delta,
     digest: u64,
+}
+
+struct SnapshotRecord {
+    seq: u64,
+    active: Vec<NodeId>,
+    crashed: std::collections::BTreeMap<u32, Vec<NodeId>>,
+    digest: u64,
+}
+
+enum TailRecord {
+    Delta(DeltaRecord),
+    Snapshot(SnapshotRecord),
 }
 
 fn parse_epoch_line(toks: &[&str]) -> Option<EpochRecord> {
@@ -238,7 +391,7 @@ fn parse_epoch_line(toks: &[&str]) -> Option<EpochRecord> {
 
 fn parse_delta_line(toks: &[&str]) -> Option<DeltaRecord> {
     match toks {
-        ["delta", _seq, op, node, "digest", digest] => {
+        ["delta", seq, op, node, "digest", digest] => {
             let node = NodeId(node.parse().ok()?);
             let delta = match *op {
                 "crash" => Delta::Crash(node),
@@ -246,12 +399,59 @@ fn parse_delta_line(toks: &[&str]) -> Option<DeltaRecord> {
                 _ => return None,
             };
             Some(DeltaRecord {
+                seq: seq.parse().ok()?,
                 delta,
                 digest: u64::from_str_radix(digest, 16).ok()?,
             })
         }
         _ => None,
     }
+}
+
+/// Parses `snapshot <seq> active <k> <ids…> crashed <m> {<node> <len>
+/// <ids…>}* digest <hex>` with a token cursor (the record is
+/// variable-length, unlike the fixed epoch/delta grammars).
+fn parse_snapshot_line(toks: &[&str]) -> Option<SnapshotRecord> {
+    let mut cur = toks.iter().copied();
+    if cur.next()? != "snapshot" {
+        return None;
+    }
+    let seq: u64 = cur.next()?.parse().ok()?;
+    if cur.next()? != "active" {
+        return None;
+    }
+    let count: usize = cur.next()?.parse().ok()?;
+    let mut active = Vec::with_capacity(count);
+    for _ in 0..count {
+        active.push(NodeId(cur.next()?.parse().ok()?));
+    }
+    if cur.next()? != "crashed" {
+        return None;
+    }
+    let crashed_count: usize = cur.next()?.parse().ok()?;
+    let mut crashed = std::collections::BTreeMap::new();
+    for _ in 0..crashed_count {
+        let node: u32 = cur.next()?.parse().ok()?;
+        let len: usize = cur.next()?.parse().ok()?;
+        let mut snapshot = Vec::with_capacity(len);
+        for _ in 0..len {
+            snapshot.push(NodeId(cur.next()?.parse().ok()?));
+        }
+        crashed.insert(node, snapshot);
+    }
+    if cur.next()? != "digest" {
+        return None;
+    }
+    let digest = u64::from_str_radix(cur.next()?, 16).ok()?;
+    if cur.next().is_some() {
+        return None;
+    }
+    Some(SnapshotRecord {
+        seq,
+        active,
+        crashed,
+        digest,
+    })
 }
 
 #[cfg(test)]
@@ -303,6 +503,108 @@ mod tests {
         assert_eq!(recovered.digest(), live.digest());
         assert_eq!(recovered.active(), live.active());
         assert_eq!(recovered.seq(), live.seq());
+        let _ = std::fs::remove_file(j.path());
+    }
+
+    #[test]
+    fn snapshot_marker_short_circuits_replay() {
+        let j = temp_journal("snapshot");
+        let mut live = EpochState::load(params()).unwrap();
+        j.record_epoch(params(), live.digest()).unwrap();
+        let a = live.active()[live.active().len() / 3];
+        assert!(live.apply(Delta::Crash(a)).unwrap());
+        j.record_delta(live.seq(), Delta::Crash(a), live.digest())
+            .unwrap();
+        let b = live.active()[live.active().len() / 2];
+        assert!(live.apply(Delta::Crash(b)).unwrap());
+        j.record_delta(live.seq(), Delta::Crash(b), live.digest())
+            .unwrap();
+        j.record_snapshot(&live).unwrap();
+        assert!(live.apply(Delta::Recover(b)).unwrap());
+        j.record_delta(live.seq(), Delta::Recover(b), live.digest())
+            .unwrap();
+
+        // Recovery matches the live state…
+        let recovered = j.recover().unwrap().expect("journal has an epoch");
+        assert_eq!(recovered.digest(), live.digest());
+        assert_eq!(recovered.active(), live.active());
+        assert_eq!(recovered.seq(), live.seq());
+
+        // …and really restores from the marker: tamper a pre-snapshot
+        // delta digest (valid grammar, wrong value). The fast path never
+        // replays that record, so recovery still succeeds.
+        let text = std::fs::read_to_string(j.path()).unwrap();
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("delta 1 ") {
+                    let (head, _) = l.rsplit_once(' ').unwrap();
+                    format!("{head} {:016x}\n", 0xdead_beef_u64)
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        std::fs::write(j.path(), tampered).unwrap();
+        let recovered = j.recover().unwrap().expect("snapshot fast path");
+        assert_eq!(recovered.digest(), live.digest());
+        let _ = std::fs::remove_file(j.path());
+    }
+
+    #[test]
+    fn unverifiable_snapshot_falls_back_to_full_replay() {
+        let j = temp_journal("snapfallback");
+        let mut live = EpochState::load(params()).unwrap();
+        j.record_epoch(params(), live.digest()).unwrap();
+        let victim = live.active()[live.active().len() / 3];
+        assert!(live.apply(Delta::Crash(victim)).unwrap());
+        j.record_delta(live.seq(), Delta::Crash(victim), live.digest())
+            .unwrap();
+        j.record_snapshot(&live).unwrap();
+
+        // Corrupt the snapshot's digest: the marker no longer verifies, so
+        // recovery must fall back to the epoch + delta replay — and still
+        // land on the live state.
+        let text = std::fs::read_to_string(j.path()).unwrap();
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("snapshot ") {
+                    let (head, _) = l.rsplit_once(' ').unwrap();
+                    format!("{head} {:016x}\n", 0xbad_c0de_u64)
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        std::fs::write(j.path(), tampered).unwrap();
+        let recovered = j.recover().unwrap().expect("full replay fallback");
+        assert_eq!(recovered.digest(), live.digest());
+        assert_eq!(recovered.seq(), live.seq());
+        let _ = std::fs::remove_file(j.path());
+    }
+
+    #[test]
+    fn reactivate_rewrites_a_recoverable_journal() {
+        let j = temp_journal("reactivate");
+        let mut live = EpochState::load(params()).unwrap();
+        j.record_epoch(params(), live.digest()).unwrap();
+        let victim = live.active()[live.active().len() / 3];
+        assert!(live.apply(Delta::Crash(victim)).unwrap());
+        j.record_delta(live.seq(), Delta::Crash(victim), live.digest())
+            .unwrap();
+
+        // Simulate the warm-LRU switch-back: rewrite the journal from the
+        // in-memory state alone, then recover from the rewrite.
+        j.reactivate(&live).unwrap();
+        let text = std::fs::read_to_string(j.path()).unwrap();
+        assert!(text.starts_with("epoch "), "epoch line first");
+        assert!(text.contains("\nsnapshot "), "carries a snapshot marker");
+        assert!(!text.contains("\ndelta "), "deltas folded into the marker");
+        let recovered = j.recover().unwrap().expect("reactivated journal");
+        assert_eq!(recovered.digest(), live.digest());
+        assert_eq!(recovered.seq(), live.seq());
+        assert_eq!(recovered.load_digest(), live.load_digest());
         let _ = std::fs::remove_file(j.path());
     }
 

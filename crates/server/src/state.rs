@@ -57,6 +57,10 @@ pub struct EpochState {
     crashed: BTreeMap<u32, Vec<NodeId>>,
     /// Committed delta count.
     seq: u64,
+    /// Digest at sequence 0 — what the journal's `epoch` line records. Kept
+    /// so a warm epoch can be re-journaled (epoch line + snapshot record)
+    /// when it becomes the serving epoch again.
+    load_digest: u64,
     /// The warm engine: verdict cache and fingerprint memo survive across
     /// requests, which is the entire point of keeping the daemon alive.
     engine: VptEngine,
@@ -98,6 +102,68 @@ impl EpochState {
             active,
             crashed: BTreeMap::new(),
             seq: 0,
+            load_digest: 0,
+            engine: VptEngine::new(params.tau, EngineConfig::default()),
+        };
+        state.load_digest = state.digest();
+        state.engine.begin_run(state.scenario.graph.node_count());
+        Ok(state)
+    }
+
+    /// Rebuilds an epoch from a journal snapshot record: the topology is
+    /// regenerated from `params` (the same seed derivation as
+    /// [`EpochState::load`]) but the initial DCC schedule is *not* re-run —
+    /// the checkpointed `active`/`crashed` sets are installed directly.
+    /// This is the journal-compaction fast path: restoring a checkpoint
+    /// skips both the initial schedule and every delta before `seq`.
+    ///
+    /// The caller must verify the restored [`EpochState::digest`] against
+    /// the snapshot record before serving from it; `load_digest` is the
+    /// digest recorded on the journal's `epoch` line (sequence 0), carried
+    /// along so the state can be re-journaled later.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for degenerate parameters or node ids
+    /// outside the regenerated topology.
+    pub fn from_checkpoint(
+        params: EpochParams,
+        load_digest: u64,
+        seq: u64,
+        mut active: Vec<NodeId>,
+        crashed: BTreeMap<u32, Vec<NodeId>>,
+    ) -> Result<Self, ServerError> {
+        if params.nodes == 0 || params.nodes > 100_000 {
+            return Err(ServerError::BadRequest(format!(
+                "nodes {} out of range",
+                params.nodes
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(splitmix64(params.seed));
+        let scenario = random_udg_scenario(
+            params.nodes,
+            1.0,
+            f64::from(params.degree_mils) / 1000.0,
+            &mut rng,
+        );
+        let bound = scenario.graph.node_count();
+        let in_range = active.iter().all(|v| v.index() < bound)
+            && crashed
+                .iter()
+                .all(|(&n, snap)| (n as usize) < bound && snap.iter().all(|v| v.index() < bound));
+        if !in_range {
+            return Err(ServerError::BadRequest(
+                "checkpoint names nodes outside the epoch topology".to_string(),
+            ));
+        }
+        active.sort_unstable();
+        let mut state = EpochState {
+            params,
+            scenario,
+            active,
+            crashed,
+            seq,
+            load_digest,
             engine: VptEngine::new(params.tau, EngineConfig::default()),
         };
         state.engine.begin_run(state.scenario.graph.node_count());
@@ -117,6 +183,17 @@ impl EpochState {
     /// The committed active set (sorted).
     pub fn active(&self) -> &[NodeId] {
         &self.active
+    }
+
+    /// The digest the state had at sequence 0 (the journal's `epoch` line).
+    pub fn load_digest(&self) -> u64 {
+        self.load_digest
+    }
+
+    /// Crashed nodes with their pre-crash active snapshots, in node order —
+    /// what a journal snapshot record persists.
+    pub fn crashed(&self) -> &BTreeMap<u32, Vec<NodeId>> {
+        &self.crashed
     }
 
     /// FNV digest of the committed state: parameters, sequence, active set
@@ -339,6 +416,36 @@ mod tests {
             nodes: 0,
             ..params()
         })
+        .is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_digest_without_initial_schedule() {
+        let mut live = EpochState::load(params()).unwrap();
+        let a = live.active()[live.active().len() / 3];
+        assert!(live.apply(Delta::Crash(a)).unwrap());
+        assert!(live.apply(Delta::Recover(a)).unwrap());
+        let b = live.active()[live.active().len() / 2];
+        assert!(live.apply(Delta::Crash(b)).unwrap());
+        let restored = EpochState::from_checkpoint(
+            params(),
+            live.load_digest(),
+            live.seq(),
+            live.active().to_vec(),
+            live.crashed().clone(),
+        )
+        .unwrap();
+        assert_eq!(restored.digest(), live.digest());
+        assert_eq!(restored.active(), live.active());
+        assert_eq!(restored.seq(), live.seq());
+        // Out-of-range membership in the checkpoint is rejected, not trusted.
+        assert!(EpochState::from_checkpoint(
+            params(),
+            live.load_digest(),
+            1,
+            vec![NodeId(u32::MAX)],
+            BTreeMap::new(),
+        )
         .is_err());
     }
 
